@@ -1,0 +1,123 @@
+//! Logistic-regression inference (beyond the paper's benchmark set).
+//!
+//! A classic privacy-preserving-ML workload: `p = σ(w·x + b)` over an
+//! encrypted feature vector, with the sigmoid replaced by its degree-3
+//! least-squares polynomial `σ(t) ≈ 0.5 + 0.197·t − 0.004·t³` (the
+//! standard approximation from the HE literature, accurate on
+//! `t ∈ [−8, 8]`). Included to demonstrate extending the benchmark suite;
+//! it is not part of the paper's Fig. 7 set.
+
+use crate::linear::matvec;
+use crate::workloads::{uniform_samples, xavier_weights};
+use hecate_ir::{Function, FunctionBuilder};
+use std::collections::HashMap;
+
+/// Degree-3 sigmoid approximation coefficients `(c0, c1, c3)`.
+pub const SIGMOID_POLY: (f64, f64, f64) = (0.5, 0.197, -0.004);
+
+/// Configuration for logistic-regression inference.
+#[derive(Debug, Clone, Copy)]
+pub struct LogisticConfig {
+    /// Feature dimension.
+    pub features: usize,
+    /// Number of classifier rows evaluated at once (packed).
+    pub classes: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl LogisticConfig {
+    /// A small, fast configuration.
+    pub fn small(seed: u64) -> Self {
+        LogisticConfig {
+            features: 32,
+            classes: 4,
+            seed,
+        }
+    }
+}
+
+/// Builds the benchmark: function plus input bindings.
+pub fn build(cfg: &LogisticConfig) -> (Function, HashMap<String, Vec<f64>>) {
+    let vec = cfg.features.next_power_of_two();
+    let w = xavier_weights(cfg.classes, cfg.features, cfg.seed.wrapping_add(77));
+    let mut b = FunctionBuilder::new("logistic", vec);
+    let x = b.input_cipher("x");
+    let t = crate::linear::linear_layer(&mut b, x, &w, None, vec);
+    // σ(t) ≈ c0 + c1·t + c3·t³
+    let (c0, c1, c3) = SIGMOID_POLY;
+    let t2 = b.square(t);
+    let t3 = b.mul(t2, t);
+    let k1 = b.splat(c1);
+    let lin = b.mul(t, k1);
+    let k3 = b.splat(c3);
+    let cub = b.mul(t3, k3);
+    let poly = b.add(lin, cub);
+    let k0 = b.splat(c0);
+    let p = b.add(poly, k0);
+    b.output_named("probs", p);
+
+    let mut inputs = HashMap::new();
+    inputs.insert("x".to_string(), uniform_samples(cfg.features, cfg.seed));
+    (b.finish(), inputs)
+}
+
+/// Plain-domain reference inference.
+pub fn reference(cfg: &LogisticConfig, x: &[f64]) -> Vec<f64> {
+    let w = xavier_weights(cfg.classes, cfg.features, cfg.seed.wrapping_add(77));
+    let (c0, c1, c3) = SIGMOID_POLY;
+    matvec(&w, x)
+        .into_iter()
+        .map(|t| c0 + c1 * t + c3 * t * t * t)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hecate_ir::interp::interpret;
+
+    #[test]
+    fn circuit_matches_reference() {
+        let cfg = LogisticConfig::small(3);
+        let (f, ins) = build(&cfg);
+        let got = &interpret(&f, &ins).unwrap()["probs"];
+        let expect = reference(&cfg, &ins["x"]);
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-9, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_poly_tracks_sigmoid_near_zero() {
+        let (c0, c1, c3) = SIGMOID_POLY;
+        for t in [-2.0f64, -1.0, -0.25, 0.0, 0.5, 1.5, 2.0] {
+            let approx = c0 + c1 * t + c3 * t * t * t;
+            let exact = 1.0 / (1.0 + (-t).exp());
+            assert!((approx - exact).abs() < 0.1, "t={t}: {approx} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval() {
+        let cfg = LogisticConfig::small(9);
+        let (f, ins) = build(&cfg);
+        let got = &interpret(&f, &ins).unwrap()["probs"];
+        for p in got.iter().take(cfg.classes) {
+            assert!((-0.1..=1.1).contains(p), "probability-ish output {p}");
+        }
+    }
+
+    #[test]
+    fn compiles_and_runs_under_all_schemes() {
+        use hecate_compiler::{compile, CompileOptions, Scheme};
+        let cfg = LogisticConfig::small(1);
+        let (f, _) = build(&cfg);
+        let mut opts = CompileOptions::with_waterline(24.0);
+        opts.degree = Some(256);
+        for scheme in Scheme::ALL {
+            let prog = compile(&f, scheme, &opts).unwrap();
+            assert!(prog.stats.estimated_latency_us > 0.0, "{scheme}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Multi-layer perceptron inference (MLP) — paper §VII-A.
+//!
+//! A feed-forward classifier with square activation, applied to a packed
+//! input vector with the diagonal matrix–vector method. The paper's shape
+//! is 784×100 and 100×10; the small preset shrinks each dimension so the
+//! whole pipeline runs under encryption in test time.
+
+use crate::linear::{linear_layer, matvec};
+use crate::workloads::{synth_image, xavier_weights};
+use hecate_ir::{Function, FunctionBuilder};
+use std::collections::HashMap;
+
+/// Configuration for the MLP benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct MlpConfig {
+    /// Input dimension (flattened image).
+    pub in_dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Output classes.
+    pub out: usize,
+    /// Weight/workload seed.
+    pub seed: u64,
+}
+
+impl MlpConfig {
+    /// The paper's 784×100×10 network.
+    pub fn paper(seed: u64) -> Self {
+        MlpConfig { in_dim: 784, hidden: 100, out: 10, seed }
+    }
+
+    /// A reduced shape for fast encrypted runs.
+    pub fn small(seed: u64) -> Self {
+        MlpConfig { in_dim: 64, hidden: 16, out: 4, seed }
+    }
+}
+
+/// The weights of a built MLP (also used by the reference evaluation).
+#[derive(Debug, Clone)]
+pub struct MlpWeights {
+    /// Hidden-layer matrix (`hidden × in_dim`).
+    pub w1: Vec<Vec<f64>>,
+    /// Output-layer matrix (`out × hidden`).
+    pub w2: Vec<Vec<f64>>,
+}
+
+/// Deterministic weights for a configuration.
+pub fn weights(cfg: &MlpConfig) -> MlpWeights {
+    MlpWeights {
+        w1: xavier_weights(cfg.hidden, cfg.in_dim, cfg.seed.wrapping_add(10)),
+        w2: xavier_weights(cfg.out, cfg.hidden, cfg.seed.wrapping_add(20)),
+    }
+}
+
+/// Builds the benchmark: function plus input bindings.
+pub fn build(cfg: &MlpConfig) -> (Function, HashMap<String, Vec<f64>>) {
+    let vec = cfg.in_dim.next_power_of_two();
+    let w = weights(cfg);
+    let mut b = FunctionBuilder::new("mlp", vec);
+    let x = b.input_cipher("x");
+    let h = linear_layer(&mut b, x, &w.w1, None, vec);
+    let act = b.square(h);
+    let logits = linear_layer(&mut b, act, &w.w2, None, vec);
+    b.output_named("logits", logits);
+
+    let side = (cfg.in_dim as f64).sqrt().floor() as usize;
+    let mut image = synth_image(side.max(1), side.max(1), cfg.seed);
+    image.resize(cfg.in_dim, 0.3);
+    let mut inputs = HashMap::new();
+    inputs.insert("x".to_string(), image);
+    (b.finish(), inputs)
+}
+
+/// Plain-domain reference inference for a configuration and input.
+pub fn reference(cfg: &MlpConfig, x: &[f64]) -> Vec<f64> {
+    let w = weights(cfg);
+    let h: Vec<f64> = matvec(&w.w1, x).iter().map(|v| v * v).collect();
+    matvec(&w.w2, &h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hecate_ir::interp::interpret;
+
+    #[test]
+    fn circuit_matches_reference_inference() {
+        let cfg = MlpConfig::small(3);
+        let (f, ins) = build(&cfg);
+        let got = &interpret(&f, &ins).unwrap()["logits"];
+        let expect = reference(&cfg, &ins["x"]);
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-9, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn logits_are_order_one() {
+        // Xavier scaling keeps squared activations bounded, which keeps
+        // waterline requirements realistic.
+        let cfg = MlpConfig::small(4);
+        let (f, ins) = build(&cfg);
+        let got = &interpret(&f, &ins).unwrap()["logits"];
+        assert!(got.iter().take(cfg.out).all(|v| v.abs() < 10.0));
+    }
+
+    #[test]
+    fn paper_shape_builds() {
+        let cfg = MlpConfig::paper(1);
+        let (f, ins) = build(&cfg);
+        assert_eq!(f.vec_size, 1024);
+        assert_eq!(ins["x"].len(), 784);
+        assert!(f.len() > 500, "paper-shape MLP is a large circuit");
+    }
+}

@@ -1,0 +1,124 @@
+//! Deterministic synthetic workload generation.
+//!
+//! The paper evaluates on 64×64 images, 16384-point regression sets, and
+//! an MNIST digit. None of those inputs is essential to the compiler
+//! results (latency and error depend on the circuit, not the pixel
+//! values), so this module generates seeded synthetic equivalents: smooth
+//! pseudo-images with edges for the vision benchmarks, noisy linear and
+//! quadratic samples for the regression benchmarks, and Xavier-scaled
+//! random weights for the networks.
+
+use hecate_math::rng::Xoshiro256;
+
+/// A synthetic grayscale image in `[0, 1]`, row-major, with smooth
+/// gradients plus a bright rectangle so edge detectors have edges to find.
+pub fn synth_image(h: usize, w: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let (r0, c0) = (h / 4, w / 4);
+    let (r1, c1) = (3 * h / 4, 3 * w / 4);
+    let mut img = Vec::with_capacity(h * w);
+    for r in 0..h {
+        for c in 0..w {
+            let base = 0.2 + 0.3 * (r as f64 / h as f64) + 0.1 * (c as f64 / w as f64);
+            let blob = if (r0..r1).contains(&r) && (c0..c1).contains(&c) {
+                0.35
+            } else {
+                0.0
+            };
+            let noise = 0.02 * (rng.next_f64() - 0.5);
+            img.push((base + blob + noise).clamp(0.0, 1.0));
+        }
+    }
+    img
+}
+
+/// Uniform samples in `[-1, 1]`.
+pub fn uniform_samples(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..n).map(|_| rng.next_range_f64(-1.0, 1.0)).collect()
+}
+
+/// Targets `y = a·x + b` plus Gaussian noise.
+pub fn linear_targets(x: &[f64], a: f64, b: f64, noise: f64, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    x.iter().map(|&v| a * v + b + noise * rng.next_gaussian()).collect()
+}
+
+/// Targets `y = a·x² + b·x + c` plus Gaussian noise.
+pub fn quadratic_targets(x: &[f64], a: f64, b: f64, c: f64, noise: f64, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    x.iter()
+        .map(|&v| a * v * v + b * v + c + noise * rng.next_gaussian())
+        .collect()
+}
+
+/// A dense weight matrix (`out × in`) with Xavier-style scaling, so layer
+/// outputs stay O(1) and squared activations do not blow up scales.
+pub fn xavier_weights(out_dim: usize, in_dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let limit = (1.5 / in_dim as f64).sqrt();
+    (0..out_dim)
+        .map(|_| (0..in_dim).map(|_| rng.next_range_f64(-limit, limit)).collect())
+        .collect()
+}
+
+/// A convolution kernel bank `kernels[out_ch][in_ch][k·k]` with the same
+/// scaling rule.
+pub fn conv_weights(out_ch: usize, in_ch: usize, k: usize, seed: u64) -> Vec<Vec<Vec<f64>>> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let limit = (1.5 / (in_ch * k * k) as f64).sqrt();
+    (0..out_ch)
+        .map(|_| {
+            (0..in_ch)
+                .map(|_| (0..k * k).map(|_| rng.next_range_f64(-limit, limit)).collect())
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_in_unit_range_with_edges() {
+        let img = synth_image(16, 16, 1);
+        assert_eq!(img.len(), 256);
+        assert!(img.iter().all(|v| (0.0..=1.0).contains(v)));
+        // The rectangle makes a visible step.
+        let inside = img[8 * 16 + 8];
+        let outside = img[16 + 1];
+        assert!(inside - outside > 0.2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(synth_image(8, 8, 5), synth_image(8, 8, 5));
+        assert_ne!(synth_image(8, 8, 5), synth_image(8, 8, 6));
+        assert_eq!(uniform_samples(10, 3), uniform_samples(10, 3));
+    }
+
+    #[test]
+    fn regression_targets_follow_model() {
+        let x = uniform_samples(1000, 7);
+        let y = linear_targets(&x, 0.7, 0.2, 0.0, 8);
+        for (xi, yi) in x.iter().zip(&y) {
+            assert!((yi - (0.7 * xi + 0.2)).abs() < 1e-12);
+        }
+        let q = quadratic_targets(&x, 0.5, -0.3, 0.1, 0.0, 9);
+        for (xi, qi) in x.iter().zip(&q) {
+            assert!((qi - (0.5 * xi * xi - 0.3 * xi + 0.1)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_scaled_to_fan_in() {
+        let w = xavier_weights(10, 100, 11);
+        assert_eq!(w.len(), 10);
+        assert_eq!(w[0].len(), 100);
+        let limit = (1.5f64 / 100.0).sqrt();
+        assert!(w.iter().flatten().all(|v| v.abs() <= limit));
+        let k = conv_weights(4, 2, 3, 12);
+        assert_eq!((k.len(), k[0].len(), k[0][0].len()), (4, 2, 9));
+    }
+}

@@ -1,0 +1,473 @@
+//! Encrypted execution of compiled programs on the RNS-CKKS backend.
+//!
+//! The executor lowers a [`CompiledProgram`] onto [`hecate_ckks`]: it
+//! builds the selected parameter set, generates exactly the evaluation
+//! keys the program needs, encrypts the inputs, interprets the IR with
+//! per-operation wall-clock timing, and decrypts the outputs.
+//!
+//! Two conventions matter:
+//!
+//! - **Nominal scales.** Compiler scales are nominal log2 bits. After each
+//!   `rescale`, the actual scale differs from nominal by
+//!   `S_f − log2(q_dropped)` (a ~2⁻²⁰ relative offset); the executor
+//!   re-declares the nominal scale, exactly as EVA does on SEAL, and the
+//!   offset is absorbed into the measured error.
+//! - **Replication.** A program with logical vector width `w` runs on a
+//!   ring with `N/2 ≥ w` slots by replicating every input and constant
+//!   `N/2 / w` times. Cyclic rotation of a periodic vector rotates every
+//!   window, so IR rotation semantics are preserved for any power-of-two
+//!   `w` dividing the slot count.
+
+use crate::liveness::last_uses;
+use hecate_ckks::encoder::EncodeError;
+use hecate_ckks::eval::EvalError;
+use hecate_ckks::params::ParamsError;
+use hecate_ckks::{
+    Ciphertext, CkksEncoder, CkksParams, Decryptor, Encryptor, EvalKeys, Evaluator, KeyGenerator,
+    Plaintext,
+};
+use hecate_compiler::CompiledProgram;
+use hecate_ir::{Op, ValueId};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Backend execution options.
+#[derive(Debug, Clone)]
+pub struct BackendOptions {
+    /// Run at this ring degree instead of the compiled (security-selected)
+    /// one — the reduced-scale mode used by default in the benchmark
+    /// harness.
+    pub degree_override: Option<usize>,
+    /// Seed for key generation and encryption randomness.
+    pub seed: u64,
+}
+
+impl Default for BackendOptions {
+    fn default() -> Self {
+        BackendOptions {
+            degree_override: None,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Errors from encrypted execution.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Parameter construction failed.
+    Params(ParamsError),
+    /// Encoding failed.
+    Encode(EncodeError),
+    /// A homomorphic operation failed (indicates a compiler bug).
+    Eval {
+        /// The operation index.
+        at: usize,
+        /// The underlying evaluator error.
+        source: EvalError,
+    },
+    /// The program's vector width does not fit or divide the slot count.
+    BadVectorWidth {
+        /// Logical width.
+        vec_size: usize,
+        /// Available slots.
+        slots: usize,
+    },
+    /// An input binding is missing.
+    MissingInput {
+        /// The unbound name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Params(e) => write!(f, "parameter error: {e}"),
+            ExecError::Encode(e) => write!(f, "encode error: {e}"),
+            ExecError::Eval { at, source } => write!(f, "evaluation error at op {at}: {source}"),
+            ExecError::BadVectorWidth { vec_size, slots } => {
+                write!(f, "vector width {vec_size} incompatible with {slots} slots")
+            }
+            ExecError::MissingInput { name } => write!(f, "no binding for input '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<ParamsError> for ExecError {
+    fn from(e: ParamsError) -> Self {
+        ExecError::Params(e)
+    }
+}
+
+impl From<EncodeError> for ExecError {
+    fn from(e: EncodeError) -> Self {
+        ExecError::Encode(e)
+    }
+}
+
+/// The result of one encrypted run.
+#[derive(Debug)]
+pub struct EncryptedRun {
+    /// Decrypted, decoded outputs (first `vec_size` slots).
+    pub outputs: HashMap<String, Vec<f64>>,
+    /// Total homomorphic execution time, microseconds (setup, encryption,
+    /// and decryption excluded — matching the paper's latency metric).
+    pub total_us: f64,
+    /// Per-operation time, microseconds (zero for non-runtime ops).
+    pub op_us: Vec<f64>,
+    /// Peak number of simultaneously live ciphertexts.
+    pub peak_live: usize,
+    /// Peak ciphertext working set in bytes (liveness-planned; the paper's
+    /// SEAL dialect optimizes memory the same way).
+    pub peak_bytes: usize,
+    /// Ring degree used.
+    pub degree: usize,
+    /// Chain length used.
+    pub chain_len: usize,
+}
+
+enum Val {
+    Free(Vec<f64>),
+    Plain(Plaintext),
+    Cipher(Ciphertext),
+}
+
+/// Builds the [`CkksParams`] a compiled program calls for.
+///
+/// # Errors
+/// Propagates parameter-construction failures.
+pub fn build_params(
+    prog: &CompiledProgram,
+    opts: &BackendOptions,
+) -> Result<CkksParams, ExecError> {
+    let degree = opts.degree_override.unwrap_or(prog.params.degree);
+    Ok(CkksParams::new(
+        degree,
+        prog.params.q0_bits.clamp(24, 60),
+        prog.params.sf_bits,
+        prog.params.chain_len - 1,
+        false,
+    )?)
+}
+
+/// Collects the evaluation keys a program needs: relinearization prefixes
+/// and `(rotation step, prefix)` pairs.
+pub fn key_requirements(
+    prog: &CompiledProgram,
+    slots: usize,
+    chain_len: usize,
+) -> (Vec<usize>, Vec<(usize, usize)>) {
+    let mut relin = Vec::new();
+    let mut rot = Vec::new();
+    for (i, op) in prog.func.ops().iter().enumerate() {
+        let level = |v: &ValueId| prog.types[v.index()].level().unwrap_or(0);
+        match op {
+            Op::Mul(a, b) => {
+                let both_cipher = prog.types[a.index()].is_cipher() && prog.types[b.index()].is_cipher();
+                if both_cipher {
+                    relin.push(chain_len - level(a));
+                }
+            }
+            Op::Rotate { value, step } => {
+                let s = step % slots;
+                if s != 0 {
+                    rot.push((s, chain_len - level(value)));
+                }
+            }
+            _ => {}
+        }
+        let _ = i;
+    }
+    relin.sort_unstable();
+    relin.dedup();
+    rot.sort_unstable();
+    rot.dedup();
+    (relin, rot)
+}
+
+fn replicate(data: &[f64], vec_size: usize, slots: usize) -> Vec<f64> {
+    let mut window = data.to_vec();
+    window.resize(vec_size, 0.0);
+    let mut out = Vec::with_capacity(slots);
+    while out.len() < slots {
+        out.extend_from_slice(&window);
+    }
+    out.truncate(slots);
+    out
+}
+
+/// Executes a compiled program under encryption.
+///
+/// # Errors
+/// Returns [`ExecError`] on parameter, key, input, or evaluator failures.
+pub fn execute_encrypted(
+    prog: &CompiledProgram,
+    inputs: &HashMap<String, Vec<f64>>,
+    opts: &BackendOptions,
+) -> Result<EncryptedRun, ExecError> {
+    let params = build_params(prog, opts)?;
+    let slots = params.slots();
+    let vec_size = prog.func.vec_size;
+    if vec_size > slots || !vec_size.is_power_of_two() {
+        return Err(ExecError::BadVectorWidth { vec_size, slots });
+    }
+    let chain_len = params.basis().chain_len();
+    let encoder = CkksEncoder::new(&params);
+    let mut kg = KeyGenerator::new(&params, opts.seed);
+    let pk = kg.public_key();
+    let (relin, rot) = key_requirements(prog, slots, chain_len);
+    let keys = EvalKeys::generate(&mut kg, &relin, &rot);
+    let mut encryptor = Encryptor::new(&params, pk, opts.seed.wrapping_add(1));
+    let decryptor = Decryptor::new(&params, kg.secret_key().clone());
+    let eval = Evaluator::new(&params, keys);
+
+    let sf = prog.cfg.rescale_bits;
+    let last = last_uses(&prog.func);
+    let mut vals: HashMap<usize, Val> = HashMap::new();
+    let mut op_us = vec![0.0f64; prog.func.len()];
+    let mut total_us = 0.0;
+    let mut live_cipher = 0usize;
+    let mut peak_live = 0usize;
+    let mut peak_bytes = 0usize;
+
+    let basis = params.basis();
+    let encode_replicated = |data: &[f64], scale: f64, level: usize| -> Result<Plaintext, ExecError> {
+        let rep = replicate(data, vec_size, slots);
+        let mut pt = encoder.encode(&rep, scale, level)?;
+        // Plaintexts are prepared ahead of execution in NTT form, as SEAL
+        // does, so ct⊙pt operations cost a pointwise pass only.
+        pt.poly.to_ntt(basis);
+        Ok(pt)
+    };
+
+    for (i, op) in prog.func.ops().iter().enumerate() {
+        let ty = prog.types[i];
+        let eval_err = |source: EvalError| ExecError::Eval { at: i, source };
+        let value: Val = match op {
+            Op::Input { name } => {
+                let data = inputs
+                    .get(name)
+                    .ok_or_else(|| ExecError::MissingInput { name: name.clone() })?;
+                let pt = encode_replicated(data, ty.scale().expect("cipher input"), 0)?;
+                Val::Cipher(encryptor.encrypt(&pt))
+            }
+            Op::Const { data } => {
+                Val::Free((0..vec_size).map(|k| data.at(k)).collect())
+            }
+            Op::Encode { value, scale_bits, level } => {
+                let Val::Free(data) = &vals[&value.index()] else {
+                    unreachable!("encode takes a free operand");
+                };
+                Val::Plain(encode_replicated(data, *scale_bits, *level)?)
+            }
+            Op::ModSwitch(v) | Op::Upscale { value: v, .. }
+                if prog.types[v.index()].is_plain() =>
+            {
+                // Plaintext scale management is symbolic: re-encode the
+                // underlying data at the new (scale, level).
+                let data = plain_source_data(prog, *v, &vals);
+                Val::Plain(encode_replicated(
+                    &data,
+                    ty.scale().expect("plain"),
+                    ty.level().expect("plain"),
+                )?)
+            }
+            Op::Add(a, b) | Op::Sub(a, b) => {
+                let t0 = Instant::now();
+                let out = match (&vals[&a.index()], &vals[&b.index()]) {
+                    (Val::Cipher(ca), Val::Cipher(cb)) => {
+                        if matches!(op, Op::Add(..)) {
+                            eval.add(ca, cb).map_err(eval_err)?
+                        } else {
+                            eval.sub(ca, cb).map_err(eval_err)?
+                        }
+                    }
+                    (Val::Cipher(ca), Val::Plain(pb)) => {
+                        if matches!(op, Op::Add(..)) {
+                            eval.add_plain(ca, pb).map_err(eval_err)?
+                        } else {
+                            let mut neg = ca.clone();
+                            neg = eval.negate(&neg);
+                            let s = eval.add_plain(&neg, pb).map_err(eval_err)?;
+                            eval.negate(&s)
+                        }
+                    }
+                    (Val::Plain(pa), Val::Cipher(cb)) => {
+                        if matches!(op, Op::Add(..)) {
+                            eval.add_plain(cb, pa).map_err(eval_err)?
+                        } else {
+                            // pa − cb = −(cb − pa)
+                            let s = eval.negate(cb);
+                            eval.add_plain(&s, pa).map_err(eval_err)?
+                        }
+                    }
+                    _ => unreachable!("binary op on free operands"),
+                };
+                op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
+                total_us += op_us[i];
+                Val::Cipher(out)
+            }
+            Op::Mul(a, b) => {
+                let t0 = Instant::now();
+                let out = match (&vals[&a.index()], &vals[&b.index()]) {
+                    (Val::Cipher(ca), Val::Cipher(cb)) => eval.mul(ca, cb).map_err(eval_err)?,
+                    (Val::Cipher(ca), Val::Plain(pb)) => eval.mul_plain(ca, pb).map_err(eval_err)?,
+                    (Val::Plain(pa), Val::Cipher(cb)) => eval.mul_plain(cb, pa).map_err(eval_err)?,
+                    _ => unreachable!("binary op on free operands"),
+                };
+                op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
+                total_us += op_us[i];
+                Val::Cipher(out)
+            }
+            Op::Negate(v) => {
+                let Val::Cipher(c) = &vals[&v.index()] else {
+                    unreachable!("negate on cipher")
+                };
+                let t0 = Instant::now();
+                let out = eval.negate(c);
+                op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
+                total_us += op_us[i];
+                Val::Cipher(out)
+            }
+            Op::Rotate { value, step } => {
+                let Val::Cipher(c) = &vals[&value.index()] else {
+                    unreachable!("rotate on cipher")
+                };
+                let t0 = Instant::now();
+                let out = eval.rotate(c, step % slots).map_err(eval_err)?;
+                op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
+                total_us += op_us[i];
+                Val::Cipher(out)
+            }
+            Op::Rescale(v) => {
+                let Val::Cipher(c) = &vals[&v.index()] else {
+                    unreachable!("rescale on cipher")
+                };
+                let t0 = Instant::now();
+                let mut out = eval.rescale(c).map_err(eval_err)?;
+                op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
+                total_us += op_us[i];
+                // Nominal scale declaration (see module docs).
+                out.scale_bits = c.scale_bits - sf;
+                Val::Cipher(out)
+            }
+            Op::ModSwitch(v) => {
+                let Val::Cipher(c) = &vals[&v.index()] else {
+                    unreachable!("cipher modswitch")
+                };
+                let t0 = Instant::now();
+                let out = eval.mod_switch(c).map_err(eval_err)?;
+                op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
+                total_us += op_us[i];
+                Val::Cipher(out)
+            }
+            Op::Upscale { value, target_bits } => {
+                let Val::Cipher(c) = &vals[&value.index()] else {
+                    unreachable!("cipher upscale")
+                };
+                let delta = target_bits - c.scale_bits;
+                let ones = encode_replicated(&vec![1.0; vec_size], delta, c.level)?;
+                let t0 = Instant::now();
+                let mut out = eval.mul_plain(c, &ones).map_err(eval_err)?;
+                op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
+                total_us += op_us[i];
+                out.scale_bits = *target_bits;
+                Val::Cipher(out)
+            }
+            Op::Downscale(v) => {
+                let Val::Cipher(c) = &vals[&v.index()] else {
+                    unreachable!("cipher downscale")
+                };
+                // Multiply by 1 at scale S_f + S_w − j, then rescale: the
+                // scale lands exactly on the waterline (nominally).
+                let target = prog.cfg.waterline;
+                let delta = sf + target - c.scale_bits;
+                let ones = encode_replicated(&vec![1.0; vec_size], delta, c.level)?;
+                let t0 = Instant::now();
+                let up = eval.mul_plain(c, &ones).map_err(eval_err)?;
+                let mut out = eval.rescale(&up).map_err(eval_err)?;
+                op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
+                total_us += op_us[i];
+                out.scale_bits = target;
+                Val::Cipher(out)
+            }
+        };
+        if matches!(value, Val::Cipher(_)) {
+            live_cipher += 1;
+            peak_live = peak_live.max(live_cipher);
+            peak_bytes = peak_bytes.max(live_bytes(&vals, &value, params.degree()));
+        }
+        vals.insert(i, value);
+        // Liveness-driven release: drop operands whose last use was here.
+        for v in op.operands() {
+            if last[v.index()] == i {
+                if let Some(Val::Cipher(_)) = vals.get(&v.index()) {
+                    live_cipher -= 1;
+                }
+                vals.remove(&v.index());
+            }
+        }
+    }
+
+    let mut outputs = HashMap::new();
+    for (name, v) in prog.func.outputs() {
+        let out = match &vals[&v.index()] {
+            Val::Cipher(c) => {
+                let mut decoded = encoder.decode(&decryptor.decrypt(c));
+                decoded.truncate(vec_size);
+                decoded
+            }
+            Val::Plain(p) => {
+                let mut decoded = encoder.decode(p);
+                decoded.truncate(vec_size);
+                decoded
+            }
+            Val::Free(d) => d.clone(),
+        };
+        outputs.insert(name.clone(), out);
+    }
+
+    Ok(EncryptedRun {
+        outputs,
+        total_us,
+        op_us,
+        peak_live,
+        peak_bytes,
+        degree: params.degree(),
+        chain_len,
+    })
+}
+
+/// Bytes held by the currently live ciphertexts plus the value being
+/// defined (two polynomials of `prefix` residue rows each).
+fn live_bytes(vals: &HashMap<usize, Val>, pending: &Val, degree: usize) -> usize {
+    let ct_bytes = |c: &Ciphertext| 2 * c.prefix() * degree * std::mem::size_of::<u64>();
+    let mut total = match pending {
+        Val::Cipher(c) => ct_bytes(c),
+        _ => 0,
+    };
+    for v in vals.values() {
+        if let Val::Cipher(c) = v {
+            total += ct_bytes(c);
+        }
+    }
+    total
+}
+
+/// Recovers the broadcastable data behind a plain value (a chain of
+/// encode/modswitch/upscale over a constant).
+fn plain_source_data(prog: &CompiledProgram, v: ValueId, _vals: &HashMap<usize, Val>) -> Vec<f64> {
+    let mut cur = v;
+    loop {
+        match prog.func.op(cur) {
+            Op::Encode { value, .. } => cur = *value,
+            Op::ModSwitch(x) | Op::Upscale { value: x, .. } => cur = *x,
+            Op::Const { data } => {
+                return (0..prog.func.vec_size).map(|k| data.at(k)).collect();
+            }
+            other => unreachable!("plain chain hit {}", other.mnemonic()),
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Execution backends for compiled HECATE programs.
+//!
+//! Three ways to run a [`hecate_compiler::CompiledProgram`]:
+//!
+//! - the **plaintext reference** — [`hecate_ir::interp`], the homomorphism
+//!   ground truth;
+//! - the **noise simulator** ([`noise`]) — plaintext semantics plus a
+//!   first-order CKKS noise model, for fast RMS-error estimates during
+//!   waterline sweeps;
+//! - the **encrypted executor** ([`exec`]) — real RNS-CKKS execution on
+//!   [`hecate_ckks`] with per-operation wall-clock timing, used for the
+//!   paper's latency and error measurements.
+//!
+//! [`profile`] builds the measured cost table for the compiler's
+//! performance estimator, and [`liveness`] provides the memory planning the
+//! paper's SEAL dialect performs.
+//!
+//! # Example
+//!
+//! Compile and run the motivating example end to end:
+//!
+//! ```
+//! use hecate_backend::exec::{execute_encrypted, BackendOptions};
+//! use hecate_compiler::{compile, CompileOptions, Scheme};
+//! use hecate_ir::FunctionBuilder;
+//! use std::collections::HashMap;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = FunctionBuilder::new("square", 8);
+//! let x = b.input_cipher("x");
+//! let sq = b.square(x);
+//! b.output(sq);
+//! let func = b.finish();
+//!
+//! let mut opts = CompileOptions::with_waterline(25.0);
+//! opts.degree = Some(128); // toy ring for the doctest
+//! let prog = compile(&func, Scheme::Hecate, &opts)?;
+//!
+//! let mut inputs = HashMap::new();
+//! inputs.insert("x".to_string(), vec![1.5, -2.0]);
+//! let run = execute_encrypted(&prog, &inputs, &BackendOptions::default())?;
+//! assert!((run.outputs["out0"][0] - 2.25).abs() < 1e-2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod liveness;
+pub mod noise;
+pub mod profile;
+
+pub use exec::{execute_encrypted, BackendOptions, EncryptedRun, ExecError};
+pub use noise::{max_rms_error, simulate, SimulatedRun};
+pub use profile::profile_cost_table;
+
+/// Root-mean-square error between two equally long slot vectors.
+pub fn rms_error(a: &[f64], b: &[f64]) -> f64 {
+    hecate_ir::interp::rms_error(a, b)
+}

@@ -1,0 +1,96 @@
+//! Liveness analysis for memory planning.
+//!
+//! The paper's SEAL dialect "optimizes memory usage by analyzing the
+//! liveness" — ciphertexts are multi-megabyte objects, so freeing each one
+//! after its last use keeps the working set near the program's true width
+//! rather than its length. The executor consults [`last_uses`] to drop
+//! values eagerly; [`peak_live`] gives the static high-water mark.
+
+use hecate_ir::Function;
+
+/// For each value, the index of the last operation that uses it
+/// (`usize::MAX` for outputs, which must survive to the end; the value's
+/// own index if it is never used).
+pub fn last_uses(func: &Function) -> Vec<usize> {
+    let mut last: Vec<usize> = (0..func.len()).collect();
+    for (i, op) in func.ops().iter().enumerate() {
+        for v in op.operands() {
+            last[v.index()] = i;
+        }
+    }
+    for (_, v) in func.outputs() {
+        last[v.index()] = usize::MAX;
+    }
+    last
+}
+
+/// The maximum number of simultaneously live values when each is freed
+/// right after its last use.
+pub fn peak_live(func: &Function) -> usize {
+    let last = last_uses(func);
+    let mut live = 0usize;
+    let mut peak = 0;
+    let mut dying_at: Vec<usize> = vec![0; func.len() + 1];
+    for (v, &l) in last.iter().enumerate() {
+        if l != usize::MAX && l < func.len() {
+            dying_at[l] += 1;
+        }
+        let _ = v;
+    }
+    let outputs = func.outputs().len();
+    for i in 0..func.len() {
+        live += 1; // value i is born
+        peak = peak.max(live);
+        live -= dying_at[i];
+    }
+    peak.max(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hecate_ir::FunctionBuilder;
+
+    #[test]
+    fn last_use_positions() {
+        let mut b = FunctionBuilder::new("l", 4);
+        let x = b.input_cipher("x");
+        let y = b.input_cipher("y");
+        let m = b.mul(x, y); // last use of x and y
+        let s = b.add(m, m); // last use of m
+        b.output(s);
+        let f = b.finish();
+        let last = last_uses(&f);
+        assert_eq!(last[x.index()], m.index());
+        assert_eq!(last[y.index()], m.index());
+        assert_eq!(last[m.index()], s.index());
+        assert_eq!(last[s.index()], usize::MAX);
+    }
+
+    #[test]
+    fn peak_live_chain_is_constant() {
+        // A long dependency chain should keep the peak small.
+        let mut b = FunctionBuilder::new("chain", 4);
+        let mut v = b.input_cipher("x");
+        for _ in 0..50 {
+            v = b.add(v, v);
+        }
+        b.output(v);
+        let f = b.finish();
+        assert!(peak_live(&f) <= 3, "got {}", peak_live(&f));
+    }
+
+    #[test]
+    fn peak_live_wide_program_counts_width() {
+        let mut b = FunctionBuilder::new("wide", 4);
+        let inputs: Vec<_> = (0..10).map(|i| b.input_cipher(format!("x{i}"))).collect();
+        let mut acc = inputs[0];
+        for &v in &inputs[1..] {
+            acc = b.add(acc, v);
+        }
+        b.output(acc);
+        let f = b.finish();
+        let p = peak_live(&f);
+        assert!(p >= 10, "all inputs live at once: {p}");
+    }
+}

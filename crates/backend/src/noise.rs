@@ -1,0 +1,184 @@
+//! Noise-simulating execution: fast RMS-error estimation without
+//! encryption.
+//!
+//! For large benchmarks (LeNet runs thousands of operations), measuring the
+//! error of every (waterline × scheme) configuration under real encryption
+//! is expensive. This executor tracks each value's plaintext slots plus a
+//! first-order variance of its decoded-domain noise, using the standard
+//! CKKS noise heuristics:
+//!
+//! - encoding rounds coefficients to integers: variance `N/12` in the
+//!   coefficient domain, `/scale²` decoded;
+//! - fresh encryption adds `≈ 2N·σ²` of RLWE noise (σ² = 10.5, CBD(21));
+//! - `ct×ct` contributes `m₁²σ₂² + m₂²σ₁²` plus key-switch noise;
+//! - `rescale` preserves decoded noise and adds a rounding term at the new
+//!   scale; `modswitch` is exact in RNS.
+//!
+//! The estimate is validated against real encrypted runs in the integration
+//! tests (same order of magnitude), which is all the waterline sweep's
+//! error filter needs.
+
+use hecate_compiler::CompiledProgram;
+use hecate_ir::{Op, ValueId};
+use std::collections::HashMap;
+
+/// RLWE noise variance of CBD(21).
+const SIGMA2: f64 = 10.5;
+
+/// Result of a simulated run.
+#[derive(Debug)]
+pub struct SimulatedRun {
+    /// Noiseless outputs (reference semantics).
+    pub outputs: HashMap<String, Vec<f64>>,
+    /// Estimated RMS error per output.
+    pub rms_error: HashMap<String, f64>,
+}
+
+#[derive(Clone)]
+struct SimVal {
+    values: Vec<f64>,
+    /// Decoded-domain noise variance per slot.
+    var: f64,
+}
+
+fn mean_sq(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64
+}
+
+/// Simulates a compiled program at ring degree `degree`, returning outputs
+/// and estimated RMS errors.
+///
+/// # Panics
+/// Panics if an input binding is missing (callers validate inputs first).
+pub fn simulate(
+    prog: &CompiledProgram,
+    inputs: &HashMap<String, Vec<f64>>,
+    degree: usize,
+) -> SimulatedRun {
+    let n = degree as f64;
+    let w = prog.func.vec_size;
+    let encode_var = |scale_bits: f64| (n / 12.0) / (2.0f64).powf(2.0 * scale_bits);
+    let fresh_var = |scale_bits: f64| {
+        (2.0 * n * SIGMA2) / (2.0f64).powf(2.0 * scale_bits) + encode_var(scale_bits)
+    };
+    // Key-switch noise (relin / rotate), decoded at the operand scale:
+    // digits of magnitude q/2 times RLWE noise, divided by the special
+    // prime — roughly N·σ² in the coefficient domain.
+    let ks_var = |scale_bits: f64| (n * n * SIGMA2 / 6.0) / (2.0f64).powf(2.0 * scale_bits);
+
+    let mut vals: HashMap<usize, SimVal> = HashMap::new();
+    let scale_of = |v: &ValueId| prog.types[v.index()].scale().unwrap_or(0.0);
+
+    for (i, op) in prog.func.ops().iter().enumerate() {
+        let ty = prog.types[i];
+        let get = |v: &ValueId| vals.get(&v.index()).expect("operand simulated").clone();
+        let sv = match op {
+            Op::Input { name } => {
+                let mut data = inputs
+                    .get(name)
+                    .unwrap_or_else(|| panic!("no binding for input '{name}'"))
+                    .clone();
+                data.resize(w, 0.0);
+                SimVal {
+                    values: data,
+                    var: fresh_var(ty.scale().expect("cipher input")),
+                }
+            }
+            Op::Const { data } => SimVal {
+                values: (0..w).map(|k| data.at(k)).collect(),
+                var: 0.0,
+            },
+            Op::Encode { value, scale_bits, .. } => {
+                let src = get(value);
+                SimVal {
+                    values: src.values,
+                    var: encode_var(*scale_bits),
+                }
+            }
+            Op::Add(a, b) | Op::Sub(a, b) => {
+                let (sa, sb) = (get(a), get(b));
+                let vals_out: Vec<f64> = sa
+                    .values
+                    .iter()
+                    .zip(&sb.values)
+                    .map(|(x, y)| if matches!(op, Op::Add(..)) { x + y } else { x - y })
+                    .collect();
+                SimVal {
+                    values: vals_out,
+                    var: sa.var + sb.var,
+                }
+            }
+            Op::Mul(a, b) => {
+                let (sa, sb) = (get(a), get(b));
+                let vals_out: Vec<f64> =
+                    sa.values.iter().zip(&sb.values).map(|(x, y)| x * y).collect();
+                let both_cipher =
+                    prog.types[a.index()].is_cipher() && prog.types[b.index()].is_cipher();
+                let mut var = mean_sq(&sa.values) * sb.var + mean_sq(&sb.values) * sa.var;
+                if both_cipher {
+                    var += ks_var(ty.scale().expect("cipher result"));
+                }
+                SimVal {
+                    values: vals_out,
+                    var,
+                }
+            }
+            Op::Negate(v) => {
+                let s = get(v);
+                SimVal {
+                    values: s.values.iter().map(|x| -x).collect(),
+                    var: s.var,
+                }
+            }
+            Op::Rotate { value, step } => {
+                let s = get(value);
+                let rotated: Vec<f64> = (0..w).map(|k| s.values[(k + step) % w]).collect();
+                SimVal {
+                    values: rotated,
+                    var: s.var + ks_var(scale_of(value)),
+                }
+            }
+            Op::Rescale(v) => {
+                let s = get(v);
+                SimVal {
+                    values: s.values,
+                    var: s.var + encode_var(ty.scale().expect("cipher")) * n / 3.0,
+                }
+            }
+            Op::ModSwitch(v) => get(v),
+            Op::Upscale { value, .. } => {
+                // Multiplying by an exact power-of-two constant adds no
+                // noise beyond the (integer-scale) encoding, which is exact.
+                get(value)
+            }
+            Op::Downscale(v) => {
+                let s = get(v);
+                SimVal {
+                    values: s.values,
+                    var: s.var + encode_var(ty.scale().expect("cipher")) * n / 3.0,
+                }
+            }
+        };
+        vals.insert(i, sv);
+    }
+
+    let mut outputs = HashMap::new();
+    let mut rms = HashMap::new();
+    for (name, v) in prog.func.outputs() {
+        let s = &vals[&v.index()];
+        outputs.insert(name.clone(), s.values.clone());
+        rms.insert(name.clone(), s.var.sqrt());
+    }
+    SimulatedRun {
+        outputs,
+        rms_error: rms,
+    }
+}
+
+/// The largest estimated RMS error across all outputs.
+pub fn max_rms_error(run: &SimulatedRun) -> f64 {
+    run.rms_error.values().fold(0.0, |m, v| m.max(*v))
+}

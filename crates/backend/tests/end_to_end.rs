@@ -1,0 +1,175 @@
+//! End-to-end tests: compile → execute encrypted → compare against the
+//! plaintext reference, across schemes and waterlines.
+
+use hecate_backend::exec::{execute_encrypted, BackendOptions};
+use hecate_backend::{max_rms_error, rms_error, simulate};
+use hecate_compiler::{compile, CompileOptions, Scheme};
+use hecate_ir::interp::interpret;
+use hecate_ir::{Function, FunctionBuilder};
+use std::collections::HashMap;
+
+fn motivating(vec: usize) -> Function {
+    let mut b = FunctionBuilder::new("motivating", vec);
+    let x = b.input_cipher("x");
+    let y = b.input_cipher("y");
+    let x2 = b.square(x);
+    let y2 = b.square(y);
+    let z = b.add(x2, y2);
+    let z2 = b.mul(z, z);
+    let z3 = b.mul(z2, z);
+    b.output(z3);
+    b.finish()
+}
+
+fn inputs(vec: usize) -> HashMap<String, Vec<f64>> {
+    let mut m = HashMap::new();
+    m.insert(
+        "x".to_string(),
+        (0..vec).map(|i| 0.1 + (i % 5) as f64 * 0.2).collect(),
+    );
+    m.insert(
+        "y".to_string(),
+        (0..vec).map(|i| 0.8 - (i % 3) as f64 * 0.3).collect(),
+    );
+    m
+}
+
+fn opts(w: f64, degree: usize) -> CompileOptions {
+    let mut o = CompileOptions::with_waterline(w);
+    o.degree = Some(degree);
+    o
+}
+
+#[test]
+fn all_schemes_compute_the_same_function() {
+    let vec = 16;
+    let func = motivating(vec);
+    let ins = inputs(vec);
+    let reference = interpret(&func, &ins).unwrap();
+    for scheme in Scheme::ALL {
+        let prog = compile(&func, scheme, &opts(26.0, 256)).unwrap();
+        let run = execute_encrypted(&prog, &ins, &BackendOptions::default()).unwrap();
+        let err = rms_error(&run.outputs["out0"], &reference["out0"]);
+        assert!(
+            err < 2f64.powi(-8),
+            "{scheme}: RMS error {err} exceeds 2^-8"
+        );
+        assert!(run.total_us > 0.0);
+        assert_eq!(run.chain_len, prog.params.chain_len);
+    }
+}
+
+#[test]
+fn rotation_heavy_program_roundtrips() {
+    let vec = 16;
+    let mut b = FunctionBuilder::new("rot", vec);
+    let x = b.input_cipher("x");
+    let s = b.rotate_sum(x, 8);
+    let c = b.splat(0.125);
+    let avg = b.mul(s, c);
+    b.output(avg);
+    let func = b.finish();
+    let mut ins = HashMap::new();
+    ins.insert("x".to_string(), (0..vec).map(|i| i as f64 * 0.1).collect());
+    let reference = interpret(&func, &ins).unwrap();
+    let prog = compile(&func, Scheme::Hecate, &opts(25.0, 256)).unwrap();
+    let run = execute_encrypted(&prog, &ins, &BackendOptions::default()).unwrap();
+    let err = rms_error(&run.outputs["out0"], &reference["out0"]);
+    assert!(err < 2f64.powi(-8), "RMS error {err}");
+}
+
+#[test]
+fn replication_preserves_rotation_semantics() {
+    // vec_size 8 on a 128-slot ring: windows must rotate independently.
+    let vec = 8;
+    let mut b = FunctionBuilder::new("rep", vec);
+    let x = b.input_cipher("x");
+    let r = b.rotate(x, 3);
+    b.output(r);
+    let func = b.finish();
+    let mut ins = HashMap::new();
+    ins.insert("x".to_string(), (0..vec).map(|i| i as f64).collect());
+    let reference = interpret(&func, &ins).unwrap();
+    let prog = compile(&func, Scheme::Eva, &opts(25.0, 256)).unwrap();
+    let run = execute_encrypted(&prog, &ins, &BackendOptions::default()).unwrap();
+    for k in 0..vec {
+        assert!(
+            (run.outputs["out0"][k] - reference["out0"][k]).abs() < 1e-2,
+            "slot {k}: {} vs {}",
+            run.outputs["out0"][k],
+            reference["out0"][k]
+        );
+    }
+}
+
+#[test]
+fn smaller_waterline_gives_larger_error() {
+    let vec = 8;
+    let func = motivating(vec);
+    let ins = inputs(vec);
+    let reference = interpret(&func, &ins).unwrap();
+    let mut errors = Vec::new();
+    for w in [18.0, 30.0] {
+        let prog = compile(&func, Scheme::Eva, &opts(w, 256)).unwrap();
+        let run = execute_encrypted(&prog, &ins, &BackendOptions::default()).unwrap();
+        errors.push(rms_error(&run.outputs["out0"], &reference["out0"]));
+    }
+    assert!(
+        errors[0] > errors[1],
+        "error at waterline 18 ({}) should exceed waterline 30 ({})",
+        errors[0],
+        errors[1]
+    );
+}
+
+#[test]
+fn noise_simulation_tracks_encrypted_error() {
+    let vec = 8;
+    let func = motivating(vec);
+    let ins = inputs(vec);
+    let reference = interpret(&func, &ins).unwrap();
+    let prog = compile(&func, Scheme::Hecate, &opts(24.0, 256)).unwrap();
+    let run = execute_encrypted(&prog, &ins, &BackendOptions::default()).unwrap();
+    let measured = rms_error(&run.outputs["out0"], &reference["out0"]);
+    let sim = simulate(&prog, &ins, 256);
+    let estimated = max_rms_error(&sim);
+    // The simulator's outputs are the exact reference.
+    assert_eq!(sim.outputs["out0"], reference["out0"]);
+    // Order-of-magnitude agreement is all the sweep filter needs.
+    assert!(
+        estimated > measured / 300.0 && estimated < measured * 300.0 + 1e-12,
+        "estimated {estimated} vs measured {measured}"
+    );
+}
+
+#[test]
+fn deep_chain_and_peak_live_reporting() {
+    let vec = 8;
+    let mut b = FunctionBuilder::new("deep", vec);
+    let x = b.input_cipher("x");
+    let mut cur = x;
+    for _ in 0..4 {
+        cur = b.square(cur);
+    }
+    b.output(cur);
+    let func = b.finish();
+    let mut ins = HashMap::new();
+    ins.insert("x".to_string(), vec![1.05; vec]);
+    let reference = interpret(&func, &ins).unwrap();
+    let prog = compile(&func, Scheme::Pars, &opts(24.0, 256)).unwrap();
+    let run = execute_encrypted(&prog, &ins, &BackendOptions::default()).unwrap();
+    let err = rms_error(&run.outputs["out0"], &reference["out0"]);
+    assert!(err < 2f64.powi(-6), "deep chain error {err}");
+    assert!(run.peak_live >= 1 && run.peak_live < 8);
+}
+
+#[test]
+fn missing_input_is_reported() {
+    let func = motivating(8);
+    let prog = compile(&func, Scheme::Eva, &opts(25.0, 256)).unwrap();
+    let err = execute_encrypted(&prog, &HashMap::new(), &BackendOptions::default());
+    assert!(matches!(
+        err,
+        Err(hecate_backend::ExecError::MissingInput { .. })
+    ));
+}

@@ -1,0 +1,31 @@
+//! Criterion benchmarks of compilation itself: how long EVA / PARS / SMSE
+//! / HECATE take per benchmark (the paper reports HECATE's worst case at
+//! 340 s on LeNet, against 649 h for the naïve exploration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hecate_apps::{all_benchmarks, Preset};
+use hecate_compiler::{compile, CompileOptions, Scheme};
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let benches = all_benchmarks(Preset::Small);
+    let mut opts = CompileOptions::with_waterline(24.0);
+    opts.degree = Some(512);
+
+    let mut group = c.benchmark_group("compile");
+    for bench in benches.iter().filter(|b| b.name == "SF" || b.name == "LR E2") {
+        for scheme in [Scheme::Eva, Scheme::Pars, Scheme::Hecate] {
+            group.bench_function(format!("{}/{scheme}", bench.name), |b| {
+                b.iter(|| black_box(compile(&bench.func, scheme, &opts).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compile
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmark of end-to-end encrypted execution of compiled
+//! programs: EVA vs HECATE on the Sobel filter (the Fig. 7 comparison as
+//! a repeatable microbenchmark; the `fig7` binary covers all benchmarks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hecate_apps::{benchmark, Preset};
+use hecate_backend::exec::{execute_encrypted, BackendOptions};
+use hecate_compiler::{compile, CompileOptions, Scheme};
+use std::hint::black_box;
+
+fn bench_encrypted(c: &mut Criterion) {
+    let bench = benchmark("SF", Preset::Small).unwrap();
+    let mut opts = CompileOptions::with_waterline(24.0);
+    opts.degree = Some(512);
+    let bopts = BackendOptions {
+        degree_override: Some(512),
+        seed: 5,
+    };
+
+    let mut group = c.benchmark_group("encrypted_sobel");
+    for scheme in [Scheme::Eva, Scheme::Hecate] {
+        let prog = compile(&bench.func, scheme, &opts).unwrap();
+        group.bench_function(scheme.to_string(), |b| {
+            b.iter(|| black_box(execute_encrypted(&prog, &bench.inputs, &bopts).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_encrypted
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion microbenchmarks of the arithmetic substrate: NTT transforms
+//! and the key-switch primitive, the two kernels that dominate every
+//! homomorphic operation's cost model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hecate_ckks::keys::key_switch;
+use hecate_ckks::{CkksParams, KeyGenerator};
+use hecate_math::ntt::NttTable;
+use hecate_math::poly::RnsPoly;
+use hecate_math::prime::generate_ntt_primes;
+use hecate_math::rng::Xoshiro256;
+use std::hint::black_box;
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt");
+    for n in [1024usize, 4096] {
+        let q = generate_ntt_primes(50, n, 1, &[])[0];
+        let table = NttTable::new(q, n);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let data: Vec<u64> = (0..n).map(|_| rng.next_below(q)).collect();
+        group.bench_function(format!("forward_n{n}"), |b| {
+            b.iter(|| {
+                let mut a = data.clone();
+                table.forward(&mut a);
+                black_box(a)
+            })
+        });
+        group.bench_function(format!("backward_n{n}"), |b| {
+            b.iter(|| {
+                let mut a = data.clone();
+                table.backward(&mut a);
+                black_box(a)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_keyswitch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keyswitch");
+    for chain_len in [2usize, 4, 6] {
+        let params = CkksParams::new(1024, 40, 40, chain_len - 1, false).unwrap();
+        let mut kg = KeyGenerator::new(&params, 3);
+        let rk = kg.relin_key(chain_len);
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let coeffs: Vec<i64> = (0..1024).map(|_| rng.next_below(1000) as i64).collect();
+        let d = RnsPoly::from_signed_coeffs(params.basis(), chain_len, &coeffs);
+        group.bench_function(format!("relin_c{chain_len}"), |b| {
+            b.iter(|| black_box(key_switch(&d, &rk, &params)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ntt, bench_keyswitch
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion microbenchmarks of the homomorphic operations at different
+//! rescaling levels — the latency structure behind §II-C.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hecate_ckks::{
+    CkksEncoder, CkksParams, Encryptor, EvalKeys, Evaluator, KeyGenerator,
+};
+use std::hint::black_box;
+
+struct Fixture {
+    eval: Evaluator,
+    cts: Vec<hecate_ckks::Ciphertext>,
+    pts: Vec<hecate_ckks::Plaintext>,
+}
+
+fn fixture(degree: usize, chain_len: usize) -> Fixture {
+    let params = CkksParams::new(degree, 40, 40, chain_len - 1, false).unwrap();
+    let encoder = CkksEncoder::new(&params);
+    let mut kg = KeyGenerator::new(&params, 1);
+    let pk = kg.public_key();
+    let relin: Vec<usize> = (1..=chain_len).collect();
+    let rots: Vec<(usize, usize)> = (1..=chain_len).map(|c| (1, c)).collect();
+    let keys = EvalKeys::generate(&mut kg, &relin, &rots);
+    let mut encryptor = Encryptor::new(&params, pk, 2);
+    let data: Vec<f64> = (0..params.slots()).map(|i| (i % 9) as f64 * 0.1).collect();
+    let mut cts = Vec::new();
+    let mut pts = Vec::new();
+    for level in 0..chain_len {
+        let pt = encoder.encode(&data, 30.0, level).unwrap();
+        cts.push(encryptor.encrypt(&pt));
+        pts.push(pt);
+    }
+    Fixture {
+        eval: Evaluator::new(&params, keys),
+        cts,
+        pts,
+    }
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let degree = 1024;
+    let chain_len = 6;
+    let f = fixture(degree, chain_len);
+
+    let mut group = c.benchmark_group(format!("ops_n{degree}"));
+    for level in [0usize, 2, 4] {
+        let ct = &f.cts[level];
+        let pt = &f.pts[level];
+        group.bench_function(format!("mul_cc_l{level}"), |b| {
+            b.iter(|| black_box(f.eval.mul(ct, ct).unwrap()))
+        });
+        group.bench_function(format!("mul_cp_l{level}"), |b| {
+            b.iter(|| black_box(f.eval.mul_plain(ct, pt).unwrap()))
+        });
+        group.bench_function(format!("add_cc_l{level}"), |b| {
+            b.iter(|| black_box(f.eval.add(ct, ct).unwrap()))
+        });
+        group.bench_function(format!("rotate_l{level}"), |b| {
+            b.iter(|| black_box(f.eval.rotate(ct, 1).unwrap()))
+        });
+        let prod = f.eval.mul(ct, ct).unwrap();
+        group.bench_function(format!("rescale_l{level}"), |b| {
+            b.iter(|| black_box(f.eval.rescale(&prod).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ops
+}
+criterion_main!(benches);

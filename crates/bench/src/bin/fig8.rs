@@ -1,0 +1,93 @@
+//! Fig. 8 — estimated vs actual latency across the sweep.
+//!
+//! Compiles every (benchmark × scheme × waterline) setting with a
+//! *profiled* cost table (as the paper does: per-op latencies measured on
+//! the execution backend), executes each feasible setting under
+//! encryption, and reports the relative estimation error. The paper finds
+//! a 1.3% geometric-mean and 4.8% maximum error over 1152 settings.
+//!
+//! Usage: `cargo run --release -p hecate-bench --bin fig8 [--full]`
+
+use hecate_backend::exec::{execute_encrypted, BackendOptions};
+use hecate_backend::profile_cost_table;
+use hecate_bench::{benchmarks, geomean, HarnessConfig};
+use hecate_compiler::{compile, CostModel, Scheme};
+use std::sync::Arc;
+
+fn main() {
+    let mut cfg = HarnessConfig::from_args();
+    // Profile the backend at the execution degree with a representative
+    // chain, exactly as §VI-C prescribes.
+    eprintln!("profiling backend at degree {} ...", cfg.degree);
+    let table = profile_cost_table(cfg.degree, 40, 40, 14, 9, 11).expect("profiling");
+    cfg.cost_model = CostModel::Profiled(Arc::new(table));
+
+    println!("Fig. 8 — estimated vs actual latency");
+    println!(
+        "(preset: {:?}, degree {}, {} waterlines, profiled cost model)\n",
+        cfg.preset,
+        cfg.degree,
+        cfg.waterlines.len()
+    );
+    println!(
+        "{:<8} {:>7} {:>5} {:>12} {:>12} {:>8}",
+        "bench", "scheme", "w", "estimated", "actual", "rel.err"
+    );
+
+    let mut rel_errors = Vec::new();
+    for bench in benchmarks(&cfg) {
+        for scheme in Scheme::ALL {
+            for &w in &cfg.waterlines {
+                let opts = cfg.compile_opts(w);
+                let Ok(prog) = compile(&bench.func, scheme, &opts) else {
+                    continue;
+                };
+                let bopts = BackendOptions {
+                    degree_override: Some(cfg.degree),
+                    seed: 7,
+                };
+                // Two runs, keep the faster: strips scheduler noise the
+                // paper's long SEAL kernels do not suffer from at our tiny
+                // reduced-scale op durations.
+                let Ok(run_a) = execute_encrypted(&prog, &bench.inputs, &bopts) else {
+                    continue;
+                };
+                let Ok(run_b) = execute_encrypted(&prog, &bench.inputs, &bopts) else {
+                    continue;
+                };
+                let est = prog.stats.estimated_latency_us;
+                let act = run_a.total_us.min(run_b.total_us);
+                if act <= 0.0 {
+                    continue;
+                }
+                let rel = (est - act).abs() / act;
+                rel_errors.push(rel);
+                println!(
+                    "{:<8} {:>7} {:>5} {:>11.0}µs {:>11.0}µs {:>7.1}%",
+                    bench.name,
+                    scheme.to_string(),
+                    w,
+                    est,
+                    act,
+                    rel * 100.0
+                );
+            }
+        }
+    }
+
+    if rel_errors.is_empty() {
+        println!("no feasible settings");
+        return;
+    }
+    let max = rel_errors.iter().fold(0.0f64, |m, v| m.max(*v));
+    // Geomean over (1 + err) − 1 keeps zero errors well-defined.
+    let shifted: Vec<f64> = rel_errors.iter().map(|e| 1.0 + e).collect();
+    let gm = geomean(&shifted) - 1.0;
+    println!(
+        "\n{} settings | geomean relative error {:.1}% | max {:.1}%",
+        rel_errors.len(),
+        gm * 100.0,
+        max * 100.0
+    );
+    println!("paper reference: 1152 settings, geomean 1.3%, max 4.8%");
+}

@@ -1,0 +1,46 @@
+//! Plaintext and ciphertext containers.
+//!
+//! Both carry the two properties the HECATE type system reasons about: the
+//! *scale* (tracked exactly, in log2 bits, as EVA does) and the *level*
+//! (number of consumed rescale primes). The polynomial payload lives in RNS
+//! form over the active prime prefix.
+
+use hecate_math::poly::RnsPoly;
+
+/// An encoded (but unencrypted) CKKS message.
+#[derive(Debug, Clone)]
+pub struct Plaintext {
+    /// The encoded polynomial over the active prefix.
+    pub poly: RnsPoly,
+    /// Exact scale in log2 bits.
+    pub scale_bits: f64,
+    /// Rescaling level (consumed primes).
+    pub level: usize,
+}
+
+/// An RLWE ciphertext `(c0, c1)` with `c0 + c1·s ≈ m`.
+#[derive(Debug, Clone)]
+pub struct Ciphertext {
+    /// The constant component.
+    pub c0: RnsPoly,
+    /// The `s`-linear component.
+    pub c1: RnsPoly,
+    /// Exact scale in log2 bits.
+    pub scale_bits: f64,
+    /// Rescaling level (consumed primes).
+    pub level: usize,
+}
+
+impl Ciphertext {
+    /// Number of active RNS primes.
+    pub fn prefix(&self) -> usize {
+        self.c0.prefix()
+    }
+}
+
+impl Plaintext {
+    /// Number of active RNS primes.
+    pub fn prefix(&self) -> usize {
+        self.poly.prefix()
+    }
+}

@@ -1,0 +1,165 @@
+//! Encryption and decryption.
+//!
+//! Public-key encryption follows the standard RLWE construction:
+//! `ct = (b·u + e_0 + m, a·u + e_1)` for a fresh ternary `u` and
+//! centered-binomial noise. Decryption computes `c_0 + c_1·s` and hands the
+//! result to the decoder. Ciphertexts are kept in NTT form throughout.
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::keys::{PublicKey, SecretKey};
+use crate::params::CkksParams;
+use hecate_math::poly::RnsPoly;
+use hecate_math::rng::Xoshiro256;
+
+/// Encrypts plaintexts under a public key.
+#[derive(Debug)]
+pub struct Encryptor {
+    params: CkksParams,
+    pk: PublicKey,
+    rng: Xoshiro256,
+}
+
+impl Encryptor {
+    /// Creates an encryptor with its own noise stream.
+    pub fn new(params: &CkksParams, pk: PublicKey, seed: u64) -> Self {
+        Encryptor {
+            params: params.clone(),
+            pk,
+            rng: Xoshiro256::seed_from_u64(seed),
+        }
+    }
+
+    /// Encrypts a plaintext, preserving its scale and level.
+    pub fn encrypt(&mut self, pt: &Plaintext) -> Ciphertext {
+        let basis = self.params.basis();
+        let n = self.params.degree();
+        let c = pt.prefix();
+        let mut u = RnsPoly::from_signed_coeffs(basis, c, &self.rng.sample_ternary(n));
+        u.to_ntt(basis);
+        let mut e0 = RnsPoly::from_signed_coeffs(basis, c, &self.rng.sample_noise(n));
+        e0.to_ntt(basis);
+        let mut e1 = RnsPoly::from_signed_coeffs(basis, c, &self.rng.sample_noise(n));
+        e1.to_ntt(basis);
+
+        let mut b = self.pk.b.clone();
+        b.truncate(c);
+        let mut a = self.pk.a.clone();
+        a.truncate(c);
+
+        let mut m = pt.poly.clone();
+        m.to_ntt(basis);
+
+        let mut c0 = b;
+        c0.mul_assign_pointwise(&u, basis);
+        c0.add_assign(&e0, basis);
+        c0.add_assign(&m, basis);
+        let mut c1 = a;
+        c1.mul_assign_pointwise(&u, basis);
+        c1.add_assign(&e1, basis);
+
+        Ciphertext {
+            c0,
+            c1,
+            scale_bits: pt.scale_bits,
+            level: pt.level,
+        }
+    }
+}
+
+/// Decrypts ciphertexts with the secret key.
+#[derive(Debug)]
+pub struct Decryptor {
+    params: CkksParams,
+    secret: SecretKey,
+}
+
+impl Decryptor {
+    /// Creates a decryptor.
+    pub fn new(params: &CkksParams, secret: SecretKey) -> Self {
+        Decryptor {
+            params: params.clone(),
+            secret,
+        }
+    }
+
+    /// Decrypts to a plaintext carrying the ciphertext's scale and level.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
+        let basis = self.params.basis();
+        let s = self.secret.poly(&self.params, ct.prefix());
+        let mut m = ct.c1.clone();
+        let mut c0 = ct.c0.clone();
+        m.to_ntt(basis);
+        c0.to_ntt(basis);
+        m.mul_assign_pointwise(&s, basis);
+        m.add_assign(&c0, basis);
+        Plaintext {
+            poly: m,
+            scale_bits: ct.scale_bits,
+            level: ct.level,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::CkksEncoder;
+    use crate::keys::KeyGenerator;
+
+    fn setup() -> (CkksParams, CkksEncoder, Encryptor, Decryptor) {
+        let params = CkksParams::new(128, 45, 30, 2, false).unwrap();
+        let enc = CkksEncoder::new(&params);
+        let mut kg = KeyGenerator::new(&params, 1);
+        let pk = kg.public_key();
+        let encryptor = Encryptor::new(&params, pk, 2);
+        let decryptor = Decryptor::new(&params, kg.secret_key().clone());
+        (params, enc, encryptor, decryptor)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (_, enc, mut encryptor, decryptor) = setup();
+        let vals = vec![1.0, -2.0, 3.5, 0.25];
+        let pt = enc.encode(&vals, 30.0, 0).unwrap();
+        let ct = encryptor.encrypt(&pt);
+        let out = enc.decode(&decryptor.decrypt(&ct));
+        for (o, v) in out.iter().zip(&vals) {
+            assert!((o - v).abs() < 1e-4, "{o} vs {v}");
+        }
+    }
+
+    #[test]
+    fn encryption_hides_message() {
+        let (_, enc, mut encryptor, _) = setup();
+        let pt = enc.encode(&[5.0], 30.0, 0).unwrap();
+        let ct = encryptor.encrypt(&pt);
+        // Decoding c0 alone (which includes pk masking) must not reveal m.
+        let bogus = Plaintext {
+            poly: ct.c0.clone(),
+            scale_bits: ct.scale_bits,
+            level: ct.level,
+        };
+        let out = enc.decode(&bogus);
+        assert!((out[0] - 5.0).abs() > 1.0, "c0 alone should look random");
+    }
+
+    #[test]
+    fn encrypt_at_level_keeps_prefix() {
+        let (params, enc, mut encryptor, decryptor) = setup();
+        let pt = enc.encode(&[4.0], 30.0, 1).unwrap();
+        let ct = encryptor.encrypt(&pt);
+        assert_eq!(ct.prefix(), params.prefix_at_level(1));
+        assert_eq!(ct.level, 1);
+        let out = enc.decode(&decryptor.decrypt(&ct));
+        assert!((out[0] - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fresh_encryptions_differ() {
+        let (_, enc, mut encryptor, _) = setup();
+        let pt = enc.encode(&[1.0], 30.0, 0).unwrap();
+        let ct1 = encryptor.encrypt(&pt);
+        let ct2 = encryptor.encrypt(&pt);
+        assert_ne!(ct1.c1.residue(0), ct2.c1.residue(0));
+    }
+}

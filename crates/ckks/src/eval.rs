@@ -1,0 +1,592 @@
+//! The levelled homomorphic evaluator.
+//!
+//! Implements the RNS-CKKS operation set the HECATE compiler targets:
+//! ciphertext/plaintext addition and multiplication, negation, slot
+//! rotation, `rescale` (divide by the last active prime, level +1) and
+//! `modswitch` (drop the last active prime, level +1). The evaluator
+//! enforces the paper's operand constraints at runtime — matching levels
+//! for binary operations (C3) and matching scales for addition — so a
+//! miscompiled program fails loudly rather than decrypting garbage.
+//!
+//! Ciphertexts are kept in NTT form between operations; `rescale`,
+//! `modswitch`, rotation, and relinearization convert internally as needed.
+//! This matches how SEAL executes CKKS and gives operations the latency
+//! structure the paper's cost model describes: an operation at level `k`
+//! touches `L+1−k` primes, so deeper levels are cheaper.
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::keys::{key_switch, KeyGenerator, KeySwitchKey};
+use crate::params::CkksParams;
+use std::collections::HashMap;
+
+/// Tolerance (in log2 bits) when requiring two scales to be equal.
+pub const SCALE_EQ_TOLERANCE_BITS: f64 = 1e-6;
+
+/// Errors from homomorphic evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Binary operation on operands at different levels (violates C3).
+    LevelMismatch {
+        /// Left operand level.
+        lhs: usize,
+        /// Right operand level.
+        rhs: usize,
+    },
+    /// Addition of operands with different scales.
+    ScaleMismatch {
+        /// Left operand scale (log2 bits).
+        lhs: f64,
+        /// Right operand scale (log2 bits).
+        rhs: f64,
+    },
+    /// A relinearization or Galois key for this prefix was not generated.
+    MissingKey {
+        /// Description of the missing key.
+        what: String,
+    },
+    /// Rescale or modswitch at the bottom of the modulus chain.
+    BottomOfChain,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::LevelMismatch { lhs, rhs } => {
+                write!(f, "operand levels differ: {lhs} vs {rhs}")
+            }
+            EvalError::ScaleMismatch { lhs, rhs } => {
+                write!(f, "operand scales differ: 2^{lhs:.3} vs 2^{rhs:.3}")
+            }
+            EvalError::MissingKey { what } => write!(f, "missing evaluation key: {what}"),
+            EvalError::BottomOfChain => write!(f, "no rescale prime left to consume"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The evaluation keys a program needs: relinearization keys per prefix and
+/// Galois keys per `(rotation step, prefix)`.
+#[derive(Debug, Default)]
+pub struct EvalKeys {
+    relin: HashMap<usize, KeySwitchKey>,
+    galois: HashMap<(usize, usize), KeySwitchKey>,
+    conj: HashMap<usize, KeySwitchKey>,
+}
+
+impl EvalKeys {
+    /// Generates exactly the requested keys.
+    ///
+    /// * `relin_prefixes` — prefix lengths at which ct×ct multiplication
+    ///   occurs;
+    /// * `rotations` — `(step, prefix)` pairs at which rotation occurs.
+    pub fn generate(
+        kg: &mut KeyGenerator,
+        relin_prefixes: &[usize],
+        rotations: &[(usize, usize)],
+    ) -> Self {
+        let mut keys = EvalKeys::default();
+        for &c in relin_prefixes {
+            keys.relin.entry(c).or_insert_with(|| kg.relin_key(c));
+        }
+        for &(step, c) in rotations {
+            keys.galois
+                .entry((step, c))
+                .or_insert_with(|| kg.galois_key(step, c));
+        }
+        keys
+    }
+
+    /// Adds conjugation keys for the given prefixes.
+    pub fn add_conjugation(&mut self, kg: &mut KeyGenerator, prefixes: &[usize]) {
+        for &c in prefixes {
+            self.conj.entry(c).or_insert_with(|| kg.conjugation_key(c));
+        }
+    }
+
+    /// Merges another key set into this one.
+    pub fn extend(&mut self, other: EvalKeys) {
+        self.relin.extend(other.relin);
+        self.galois.extend(other.galois);
+        self.conj.extend(other.conj);
+    }
+}
+
+/// The homomorphic evaluator.
+#[derive(Debug)]
+pub struct Evaluator {
+    params: CkksParams,
+    keys: EvalKeys,
+}
+
+impl Evaluator {
+    /// Creates an evaluator over the given parameters and keys.
+    pub fn new(params: &CkksParams, keys: EvalKeys) -> Self {
+        Evaluator {
+            params: params.clone(),
+            keys,
+        }
+    }
+
+    /// The parameter set in use.
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    fn check_levels(a: usize, b: usize) -> Result<(), EvalError> {
+        if a != b {
+            return Err(EvalError::LevelMismatch { lhs: a, rhs: b });
+        }
+        Ok(())
+    }
+
+    fn check_scales(a: f64, b: f64) -> Result<(), EvalError> {
+        if (a - b).abs() > SCALE_EQ_TOLERANCE_BITS {
+            return Err(EvalError::ScaleMismatch { lhs: a, rhs: b });
+        }
+        Ok(())
+    }
+
+    /// Homomorphic ciphertext addition. Requires equal levels and scales.
+    ///
+    /// # Errors
+    /// Returns [`EvalError::LevelMismatch`] or [`EvalError::ScaleMismatch`].
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        Self::check_levels(a.level, b.level)?;
+        Self::check_scales(a.scale_bits, b.scale_bits)?;
+        let basis = self.params.basis();
+        let mut c0 = a.c0.clone();
+        let mut c1 = a.c1.clone();
+        c0.add_assign(&b.c0, basis);
+        c1.add_assign(&b.c1, basis);
+        Ok(Ciphertext {
+            c0,
+            c1,
+            scale_bits: a.scale_bits,
+            level: a.level,
+        })
+    }
+
+    /// Homomorphic ciphertext subtraction (same constraints as [`add`]).
+    ///
+    /// [`add`]: Evaluator::add
+    ///
+    /// # Errors
+    /// Returns [`EvalError::LevelMismatch`] or [`EvalError::ScaleMismatch`].
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        let mut neg = b.clone();
+        neg.c0.negate(self.params.basis());
+        neg.c1.negate(self.params.basis());
+        self.add(a, &neg)
+    }
+
+    /// Negates a ciphertext.
+    pub fn negate(&self, a: &Ciphertext) -> Ciphertext {
+        let basis = self.params.basis();
+        let mut out = a.clone();
+        out.c0.negate(basis);
+        out.c1.negate(basis);
+        out
+    }
+
+    /// Adds a plaintext to a ciphertext (equal level and scale required).
+    ///
+    /// # Errors
+    /// Returns [`EvalError::LevelMismatch`] or [`EvalError::ScaleMismatch`].
+    pub fn add_plain(&self, a: &Ciphertext, p: &Plaintext) -> Result<Ciphertext, EvalError> {
+        Self::check_levels(a.level, p.level)?;
+        Self::check_scales(a.scale_bits, p.scale_bits)?;
+        let basis = self.params.basis();
+        let mut m = p.poly.clone();
+        m.to_ntt(basis);
+        let mut c0 = a.c0.clone();
+        c0.add_assign(&m, basis);
+        Ok(Ciphertext {
+            c0,
+            c1: a.c1.clone(),
+            scale_bits: a.scale_bits,
+            level: a.level,
+        })
+    }
+
+    /// Multiplies a ciphertext by a plaintext. Scales multiply (bits add);
+    /// levels must match.
+    ///
+    /// # Errors
+    /// Returns [`EvalError::LevelMismatch`].
+    pub fn mul_plain(&self, a: &Ciphertext, p: &Plaintext) -> Result<Ciphertext, EvalError> {
+        Self::check_levels(a.level, p.level)?;
+        let basis = self.params.basis();
+        let mut m = p.poly.clone();
+        m.to_ntt(basis);
+        let mut c0 = a.c0.clone();
+        let mut c1 = a.c1.clone();
+        c0.mul_assign_pointwise(&m, basis);
+        c1.mul_assign_pointwise(&m, basis);
+        Ok(Ciphertext {
+            c0,
+            c1,
+            scale_bits: a.scale_bits + p.scale_bits,
+            level: a.level,
+        })
+    }
+
+    /// Multiplies two ciphertexts and relinearizes. Scales multiply (bits
+    /// add); levels must match; the result is *not* rescaled.
+    ///
+    /// # Errors
+    /// Returns [`EvalError::LevelMismatch`] if levels differ or
+    /// [`EvalError::MissingKey`] if no relinearization key was generated for
+    /// this prefix.
+    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        Self::check_levels(a.level, b.level)?;
+        let c = a.prefix();
+        let rk = self.keys.relin.get(&c).ok_or_else(|| EvalError::MissingKey {
+            what: format!("relin key at prefix {c}"),
+        })?;
+        let basis = self.params.basis();
+        // (c0, c1)·(d0, d1) = (c0d0, c0d1 + c1d0, c1d1)
+        let mut t0 = a.c0.clone();
+        t0.mul_assign_pointwise(&b.c0, basis);
+        let mut t1a = a.c0.clone();
+        t1a.mul_assign_pointwise(&b.c1, basis);
+        let mut t1b = a.c1.clone();
+        t1b.mul_assign_pointwise(&b.c0, basis);
+        t1a.add_assign(&t1b, basis);
+        let mut t2 = a.c1.clone();
+        t2.mul_assign_pointwise(&b.c1, basis);
+        // Relinearize the quadratic component.
+        t2.to_coeff(basis);
+        let (kb, ka) = key_switch(&t2, rk, &self.params);
+        let mut kb = kb;
+        let mut ka = ka;
+        kb.to_ntt(basis);
+        ka.to_ntt(basis);
+        t0.add_assign(&kb, basis);
+        t1a.add_assign(&ka, basis);
+        Ok(Ciphertext {
+            c0: t0,
+            c1: t1a,
+            scale_bits: a.scale_bits + b.scale_bits,
+            level: a.level,
+        })
+    }
+
+    /// Squares a ciphertext (same as [`mul`] with itself).
+    ///
+    /// [`mul`]: Evaluator::mul
+    ///
+    /// # Errors
+    /// Returns [`EvalError::MissingKey`] if no relinearization key exists.
+    pub fn square(&self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        self.mul(a, a)
+    }
+
+    /// Rescales: divides by the last active prime and increases the level.
+    /// The exact scale decreases by `log2(q_dropped)`.
+    ///
+    /// # Errors
+    /// Returns [`EvalError::BottomOfChain`] at the end of the chain.
+    pub fn rescale(&self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        if a.prefix() <= 1 {
+            return Err(EvalError::BottomOfChain);
+        }
+        let basis = self.params.basis();
+        let dropped_bits = (basis.prime(a.prefix() - 1) as f64).log2();
+        let mut c0 = a.c0.clone();
+        let mut c1 = a.c1.clone();
+        c0.rescale_last(basis);
+        c1.rescale_last(basis);
+        c0.to_ntt(basis);
+        c1.to_ntt(basis);
+        Ok(Ciphertext {
+            c0,
+            c1,
+            scale_bits: a.scale_bits - dropped_bits,
+            level: a.level + 1,
+        })
+    }
+
+    /// Switches modulus down: drops the last active prime, increasing the
+    /// level without changing the scale.
+    ///
+    /// # Errors
+    /// Returns [`EvalError::BottomOfChain`] at the end of the chain.
+    pub fn mod_switch(&self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        if a.prefix() <= 1 {
+            return Err(EvalError::BottomOfChain);
+        }
+        let mut c0 = a.c0.clone();
+        let mut c1 = a.c1.clone();
+        c0.drop_last();
+        c1.drop_last();
+        Ok(Ciphertext {
+            c0,
+            c1,
+            scale_bits: a.scale_bits,
+            level: a.level + 1,
+        })
+    }
+
+    /// Rotates slot vectors left by `step` (cyclic over `N/2` slots).
+    ///
+    /// # Errors
+    /// Returns [`EvalError::MissingKey`] if no Galois key was generated for
+    /// `(step, prefix)`.
+    pub fn rotate(&self, a: &Ciphertext, step: usize) -> Result<Ciphertext, EvalError> {
+        let slots = self.params.slots();
+        let step = step % slots;
+        if step == 0 {
+            return Ok(a.clone());
+        }
+        let c = a.prefix();
+        let gk = self
+            .keys
+            .galois
+            .get(&(step, c))
+            .ok_or_else(|| EvalError::MissingKey {
+                what: format!("galois key for step {step} at prefix {c}"),
+            })?;
+        let basis = self.params.basis();
+        let two_n = 2 * self.params.degree();
+        let mut g = 1usize;
+        for _ in 0..step {
+            g = g * 5 % two_n;
+        }
+        let mut c0 = a.c0.clone();
+        let mut c1 = a.c1.clone();
+        c0.to_coeff(basis);
+        c1.to_coeff(basis);
+        let c0_rot = c0.automorphism(g, basis);
+        let c1_rot = c1.automorphism(g, basis);
+        let (kb, ka) = key_switch(&c1_rot, gk, &self.params);
+        let mut out0 = c0_rot;
+        out0.add_assign(&kb, basis);
+        out0.to_ntt(basis);
+        let mut out1 = ka;
+        out1.to_ntt(basis);
+        Ok(Ciphertext {
+            c0: out0,
+            c1: out1,
+            scale_bits: a.scale_bits,
+            level: a.level,
+        })
+    }
+
+    /// Complex-conjugates every slot (the Galois automorphism `X ↦ X^{2N−1}`).
+    ///
+    /// # Errors
+    /// Returns [`EvalError::MissingKey`] if no conjugation key was generated
+    /// for this prefix (see [`EvalKeys::add_conjugation`]).
+    pub fn conjugate(&self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        let c = a.prefix();
+        let ck = self.keys.conj.get(&c).ok_or_else(|| EvalError::MissingKey {
+            what: format!("conjugation key at prefix {c}"),
+        })?;
+        let basis = self.params.basis();
+        let g = 2 * self.params.degree() - 1;
+        let mut c0 = a.c0.clone();
+        let mut c1 = a.c1.clone();
+        c0.to_coeff(basis);
+        c1.to_coeff(basis);
+        let c0_conj = c0.automorphism(g, basis);
+        let c1_conj = c1.automorphism(g, basis);
+        let (kb, ka) = key_switch(&c1_conj, ck, &self.params);
+        let mut out0 = c0_conj;
+        out0.add_assign(&kb, basis);
+        out0.to_ntt(basis);
+        let mut out1 = ka;
+        out1.to_ntt(basis);
+        Ok(Ciphertext {
+            c0: out0,
+            c1: out1,
+            scale_bits: a.scale_bits,
+            level: a.level,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::CkksEncoder;
+    use crate::encrypt::{Decryptor, Encryptor};
+    use crate::keys::KeyGenerator;
+
+    struct Fixture {
+        params: CkksParams,
+        enc: CkksEncoder,
+        encryptor: Encryptor,
+        decryptor: Decryptor,
+        eval: Evaluator,
+    }
+
+    fn setup(levels: usize, rotations: &[usize]) -> Fixture {
+        let params = CkksParams::new(128, 45, 30, levels, false).unwrap();
+        let enc = CkksEncoder::new(&params);
+        let mut kg = KeyGenerator::new(&params, 11);
+        let pk = kg.public_key();
+        let relin: Vec<usize> = (1..=params.basis().chain_len()).collect();
+        let rots: Vec<(usize, usize)> = rotations
+            .iter()
+            .flat_map(|&s| (1..=params.basis().chain_len()).map(move |c| (s, c)))
+            .collect();
+        let keys = EvalKeys::generate(&mut kg, &relin, &rots);
+        Fixture {
+            enc,
+            encryptor: Encryptor::new(&params, pk, 13),
+            decryptor: Decryptor::new(&params, kg.secret_key().clone()),
+            eval: Evaluator::new(&params, keys),
+            params,
+        }
+    }
+
+    fn roundtrip(f: &Fixture, ct: &Ciphertext) -> Vec<f64> {
+        f.enc.decode(&f.decryptor.decrypt(ct))
+    }
+
+    #[test]
+    fn add_and_sub() {
+        let mut f = setup(2, &[]);
+        let a = f.encryptor.encrypt(&f.enc.encode(&[1.0, 2.0], 30.0, 0).unwrap());
+        let b = f.encryptor.encrypt(&f.enc.encode(&[0.5, -1.0], 30.0, 0).unwrap());
+        let sum = f.eval.add(&a, &b).unwrap();
+        let out = roundtrip(&f, &sum);
+        assert!((out[0] - 1.5).abs() < 1e-3 && (out[1] - 1.0).abs() < 1e-3);
+        let diff = f.eval.sub(&a, &b).unwrap();
+        let out = roundtrip(&f, &diff);
+        assert!((out[0] - 0.5).abs() < 1e-3 && (out[1] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn negate_flips_sign() {
+        let mut f = setup(1, &[]);
+        let a = f.encryptor.encrypt(&f.enc.encode(&[2.5], 30.0, 0).unwrap());
+        let out = roundtrip(&f, &f.eval.negate(&a));
+        assert!((out[0] + 2.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn plain_ops() {
+        let mut f = setup(2, &[]);
+        let a = f.encryptor.encrypt(&f.enc.encode(&[3.0], 30.0, 0).unwrap());
+        let p_add = f.enc.encode(&[1.5], 30.0, 0).unwrap();
+        let out = roundtrip(&f, &f.eval.add_plain(&a, &p_add).unwrap());
+        assert!((out[0] - 4.5).abs() < 1e-3);
+
+        let p_mul = f.enc.encode(&[2.0], 30.0, 0).unwrap();
+        let prod = f.eval.mul_plain(&a, &p_mul).unwrap();
+        assert!((prod.scale_bits - 60.0).abs() < 1e-9);
+        let out = roundtrip(&f, &prod);
+        assert!((out[0] - 6.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mul_then_rescale() {
+        let mut f = setup(2, &[]);
+        let a = f.encryptor.encrypt(&f.enc.encode(&[3.0, -1.5], 30.0, 0).unwrap());
+        let b = f.encryptor.encrypt(&f.enc.encode(&[2.0, 4.0], 30.0, 0).unwrap());
+        let prod = f.eval.mul(&a, &b).unwrap();
+        assert_eq!(prod.level, 0);
+        assert!((prod.scale_bits - 60.0).abs() < 1e-9);
+        let rs = f.eval.rescale(&prod).unwrap();
+        assert_eq!(rs.level, 1);
+        // Exact scale is 60 − log2(q_dropped) ≈ 30.
+        assert!((rs.scale_bits - 30.0).abs() < 0.1);
+        let out = roundtrip(&f, &rs);
+        assert!((out[0] - 6.0).abs() < 1e-3, "{}", out[0]);
+        assert!((out[1] + 6.0).abs() < 1e-3, "{}", out[1]);
+    }
+
+    #[test]
+    fn deep_multiplication_chain() {
+        // x^8 via three squarings with rescales: exercises every level.
+        let mut f = setup(3, &[]);
+        let x = f.encryptor.encrypt(&f.enc.encode(&[1.1], 30.0, 0).unwrap());
+        let mut cur = x;
+        for _ in 0..3 {
+            cur = f.eval.rescale(&f.eval.square(&cur).unwrap()).unwrap();
+        }
+        assert_eq!(cur.level, 3);
+        let out = roundtrip(&f, &cur);
+        let expect = 1.1f64.powi(8);
+        assert!((out[0] - expect).abs() < 2e-2, "{} vs {expect}", out[0]);
+    }
+
+    #[test]
+    fn modswitch_preserves_value_and_scale() {
+        let mut f = setup(2, &[]);
+        let a = f.encryptor.encrypt(&f.enc.encode(&[7.25], 30.0, 0).unwrap());
+        let ms = f.eval.mod_switch(&a).unwrap();
+        assert_eq!(ms.level, 1);
+        assert_eq!(ms.scale_bits, 30.0);
+        let out = roundtrip(&f, &ms);
+        assert!((out[0] - 7.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rotation_rotates_slots() {
+        let mut f = setup(1, &[1, 5]);
+        let slots = f.params.slots();
+        let vals: Vec<f64> = (0..slots).map(|i| (i % 7) as f64).collect();
+        let ct = f.encryptor.encrypt(&f.enc.encode(&vals, 30.0, 0).unwrap());
+        for step in [1usize, 5] {
+            let rot = f.eval.rotate(&ct, step).unwrap();
+            let out = roundtrip(&f, &rot);
+            for j in 0..slots {
+                let expect = vals[(j + step) % slots];
+                assert!((out[j] - expect).abs() < 1e-2, "step {step} slot {j}: {} vs {expect}", out[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_by_zero_is_identity() {
+        let mut f = setup(1, &[]);
+        let ct = f.encryptor.encrypt(&f.enc.encode(&[9.0], 30.0, 0).unwrap());
+        let rot = f.eval.rotate(&ct, 0).unwrap();
+        let out = roundtrip(&f, &rot);
+        assert!((out[0] - 9.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn constraint_violations_reported() {
+        let mut f = setup(2, &[]);
+        let a = f.encryptor.encrypt(&f.enc.encode(&[1.0], 30.0, 0).unwrap());
+        let b = f.encryptor.encrypt(&f.enc.encode(&[1.0], 30.0, 1).unwrap());
+        assert!(matches!(
+            f.eval.add(&a, &b),
+            Err(EvalError::LevelMismatch { .. })
+        ));
+        let c = f.encryptor.encrypt(&f.enc.encode(&[1.0], 31.0, 0).unwrap());
+        assert!(matches!(
+            f.eval.add(&a, &c),
+            Err(EvalError::ScaleMismatch { .. })
+        ));
+        let rot_err = f.eval.rotate(&a, 3);
+        assert!(matches!(rot_err, Err(EvalError::MissingKey { .. })));
+    }
+
+    #[test]
+    fn bottom_of_chain_reported() {
+        let mut f = setup(1, &[]);
+        let a = f.encryptor.encrypt(&f.enc.encode(&[1.0], 30.0, 1).unwrap());
+        assert!(matches!(f.eval.rescale(&a), Err(EvalError::BottomOfChain)));
+        assert!(matches!(f.eval.mod_switch(&a), Err(EvalError::BottomOfChain)));
+    }
+
+    #[test]
+    fn relative_error_stays_below_error_bound() {
+        // The paper's accepted error bound is 2^-8; a single mul+rescale at
+        // waterline 30 must be far below it.
+        let mut f = setup(1, &[]);
+        let vals = [0.5f64, 1.0, -0.75];
+        let a = f.encryptor.encrypt(&f.enc.encode(&vals, 30.0, 0).unwrap());
+        let sq = f.eval.rescale(&f.eval.square(&a).unwrap()).unwrap();
+        let out = roundtrip(&f, &sq);
+        for (o, v) in out.iter().zip(&vals) {
+            let err = (o - v * v).abs();
+            assert!(err < 2f64.powi(-8), "error {err}");
+        }
+    }
+}

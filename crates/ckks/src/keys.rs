@@ -1,0 +1,425 @@
+//! Key generation: secret, public, relinearization, and Galois keys.
+//!
+//! Key switching uses the RNS digit decomposition with a single special
+//! prime `P` (the SEAL approach): a ciphertext component `d` over the
+//! active primes `q_0..q_{c-1}` is split into its per-prime residues
+//! `d_j = [d]_{q_j}`, and digit `j` of the key encrypts
+//! `P · Ẽ_j · s_target` over the extended modulus `Q_c · P`, where `Ẽ_j` is
+//! the CRT idempotent of `q_j` in `Q_c`. Then
+//! `Σ_j d_j · ksk_j ≈ P · d · s_target` and a final division by `P`
+//! (mod-down) returns to `Q_c` while shrinking the noise by `P`.
+//!
+//! Because the idempotents depend on the active prefix, keys are generated
+//! *per prefix length*; callers request exactly the `(kind, prefix)` pairs
+//! their program needs.
+
+use crate::params::CkksParams;
+use hecate_math::modular::{add_mod, mul_mod, neg_mod, reduce_i64, sub_mod};
+use hecate_math::ntt::NttTable;
+use hecate_math::poly::RnsPoly;
+use hecate_math::rng::Xoshiro256;
+
+/// A polynomial over an extended basis: the first `c` chain primes plus the
+/// special prime as the last row. Always stored in NTT form.
+#[derive(Debug, Clone)]
+pub struct ExtPoly {
+    /// One residue vector per modulus; the last row is the special prime.
+    pub rows: Vec<Vec<u64>>,
+}
+
+/// One key-switching key: `prefix` digits of `(b, a)` pairs over the
+/// extended basis.
+#[derive(Debug, Clone)]
+pub struct KeySwitchKey {
+    /// Active prefix length this key was generated for.
+    pub prefix: usize,
+    /// Per-digit key pairs `(b_j, a_j)` with
+    /// `b_j = -(a_j·s) + e_j + P·Ẽ_j·s_target`.
+    pub digits: Vec<(ExtPoly, ExtPoly)>,
+}
+
+/// The ternary CKKS secret key.
+///
+/// Holds the raw ternary coefficients so residues modulo any prime
+/// (including the special prime) can be derived.
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    coeffs: Vec<i64>,
+}
+
+impl SecretKey {
+    /// The secret as an NTT-form polynomial over the first `c` primes.
+    pub fn poly(&self, params: &CkksParams, c: usize) -> RnsPoly {
+        let mut p = RnsPoly::from_signed_coeffs(params.basis(), c, &self.coeffs);
+        p.to_ntt(params.basis());
+        p
+    }
+
+    /// The secret reduced modulo one modulus, in NTT form.
+    fn residue_ntt(&self, q: u64, table: &NttTable) -> Vec<u64> {
+        let mut r: Vec<u64> = self.coeffs.iter().map(|&v| reduce_i64(v, q)).collect();
+        table.forward(&mut r);
+        r
+    }
+
+    /// Raw ternary coefficients (test/diagnostic use).
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+}
+
+/// The public encryption key `(b, a)` with `b = -(a·s) + e` over the full
+/// chain, in NTT form.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    /// The masked component.
+    pub b: RnsPoly,
+    /// The uniform component.
+    pub a: RnsPoly,
+}
+
+/// Generates all key material from a seed.
+#[derive(Debug)]
+pub struct KeyGenerator {
+    params: CkksParams,
+    secret: SecretKey,
+    rng: Xoshiro256,
+}
+
+impl KeyGenerator {
+    /// Samples a fresh ternary secret from the seed.
+    pub fn new(params: &CkksParams, seed: u64) -> Self {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let coeffs = rng.sample_ternary(params.degree());
+        KeyGenerator {
+            params: params.clone(),
+            secret: SecretKey { coeffs },
+            rng,
+        }
+    }
+
+    /// The secret key.
+    pub fn secret_key(&self) -> &SecretKey {
+        &self.secret
+    }
+
+    /// Generates the public encryption key over the full chain.
+    pub fn public_key(&mut self) -> PublicKey {
+        let basis = self.params.basis();
+        let chain = basis.chain_len();
+        let n = self.params.degree();
+        let s = self.secret.poly(&self.params, chain);
+        // Uniform a in NTT form.
+        let mut a = RnsPoly::zero(basis, chain, true);
+        for i in 0..chain {
+            self.rng.fill_uniform_mod(a.residue_mut(i), basis.prime(i));
+        }
+        let e = self.rng.sample_noise(n);
+        let mut b = a.clone();
+        b.mul_assign_pointwise(&s, basis);
+        b.negate(basis);
+        let mut e_poly = RnsPoly::from_signed_coeffs(basis, chain, &e);
+        e_poly.to_ntt(basis);
+        b.add_assign(&e_poly, basis);
+        PublicKey { b, a }
+    }
+
+    /// Generates a relinearization key (target `s²`) for the given prefix.
+    pub fn relin_key(&mut self, prefix: usize) -> KeySwitchKey {
+        let chain = self.params.basis().chain_len();
+        let s = self.secret.poly(&self.params, chain);
+        let mut s2 = s.clone();
+        s2.mul_assign_pointwise(&s, self.params.basis());
+        s2.to_coeff(self.params.basis());
+        // Recover s² as centered signed coefficients (|s²| ≤ N, exact under
+        // any 20+-bit prime).
+        let q0 = self.params.basis().prime(0);
+        let coeffs: Vec<i64> = s2
+            .residue(0)
+            .iter()
+            .map(|&v| hecate_math::rns::RnsBasis::center(v, q0))
+            .collect();
+        self.keyswitch_key(&coeffs, prefix)
+    }
+
+    /// Generates a Galois key for left-rotation by `step` slots at the given
+    /// prefix (target `s(X^g)` with `g = 5^step mod 2N`).
+    pub fn galois_key(&mut self, step: usize, prefix: usize) -> KeySwitchKey {
+        let g = self.galois_element(step);
+        let rotated = apply_automorphism_signed(&self.secret.coeffs, g, self.params.degree());
+        self.keyswitch_key(&rotated, prefix)
+    }
+
+    /// Generates the conjugation key (target `s(X^{2N−1})`, the Galois
+    /// element of complex conjugation) for the given prefix.
+    pub fn conjugation_key(&mut self, prefix: usize) -> KeySwitchKey {
+        let g = 2 * self.params.degree() - 1;
+        let conj = apply_automorphism_signed(&self.secret.coeffs, g, self.params.degree());
+        self.keyswitch_key(&conj, prefix)
+    }
+
+    /// The Galois element `5^step mod 2N` for a left rotation by `step`.
+    pub fn galois_element(&self, step: usize) -> usize {
+        let two_n = 2 * self.params.degree();
+        let mut g = 1usize;
+        for _ in 0..step % (self.params.degree() / 2) {
+            g = g * 5 % two_n;
+        }
+        g
+    }
+
+    /// Generates a key-switching key from `s_target` (given as signed
+    /// coefficients) to the secret, for prefix length `prefix`.
+    fn keyswitch_key(&mut self, target: &[i64], prefix: usize) -> KeySwitchKey {
+        let basis = self.params.basis();
+        let n = self.params.degree();
+        let special = basis.special_prime();
+        let moduli: Vec<u64> = basis.primes()[..prefix]
+            .iter()
+            .copied()
+            .chain(std::iter::once(special))
+            .collect();
+        let tables: Vec<&NttTable> = (0..prefix)
+            .map(|i| basis.ntt(i))
+            .chain(std::iter::once(basis.special_ntt()))
+            .collect();
+        let s_rows: Vec<Vec<u64>> = moduli
+            .iter()
+            .zip(&tables)
+            .map(|(&q, t)| self.secret.residue_ntt(q, t))
+            .collect();
+        let target_rows: Vec<Vec<u64>> = moduli
+            .iter()
+            .zip(&tables)
+            .map(|(&q, t)| {
+                let mut r: Vec<u64> = target.iter().map(|&v| reduce_i64(v, q)).collect();
+                t.forward(&mut r);
+                r
+            })
+            .collect();
+
+        let digits = (0..prefix)
+            .map(|j| {
+                // a uniform, e noise; b = -(a·s) + e + P·Ẽ_j·s_target per row.
+                let e = self.rng.sample_noise(n);
+                let mut a_rows = Vec::with_capacity(moduli.len());
+                let mut b_rows = Vec::with_capacity(moduli.len());
+                for (m_idx, (&q, t)) in moduli.iter().zip(&tables).enumerate() {
+                    let mut a_row = vec![0u64; n];
+                    self.rng.fill_uniform_mod(&mut a_row, q);
+                    let mut e_row: Vec<u64> = e.iter().map(|&v| reduce_i64(v, q)).collect();
+                    t.forward(&mut e_row);
+                    // P·Ẽ_j mod q (zero on the special row since P | P·Ẽ_j).
+                    let factor = if m_idx == moduli.len() - 1 {
+                        0
+                    } else {
+                        mul_mod(special % q, basis.crt_idempotent_mod(prefix, j, q), q)
+                    };
+                    let s_row = &s_rows[m_idx];
+                    let t_row = &target_rows[m_idx];
+                    let b_row: Vec<u64> = (0..n)
+                        .map(|idx| {
+                            let neg_as = neg_mod(mul_mod(a_row[idx], s_row[idx], q), q);
+                            let keyed = mul_mod(factor, t_row[idx], q);
+                            add_mod(add_mod(neg_as, e_row[idx], q), keyed, q)
+                        })
+                        .collect();
+                    a_rows.push(a_row);
+                    b_rows.push(b_row);
+                }
+                (ExtPoly { rows: b_rows }, ExtPoly { rows: a_rows })
+            })
+            .collect();
+        KeySwitchKey { prefix, digits }
+    }
+}
+
+/// Applies `X ↦ X^g` to a signed coefficient vector over `X^N + 1`.
+pub(crate) fn apply_automorphism_signed(coeffs: &[i64], g: usize, n: usize) -> Vec<i64> {
+    let two_n = 2 * n;
+    let mut out = vec![0i64; n];
+    for (j, &v) in coeffs.iter().enumerate() {
+        let idx = j * g % two_n;
+        if idx < n {
+            out[idx] = v;
+        } else {
+            out[idx - n] = -v;
+        }
+    }
+    out
+}
+
+/// Switches the key of a single polynomial `d` (coefficient domain, over
+/// `prefix` primes) from `s_target` to `s`, returning `(b, a)` in
+/// coefficient domain such that `b + a·s ≈ d·s_target`.
+///
+/// # Panics
+/// Panics if `d` is in NTT form or its prefix differs from the key's.
+pub fn key_switch(d: &RnsPoly, key: &KeySwitchKey, params: &CkksParams) -> (RnsPoly, RnsPoly) {
+    assert!(!d.is_ntt(), "key_switch expects coefficient domain");
+    let c = d.prefix();
+    assert_eq!(c, key.prefix, "key prefix mismatch");
+    let basis = params.basis();
+    let n = params.degree();
+    let special = basis.special_prime();
+    let moduli: Vec<u64> = basis.primes()[..c]
+        .iter()
+        .copied()
+        .chain(std::iter::once(special))
+        .collect();
+    let tables: Vec<&NttTable> = (0..c)
+        .map(|i| basis.ntt(i))
+        .chain(std::iter::once(basis.special_ntt()))
+        .collect();
+
+    // Accumulate Σ_j digit_j · ksk_j over the extended basis, in NTT form.
+    let mut acc_b = vec![vec![0u64; n]; moduli.len()];
+    let mut acc_a = vec![vec![0u64; n]; moduli.len()];
+    for j in 0..c {
+        let qj = basis.prime(j);
+        // Centered digit lift keeps the key-switch noise at ~q_max/2.
+        let digit: Vec<i64> = d
+            .residue(j)
+            .iter()
+            .map(|&v| hecate_math::rns::RnsBasis::center(v, qj))
+            .collect();
+        let (kb, ka) = &key.digits[j];
+        for (m_idx, (&q, t)) in moduli.iter().zip(&tables).enumerate() {
+            let mut row: Vec<u64> = digit.iter().map(|&v| reduce_i64(v, q)).collect();
+            t.forward(&mut row);
+            let (bb, aa) = (&kb.rows[m_idx], &ka.rows[m_idx]);
+            for idx in 0..n {
+                acc_b[m_idx][idx] = add_mod(acc_b[m_idx][idx], mul_mod(row[idx], bb[idx], q), q);
+                acc_a[m_idx][idx] = add_mod(acc_a[m_idx][idx], mul_mod(row[idx], aa[idx], q), q);
+            }
+        }
+    }
+    // Back to coefficient domain, then divide by P (mod-down).
+    for (m_idx, t) in tables.iter().enumerate() {
+        t.backward(&mut acc_b[m_idx]);
+        t.backward(&mut acc_a[m_idx]);
+    }
+    let mod_down = |mut rows: Vec<Vec<u64>>| -> RnsPoly {
+        let special_row = rows.pop().expect("extended basis");
+        let mut out = RnsPoly::zero(basis, c, false);
+        for i in 0..c {
+            let q = basis.prime(i);
+            let inv_p = basis.inv_special(i);
+            let dst = out.residue_mut(i);
+            for idx in 0..n {
+                let lifted = hecate_math::rns::RnsBasis::center(special_row[idx], special);
+                let l = reduce_i64(lifted, q);
+                dst[idx] = mul_mod(sub_mod(rows[i][idx], l, q), inv_p, q);
+            }
+        }
+        out
+    };
+    (mod_down(acc_b), mod_down(acc_a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+
+    fn params() -> CkksParams {
+        CkksParams::new(64, 45, 30, 2, false).unwrap()
+    }
+
+    #[test]
+    fn secret_is_ternary_and_deterministic() {
+        let p = params();
+        let k1 = KeyGenerator::new(&p, 5);
+        let k2 = KeyGenerator::new(&p, 5);
+        assert_eq!(k1.secret_key().coeffs(), k2.secret_key().coeffs());
+        assert!(k1.secret_key().coeffs().iter().all(|v| (-1..=1).contains(v)));
+        let k3 = KeyGenerator::new(&p, 6);
+        assert_ne!(k1.secret_key().coeffs(), k3.secret_key().coeffs());
+    }
+
+    #[test]
+    fn public_key_decrypts_to_small_noise() {
+        // b + a·s = e must be small.
+        let p = params();
+        let mut kg = KeyGenerator::new(&p, 7);
+        let pk = kg.public_key();
+        let s = kg.secret_key().poly(&p, p.basis().chain_len());
+        let mut check = pk.a.clone();
+        check.mul_assign_pointwise(&s, p.basis());
+        check.add_assign(&pk.b, p.basis());
+        check.to_coeff(p.basis());
+        let c = p.basis().chain_len();
+        let rec = p.basis().reconstructor(c);
+        for idx in 0..p.degree() {
+            let rs: Vec<u64> = (0..c).map(|i| check.residue(i)[idx]).collect();
+            let v = rec.reconstruct_centered_f64(&rs, 0.0);
+            assert!(v.abs() < 64.0, "noise too large: {v}");
+        }
+    }
+
+    #[test]
+    fn galois_element_composes() {
+        let p = params();
+        let kg = KeyGenerator::new(&p, 8);
+        assert_eq!(kg.galois_element(0), 1);
+        let g1 = kg.galois_element(1);
+        let g2 = kg.galois_element(2);
+        assert_eq!(g2, g1 * g1 % (2 * p.degree()));
+    }
+
+    #[test]
+    fn key_switch_reproduces_target_product() {
+        // d·s_target ≈ b + a·s after switching. Use s_target = s² (relin).
+        let p = params();
+        let mut kg = KeyGenerator::new(&p, 9);
+        let prefix = p.basis().chain_len();
+        let rk = kg.relin_key(prefix);
+        assert_eq!(rk.digits.len(), prefix);
+
+        // Small test polynomial d.
+        let mut rng = hecate_math::rng::Xoshiro256::seed_from_u64(77);
+        let d_coeffs: Vec<i64> = (0..p.degree()).map(|_| rng.next_below(1000) as i64 - 500).collect();
+        let d = RnsPoly::from_signed_coeffs(p.basis(), prefix, &d_coeffs);
+
+        let (b, a) = key_switch(&d, &rk, &p);
+        // Compute b + a·s and d·s² and compare coefficient-wise.
+        let s = kg.secret_key().poly(&p, prefix);
+        let mut lhs = a.clone();
+        lhs.to_ntt(p.basis());
+        lhs.mul_assign_pointwise(&s, p.basis());
+        let mut b_ntt = b.clone();
+        b_ntt.to_ntt(p.basis());
+        lhs.add_assign(&b_ntt, p.basis());
+        lhs.to_coeff(p.basis());
+
+        let mut s2 = s.clone();
+        s2.mul_assign_pointwise(&s, p.basis());
+        let mut rhs = d.clone();
+        rhs.to_ntt(p.basis());
+        rhs.mul_assign_pointwise(&s2, p.basis());
+        rhs.to_coeff(p.basis());
+
+        let rec = p.basis().reconstructor(prefix);
+        for idx in 0..p.degree() {
+            let l: Vec<u64> = (0..prefix).map(|i| lhs.residue(i)[idx]).collect();
+            let r: Vec<u64> = (0..prefix).map(|i| rhs.residue(i)[idx]).collect();
+            let diff = rec.reconstruct_centered_f64(&l, 0.0) - rec.reconstruct_centered_f64(&r, 0.0);
+            // Key-switch noise ≈ c·N·q_max/(2P) plus mod-down rounding — tiny
+            // relative to any working scale; bound loosely.
+            assert!(diff.abs() < 1e6, "keyswitch error {diff} at coeff {idx}");
+        }
+    }
+
+    #[test]
+    fn automorphism_signed_matches_poly_version() {
+        let p = params();
+        let coeffs: Vec<i64> = (0..p.degree() as i64).collect();
+        let g = 5;
+        let signed = apply_automorphism_signed(&coeffs, g, p.degree());
+        let poly = RnsPoly::from_signed_coeffs(p.basis(), 1, &coeffs).automorphism(g, p.basis());
+        let q = p.basis().prime(0);
+        for idx in 0..p.degree() {
+            assert_eq!(reduce_i64(signed[idx], q), poly.residue(0)[idx]);
+        }
+    }
+}

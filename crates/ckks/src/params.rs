@@ -1,0 +1,277 @@
+//! CKKS encryption parameters and the 128-bit security table.
+//!
+//! A parameter set fixes the ring degree `N`, the RNS modulus chain
+//! `q_0, …, q_L` (one large *base* prime that carries the decoded message
+//! plus `L` rescale primes near `2^{S_f}`), and the special key-switching
+//! prime `P`. The homomorphicencryption.org standard bounds the total
+//! modulus size for a given degree at 128-bit security; the compiler's
+//! parameter selection consults the same table.
+
+use hecate_math::rns::RnsBasis;
+use std::sync::Arc;
+
+/// Maximum total modulus bits (chain + special prime) for 128-bit security
+/// with ternary secrets, per the homomorphicencryption.org standard.
+///
+/// Returns `None` for degrees outside the table.
+///
+/// # Example
+/// ```
+/// use hecate_ckks::params::max_modulus_bits_128;
+/// assert_eq!(max_modulus_bits_128(8192), Some(218));
+/// assert_eq!(max_modulus_bits_128(1000), None);
+/// ```
+pub fn max_modulus_bits_128(degree: usize) -> Option<u32> {
+    match degree {
+        1024 => Some(27),
+        2048 => Some(54),
+        4096 => Some(109),
+        8192 => Some(218),
+        16384 => Some(438),
+        32768 => Some(881),
+        _ => None,
+    }
+}
+
+/// Smallest standard ring degree whose 128-bit security bound admits
+/// `total_bits` of modulus, if any.
+///
+/// This is the degree-selection rule EVA and HECATE use: pick the cheapest
+/// ring that is still secure for the required modulus chain.
+pub fn min_secure_degree(total_bits: u32) -> Option<usize> {
+    for degree in [1024usize, 2048, 4096, 8192, 16384, 32768] {
+        if let Some(max) = max_modulus_bits_128(degree) {
+            if total_bits <= max {
+                return Some(degree);
+            }
+        }
+    }
+    None
+}
+
+/// Errors from parameter construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamsError {
+    /// The requested degree is not a supported power of two.
+    BadDegree(usize),
+    /// The modulus chain exceeds the 128-bit security bound for the degree.
+    Insecure {
+        /// Ring degree requested.
+        degree: usize,
+        /// Total modulus bits requested.
+        total_bits: u32,
+        /// Maximum allowed by the security table.
+        max_bits: u32,
+    },
+    /// A prime size was out of the supported range.
+    BadPrimeBits(u32),
+}
+
+impl std::fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamsError::BadDegree(n) => write!(f, "unsupported ring degree {n}"),
+            ParamsError::Insecure {
+                degree,
+                total_bits,
+                max_bits,
+            } => write!(
+                f,
+                "modulus of {total_bits} bits exceeds the 128-bit security bound of {max_bits} bits for degree {degree}"
+            ),
+            ParamsError::BadPrimeBits(b) => write!(f, "prime size {b} bits out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+/// A complete CKKS parameter set: ring degree plus RNS basis.
+///
+/// Cheap to clone (the basis is shared behind an [`Arc`]).
+#[derive(Debug, Clone)]
+pub struct CkksParams {
+    basis: Arc<RnsBasis>,
+    degree: usize,
+    levels: usize,
+    secure: bool,
+}
+
+impl CkksParams {
+    /// Builds a parameter set.
+    ///
+    /// * `degree` — ring degree `N` (power of two, ≥ 8);
+    /// * `base_prime_bits` — size of `q_0`, which must exceed the largest
+    ///   output scale;
+    /// * `rescale_prime_bits` — size of the `L` rescale primes (the rescale
+    ///   factor `S_f`);
+    /// * `levels` — number of rescale primes `L` (maximum rescaling level);
+    /// * `enforce_security` — when `true`, reject chains beyond the 128-bit
+    ///   bound for `degree`; tests use `false` with small rings.
+    ///
+    /// The special prime is sized like the largest chain prime.
+    ///
+    /// # Errors
+    /// Returns [`ParamsError`] if the degree or prime sizes are unsupported,
+    /// or if `enforce_security` is set and the chain is too large.
+    pub fn new(
+        degree: usize,
+        base_prime_bits: u32,
+        rescale_prime_bits: u32,
+        levels: usize,
+        enforce_security: bool,
+    ) -> Result<Self, ParamsError> {
+        if !degree.is_power_of_two() || degree < 8 {
+            return Err(ParamsError::BadDegree(degree));
+        }
+        for b in [base_prime_bits, rescale_prime_bits] {
+            if !(20..=61).contains(&b) {
+                return Err(ParamsError::BadPrimeBits(b));
+            }
+        }
+        let special_bits = base_prime_bits.max(rescale_prime_bits);
+        let total_bits = base_prime_bits + rescale_prime_bits * levels as u32 + special_bits;
+        let secure = max_modulus_bits_128(degree).is_some_and(|max| total_bits <= max);
+        if enforce_security && !secure {
+            let max_bits = max_modulus_bits_128(degree).unwrap_or(0);
+            return Err(ParamsError::Insecure {
+                degree,
+                total_bits,
+                max_bits,
+            });
+        }
+        let basis = RnsBasis::generate(
+            degree,
+            base_prime_bits,
+            rescale_prime_bits,
+            levels + 1,
+            special_bits,
+        );
+        Ok(CkksParams {
+            basis: Arc::new(basis),
+            degree,
+            levels,
+            secure,
+        })
+    }
+
+    /// Ring degree `N`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of message slots (`N/2`).
+    pub fn slots(&self) -> usize {
+        self.degree / 2
+    }
+
+    /// Maximum rescaling level `L` (number of rescale primes).
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The shared RNS basis.
+    pub fn basis(&self) -> &RnsBasis {
+        &self.basis
+    }
+
+    /// Whether this parameter set satisfies the 128-bit security table.
+    pub fn is_secure_128(&self) -> bool {
+        self.secure
+    }
+
+    /// Active prime count for rescaling level `k` (level 0 = full chain).
+    ///
+    /// # Panics
+    /// Panics if `level > L`.
+    pub fn prefix_at_level(&self, level: usize) -> usize {
+        assert!(level <= self.levels, "level {level} beyond chain");
+        self.levels + 1 - level
+    }
+
+    /// Exact log2 of the prime consumed by a rescale *from* level `k`
+    /// (that is, the last active prime at level `k`).
+    pub fn rescale_bits_at_level(&self, level: usize) -> f64 {
+        let c = self.prefix_at_level(level);
+        (self.basis.prime(c - 1) as f64).log2()
+    }
+
+    /// Exact log2 of the modulus available at level `k` (the C1 bound).
+    pub fn modulus_bits_at_level(&self, level: usize) -> f64 {
+        self.basis.prefix_log2(self.prefix_at_level(level))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn security_table_monotone() {
+        let mut prev = 0;
+        for d in [1024usize, 2048, 4096, 8192, 16384, 32768] {
+            let m = max_modulus_bits_128(d).unwrap();
+            assert!(m > prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn min_secure_degree_picks_cheapest() {
+        assert_eq!(min_secure_degree(27), Some(1024));
+        assert_eq!(min_secure_degree(28), Some(2048));
+        assert_eq!(min_secure_degree(200), Some(8192));
+        assert_eq!(min_secure_degree(438), Some(16384));
+        assert_eq!(min_secure_degree(882), None);
+    }
+
+    #[test]
+    fn params_build_and_expose_chain() {
+        let p = CkksParams::new(64, 45, 30, 3, false).unwrap();
+        assert_eq!(p.degree(), 64);
+        assert_eq!(p.slots(), 32);
+        assert_eq!(p.levels(), 3);
+        assert_eq!(p.basis().chain_len(), 4);
+        assert_eq!(p.prefix_at_level(0), 4);
+        assert_eq!(p.prefix_at_level(3), 1);
+        // Rescale from level 0 consumes the last chain prime (≈ 30 bits).
+        assert!((p.rescale_bits_at_level(0) - 30.0).abs() < 0.1);
+        // Modulus at level 3 is just the 45-bit base prime.
+        assert!((p.modulus_bits_at_level(3) - 45.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn insecure_params_rejected_when_enforcing() {
+        // 60 + 40·10 + 60 = 520 bits needs degree ≥ 32768.
+        let err = CkksParams::new(4096, 60, 40, 10, true).unwrap_err();
+        assert!(matches!(err, ParamsError::Insecure { .. }));
+        // Same chain allowed without enforcement, flagged insecure.
+        let p = CkksParams::new(4096, 60, 40, 10, false).unwrap();
+        assert!(!p.is_secure_128());
+    }
+
+    #[test]
+    fn secure_params_flagged() {
+        let p = CkksParams::new(8192, 40, 40, 3, true).unwrap();
+        assert!(p.is_secure_128());
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(matches!(
+            CkksParams::new(100, 40, 30, 2, false),
+            Err(ParamsError::BadDegree(100))
+        ));
+        assert!(matches!(
+            CkksParams::new(64, 62, 30, 2, false),
+            Err(ParamsError::BadPrimeBits(62))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond chain")]
+    fn prefix_beyond_chain_panics() {
+        let p = CkksParams::new(64, 45, 30, 2, false).unwrap();
+        p.prefix_at_level(3);
+    }
+}

@@ -1,0 +1,111 @@
+//! CKKS's native complex message space: encoding, homomorphic arithmetic,
+//! and conjugation.
+
+use hecate_ckks::{
+    CkksEncoder, CkksParams, Decryptor, Encryptor, EvalKeys, Evaluator, KeyGenerator,
+};
+use hecate_math::fft::Complex64;
+
+struct Fixture {
+    enc: CkksEncoder,
+    encryptor: Encryptor,
+    decryptor: Decryptor,
+    eval: Evaluator,
+}
+
+fn setup() -> Fixture {
+    let params = CkksParams::new(128, 45, 30, 1, false).unwrap();
+    let enc = CkksEncoder::new(&params);
+    let mut kg = KeyGenerator::new(&params, 21);
+    let pk = kg.public_key();
+    let mut keys = EvalKeys::generate(&mut kg, &[1, 2], &[]);
+    keys.add_conjugation(&mut kg, &[1, 2]);
+    Fixture {
+        encryptor: Encryptor::new(&params, pk, 22),
+        decryptor: Decryptor::new(&params, kg.secret_key().clone()),
+        eval: Evaluator::new(&params, keys),
+        enc,
+    }
+}
+
+fn msg() -> Vec<Complex64> {
+    vec![
+        Complex64::new(1.0, 2.0),
+        Complex64::new(-0.5, 0.25),
+        Complex64::new(0.0, -3.0),
+        Complex64::new(2.0, 0.0),
+    ]
+}
+
+#[test]
+fn complex_roundtrip() {
+    let f = setup();
+    let vals = msg();
+    let pt = f.enc.encode_complex(&vals, 30.0, 0).unwrap();
+    let out = f.enc.decode_complex(&pt);
+    for (o, v) in out.iter().zip(&vals) {
+        assert!((*o - *v).abs() < 1e-6, "{o:?} vs {v:?}");
+    }
+}
+
+#[test]
+fn complex_multiplication_is_homomorphic() {
+    let mut f = setup();
+    let a = msg();
+    let b: Vec<Complex64> = a.iter().map(|z| z.conj().scale(0.5)).collect();
+    let ca = f.encryptor.encrypt(&f.enc.encode_complex(&a, 30.0, 0).unwrap());
+    let cb = f.encryptor.encrypt(&f.enc.encode_complex(&b, 30.0, 0).unwrap());
+    let prod = f.eval.rescale(&f.eval.mul(&ca, &cb).unwrap()).unwrap();
+    let out = f.enc.decode_complex(&f.decryptor.decrypt(&prod));
+    for i in 0..a.len() {
+        let expect = a[i] * b[i];
+        assert!((out[i] - expect).abs() < 1e-2, "slot {i}: {:?} vs {expect:?}", out[i]);
+    }
+}
+
+#[test]
+fn conjugation_flips_imaginary_parts() {
+    let mut f = setup();
+    let vals = msg();
+    let ct = f.encryptor.encrypt(&f.enc.encode_complex(&vals, 30.0, 0).unwrap());
+    let conj = f.eval.conjugate(&ct).unwrap();
+    assert_eq!(conj.level, ct.level);
+    assert_eq!(conj.scale_bits, ct.scale_bits);
+    let out = f.enc.decode_complex(&f.decryptor.decrypt(&conj));
+    for (o, v) in out.iter().zip(&vals) {
+        assert!((*o - v.conj()).abs() < 1e-2, "{o:?} vs {:?}", v.conj());
+    }
+}
+
+#[test]
+fn real_part_extraction_via_conjugation() {
+    // Re(z) = (z + conj(z)) / 2 — the standard CKKS idiom.
+    let mut f = setup();
+    let vals = msg();
+    let ct = f.encryptor.encrypt(&f.enc.encode_complex(&vals, 30.0, 0).unwrap());
+    let conj = f.eval.conjugate(&ct).unwrap();
+    let sum = f.eval.add(&ct, &conj).unwrap();
+    let half = f.enc.encode(&vec![0.5; 64], 30.0, 0).unwrap();
+    let re = f.eval.rescale(&f.eval.mul_plain(&sum, &half).unwrap()).unwrap();
+    let out = f.enc.decode_complex(&f.decryptor.decrypt(&re));
+    for (o, v) in out.iter().zip(&vals) {
+        assert!((o.re - v.re).abs() < 1e-2, "{} vs {}", o.re, v.re);
+        assert!(o.im.abs() < 1e-2, "imaginary residue {}", o.im);
+    }
+}
+
+#[test]
+fn missing_conjugation_key_reported() {
+    let params = CkksParams::new(64, 45, 30, 1, false).unwrap();
+    let enc = CkksEncoder::new(&params);
+    let mut kg = KeyGenerator::new(&params, 31);
+    let pk = kg.public_key();
+    let keys = EvalKeys::generate(&mut kg, &[], &[]);
+    let mut encryptor = Encryptor::new(&params, pk, 32);
+    let eval = Evaluator::new(&params, keys);
+    let ct = encryptor.encrypt(&enc.encode(&[1.0], 30.0, 0).unwrap());
+    assert!(matches!(
+        eval.conjugate(&ct),
+        Err(hecate_ckks::eval::EvalError::MissingKey { .. })
+    ));
+}

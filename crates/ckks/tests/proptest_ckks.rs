@@ -1,0 +1,110 @@
+//! Property-based tests of homomorphic correctness: for random messages,
+//! the decrypted results of encrypted operations match plaintext
+//! arithmetic within CKKS noise bounds.
+
+use hecate_ckks::{
+    CkksEncoder, CkksParams, Decryptor, Encryptor, EvalKeys, Evaluator, KeyGenerator,
+};
+use proptest::prelude::*;
+
+struct Fixture {
+    enc: CkksEncoder,
+    encryptor: Encryptor,
+    decryptor: Decryptor,
+    eval: Evaluator,
+    slots: usize,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let params = CkksParams::new(64, 45, 30, 2, false).unwrap();
+    let enc = CkksEncoder::new(&params);
+    let mut kg = KeyGenerator::new(&params, seed);
+    let pk = kg.public_key();
+    let keys = EvalKeys::generate(&mut kg, &[1, 2, 3], &[(1, 3), (2, 3)]);
+    Fixture {
+        slots: params.slots(),
+        encryptor: Encryptor::new(&params, pk, seed.wrapping_add(1)),
+        decryptor: Decryptor::new(&params, kg.secret_key().clone()),
+        eval: Evaluator::new(&params, keys),
+        enc,
+    }
+}
+
+fn msg() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-4.0f64..4.0, 1..32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn addition_is_homomorphic(a in msg(), b in msg(), seed in 0u64..50) {
+        let mut f = fixture(seed);
+        let ca = f.encryptor.encrypt(&f.enc.encode(&a, 30.0, 0).unwrap());
+        let cb = f.encryptor.encrypt(&f.enc.encode(&b, 30.0, 0).unwrap());
+        let out = f.enc.decode(&f.decryptor.decrypt(&f.eval.add(&ca, &cb).unwrap()));
+        for i in 0..a.len().max(b.len()) {
+            let expect = a.get(i).unwrap_or(&0.0) + b.get(i).unwrap_or(&0.0);
+            prop_assert!((out[i] - expect).abs() < 1e-3, "slot {i}: {} vs {expect}", out[i]);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_homomorphic(a in msg(), b in msg(), seed in 0u64..50) {
+        let mut f = fixture(seed);
+        let ca = f.encryptor.encrypt(&f.enc.encode(&a, 30.0, 0).unwrap());
+        let cb = f.encryptor.encrypt(&f.enc.encode(&b, 30.0, 0).unwrap());
+        let prod = f.eval.rescale(&f.eval.mul(&ca, &cb).unwrap()).unwrap();
+        let out = f.enc.decode(&f.decryptor.decrypt(&prod));
+        for i in 0..a.len().max(b.len()) {
+            let expect = a.get(i).unwrap_or(&0.0) * b.get(i).unwrap_or(&0.0);
+            prop_assert!((out[i] - expect).abs() < 1e-2, "slot {i}: {} vs {expect}", out[i]);
+        }
+    }
+
+    #[test]
+    fn rotation_composes(a in proptest::collection::vec(-2.0f64..2.0, 32), seed in 0u64..20) {
+        let mut f = fixture(seed);
+        let ct = f.encryptor.encrypt(&f.enc.encode(&a, 30.0, 0).unwrap());
+        // rotate(rotate(x,1),2) == rotate(x,3)? We generated keys for 1,2
+        // only; compose 1 then 2 and compare against plain rotation by 3.
+        let r1 = f.eval.rotate(&ct, 1).unwrap();
+        let r12 = f.eval.rotate(&r1, 2).unwrap();
+        let out = f.enc.decode(&f.decryptor.decrypt(&r12));
+        for i in 0..f.slots {
+            let expect = a.get((i + 3) % f.slots).copied().unwrap_or(0.0);
+            prop_assert!((out[i] - expect).abs() < 1e-2, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn modswitch_then_ops_still_correct(a in msg(), seed in 0u64..20) {
+        let mut f = fixture(seed);
+        let ct = f.encryptor.encrypt(&f.enc.encode(&a, 30.0, 0).unwrap());
+        let ms = f.eval.mod_switch(&ct).unwrap();
+        let doubled = f.eval.add(&ms, &ms).unwrap();
+        let out = f.enc.decode(&f.decryptor.decrypt(&doubled));
+        for (i, v) in a.iter().enumerate() {
+            prop_assert!((out[i] - 2.0 * v).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn plain_cipher_mixed_expression(a in msg(), k in -3.0f64..3.0, seed in 0u64..20) {
+        // (a + k)·k under encryption.
+        let mut f = fixture(seed);
+        let ct = f.encryptor.encrypt(&f.enc.encode(&a, 30.0, 0).unwrap());
+        let pk_add = f.enc.encode(&[k], 30.0, 0).unwrap();
+        // The constant must broadcast: encode k into every used slot.
+        let kvec = vec![k; f.slots];
+        let pk_add = { let _ = pk_add; f.enc.encode(&kvec, 30.0, 0).unwrap() };
+        let sum = f.eval.add_plain(&ct, &pk_add).unwrap();
+        let pk_mul = f.enc.encode(&kvec, 30.0, 0).unwrap();
+        let prod = f.eval.rescale(&f.eval.mul_plain(&sum, &pk_mul).unwrap()).unwrap();
+        let out = f.enc.decode(&f.decryptor.decrypt(&prod));
+        for i in 0..a.len() {
+            let expect = (a[i] + k) * k;
+            prop_assert!((out[i] - expect).abs() < 1e-2, "slot {i}: {} vs {expect}", out[i]);
+        }
+    }
+}

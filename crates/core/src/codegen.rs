@@ -1,0 +1,748 @@
+//! Scale-management code generation.
+//!
+//! One generator serves the paper's two code-generation policies:
+//!
+//! - **Waterline rescaling** (EVA, §II-B): *reactive* — after each
+//!   multiplication, rescale the result while the rescaled scale stays
+//!   above the waterline; match levels with `modswitch` and add-scales with
+//!   `upscale`.
+//! - **Proactive rescaling** (PARS, §VI-B, Algorithm 2): operate on the
+//!   *operands* of each operation — (a) encode free operands, (b) rescale
+//!   while possible, (c) match levels with `modswitch`/`downscale`,
+//!   (d) match add-scales with `upscale`, (e) downscale both operands of an
+//!   oversized multiplication.
+//!
+//! On top of either policy, a scale-management *plan* (from SMSE, §VI-A)
+//! assigns each SMU edge an optimization degree: that many extra
+//! scale-management operations are applied to values crossing the edge,
+//! each chosen by the scale rule (rescale if the waterline allows,
+//! otherwise downscale if there is scale to shed, otherwise modswitch).
+//!
+//! All emissions are type-checked incrementally; every helper is memoized
+//! per value so parallel uses share the inserted operations.
+
+use crate::options::CompileError;
+use crate::smu::SmuAnalysis;
+use hecate_ir::types::{infer_op, infer_types, Type, TypeConfig, SCALE_EPS};
+use hecate_ir::{ConstData, Function, Op, ValueId};
+use std::collections::HashMap;
+
+/// A plan reference: none (pure policy), SMU-edge degrees, or per-use
+/// degrees (the naïve exploration of Table III).
+#[derive(Clone, Copy)]
+pub enum PlanRef<'a> {
+    /// No extra operations.
+    None,
+    /// Degrees per SMU edge (indexed like `smu.edges`).
+    Smu {
+        /// The unit analysis.
+        smu: &'a SmuAnalysis,
+        /// Degree per edge.
+        degrees: &'a [u32],
+    },
+    /// Degrees per individual use–def edge `(def value, user op index)`.
+    Naive {
+        /// Degree per use edge.
+        degrees: &'a HashMap<(u32, u32), u32>,
+    },
+}
+
+impl PlanRef<'_> {
+    fn degree(&self, def: ValueId, user_index: usize, smu_result_unit: Option<u32>) -> u32 {
+        match self {
+            PlanRef::None => 0,
+            PlanRef::Smu { smu, degrees } => {
+                let (Some(from), Some(to)) = (smu.unit_of[def.index()], smu_result_unit) else {
+                    return 0;
+                };
+                if from == to {
+                    return 0;
+                }
+                smu.edge_index(from, to)
+                    .map(|e| degrees[e])
+                    .unwrap_or(0)
+            }
+            PlanRef::Naive { degrees } => degrees
+                .get(&(def.0, user_index as u32))
+                .copied()
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// Generation settings for one codegen run.
+pub struct GenOptions<'a> {
+    /// Waterline / rescale-factor environment.
+    pub cfg: TypeConfig,
+    /// `true` for PARS, `false` for EVA's waterline rescaling.
+    pub proactive: bool,
+    /// The scale-management plan to apply.
+    pub plan: PlanRef<'a>,
+    /// Apply the early-modswitch motion after generation.
+    pub early_modswitch: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum MemoKey {
+    Rescale(ValueId),
+    ModSwitch(ValueId),
+    Downscale(ValueId),
+    /// Target scale keyed by rounded milli-bits.
+    Upscale(ValueId, u64),
+    Encode(ValueId, u64, usize),
+}
+
+/// Incremental, type-checked function emission.
+struct Emitter {
+    out: Function,
+    types: Vec<Type>,
+    cfg: TypeConfig,
+    memo: HashMap<MemoKey, ValueId>,
+}
+
+impl Emitter {
+    fn new(name: &str, vec_size: usize, cfg: TypeConfig) -> Self {
+        Emitter {
+            out: Function::new(name, vec_size),
+            types: Vec::new(),
+            cfg,
+            memo: HashMap::new(),
+        }
+    }
+
+    fn emit(&mut self, op: Op) -> Result<ValueId, CompileError> {
+        let at = ValueId(self.out.len() as u32);
+        let ty = infer_op(&op, &self.types, &self.cfg, at)?;
+        self.types.push(ty);
+        Ok(self.out.push(op))
+    }
+
+    fn ty(&self, v: ValueId) -> Type {
+        self.types[v.index()]
+    }
+
+    fn scale(&self, v: ValueId) -> f64 {
+        self.ty(v).scale().expect("scaled value")
+    }
+
+    fn level(&self, v: ValueId) -> usize {
+        self.ty(v).level().expect("scaled value")
+    }
+
+    fn is_free(&self, v: ValueId) -> bool {
+        matches!(self.ty(v), Type::Free)
+    }
+
+    fn memoized(&mut self, key: MemoKey, op: Op) -> Result<ValueId, CompileError> {
+        if let Some(&v) = self.memo.get(&key) {
+            return Ok(v);
+        }
+        let v = self.emit(op)?;
+        self.memo.insert(key, v);
+        Ok(v)
+    }
+
+    fn rescale(&mut self, v: ValueId) -> Result<ValueId, CompileError> {
+        self.memoized(MemoKey::Rescale(v), Op::Rescale(v))
+    }
+
+    fn modswitch(&mut self, v: ValueId) -> Result<ValueId, CompileError> {
+        self.memoized(MemoKey::ModSwitch(v), Op::ModSwitch(v))
+    }
+
+    fn downscale(&mut self, v: ValueId) -> Result<ValueId, CompileError> {
+        self.memoized(MemoKey::Downscale(v), Op::Downscale(v))
+    }
+
+    fn upscale(&mut self, v: ValueId, target_bits: f64) -> Result<ValueId, CompileError> {
+        if (self.scale(v) - target_bits).abs() <= SCALE_EPS {
+            return Ok(v);
+        }
+        let key = MemoKey::Upscale(v, (target_bits * 1000.0).round() as u64);
+        self.memoized(
+            key,
+            Op::Upscale {
+                value: v,
+                target_bits,
+            },
+        )
+    }
+
+    fn encode(&mut self, free: ValueId, scale_bits: f64, level: usize) -> Result<ValueId, CompileError> {
+        let key = MemoKey::Encode(free, (scale_bits * 1000.0).round() as u64, level);
+        self.memoized(
+            key,
+            Op::Encode {
+                value: free,
+                scale_bits,
+                level,
+            },
+        )
+    }
+
+    /// `rescale` is applicable: the result would stay at or above the
+    /// waterline.
+    fn can_rescale(&self, v: ValueId) -> bool {
+        self.scale(v) - self.cfg.rescale_bits >= self.cfg.waterline - SCALE_EPS
+    }
+
+    /// Exhaustively rescale (the "while possible" loops of both policies).
+    fn rescale_fully(&mut self, mut v: ValueId) -> Result<ValueId, CompileError> {
+        while self.can_rescale(v) {
+            v = self.rescale(v)?;
+        }
+        Ok(v)
+    }
+
+    /// One plan-driven scale-management step, chosen by the scale rule.
+    fn plan_step(&mut self, v: ValueId) -> Result<ValueId, CompileError> {
+        if self.can_rescale(v) {
+            self.rescale(v)
+        } else if self.scale(v) > self.cfg.waterline + SCALE_EPS {
+            self.downscale(v)
+        } else {
+            self.modswitch(v)
+        }
+    }
+
+    /// Raise the level of `v` (cipher) by one, per PARS level matching:
+    /// modswitch at the waterline, downscale above it.
+    fn raise_level_proactive(&mut self, v: ValueId) -> Result<ValueId, CompileError> {
+        if self.scale(v) > self.cfg.waterline + SCALE_EPS && !self.can_rescale(v) {
+            self.downscale(v)
+        } else if self.can_rescale(v) {
+            self.rescale(v)
+        } else {
+            self.modswitch(v)
+        }
+    }
+}
+
+/// Folds an operation on free constants (constant folding keeps input
+/// programs flexible about scalar pre-processing).
+fn fold_free(out_vec: usize, op: &Op, data: &[&ConstData]) -> ConstData {
+    let get = |d: &ConstData, i: usize| d.at(i);
+    match op {
+        Op::Add(..) => ConstData::vector(
+            (0..out_vec)
+                .map(|i| get(data[0], i) + get(data[1], i))
+                .collect(),
+        ),
+        Op::Sub(..) => ConstData::vector(
+            (0..out_vec)
+                .map(|i| get(data[0], i) - get(data[1], i))
+                .collect(),
+        ),
+        Op::Mul(..) => ConstData::vector(
+            (0..out_vec)
+                .map(|i| get(data[0], i) * get(data[1], i))
+                .collect(),
+        ),
+        Op::Negate(..) => {
+            ConstData::vector((0..out_vec).map(|i| -get(data[0], i)).collect())
+        }
+        Op::Rotate { step, .. } => ConstData::vector(
+            (0..out_vec)
+                .map(|i| get(data[0], (i + step) % out_vec))
+                .collect(),
+        ),
+        _ => unreachable!("fold_free on non-foldable op"),
+    }
+}
+
+/// Runs scale-management code generation over an input program.
+///
+/// # Errors
+/// Returns a [`CompileError`] if the input is malformed or a transformation
+/// would violate the type system (a planner bug, or an infeasible plan that
+/// the explorer must discard).
+pub fn generate(func: &Function, g: &GenOptions) -> Result<(Function, Vec<Type>), CompileError> {
+    func.verify_structure()?;
+    let cfg = g.cfg;
+    let mut em = Emitter::new(&func.name, func.vec_size, cfg);
+    let mut map: Vec<Option<ValueId>> = vec![None; func.len()];
+
+    for (i, op) in func.ops().iter().enumerate() {
+        // The unit of this op's result, for SMU plan lookups.
+        let result_unit = match g.plan {
+            PlanRef::Smu { smu, .. } => smu.unit_of.get(i).copied().flatten(),
+            _ => None,
+        };
+        // Resolve an operand: map to the new function, then apply the
+        // plan's optimization degree for this edge.
+        let resolve = |em: &mut Emitter, v: ValueId| -> Result<ValueId, CompileError> {
+            let mut cur = map[v.index()].expect("operand defined earlier");
+            if !em.is_free(cur) && em.ty(cur).is_cipher() {
+                let d = g.plan.degree(v, i, result_unit);
+                for _ in 0..d {
+                    cur = em.plan_step(cur)?;
+                }
+            }
+            Ok(cur)
+        };
+
+        let new_id = match op {
+            Op::Input { name } => em.emit(Op::Input { name: name.clone() })?,
+            Op::Const { data } => em.emit(Op::Const { data: data.clone() })?,
+            Op::Encode { .. } | Op::Rescale(_) | Op::ModSwitch(_) | Op::Upscale { .. }
+            | Op::Downscale(_) => {
+                return Err(CompileError::UnsupportedInput {
+                    reason: format!(
+                        "input programs must not contain scale management ({})",
+                        op.mnemonic()
+                    ),
+                })
+            }
+            Op::Negate(a) => {
+                let a = resolve(&mut em, *a)?;
+                if em.is_free(a) {
+                    let folded = fold_free(func.vec_size, op, &[const_data(&em, a)]);
+                    em.emit(Op::Const { data: folded })?
+                } else {
+                    em.emit(Op::Negate(a))?
+                }
+            }
+            Op::Rotate { value, step } => {
+                let a = resolve(&mut em, *value)?;
+                if em.is_free(a) {
+                    let folded = fold_free(func.vec_size, op, &[const_data(&em, a)]);
+                    em.emit(Op::Const { data: folded })?
+                } else {
+                    em.emit(Op::Rotate {
+                        value: a,
+                        step: *step,
+                    })?
+                }
+            }
+            Op::Add(a0, b0) | Op::Sub(a0, b0) | Op::Mul(a0, b0) => {
+                let a = resolve(&mut em, *a0)?;
+                let b = resolve(&mut em, *b0)?;
+                if em.is_free(a) && em.is_free(b) {
+                    let folded =
+                        fold_free(func.vec_size, op, &[const_data(&em, a), const_data(&em, b)]);
+                    em.emit(Op::Const { data: folded })?
+                } else {
+                    let is_mul = matches!(op, Op::Mul(..));
+                    let (a, b) = prepare_binary(&mut em, a, b, is_mul, g.proactive)?;
+                    let result = match op {
+                        Op::Add(..) => em.emit(Op::Add(a, b))?,
+                        Op::Sub(..) => em.emit(Op::Sub(a, b))?,
+                        Op::Mul(..) => em.emit(Op::Mul(a, b))?,
+                        _ => unreachable!(),
+                    };
+                    // EVA's reactive waterline rescaling on mul results.
+                    if !g.proactive && is_mul {
+                        em.rescale_fully(result)?
+                    } else if !g.proactive {
+                        result
+                    } else {
+                        result
+                    }
+                }
+            }
+        };
+        map[i] = Some(new_id);
+    }
+
+    // Reduce the cumulative scale of outputs (both policies): every dropped
+    // prime shortens the modulus chain for free.
+    for (name, v) in func.outputs() {
+        let mut out_v = map[v.index()].expect("output defined");
+        if em.ty(out_v).is_cipher() {
+            out_v = em.rescale_fully(out_v)?;
+        }
+        em.out.mark_output(name.clone(), out_v);
+    }
+
+    let (mut out, mut types) = (em.out, em.types);
+    if g.early_modswitch {
+        (out, types) = early_modswitch(&out, &cfg)?;
+    }
+    let _ = types;
+    let (clean, _) = hecate_ir::analysis::eliminate_dead_code(&out);
+    // Re-infer on the cleaned function (cheap; also our final verifier).
+    let final_types = infer_types(&clean, &cfg)?;
+    Ok((clean, final_types))
+}
+
+fn const_data<'e>(em: &'e Emitter, v: ValueId) -> &'e ConstData {
+    match em.out.op(v) {
+        Op::Const { data } => data,
+        _ => unreachable!("free value must be a constant"),
+    }
+}
+
+/// Applies the policy's operand preparation for a binary operation and
+/// returns the final operands.
+fn prepare_binary(
+    em: &mut Emitter,
+    mut a: ValueId,
+    mut b: ValueId,
+    is_mul: bool,
+    proactive: bool,
+) -> Result<(ValueId, ValueId), CompileError> {
+    let cfg = em.cfg;
+    // (b) rescale analysis (PARS only — EVA rescales reactively).
+    if proactive {
+        if !em.is_free(a) && em.ty(a).is_cipher() {
+            a = em.rescale_fully(a)?;
+        }
+        if !em.is_free(b) && em.ty(b).is_cipher() {
+            b = em.rescale_fully(b)?;
+        }
+    }
+    // (a) encode: free operands become plaintexts at the cipher operand's
+    // level; for add/sub at the cipher's scale, for mul at the waterline.
+    if em.is_free(a) || em.is_free(b) {
+        let (free, cipher) = if em.is_free(a) { (a, b) } else { (b, a) };
+        let scale = if is_mul {
+            cfg.waterline
+        } else {
+            em.scale(cipher)
+        };
+        let encoded = em.encode(free, scale, em.level(cipher))?;
+        let (na, nb) = if em.is_free(a) {
+            (encoded, b)
+        } else {
+            (a, encoded)
+        };
+        return Ok((na, nb));
+    }
+    // Plain operands (from earlier encodes) can be re-encoded at will by
+    // the backend; treat them like ciphers for level/scale matching via
+    // modswitch/upscale, which the type system permits on scaled types.
+    // (c) level match.
+    while em.level(a) != em.level(b) {
+        let (lo_is_a, lo) = if em.level(a) < em.level(b) {
+            (true, a)
+        } else {
+            (false, b)
+        };
+        let raised = if em.ty(lo).is_cipher() {
+            if proactive {
+                em.raise_level_proactive(lo)?
+            } else {
+                em.modswitch(lo)?
+            }
+        } else {
+            // Plaintext: level is free at encode time; modswitch models it.
+            em.modswitch(lo)?
+        };
+        if lo_is_a {
+            a = raised;
+        } else {
+            b = raised;
+        }
+    }
+    // (d) scale match for add/sub.
+    if !is_mul {
+        let (sa, sb) = (em.scale(a), em.scale(b));
+        if (sa - sb).abs() > SCALE_EPS {
+            if sa < sb {
+                a = em.upscale(a, sb)?;
+            } else {
+                b = em.upscale(b, sa)?;
+            }
+        }
+    }
+    // (e) downscale analysis for multiplications (PARS only).
+    if proactive && is_mul && em.ty(a).is_cipher() && em.ty(b).is_cipher() {
+        let (sa, sb) = (em.scale(a), em.scale(b));
+        let both_reducible =
+            sa > cfg.waterline + SCALE_EPS && sb > cfg.waterline + SCALE_EPS;
+        if both_reducible && sa + sb > 2.0 * cfg.rescale_bits + SCALE_EPS {
+            a = em.downscale(a)?;
+            b = em.downscale(b)?;
+        }
+    }
+    Ok((a, b))
+}
+
+/// EVA's early-modswitch motion: `modswitch(op(x, y))` with a single-use
+/// operand becomes `op(modswitch(x), modswitch(y))`, letting `op` execute
+/// at the higher (cheaper) level. Iterates to a fixpoint.
+fn early_modswitch(
+    func: &Function,
+    cfg: &TypeConfig,
+) -> Result<(Function, Vec<Type>), CompileError> {
+    let mut cur = func.clone();
+    for _ in 0..16 {
+        let use_lists = hecate_ir::analysis::users(&cur);
+        // Find a modswitch whose operand is a single-use homomorphic op.
+        let mut target: Option<(usize, usize)> = None; // (modswitch idx, def idx)
+        for (i, op) in cur.ops().iter().enumerate() {
+            if let Op::ModSwitch(v) = op {
+                let d = v.index();
+                let def = cur.op(*v);
+                let movable = matches!(
+                    def,
+                    Op::Add(..) | Op::Sub(..) | Op::Mul(..) | Op::Negate(..) | Op::Rotate { .. }
+                );
+                let single_use = use_lists[d].len() == 1
+                    && !cur.outputs().iter().any(|(_, o)| o.index() == d);
+                if movable && single_use {
+                    target = Some((i, d));
+                    break;
+                }
+            }
+        }
+        let Some((ms_idx, def_idx)) = target else { break };
+        // Rebuild with the rewrite applied.
+        let mut em = Emitter::new(&cur.name, cur.vec_size, *cfg);
+        let mut map: Vec<Option<ValueId>> = vec![None; cur.len()];
+        for (i, op) in cur.ops().iter().enumerate() {
+            if i == ms_idx {
+                // Emit op(modswitch(operands)) in place of modswitch(op).
+                let def = cur.op(ValueId(def_idx as u32)).clone();
+                let mut new_operands = Vec::new();
+                for v in def.operands() {
+                    let cur_v = map[v.index()].expect("defined");
+                    new_operands.push(em.modswitch(cur_v)?);
+                }
+                let rewritten = match def {
+                    Op::Add(..) => Op::Add(new_operands[0], new_operands[1]),
+                    Op::Sub(..) => Op::Sub(new_operands[0], new_operands[1]),
+                    Op::Mul(..) => Op::Mul(new_operands[0], new_operands[1]),
+                    Op::Negate(..) => Op::Negate(new_operands[0]),
+                    Op::Rotate { step, .. } => Op::Rotate {
+                        value: new_operands[0],
+                        step,
+                    },
+                    _ => unreachable!(),
+                };
+                map[i] = Some(em.emit(rewritten)?);
+            } else {
+                let remapped = hecate_ir::analysis::remap_op(op, &map);
+                map[i] = Some(em.emit(remapped)?);
+            }
+        }
+        for (name, v) in cur.outputs() {
+            em.out.mark_output(name.clone(), map[v.index()].expect("output"));
+        }
+        let (cleaned, _) = hecate_ir::analysis::eliminate_dead_code(&em.out);
+        if cleaned == cur {
+            break;
+        }
+        cur = cleaned;
+    }
+    let types = infer_types(&cur, cfg)?;
+    Ok((cur, types))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hecate_ir::FunctionBuilder;
+
+    fn motivating() -> Function {
+        let mut b = FunctionBuilder::new("motivating", 4);
+        let x = b.input_cipher("x");
+        let y = b.input_cipher("y");
+        let x2 = b.square(x);
+        let y2 = b.square(y);
+        let z = b.add(x2, y2);
+        let z2 = b.mul(z, z);
+        let z3 = b.mul(z2, z);
+        b.output(z3);
+        b.finish()
+    }
+
+    fn gen(func: &Function, proactive: bool, w: f64) -> (Function, Vec<Type>) {
+        let g = GenOptions {
+            cfg: TypeConfig::new(w, 60.0),
+            proactive,
+            plan: PlanRef::None,
+            early_modswitch: true,
+        };
+        generate(func, &g).unwrap()
+    }
+
+    fn count(f: &Function, name: &str) -> usize {
+        f.ops().iter().filter(|o| o.mnemonic() == name).count()
+    }
+
+    fn max_scale(types: &[Type]) -> f64 {
+        types.iter().filter_map(|t| t.scale()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn eva_reproduces_fig2a_structure() {
+        // Waterline 20, Sf 60: z² (2^80) rescales to 2^20 level 1; z (2^40)
+        // is modswitched to level 1 for z³ = 2^60 at level 1.
+        let (out, types) = gen(&motivating(), false, 20.0);
+        assert!(count(&out, "rescale") >= 1);
+        assert!(count(&out, "modswitch") >= 1);
+        assert_eq!(count(&out, "downscale"), 0, "EVA never downscales");
+        // z³ before output rescaling reaches 2^80 (z²·z = 20+40 = 60, then
+        // output rescale requires ≥ 80): the peak scale is 80.
+        assert!((max_scale(&types) - 80.0).abs() < 1.0, "peak {}", max_scale(&types));
+    }
+
+    #[test]
+    fn pars_reproduces_fig2b_structure() {
+        // PARS downscales z to 2^20 before the level-matched multiply,
+        // giving z³ = 2^40 instead of EVA's 2^60.
+        let (out, types) = gen(&motivating(), true, 20.0);
+        assert!(count(&out, "downscale") >= 1, "PARS should downscale");
+        let (_, eva_types) = gen(&motivating(), false, 20.0);
+        assert!(
+            max_scale(&types) <= max_scale(&eva_types),
+            "PARS cumulative scale {} must not exceed EVA's {}",
+            max_scale(&types),
+            max_scale(&eva_types)
+        );
+    }
+
+    #[test]
+    fn generated_code_always_type_checks() {
+        for proactive in [false, true] {
+            for w in [20.0, 25.0, 30.0, 40.0] {
+                let (out, _) = gen(&motivating(), proactive, w);
+                let cfg = TypeConfig::new(w, 60.0);
+                infer_types(&out, &cfg).expect("compiled code type-checks");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_degrees_insert_extra_ops() {
+        let func = motivating();
+        let smu = crate::smu::analyze(&func, 20.0);
+        let zero = vec![0u32; smu.edges.len()];
+        let cfg = TypeConfig::new(20.0, 60.0);
+        let base = generate(
+            &func,
+            &GenOptions {
+                cfg,
+                proactive: true,
+                plan: PlanRef::Smu {
+                    smu: &smu,
+                    degrees: &zero,
+                },
+                early_modswitch: false,
+            },
+        )
+        .unwrap();
+        // Bump one edge and require the op mix to change.
+        let mut changed_any = false;
+        for e in 0..smu.edges.len() {
+            let mut degrees = zero.clone();
+            degrees[e] = 1;
+            if let Ok((out, _)) = generate(
+                &func,
+                &GenOptions {
+                    cfg,
+                    proactive: true,
+                    plan: PlanRef::Smu {
+                        smu: &smu,
+                        degrees: &degrees,
+                    },
+                    early_modswitch: false,
+                },
+            ) {
+                infer_types(&out, &cfg).expect("plan output type-checks");
+                if out != base.0 {
+                    changed_any = true;
+                }
+            }
+        }
+        assert!(changed_any, "some edge degree must change the program");
+    }
+
+    #[test]
+    fn constants_fold_and_encode() {
+        let mut b = FunctionBuilder::new("c", 4);
+        let x = b.input_cipher("x");
+        let c1 = b.splat(2.0);
+        let c2 = b.splat(3.0);
+        let c3 = b.add(c1, c2); // folds to 5
+        let m = b.mul(x, c3);
+        b.output(m);
+        let f = b.finish();
+        let (out, types) = gen(&f, true, 20.0);
+        // One encode, no free values reaching the multiply.
+        assert_eq!(count(&out, "encode"), 1);
+        let ok = out.ops().iter().any(
+            |o| matches!(o, Op::Const { data } if (data.at(0) - 5.0).abs() < 1e-12),
+        );
+        assert!(ok, "folded constant present");
+        infer_types(&out, &TypeConfig::new(20.0, 60.0)).unwrap();
+        assert!(types.iter().any(|t| t.is_plain()));
+    }
+
+    #[test]
+    fn sub_and_negate_and_rotate_pass_through() {
+        let mut b = FunctionBuilder::new("misc", 8);
+        let x = b.input_cipher("x");
+        let y = b.input_cipher("y");
+        let d = b.sub(x, y);
+        let n = b.neg(d);
+        let r = b.rotate(n, 3);
+        b.output(r);
+        let f = b.finish();
+        let (out, _) = gen(&f, true, 30.0);
+        assert_eq!(count(&out, "sub"), 1);
+        assert_eq!(count(&out, "negate"), 1);
+        assert_eq!(count(&out, "rotate"), 1);
+    }
+
+    #[test]
+    fn scale_management_in_input_rejected() {
+        let mut f = Function::new("bad", 4);
+        let x = f.push(Op::Input { name: "x".into() });
+        let r = f.push(Op::Rescale(x));
+        f.mark_output("o", r);
+        let g = GenOptions {
+            cfg: TypeConfig::new(20.0, 60.0),
+            proactive: true,
+            plan: PlanRef::None,
+            early_modswitch: false,
+        };
+        assert!(matches!(
+            generate(&f, &g),
+            Err(CompileError::UnsupportedInput { .. })
+        ));
+    }
+
+    #[test]
+    fn early_modswitch_hoists_through_single_use_ops() {
+        // Build (x·y) then force a modswitch via level matching against a
+        // deeper value; the modswitch should migrate above the multiply.
+        let mut b = FunctionBuilder::new("em", 4);
+        let x = b.input_cipher("x");
+        let y = b.input_cipher("y");
+        let xy = b.mul(x, y); // scale 40 — not rescalable at w=20/sf=60
+        let x2 = b.square(x);
+        let x4 = b.mul(x2, x2); // scale 80 → rescaled to 20, level 1
+        let z = b.mul(xy, x4); // xy needs level 1
+        b.output(z);
+        let f = b.finish();
+        let with = gen(&f, false, 20.0);
+        // With hoisting the mul(x,y) happens at level 1 (after modswitch).
+        let mul_levels: Vec<usize> = with
+            .0
+            .ops()
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o, Op::Mul(..)))
+            .map(|(i, o)| {
+                let v = o.operands()[0];
+                let _ = i;
+                with.1[v.index()].level().unwrap()
+            })
+            .collect();
+        assert!(
+            mul_levels.iter().any(|&l| l >= 1),
+            "some multiply should run at a raised level: {mul_levels:?}"
+        );
+    }
+
+    #[test]
+    fn outputs_are_rescaled_to_shrink_modulus() {
+        let (out, types) = gen(&motivating(), false, 20.0);
+        let (_, ov) = &out.outputs()[0];
+        let t = types[ov.index()];
+        // 80-bit z³ gets one output rescale down to 20.
+        assert!(t.scale().unwrap() < 80.0 - 1.0);
+    }
+}

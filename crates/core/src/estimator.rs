@@ -1,0 +1,393 @@
+//! The static performance estimator (paper §VI-C).
+//!
+//! The latency of an RNS-CKKS operation is determined by the operation
+//! kind, the number of active RNS primes (`chain_len − level`), and the
+//! ring degree `N`: linear in the active primes for elementwise work and
+//! quadratic for key switching, with an `N log N` factor wherever NTTs are
+//! involved. The estimator sums a per-operation cost table over the
+//! compiled program; levels come straight from the type system.
+//!
+//! Two models are provided: an *analytic* model with the asymptotic shape
+//! above (deterministic, used during exploration and in tests), and a
+//! *profiled* table measured on the actual backend (what the paper does;
+//! Fig. 8 shows the two agree within a few percent).
+
+use hecate_ir::types::Type;
+use hecate_ir::{Function, Op};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The backend cost categories an IR operation lowers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CostOp {
+    /// Ciphertext + ciphertext.
+    AddCC,
+    /// Ciphertext + plaintext.
+    AddCP,
+    /// Ciphertext × ciphertext, including relinearization.
+    MulCC,
+    /// Ciphertext × plaintext.
+    MulCP,
+    /// Negation.
+    Negate,
+    /// Slot rotation (automorphism + key switch).
+    Rotate,
+    /// Rescale (divide by the last prime).
+    Rescale,
+    /// Modulus switch (drop the last prime).
+    ModSwitch,
+}
+
+impl CostOp {
+    /// All cost categories.
+    pub const ALL: [CostOp; 8] = [
+        CostOp::AddCC,
+        CostOp::AddCP,
+        CostOp::MulCC,
+        CostOp::MulCP,
+        CostOp::Negate,
+        CostOp::Rotate,
+        CostOp::Rescale,
+        CostOp::ModSwitch,
+    ];
+}
+
+/// A measured `(operation, active primes) → microseconds` table for one
+/// ring degree, as produced by the backend profiler.
+#[derive(Debug, Clone, Default)]
+pub struct CostTable {
+    /// Ring degree the table was measured at.
+    pub degree: usize,
+    entries: HashMap<(CostOp, usize), f64>,
+}
+
+impl CostTable {
+    /// Creates an empty table for a degree.
+    pub fn new(degree: usize) -> Self {
+        CostTable {
+            degree,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Records a measurement.
+    pub fn set(&mut self, op: CostOp, active_primes: usize, micros: f64) {
+        self.entries.insert((op, active_primes), micros);
+    }
+
+    /// Looks up a measurement; falls back to the nearest measured prefix
+    /// scaled analytically if the exact prefix is missing.
+    pub fn get(&self, op: CostOp, active_primes: usize) -> Option<f64> {
+        if let Some(v) = self.entries.get(&(op, active_primes)) {
+            return Some(*v);
+        }
+        // Nearest-neighbour fallback with analytic scaling.
+        let nearest = self
+            .entries
+            .iter()
+            .filter(|((o, _), _)| *o == op)
+            .min_by_key(|((_, c), _)| c.abs_diff(active_primes))?;
+        let ((_, c0), v0) = nearest;
+        let a = analytic_cost_us(op, active_primes, self.degree);
+        let b = analytic_cost_us(op, *c0, self.degree);
+        Some(v0 * a / b)
+    }
+}
+
+/// The latency model used by the estimator.
+#[derive(Debug, Clone, Default)]
+pub enum CostModel {
+    /// Deterministic asymptotic model.
+    #[default]
+    Analytic,
+    /// Table measured on the execution backend.
+    Profiled(Arc<CostTable>),
+}
+
+impl CostModel {
+    /// Cost of one operation in microseconds at the given active-prime
+    /// count and ring degree.
+    pub fn cost_us(&self, op: CostOp, active_primes: usize, degree: usize) -> f64 {
+        match self {
+            CostModel::Analytic => analytic_cost_us(op, active_primes, degree),
+            CostModel::Profiled(t) => t
+                .get(op, active_primes)
+                .unwrap_or_else(|| analytic_cost_us(op, active_primes, degree)),
+        }
+    }
+}
+
+/// The analytic latency model, microseconds.
+///
+/// Shapes (with `c` = active primes, `n` = degree, `lg = log2 n`):
+/// elementwise passes are `Θ(n·c)`, NTTs are `Θ(n·lg)` each, and key
+/// switching performs `Θ(c²)` NTTs plus `Θ(n·c²)` accumulation — the
+/// quadratic-in-level behaviour the paper describes. Constants are
+/// calibrated to this repository's interpreter-free Rust backend.
+pub fn analytic_cost_us(op: CostOp, c: usize, n: usize) -> f64 {
+    let c = c as f64;
+    let n = n as f64;
+    let lg = n.log2();
+    // Calibration constants (µs): 4 ns per element for pointwise passes,
+    // 6 ns per point-stage for NTTs — measured against this repository's
+    // backend at n = 512–4096.
+    let elem = 0.004;
+    let ntt_pass = |count: f64| count * 0.006 * n * lg;
+    let pass = |count: f64| count * elem * n * c;
+    // Key switch at prefix c: c digit lifts, c·(c+1) forward NTTs,
+    // 2·(c+1) inverse NTTs, 2·c·(c+1) multiply-accumulate passes,
+    // and a mod-down pass.
+    let keyswitch = ntt_pass(c * (c + 1.0) + 2.0 * (c + 1.0) + 2.0 * c)
+        + 2.0 * elem * n * c * (c + 1.0)
+        + pass(4.0);
+    match op {
+        CostOp::AddCC => pass(2.0),
+        // Plaintexts are pre-transformed to NTT form, so ct⊙pt operations
+        // are pointwise passes only.
+        CostOp::AddCP => pass(1.0),
+        CostOp::Negate => pass(2.0),
+        CostOp::MulCP => pass(2.0),
+        CostOp::MulCC => pass(4.0) + keyswitch,
+        CostOp::Rotate => pass(2.0) + ntt_pass(4.0 * c) + keyswitch,
+        CostOp::Rescale => ntt_pass(4.0 * c) + pass(4.0),
+        CostOp::ModSwitch => 0.002 * n,
+    }
+}
+
+/// Maps an IR operation (with its operand types) to its cost category.
+///
+/// `encode` and `const` cost nothing at runtime (plaintexts are prepared
+/// ahead of execution); `upscale` lowers to a plaintext multiplication;
+/// `downscale` lowers to a plaintext multiplication plus a rescale.
+fn categorize(op: &Op, operand_is_plain: impl Fn(usize) -> bool) -> Vec<CostOp> {
+    match op {
+        Op::Input { .. } | Op::Const { .. } | Op::Encode { .. } => vec![],
+        Op::Add(..) | Op::Sub(..) => {
+            if operand_is_plain(0) || operand_is_plain(1) {
+                vec![CostOp::AddCP]
+            } else {
+                vec![CostOp::AddCC]
+            }
+        }
+        Op::Mul(..) => {
+            if operand_is_plain(0) || operand_is_plain(1) {
+                vec![CostOp::MulCP]
+            } else {
+                vec![CostOp::MulCC]
+            }
+        }
+        Op::Negate(..) => vec![CostOp::Negate],
+        Op::Rotate { .. } => vec![CostOp::Rotate],
+        Op::Rescale(..) => vec![CostOp::Rescale],
+        Op::ModSwitch(..) => vec![CostOp::ModSwitch],
+        Op::Upscale { .. } => vec![CostOp::MulCP],
+        Op::Downscale(..) => vec![CostOp::MulCP, CostOp::Rescale],
+    }
+}
+
+/// Statically estimates the output noise of a typed program, in log2 of
+/// the decoded-domain standard deviation ("noise bits"; more negative is
+/// more precise).
+///
+/// This is the scale-driven first-order CKKS model (messages assumed O(1)):
+/// fresh encryption and encodings contribute rounding/RLWE noise inversely
+/// proportional to their scale, multiplications and rotations add
+/// key-switch noise at the result scale, and rescales add rounding at the
+/// new scale. The paper's follow-on work (ELASM) explores exactly this
+/// scale-vs-error trade-off; [`crate::options::Objective`] exposes it.
+pub fn estimate_noise_bits(func: &Function, types: &[Type], degree: usize) -> f64 {
+    let n = degree as f64;
+    // log2 helpers for the noise sources (standard deviations).
+    let fresh = |scale: f64| 0.5 * (2.0 * n * 10.5).log2() - scale;
+    let encode = |scale: f64| 0.5 * (n / 12.0).log2() - scale;
+    let keyswitch = |scale: f64| 0.5 * (n * n * 10.5 / 6.0).log2() - scale;
+    let rounding = |scale: f64| 0.5 * (n * n / 36.0).log2() - scale;
+    // log2(sqrt(2^2a + 2^2b)) — combine independent noises.
+    let join = |a: f64, b: f64| {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        hi + 0.5 * (1.0 + 2f64.powf(2.0 * (lo - hi))).log2()
+    };
+    let mut nb: Vec<f64> = Vec::with_capacity(func.len());
+    for (i, op) in func.ops().iter().enumerate() {
+        let scale = types[i].scale().unwrap_or(0.0);
+        let of = |v: &hecate_ir::ValueId| nb[v.index()];
+        let v = match op {
+            Op::Input { .. } => fresh(scale),
+            Op::Const { .. } => f64::NEG_INFINITY,
+            Op::Encode { .. } => encode(scale),
+            Op::Add(a, b) | Op::Sub(a, b) => join(of(a), of(b)),
+            Op::Mul(a, b) => {
+                let base = join(of(a), of(b));
+                if types[a.index()].is_cipher() && types[b.index()].is_cipher() {
+                    join(base, keyswitch(scale))
+                } else {
+                    base
+                }
+            }
+            Op::Negate(a) => of(a),
+            Op::Rotate { value, .. } => join(of(value), keyswitch(scale)),
+            Op::Rescale(a) | Op::Downscale(a) => join(of(a), rounding(scale)),
+            Op::ModSwitch(a) | Op::Upscale { value: a, .. } => of(a),
+        };
+        nb.push(v);
+    }
+    func.outputs()
+        .iter()
+        .map(|(_, v)| nb[v.index()])
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Estimates the execution latency (microseconds) of a typed program on a
+/// chain of `chain_len` primes at ring degree `degree`.
+///
+/// Each operation executes at the active-prime count implied by its
+/// *operand* level (the work happens before the level changes).
+pub fn estimate_latency_us(
+    func: &Function,
+    types: &[Type],
+    model: &CostModel,
+    chain_len: usize,
+    degree: usize,
+) -> f64 {
+    latency_breakdown(func, types, model, chain_len, degree)
+        .values()
+        .sum()
+}
+
+/// Like [`estimate_latency_us`], but broken down per cost category —
+/// useful for seeing where a compiled program spends its time (key
+/// switching almost always dominates).
+pub fn latency_breakdown(
+    func: &Function,
+    types: &[Type],
+    model: &CostModel,
+    chain_len: usize,
+    degree: usize,
+) -> std::collections::BTreeMap<CostOp, f64> {
+    let mut totals = std::collections::BTreeMap::new();
+    for (i, op) in func.ops().iter().enumerate() {
+        let operands = op.operands();
+        let operand_level = operands
+            .iter()
+            .filter_map(|v| types[v.index()].level())
+            .max()
+            .or_else(|| types[i].level())
+            .unwrap_or(0);
+        let active = chain_len.saturating_sub(operand_level).max(1);
+        let is_plain = |k: usize| {
+            operands
+                .get(k)
+                .map(|v| types[v.index()].is_plain())
+                .unwrap_or(false)
+        };
+        for cat in categorize(op, is_plain) {
+            *totals.entry(cat).or_insert(0.0) += model.cost_us(cat, active, degree);
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hecate_ir::types::{infer_types, TypeConfig};
+    use hecate_ir::FunctionBuilder;
+
+    #[test]
+    fn deeper_level_is_cheaper() {
+        for op in [CostOp::MulCC, CostOp::Rotate, CostOp::AddCC, CostOp::Rescale] {
+            let shallow = analytic_cost_us(op, 8, 4096);
+            let deep = analytic_cost_us(op, 2, 4096);
+            assert!(deep < shallow, "{op:?} should be cheaper with fewer primes");
+        }
+    }
+
+    #[test]
+    fn mul_level1_speedup_is_in_paper_ballpark() {
+        // §II-C: level-1 multiplication ≈ 2.25× faster than level 0 — the
+        // analytic model must show a clearly super-linear drop.
+        let l0 = analytic_cost_us(CostOp::MulCC, 6, 8192);
+        let l1 = analytic_cost_us(CostOp::MulCC, 5, 8192);
+        let ratio = l0 / l1;
+        assert!(
+            ratio > 1.2 && ratio < 3.0,
+            "level-1 speedup {ratio} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn keyswitch_ops_dominate_elementwise() {
+        let mul = analytic_cost_us(CostOp::MulCC, 4, 4096);
+        let add = analytic_cost_us(CostOp::AddCC, 4, 4096);
+        assert!(mul > 20.0 * add);
+    }
+
+    #[test]
+    fn estimate_sums_and_respects_levels() {
+        let mut b = FunctionBuilder::new("e", 4);
+        let x = b.input_cipher("x");
+        let m = b.mul(x, x);
+        b.output(m);
+        let f = b.finish();
+        let cfg = TypeConfig::new(20.0, 40.0);
+        let tys = infer_types(&f, &cfg).unwrap();
+        let model = CostModel::Analytic;
+        let est = estimate_latency_us(&f, &tys, &model, 3, 1024);
+        let expect = analytic_cost_us(CostOp::MulCC, 3, 1024);
+        assert!((est - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_sums_to_estimate() {
+        let mut b = FunctionBuilder::new("bd", 4);
+        let x = b.input_cipher("x");
+        let m = b.mul(x, x);
+        let r = b.rotate(m, 1);
+        let a = b.add(r, r);
+        b.output(a);
+        let f = b.finish();
+        let cfg = TypeConfig::new(20.0, 60.0);
+        let tys = infer_types(&f, &cfg).unwrap();
+        let model = CostModel::Analytic;
+        let table = latency_breakdown(&f, &tys, &model, 3, 1024);
+        let total: f64 = table.values().sum();
+        let est = estimate_latency_us(&f, &tys, &model, 3, 1024);
+        assert!((total - est).abs() < 1e-9);
+        assert!(table.contains_key(&CostOp::MulCC));
+        assert!(table.contains_key(&CostOp::Rotate));
+        assert!(table.contains_key(&CostOp::AddCC));
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn profiled_table_lookup_and_fallback() {
+        let mut t = CostTable::new(1024);
+        t.set(CostOp::MulCC, 4, 1000.0);
+        t.set(CostOp::MulCC, 2, 300.0);
+        assert_eq!(t.get(CostOp::MulCC, 4), Some(1000.0));
+        // Missing prefix 3 falls back to nearest with analytic scaling —
+        // monotone between the two anchors.
+        let v = t.get(CostOp::MulCC, 3).unwrap();
+        assert!(v > 300.0 && v < 1000.0, "interpolated {v}");
+        assert_eq!(t.get(CostOp::Rotate, 3), None);
+    }
+
+    #[test]
+    fn downscale_costs_mulcp_plus_rescale() {
+        use hecate_ir::{Function, Op, ValueId};
+        let mut f = Function::new("d", 4);
+        let x = f.push(Op::Input { name: "x".into() });
+        let m = f.push(Op::Mul(x, x));
+        let d = f.push(Op::Downscale(m));
+        f.mark_output("o", d);
+        let _ = (m, d);
+        let cfg = TypeConfig::new(20.0, 60.0);
+        let tys = infer_types(&f, &cfg).unwrap();
+        let est = estimate_latency_us(&f, &tys, &CostModel::Analytic, 3, 1024);
+        let expect = analytic_cost_us(CostOp::MulCC, 3, 1024)
+            + analytic_cost_us(CostOp::MulCP, 3, 1024)
+            + analytic_cost_us(CostOp::Rescale, 3, 1024);
+        assert!((est - expect).abs() < 1e-9);
+        let _ = ValueId(0);
+    }
+}

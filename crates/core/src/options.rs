@@ -1,0 +1,220 @@
+//! Compilation options, scheme selection, and compilation results.
+
+use crate::estimator::CostModel;
+use crate::params::SelectedParams;
+use hecate_ir::ir::StructureError;
+use hecate_ir::types::{Type, TypeConfig, TypeError};
+use hecate_ir::Function;
+use std::collections::BTreeMap;
+
+/// The four scale-management schemes the paper evaluates (§VII-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// EVA's fixed-factor waterline rescaling (the baseline, reimplemented
+    /// on this framework as in the paper).
+    Eva,
+    /// Proactive rescaling (Algorithm 2) without space exploration.
+    Pars,
+    /// Scale-management space exploration over EVA's waterline rescaling.
+    Smse,
+    /// Full HECATE: SMSE over proactive rescaling.
+    Hecate,
+}
+
+impl Scheme {
+    /// All schemes, in the paper's presentation order.
+    pub const ALL: [Scheme; 4] = [Scheme::Eva, Scheme::Pars, Scheme::Smse, Scheme::Hecate];
+
+    /// Whether this scheme runs the hill-climbing exploration.
+    pub fn explores(self) -> bool {
+        matches!(self, Scheme::Smse | Scheme::Hecate)
+    }
+
+    /// Whether this scheme uses proactive rescaling (PARS) as its code
+    /// generator (otherwise EVA's waterline rescaling).
+    pub fn proactive(self) -> bool {
+        matches!(self, Scheme::Pars | Scheme::Hecate)
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Scheme::Eva => "EVA",
+            Scheme::Pars => "PARS",
+            Scheme::Smse => "SMSE",
+            Scheme::Hecate => "HECATE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The quantity SMSE minimizes.
+///
+/// `Latency` is the paper's objective. `LatencyAndError` extends it in the
+/// direction of the authors' follow-on work (ELASM): plans are scored by
+/// `log2(latency) + error_weight · noise_bits`, trading speed against
+/// output precision. With `error_weight = 0` the two coincide.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Minimize estimated latency (the paper's SMSE).
+    Latency,
+    /// Jointly minimize latency and estimated output noise.
+    LatencyAndError {
+        /// Weight on the noise-bits term (≥ 0).
+        error_weight: f64,
+    },
+}
+
+impl Default for Objective {
+    fn default() -> Self {
+        Objective::Latency
+    }
+}
+
+/// Knobs for one compilation.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// The waterline `S_w` in log2 bits (the paper sweeps 36 values).
+    pub waterline_bits: f64,
+    /// The rescale factor `S_f` in log2 bits. EVA fixes rescale primes at
+    /// 60 bits; that is the default here too.
+    pub rescale_bits: f64,
+    /// Headroom added to the base prime beyond the largest bottom-level
+    /// scale, to keep decoded values intact.
+    pub margin_bits: f64,
+    /// Fixed ring degree for reduced-scale runs; `None` selects the
+    /// smallest 128-bit-secure degree for the chosen modulus.
+    pub degree: Option<usize>,
+    /// Upper bound on the modulus chain length (guards runaway plans).
+    pub max_chain_len: usize,
+    /// The latency model used by SMSE and reported in the stats.
+    pub cost_model: CostModel,
+    /// Apply EVA's early-modswitch motion (the paper applies it in both
+    /// EVA and HECATE pipelines).
+    pub early_modswitch: bool,
+    /// Canonicalize the input (constant folding + common subexpression
+    /// elimination) before scale management. Benefits all schemes equally.
+    pub canonicalize: bool,
+    /// What the explorer minimizes.
+    pub objective: Objective,
+    /// Upper bound on hill-climbing iterations (safety net; the climb
+    /// normally stops at a local optimum much earlier).
+    pub max_smse_iters: usize,
+}
+
+impl CompileOptions {
+    /// Options with the given waterline and all defaults (S_f = 60 bits).
+    pub fn with_waterline(waterline_bits: f64) -> Self {
+        CompileOptions {
+            waterline_bits,
+            rescale_bits: 60.0,
+            margin_bits: 22.0,
+            degree: None,
+            max_chain_len: 24,
+            cost_model: CostModel::default(),
+            early_modswitch: true,
+            canonicalize: true,
+            objective: Objective::Latency,
+            max_smse_iters: 100,
+        }
+    }
+
+    /// The type-system environment these options induce.
+    pub fn type_config(&self) -> TypeConfig {
+        TypeConfig::new(self.waterline_bits, self.rescale_bits)
+    }
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions::with_waterline(30.0)
+    }
+}
+
+/// Errors from compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The input program is structurally malformed.
+    Structure(StructureError),
+    /// A transformation produced (or met) ill-typed IR.
+    Type(TypeError),
+    /// The scale requirements exceed every supported parameter set.
+    NoParameters {
+        /// Explanation of what overflowed.
+        reason: String,
+    },
+    /// The input program contains an operation input programs may not use.
+    UnsupportedInput {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl From<StructureError> for CompileError {
+    fn from(e: StructureError) -> Self {
+        CompileError::Structure(e)
+    }
+}
+
+impl From<TypeError> for CompileError {
+    fn from(e: TypeError) -> Self {
+        CompileError::Type(e)
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Structure(e) => write!(f, "malformed input: {e}"),
+            CompileError::Type(e) => write!(f, "type error: {e}"),
+            CompileError::NoParameters { reason } => {
+                write!(f, "no feasible encryption parameters: {reason}")
+            }
+            CompileError::UnsupportedInput { reason } => {
+                write!(f, "unsupported input program: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Statistics gathered during compilation.
+#[derive(Debug, Clone, Default)]
+pub struct CompileStats {
+    /// Estimated execution latency of the compiled program, microseconds.
+    pub estimated_latency_us: f64,
+    /// Estimated output noise, log2 of the decoded standard deviation.
+    pub estimated_noise_bits: f64,
+    /// Hill-climbing iterations that improved the plan (Table III "epoch").
+    pub epochs: usize,
+    /// Scale-management plans evaluated (Table III "plans").
+    pub plans_explored: usize,
+    /// Number of scale management units (Table III "SMU").
+    pub smu_units: usize,
+    /// Number of edges between scale management units.
+    pub smu_edges: usize,
+    /// Use–def edges in the input program (Table III "uses").
+    pub use_edges: usize,
+    /// Operation histogram of the compiled program.
+    pub op_counts: BTreeMap<&'static str, usize>,
+}
+
+/// A fully compiled FHE program: scale-managed IR, its types, and the
+/// selected encryption parameters.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The scale-managed function (verified against C1–C3).
+    pub func: Function,
+    /// The inferred type of every value.
+    pub types: Vec<Type>,
+    /// The type environment it was compiled under.
+    pub cfg: TypeConfig,
+    /// Which scheme produced it.
+    pub scheme: Scheme,
+    /// The selected RNS parameters.
+    pub params: SelectedParams,
+    /// Compilation statistics.
+    pub stats: CompileStats,
+}

@@ -1,0 +1,172 @@
+//! The end-to-end compilation pipeline and the waterline sweep driver.
+
+use crate::options::{CompileError, CompileOptions, CompileStats, CompiledProgram, Scheme};
+use crate::planner::{compile_plain, explore_smu};
+use crate::smu;
+use hecate_ir::analysis::{op_histogram, use_edge_count};
+use hecate_ir::Function;
+
+/// Compiles an input program under one of the four schemes (§VII-A).
+///
+/// # Errors
+/// Returns a [`CompileError`] if the input is malformed, a transformation
+/// is ill-typed, or no parameter set fits the resulting scales.
+///
+/// # Example
+/// ```
+/// use hecate_compiler::{compile, CompileOptions, Scheme};
+/// use hecate_ir::FunctionBuilder;
+///
+/// let mut b = FunctionBuilder::new("square", 4);
+/// let x = b.input_cipher("x");
+/// let sq = b.square(x);
+/// b.output(sq);
+/// let func = b.finish();
+///
+/// let compiled = compile(&func, Scheme::Hecate, &CompileOptions::with_waterline(20.0))?;
+/// assert!(compiled.stats.estimated_latency_us > 0.0);
+/// # Ok::<(), hecate_compiler::CompileError>(())
+/// ```
+pub fn compile(
+    func: &Function,
+    scheme: Scheme,
+    opts: &CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
+    let canonical;
+    let func = if opts.canonicalize {
+        canonical = hecate_ir::transform::canonicalize(func);
+        &canonical
+    } else {
+        func
+    };
+    let analysis = smu::analyze(func, opts.waterline_bits);
+    let (candidate, epochs, plans_explored) = if scheme.explores() {
+        let out = explore_smu(func, &analysis, scheme.proactive(), opts)?;
+        (out.best, out.epochs, out.plans_explored)
+    } else {
+        (compile_plain(func, scheme.proactive(), opts)?, 0, 1)
+    };
+    let stats = CompileStats {
+        estimated_latency_us: candidate.cost_us,
+        estimated_noise_bits: candidate.noise_bits,
+        epochs,
+        plans_explored,
+        smu_units: analysis.unit_count,
+        smu_edges: analysis.edges.len(),
+        use_edges: use_edge_count(func),
+        op_counts: op_histogram(&candidate.func),
+    };
+    Ok(CompiledProgram {
+        func: candidate.func,
+        types: candidate.types,
+        cfg: opts.type_config(),
+        scheme,
+        params: candidate.params,
+        stats,
+    })
+}
+
+/// Compiles one program at every waterline and returns the results paired
+/// with their waterlines (failures are kept: a waterline can be infeasible).
+///
+/// The paper sweeps 36 waterlines per scheme and picks the fastest whose
+/// measured error stays within the bound; error filtering happens in the
+/// backend, so this helper only produces the candidates.
+pub fn sweep_waterlines(
+    func: &Function,
+    scheme: Scheme,
+    waterlines: &[f64],
+    opts: &CompileOptions,
+) -> Vec<(f64, Result<CompiledProgram, CompileError>)> {
+    waterlines
+        .iter()
+        .map(|&w| {
+            let mut o = opts.clone();
+            o.waterline_bits = w;
+            (w, compile(func, scheme, &o))
+        })
+        .collect()
+}
+
+/// The default sweep: 36 waterlines from 15 to 50 bits, matching the
+/// paper's 36-point sweep.
+pub fn default_waterlines() -> Vec<f64> {
+    (15..51).map(|w| w as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hecate_ir::FunctionBuilder;
+
+    fn motivating() -> Function {
+        let mut b = FunctionBuilder::new("motivating", 4);
+        let x = b.input_cipher("x");
+        let y = b.input_cipher("y");
+        let x2 = b.square(x);
+        let y2 = b.square(y);
+        let z = b.add(x2, y2);
+        let z2 = b.mul(z, z);
+        let z3 = b.mul(z2, z);
+        b.output(z3);
+        b.finish()
+    }
+
+    fn opts(w: f64) -> CompileOptions {
+        let mut o = CompileOptions::with_waterline(w);
+        o.degree = Some(4096);
+        o
+    }
+
+    #[test]
+    fn all_schemes_compile_the_motivating_example() {
+        let func = motivating();
+        for scheme in Scheme::ALL {
+            let c = compile(&func, scheme, &opts(20.0)).unwrap();
+            assert!(c.stats.estimated_latency_us > 0.0, "{scheme}");
+            assert!(c.params.chain_len >= 1);
+            assert_eq!(c.scheme, scheme);
+            assert!(c.stats.use_edges >= 10);
+            assert!(c.stats.smu_units >= 3);
+        }
+    }
+
+    #[test]
+    fn hecate_at_least_as_fast_as_eva_in_estimate() {
+        let func = motivating();
+        let o = opts(20.0);
+        let eva = compile(&func, Scheme::Eva, &o).unwrap();
+        let hec = compile(&func, Scheme::Hecate, &o).unwrap();
+        assert!(
+            hec.stats.estimated_latency_us <= eva.stats.estimated_latency_us + 1e-9,
+            "HECATE {} vs EVA {}",
+            hec.stats.estimated_latency_us,
+            eva.stats.estimated_latency_us
+        );
+    }
+
+    #[test]
+    fn sweep_produces_one_result_per_waterline() {
+        let func = motivating();
+        let ws = [18.0, 22.0, 26.0];
+        let results = sweep_waterlines(&func, Scheme::Pars, &ws, &opts(20.0));
+        assert_eq!(results.len(), 3);
+        for (w, r) in &results {
+            let c = r.as_ref().expect("feasible waterline");
+            assert!((c.cfg.waterline - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn default_sweep_has_36_points() {
+        assert_eq!(default_waterlines().len(), 36);
+    }
+
+    #[test]
+    fn compiled_stats_populated() {
+        let func = motivating();
+        let c = compile(&func, Scheme::Hecate, &opts(20.0)).unwrap();
+        assert!(c.stats.plans_explored >= 1);
+        assert!(c.stats.op_counts.contains_key("mul"));
+    }
+}

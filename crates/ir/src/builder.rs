@@ -1,0 +1,194 @@
+//! An ergonomic builder for writing input programs.
+//!
+//! This is the reproduction's frontend, standing in for the paper's Python
+//! frontend: applications construct homomorphic expressions directly. Only
+//! homomorphic operations are exposed — scale-management operations are the
+//! compiler's job (paper Fig. 4: input programs contain homomorphic
+//! expressions only).
+
+use crate::ir::{ConstData, Function, Op, ValueId};
+
+/// Builds a [`Function`] one operation at a time.
+///
+/// # Example
+/// ```
+/// use hecate_ir::builder::FunctionBuilder;
+///
+/// let mut b = FunctionBuilder::new("axpy", 8);
+/// let x = b.input_cipher("x");
+/// let a = b.splat(2.0);
+/// let ax = b.mul(x, a);
+/// b.output(ax);
+/// let f = b.finish();
+/// assert_eq!(f.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    outputs: u32,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with the given name and logical vector width.
+    pub fn new(name: impl Into<String>, vec_size: usize) -> Self {
+        FunctionBuilder {
+            func: Function::new(name, vec_size),
+            outputs: 0,
+        }
+    }
+
+    /// Declares an encrypted input.
+    pub fn input_cipher(&mut self, name: impl Into<String>) -> ValueId {
+        self.func.push(Op::Input { name: name.into() })
+    }
+
+    /// Introduces a constant from raw data.
+    pub fn constant(&mut self, data: ConstData) -> ValueId {
+        self.func.push(Op::Const { data })
+    }
+
+    /// Introduces a scalar constant (broadcast).
+    pub fn splat(&mut self, v: f64) -> ValueId {
+        self.constant(ConstData::splat(v))
+    }
+
+    /// Introduces a vector constant.
+    pub fn vector(&mut self, values: Vec<f64>) -> ValueId {
+        self.constant(ConstData::vector(values))
+    }
+
+    /// Homomorphic addition.
+    pub fn add(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.func.push(Op::Add(a, b))
+    }
+
+    /// Homomorphic subtraction.
+    pub fn sub(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.func.push(Op::Sub(a, b))
+    }
+
+    /// Homomorphic multiplication.
+    pub fn mul(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.func.push(Op::Mul(a, b))
+    }
+
+    /// Squares a value.
+    pub fn square(&mut self, a: ValueId) -> ValueId {
+        self.mul(a, a)
+    }
+
+    /// Homomorphic negation.
+    pub fn neg(&mut self, a: ValueId) -> ValueId {
+        self.func.push(Op::Negate(a))
+    }
+
+    /// Cyclic left rotation by `step` slots.
+    pub fn rotate(&mut self, a: ValueId, step: usize) -> ValueId {
+        self.func.push(Op::Rotate { value: a, step })
+    }
+
+    /// Sums `a` across a power-of-two window of `width` slots by
+    /// rotate-and-add (log2(width) rotations). Slot 0 of each window ends
+    /// up holding the window's sum.
+    ///
+    /// # Panics
+    /// Panics if `width` is not a power of two.
+    pub fn rotate_sum(&mut self, a: ValueId, width: usize) -> ValueId {
+        assert!(width.is_power_of_two(), "rotate_sum needs a power of two");
+        let mut acc = a;
+        let mut step = width / 2;
+        while step >= 1 {
+            let rot = self.rotate(acc, step);
+            acc = self.add(acc, rot);
+            step /= 2;
+        }
+        acc
+    }
+
+    /// Marks `v` as an output with an auto-generated name.
+    pub fn output(&mut self, v: ValueId) {
+        let name = format!("out{}", self.outputs);
+        self.outputs += 1;
+        self.func.mark_output(name, v);
+    }
+
+    /// Marks `v` as an output with an explicit name.
+    pub fn output_named(&mut self, name: impl Into<String>, v: ValueId) {
+        self.outputs += 1;
+        self.func.mark_output(name, v);
+    }
+
+    /// Finalizes the function.
+    ///
+    /// # Panics
+    /// Panics if the function is structurally invalid (builder misuse).
+    pub fn finish(self) -> Function {
+        self.func
+            .verify_structure()
+            .expect("builder produced malformed function");
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Op;
+
+    #[test]
+    fn builds_motivating_example() {
+        // (x² + y²)³ from the paper.
+        let mut b = FunctionBuilder::new("motivating", 4);
+        let x = b.input_cipher("x");
+        let y = b.input_cipher("y");
+        let x2 = b.square(x);
+        let y2 = b.square(y);
+        let z = b.add(x2, y2);
+        let z2 = b.mul(z, z);
+        let z3 = b.mul(z2, z);
+        b.output(z3);
+        let f = b.finish();
+        assert_eq!(f.len(), 7);
+        assert_eq!(f.outputs().len(), 1);
+        assert!(matches!(f.op(z3), Op::Mul(a, b) if *a == z2 && *b == z));
+    }
+
+    #[test]
+    fn rotate_sum_emits_log_rotations() {
+        let mut b = FunctionBuilder::new("rs", 16);
+        let x = b.input_cipher("x");
+        let s = b.rotate_sum(x, 8);
+        b.output(s);
+        let f = b.finish();
+        // 3 rotations + 3 adds + input = 7 ops.
+        assert_eq!(f.len(), 7);
+        let rotations: Vec<usize> = f
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                Op::Rotate { step, .. } => Some(*step),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rotations, vec![4, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rotate_sum_rejects_nonpow2() {
+        let mut b = FunctionBuilder::new("rs", 16);
+        let x = b.input_cipher("x");
+        b.rotate_sum(x, 6);
+    }
+
+    #[test]
+    fn named_and_auto_outputs() {
+        let mut b = FunctionBuilder::new("o", 4);
+        let x = b.input_cipher("x");
+        b.output(x);
+        b.output_named("result", x);
+        let f = b.finish();
+        assert_eq!(f.outputs()[0].0, "out0");
+        assert_eq!(f.outputs()[1].0, "result");
+    }
+}

@@ -1,0 +1,109 @@
+//! Textual printing of IR functions, mirroring the paper's Fig. 4 syntax.
+
+use crate::ir::{Function, Op};
+use crate::types::Type;
+use std::fmt::Write;
+
+/// Renders a function as text with complete constant payloads, suitable
+/// for re-parsing with [`crate::parse::parse_function`].
+pub fn print_function_full(func: &Function) -> String {
+    print_impl(func, None, true)
+}
+
+/// Renders a function as text; when `types` is given, each value is
+/// annotated with its inferred type. Large constants are abbreviated — use
+/// [`print_function_full`] for a re-parsable form.
+pub fn print_function(func: &Function, types: Option<&[Type]>) -> String {
+    print_impl(func, types, false)
+}
+
+fn print_impl(func: &Function, types: Option<&[Type]>, full_consts: bool) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "func @{}(vec {}) {{", func.name, func.vec_size);
+    for (i, op) in func.ops().iter().enumerate() {
+        let _ = write!(s, "  %{i} = {}", op.mnemonic());
+        match op {
+            Op::Input { name } => {
+                let _ = write!(s, " \"{name}\"");
+            }
+            Op::Const { data } => {
+                if data.values.len() == 1 {
+                    let _ = write!(s, " {}", data.values[0]);
+                } else if full_consts {
+                    let items: Vec<String> =
+                        data.values.iter().map(|v| format!("{v}")).collect();
+                    let _ = write!(s, " [{}]", items.join(", "));
+                } else {
+                    let _ = write!(s, " [{} values]", data.values.len());
+                }
+            }
+            Op::Encode {
+                value,
+                scale_bits,
+                level,
+            } => {
+                let _ = write!(s, " {value}, scale=2^{scale_bits:.0}, level={level}");
+            }
+            Op::Rotate { value, step } => {
+                let _ = write!(s, " {value}, {step}");
+            }
+            Op::Upscale { value, target_bits } => {
+                let _ = write!(s, " {value}, 2^{target_bits:.0}");
+            }
+            _ => {
+                for (k, v) in op.operands().iter().enumerate() {
+                    let sep = if k == 0 { " " } else { ", " };
+                    let _ = write!(s, "{sep}{v}");
+                }
+            }
+        }
+        if let Some(tys) = types {
+            let _ = write!(s, " : {}", tys[i]);
+        }
+        let _ = writeln!(s);
+    }
+    for (name, v) in func.outputs() {
+        let _ = writeln!(s, "  output \"{name}\" = {v}");
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::{infer_types, TypeConfig};
+
+    #[test]
+    fn prints_ops_and_outputs() {
+        let mut b = FunctionBuilder::new("p", 4);
+        let x = b.input_cipher("x");
+        let c = b.splat(3.0);
+        let r = b.rotate(x, 2);
+        let m = b.mul(x, x);
+        let _ = (c, r);
+        b.output_named("res", m);
+        let f = b.finish();
+        let text = print_function(&f, None);
+        assert!(text.contains("func @p"));
+        assert!(text.contains("%0 = input \"x\""));
+        assert!(text.contains("%1 = const 3"));
+        assert!(text.contains("%2 = rotate %0, 2"));
+        assert!(text.contains("%3 = mul %0, %0"));
+        assert!(text.contains("output \"res\" = %3"));
+    }
+
+    #[test]
+    fn prints_types_when_given() {
+        let mut b = FunctionBuilder::new("p", 4);
+        let x = b.input_cipher("x");
+        let m = b.mul(x, x);
+        b.output(m);
+        let f = b.finish();
+        let tys = infer_types(&f, &TypeConfig::new(20.0, 40.0)).unwrap();
+        let text = print_function(&f, Some(&tys));
+        assert!(text.contains("cipher(20,0)"));
+        assert!(text.contains("cipher(40,0)"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the IR infrastructure: the printer/parser
+//! round-trip, and semantics preservation of the transform passes.
+
+use hecate_ir::interp::{interpret, rms_error};
+use hecate_ir::parse::parse_function;
+use hecate_ir::print::print_function_full;
+use hecate_ir::transform::{canonicalize, eliminate_common_subexpressions, fold_constants};
+use hecate_ir::{ConstData, Function, Op, ValueId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const VEC: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Pick {
+    Add,
+    Sub,
+    Mul,
+    Negate,
+    Rotate(usize),
+    Const(i32),
+    ConstVec(Vec<i32>),
+    Rescale,
+    ModSwitch,
+    Downscale,
+    Upscale(u32),
+    Encode(u32),
+}
+
+fn pick() -> impl Strategy<Value = Pick> {
+    prop_oneof![
+        4 => Just(Pick::Add),
+        2 => Just(Pick::Sub),
+        4 => Just(Pick::Mul),
+        1 => Just(Pick::Negate),
+        2 => (1usize..VEC).prop_map(Pick::Rotate),
+        2 => (-50i32..50).prop_map(Pick::Const),
+        1 => proptest::collection::vec(-50i32..50, 2..VEC).prop_map(Pick::ConstVec),
+        1 => Just(Pick::Rescale),
+        1 => Just(Pick::ModSwitch),
+        1 => Just(Pick::Downscale),
+        1 => (20u32..60).prop_map(Pick::Upscale),
+        1 => (10u32..40).prop_map(Pick::Encode),
+    ]
+}
+
+/// Builds a structurally valid (not necessarily well-typed) function — the
+/// printer and parser must handle any well-formed SSA, typed or not.
+fn build(picks: &[(Pick, u64, u64)]) -> Function {
+    let mut f = Function::new("rand", VEC);
+    let mut vals: Vec<ValueId> = vec![f.push(Op::Input { name: "x".into() })];
+    for (p, s1, s2) in picks {
+        let a = vals[(*s1 % vals.len() as u64) as usize];
+        let b = vals[(*s2 % vals.len() as u64) as usize];
+        let v = match p {
+            Pick::Add => f.push(Op::Add(a, b)),
+            Pick::Sub => f.push(Op::Sub(a, b)),
+            Pick::Mul => f.push(Op::Mul(a, b)),
+            Pick::Negate => f.push(Op::Negate(a)),
+            Pick::Rotate(s) => f.push(Op::Rotate { value: a, step: *s }),
+            Pick::Const(c) => f.push(Op::Const {
+                data: ConstData::splat(*c as f64 / 8.0),
+            }),
+            Pick::ConstVec(v) => f.push(Op::Const {
+                data: ConstData::vector(v.iter().map(|c| *c as f64 / 8.0).collect()),
+            }),
+            Pick::Rescale => f.push(Op::Rescale(a)),
+            Pick::ModSwitch => f.push(Op::ModSwitch(a)),
+            Pick::Downscale => f.push(Op::Downscale(a)),
+            Pick::Upscale(t) => f.push(Op::Upscale {
+                value: a,
+                target_bits: *t as f64,
+            }),
+            Pick::Encode(s) => f.push(Op::Encode {
+                value: a,
+                scale_bits: *s as f64,
+                level: (*s1 % 3) as usize,
+            }),
+        };
+        vals.push(v);
+    }
+    f.mark_output("out", *vals.last().expect("non-empty"));
+    f
+}
+
+fn inputs() -> HashMap<String, Vec<f64>> {
+    let mut m = HashMap::new();
+    m.insert(
+        "x".to_string(),
+        (0..VEC).map(|i| 0.25 * i as f64 - 1.0).collect(),
+    );
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn print_parse_roundtrip(
+        picks in proptest::collection::vec((pick(), any::<u64>(), any::<u64>()), 1..30),
+    ) {
+        let f = build(&picks);
+        let text = print_function_full(&f);
+        let g = parse_function(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        prop_assert_eq!(&f, &g, "roundtrip changed the function:\n{}", text);
+    }
+
+    #[test]
+    fn transforms_preserve_interpretation(
+        picks in proptest::collection::vec((pick(), any::<u64>(), any::<u64>()), 1..30),
+    ) {
+        let f = build(&picks);
+        let ins = inputs();
+        let reference = interpret(&f, &ins).unwrap();
+        for (name, g) in [
+            ("cse", eliminate_common_subexpressions(&f)),
+            ("fold", fold_constants(&f)),
+            ("canonicalize", canonicalize(&f)),
+        ] {
+            prop_assert!(g.verify_structure().is_ok(), "{name} broke SSA");
+            prop_assert!(g.len() <= f.len(), "{name} grew the program");
+            let out = interpret(&g, &ins).unwrap();
+            for (k, expect) in &reference {
+                let err = rms_error(&out[k], expect);
+                prop_assert!(err < 1e-9, "{name}: output {k} drifted by {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn dce_is_idempotent_after_canonicalize(
+        picks in proptest::collection::vec((pick(), any::<u64>(), any::<u64>()), 1..20),
+    ) {
+        let f = canonicalize(&build(&picks));
+        let (g, _) = hecate_ir::analysis::eliminate_dead_code(&f);
+        prop_assert_eq!(f, g, "canonicalized functions contain no dead code");
+    }
+}

@@ -1,0 +1,315 @@
+//! A minimal unsigned big integer for exact CRT reconstruction.
+//!
+//! CKKS decoding must recover centered coefficients modulo a product of
+//! primes `Q` that can exceed 2^1000, far beyond `u128`. This module
+//! provides just the operations the decoder needs — multiply-accumulate by
+//! words, comparison, subtraction, and a lossless conversion to a scaled
+//! `f64` — rather than a general bignum library.
+
+use std::cmp::Ordering;
+
+/// An arbitrary-precision unsigned integer (little-endian 64-bit limbs).
+///
+/// The representation is normalized: no trailing zero limbs, and zero is the
+/// empty limb vector.
+///
+/// # Example
+/// ```
+/// use hecate_math::bigint::UBig;
+/// let mut x = UBig::from(u64::MAX);
+/// x.mul_u64(u64::MAX);
+/// x.add_u64(1);
+/// // (2^64 - 1)^2 + 1 = 2^128 - 2^65 + 2
+/// assert_eq!(x.bit_len(), 128);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UBig {
+    limbs: Vec<u64>,
+}
+
+impl From<u64> for UBig {
+    fn from(v: u64) -> Self {
+        let mut b = UBig { limbs: vec![v] };
+        b.normalize();
+        b
+    }
+}
+
+impl UBig {
+    /// The value zero.
+    pub fn zero() -> Self {
+        UBig::default()
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() as u32 * 64 - top.leading_zeros(),
+        }
+    }
+
+    /// Multiplies in place by a 64-bit word.
+    pub fn mul_u64(&mut self, m: u64) {
+        if m == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let mut carry: u128 = 0;
+        for limb in self.limbs.iter_mut() {
+            let prod = *limb as u128 * m as u128 + carry;
+            *limb = prod as u64;
+            carry = prod >> 64;
+        }
+        if carry > 0 {
+            self.limbs.push(carry as u64);
+        }
+    }
+
+    /// Adds a 64-bit word in place.
+    pub fn add_u64(&mut self, v: u64) {
+        let mut carry = v;
+        for limb in self.limbs.iter_mut() {
+            let (s, c) = limb.overflowing_add(carry);
+            *limb = s;
+            carry = c as u64;
+            if carry == 0 {
+                return;
+            }
+        }
+        if carry > 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Adds another big integer in place.
+    pub fn add_assign(&mut self, other: &UBig) {
+        if self.limbs.len() < other.limbs.len() {
+            self.limbs.resize(other.limbs.len(), 0);
+        }
+        let mut carry = 0u64;
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let o = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = limb.overflowing_add(o);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *limb = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Subtracts `other` in place.
+    ///
+    /// # Panics
+    /// Panics if `other > self` (the decoder never needs signed values).
+    pub fn sub_assign(&mut self, other: &UBig) {
+        assert!(
+            self.cmp_big(other) != Ordering::Less,
+            "UBig subtraction underflow"
+        );
+        let mut borrow = 0u64;
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let o = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = limb.overflowing_sub(o);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *limb = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        self.normalize();
+    }
+
+    /// Three-way comparison with another big integer.
+    pub fn cmp_big(&self, other: &UBig) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Halves the value in place (floor division by two).
+    pub fn shr1(&mut self) {
+        let mut carry = 0u64;
+        for limb in self.limbs.iter_mut().rev() {
+            let new_carry = *limb & 1;
+            *limb = (*limb >> 1) | (carry << 63);
+            carry = new_carry;
+        }
+        self.normalize();
+    }
+
+    /// Reduces in place modulo `m` by repeated subtraction.
+    ///
+    /// Intended for values at most a small multiple of `m` (the CRT
+    /// accumulator is below `c·m` for `c` primes), so the loop runs at most
+    /// `c` times.
+    pub fn rem_assign_small(&mut self, m: &UBig) {
+        while self.cmp_big(m) != Ordering::Less {
+            self.sub_assign(m);
+        }
+    }
+
+    /// Converts to `f64`, scaled down by `2^scale_bits`.
+    ///
+    /// Computed as `mantissa · 2^(exp − scale_bits)` from the top 53 bits, so
+    /// it is accurate to f64 precision even when the integer itself has
+    /// thousands of bits, as long as the *scaled* magnitude fits in `f64`.
+    pub fn to_f64_scaled(&self, scale_bits: f64) -> f64 {
+        let bits = self.bit_len();
+        if bits == 0 {
+            return 0.0;
+        }
+        // Extract the top (up to) 64 bits as a mantissa.
+        let top = bits as i64 - 64;
+        let mantissa = if top <= 0 {
+            self.limbs_as_u128() as f64
+        } else {
+            let skip = top as u32;
+            let limb_idx = (skip / 64) as usize;
+            let shift = skip % 64;
+            let lo = self.limbs[limb_idx] >> shift;
+            let hi = if shift == 0 {
+                0
+            } else {
+                self.limbs
+                    .get(limb_idx + 1)
+                    .map(|l| l << (64 - shift))
+                    .unwrap_or(0)
+            };
+            (lo | hi) as f64
+        };
+        let exp = top.max(0) as f64;
+        mantissa * (exp - scale_bits).exp2()
+    }
+
+    fn limbs_as_u128(&self) -> u128 {
+        let lo = self.limbs.first().copied().unwrap_or(0) as u128;
+        let hi = self.limbs.get(1).copied().unwrap_or(0) as u128;
+        lo | (hi << 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_behaviour() {
+        let z = UBig::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.bit_len(), 0);
+        assert_eq!(z.to_f64_scaled(0.0), 0.0);
+        assert_eq!(UBig::from(0u64), z);
+    }
+
+    #[test]
+    fn mul_add_small_values() {
+        let mut x = UBig::from(7u64);
+        x.mul_u64(6);
+        x.add_u64(3);
+        assert_eq!(x, UBig::from(45u64));
+    }
+
+    #[test]
+    fn carries_propagate() {
+        let mut x = UBig::from(u64::MAX);
+        x.add_u64(1);
+        assert_eq!(x.bit_len(), 65);
+        x.mul_u64(u64::MAX);
+        // 2^64 · (2^64 − 1) = 2^128 − 2^64
+        assert_eq!(x.bit_len(), 128);
+        let mut y = x.clone();
+        y.add_assign(&UBig::from(u64::MAX));
+        y.add_u64(1);
+        assert_eq!(y.bit_len(), 129); // 2^128
+    }
+
+    #[test]
+    fn sub_and_cmp() {
+        let mut x = UBig::from(u64::MAX);
+        x.mul_u64(u64::MAX); // big
+        let y = x.clone();
+        assert_eq!(x.cmp_big(&y), Ordering::Equal);
+        x.add_u64(5);
+        assert_eq!(x.cmp_big(&y), Ordering::Greater);
+        x.sub_assign(&y);
+        assert_eq!(x, UBig::from(5u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let mut x = UBig::from(1u64);
+        x.sub_assign(&UBig::from(2u64));
+    }
+
+    #[test]
+    fn shr1_halves() {
+        let mut x = UBig::from(u64::MAX);
+        x.mul_u64(2);
+        x.shr1();
+        assert_eq!(x, UBig::from(u64::MAX));
+        let mut odd = UBig::from(7u64);
+        odd.shr1();
+        assert_eq!(odd, UBig::from(3u64));
+    }
+
+    #[test]
+    fn rem_small_multiple() {
+        let m = UBig::from(1_000_003u64);
+        let mut x = m.clone();
+        x.mul_u64(17);
+        x.add_u64(123);
+        x.rem_assign_small(&m);
+        assert_eq!(x, UBig::from(123u64));
+    }
+
+    #[test]
+    fn f64_conversion_exact_for_small() {
+        let x = UBig::from(123_456_789u64);
+        assert_eq!(x.to_f64_scaled(0.0), 123_456_789.0);
+        assert!((x.to_f64_scaled(10.0) - 123_456_789.0 / 1024.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn f64_conversion_huge_value_scaled_down() {
+        // x = 3 · 2^700; scaled by 2^700 must give exactly 3.
+        let mut x = UBig::from(3u64);
+        for _ in 0..70 {
+            x.mul_u64(1 << 10);
+        }
+        assert_eq!(x.bit_len(), 702);
+        let v = x.to_f64_scaled(700.0);
+        assert!((v - 3.0).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn f64_top_bits_accuracy() {
+        // A 130-bit value whose top 53 bits determine the result.
+        let mut x = UBig::from(0x1234_5678_9ABC_DEFu64);
+        x.mul_u64(u64::MAX);
+        x.mul_u64(3);
+        let approx = x.to_f64_scaled(64.0);
+        // Reference computed in f64 directly.
+        let expect = 0x1234_5678_9ABC_DEFu64 as f64 * (u64::MAX as f64) * 3.0 / 2f64.powi(64);
+        assert!((approx / expect - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,262 @@
+//! Complex floating-point FFT for the CKKS canonical embedding.
+//!
+//! The CKKS encoder evaluates a real polynomial `m(X) ∈ R[X]/(X^N + 1)` at
+//! the primitive `2N`-th roots of unity. Writing `ζ = e^{iπ/N}`, the values
+//! at the odd powers `ζ^{2t+1}` equal the plain `N`-point DFT of the
+//! *twisted* coefficient vector `a_j · ζ^j` — so a generic complex FFT plus
+//! a twist is all the encoder needs. This module provides the complex type
+//! and an in-place iterative radix-2 FFT with precomputed root tables.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// A deliberately small stand-in for `num_complex::Complex64`, providing only
+/// what the encoder uses.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// `e^{iθ}` for angle `theta` in radians.
+    pub fn from_angle(theta: f64) -> Self {
+        Complex64::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Complex64::new(self.re * s, self.im * s)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+/// Precomputed root tables for an `N`-point complex FFT.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Forward roots `e^{-2πik/N}`, one table per stage is derived by stride.
+    roots: Vec<Complex64>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transform length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "FFT length must be a power of two");
+        let roots = (0..n / 2)
+            .map(|k| Complex64::from_angle(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        FftPlan { n, roots }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns true if the plan length is zero (never; provided for
+    /// `len`/`is_empty` API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn bit_reverse_permute(a: &mut [Complex64]) {
+        let n = a.len();
+        let log_n = n.trailing_zeros();
+        for i in 0..n {
+            let j = i.reverse_bits() >> (usize::BITS - log_n);
+            if i < j {
+                a.swap(i, j);
+            }
+        }
+    }
+
+    /// In-place forward DFT: `out[k] = Σ_j a[j]·e^{-2πijk/N}`.
+    ///
+    /// # Panics
+    /// Panics if `a.len()` differs from the plan length.
+    pub fn forward(&self, a: &mut [Complex64]) {
+        self.transform(a, false);
+    }
+
+    /// In-place inverse DFT (including the `1/N` normalization).
+    ///
+    /// # Panics
+    /// Panics if `a.len()` differs from the plan length.
+    pub fn inverse(&self, a: &mut [Complex64]) {
+        self.transform(a, true);
+        let s = 1.0 / self.n as f64;
+        for x in a.iter_mut() {
+            *x = x.scale(s);
+        }
+    }
+
+    fn transform(&self, a: &mut [Complex64], invert: bool) {
+        assert_eq!(a.len(), self.n, "FFT length mismatch");
+        Self::bit_reverse_permute(a);
+        let mut len = 2;
+        while len <= self.n {
+            let stride = self.n / len;
+            for start in (0..self.n).step_by(len) {
+                for k in 0..len / 2 {
+                    let mut w = self.roots[k * stride];
+                    if invert {
+                        w = w.conj();
+                    }
+                    let u = a[start + k];
+                    let v = a[start + k + len / 2] * w;
+                    a[start + k] = u + v;
+                    a[start + k + len / 2] = u - v;
+                }
+            }
+            len *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(a: &[Complex64]) -> Vec<Complex64> {
+        let n = a.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex64::default();
+                for (j, x) in a.iter().enumerate() {
+                    let w = Complex64::from_angle(
+                        -2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64,
+                    );
+                    acc += *x * w;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let n = 32;
+        let plan = FftPlan::new(n);
+        let mut rng = crate::rng::Xoshiro256::seed_from_u64(9);
+        let input: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.next_range_f64(-1.0, 1.0), rng.next_range_f64(-1.0, 1.0)))
+            .collect();
+        let expected = naive_dft(&input);
+        let mut a = input.clone();
+        plan.forward(&mut a);
+        for (x, y) in a.iter().zip(&expected) {
+            assert!(close(*x, *y, 1e-9), "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let n = 256;
+        let plan = FftPlan::new(n);
+        let mut rng = crate::rng::Xoshiro256::seed_from_u64(10);
+        let input: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.next_gaussian(), rng.next_gaussian()))
+            .collect();
+        let mut a = input.clone();
+        plan.forward(&mut a);
+        plan.inverse(&mut a);
+        for (x, y) in a.iter().zip(&input) {
+            assert!(close(*x, *y, 1e-10));
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let n = 16;
+        let plan = FftPlan::new(n);
+        let mut a = vec![Complex64::default(); n];
+        a[0] = Complex64::new(1.0, 0.0);
+        plan.forward(&mut a);
+        for x in &a {
+            assert!(close(*x, Complex64::new(1.0, 0.0), 1e-12));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 64;
+        let plan = FftPlan::new(n);
+        let mut rng = crate::rng::Xoshiro256::seed_from_u64(12);
+        let input: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.next_gaussian(), 0.0))
+            .collect();
+        let time_energy: f64 = input.iter().map(|x| x.norm_sqr()).sum();
+        let mut a = input;
+        plan.forward(&mut a);
+        let freq_energy: f64 = a.iter().map(|x| x.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+}

@@ -1,0 +1,211 @@
+//! Arithmetic modulo word-sized primes.
+//!
+//! All moduli used by the CKKS layer are primes below 2^62, so sums of two
+//! residues never overflow a `u64` and products fit in a `u128`. The
+//! functions here are branch-light and are the hot path of the NTT; the
+//! [`ShoupMul`] helper precomputes a quotient so that repeated
+//! multiplications by the same constant avoid the `u128` division.
+
+/// Adds two residues modulo `q`.
+///
+/// Both inputs must already be reduced (`< q`); the result is reduced.
+///
+/// # Example
+/// ```
+/// use hecate_math::modular::add_mod;
+/// assert_eq!(add_mod(5, 6, 7), 4);
+/// ```
+#[inline]
+pub fn add_mod(a: u64, b: u64, q: u64) -> u64 {
+    debug_assert!(a < q && b < q);
+    let s = a + b;
+    if s >= q {
+        s - q
+    } else {
+        s
+    }
+}
+
+/// Subtracts `b` from `a` modulo `q`.
+///
+/// Both inputs must already be reduced (`< q`); the result is reduced.
+#[inline]
+pub fn sub_mod(a: u64, b: u64, q: u64) -> u64 {
+    debug_assert!(a < q && b < q);
+    if a >= b {
+        a - b
+    } else {
+        a + q - b
+    }
+}
+
+/// Negates a residue modulo `q`.
+#[inline]
+pub fn neg_mod(a: u64, q: u64) -> u64 {
+    debug_assert!(a < q);
+    if a == 0 {
+        0
+    } else {
+        q - a
+    }
+}
+
+/// Multiplies two residues modulo `q` via 128-bit widening.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, q: u64) -> u64 {
+    ((a as u128 * b as u128) % q as u128) as u64
+}
+
+/// Raises `base` to `exp` modulo `q` by square-and-multiply.
+///
+/// # Example
+/// ```
+/// use hecate_math::modular::pow_mod;
+/// assert_eq!(pow_mod(3, 4, 7), 4); // 81 mod 7
+/// ```
+pub fn pow_mod(base: u64, mut exp: u64, q: u64) -> u64 {
+    let mut acc: u64 = 1 % q;
+    let mut b = base % q;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, b, q);
+        }
+        b = mul_mod(b, b, q);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Computes the multiplicative inverse of `a` modulo the prime `q` using
+/// Fermat's little theorem.
+///
+/// # Panics
+/// Panics if `a` is zero modulo `q` (no inverse exists).
+pub fn inv_mod(a: u64, q: u64) -> u64 {
+    assert!(a % q != 0, "zero has no modular inverse");
+    pow_mod(a, q - 2, q)
+}
+
+/// Reduces a signed 64-bit integer into `[0, q)`.
+#[inline]
+pub fn reduce_i64(v: i64, q: u64) -> u64 {
+    let r = v % q as i64;
+    if r < 0 {
+        (r + q as i64) as u64
+    } else {
+        r as u64
+    }
+}
+
+/// Reduces a signed 128-bit integer into `[0, q)`.
+#[inline]
+pub fn reduce_i128(v: i128, q: u64) -> u64 {
+    let r = v % q as i128;
+    if r < 0 {
+        (r + q as i128) as u64
+    } else {
+        r as u64
+    }
+}
+
+/// Precomputed Shoup representation of a fixed multiplicand.
+///
+/// For a constant `w < q`, `shoup = floor(w · 2^64 / q)` lets
+/// [`ShoupMul::mul`] compute `a·w mod q` with two multiplies and no 128-bit
+/// division. The result may be in `[0, 2q)`; we do the final conditional
+/// subtraction eagerly so callers always see reduced values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShoupMul {
+    /// The multiplicand `w`, reduced modulo `q`.
+    pub value: u64,
+    /// `floor(w · 2^64 / q)`.
+    pub quotient: u64,
+}
+
+impl ShoupMul {
+    /// Precomputes the Shoup quotient for multiplicand `w` modulo `q`.
+    pub fn new(w: u64, q: u64) -> Self {
+        debug_assert!(w < q);
+        let quotient = ((w as u128) << 64) / q as u128;
+        ShoupMul {
+            value: w,
+            quotient: quotient as u64,
+        }
+    }
+
+    /// Computes `a · w mod q`.
+    #[inline]
+    pub fn mul(&self, a: u64, q: u64) -> u64 {
+        let hi = ((self.quotient as u128 * a as u128) >> 64) as u64;
+        let r = (self.value.wrapping_mul(a)).wrapping_sub(hi.wrapping_mul(q));
+        if r >= q {
+            r - q
+        } else {
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: u64 = 1_099_510_054_913; // 40-bit prime ≡ 1 mod 2^15
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(add_mod(Q - 1, 1, Q), 0);
+        assert_eq!(add_mod(Q - 1, Q - 1, Q), Q - 2);
+    }
+
+    #[test]
+    fn sub_wraps() {
+        assert_eq!(sub_mod(0, 1, Q), Q - 1);
+        assert_eq!(sub_mod(5, 5, Q), 0);
+    }
+
+    #[test]
+    fn neg_of_zero_is_zero() {
+        assert_eq!(neg_mod(0, Q), 0);
+        assert_eq!(neg_mod(1, Q), Q - 1);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let mut acc = 1u64;
+        for _ in 0..13 {
+            acc = mul_mod(acc, 12345, Q);
+        }
+        assert_eq!(pow_mod(12345, 13, Q), acc);
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        for a in [1u64, 2, 3, 12345, Q - 1] {
+            assert_eq!(mul_mod(a, inv_mod(a, Q), Q), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no modular inverse")]
+    fn inverse_of_zero_panics() {
+        inv_mod(0, Q);
+    }
+
+    #[test]
+    fn reduce_signed() {
+        assert_eq!(reduce_i64(-1, Q), Q - 1);
+        assert_eq!(reduce_i64(1, Q), 1);
+        assert_eq!(reduce_i128(-(Q as i128) - 1, Q), Q - 1);
+    }
+
+    #[test]
+    fn shoup_matches_mul_mod() {
+        for w in [0u64, 1, 2, 999_999_937, Q - 1] {
+            let s = ShoupMul::new(w, Q);
+            for a in [0u64, 1, 7, 123_456_789, Q - 1] {
+                assert_eq!(s.mul(a, Q), mul_mod(a, w, Q), "w={w} a={a}");
+            }
+        }
+    }
+}

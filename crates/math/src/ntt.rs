@@ -1,0 +1,230 @@
+//! The negacyclic number-theoretic transform over `Z_q[X]/(X^N + 1)`.
+//!
+//! The forward transform maps coefficient vectors to evaluations at the odd
+//! powers of a primitive `2N`-th root of unity `ψ`, so that polynomial
+//! multiplication modulo `X^N + 1` becomes a pointwise product. We use the
+//! fused Cooley–Tukey / Gentleman–Sande formulation of Longa–Naehrig, with
+//! Shoup multiplication for the precomputed twiddle factors.
+
+use crate::modular::{add_mod, inv_mod, sub_mod, ShoupMul};
+use crate::prime::primitive_2n_root;
+
+/// Precomputed twiddle tables for the negacyclic NTT modulo one prime.
+///
+/// One table serves one `(q, N)` pair; the RNS layer keeps one per prime in
+/// the basis. Construction is `O(N)` after the root search.
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    q: u64,
+    n: usize,
+    /// ψ^brv(i) in bit-reversed order, Shoup form (forward twiddles).
+    psi_brv: Vec<ShoupMul>,
+    /// ψ^{-brv(i)} in bit-reversed order, Shoup form (inverse twiddles).
+    inv_psi_brv: Vec<ShoupMul>,
+    /// N^{-1} mod q, Shoup form, applied in the last inverse stage.
+    n_inv: ShoupMul,
+}
+
+fn bit_reverse(i: usize, log_n: u32) -> usize {
+    i.reverse_bits() >> (usize::BITS - log_n)
+}
+
+impl NttTable {
+    /// Builds the twiddle tables for ring degree `n` modulo prime `q`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two or `q` is not ≡ 1 mod 2n.
+    pub fn new(q: u64, n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2);
+        let log_n = n.trailing_zeros();
+        let psi = primitive_2n_root(q, n);
+        let psi_inv = inv_mod(psi, q);
+        let mut pow_f = Vec::with_capacity(n);
+        let mut pow_i = Vec::with_capacity(n);
+        let (mut f, mut b) = (1u64, 1u64);
+        for _ in 0..n {
+            pow_f.push(f);
+            pow_i.push(b);
+            f = crate::modular::mul_mod(f, psi, q);
+            b = crate::modular::mul_mod(b, psi_inv, q);
+        }
+        let psi_brv = (0..n)
+            .map(|i| ShoupMul::new(pow_f[bit_reverse(i, log_n)], q))
+            .collect();
+        let inv_psi_brv = (0..n)
+            .map(|i| ShoupMul::new(pow_i[bit_reverse(i, log_n)], q))
+            .collect();
+        let n_inv = ShoupMul::new(inv_mod(n as u64, q), q);
+        NttTable {
+            q,
+            n,
+            psi_brv,
+            inv_psi_brv,
+            n_inv,
+        }
+    }
+
+    /// The prime modulus this table was built for.
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// The ring degree `N`.
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// In-place forward negacyclic NTT (coefficients → evaluations).
+    ///
+    /// # Panics
+    /// Panics if `a.len() != N`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let q = self.q;
+        let mut t = self.n;
+        let mut m = 1;
+        while m < self.n {
+            t /= 2;
+            for i in 0..m {
+                let w = &self.psi_brv[m + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = w.mul(a[j + t], q);
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = sub_mod(u, v, q);
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluations → coefficients).
+    ///
+    /// # Panics
+    /// Panics if `a.len() != N`.
+    pub fn backward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let q = self.q;
+        let mut t = 1;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0;
+            for i in 0..h {
+                let w = &self.inv_psi_brv[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = w.mul(sub_mod(u, v, q), q);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = self.n_inv.mul(*x, q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::{mul_mod, reduce_i64};
+    use crate::prime::generate_ntt_primes;
+    use crate::rng::Xoshiro256;
+
+    fn table(n: usize) -> NttTable {
+        let q = generate_ntt_primes(40, n, 1, &[])[0];
+        NttTable::new(q, n)
+    }
+
+    /// Schoolbook negacyclic multiplication for cross-checking.
+    fn negacyclic_mul_ref(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+        let n = a.len();
+        let mut out = vec![0u64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let prod = mul_mod(a[i], b[j], q);
+                let k = i + j;
+                if k < n {
+                    out[k] = add_mod(out[k], prod, q);
+                } else {
+                    out[k - n] = sub_mod(out[k - n], prod, q);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_backward_roundtrip() {
+        for n in [4usize, 64, 1024] {
+            let t = table(n);
+            let mut rng = Xoshiro256::seed_from_u64(7);
+            let orig: Vec<u64> = (0..n).map(|_| rng.next_u64() % t.modulus()).collect();
+            let mut a = orig.clone();
+            t.forward(&mut a);
+            assert_ne!(a, orig, "transform should not be identity");
+            t.backward(&mut a);
+            assert_eq!(a, orig);
+        }
+    }
+
+    #[test]
+    fn pointwise_product_is_negacyclic_convolution() {
+        let n = 64;
+        let t = table(n);
+        let q = t.modulus();
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let a: Vec<u64> = (0..n).map(|_| rng.next_u64() % q).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.next_u64() % q).collect();
+        let expected = negacyclic_mul_ref(&a, &b, q);
+
+        let (mut fa, mut fb) = (a.clone(), b.clone());
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        let mut fc: Vec<u64> = fa.iter().zip(&fb).map(|(x, y)| mul_mod(*x, *y, q)).collect();
+        t.backward(&mut fc);
+        assert_eq!(fc, expected);
+    }
+
+    #[test]
+    fn x_times_x_pow_n_minus_1_wraps_negatively() {
+        // (X) · (X^{N-1}) = X^N ≡ -1 in the negacyclic ring.
+        let n = 16;
+        let t = table(n);
+        let q = t.modulus();
+        let mut a = vec![0u64; n];
+        a[1] = 1;
+        let mut b = vec![0u64; n];
+        b[n - 1] = 1;
+        t.forward(&mut a);
+        t.forward(&mut b);
+        let mut c: Vec<u64> = a.iter().zip(&b).map(|(x, y)| mul_mod(*x, *y, q)).collect();
+        t.backward(&mut c);
+        let mut expected = vec![0u64; n];
+        expected[0] = reduce_i64(-1, q);
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn transform_is_linear() {
+        let n = 32;
+        let t = table(n);
+        let q = t.modulus();
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let a: Vec<u64> = (0..n).map(|_| rng.next_u64() % q).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.next_u64() % q).collect();
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(x, y)| add_mod(*x, *y, q)).collect();
+        let (mut fa, mut fb, mut fs) = (a, b, sum);
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        t.forward(&mut fs);
+        let fab: Vec<u64> = fa.iter().zip(&fb).map(|(x, y)| add_mod(*x, *y, q)).collect();
+        assert_eq!(fs, fab);
+    }
+}

@@ -1,0 +1,386 @@
+//! Polynomials in RNS representation over `Z_{Q_c}[X]/(X^N + 1)`.
+//!
+//! An [`RnsPoly`] stores one residue polynomial per active chain prime (a
+//! *prefix* of the basis — rescaling shortens the prefix) and tracks whether
+//! the residues are in coefficient or NTT (evaluation) form. All arithmetic
+//! methods take the owning [`RnsBasis`] explicitly so polynomials stay
+//! plain data.
+
+use crate::modular::{add_mod, mul_mod, neg_mod, reduce_i128, reduce_i64, sub_mod};
+use crate::rns::RnsBasis;
+
+/// A polynomial in RNS form over a prefix of a modulus chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPoly {
+    residues: Vec<Vec<u64>>,
+    is_ntt: bool,
+}
+
+impl RnsPoly {
+    /// The zero polynomial over the first `c` primes.
+    pub fn zero(basis: &RnsBasis, c: usize, is_ntt: bool) -> Self {
+        assert!(c >= 1 && c <= basis.chain_len());
+        RnsPoly {
+            residues: vec![vec![0; basis.degree()]; c],
+            is_ntt,
+        }
+    }
+
+    /// Builds a polynomial from signed coefficients (coefficient domain).
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len()` differs from the ring degree.
+    pub fn from_signed_coeffs(basis: &RnsBasis, c: usize, coeffs: &[i64]) -> Self {
+        assert_eq!(coeffs.len(), basis.degree());
+        let residues = (0..c)
+            .map(|i| {
+                let q = basis.prime(i);
+                coeffs.iter().map(|&v| reduce_i64(v, q)).collect()
+            })
+            .collect();
+        RnsPoly {
+            residues,
+            is_ntt: false,
+        }
+    }
+
+    /// Builds a polynomial from wide signed coefficients, as produced by the
+    /// CKKS encoder at large scales (coefficient domain).
+    pub fn from_i128_coeffs(basis: &RnsBasis, c: usize, coeffs: &[i128]) -> Self {
+        assert_eq!(coeffs.len(), basis.degree());
+        let residues = (0..c)
+            .map(|i| {
+                let q = basis.prime(i);
+                coeffs.iter().map(|&v| reduce_i128(v, q)).collect()
+            })
+            .collect();
+        RnsPoly {
+            residues,
+            is_ntt: false,
+        }
+    }
+
+    /// Number of active primes (prefix length).
+    pub fn prefix(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// Whether the residues are in NTT (evaluation) form.
+    pub fn is_ntt(&self) -> bool {
+        self.is_ntt
+    }
+
+    /// Read access to the residues of prime `i`.
+    pub fn residue(&self, i: usize) -> &[u64] {
+        &self.residues[i]
+    }
+
+    /// Mutable access to the residues of prime `i`.
+    pub fn residue_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.residues[i]
+    }
+
+    /// Converts to NTT form in place (no-op if already there).
+    pub fn to_ntt(&mut self, basis: &RnsBasis) {
+        if self.is_ntt {
+            return;
+        }
+        for (i, r) in self.residues.iter_mut().enumerate() {
+            basis.ntt(i).forward(r);
+        }
+        self.is_ntt = true;
+    }
+
+    /// Converts to coefficient form in place (no-op if already there).
+    pub fn to_coeff(&mut self, basis: &RnsBasis) {
+        if !self.is_ntt {
+            return;
+        }
+        for (i, r) in self.residues.iter_mut().enumerate() {
+            basis.ntt(i).backward(r);
+        }
+        self.is_ntt = false;
+    }
+
+    fn check_compatible(&self, other: &RnsPoly) {
+        assert_eq!(self.prefix(), other.prefix(), "prefix mismatch");
+        assert_eq!(self.is_ntt, other.is_ntt, "domain mismatch");
+    }
+
+    /// `self += other` (same prefix and domain).
+    pub fn add_assign(&mut self, other: &RnsPoly, basis: &RnsBasis) {
+        self.check_compatible(other);
+        for (i, (a, b)) in self.residues.iter_mut().zip(&other.residues).enumerate() {
+            let q = basis.prime(i);
+            for (x, y) in a.iter_mut().zip(b) {
+                *x = add_mod(*x, *y, q);
+            }
+        }
+    }
+
+    /// `self -= other` (same prefix and domain).
+    pub fn sub_assign(&mut self, other: &RnsPoly, basis: &RnsBasis) {
+        self.check_compatible(other);
+        for (i, (a, b)) in self.residues.iter_mut().zip(&other.residues).enumerate() {
+            let q = basis.prime(i);
+            for (x, y) in a.iter_mut().zip(b) {
+                *x = sub_mod(*x, *y, q);
+            }
+        }
+    }
+
+    /// Negates in place.
+    pub fn negate(&mut self, basis: &RnsBasis) {
+        for (i, a) in self.residues.iter_mut().enumerate() {
+            let q = basis.prime(i);
+            for x in a.iter_mut() {
+                *x = neg_mod(*x, q);
+            }
+        }
+    }
+
+    /// Pointwise product `self *= other`; both must be in NTT form.
+    ///
+    /// # Panics
+    /// Panics if either operand is in coefficient form.
+    pub fn mul_assign_pointwise(&mut self, other: &RnsPoly, basis: &RnsBasis) {
+        self.check_compatible(other);
+        assert!(self.is_ntt, "pointwise product requires NTT form");
+        for (i, (a, b)) in self.residues.iter_mut().zip(&other.residues).enumerate() {
+            let q = basis.prime(i);
+            for (x, y) in a.iter_mut().zip(b) {
+                *x = mul_mod(*x, *y, q);
+            }
+        }
+    }
+
+    /// Multiplies every residue by a small scalar.
+    pub fn mul_scalar(&mut self, s: u64, basis: &RnsBasis) {
+        for (i, a) in self.residues.iter_mut().enumerate() {
+            let q = basis.prime(i);
+            let sq = s % q;
+            for x in a.iter_mut() {
+                *x = mul_mod(*x, sq, q);
+            }
+        }
+    }
+
+    /// Drops the last active prime without dividing — the RNS realization of
+    /// `modswitch`: the represented small value is unchanged modulo the
+    /// shorter prefix. Valid in either domain.
+    ///
+    /// # Panics
+    /// Panics if only one prime is active.
+    pub fn drop_last(&mut self) {
+        assert!(self.prefix() > 1, "cannot drop the base prime");
+        self.residues.pop();
+    }
+
+    /// Divides by the last active prime and drops it — the RNS realization
+    /// of `rescale`. The result is the rounded quotient (error ≤ 1 per
+    /// coefficient). Converts to coefficient domain; the result is left in
+    /// coefficient domain.
+    ///
+    /// # Panics
+    /// Panics if only one prime is active.
+    pub fn rescale_last(&mut self, basis: &RnsBasis) {
+        assert!(self.prefix() > 1, "cannot rescale away the base prime");
+        self.to_coeff(basis);
+        let c = self.prefix();
+        let last = self.residues.pop().expect("non-empty");
+        let q_last = basis.prime(c - 1);
+        for i in 0..c - 1 {
+            let q = basis.prime(i);
+            let inv = basis.inv_last_prime(c, i);
+            for (x, &l) in self.residues[i].iter_mut().zip(&last) {
+                let lifted = RnsBasis::center(l, q_last);
+                *x = RnsBasis::div_round_step(*x, lifted, inv, q);
+            }
+        }
+    }
+
+    /// Truncates to the first `c` primes (valid in either domain, since
+    /// residues are per-prime independent). Used when encrypting or encoding
+    /// at a lower level with key material generated over the full chain.
+    ///
+    /// # Panics
+    /// Panics if `c` is zero or larger than the current prefix.
+    pub fn truncate(&mut self, c: usize) {
+        assert!(c >= 1 && c <= self.prefix(), "bad truncation length {c}");
+        self.residues.truncate(c);
+    }
+
+    /// Applies the Galois automorphism `X ↦ X^g` (g odd, coefficient
+    /// domain). Used for slot rotations and conjugation.
+    ///
+    /// # Panics
+    /// Panics if in NTT form or if `g` is even.
+    pub fn automorphism(&self, g: usize, basis: &RnsBasis) -> RnsPoly {
+        assert!(!self.is_ntt, "automorphism requires coefficient form");
+        assert_eq!(g % 2, 1, "Galois element must be odd");
+        let n = basis.degree();
+        let two_n = 2 * n;
+        let mut out = RnsPoly::zero(basis, self.prefix(), false);
+        for (i, r) in self.residues.iter().enumerate() {
+            let q = basis.prime(i);
+            for (j, &v) in r.iter().enumerate() {
+                let idx = (j * g) % two_n;
+                if idx < n {
+                    out.residues[i][idx] = v;
+                } else {
+                    out.residues[i][idx - n] = neg_mod(v, q);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn basis() -> RnsBasis {
+        RnsBasis::generate(64, 40, 30, 3, 40)
+    }
+
+    fn random_poly(basis: &RnsBasis, c: usize, seed: u64) -> RnsPoly {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let coeffs: Vec<i64> = (0..basis.degree())
+            .map(|_| rng.next_below(2001) as i64 - 1000)
+            .collect();
+        RnsPoly::from_signed_coeffs(basis, c, &coeffs)
+    }
+
+    #[test]
+    fn ntt_roundtrip_preserves_poly() {
+        let b = basis();
+        let p0 = random_poly(&b, 3, 1);
+        let mut p = p0.clone();
+        p.to_ntt(&b);
+        assert!(p.is_ntt());
+        p.to_coeff(&b);
+        assert_eq!(p, p0);
+    }
+
+    #[test]
+    fn add_sub_cancel() {
+        let b = basis();
+        let mut p = random_poly(&b, 3, 2);
+        let q = random_poly(&b, 3, 3);
+        let orig = p.clone();
+        p.add_assign(&q, &b);
+        p.sub_assign(&q, &b);
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn negate_twice_is_identity() {
+        let b = basis();
+        let mut p = random_poly(&b, 2, 4);
+        let orig = p.clone();
+        p.negate(&b);
+        assert_ne!(p, orig);
+        p.negate(&b);
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn pointwise_mul_matches_schoolbook_via_small_case() {
+        let b = basis();
+        let n = b.degree();
+        // p = 3 + 2X, q = 5 + X  →  pq = 15 + 13X + 2X²
+        let mut pc = vec![0i64; n];
+        pc[0] = 3;
+        pc[1] = 2;
+        let mut qc = vec![0i64; n];
+        qc[0] = 5;
+        qc[1] = 1;
+        let mut p = RnsPoly::from_signed_coeffs(&b, 2, &pc);
+        let mut q = RnsPoly::from_signed_coeffs(&b, 2, &qc);
+        p.to_ntt(&b);
+        q.to_ntt(&b);
+        p.mul_assign_pointwise(&q, &b);
+        p.to_coeff(&b);
+        assert_eq!(p.residue(0)[0], 15);
+        assert_eq!(p.residue(0)[1], 13);
+        assert_eq!(p.residue(0)[2], 2);
+        assert_eq!(p.residue(0)[3], 0);
+    }
+
+    #[test]
+    fn rescale_divides_value() {
+        let b = basis();
+        // Encode constant v ≈ q_2 · 1000 so that rescaling by q_2 gives ≈1000.
+        let q2 = b.prime(2);
+        let n = b.degree();
+        let mut coeffs = vec![0i128; n];
+        coeffs[0] = q2 as i128 * 1000;
+        let mut p = RnsPoly::from_i128_coeffs(&b, 3, &coeffs);
+        p.rescale_last(&b);
+        assert_eq!(p.prefix(), 2);
+        let rec = b.reconstructor(2);
+        let rs: Vec<u64> = (0..2).map(|i| p.residue(i)[0]).collect();
+        let v = rec.reconstruct_centered_f64(&rs, 0.0);
+        assert!((v - 1000.0).abs() <= 1.0, "got {v}");
+    }
+
+    #[test]
+    fn drop_last_keeps_small_value() {
+        let b = basis();
+        let mut p = random_poly(&b, 3, 5);
+        let before = b
+            .reconstructor(3)
+            .reconstruct_centered_f64(&(0..3).map(|i| p.residue(i)[7]).collect::<Vec<_>>(), 0.0);
+        p.drop_last();
+        let after = b
+            .reconstructor(2)
+            .reconstruct_centered_f64(&(0..2).map(|i| p.residue(i)[7]).collect::<Vec<_>>(), 0.0);
+        assert_eq!(before, after, "small values survive modswitch");
+    }
+
+    #[test]
+    fn automorphism_identity_and_composition() {
+        let b = basis();
+        let p = random_poly(&b, 2, 6);
+        assert_eq!(p.automorphism(1, &b), p);
+        // g=5 applied then g=77: X -> X^5 -> X^385; 385 mod 128 = 1, and
+        // 5·77 = 385 ≡ X^{385 mod 2N} with sign handling — composition must
+        // equal the single automorphism with g = 5·77 mod 2N.
+        let g1 = 5usize;
+        let g2 = 77usize;
+        let composed = p.automorphism(g1, &b).automorphism(g2, &b);
+        let direct = p.automorphism((g1 * g2) % (2 * b.degree()), &b);
+        assert_eq!(composed, direct);
+    }
+
+    #[test]
+    fn automorphism_negates_on_wrap() {
+        let b = basis();
+        let n = b.degree();
+        // p = X^{N-1}; under X ↦ X^3: X^{3(N-1)} = X^{3N-3} = X^{N-3}·(X^N)^2...
+        // compute: 3(N-1) mod 2N = 3N-3-2N = N-3 ≥ N? For N=64: 189 mod 128 = 61 < 64,
+        // wraps once through X^{2N} (sign +) — verify against direct evaluation instead.
+        let mut coeffs = vec![0i64; n];
+        coeffs[n - 1] = 1;
+        let p = RnsPoly::from_signed_coeffs(&b, 1, &coeffs);
+        let out = p.automorphism(3, &b);
+        let q = b.prime(0);
+        // 3(N-1) = 3N-3; mod 2N = N-3 (for N≥3), which is ≥... for N=64: 189-128=61, 61<64 → index 61, sign +.
+        let target = (3 * (n - 1)) % (2 * n);
+        if target < n {
+            assert_eq!(out.residue(0)[target], 1);
+        } else {
+            assert_eq!(out.residue(0)[target - n], q - 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "base prime")]
+    fn rescale_base_prime_panics() {
+        let b = basis();
+        let mut p = random_poly(&b, 1, 7);
+        p.rescale_last(&b);
+    }
+}

@@ -1,0 +1,190 @@
+//! Primality testing and generation of NTT-friendly primes.
+//!
+//! The negacyclic NTT over `Z_q[X]/(X^N + 1)` requires a primitive `2N`-th
+//! root of unity modulo `q`, which exists exactly when `q ≡ 1 (mod 2N)`.
+//! CKKS modulus chains are built from such primes, each close to a target
+//! bit size (the rescale factor `S_f`).
+
+use crate::modular::{mul_mod, pow_mod};
+
+/// Deterministic Miller–Rabin bases that are exact for all `u64` inputs.
+const MR_BASES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+
+/// Returns `true` if `n` is prime.
+///
+/// Uses the deterministic Miller–Rabin test with a base set proven complete
+/// for 64-bit integers.
+///
+/// # Example
+/// ```
+/// use hecate_math::prime::is_prime;
+/// assert!(is_prime(1_099_510_054_913));
+/// assert!(!is_prime(1_099_510_054_915));
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'bases: for &a in MR_BASES.iter() {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'bases;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates `count` distinct primes `p ≡ 1 (mod 2·degree)` as close to
+/// `2^bits` as possible, skipping any prime in `avoid`.
+///
+/// Candidates are taken alternately below and above `2^bits` so that the
+/// product of the generated primes stays near `2^(bits·count)`, which keeps
+/// RNS rescaling by one prime close to an exact division by `2^bits`.
+///
+/// # Panics
+/// Panics if `bits` is not in `[20, 61]`, if `degree` is not a power of two,
+/// or if not enough primes exist in the search window (never happens for
+/// realistic parameters).
+///
+/// # Example
+/// ```
+/// use hecate_math::prime::generate_ntt_primes;
+/// let ps = generate_ntt_primes(40, 4096, 3, &[]);
+/// assert_eq!(ps.len(), 3);
+/// for p in ps {
+///     assert_eq!(p % 8192, 1);
+/// }
+/// ```
+pub fn generate_ntt_primes(bits: u32, degree: usize, count: usize, avoid: &[u64]) -> Vec<u64> {
+    assert!((20..=61).contains(&bits), "prime size out of range: {bits}");
+    assert!(degree.is_power_of_two(), "degree must be a power of two");
+    let step = 2 * degree as u64;
+    let target = 1u64 << bits;
+    // First candidate ≡ 1 mod 2N at or below the target.
+    let base = target - (target - 1) % step;
+    let mut found = Vec::with_capacity(count);
+    let mut k = 0u64;
+    // Alternate below/above the target, nearest first.
+    while found.len() < count {
+        for cand in [base - k * step, base + (k + 1) * step] {
+            if found.len() == count {
+                break;
+            }
+            if cand < (1 << 20) {
+                continue;
+            }
+            if is_prime(cand) && !avoid.contains(&cand) && !found.contains(&cand) {
+                found.push(cand);
+            }
+        }
+        k += 1;
+        assert!(
+            k < (1 << 24),
+            "exhausted search window for {count} primes of {bits} bits"
+        );
+    }
+    found
+}
+
+/// Finds a primitive `2N`-th root of unity modulo the prime `q`.
+///
+/// Requires `q ≡ 1 (mod 2N)`. The returned `ψ` satisfies `ψ^N ≡ -1 (mod q)`,
+/// which is what the negacyclic NTT needs.
+///
+/// # Panics
+/// Panics if `q` is not ≡ 1 mod 2N.
+pub fn primitive_2n_root(q: u64, degree: usize) -> u64 {
+    let two_n = 2 * degree as u64;
+    assert_eq!(q % two_n, 1, "{q} is not NTT-friendly for degree {degree}");
+    let exp = (q - 1) / two_n;
+    // Deterministic search over small candidates: x^((q-1)/2N) is a 2N-th
+    // root; it is primitive iff its N-th power is -1.
+    for x in 2u64.. {
+        let psi = pow_mod(x, exp, q);
+        if psi != 0 && pow_mod(psi, degree as u64, q) == q - 1 {
+            return psi;
+        }
+        assert!(x < 1 << 20, "no primitive root found for {q}");
+    }
+    unreachable!()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_classified() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 7919];
+        let composites = [0u64, 1, 4, 9, 91, 7917, 561, 41041]; // incl. Carmichael
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn strong_pseudoprimes_rejected() {
+        // 3215031751 is a strong pseudoprime to bases 2, 3, 5, 7.
+        assert!(!is_prime(3_215_031_751));
+        assert!(!is_prime(3_825_123_056_546_413_051));
+    }
+
+    #[test]
+    fn generated_primes_are_ntt_friendly() {
+        let ps = generate_ntt_primes(30, 1024, 5, &[]);
+        assert_eq!(ps.len(), 5);
+        let mut seen = std::collections::HashSet::new();
+        for p in &ps {
+            assert!(is_prime(*p));
+            assert_eq!(p % 2048, 1);
+            assert!(seen.insert(*p), "duplicate prime");
+            // Within a factor of two of the requested size.
+            let bits = 64 - p.leading_zeros();
+            assert!((30..=31).contains(&bits), "prime {p} far from 2^30");
+        }
+    }
+
+    #[test]
+    fn avoid_list_is_respected() {
+        let first = generate_ntt_primes(30, 1024, 2, &[]);
+        let second = generate_ntt_primes(30, 1024, 2, &first);
+        for p in &second {
+            assert!(!first.contains(p));
+        }
+    }
+
+    #[test]
+    fn primitive_root_has_exact_order() {
+        let n = 1024;
+        let q = generate_ntt_primes(40, n, 1, &[])[0];
+        let psi = primitive_2n_root(q, n);
+        assert_eq!(pow_mod(psi, n as u64, q), q - 1);
+        assert_eq!(pow_mod(psi, 2 * n as u64, q), 1);
+        // Primitive: no smaller power of two order.
+        assert_ne!(pow_mod(psi, n as u64 / 2, q), 1);
+    }
+}

@@ -1,0 +1,373 @@
+//! Residue number system (RNS) bases and their precomputations.
+//!
+//! An RNS-CKKS modulus chain is a list of NTT-friendly primes
+//! `q_0, q_1, …, q_L` plus one *special* prime `P` used only during key
+//! switching. A ciphertext at rescaling level `k` lives modulo the prefix
+//! product `Q_k = q_0·…·q_{L−k}`; `rescale` drops (and divides by) the last
+//! active prime, `modswitch` merely drops it.
+//!
+//! [`RnsBasis`] owns the primes, their NTT tables, and the inverse tables
+//! needed for rescaling and key-switch mod-down. [`CrtReconstructor`]
+//! provides exact reconstruction of centered values for decoding.
+
+use crate::bigint::UBig;
+use crate::modular::{inv_mod, mul_mod, sub_mod};
+use crate::ntt::NttTable;
+use crate::prime::generate_ntt_primes;
+
+/// The primes, NTT tables, and inverse tables of one RNS modulus chain.
+#[derive(Debug)]
+pub struct RnsBasis {
+    degree: usize,
+    primes: Vec<u64>,
+    special: u64,
+    ntt: Vec<NttTable>,
+    special_ntt: NttTable,
+    /// `inv_last[c-1][i]` = `q_{c-1}^{-1} mod q_i` for `i < c-1`; used by
+    /// rescaling from prefix length `c` to `c-1`.
+    inv_last: Vec<Vec<u64>>,
+    /// `P^{-1} mod q_i`, used by key-switch mod-down.
+    inv_special: Vec<u64>,
+}
+
+impl RnsBasis {
+    /// Builds a basis from an explicit prime chain and special prime.
+    ///
+    /// # Panics
+    /// Panics if primes are not distinct or not ≡ 1 mod 2·degree.
+    pub fn from_primes(degree: usize, primes: Vec<u64>, special: u64) -> Self {
+        assert!(!primes.is_empty(), "modulus chain must be non-empty");
+        let mut all = primes.clone();
+        all.push(special);
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "primes must be distinct");
+        let ntt: Vec<NttTable> = primes.iter().map(|&q| NttTable::new(q, degree)).collect();
+        let special_ntt = NttTable::new(special, degree);
+        let inv_last = (0..primes.len())
+            .map(|last| {
+                (0..last)
+                    .map(|i| inv_mod(primes[last] % primes[i], primes[i]))
+                    .collect()
+            })
+            .collect();
+        let inv_special = primes.iter().map(|&q| inv_mod(special % q, q)).collect();
+        RnsBasis {
+            degree,
+            primes,
+            special,
+            ntt,
+            special_ntt,
+            inv_last,
+            inv_special,
+        }
+    }
+
+    /// Generates a basis with `chain_len` primes of `prime_bits` bits each
+    /// for ring degree `degree`, with the first prime of `first_prime_bits`
+    /// bits and the special prime of `special_bits` bits.
+    ///
+    /// The first prime carries the final message (it needs headroom above
+    /// the output scale); the rest are rescale primes sized to the rescale
+    /// factor `S_f`.
+    pub fn generate(
+        degree: usize,
+        first_prime_bits: u32,
+        prime_bits: u32,
+        chain_len: usize,
+        special_bits: u32,
+    ) -> Self {
+        assert!(chain_len >= 1);
+        let mut primes = generate_ntt_primes(first_prime_bits, degree, 1, &[]);
+        if chain_len > 1 {
+            let rest = generate_ntt_primes(prime_bits, degree, chain_len - 1, &primes);
+            primes.extend(rest);
+        }
+        let special = generate_ntt_primes(special_bits, degree, 1, &primes)[0];
+        Self::from_primes(degree, primes, special)
+    }
+
+    /// Ring degree `N`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of primes in the chain (`L + 1`).
+    pub fn chain_len(&self) -> usize {
+        self.primes.len()
+    }
+
+    /// The `i`-th chain prime.
+    pub fn prime(&self, i: usize) -> u64 {
+        self.primes[i]
+    }
+
+    /// All chain primes.
+    pub fn primes(&self) -> &[u64] {
+        &self.primes
+    }
+
+    /// The special (key-switching) prime `P`.
+    pub fn special_prime(&self) -> u64 {
+        self.special
+    }
+
+    /// NTT table for the `i`-th chain prime.
+    pub fn ntt(&self, i: usize) -> &NttTable {
+        &self.ntt[i]
+    }
+
+    /// NTT table for the special prime.
+    pub fn special_ntt(&self) -> &NttTable {
+        &self.special_ntt
+    }
+
+    /// `q_{c-1}^{-1} mod q_i` for rescaling away the last prime of a
+    /// `c`-prime prefix.
+    pub fn inv_last_prime(&self, c: usize, i: usize) -> u64 {
+        self.inv_last[c - 1][i]
+    }
+
+    /// `P^{-1} mod q_i` for key-switch mod-down.
+    pub fn inv_special(&self, i: usize) -> u64 {
+        self.inv_special[i]
+    }
+
+    /// log2 of the prefix product `Q_c` (sum of prime bit sizes).
+    pub fn prefix_log2(&self, c: usize) -> f64 {
+        self.primes[..c].iter().map(|&q| (q as f64).log2()).sum()
+    }
+
+    /// The CRT idempotent factor `Ẽ_j = (Q_c/q_j)·[(Q_c/q_j)^{-1}]_{q_j}`
+    /// reduced modulo `m`, for the prefix of length `c`.
+    ///
+    /// `Ẽ_j ≡ 1 (mod q_j)` and `≡ 0 (mod q_i)` for `i ≠ j`, so
+    /// `Σ_j [x]_{q_j}·Ẽ_j ≡ x (mod Q_c)`. Key generation embeds these
+    /// factors into the per-digit key-switching keys.
+    pub fn crt_idempotent_mod(&self, c: usize, j: usize, m: u64) -> u64 {
+        assert!(j < c && c <= self.primes.len());
+        // t_j = (Q_c/q_j)^{-1} mod q_j
+        let qj = self.primes[j];
+        let mut prod_mod_qj = 1u64;
+        let mut prod_mod_m = 1u64;
+        for (l, &ql) in self.primes[..c].iter().enumerate() {
+            if l == j {
+                continue;
+            }
+            prod_mod_qj = mul_mod(prod_mod_qj, ql % qj, qj);
+            prod_mod_m = mul_mod(prod_mod_m, ql % m, m);
+        }
+        let t_j = inv_mod(prod_mod_qj, qj);
+        mul_mod(prod_mod_m, t_j % m, m)
+    }
+
+    /// Builds an exact CRT reconstructor for the prefix of length `c`.
+    pub fn reconstructor(&self, c: usize) -> CrtReconstructor {
+        CrtReconstructor::new(&self.primes[..c])
+    }
+
+    /// Centers a residue `x mod q` into `(-q/2, q/2]` as a signed integer.
+    #[inline]
+    pub fn center(x: u64, q: u64) -> i64 {
+        if x > q / 2 {
+            -((q - x) as i64)
+        } else {
+            x as i64
+        }
+    }
+
+    /// Computes `(x - v) · q_drop^{-1} mod q_i` where `v` is the centered
+    /// lift of the dropped prime's residue — the per-coefficient step of
+    /// RNS rescaling and mod-down.
+    #[inline]
+    pub fn div_round_step(x: u64, lifted: i64, inv_drop: u64, q: u64) -> u64 {
+        let l = crate::modular::reduce_i64(lifted, q);
+        mul_mod(sub_mod(x, l, q), inv_drop, q)
+    }
+}
+
+/// Exact centered CRT reconstruction over a prime prefix.
+///
+/// Used by the decoder: it maps a residue vector back to the centered
+/// integer value as a scaled `f64`. Exactness matters because `Q` can be
+/// hundreds of bits — see [`UBig`].
+#[derive(Debug)]
+pub struct CrtReconstructor {
+    primes: Vec<u64>,
+    /// `Q = Π q_i`.
+    q_big: UBig,
+    /// `Q/2`, for centering.
+    half_q: UBig,
+    /// Punctured products `Q/q_i`.
+    punctured: Vec<UBig>,
+    /// `[(Q/q_i)^{-1}]_{q_i}`.
+    inv_punctured: Vec<u64>,
+}
+
+impl CrtReconstructor {
+    /// Builds the reconstruction tables for the given primes.
+    pub fn new(primes: &[u64]) -> Self {
+        assert!(!primes.is_empty());
+        let mut q_big = UBig::from(1u64);
+        for &q in primes {
+            q_big.mul_u64(q);
+        }
+        let mut half_q = q_big.clone();
+        half_q.shr1();
+        let punctured: Vec<UBig> = (0..primes.len())
+            .map(|i| {
+                let mut p = UBig::from(1u64);
+                for (l, &q) in primes.iter().enumerate() {
+                    if l != i {
+                        p.mul_u64(q);
+                    }
+                }
+                p
+            })
+            .collect();
+        let inv_punctured = (0..primes.len())
+            .map(|i| {
+                let qi = primes[i];
+                let mut prod = 1u64;
+                for (l, &q) in primes.iter().enumerate() {
+                    if l != i {
+                        prod = mul_mod(prod, q % qi, qi);
+                    }
+                }
+                inv_mod(prod, qi)
+            })
+            .collect();
+        CrtReconstructor {
+            primes: primes.to_vec(),
+            q_big,
+            half_q,
+            punctured,
+            inv_punctured,
+        }
+    }
+
+    /// Reconstructs the centered value of the residue vector `rs`
+    /// (one residue per prime) and returns it divided by `2^scale_bits`.
+    ///
+    /// # Panics
+    /// Panics if `rs.len()` differs from the number of primes.
+    pub fn reconstruct_centered_f64(&self, rs: &[u64], scale_bits: f64) -> f64 {
+        assert_eq!(rs.len(), self.primes.len());
+        // x = Σ_i [r_i · inv_i]_{q_i} · (Q/q_i)  (mod Q), accumulated exactly.
+        let mut acc = UBig::zero();
+        for (i, &r) in rs.iter().enumerate() {
+            let coef = mul_mod(r % self.primes[i], self.inv_punctured[i], self.primes[i]);
+            let mut term = self.punctured[i].clone();
+            term.mul_u64(coef);
+            acc.add_assign(&term);
+        }
+        acc.rem_assign_small(&self.q_big);
+        // Center into (-Q/2, Q/2].
+        if acc.cmp_big(&self.half_q) == std::cmp::Ordering::Greater {
+            let mut neg = self.q_big.clone();
+            neg.sub_assign(&acc);
+            -neg.to_f64_scaled(scale_bits)
+        } else {
+            acc.to_f64_scaled(scale_bits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::reduce_i64;
+
+    fn basis() -> RnsBasis {
+        RnsBasis::generate(64, 40, 30, 4, 40)
+    }
+
+    #[test]
+    fn generate_produces_valid_chain() {
+        let b = basis();
+        assert_eq!(b.chain_len(), 4);
+        assert_eq!(b.degree(), 64);
+        for i in 0..4 {
+            assert_eq!(b.prime(i) % 128, 1);
+        }
+        assert_eq!(b.special_prime() % 128, 1);
+        // First prime ≈ 40 bits, rescale primes ≈ 30 bits.
+        assert!((b.prime(0) as f64).log2().round() as i32 == 40);
+        assert!((b.prime(1) as f64).log2().round() as i32 == 30);
+    }
+
+    #[test]
+    fn prefix_log2_sums_bits() {
+        let b = basis();
+        let expect: f64 = (0..3).map(|i| (b.prime(i) as f64).log2()).sum();
+        assert!((b.prefix_log2(3) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_tables_are_inverses() {
+        let b = basis();
+        for c in 2..=4 {
+            for i in 0..c - 1 {
+                let got = b.inv_last_prime(c, i);
+                assert_eq!(mul_mod(got, b.prime(c - 1) % b.prime(i), b.prime(i)), 1);
+            }
+        }
+        for i in 0..4 {
+            assert_eq!(
+                mul_mod(b.inv_special(i), b.special_prime() % b.prime(i), b.prime(i)),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn crt_idempotents_behave() {
+        let b = basis();
+        let c = 3;
+        for j in 0..c {
+            for i in 0..c {
+                let v = b.crt_idempotent_mod(c, j, b.prime(i));
+                assert_eq!(v, if i == j { 1 } else { 0 }, "E_{j} mod q_{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn crt_reconstruction_roundtrip() {
+        let b = basis();
+        let rec = b.reconstructor(3);
+        for v in [0i64, 1, -1, 123_456_789, -987_654_321] {
+            let rs: Vec<u64> = (0..3).map(|i| reduce_i64(v, b.prime(i))).collect();
+            let got = rec.reconstruct_centered_f64(&rs, 0.0);
+            assert!((got - v as f64).abs() < 1e-6, "v={v} got={got}");
+        }
+    }
+
+    #[test]
+    fn crt_reconstruction_scaled() {
+        let b = basis();
+        let rec = b.reconstructor(4);
+        // Encode 3.25 at scale 2^20.
+        let v = (3.25f64 * (1u64 << 20) as f64).round() as i64;
+        let rs: Vec<u64> = (0..4).map(|i| reduce_i64(v, b.prime(i))).collect();
+        let got = rec.reconstruct_centered_f64(&rs, 20.0);
+        assert!((got - 3.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn center_splits_at_half() {
+        let q = 101u64;
+        assert_eq!(RnsBasis::center(0, q), 0);
+        assert_eq!(RnsBasis::center(50, q), 50);
+        assert_eq!(RnsBasis::center(51, q), -50);
+        assert_eq!(RnsBasis::center(100, q), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_primes_rejected() {
+        let p = generate_ntt_primes(30, 64, 1, &[])[0];
+        RnsBasis::from_primes(64, vec![p, p], generate_ntt_primes(31, 64, 1, &[p])[0]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the number-theoretic substrate.
+
+use hecate_math::bigint::UBig;
+use hecate_math::modular::{add_mod, inv_mod, mul_mod, pow_mod, sub_mod, ShoupMul};
+use hecate_math::ntt::NttTable;
+use hecate_math::poly::RnsPoly;
+use hecate_math::prime::{generate_ntt_primes, is_prime};
+use hecate_math::rns::RnsBasis;
+use proptest::prelude::*;
+
+const Q: u64 = 1_099_510_054_913; // 40-bit NTT-friendly prime (2N = 2^15)
+
+fn residue() -> impl Strategy<Value = u64> {
+    0..Q
+}
+
+proptest! {
+    #[test]
+    fn modular_field_laws(a in residue(), b in residue(), c in residue()) {
+        // Commutativity and associativity.
+        prop_assert_eq!(add_mod(a, b, Q), add_mod(b, a, Q));
+        prop_assert_eq!(mul_mod(a, b, Q), mul_mod(b, a, Q));
+        prop_assert_eq!(
+            add_mod(add_mod(a, b, Q), c, Q),
+            add_mod(a, add_mod(b, c, Q), Q)
+        );
+        prop_assert_eq!(
+            mul_mod(mul_mod(a, b, Q), c, Q),
+            mul_mod(a, mul_mod(b, c, Q), Q)
+        );
+        // Distributivity.
+        prop_assert_eq!(
+            mul_mod(a, add_mod(b, c, Q), Q),
+            add_mod(mul_mod(a, b, Q), mul_mod(a, c, Q), Q)
+        );
+        // Subtraction inverts addition.
+        prop_assert_eq!(sub_mod(add_mod(a, b, Q), b, Q), a);
+    }
+
+    #[test]
+    fn inverses_and_powers(a in 1..Q) {
+        prop_assert_eq!(mul_mod(a, inv_mod(a, Q), Q), 1);
+        // Fermat: a^(Q-1) = 1.
+        prop_assert_eq!(pow_mod(a, Q - 1, Q), 1);
+    }
+
+    #[test]
+    fn shoup_multiplication_agrees(a in residue(), w in residue()) {
+        let s = ShoupMul::new(w, Q);
+        prop_assert_eq!(s.mul(a, Q), mul_mod(a, w, Q));
+    }
+
+    #[test]
+    fn generated_primes_are_prime_and_friendly(bits in 24u32..50, count in 1usize..4) {
+        let ps = generate_ntt_primes(bits, 256, count, &[]);
+        for p in ps {
+            prop_assert!(is_prime(p));
+            prop_assert_eq!(p % 512, 1);
+        }
+    }
+
+    #[test]
+    fn ntt_roundtrip_random(coeffs in proptest::collection::vec(0..Q, 64)) {
+        let t = NttTable::new(Q, 64);
+        let mut a = coeffs.clone();
+        t.forward(&mut a);
+        t.backward(&mut a);
+        prop_assert_eq!(a, coeffs);
+    }
+
+    #[test]
+    fn ntt_multiplication_commutes(
+        a in proptest::collection::vec(0u64..1000, 32),
+        b in proptest::collection::vec(0u64..1000, 32),
+    ) {
+        let t = NttTable::new(Q, 32);
+        let mul = |x: &[u64], y: &[u64]| {
+            let (mut fx, mut fy) = (x.to_vec(), y.to_vec());
+            t.forward(&mut fx);
+            t.forward(&mut fy);
+            let mut fz: Vec<u64> = fx.iter().zip(&fy).map(|(p, q)| mul_mod(*p, *q, Q)).collect();
+            t.backward(&mut fz);
+            fz
+        };
+        prop_assert_eq!(mul(&a, &b), mul(&b, &a));
+    }
+
+    #[test]
+    fn bigint_mul_add_matches_u128(a in any::<u64>(), m in any::<u64>(), v in any::<u64>()) {
+        let mut x = UBig::from(a);
+        x.mul_u64(m);
+        x.add_u64(v);
+        let expect = a as u128 * m as u128 + v as u128;
+        // Compare via the scaled f64 conversion at scale 0 for values in
+        // f64-exact range, else via bit length.
+        if expect < (1u128 << 52) {
+            prop_assert_eq!(x.to_f64_scaled(0.0) as u128, expect);
+        } else {
+            let bits = 128 - expect.leading_zeros();
+            prop_assert_eq!(x.bit_len(), bits);
+        }
+    }
+
+    #[test]
+    fn bigint_sub_inverts_add(a in any::<u64>(), b in any::<u64>()) {
+        let mut x = UBig::from(a);
+        x.mul_u64(b); // arbitrary value
+        let y = x.clone();
+        let mut z = x.clone();
+        z.add_assign(&y);
+        z.sub_assign(&y);
+        prop_assert_eq!(z, x);
+    }
+
+    #[test]
+    fn crt_reconstruction_roundtrip(v in -(1i64 << 40)..(1i64 << 40)) {
+        let basis = RnsBasis::generate(16, 45, 30, 3, 45);
+        let rec = basis.reconstructor(3);
+        let rs: Vec<u64> = (0..3)
+            .map(|i| hecate_math::modular::reduce_i64(v, basis.prime(i)))
+            .collect();
+        let got = rec.reconstruct_centered_f64(&rs, 0.0);
+        prop_assert!((got - v as f64).abs() < 1e-3, "{got} vs {v}");
+    }
+
+    #[test]
+    fn poly_ring_laws(seed in any::<u64>()) {
+        let basis = RnsBasis::generate(32, 40, 30, 2, 40);
+        let mut rng = hecate_math::rng::Xoshiro256::seed_from_u64(seed);
+        let rand_poly = |rng: &mut hecate_math::rng::Xoshiro256| {
+            let coeffs: Vec<i64> = (0..32).map(|_| rng.next_below(2001) as i64 - 1000).collect();
+            let mut p = RnsPoly::from_signed_coeffs(&basis, 2, &coeffs);
+            p.to_ntt(&basis);
+            p
+        };
+        let a = rand_poly(&mut rng);
+        let b = rand_poly(&mut rng);
+        let c = rand_poly(&mut rng);
+        // (a+b)·c == a·c + b·c
+        let mut lhs = a.clone();
+        lhs.add_assign(&b, &basis);
+        lhs.mul_assign_pointwise(&c, &basis);
+        let mut ac = a.clone();
+        ac.mul_assign_pointwise(&c, &basis);
+        let mut bc = b.clone();
+        bc.mul_assign_pointwise(&c, &basis);
+        ac.add_assign(&bc, &basis);
+        prop_assert_eq!(lhs, ac);
+    }
+
+    #[test]
+    fn automorphism_is_additive(seed in any::<u64>(), g_pow in 0usize..5) {
+        let basis = RnsBasis::generate(32, 40, 30, 1, 40);
+        let g = {
+            let mut g = 1usize;
+            for _ in 0..g_pow {
+                g = g * 5 % 64;
+            }
+            g
+        };
+        let mut rng = hecate_math::rng::Xoshiro256::seed_from_u64(seed);
+        let mk = |rng: &mut hecate_math::rng::Xoshiro256| {
+            let coeffs: Vec<i64> = (0..32).map(|_| rng.next_below(100) as i64).collect();
+            RnsPoly::from_signed_coeffs(&basis, 1, &coeffs)
+        };
+        let a = mk(&mut rng);
+        let b = mk(&mut rng);
+        let mut sum = a.clone();
+        sum.add_assign(&b, &basis);
+        let lhs = sum.automorphism(g, &basis);
+        let mut rhs = a.automorphism(g, &basis);
+        rhs.add_assign(&b.automorphism(g, &basis), &basis);
+        prop_assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,63 @@
+//! Encrypted neural-network inference: a square-activation MLP classifier
+//! evaluated on an encrypted input vector.
+//!
+//! Shows the compile-time effect of performance-aware scale management
+//! (chain length, estimated latency) and verifies that the encrypted
+//! logits match plaintext inference to within the CKKS error bound.
+//!
+//! Run with: `cargo run --release --example mlp_inference`
+
+use hecate::apps::mlp::{build, reference, MlpConfig};
+use hecate::backend::exec::{execute_encrypted, BackendOptions};
+use hecate::compiler::{compile, CompileOptions, Scheme};
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = MlpConfig::small(9);
+    let (func, inputs) = build(&cfg);
+    println!(
+        "MLP {}→{}→{} with square activation, input packed into {} slots\n",
+        cfg.in_dim, cfg.hidden, cfg.out, func.vec_size
+    );
+
+    let mut opts = CompileOptions::with_waterline(26.0);
+    opts.degree = Some(512);
+
+    let eva = compile(&func, Scheme::Eva, &opts)?;
+    let prog = compile(&func, Scheme::Hecate, &opts)?;
+    println!(
+        "EVA:    {} ops, {} primes, estimated {:.0}ms",
+        eva.func.len(),
+        eva.params.chain_len,
+        eva.stats.estimated_latency_us / 1e3
+    );
+    println!(
+        "HECATE: {} ops, {} primes, estimated {:.0}ms\n",
+        prog.func.len(),
+        prog.params.chain_len,
+        prog.stats.estimated_latency_us / 1e3
+    );
+
+    let run = execute_encrypted(&prog, &inputs, &BackendOptions::default())?;
+    let expected = reference(&cfg, &inputs["x"]);
+    println!("encrypted inference in {:.0}ms", run.total_us / 1e3);
+    println!("\nclass | encrypted logit | plaintext logit");
+    for k in 0..cfg.out {
+        println!(
+            "{k:>5} | {:>15.6} | {:>15.6}",
+            run.outputs["logits"][k], expected[k]
+        );
+    }
+    let got = argmax(&run.outputs["logits"][..cfg.out]);
+    let want = argmax(&expected);
+    println!("\npredicted class: {got} (plaintext: {want})");
+    assert_eq!(got, want, "encrypted prediction must match");
+    Ok(())
+}

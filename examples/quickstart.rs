@@ -1,0 +1,68 @@
+//! Quickstart: the paper's running example `(x² + y²)³`.
+//!
+//! Builds the program, compiles it under all four scale-management
+//! schemes, prints the generated scale-managed IR, and executes the
+//! HECATE-compiled version under real RNS-CKKS encryption.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hecate::backend::exec::{execute_encrypted, BackendOptions};
+use hecate::compiler::{compile, CompileOptions, Scheme};
+use hecate::ir::interp::interpret;
+use hecate::ir::print::print_function;
+use hecate::ir::FunctionBuilder;
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build (x² + y²)³ — Fig. 2 of the paper.
+    let mut b = FunctionBuilder::new("motivating", 16);
+    let x = b.input_cipher("x");
+    let y = b.input_cipher("y");
+    let x2 = b.square(x);
+    let y2 = b.square(y);
+    let z = b.add(x2, y2);
+    let z2 = b.mul(z, z);
+    let z3 = b.mul(z2, z);
+    b.output_named("result", z3);
+    let func = b.finish();
+
+    println!("input program:\n{}", print_function(&func, None));
+
+    // Compile under each scheme at waterline 2^20 (the figure's setting).
+    let mut opts = CompileOptions::with_waterline(20.0);
+    opts.degree = Some(512); // small ring so the example runs instantly
+    for scheme in Scheme::ALL {
+        let prog = compile(&func, scheme, &opts)?;
+        println!(
+            "{scheme:>6}: estimated {:>9.0}µs | chain {} primes | {} ops | plans explored {}",
+            prog.stats.estimated_latency_us,
+            prog.params.chain_len,
+            prog.func.len(),
+            prog.stats.plans_explored,
+        );
+    }
+
+    // Show HECATE's scale-managed output with types.
+    let prog = compile(&func, Scheme::Hecate, &opts)?;
+    println!(
+        "\nHECATE-compiled program:\n{}",
+        print_function(&prog.func, Some(&prog.types))
+    );
+
+    // Execute under encryption and check against the plaintext reference.
+    let mut inputs = HashMap::new();
+    inputs.insert("x".to_string(), vec![1.0, 0.5, -0.25]);
+    inputs.insert("y".to_string(), vec![2.0, 0.5, 0.75]);
+    let run = execute_encrypted(&prog, &inputs, &BackendOptions::default())?;
+    let reference = interpret(&func, &inputs)?;
+
+    println!("homomorphic latency: {:.1}ms", run.total_us / 1e3);
+    println!("slot |  encrypted result |  expected (x²+y²)³");
+    for i in 0..3 {
+        println!(
+            "{i:>4} | {:>17.6} | {:>18.6}",
+            run.outputs["result"][i], reference["result"][i]
+        );
+    }
+    Ok(())
+}

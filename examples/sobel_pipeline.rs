@@ -1,0 +1,63 @@
+//! Encrypted image processing: the Sobel edge detector on a 16×16 image.
+//!
+//! Demonstrates the full privacy-preserving offload flow — the client
+//! encrypts an image, the "server" runs the HECATE-compiled filter without
+//! seeing the pixels, and the client decrypts an edge map — and renders
+//! both images as ASCII art.
+//!
+//! Run with: `cargo run --release --example sobel_pipeline`
+
+use hecate::apps::sobel::{build, SobelConfig};
+use hecate::backend::exec::{execute_encrypted, BackendOptions};
+use hecate::backend::rms_error;
+use hecate::compiler::{compile, CompileOptions, Scheme};
+use hecate::ir::interp::interpret;
+
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+fn render(data: &[f64], h: usize, w: usize) -> String {
+    let max = data.iter().cloned().fold(f64::MIN, f64::max);
+    let min = data.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-9);
+    let mut out = String::new();
+    for r in 0..h {
+        for c in 0..w {
+            let v = (data[r * w + c] - min) / span;
+            let idx = ((v * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+            out.push(SHADES[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (h, w) = (16, 16);
+    let (func, inputs) = build(&SobelConfig { h, w, seed: 7 });
+
+    println!("original image:\n{}", render(&inputs["image"], h, w));
+
+    let mut opts = CompileOptions::with_waterline(26.0);
+    opts.degree = Some(512);
+    let eva = compile(&func, Scheme::Eva, &opts)?;
+    let hec = compile(&func, Scheme::Hecate, &opts)?;
+    println!(
+        "compilation: EVA estimates {:.1}ms ({} primes), HECATE {:.1}ms ({} primes)",
+        eva.stats.estimated_latency_us / 1e3,
+        eva.params.chain_len,
+        hec.stats.estimated_latency_us / 1e3,
+        hec.params.chain_len
+    );
+
+    let run = execute_encrypted(&hec, &inputs, &BackendOptions::default())?;
+    let reference = interpret(&func, &inputs)?;
+    let err = rms_error(&run.outputs["edges"], &reference["edges"]);
+    println!(
+        "encrypted Sobel in {:.1}ms, RMS error {err:.2e} (bound 2^-8 = {:.2e})\n",
+        run.total_us / 1e3,
+        2f64.powi(-8)
+    );
+    println!("edge map (computed without decrypting the image):");
+    println!("{}", render(&run.outputs["edges"], h, w));
+    Ok(())
+}

@@ -1,0 +1,202 @@
+//! `hecatec` — the HECATE compiler driver.
+//!
+//! Compiles a textual IR file (see `hecate_ir::parse` for the syntax)
+//! under a chosen scale-management scheme and prints the scale-managed
+//! program, the selected RNS parameters, and the latency estimate.
+//! Optionally executes the result under real encryption with seeded
+//! random inputs.
+//!
+//! ```text
+//! usage: hecatec <file.heir> [options]
+//!   --scheme eva|pars|smse|hecate   (default hecate)
+//!   --waterline BITS                (default 24)
+//!   --sf BITS                       (default 60)
+//!   --degree N                      fixed ring degree (default: security-selected)
+//!   --run                           execute under encryption with random inputs
+//!   --breakdown                     print the estimated latency per cost category
+//!   --quiet                         suppress the compiled IR listing
+//! ```
+
+use hecate::backend::exec::{execute_encrypted, BackendOptions};
+use hecate::compiler::{compile, CompileOptions, Scheme};
+use hecate::ir::parse::parse_function;
+use hecate::ir::print::print_function;
+use hecate::math::rng::Xoshiro256;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+struct Args {
+    file: String,
+    scheme: Scheme,
+    waterline: f64,
+    sf: f64,
+    degree: Option<usize>,
+    run: bool,
+    breakdown: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut out = Args {
+        file: String::new(),
+        scheme: Scheme::Hecate,
+        waterline: 24.0,
+        sf: 60.0,
+        degree: None,
+        run: false,
+        breakdown: false,
+        quiet: false,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scheme" => {
+                out.scheme = match args.next().as_deref() {
+                    Some("eva") => Scheme::Eva,
+                    Some("pars") => Scheme::Pars,
+                    Some("smse") => Scheme::Smse,
+                    Some("hecate") => Scheme::Hecate,
+                    other => return Err(format!("bad --scheme {other:?}")),
+                }
+            }
+            "--waterline" => {
+                out.waterline = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --waterline")?
+            }
+            "--sf" => {
+                out.sf = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --sf")?
+            }
+            "--degree" => {
+                out.degree = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("bad --degree")?,
+                )
+            }
+            "--run" => out.run = true,
+            "--breakdown" => out.breakdown = true,
+            "--quiet" => out.quiet = true,
+            f if !f.starts_with('-') && out.file.is_empty() => out.file = f.to_string(),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if out.file.is_empty() {
+        return Err("no input file".into());
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("hecatec: {e}");
+            eprintln!("usage: hecatec <file.heir> [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet]");
+            return ExitCode::from(2);
+        }
+    };
+    let src = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hecatec: cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let func = match parse_function(&src) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("hecatec: {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut opts = CompileOptions::with_waterline(args.waterline);
+    opts.rescale_bits = args.sf;
+    opts.degree = args.degree;
+    let prog = match compile(&func, args.scheme, &opts) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("hecatec: compilation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if !args.quiet {
+        println!("{}", print_function(&prog.func, Some(&prog.types)));
+    }
+    println!(
+        "scheme {} | waterline 2^{} | Sf 2^{}",
+        prog.scheme, args.waterline, args.sf
+    );
+    println!(
+        "parameters: degree {} | chain {} primes (q0 {} bits + {}×{} bits) | max level {} | {}",
+        prog.params.degree,
+        prog.params.chain_len,
+        prog.params.q0_bits,
+        prog.params.chain_len - 1,
+        prog.params.sf_bits,
+        prog.params.max_level,
+        if prog.params.secure {
+            "128-bit secure"
+        } else {
+            "NOT 128-bit secure"
+        }
+    );
+    println!(
+        "stats: {} ops | estimated {:.1}ms | {} SMUs over {} uses | {} plans explored",
+        prog.func.len(),
+        prog.stats.estimated_latency_us / 1e3,
+        prog.stats.smu_units,
+        prog.stats.use_edges,
+        prog.stats.plans_explored
+    );
+
+    if args.breakdown {
+        let table = hecate::compiler::estimator::latency_breakdown(
+            &prog.func,
+            &prog.types,
+            &opts.cost_model,
+            prog.params.chain_len,
+            prog.params.degree,
+        );
+        let total: f64 = table.values().sum();
+        println!("\nestimated latency by category:");
+        for (op, us) in &table {
+            println!("  {:<10} {:>10.0}µs {:>5.1}%", format!("{op:?}"), us, us / total * 100.0);
+        }
+    }
+
+    if args.run {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut inputs: HashMap<String, Vec<f64>> = HashMap::new();
+        for op in func.ops() {
+            if let hecate::ir::Op::Input { name } = op {
+                inputs
+                    .entry(name.clone())
+                    .or_insert_with(|| (0..func.vec_size).map(|_| rng.next_range_f64(-1.0, 1.0)).collect());
+            }
+        }
+        let bopts = BackendOptions::default();
+        match execute_encrypted(&prog, &inputs, &bopts) {
+            Ok(run) => {
+                println!("\nencrypted run: {:.1}ms over {} ops", run.total_us / 1e3, prog.func.len());
+                let reference = hecate::ir::interp::interpret(&func, &inputs).expect("inputs bound");
+                for (name, v) in &run.outputs {
+                    let err = hecate::backend::rms_error(v, &reference[name]);
+                    let head: Vec<String> = v.iter().take(4).map(|x| format!("{x:.5}")).collect();
+                    println!("  output \"{name}\": [{} ...] rms error {err:.2e}", head.join(", "));
+                }
+            }
+            Err(e) => {
+                eprintln!("hecatec: execution failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration tests: every benchmark, every scheme, compiled
+//! and verified; the compiled code preserves plaintext semantics; the
+//! paper's qualitative claims hold in the estimates.
+
+use hecate::apps::{all_benchmarks, Preset};
+use hecate::compiler::{compile, CompileOptions, Scheme};
+use hecate::ir::interp::{interpret, rms_error};
+use hecate::ir::types::infer_types;
+
+fn opts(w: f64) -> CompileOptions {
+    let mut o = CompileOptions::with_waterline(w);
+    o.degree = Some(512);
+    o
+}
+
+#[test]
+fn every_benchmark_compiles_under_every_scheme() {
+    for bench in all_benchmarks(Preset::Small) {
+        for scheme in Scheme::ALL {
+            let prog = compile(&bench.func, scheme, &opts(26.0))
+                .unwrap_or_else(|e| panic!("{} under {scheme}: {e}", bench.name));
+            // The compiled program passes the full type checker.
+            infer_types(&prog.func, &prog.cfg)
+                .unwrap_or_else(|e| panic!("{} under {scheme} ill-typed: {e}", bench.name));
+            assert!(prog.params.chain_len >= 1);
+            assert!(prog.stats.estimated_latency_us > 0.0);
+        }
+    }
+}
+
+#[test]
+fn compiled_code_is_semantics_preserving() {
+    // The homomorphism property (§IV-A): with opaque ops as identities,
+    // compiled programs compute exactly the input program's function.
+    for bench in all_benchmarks(Preset::Small) {
+        let reference = interpret(&bench.func, &bench.inputs).unwrap();
+        for scheme in [Scheme::Eva, Scheme::Hecate] {
+            let prog = compile(&bench.func, scheme, &opts(24.0)).unwrap();
+            let compiled_out = interpret(&prog.func, &bench.inputs).unwrap();
+            for (name, expect) in &reference {
+                let got = &compiled_out[name];
+                let err = rms_error(got, expect);
+                assert!(
+                    err < 1e-9,
+                    "{} under {scheme}, output {name}: drift {err}",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hecate_estimate_never_worse_than_eva() {
+    // SMSE only accepts improving plans, and PARS's plan is in HECATE's
+    // search space, so the estimate must not regress.
+    for bench in all_benchmarks(Preset::Small) {
+        for w in [22.0, 30.0] {
+            let o = opts(w);
+            let eva = compile(&bench.func, Scheme::Eva, &o).unwrap();
+            let smse = compile(&bench.func, Scheme::Smse, &o).unwrap();
+            let hecate = compile(&bench.func, Scheme::Hecate, &o).unwrap();
+            assert!(
+                smse.stats.estimated_latency_us <= eva.stats.estimated_latency_us + 1e-6,
+                "{} w={w}: SMSE {} > EVA {}",
+                bench.name,
+                smse.stats.estimated_latency_us,
+                eva.stats.estimated_latency_us
+            );
+            let _ = hecate;
+        }
+    }
+}
+
+#[test]
+fn pars_cumulative_scale_never_exceeds_eva() {
+    // The paper: "PARS always achieves a smaller cumulative scale which
+    // defines the initial level of the program."
+    for bench in all_benchmarks(Preset::Small) {
+        let o = opts(24.0);
+        let eva = compile(&bench.func, Scheme::Eva, &o).unwrap();
+        let pars = compile(&bench.func, Scheme::Pars, &o).unwrap();
+        assert!(
+            pars.params.total_bits <= eva.params.total_bits,
+            "{}: PARS modulus {} bits > EVA {} bits",
+            bench.name,
+            pars.params.total_bits,
+            eva.params.total_bits
+        );
+    }
+}
+
+#[test]
+fn smu_counts_are_far_below_use_counts() {
+    // Table III's core claim.
+    for bench in all_benchmarks(Preset::Small) {
+        let prog = compile(&bench.func, Scheme::Hecate, &opts(24.0)).unwrap();
+        assert!(
+            prog.stats.smu_units * 3 <= prog.stats.use_edges,
+            "{}: {} SMUs vs {} uses",
+            bench.name,
+            prog.stats.smu_units,
+            prog.stats.use_edges
+        );
+    }
+}
+
+#[test]
+fn downscale_appears_only_in_proactive_schemes() {
+    for bench in all_benchmarks(Preset::Small) {
+        let eva = compile(&bench.func, Scheme::Eva, &opts(24.0)).unwrap();
+        assert_eq!(
+            eva.stats.op_counts.get("downscale"),
+            None,
+            "{}: EVA must not use downscale",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn security_selection_happens_without_degree_override() {
+    let bench = &all_benchmarks(Preset::Small)[0];
+    let mut o = CompileOptions::with_waterline(24.0);
+    o.degree = None;
+    let prog = compile(&bench.func, Scheme::Hecate, &o).unwrap();
+    assert!(prog.params.secure, "auto-selected degree must be secure");
+    assert!(prog.params.degree >= 1024);
+}

@@ -1,0 +1,167 @@
+//! Property-based tests over randomly generated FHE programs.
+//!
+//! Programs are random DAGs of homomorphic operations; the properties are
+//! the compiler's core invariants: compiled code always type-checks under
+//! C1–C3, preserves plaintext semantics exactly, and the proactive
+//! scheme's modulus never exceeds the baseline's.
+
+use hecate::compiler::{compile, CompileOptions, Scheme};
+use hecate::ir::interp::{interpret, rms_error};
+use hecate::ir::types::infer_types;
+use hecate::ir::{ConstData, Function, Op, ValueId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const VEC: usize = 8;
+
+/// An abstract op choice, to be wired to random earlier values.
+#[derive(Debug, Clone)]
+enum Pick {
+    Add,
+    Sub,
+    Mul,
+    Negate,
+    Rotate(usize),
+    Const(f64),
+}
+
+fn pick_strategy() -> impl Strategy<Value = Pick> {
+    prop_oneof![
+        Just(Pick::Add),
+        Just(Pick::Sub),
+        Just(Pick::Mul),
+        Just(Pick::Negate),
+        (1usize..VEC).prop_map(Pick::Rotate),
+        (-100i32..100).prop_map(|v| Pick::Const(v as f64 / 100.0)),
+    ]
+}
+
+/// Builds a random well-formed program from op picks and operand seeds.
+fn build_program(picks: &[(Pick, u64, u64)], n_inputs: usize) -> Function {
+    let mut f = Function::new("random", VEC);
+    let mut values: Vec<ValueId> = Vec::new();
+    for i in 0..n_inputs {
+        values.push(f.push(Op::Input { name: format!("x{i}") }));
+    }
+    for (pick, s1, s2) in picks {
+        let a = values[(*s1 % values.len() as u64) as usize];
+        let b = values[(*s2 % values.len() as u64) as usize];
+        let v = match pick {
+            Pick::Add => f.push(Op::Add(a, b)),
+            Pick::Sub => f.push(Op::Sub(a, b)),
+            // Cap multiplication fan-in to keep scales finite: multiplying
+            // two deep values doubles scale growth, which is fine — the
+            // compiler must handle it or report NoParameters.
+            Pick::Mul => f.push(Op::Mul(a, b)),
+            Pick::Negate => f.push(Op::Negate(a)),
+            Pick::Rotate(s) => f.push(Op::Rotate { value: a, step: *s }),
+            Pick::Const(v) => f.push(Op::Const {
+                data: ConstData::splat(*v),
+            }),
+        };
+        values.push(v);
+    }
+    // Every sink becomes an output so nothing is trivially dead.
+    let used: std::collections::HashSet<ValueId> = f
+        .ops()
+        .iter()
+        .flat_map(|o| o.operands())
+        .collect();
+    let sinks: Vec<ValueId> = f
+        .value_ids()
+        .filter(|v| !used.contains(v))
+        .collect();
+    for (i, v) in sinks.into_iter().enumerate() {
+        f.mark_output(format!("o{i}"), v);
+    }
+    f
+}
+
+fn inputs_for(n_inputs: usize) -> HashMap<String, Vec<f64>> {
+    (0..n_inputs)
+        .map(|i| {
+            let v: Vec<f64> = (0..VEC).map(|k| 0.1 + 0.05 * ((i + k) % 7) as f64).collect();
+            (format!("x{i}"), v)
+        })
+        .collect()
+}
+
+/// Whether any output is cipher-valued (pure-constant programs are not
+/// compilable FHE programs).
+fn has_cipher_output(f: &Function) -> bool {
+    let mut cipher = vec![false; f.len()];
+    for (i, op) in f.ops().iter().enumerate() {
+        cipher[i] = match op {
+            Op::Input { .. } => true,
+            Op::Const { .. } => false,
+            _ => op.operands().iter().any(|v| cipher[v.index()]),
+        };
+    }
+    f.outputs().iter().any(|(_, v)| cipher[v.index()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_random_programs_type_check_and_preserve_semantics(
+        picks in proptest::collection::vec((pick_strategy(), any::<u64>(), any::<u64>()), 3..25),
+        n_inputs in 1usize..4,
+    ) {
+        let func = build_program(&picks, n_inputs);
+        prop_assume!(has_cipher_output(&func));
+        let ins = inputs_for(n_inputs);
+        let reference = interpret(&func, &ins).unwrap();
+
+        let mut opts = CompileOptions::with_waterline(24.0);
+        opts.degree = Some(512);
+        for scheme in [Scheme::Eva, Scheme::Pars, Scheme::Hecate] {
+            match compile(&func, scheme, &opts) {
+                Ok(prog) => {
+                    // Invariant 1: the result type-checks under C1–C3.
+                    infer_types(&prog.func, &prog.cfg).expect("compiled code type-checks");
+                    // Invariant 2: plaintext semantics are preserved.
+                    let out = interpret(&prog.func, &ins).unwrap();
+                    for (name, expect) in &reference {
+                        prop_assert!(
+                            rms_error(&out[name], expect) < 1e-9,
+                            "{scheme}: output {name} drifted"
+                        );
+                    }
+                    // Invariant 3: parameters cover the program's levels.
+                    prop_assert!(prog.params.chain_len > prog.params.max_level);
+                }
+                // Deep multiplication chains may legitimately exceed every
+                // parameter set; that must be a clean error, not a panic.
+                Err(e) => {
+                    let msg = e.to_string();
+                    prop_assert!(
+                        msg.contains("parameters") || msg.contains("type error"),
+                        "unexpected error: {msg}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pars_modulus_never_exceeds_eva(
+        picks in proptest::collection::vec((pick_strategy(), any::<u64>(), any::<u64>()), 3..20),
+        n_inputs in 1usize..3,
+    ) {
+        let func = build_program(&picks, n_inputs);
+        prop_assume!(has_cipher_output(&func));
+        let mut opts = CompileOptions::with_waterline(22.0);
+        opts.degree = Some(512);
+        let eva = compile(&func, Scheme::Eva, &opts);
+        let pars = compile(&func, Scheme::Pars, &opts);
+        if let (Ok(e), Ok(p)) = (eva, pars) {
+            prop_assert!(
+                p.params.total_bits <= e.params.total_bits,
+                "PARS {} bits > EVA {} bits",
+                p.params.total_bits,
+                e.params.total_bits
+            );
+        }
+    }
+}
