@@ -75,7 +75,11 @@ mod tests {
 
     #[test]
     fn corners_score_higher_than_edges_and_flats() {
-        let cfg = HarrisConfig { h: 16, w: 16, seed: 1 };
+        let cfg = HarrisConfig {
+            h: 16,
+            w: 16,
+            seed: 1,
+        };
         let (f, ins) = build(&cfg);
         let out = &interpret(&f, &ins).unwrap()["response"];
         let at = |r: usize, c: usize| out[r * 16 + c];
@@ -90,8 +94,18 @@ mod tests {
 
     #[test]
     fn multiplicative_depth_exceeds_sobel() {
-        let sob = crate::sobel::build(&crate::sobel::SobelConfig { h: 8, w: 8, seed: 1 }).0;
-        let har = build(&HarrisConfig { h: 8, w: 8, seed: 1 }).0;
+        let sob = crate::sobel::build(&crate::sobel::SobelConfig {
+            h: 8,
+            w: 8,
+            seed: 1,
+        })
+        .0;
+        let har = build(&HarrisConfig {
+            h: 8,
+            w: 8,
+            seed: 1,
+        })
+        .0;
         // Rough proxy: Harris needs more multiplications.
         let muls = |f: &Function| {
             f.ops()

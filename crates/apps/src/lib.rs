@@ -60,28 +60,39 @@ pub fn all_benchmarks(preset: Preset) -> Vec<Benchmark> {
         func,
         inputs,
     };
-    let (img, mlp_cfg, lenet_cfg, reg): (
-        usize,
-        mlp::MlpConfig,
-        lenet::LenetConfig,
-        fn(usize, u64) -> regression::RegressionConfig,
-    ) = match preset {
-        Preset::Small => (
-            16,
-            mlp::MlpConfig::small(seed),
-            lenet::LenetConfig::small(seed),
-            regression::RegressionConfig::small,
-        ),
-        Preset::Paper => (
-            64,
-            mlp::MlpConfig::paper(seed),
-            lenet::LenetConfig::paper(seed),
-            regression::RegressionConfig::paper,
-        ),
-    };
+    type RegCfg = fn(usize, u64) -> regression::RegressionConfig;
+    let (img, mlp_cfg, lenet_cfg, reg): (usize, mlp::MlpConfig, lenet::LenetConfig, RegCfg) =
+        match preset {
+            Preset::Small => (
+                16,
+                mlp::MlpConfig::small(seed),
+                lenet::LenetConfig::small(seed),
+                regression::RegressionConfig::small,
+            ),
+            Preset::Paper => (
+                64,
+                mlp::MlpConfig::paper(seed),
+                lenet::LenetConfig::paper(seed),
+                regression::RegressionConfig::paper,
+            ),
+        };
     vec![
-        mk("SF", sobel::build(&sobel::SobelConfig { h: img, w: img, seed })),
-        mk("HCD", harris::build(&harris::HarrisConfig { h: img, w: img, seed })),
+        mk(
+            "SF",
+            sobel::build(&sobel::SobelConfig {
+                h: img,
+                w: img,
+                seed,
+            }),
+        ),
+        mk(
+            "HCD",
+            harris::build(&harris::HarrisConfig {
+                h: img,
+                w: img,
+                seed,
+            }),
+        ),
         mk("MLP", mlp::build(&mlp_cfg)),
         mk("LeNet", lenet::build(&lenet_cfg)),
         mk("LR E2", regression::build_linear(&reg(2, seed))),
@@ -142,7 +153,12 @@ mod tests {
     #[test]
     fn small_benchmarks_are_within_encrypted_reach() {
         for b in all_benchmarks(Preset::Small) {
-            assert!(b.func.vec_size <= 256, "{}: vec {}", b.name, b.func.vec_size);
+            assert!(
+                b.func.vec_size <= 256,
+                "{}: vec {}",
+                b.name,
+                b.func.vec_size
+            );
         }
     }
 }

@@ -33,7 +33,10 @@ pub fn linear_layer(
     assert!(out_dim > 0, "empty weight matrix");
     let in_dim = weights[0].len();
     assert!(weights.iter().all(|r| r.len() == in_dim), "ragged matrix");
-    assert!(out_dim <= vec && in_dim <= vec, "matrix exceeds vector width");
+    assert!(
+        out_dim <= vec && in_dim <= vec,
+        "matrix exceeds vector width"
+    );
 
     let mut acc: Option<ValueId> = None;
     for d in 0..vec {
@@ -132,7 +135,10 @@ pub fn linear_layer_bsgs(
     assert!(out_dim > 0, "empty weight matrix");
     let in_dim = weights[0].len();
     assert!(weights.iter().all(|r| r.len() == in_dim), "ragged matrix");
-    assert!(out_dim <= vec && in_dim <= vec, "matrix exceeds vector width");
+    assert!(
+        out_dim <= vec && in_dim <= vec,
+        "matrix exceeds vector width"
+    );
     assert!(vec.is_power_of_two());
 
     let baby = 1usize << (vec.trailing_zeros() / 2);
@@ -155,9 +161,7 @@ pub fn linear_layer_bsgs(
         for j in 0..baby {
             let d = shift + j;
             // rot⁻¹(diag_d, shift)[i] = diag_d[(i − shift) mod vec].
-            let pre: Vec<f64> = (0..vec)
-                .map(|i| diag(d, (i + vec - shift) % vec))
-                .collect();
+            let pre: Vec<f64> = (0..vec).map(|i| diag(d, (i + vec - shift) % vec)).collect();
             if pre.iter().all(|v| *v == 0.0) {
                 continue;
             }
@@ -170,7 +174,11 @@ pub fn linear_layer_bsgs(
             });
         }
         if let Some(inner) = inner {
-            let shifted = if shift == 0 { inner } else { b.rotate(inner, shift) };
+            let shifted = if shift == 0 {
+                inner
+            } else {
+                b.rotate(inner, shift)
+            };
             acc = Some(match acc {
                 None => shifted,
                 Some(a) => b.add(a, shifted),

@@ -26,12 +26,22 @@ pub struct MlpConfig {
 impl MlpConfig {
     /// The paper's 784×100×10 network.
     pub fn paper(seed: u64) -> Self {
-        MlpConfig { in_dim: 784, hidden: 100, out: 10, seed }
+        MlpConfig {
+            in_dim: 784,
+            hidden: 100,
+            out: 10,
+            seed,
+        }
     }
 
     /// A reduced shape for fast encrypted runs.
     pub fn small(seed: u64) -> Self {
-        MlpConfig { in_dim: 64, hidden: 16, out: 4, seed }
+        MlpConfig {
+            in_dim: 64,
+            hidden: 16,
+            out: 4,
+            seed,
+        }
     }
 }
 

@@ -28,12 +28,22 @@ pub struct RegressionConfig {
 impl RegressionConfig {
     /// Paper-scale: 16384 samples.
     pub fn paper(epochs: usize, seed: u64) -> Self {
-        RegressionConfig { n: 16384, epochs, lr: 0.5, seed }
+        RegressionConfig {
+            n: 16384,
+            epochs,
+            lr: 0.5,
+            seed,
+        }
     }
 
     /// Reduced scale for fast encrypted runs.
     pub fn small(epochs: usize, seed: u64) -> Self {
-        RegressionConfig { n: 256, epochs, lr: 0.5, seed }
+        RegressionConfig {
+            n: 256,
+            epochs,
+            lr: 0.5,
+            seed,
+        }
     }
 }
 

@@ -79,7 +79,11 @@ mod tests {
 
     #[test]
     fn detects_the_rectangle_edge() {
-        let cfg = SobelConfig { h: 16, w: 16, seed: 1 };
+        let cfg = SobelConfig {
+            h: 16,
+            w: 16,
+            seed: 1,
+        };
         let (f, ins) = build(&cfg);
         let out = &interpret(&f, &ins).unwrap()["edges"];
         // The synthetic image has a bright rectangle from (4,4) to (12,12):
@@ -93,7 +97,11 @@ mod tests {
 
     #[test]
     fn matches_reference_stencil_math() {
-        let cfg = SobelConfig { h: 8, w: 8, seed: 2 };
+        let cfg = SobelConfig {
+            h: 8,
+            w: 8,
+            seed: 2,
+        };
         let (f, ins) = build(&cfg);
         let out = &interpret(&f, &ins).unwrap()["edges"];
         let img = &ins["image"];

@@ -41,7 +41,9 @@ pub fn uniform_samples(n: usize, seed: u64) -> Vec<f64> {
 /// Targets `y = a·x + b` plus Gaussian noise.
 pub fn linear_targets(x: &[f64], a: f64, b: f64, noise: f64, seed: u64) -> Vec<f64> {
     let mut rng = Xoshiro256::seed_from_u64(seed);
-    x.iter().map(|&v| a * v + b + noise * rng.next_gaussian()).collect()
+    x.iter()
+        .map(|&v| a * v + b + noise * rng.next_gaussian())
+        .collect()
 }
 
 /// Targets `y = a·x² + b·x + c` plus Gaussian noise.
@@ -58,7 +60,11 @@ pub fn xavier_weights(out_dim: usize, in_dim: usize, seed: u64) -> Vec<Vec<f64>>
     let mut rng = Xoshiro256::seed_from_u64(seed);
     let limit = (1.5 / in_dim as f64).sqrt();
     (0..out_dim)
-        .map(|_| (0..in_dim).map(|_| rng.next_range_f64(-limit, limit)).collect())
+        .map(|_| {
+            (0..in_dim)
+                .map(|_| rng.next_range_f64(-limit, limit))
+                .collect()
+        })
         .collect()
 }
 
@@ -70,7 +76,11 @@ pub fn conv_weights(out_ch: usize, in_ch: usize, k: usize, seed: u64) -> Vec<Vec
     (0..out_ch)
         .map(|_| {
             (0..in_ch)
-                .map(|_| (0..k * k).map(|_| rng.next_range_f64(-limit, limit)).collect())
+                .map(|_| {
+                    (0..k * k)
+                        .map(|_| rng.next_range_f64(-limit, limit))
+                        .collect()
+                })
                 .collect()
         })
         .collect()

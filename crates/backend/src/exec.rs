@@ -18,7 +18,9 @@
 //!   window, so IR rotation semantics are preserved for any power-of-two
 //!   `w` dividing the slot count.
 
+use crate::fault::FaultPlan;
 use crate::liveness::last_uses;
+use crate::noise::NoiseMonitor;
 use hecate_ckks::encoder::EncodeError;
 use hecate_ckks::eval::EvalError;
 use hecate_ckks::params::ParamsError;
@@ -40,6 +42,11 @@ pub struct BackendOptions {
     pub degree_override: Option<usize>,
     /// Seed for key generation and encryption randomness.
     pub seed: u64,
+    /// Runtime guards (metadata checks, representation validation, noise
+    /// monitoring).
+    pub guard: GuardOptions,
+    /// Fault to inject, for testing the guards. `None` in normal runs.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for BackendOptions {
@@ -47,6 +54,45 @@ impl Default for BackendOptions {
         BackendOptions {
             degree_override: None,
             seed: 0xC0FFEE,
+            guard: GuardOptions::default(),
+            fault: None,
+        }
+    }
+}
+
+/// Which runtime guards the executor runs after every operation.
+#[derive(Debug, Clone)]
+pub struct GuardOptions {
+    /// Check each ciphertext's declared scale, level, and RNS prefix
+    /// against the compiled plan's types (cheap; on by default).
+    pub metadata_checks: bool,
+    /// Scan every residue row of each result for values outside its
+    /// prime's range (an `O(N·prefix)` pass per op; off by default).
+    pub validate_repr: bool,
+    /// Track the noise budget with a [`NoiseMonitor`] and abort with
+    /// [`ExecError::BudgetExhausted`] once the modeled RMS noise of any
+    /// value exceeds this bound. `None` disables monitoring.
+    pub max_rms: Option<f64>,
+}
+
+impl Default for GuardOptions {
+    fn default() -> Self {
+        GuardOptions {
+            metadata_checks: true,
+            validate_repr: false,
+            max_rms: None,
+        }
+    }
+}
+
+/// Guards with everything enabled (as the fault-injection suite runs).
+impl GuardOptions {
+    /// All guards on, with the given noise budget (RMS bound).
+    pub fn strict(max_rms: f64) -> Self {
+        GuardOptions {
+            metadata_checks: true,
+            validate_repr: true,
+            max_rms: Some(max_rms),
         }
     }
 }
@@ -77,6 +123,22 @@ pub enum ExecError {
         /// The unbound name.
         name: String,
     },
+    /// A runtime guard found ciphertext state inconsistent with the
+    /// compiled plan (wrong scale/level/prefix or an invalid residue).
+    Guard {
+        /// The operation index at which the check failed.
+        at: usize,
+        /// What was inconsistent.
+        detail: String,
+    },
+    /// The noise monitor saw the budget run out: decryption would no
+    /// longer recover the plaintext within the configured error bound.
+    BudgetExhausted {
+        /// The operation index at which the budget was exceeded.
+        at: usize,
+        /// Log2 bits by which the tracked RMS noise exceeds the budget.
+        deficit: f64,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -89,6 +151,15 @@ impl std::fmt::Display for ExecError {
                 write!(f, "vector width {vec_size} incompatible with {slots} slots")
             }
             ExecError::MissingInput { name } => write!(f, "no binding for input '{name}'"),
+            ExecError::Guard { at, detail } => {
+                write!(f, "runtime guard tripped at op {at}: {detail}")
+            }
+            ExecError::BudgetExhausted { at, deficit } => {
+                write!(
+                    f,
+                    "noise budget exhausted at op {at} ({deficit:.1} bits over)"
+                )
+            }
         }
     }
 }
@@ -165,7 +236,8 @@ pub fn key_requirements(
         let level = |v: &ValueId| prog.types[v.index()].level().unwrap_or(0);
         match op {
             Op::Mul(a, b) => {
-                let both_cipher = prog.types[a.index()].is_cipher() && prog.types[b.index()].is_cipher();
+                let both_cipher =
+                    prog.types[a.index()].is_cipher() && prog.types[b.index()].is_cipher();
                 if both_cipher {
                     relin.push(chain_len - level(a));
                 }
@@ -217,7 +289,10 @@ pub fn execute_encrypted(
     let encoder = CkksEncoder::new(&params);
     let mut kg = KeyGenerator::new(&params, opts.seed);
     let pk = kg.public_key();
-    let (relin, rot) = key_requirements(prog, slots, chain_len);
+    let (mut relin, rot) = key_requirements(prog, slots, chain_len);
+    if matches!(opts.fault, Some(FaultPlan::SkipRelin)) {
+        relin.clear();
+    }
     let keys = EvalKeys::generate(&mut kg, &relin, &rot);
     let mut encryptor = Encryptor::new(&params, pk, opts.seed.wrapping_add(1));
     let decryptor = Decryptor::new(&params, kg.secret_key().clone());
@@ -225,6 +300,10 @@ pub fn execute_encrypted(
 
     let sf = prog.cfg.rescale_bits;
     let last = last_uses(&prog.func);
+    let mut monitor = opts
+        .guard
+        .max_rms
+        .map(|_| NoiseMonitor::new(params.degree()));
     let mut vals: HashMap<usize, Val> = HashMap::new();
     let mut op_us = vec![0.0f64; prog.func.len()];
     let mut total_us = 0.0;
@@ -233,14 +312,15 @@ pub fn execute_encrypted(
     let mut peak_bytes = 0usize;
 
     let basis = params.basis();
-    let encode_replicated = |data: &[f64], scale: f64, level: usize| -> Result<Plaintext, ExecError> {
-        let rep = replicate(data, vec_size, slots);
-        let mut pt = encoder.encode(&rep, scale, level)?;
-        // Plaintexts are prepared ahead of execution in NTT form, as SEAL
-        // does, so ct⊙pt operations cost a pointwise pass only.
-        pt.poly.to_ntt(basis);
-        Ok(pt)
-    };
+    let encode_replicated =
+        |data: &[f64], scale: f64, level: usize| -> Result<Plaintext, ExecError> {
+            let rep = replicate(data, vec_size, slots);
+            let mut pt = encoder.encode(&rep, scale, level)?;
+            // Plaintexts are prepared ahead of execution in NTT form, as SEAL
+            // does, so ct⊙pt operations cost a pointwise pass only.
+            pt.poly.to_ntt(basis);
+            Ok(pt)
+        };
 
     for (i, op) in prog.func.ops().iter().enumerate() {
         let ty = prog.types[i];
@@ -253,18 +333,18 @@ pub fn execute_encrypted(
                 let pt = encode_replicated(data, ty.scale().expect("cipher input"), 0)?;
                 Val::Cipher(encryptor.encrypt(&pt))
             }
-            Op::Const { data } => {
-                Val::Free((0..vec_size).map(|k| data.at(k)).collect())
-            }
-            Op::Encode { value, scale_bits, level } => {
+            Op::Const { data } => Val::Free((0..vec_size).map(|k| data.at(k)).collect()),
+            Op::Encode {
+                value,
+                scale_bits,
+                level,
+            } => {
                 let Val::Free(data) = &vals[&value.index()] else {
                     unreachable!("encode takes a free operand");
                 };
                 Val::Plain(encode_replicated(data, *scale_bits, *level)?)
             }
-            Op::ModSwitch(v) | Op::Upscale { value: v, .. }
-                if prog.types[v.index()].is_plain() =>
-            {
+            Op::ModSwitch(v) | Op::Upscale { value: v, .. } if prog.types[v.index()].is_plain() => {
                 // Plaintext scale management is symbolic: re-encode the
                 // underlying data at the new (scale, level).
                 let data = plain_source_data(prog, *v, &vals);
@@ -313,8 +393,12 @@ pub fn execute_encrypted(
                 let t0 = Instant::now();
                 let out = match (&vals[&a.index()], &vals[&b.index()]) {
                     (Val::Cipher(ca), Val::Cipher(cb)) => eval.mul(ca, cb).map_err(eval_err)?,
-                    (Val::Cipher(ca), Val::Plain(pb)) => eval.mul_plain(ca, pb).map_err(eval_err)?,
-                    (Val::Plain(pa), Val::Cipher(cb)) => eval.mul_plain(cb, pa).map_err(eval_err)?,
+                    (Val::Cipher(ca), Val::Plain(pb)) => {
+                        eval.mul_plain(ca, pb).map_err(eval_err)?
+                    }
+                    (Val::Plain(pa), Val::Cipher(cb)) => {
+                        eval.mul_plain(cb, pa).map_err(eval_err)?
+                    }
                     _ => unreachable!("binary op on free operands"),
                 };
                 op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
@@ -345,13 +429,19 @@ pub fn execute_encrypted(
                 let Val::Cipher(c) = &vals[&v.index()] else {
                     unreachable!("rescale on cipher")
                 };
-                let t0 = Instant::now();
-                let mut out = eval.rescale(c).map_err(eval_err)?;
-                op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
-                total_us += op_us[i];
-                // Nominal scale declaration (see module docs).
-                out.scale_bits = c.scale_bits - sf;
-                Val::Cipher(out)
+                if matches!(opts.fault, Some(FaultPlan::DropRescale { at }) if at == i) {
+                    // Injected fault: the rescale never happens; the value
+                    // passes through with level and scale unchanged.
+                    Val::Cipher(c.clone())
+                } else {
+                    let t0 = Instant::now();
+                    let mut out = eval.rescale(c).map_err(eval_err)?;
+                    op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
+                    total_us += op_us[i];
+                    // Nominal scale declaration (see module docs).
+                    out.scale_bits = c.scale_bits - sf;
+                    Val::Cipher(out)
+                }
             }
             Op::ModSwitch(v) => {
                 let Val::Cipher(c) = &vals[&v.index()] else {
@@ -394,6 +484,91 @@ pub fn execute_encrypted(
                 Val::Cipher(out)
             }
         };
+        let mut value = value;
+        let mut injected_var = 0.0;
+        if let (Some(fault), Val::Cipher(c)) = (&opts.fault, &mut value) {
+            match fault {
+                FaultPlan::CorruptLimb { at, limb } if *at == i => {
+                    // Stuck-limb model: write the prime itself — one past
+                    // the valid residue range [0, p).
+                    let row = *limb % c.c0.prefix();
+                    let p = basis.prime(row);
+                    c.c0.residue_mut(row)[0] = p;
+                }
+                FaultPlan::PerturbScale { at, delta_bits } if *at == i => {
+                    c.scale_bits += delta_bits;
+                }
+                FaultPlan::ExhaustNoise { at } if *at == i => {
+                    // Add the constant polynomial A = 2^(s+1) to c0: every
+                    // decoded slot shifts by A / 2^s = 2.0. Real corruption
+                    // — decryption without the guard returns garbage.
+                    let amp = (2.0f64).powf((c.scale_bits + 1.0).min(62.0)) as u64;
+                    let ntt = c.c0.is_ntt();
+                    for row in 0..c.c0.prefix() {
+                        let p = basis.prime(row);
+                        let r = c.c0.residue_mut(row);
+                        if ntt {
+                            for x in r.iter_mut() {
+                                *x = (*x + amp % p) % p;
+                            }
+                        } else {
+                            r[0] = (r[0] + amp % p) % p;
+                        }
+                    }
+                    injected_var = 4.0;
+                }
+                _ => {}
+            }
+        }
+        if let (Val::Cipher(c), true) = (&value, opts.guard.metadata_checks) {
+            let want_scale = ty.scale().unwrap_or(c.scale_bits);
+            let want_level = ty.level().unwrap_or(c.level);
+            if (c.scale_bits - want_scale).abs() > 1e-3 {
+                return Err(ExecError::Guard {
+                    at: i,
+                    detail: format!(
+                        "scale 2^{:.3} disagrees with compiled 2^{want_scale:.3}",
+                        c.scale_bits
+                    ),
+                });
+            }
+            if c.level != want_level || c.prefix() != chain_len - want_level {
+                return Err(ExecError::Guard {
+                    at: i,
+                    detail: format!(
+                        "level {} / prefix {} disagree with compiled level {want_level} (chain {chain_len})",
+                        c.level,
+                        c.prefix()
+                    ),
+                });
+            }
+        }
+        if let (Val::Cipher(c), true) = (&value, opts.guard.validate_repr) {
+            for poly in [&c.c0, &c.c1] {
+                for row in 0..poly.prefix() {
+                    let p = basis.prime(row);
+                    if let Some(bad) = poly.residue(row).iter().find(|&&x| x >= p) {
+                        return Err(ExecError::Guard {
+                            at: i,
+                            detail: format!("residue {bad} out of range for prime {p} (row {row})"),
+                        });
+                    }
+                }
+            }
+        }
+        if let (Some(m), Some(max_rms)) = (monitor.as_mut(), opts.guard.max_rms) {
+            m.record(prog, i);
+            if injected_var > 0.0 {
+                m.inject(i, injected_var);
+            }
+            let rms = m.rms(i);
+            if rms > max_rms {
+                return Err(ExecError::BudgetExhausted {
+                    at: i,
+                    deficit: (rms / max_rms).log2(),
+                });
+            }
+        }
         if matches!(value, Val::Cipher(_)) {
             live_cipher += 1;
             peak_live = peak_live.max(live_cipher);

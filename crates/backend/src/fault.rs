@@ -1,0 +1,68 @@
+//! Runtime fault injection for exercising the executor's guard rails.
+//!
+//! A [`FaultPlan`] tells [`execute_encrypted`](crate::exec::execute_encrypted)
+//! to sabotage one step of an otherwise-correct encrypted run. Each variant
+//! models a realistic failure (a flipped limb, a metadata bug, a skipped
+//! scale-management or relinearization step, a noise blow-up), and each has
+//! a designated guard that must catch it:
+//!
+//! | fault | detected by |
+//! |---|---|
+//! | [`FaultPlan::CorruptLimb`] | representation validity scan (residue ≥ its prime) |
+//! | [`FaultPlan::PerturbScale`] | metadata check against the compiled types |
+//! | [`FaultPlan::DropRescale`] | metadata check (level and scale both wrong) |
+//! | [`FaultPlan::SkipRelin`] | clean `MissingKey` error from the evaluator |
+//! | [`FaultPlan::ExhaustNoise`] | noise-budget monitor (`BudgetExhausted`) |
+//!
+//! The fault-injection tests in `crates/backend/tests/fault_injection.rs`
+//! prove the table: every variant yields a structured error, never a panic
+//! and never a silently wrong plaintext.
+
+/// One injected fault, applied during encrypted execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlan {
+    /// Overwrite one RNS residue row of the result of op `at` with a value
+    /// outside its prime's range (a model of a flipped/stuck limb).
+    CorruptLimb {
+        /// Operation index whose result is corrupted.
+        at: usize,
+        /// Residue row to corrupt (taken modulo the active prefix).
+        limb: usize,
+    },
+    /// Perturb the declared scale of the result of op `at` by
+    /// `delta_bits` without touching the payload — the metadata lies.
+    PerturbScale {
+        /// Operation index whose scale is perturbed.
+        at: usize,
+        /// Log2-bits of perturbation (ε).
+        delta_bits: f64,
+    },
+    /// Skip the rescale at op `at` entirely: the value passes through with
+    /// its level and scale unchanged.
+    DropRescale {
+        /// Index of the rescale operation to drop.
+        at: usize,
+    },
+    /// Generate no relinearization keys, so the first cipher–cipher
+    /// multiplication cannot relinearize.
+    SkipRelin,
+    /// Inject real noise into the result of op `at`, large enough to
+    /// exhaust the noise budget (adds ~2.0 absolute error per slot).
+    ExhaustNoise {
+        /// Operation index at which the budget blows up.
+        at: usize,
+    },
+}
+
+impl FaultPlan {
+    /// The op index the fault targets, if it targets one.
+    pub fn at(&self) -> Option<usize> {
+        match self {
+            FaultPlan::CorruptLimb { at, .. }
+            | FaultPlan::PerturbScale { at, .. }
+            | FaultPlan::DropRescale { at }
+            | FaultPlan::ExhaustNoise { at } => Some(*at),
+            FaultPlan::SkipRelin => None,
+        }
+    }
+}

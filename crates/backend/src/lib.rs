@@ -15,6 +15,12 @@
 //! performance estimator, and [`liveness`] provides the memory planning the
 //! paper's SEAL dialect performs.
 //!
+//! The executor carries runtime guards ([`GuardOptions`]): per-operation
+//! metadata checks against the compiled plan, residue-range validation,
+//! and a [`NoiseMonitor`] that aborts with `BudgetExhausted` before a
+//! garbage decryption. [`fault`] injects runtime faults to prove the
+//! guards catch them.
+//!
 //! # Example
 //!
 //! Compile and run the motivating example end to end:
@@ -48,12 +54,14 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod fault;
 pub mod liveness;
 pub mod noise;
 pub mod profile;
 
-pub use exec::{execute_encrypted, BackendOptions, EncryptedRun, ExecError};
-pub use noise::{max_rms_error, simulate, SimulatedRun};
+pub use exec::{execute_encrypted, BackendOptions, EncryptedRun, ExecError, GuardOptions};
+pub use fault::FaultPlan;
+pub use noise::{max_rms_error, simulate, NoiseMonitor, SimulatedRun};
 pub use profile::profile_cost_table;
 
 /// Root-mean-square error between two equally long slot vectors.

@@ -25,6 +25,21 @@ use std::collections::HashMap;
 /// RLWE noise variance of CBD(21).
 const SIGMA2: f64 = 10.5;
 
+/// Decoded-domain variance of encoding (integer rounding) at a scale.
+fn encode_var(n: f64, scale_bits: f64) -> f64 {
+    (n / 12.0) / (2.0f64).powf(2.0 * scale_bits)
+}
+
+/// Decoded-domain variance of a freshly encrypted value at a scale.
+fn fresh_var(n: f64, scale_bits: f64) -> f64 {
+    (2.0 * n * SIGMA2) / (2.0f64).powf(2.0 * scale_bits) + encode_var(n, scale_bits)
+}
+
+/// Key-switch noise (relinearization / rotation) decoded at a scale.
+fn ks_var(n: f64, scale_bits: f64) -> f64 {
+    (n * n * SIGMA2 / 6.0) / (2.0f64).powf(2.0 * scale_bits)
+}
+
 /// Result of a simulated run.
 #[derive(Debug)]
 pub struct SimulatedRun {
@@ -60,14 +75,12 @@ pub fn simulate(
 ) -> SimulatedRun {
     let n = degree as f64;
     let w = prog.func.vec_size;
-    let encode_var = |scale_bits: f64| (n / 12.0) / (2.0f64).powf(2.0 * scale_bits);
-    let fresh_var = |scale_bits: f64| {
-        (2.0 * n * SIGMA2) / (2.0f64).powf(2.0 * scale_bits) + encode_var(scale_bits)
-    };
+    let encode_var = |scale_bits: f64| encode_var(n, scale_bits);
+    let fresh_var = |scale_bits: f64| fresh_var(n, scale_bits);
     // Key-switch noise (relin / rotate), decoded at the operand scale:
     // digits of magnitude q/2 times RLWE noise, divided by the special
     // prime — roughly N·σ² in the coefficient domain.
-    let ks_var = |scale_bits: f64| (n * n * SIGMA2 / 6.0) / (2.0f64).powf(2.0 * scale_bits);
+    let ks_var = |scale_bits: f64| ks_var(n, scale_bits);
 
     let mut vals: HashMap<usize, SimVal> = HashMap::new();
     let scale_of = |v: &ValueId| prog.types[v.index()].scale().unwrap_or(0.0);
@@ -91,7 +104,9 @@ pub fn simulate(
                 values: (0..w).map(|k| data.at(k)).collect(),
                 var: 0.0,
             },
-            Op::Encode { value, scale_bits, .. } => {
+            Op::Encode {
+                value, scale_bits, ..
+            } => {
                 let src = get(value);
                 SimVal {
                     values: src.values,
@@ -104,7 +119,13 @@ pub fn simulate(
                     .values
                     .iter()
                     .zip(&sb.values)
-                    .map(|(x, y)| if matches!(op, Op::Add(..)) { x + y } else { x - y })
+                    .map(|(x, y)| {
+                        if matches!(op, Op::Add(..)) {
+                            x + y
+                        } else {
+                            x - y
+                        }
+                    })
                     .collect();
                 SimVal {
                     values: vals_out,
@@ -113,8 +134,12 @@ pub fn simulate(
             }
             Op::Mul(a, b) => {
                 let (sa, sb) = (get(a), get(b));
-                let vals_out: Vec<f64> =
-                    sa.values.iter().zip(&sb.values).map(|(x, y)| x * y).collect();
+                let vals_out: Vec<f64> = sa
+                    .values
+                    .iter()
+                    .zip(&sb.values)
+                    .map(|(x, y)| x * y)
+                    .collect();
                 let both_cipher =
                     prog.types[a.index()].is_cipher() && prog.types[b.index()].is_cipher();
                 let mut var = mean_sq(&sa.values) * sb.var + mean_sq(&sb.values) * sa.var;
@@ -181,4 +206,82 @@ pub fn simulate(
 /// The largest estimated RMS error across all outputs.
 pub fn max_rms_error(run: &SimulatedRun) -> f64 {
     run.rms_error.values().fold(0.0, |m, v| m.max(*v))
+}
+
+/// Online noise-budget tracking for the encrypted executor.
+///
+/// The monitor advances the same first-order variance model as
+/// [`simulate`], but online, one operation at a time, without seeing the
+/// plaintext: where [`simulate`] multiplies by the actual message
+/// mean-squares, the monitor bounds them by `msq_bound` (CKKS practice
+/// normalizes inputs to roughly unit magnitude). The executor asks after
+/// every operation whether the tracked RMS still fits the budget; if not,
+/// it aborts with `BudgetExhausted` *before* a garbage decryption.
+#[derive(Debug, Clone)]
+pub struct NoiseMonitor {
+    n: f64,
+    /// Assumed per-slot message mean-square bound.
+    msq_bound: f64,
+    vars: HashMap<usize, f64>,
+}
+
+impl NoiseMonitor {
+    /// A monitor for a run at ring degree `degree`.
+    pub fn new(degree: usize) -> Self {
+        NoiseMonitor {
+            n: degree as f64,
+            msq_bound: 1.0,
+            vars: HashMap::new(),
+        }
+    }
+
+    /// Overrides the message magnitude bound (mean-square per slot).
+    pub fn with_message_bound(mut self, msq_bound: f64) -> Self {
+        self.msq_bound = msq_bound;
+        self
+    }
+
+    /// Advances the model across op `i` and returns the tracked variance
+    /// of its result.
+    pub fn record(&mut self, prog: &CompiledProgram, i: usize) -> f64 {
+        let op = &prog.func.ops()[i];
+        let ty = prog.types[i];
+        let get = |v: &ValueId| self.vars.get(&v.index()).copied().unwrap_or(0.0);
+        let var = match op {
+            Op::Input { .. } => fresh_var(self.n, ty.scale().unwrap_or(0.0)),
+            Op::Const { .. } => 0.0,
+            Op::Encode { scale_bits, .. } => encode_var(self.n, *scale_bits),
+            Op::Add(a, b) | Op::Sub(a, b) => get(a) + get(b),
+            Op::Mul(a, b) => {
+                let both_cipher =
+                    prog.types[a.index()].is_cipher() && prog.types[b.index()].is_cipher();
+                let mut v = self.msq_bound * (get(a) + get(b));
+                if both_cipher {
+                    v += ks_var(self.n, ty.scale().unwrap_or(0.0));
+                }
+                v
+            }
+            Op::Negate(v) => get(v),
+            Op::Rotate { value, .. } => {
+                get(value) + ks_var(self.n, prog.types[value.index()].scale().unwrap_or(0.0))
+            }
+            Op::Rescale(v) | Op::Downscale(v) => {
+                get(v) + encode_var(self.n, ty.scale().unwrap_or(0.0)) * self.n / 3.0
+            }
+            Op::ModSwitch(v) | Op::Upscale { value: v, .. } => get(v),
+        };
+        self.vars.insert(i, var);
+        var
+    }
+
+    /// Adds externally observed variance at value `i` (used by the fault
+    /// injector to make physical corruption visible to the model).
+    pub fn inject(&mut self, i: usize, extra_var: f64) {
+        *self.vars.entry(i).or_insert(0.0) += extra_var;
+    }
+
+    /// The tracked RMS noise of value `i` (0 if untracked).
+    pub fn rms(&self, i: usize) -> f64 {
+        self.vars.get(&i).copied().unwrap_or(0.0).sqrt()
+    }
 }

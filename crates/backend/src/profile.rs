@@ -7,9 +7,7 @@
 //! the per-op variance small enough for a 1.3% geomean estimation error.
 
 use crate::exec::ExecError;
-use hecate_ckks::{
-    CkksEncoder, CkksParams, Encryptor, EvalKeys, Evaluator, KeyGenerator,
-};
+use hecate_ckks::{CkksEncoder, CkksParams, Encryptor, EvalKeys, Evaluator, KeyGenerator};
 use hecate_compiler::{CostOp, CostTable};
 use std::time::Instant;
 
@@ -57,34 +55,66 @@ pub fn profile_cost_table(
             t0.elapsed().as_secs_f64() * 1e6 / reps as f64
         };
 
-        table.set(CostOp::AddCC, c, time(&mut || {
-            eval.add(&ct, &ct2).expect("add");
-        }));
-        table.set(CostOp::AddCP, c, time(&mut || {
-            eval.add_plain(&ct, &pt).expect("add_plain");
-        }));
-        table.set(CostOp::Negate, c, time(&mut || {
-            eval.negate(&ct);
-        }));
-        table.set(CostOp::MulCP, c, time(&mut || {
-            eval.mul_plain(&ct, &pt).expect("mul_plain");
-        }));
-        table.set(CostOp::MulCC, c, time(&mut || {
-            eval.mul(&ct, &ct2).expect("mul");
-        }));
-        table.set(CostOp::Rotate, c, time(&mut || {
-            eval.rotate(&ct, 1).expect("rotate");
-        }));
+        table.set(
+            CostOp::AddCC,
+            c,
+            time(&mut || {
+                eval.add(&ct, &ct2).expect("add");
+            }),
+        );
+        table.set(
+            CostOp::AddCP,
+            c,
+            time(&mut || {
+                eval.add_plain(&ct, &pt).expect("add_plain");
+            }),
+        );
+        table.set(
+            CostOp::Negate,
+            c,
+            time(&mut || {
+                eval.negate(&ct);
+            }),
+        );
+        table.set(
+            CostOp::MulCP,
+            c,
+            time(&mut || {
+                eval.mul_plain(&ct, &pt).expect("mul_plain");
+            }),
+        );
+        table.set(
+            CostOp::MulCC,
+            c,
+            time(&mut || {
+                eval.mul(&ct, &ct2).expect("mul");
+            }),
+        );
+        table.set(
+            CostOp::Rotate,
+            c,
+            time(&mut || {
+                eval.rotate(&ct, 1).expect("rotate");
+            }),
+        );
         if c >= 2 {
             // Rescale needs headroom above the waterline; time on a fresh
             // product so the scale is large enough.
             let prod = eval.mul(&ct, &ct2).expect("mul for rescale");
-            table.set(CostOp::Rescale, c, time(&mut || {
-                eval.rescale(&prod).expect("rescale");
-            }));
-            table.set(CostOp::ModSwitch, c, time(&mut || {
-                eval.mod_switch(&ct).expect("modswitch");
-            }));
+            table.set(
+                CostOp::Rescale,
+                c,
+                time(&mut || {
+                    eval.rescale(&prod).expect("rescale");
+                }),
+            );
+            table.set(
+                CostOp::ModSwitch,
+                c,
+                time(&mut || {
+                    eval.mod_switch(&ct).expect("modswitch");
+                }),
+            );
         }
     }
     Ok(table)

@@ -25,10 +25,14 @@ fn key_requirements_cover_exactly_whats_used() {
     b.output(r2);
     let func = b.finish();
     let prog = compile(&func, Scheme::Eva, &opts(20.0)).unwrap();
-    let params = build_params(&prog, &BackendOptions {
-        degree_override: Some(256),
-        seed: 1,
-    })
+    let params = build_params(
+        &prog,
+        &BackendOptions {
+            degree_override: Some(256),
+            seed: 1,
+            ..BackendOptions::default()
+        },
+    )
     .unwrap();
     let (relin, rot) = key_requirements(&prog, params.slots(), params.basis().chain_len());
     assert!(!relin.is_empty(), "ct×ct multiplications need relin keys");
@@ -50,6 +54,7 @@ fn build_params_matches_compiled_chain() {
     let bo = BackendOptions {
         degree_override: Some(512),
         seed: 2,
+        ..BackendOptions::default()
     };
     let params = build_params(&prog, &bo).unwrap();
     assert_eq!(params.degree(), 512);
@@ -86,9 +91,11 @@ fn peak_bytes_tracks_live_set() {
     let bo = BackendOptions {
         degree_override: Some(256),
         seed: 3,
+        ..BackendOptions::default()
     };
     let o = opts(24.0);
-    let run_wide = execute_encrypted(&compile(&wide, Scheme::Eva, &o).unwrap(), &inputs, &bo).unwrap();
+    let run_wide =
+        execute_encrypted(&compile(&wide, Scheme::Eva, &o).unwrap(), &inputs, &bo).unwrap();
     let run_chain =
         execute_encrypted(&compile(&chain, Scheme::Eva, &o).unwrap(), &inputs, &bo).unwrap();
     assert!(run_wide.peak_live > run_chain.peak_live);
@@ -140,6 +147,7 @@ fn vector_width_must_fit_slots() {
         &BackendOptions {
             degree_override: Some(256),
             seed: 4,
+            ..BackendOptions::default()
         },
     );
     assert!(matches!(

@@ -1,0 +1,228 @@
+//! Fault-injection suite: every [`FaultPlan`] variant must be caught by a
+//! guard — a structured `ExecError`, never a panic and never a silently
+//! wrong plaintext.
+
+use hecate_backend::exec::{execute_encrypted, BackendOptions, ExecError, GuardOptions};
+use hecate_backend::{rms_error, FaultPlan};
+use hecate_compiler::{compile, CompileOptions, CompiledProgram, Scheme};
+use hecate_ir::interp::interpret;
+use hecate_ir::{Function, FunctionBuilder, Op};
+use std::collections::HashMap;
+
+fn motivating(vec: usize) -> Function {
+    let mut b = FunctionBuilder::new("motivating", vec);
+    let x = b.input_cipher("x");
+    let y = b.input_cipher("y");
+    let x2 = b.square(x);
+    let y2 = b.square(y);
+    let z = b.add(x2, y2);
+    let z2 = b.mul(z, z);
+    let z3 = b.mul(z2, z);
+    b.output(z3);
+    b.finish()
+}
+
+fn inputs(vec: usize) -> HashMap<String, Vec<f64>> {
+    let mut m = HashMap::new();
+    m.insert(
+        "x".to_string(),
+        (0..vec).map(|i| 0.1 + (i % 5) as f64 * 0.2).collect(),
+    );
+    m.insert(
+        "y".to_string(),
+        (0..vec).map(|i| 0.8 - (i % 3) as f64 * 0.3).collect(),
+    );
+    m
+}
+
+fn compiled() -> CompiledProgram {
+    compiled_with(Scheme::Hecate)
+}
+
+/// The EVA baseline is used for rescale-targeting faults: PARS replaces
+/// rescales with downscales, while EVA's reactive policy keeps them.
+fn compiled_with(scheme: Scheme) -> CompiledProgram {
+    let mut o = CompileOptions::with_waterline(26.0);
+    o.degree = Some(256);
+    compile(&motivating(16), scheme, &o).unwrap()
+}
+
+fn strict_with(fault: FaultPlan) -> BackendOptions {
+    BackendOptions {
+        guard: GuardOptions::strict(0.5),
+        fault: Some(fault),
+        ..BackendOptions::default()
+    }
+}
+
+/// Index of the first op matching a predicate.
+fn find(prog: &CompiledProgram, pred: impl Fn(&Op) -> bool) -> usize {
+    prog.func
+        .ops()
+        .iter()
+        .position(pred)
+        .expect("program contains the op")
+}
+
+#[test]
+fn clean_run_passes_under_strict_guards() {
+    let prog = compiled();
+    let ins = inputs(16);
+    let run = execute_encrypted(
+        &prog,
+        &ins,
+        &BackendOptions {
+            guard: GuardOptions::strict(0.5),
+            ..BackendOptions::default()
+        },
+    )
+    .unwrap();
+    let reference = interpret(&motivating(16), &ins).unwrap();
+    assert!(rms_error(&run.outputs["out0"], &reference["out0"]) < 2f64.powi(-8));
+}
+
+#[test]
+fn corrupt_limb_caught_by_representation_scan() {
+    let prog = compiled();
+    let at = find(&prog, |op| matches!(op, Op::Mul(..)));
+    let err = execute_encrypted(
+        &prog,
+        &inputs(16),
+        &strict_with(FaultPlan::CorruptLimb { at, limb: 0 }),
+    )
+    .unwrap_err();
+    match err {
+        ExecError::Guard { at: got, detail } => {
+            assert_eq!(got, at);
+            assert!(detail.contains("out of range"), "{detail}");
+        }
+        other => panic!("expected a guard error, got {other}"),
+    }
+}
+
+#[test]
+fn perturbed_scale_caught_by_metadata_check() {
+    let prog = compiled();
+    let at = find(&prog, |op| matches!(op, Op::Mul(..)));
+    let err = execute_encrypted(
+        &prog,
+        &inputs(16),
+        &strict_with(FaultPlan::PerturbScale {
+            at,
+            delta_bits: 0.75,
+        }),
+    )
+    .unwrap_err();
+    match err {
+        ExecError::Guard { at: got, detail } => {
+            assert_eq!(got, at);
+            assert!(detail.contains("scale"), "{detail}");
+        }
+        other => panic!("expected a guard error, got {other}"),
+    }
+}
+
+#[test]
+fn dropped_rescale_caught_by_metadata_check() {
+    let prog = compiled_with(Scheme::Eva);
+    let at = find(&prog, |op| matches!(op, Op::Rescale(_)));
+    let err = execute_encrypted(
+        &prog,
+        &inputs(16),
+        &strict_with(FaultPlan::DropRescale { at }),
+    )
+    .unwrap_err();
+    match err {
+        ExecError::Guard { at: got, .. } => assert_eq!(got, at),
+        other => panic!("expected a guard error, got {other}"),
+    }
+}
+
+#[test]
+fn skipped_relinearization_is_a_clean_missing_key_error() {
+    let prog = compiled();
+    let err =
+        execute_encrypted(&prog, &inputs(16), &strict_with(FaultPlan::SkipRelin)).unwrap_err();
+    match err {
+        ExecError::Eval { source, .. } => {
+            assert!(source.to_string().contains("key"), "{source}");
+        }
+        other => panic!("expected an eval error, got {other}"),
+    }
+}
+
+#[test]
+fn exhausted_noise_budget_reported_before_decryption() {
+    let prog = compiled();
+    let at = find(&prog, |op| matches!(op, Op::Mul(..)));
+    let err = execute_encrypted(
+        &prog,
+        &inputs(16),
+        &strict_with(FaultPlan::ExhaustNoise { at }),
+    )
+    .unwrap_err();
+    match err {
+        ExecError::BudgetExhausted { at: got, deficit } => {
+            assert_eq!(got, at);
+            assert!(deficit > 0.0, "deficit {deficit}");
+        }
+        other => panic!("expected budget exhaustion, got {other}"),
+    }
+}
+
+#[test]
+fn exhausted_noise_really_would_corrupt_the_output() {
+    // The monitor is load-bearing: with it off (and metadata checks unable
+    // to see payload noise), the same fault reaches decryption and the
+    // output is garbage — exactly what BudgetExhausted prevents.
+    let prog = compiled();
+    let at = find(&prog, |op| matches!(op, Op::Mul(..)));
+    let ins = inputs(16);
+    let run = execute_encrypted(
+        &prog,
+        &ins,
+        &BackendOptions {
+            fault: Some(FaultPlan::ExhaustNoise { at }),
+            ..BackendOptions::default()
+        },
+    )
+    .unwrap();
+    let reference = interpret(&motivating(16), &ins).unwrap();
+    assert!(
+        rms_error(&run.outputs["out0"], &reference["out0"]) > 2f64.powi(-4),
+        "injected noise should visibly corrupt the output"
+    );
+}
+
+#[test]
+fn every_fault_variant_is_detected_never_silent() {
+    let prog = compiled_with(Scheme::Eva);
+    let mul = find(&prog, |op| matches!(op, Op::Mul(..)));
+    let rescale = find(&prog, |op| matches!(op, Op::Rescale(_)));
+    let ins = inputs(16);
+    let reference = interpret(&motivating(16), &ins).unwrap();
+    let faults = [
+        FaultPlan::CorruptLimb { at: mul, limb: 1 },
+        FaultPlan::PerturbScale {
+            at: mul,
+            delta_bits: -1.5,
+        },
+        FaultPlan::DropRescale { at: rescale },
+        FaultPlan::SkipRelin,
+        FaultPlan::ExhaustNoise { at: mul },
+    ];
+    for fault in faults {
+        match execute_encrypted(&prog, &ins, &strict_with(fault.clone())) {
+            Err(_) => {} // structured error: detected.
+            Ok(run) => {
+                // If a fault somehow slips through every guard, the result
+                // must still be correct — never silently wrong.
+                let err = rms_error(&run.outputs["out0"], &reference["out0"]);
+                assert!(
+                    err < 2f64.powi(-8),
+                    "{fault:?} silently corrupted the output"
+                );
+            }
+        }
+    }
+}

@@ -13,7 +13,10 @@ fn bench_compile(c: &mut Criterion) {
     opts.degree = Some(512);
 
     let mut group = c.benchmark_group("compile");
-    for bench in benches.iter().filter(|b| b.name == "SF" || b.name == "LR E2") {
+    for bench in benches
+        .iter()
+        .filter(|b| b.name == "SF" || b.name == "LR E2")
+    {
         for scheme in [Scheme::Eva, Scheme::Pars, Scheme::Hecate] {
             group.bench_function(format!("{}/{scheme}", bench.name), |b| {
                 b.iter(|| black_box(compile(&bench.func, scheme, &opts).unwrap()))

@@ -15,6 +15,7 @@ fn bench_encrypted(c: &mut Criterion) {
     let bopts = BackendOptions {
         degree_override: Some(512),
         seed: 5,
+        ..BackendOptions::default()
     };
 
     let mut group = c.benchmark_group("encrypted_sobel");

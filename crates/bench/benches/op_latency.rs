@@ -2,9 +2,7 @@
 //! rescaling levels — the latency structure behind §II-C.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hecate_ckks::{
-    CkksEncoder, CkksParams, Encryptor, EvalKeys, Evaluator, KeyGenerator,
-};
+use hecate_ckks::{CkksEncoder, CkksParams, Encryptor, EvalKeys, Evaluator, KeyGenerator};
 use std::hint::black_box;
 
 struct Fixture {

@@ -27,12 +27,18 @@ fn main() {
         ("full", SmuOptions::default(), true),
         (
             "no-op-split",
-            SmuOptions { operation_split: false, user_split: true },
+            SmuOptions {
+                operation_split: false,
+                user_split: true,
+            },
             true,
         ),
         (
             "no-user-split",
-            SmuOptions { operation_split: true, user_split: false },
+            SmuOptions {
+                operation_split: true,
+                user_split: false,
+            },
             true,
         ),
         ("no-early-ms", SmuOptions::default(), false),

@@ -45,6 +45,7 @@ fn main() {
                 let bopts = BackendOptions {
                     degree_override: Some(cfg.degree),
                     seed: 7,
+                    ..BackendOptions::default()
                 };
                 // Two runs, keep the faster: strips scheduler noise the
                 // paper's long SEAL kernels do not suffer from at our tiny

@@ -47,12 +47,7 @@ fn main() {
     for c in (2..=chain_len).rev() {
         if let (Some(hi), Some(lo)) = (table.get(CostOp::MulCC, c), table.get(CostOp::MulCC, c - 1))
         {
-            println!(
-                "  {} → {} primes: {:.2}x faster",
-                c,
-                c - 1,
-                hi / lo
-            );
+            println!("  {} → {} primes: {:.2}x faster", c, c - 1, hi / lo);
         }
     }
     println!("paper reference (SEAL, i7-8700, their chain): level 1 is 2.25x faster than level 0");

@@ -39,5 +39,7 @@ fn main() {
             bench.name, cells[0], cells[1], cells[2], cells[3]
         );
     }
-    println!("\n(waterline selection filtered on simulated error; cells are measured under encryption)");
+    println!(
+        "\n(waterline selection filtered on simulated error; cells are measured under encryption)"
+    );
 }

@@ -25,7 +25,16 @@ fn main() {
     println!("Table III — SMU search-space reduction (waterline {w}, naïve budget {budget} plans)");
     println!(
         "\n{:<8} {:>7} {:>5} | {:>8} {:>10} {:>8} | {:>6} {:>7} {:>8} | {:>9}",
-        "bench", "uses", "SMU", "n.epoch", "n.plans", "n.time", "epoch", "plans", "time", "reduction"
+        "bench",
+        "uses",
+        "SMU",
+        "n.epoch",
+        "n.plans",
+        "n.time",
+        "epoch",
+        "plans",
+        "time",
+        "reduction"
     );
 
     for bench in benchmarks(&cfg) {
@@ -66,7 +75,11 @@ fn main() {
             bench.name,
             uses,
             analysis.unit_count,
-            if capped { format!("≥{n_epoch}") } else { format!("{n_epoch}") },
+            if capped {
+                format!("≥{n_epoch}")
+            } else {
+                format!("{n_epoch}")
+            },
             n_plans_str,
             naive_time,
             hec.epochs,

@@ -169,6 +169,7 @@ pub fn measure(
     let opts = BackendOptions {
         degree_override: Some(cfg.effective_degree(bench)),
         seed: 99,
+        ..BackendOptions::default()
     };
     let run = execute_encrypted(&result.program, &bench.inputs, &opts)?;
     let reference = interpret(&bench.func, &bench.inputs).expect("inputs bound");

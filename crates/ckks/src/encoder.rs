@@ -216,7 +216,9 @@ mod tests {
     fn roundtrip_full_slots_random() {
         let (_, enc) = setup();
         let mut rng = hecate_math::rng::Xoshiro256::seed_from_u64(1);
-        let vals: Vec<f64> = (0..enc.slots()).map(|_| rng.next_range_f64(-10.0, 10.0)).collect();
+        let vals: Vec<f64> = (0..enc.slots())
+            .map(|_| rng.next_range_f64(-10.0, 10.0))
+            .collect();
         let pt = enc.encode(&vals, 35.0, 0).unwrap();
         let out = enc.decode(&pt);
         for (o, v) in out.iter().zip(&vals) {

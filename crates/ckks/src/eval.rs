@@ -241,9 +241,13 @@ impl Evaluator {
     pub fn mul(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
         Self::check_levels(a.level, b.level)?;
         let c = a.prefix();
-        let rk = self.keys.relin.get(&c).ok_or_else(|| EvalError::MissingKey {
-            what: format!("relin key at prefix {c}"),
-        })?;
+        let rk = self
+            .keys
+            .relin
+            .get(&c)
+            .ok_or_else(|| EvalError::MissingKey {
+                what: format!("relin key at prefix {c}"),
+            })?;
         let basis = self.params.basis();
         // (c0, c1)·(d0, d1) = (c0d0, c0d1 + c1d0, c1d1)
         let mut t0 = a.c0.clone();
@@ -380,9 +384,13 @@ impl Evaluator {
     /// for this prefix (see [`EvalKeys::add_conjugation`]).
     pub fn conjugate(&self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
         let c = a.prefix();
-        let ck = self.keys.conj.get(&c).ok_or_else(|| EvalError::MissingKey {
-            what: format!("conjugation key at prefix {c}"),
-        })?;
+        let ck = self
+            .keys
+            .conj
+            .get(&c)
+            .ok_or_else(|| EvalError::MissingKey {
+                what: format!("conjugation key at prefix {c}"),
+            })?;
         let basis = self.params.basis();
         let g = 2 * self.params.degree() - 1;
         let mut c0 = a.c0.clone();
@@ -448,8 +456,12 @@ mod tests {
     #[test]
     fn add_and_sub() {
         let mut f = setup(2, &[]);
-        let a = f.encryptor.encrypt(&f.enc.encode(&[1.0, 2.0], 30.0, 0).unwrap());
-        let b = f.encryptor.encrypt(&f.enc.encode(&[0.5, -1.0], 30.0, 0).unwrap());
+        let a = f
+            .encryptor
+            .encrypt(&f.enc.encode(&[1.0, 2.0], 30.0, 0).unwrap());
+        let b = f
+            .encryptor
+            .encrypt(&f.enc.encode(&[0.5, -1.0], 30.0, 0).unwrap());
         let sum = f.eval.add(&a, &b).unwrap();
         let out = roundtrip(&f, &sum);
         assert!((out[0] - 1.5).abs() < 1e-3 && (out[1] - 1.0).abs() < 1e-3);
@@ -484,8 +496,12 @@ mod tests {
     #[test]
     fn mul_then_rescale() {
         let mut f = setup(2, &[]);
-        let a = f.encryptor.encrypt(&f.enc.encode(&[3.0, -1.5], 30.0, 0).unwrap());
-        let b = f.encryptor.encrypt(&f.enc.encode(&[2.0, 4.0], 30.0, 0).unwrap());
+        let a = f
+            .encryptor
+            .encrypt(&f.enc.encode(&[3.0, -1.5], 30.0, 0).unwrap());
+        let b = f
+            .encryptor
+            .encrypt(&f.enc.encode(&[2.0, 4.0], 30.0, 0).unwrap());
         let prod = f.eval.mul(&a, &b).unwrap();
         assert_eq!(prod.level, 0);
         assert!((prod.scale_bits - 60.0).abs() < 1e-9);
@@ -516,7 +532,9 @@ mod tests {
     #[test]
     fn modswitch_preserves_value_and_scale() {
         let mut f = setup(2, &[]);
-        let a = f.encryptor.encrypt(&f.enc.encode(&[7.25], 30.0, 0).unwrap());
+        let a = f
+            .encryptor
+            .encrypt(&f.enc.encode(&[7.25], 30.0, 0).unwrap());
         let ms = f.eval.mod_switch(&a).unwrap();
         assert_eq!(ms.level, 1);
         assert_eq!(ms.scale_bits, 30.0);
@@ -535,7 +553,11 @@ mod tests {
             let out = roundtrip(&f, &rot);
             for j in 0..slots {
                 let expect = vals[(j + step) % slots];
-                assert!((out[j] - expect).abs() < 1e-2, "step {step} slot {j}: {} vs {expect}", out[j]);
+                assert!(
+                    (out[j] - expect).abs() < 1e-2,
+                    "step {step} slot {j}: {} vs {expect}",
+                    out[j]
+                );
             }
         }
     }
@@ -572,7 +594,10 @@ mod tests {
         let mut f = setup(1, &[]);
         let a = f.encryptor.encrypt(&f.enc.encode(&[1.0], 30.0, 1).unwrap());
         assert!(matches!(f.eval.rescale(&a), Err(EvalError::BottomOfChain)));
-        assert!(matches!(f.eval.mod_switch(&a), Err(EvalError::BottomOfChain)));
+        assert!(matches!(
+            f.eval.mod_switch(&a),
+            Err(EvalError::BottomOfChain)
+        ));
     }
 
     #[test]

@@ -332,7 +332,11 @@ mod tests {
         let k1 = KeyGenerator::new(&p, 5);
         let k2 = KeyGenerator::new(&p, 5);
         assert_eq!(k1.secret_key().coeffs(), k2.secret_key().coeffs());
-        assert!(k1.secret_key().coeffs().iter().all(|v| (-1..=1).contains(v)));
+        assert!(k1
+            .secret_key()
+            .coeffs()
+            .iter()
+            .all(|v| (-1..=1).contains(v)));
         let k3 = KeyGenerator::new(&p, 6);
         assert_ne!(k1.secret_key().coeffs(), k3.secret_key().coeffs());
     }
@@ -378,7 +382,9 @@ mod tests {
 
         // Small test polynomial d.
         let mut rng = hecate_math::rng::Xoshiro256::seed_from_u64(77);
-        let d_coeffs: Vec<i64> = (0..p.degree()).map(|_| rng.next_below(1000) as i64 - 500).collect();
+        let d_coeffs: Vec<i64> = (0..p.degree())
+            .map(|_| rng.next_below(1000) as i64 - 500)
+            .collect();
         let d = RnsPoly::from_signed_coeffs(p.basis(), prefix, &d_coeffs);
 
         let (b, a) = key_switch(&d, &rk, &p);
@@ -403,7 +409,8 @@ mod tests {
         for idx in 0..p.degree() {
             let l: Vec<u64> = (0..prefix).map(|i| lhs.residue(i)[idx]).collect();
             let r: Vec<u64> = (0..prefix).map(|i| rhs.residue(i)[idx]).collect();
-            let diff = rec.reconstruct_centered_f64(&l, 0.0) - rec.reconstruct_centered_f64(&r, 0.0);
+            let diff =
+                rec.reconstruct_centered_f64(&l, 0.0) - rec.reconstruct_centered_f64(&r, 0.0);
             // Key-switch noise ≈ c·N·q_max/(2P) plus mod-down rounding — tiny
             // relative to any working scale; bound loosely.
             assert!(diff.abs() < 1e6, "keyswitch error {diff} at coeff {idx}");

@@ -53,13 +53,21 @@ fn complex_multiplication_is_homomorphic() {
     let mut f = setup();
     let a = msg();
     let b: Vec<Complex64> = a.iter().map(|z| z.conj().scale(0.5)).collect();
-    let ca = f.encryptor.encrypt(&f.enc.encode_complex(&a, 30.0, 0).unwrap());
-    let cb = f.encryptor.encrypt(&f.enc.encode_complex(&b, 30.0, 0).unwrap());
+    let ca = f
+        .encryptor
+        .encrypt(&f.enc.encode_complex(&a, 30.0, 0).unwrap());
+    let cb = f
+        .encryptor
+        .encrypt(&f.enc.encode_complex(&b, 30.0, 0).unwrap());
     let prod = f.eval.rescale(&f.eval.mul(&ca, &cb).unwrap()).unwrap();
     let out = f.enc.decode_complex(&f.decryptor.decrypt(&prod));
     for i in 0..a.len() {
         let expect = a[i] * b[i];
-        assert!((out[i] - expect).abs() < 1e-2, "slot {i}: {:?} vs {expect:?}", out[i]);
+        assert!(
+            (out[i] - expect).abs() < 1e-2,
+            "slot {i}: {:?} vs {expect:?}",
+            out[i]
+        );
     }
 }
 
@@ -67,7 +75,9 @@ fn complex_multiplication_is_homomorphic() {
 fn conjugation_flips_imaginary_parts() {
     let mut f = setup();
     let vals = msg();
-    let ct = f.encryptor.encrypt(&f.enc.encode_complex(&vals, 30.0, 0).unwrap());
+    let ct = f
+        .encryptor
+        .encrypt(&f.enc.encode_complex(&vals, 30.0, 0).unwrap());
     let conj = f.eval.conjugate(&ct).unwrap();
     assert_eq!(conj.level, ct.level);
     assert_eq!(conj.scale_bits, ct.scale_bits);
@@ -82,11 +92,16 @@ fn real_part_extraction_via_conjugation() {
     // Re(z) = (z + conj(z)) / 2 — the standard CKKS idiom.
     let mut f = setup();
     let vals = msg();
-    let ct = f.encryptor.encrypt(&f.enc.encode_complex(&vals, 30.0, 0).unwrap());
+    let ct = f
+        .encryptor
+        .encrypt(&f.enc.encode_complex(&vals, 30.0, 0).unwrap());
     let conj = f.eval.conjugate(&ct).unwrap();
     let sum = f.eval.add(&ct, &conj).unwrap();
     let half = f.enc.encode(&vec![0.5; 64], 30.0, 0).unwrap();
-    let re = f.eval.rescale(&f.eval.mul_plain(&sum, &half).unwrap()).unwrap();
+    let re = f
+        .eval
+        .rescale(&f.eval.mul_plain(&sum, &half).unwrap())
+        .unwrap();
     let out = f.enc.decode_complex(&f.decryptor.decrypt(&re));
     for (o, v) in out.iter().zip(&vals) {
         assert!((o.re - v.re).abs() < 1e-2, "{} vs {}", o.re, v.re);

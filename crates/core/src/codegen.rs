@@ -58,9 +58,7 @@ impl PlanRef<'_> {
                 if from == to {
                     return 0;
                 }
-                smu.edge_index(from, to)
-                    .map(|e| degrees[e])
-                    .unwrap_or(0)
+                smu.edge_index(from, to).map(|e| degrees[e]).unwrap_or(0)
             }
             PlanRef::Naive { degrees } => degrees
                 .get(&(def.0, user_index as u32))
@@ -121,6 +119,11 @@ impl Emitter {
         self.types[v.index()]
     }
 
+    // INVARIANT: `scale`/`level` are only called on values the caller has
+    // already established as non-free (`is_free` is checked first, or the
+    // value came out of `encode`/a scale-management op, which always yield
+    // scaled types). A panic here is an emitter bug, not bad user input —
+    // malformed input is rejected by `verify_structure`/`infer_op` instead.
     fn scale(&self, v: ValueId) -> f64 {
         self.ty(v).scale().expect("scaled value")
     }
@@ -168,7 +171,12 @@ impl Emitter {
         )
     }
 
-    fn encode(&mut self, free: ValueId, scale_bits: f64, level: usize) -> Result<ValueId, CompileError> {
+    fn encode(
+        &mut self,
+        free: ValueId,
+        scale_bits: f64,
+        level: usize,
+    ) -> Result<ValueId, CompileError> {
         let key = MemoKey::Encode(free, (scale_bits * 1000.0).round() as u64, level);
         self.memoized(
             key,
@@ -238,14 +246,14 @@ fn fold_free(out_vec: usize, op: &Op, data: &[&ConstData]) -> ConstData {
                 .map(|i| get(data[0], i) * get(data[1], i))
                 .collect(),
         ),
-        Op::Negate(..) => {
-            ConstData::vector((0..out_vec).map(|i| -get(data[0], i)).collect())
-        }
+        Op::Negate(..) => ConstData::vector((0..out_vec).map(|i| -get(data[0], i)).collect()),
         Op::Rotate { step, .. } => ConstData::vector(
             (0..out_vec)
                 .map(|i| get(data[0], (i + step) % out_vec))
                 .collect(),
         ),
+        // UNREACHABLE: the only call sites are the Negate/Rotate/Add/Sub/Mul
+        // arms of `generate`'s dispatch, which are exactly the arms above.
         _ => unreachable!("fold_free on non-foldable op"),
     }
 }
@@ -271,6 +279,9 @@ pub fn generate(func: &Function, g: &GenOptions) -> Result<(Function, Vec<Type>)
         // Resolve an operand: map to the new function, then apply the
         // plan's optimization degree for this edge.
         let resolve = |em: &mut Emitter, v: ValueId| -> Result<ValueId, CompileError> {
+            // UNREACHABLE expect: `verify_structure` (top of `generate`)
+            // rejects forward/dangling references, so by the time op `i`
+            // is visited every operand slot below `i` has been filled.
             let mut cur = map[v.index()].expect("operand defined earlier");
             if !em.is_free(cur) && em.ty(cur).is_cipher() {
                 let d = g.plan.degree(v, i, result_unit);
@@ -284,7 +295,10 @@ pub fn generate(func: &Function, g: &GenOptions) -> Result<(Function, Vec<Type>)
         let new_id = match op {
             Op::Input { name } => em.emit(Op::Input { name: name.clone() })?,
             Op::Const { data } => em.emit(Op::Const { data: data.clone() })?,
-            Op::Encode { .. } | Op::Rescale(_) | Op::ModSwitch(_) | Op::Upscale { .. }
+            Op::Encode { .. }
+            | Op::Rescale(_)
+            | Op::ModSwitch(_)
+            | Op::Upscale { .. }
             | Op::Downscale(_) => {
                 return Err(CompileError::UnsupportedInput {
                     reason: format!(
@@ -328,13 +342,12 @@ pub fn generate(func: &Function, g: &GenOptions) -> Result<(Function, Vec<Type>)
                         Op::Add(..) => em.emit(Op::Add(a, b))?,
                         Op::Sub(..) => em.emit(Op::Sub(a, b))?,
                         Op::Mul(..) => em.emit(Op::Mul(a, b))?,
+                        // UNREACHABLE: the enclosing arm matched Add|Sub|Mul.
                         _ => unreachable!(),
                     };
                     // EVA's reactive waterline rescaling on mul results.
                     if !g.proactive && is_mul {
                         em.rescale_fully(result)?
-                    } else if !g.proactive {
-                        result
                     } else {
                         result
                     }
@@ -347,6 +360,8 @@ pub fn generate(func: &Function, g: &GenOptions) -> Result<(Function, Vec<Type>)
     // Reduce the cumulative scale of outputs (both policies): every dropped
     // prime shortens the modulus chain for free.
     for (name, v) in func.outputs() {
+        // UNREACHABLE expect: `verify_structure` rejects dangling outputs,
+        // and the loop above filled every `map` slot.
         let mut out_v = map[v.index()].expect("output defined");
         if em.ty(out_v).is_cipher() {
             out_v = em.rescale_fully(out_v)?;
@@ -365,9 +380,12 @@ pub fn generate(func: &Function, g: &GenOptions) -> Result<(Function, Vec<Type>)
     Ok((clean, final_types))
 }
 
-fn const_data<'e>(em: &'e Emitter, v: ValueId) -> &'e ConstData {
+fn const_data(em: &Emitter, v: ValueId) -> &ConstData {
     match em.out.op(v) {
         Op::Const { data } => data,
+        // UNREACHABLE: callers pass only `Free`-typed values, and `infer_op`
+        // assigns `Type::Free` exclusively to `Op::Const` results (inputs
+        // are cipher; every other op yields a scaled type).
         _ => unreachable!("free value must be a constant"),
     }
 }
@@ -448,8 +466,7 @@ fn prepare_binary(
     // (e) downscale analysis for multiplications (PARS only).
     if proactive && is_mul && em.ty(a).is_cipher() && em.ty(b).is_cipher() {
         let (sa, sb) = (em.scale(a), em.scale(b));
-        let both_reducible =
-            sa > cfg.waterline + SCALE_EPS && sb > cfg.waterline + SCALE_EPS;
+        let both_reducible = sa > cfg.waterline + SCALE_EPS && sb > cfg.waterline + SCALE_EPS;
         if both_reducible && sa + sb > 2.0 * cfg.rescale_bits + SCALE_EPS {
             a = em.downscale(a)?;
             b = em.downscale(b)?;
@@ -478,15 +495,17 @@ fn early_modswitch(
                     def,
                     Op::Add(..) | Op::Sub(..) | Op::Mul(..) | Op::Negate(..) | Op::Rotate { .. }
                 );
-                let single_use = use_lists[d].len() == 1
-                    && !cur.outputs().iter().any(|(_, o)| o.index() == d);
+                let single_use =
+                    use_lists[d].len() == 1 && !cur.outputs().iter().any(|(_, o)| o.index() == d);
                 if movable && single_use {
                     target = Some((i, d));
                     break;
                 }
             }
         }
-        let Some((ms_idx, def_idx)) = target else { break };
+        let Some((ms_idx, def_idx)) = target else {
+            break;
+        };
         // Rebuild with the rewrite applied.
         let mut em = Emitter::new(&cur.name, cur.vec_size, *cfg);
         let mut map: Vec<Option<ValueId>> = vec![None; cur.len()];
@@ -496,6 +515,9 @@ fn early_modswitch(
                 let def = cur.op(ValueId(def_idx as u32)).clone();
                 let mut new_operands = Vec::new();
                 for v in def.operands() {
+                    // UNREACHABLE expect: `def_idx < ms_idx` (SSA order of
+                    // the verified input), so the def's operands were
+                    // remapped on earlier iterations of this loop.
                     let cur_v = map[v.index()].expect("defined");
                     new_operands.push(em.modswitch(cur_v)?);
                 }
@@ -508,6 +530,8 @@ fn early_modswitch(
                         value: new_operands[0],
                         step,
                     },
+                    // UNREACHABLE: `target` is only set when `def` matched
+                    // the `movable` pattern, which is exactly the arms above.
                     _ => unreachable!(),
                 };
                 map[i] = Some(em.emit(rewritten)?);
@@ -517,7 +541,9 @@ fn early_modswitch(
             }
         }
         for (name, v) in cur.outputs() {
-            em.out.mark_output(name.clone(), map[v.index()].expect("output"));
+            // UNREACHABLE expect: the rebuild loop above mapped every op.
+            em.out
+                .mark_output(name.clone(), map[v.index()].expect("output"));
         }
         let (cleaned, _) = hecate_ir::analysis::eliminate_dead_code(&em.out);
         if cleaned == cur {
@@ -575,7 +601,11 @@ mod tests {
         assert_eq!(count(&out, "downscale"), 0, "EVA never downscales");
         // z³ before output rescaling reaches 2^80 (z²·z = 20+40 = 60, then
         // output rescale requires ≥ 80): the peak scale is 80.
-        assert!((max_scale(&types) - 80.0).abs() < 1.0, "peak {}", max_scale(&types));
+        assert!(
+            (max_scale(&types) - 80.0).abs() < 1.0,
+            "peak {}",
+            max_scale(&types)
+        );
     }
 
     #[test]
@@ -662,9 +692,10 @@ mod tests {
         let (out, types) = gen(&f, true, 20.0);
         // One encode, no free values reaching the multiply.
         assert_eq!(count(&out, "encode"), 1);
-        let ok = out.ops().iter().any(
-            |o| matches!(o, Op::Const { data } if (data.at(0) - 5.0).abs() < 1e-12),
-        );
+        let ok = out
+            .ops()
+            .iter()
+            .any(|o| matches!(o, Op::Const { data } if (data.at(0) - 5.0).abs() < 1e-12));
         assert!(ok, "folded constant present");
         infer_types(&out, &TypeConfig::new(20.0, 60.0)).unwrap();
         assert!(types.iter().any(|t| t.is_plain()));

@@ -295,7 +295,12 @@ mod tests {
 
     #[test]
     fn deeper_level_is_cheaper() {
-        for op in [CostOp::MulCC, CostOp::Rotate, CostOp::AddCC, CostOp::Rescale] {
+        for op in [
+            CostOp::MulCC,
+            CostOp::Rotate,
+            CostOp::AddCC,
+            CostOp::Rescale,
+        ] {
             let shallow = analytic_cost_us(op, 8, 4096);
             let deep = analytic_cost_us(op, 2, 4096);
             assert!(deep < shallow, "{op:?} should be cheaper with fewer primes");

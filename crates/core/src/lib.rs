@@ -15,7 +15,15 @@
 //!   profiled;
 //! - [`params`] — RNS modulus-chain and ring-degree selection under the
 //!   128-bit security table;
-//! - [`pipeline`] — the [`compile`] entry point and the waterline sweep.
+//! - [`pipeline`] — the [`compile`] entry point, the
+//!   [`compile_with_fallback`] graceful-degradation driver, and the
+//!   waterline sweep.
+//!
+//! Every pass output is re-verified against the paper's invariants (see
+//! [`hecate_ir::verify`]); failures surface as structured
+//! [`CompileError::Verify`] values naming the pass, operation, and
+//! violated invariant. [`options::CompileFault`] injects compiler
+//! sabotage for testing those guard rails.
 //!
 //! The four schemes of the paper's evaluation are selected with [`Scheme`]:
 //! `Eva`, `Pars`, `Smse`, and `Hecate`.
@@ -56,6 +64,9 @@ pub mod planner;
 pub mod smu;
 
 pub use estimator::{CostModel, CostOp, CostTable};
-pub use options::{CompileError, CompileOptions, CompileStats, CompiledProgram, Scheme};
+pub use options::{
+    CompileError, CompileFault, CompileFaultKind, CompileOptions, CompileStats, CompiledProgram,
+    FallbackRung, Scheme,
+};
 pub use params::SelectedParams;
-pub use pipeline::{compile, default_waterlines, sweep_waterlines};
+pub use pipeline::{compile, compile_with_fallback, default_waterlines, sweep_waterlines};

@@ -4,7 +4,8 @@ use crate::estimator::CostModel;
 use crate::params::SelectedParams;
 use hecate_ir::ir::StructureError;
 use hecate_ir::types::{Type, TypeConfig, TypeError};
-use hecate_ir::Function;
+use hecate_ir::verify::VerifyError;
+use hecate_ir::{Function, Op, ValueId};
 use std::collections::BTreeMap;
 
 /// The four scale-management schemes the paper evaluates (§VII-A).
@@ -55,21 +56,16 @@ impl std::fmt::Display for Scheme {
 /// direction of the authors' follow-on work (ELASM): plans are scored by
 /// `log2(latency) + error_weight · noise_bits`, trading speed against
 /// output precision. With `error_weight = 0` the two coincide.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Objective {
     /// Minimize estimated latency (the paper's SMSE).
+    #[default]
     Latency,
     /// Jointly minimize latency and estimated output noise.
     LatencyAndError {
         /// Weight on the noise-bits term (≥ 0).
         error_weight: f64,
     },
-}
-
-impl Default for Objective {
-    fn default() -> Self {
-        Objective::Latency
-    }
 }
 
 /// Knobs for one compilation.
@@ -101,6 +97,14 @@ pub struct CompileOptions {
     /// Upper bound on hill-climbing iterations (safety net; the climb
     /// normally stops at a local optimum much earlier).
     pub max_smse_iters: usize,
+    /// Re-verify the full invariant set (C1/C2, level monotonicity,
+    /// rescale legality) after every pass and candidate lowering. The
+    /// incremental checks in the emitter already reject most bad plans;
+    /// this guards against bugs in the passes themselves.
+    pub verify_passes: bool,
+    /// Sabotage injected into generated plans, for testing that the
+    /// per-pass verifier and the fallback driver catch compiler faults.
+    pub fault: Option<CompileFault>,
 }
 
 impl CompileOptions {
@@ -117,6 +121,8 @@ impl CompileOptions {
             canonicalize: true,
             objective: Objective::Latency,
             max_smse_iters: 100,
+            verify_passes: true,
+            fault: None,
         }
     }
 
@@ -132,6 +138,78 @@ impl Default for CompileOptions {
     }
 }
 
+/// A fault injected into generated plans, for testing the guard rails.
+///
+/// The fault is applied to each lowered candidate *before* per-pass
+/// verification, so a correctly working verifier turns every injected
+/// fault into a [`CompileError::Verify`]. Restricting `scheme` lets a
+/// test sabotage one rung of the fallback ladder while leaving the
+/// others sound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileFault {
+    /// Apply only when compiling under this scheme (`None`: always).
+    pub scheme: Option<Scheme>,
+    /// What to break.
+    pub kind: CompileFaultKind,
+}
+
+/// The compile-side sabotage repertoire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileFaultKind {
+    /// Replace the `nth` rescale with a modswitch: the level still drops
+    /// but the scale is never reduced, violating C1/C3 downstream.
+    DropRescale {
+        /// Which rescale to corrupt (0-based, in definition order).
+        nth: usize,
+    },
+    /// Point the first non-nullary operation at the last value in the
+    /// function, breaking SSA dominance.
+    ForwardReference,
+}
+
+impl CompileFault {
+    /// Whether this fault applies when compiling under `scheme`.
+    pub fn applies_to(&self, scheme: Scheme) -> bool {
+        self.scheme.map(|s| s == scheme).unwrap_or(true)
+    }
+
+    /// Returns the sabotaged copy of `func`, or `None` if the fault found
+    /// no site to corrupt (e.g. no `nth` rescale exists).
+    pub fn apply(&self, func: &Function) -> Option<Function> {
+        let mut ops: Vec<Op> = func.ops().to_vec();
+        match self.kind {
+            CompileFaultKind::DropRescale { nth } => {
+                let site = ops
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, op)| matches!(op, Op::Rescale(_)))
+                    .nth(nth)
+                    .map(|(i, _)| i)?;
+                let Op::Rescale(v) = ops[site] else {
+                    return None;
+                };
+                ops[site] = Op::ModSwitch(v);
+            }
+            CompileFaultKind::ForwardReference => {
+                let last = ValueId((ops.len() - 1) as u32);
+                let site = ops.iter().position(|op| !op.operands().is_empty())?;
+                ops[site] = match &ops[site] {
+                    Op::Negate(_) | Op::Rescale(_) | Op::ModSwitch(_) => Op::Negate(last),
+                    _ => Op::Add(last, last),
+                };
+            }
+        }
+        let mut out = Function::new(func.name.clone(), func.vec_size);
+        for op in ops {
+            out.push(op);
+        }
+        for (name, v) in func.outputs() {
+            out.mark_output(name.clone(), *v);
+        }
+        Some(out)
+    }
+}
+
 /// Errors from compilation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompileError {
@@ -139,6 +217,8 @@ pub enum CompileError {
     Structure(StructureError),
     /// A transformation produced (or met) ill-typed IR.
     Type(TypeError),
+    /// A pass produced a plan that failed post-pass verification.
+    Verify(VerifyError),
     /// The scale requirements exceed every supported parameter set.
     NoParameters {
         /// Explanation of what overflowed.
@@ -163,11 +243,18 @@ impl From<TypeError> for CompileError {
     }
 }
 
+impl From<VerifyError> for CompileError {
+    fn from(e: VerifyError) -> Self {
+        CompileError::Verify(e)
+    }
+}
+
 impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CompileError::Structure(e) => write!(f, "malformed input: {e}"),
             CompileError::Type(e) => write!(f, "type error: {e}"),
+            CompileError::Verify(e) => write!(f, "verification failed: {e}"),
             CompileError::NoParameters { reason } => {
                 write!(f, "no feasible encryption parameters: {reason}")
             }
@@ -199,6 +286,38 @@ pub struct CompileStats {
     pub use_edges: usize,
     /// Operation histogram of the compiled program.
     pub op_counts: BTreeMap<&'static str, usize>,
+    /// Which rung of the degradation ladder produced this program.
+    /// `None` when compiled directly (no fallback driver involved).
+    pub fallback: Option<FallbackRung>,
+    /// Rungs that failed before the succeeding one (fallback driver only).
+    pub fallback_attempts: usize,
+}
+
+/// The degradation ladder the fallback driver descends: the requested
+/// scheme first, then progressively simpler scale management, and finally
+/// a recompile at a raised waterline that trades precision for headroom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FallbackRung {
+    /// The requested scheme succeeded as-is.
+    Primary,
+    /// Fell back to proactive rescaling without exploration.
+    Pars,
+    /// Fell back to the EVA waterline-rescaling baseline.
+    Eva,
+    /// Recompiled the EVA baseline at a raised waterline.
+    RaisedWaterline,
+}
+
+impl std::fmt::Display for FallbackRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FallbackRung::Primary => "primary",
+            FallbackRung::Pars => "pars",
+            FallbackRung::Eva => "eva",
+            FallbackRung::RaisedWaterline => "raised-waterline",
+        };
+        f.write_str(s)
+    }
 }
 
 /// A fully compiled FHE program: scale-managed IR, its types, and the
@@ -217,4 +336,23 @@ pub struct CompiledProgram {
     pub params: SelectedParams,
     /// Compilation statistics.
     pub stats: CompileStats,
+}
+
+impl CompiledProgram {
+    /// The type environment with the C1 budget bound to the *selected*
+    /// modulus chain: at level `k`, scales must fit
+    /// `q0 + S_f·(chain_len − 1 − k)` bits. The verifier uses this to
+    /// catch plans that drifted from the parameters chosen for them.
+    pub fn bound_config(&self) -> TypeConfig {
+        bound_config(&self.cfg, &self.params)
+    }
+}
+
+/// See [`CompiledProgram::bound_config`].
+pub(crate) fn bound_config(cfg: &TypeConfig, params: &SelectedParams) -> TypeConfig {
+    let mut out = *cfg;
+    out.max_level = Some(params.chain_len - 1);
+    out.modulus_bits =
+        Some(params.q0_bits as f64 + cfg.rescale_bits * (params.chain_len - 1) as f64);
+    out
 }

@@ -102,10 +102,7 @@ pub fn select_params(
             let special = q0_bits.max(sf_bits);
             let total_bits = q0_bits + sf_bits * (chain_len as u32 - 1) + special;
             let (degree, secure) = match opts.degree {
-                Some(d) => (
-                    d,
-                    max_modulus_bits_128(d).is_some_and(|m| total_bits <= m),
-                ),
+                Some(d) => (d, max_modulus_bits_128(d).is_some_and(|m| total_bits <= m)),
                 None => match min_secure_degree(total_bits) {
                     Some(d) => (d, true),
                     None => (32768, false),

@@ -1,9 +1,13 @@
-//! The end-to-end compilation pipeline and the waterline sweep driver.
+//! The end-to-end compilation pipeline, the graceful-degradation fallback
+//! driver, and the waterline sweep driver.
 
-use crate::options::{CompileError, CompileOptions, CompileStats, CompiledProgram, Scheme};
-use crate::planner::{compile_plain, explore_smu};
+use crate::options::{
+    CompileError, CompileOptions, CompileStats, CompiledProgram, FallbackRung, Scheme,
+};
+use crate::planner::{compile_plain, explore_smu, Candidate};
 use crate::smu;
 use hecate_ir::analysis::{op_histogram, use_edge_count};
+use hecate_ir::verify::{verify_input, verify_plan};
 use hecate_ir::Function;
 
 /// Compiles an input program under one of the four schemes (§VII-A).
@@ -32,20 +36,27 @@ pub fn compile(
     scheme: Scheme,
     opts: &CompileOptions,
 ) -> Result<CompiledProgram, CompileError> {
+    if opts.verify_passes {
+        verify_input(func, "frontend")?;
+    }
     let canonical;
     let func = if opts.canonicalize {
         canonical = hecate_ir::transform::canonicalize(func);
+        if opts.verify_passes {
+            verify_input(&canonical, "canonicalize")?;
+        }
         &canonical
     } else {
         func
     };
     let analysis = smu::analyze(func, opts.waterline_bits);
-    let (candidate, epochs, plans_explored) = if scheme.explores() {
+    let (mut candidate, epochs, plans_explored) = if scheme.explores() {
         let out = explore_smu(func, &analysis, scheme.proactive(), opts)?;
         (out.best, out.epochs, out.plans_explored)
     } else {
         (compile_plain(func, scheme.proactive(), opts)?, 0, 1)
     };
+    apply_fault_and_verify(&mut candidate, scheme, opts)?;
     let stats = CompileStats {
         estimated_latency_us: candidate.cost_us,
         estimated_noise_bits: candidate.noise_bits,
@@ -55,6 +66,8 @@ pub fn compile(
         smu_edges: analysis.edges.len(),
         use_edges: use_edge_count(func),
         op_counts: op_histogram(&candidate.func),
+        fallback: None,
+        fallback_attempts: 0,
     };
     Ok(CompiledProgram {
         func: candidate.func,
@@ -64,6 +77,82 @@ pub fn compile(
         params: candidate.params,
         stats,
     })
+}
+
+/// Applies any configured [`CompileFault`](crate::options::CompileFault)
+/// to the winning candidate, then runs the final whole-plan verification.
+///
+/// The fault lands *before* the final check, so with verification enabled
+/// every injected compiler fault surfaces as [`CompileError::Verify`]
+/// rather than a miscompiled program.
+fn apply_fault_and_verify(
+    candidate: &mut Candidate,
+    scheme: Scheme,
+    opts: &CompileOptions,
+) -> Result<(), CompileError> {
+    if let Some(fault) = &opts.fault {
+        if fault.applies_to(scheme) {
+            if let Some(sabotaged) = fault.apply(&candidate.func) {
+                candidate.func = sabotaged;
+            }
+        }
+    }
+    if opts.verify_passes {
+        // The final check binds C1 to the *selected* modulus chain, so a
+        // plan inconsistent with its own parameters cannot ship.
+        let cfg = crate::options::bound_config(&opts.type_config(), &candidate.params);
+        candidate.types = verify_plan(&candidate.func, &cfg, "final-plan")?;
+    }
+    Ok(())
+}
+
+/// Compiles with graceful degradation: the requested scheme first, then
+/// progressively simpler scale management (PARS, then the EVA baseline),
+/// and finally an EVA recompile at a raised waterline. The first rung that
+/// compiles wins; its position on the ladder is recorded in
+/// [`CompileStats::fallback`].
+///
+/// # Errors
+/// Returns the *first* rung's error if every rung fails — the primary
+/// scheme's diagnosis is the one worth reporting.
+pub fn compile_with_fallback(
+    func: &Function,
+    scheme: Scheme,
+    opts: &CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
+    // Raise the waterline by half the rescale factor, staying inside the
+    // sweep range the paper explores (15–50 bits).
+    let raised = (opts.waterline_bits + opts.rescale_bits / 2.0).min(50.0);
+    let mut ladder: Vec<(FallbackRung, Scheme, f64)> =
+        vec![(FallbackRung::Primary, scheme, opts.waterline_bits)];
+    if scheme.explores() && scheme != Scheme::Pars {
+        ladder.push((FallbackRung::Pars, Scheme::Pars, opts.waterline_bits));
+    }
+    if scheme != Scheme::Eva {
+        ladder.push((FallbackRung::Eva, Scheme::Eva, opts.waterline_bits));
+    }
+    if raised > opts.waterline_bits {
+        ladder.push((FallbackRung::RaisedWaterline, Scheme::Eva, raised));
+    }
+
+    let mut first_error = None;
+    for (attempts, (rung, rung_scheme, waterline)) in ladder.into_iter().enumerate() {
+        let mut o = opts.clone();
+        o.waterline_bits = waterline;
+        match compile(func, rung_scheme, &o) {
+            Ok(mut compiled) => {
+                compiled.stats.fallback = Some(rung);
+                compiled.stats.fallback_attempts = attempts;
+                return Ok(compiled);
+            }
+            Err(e) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+        }
+    }
+    Err(first_error.expect("ladder always has at least one rung"))
 }
 
 /// Compiles one program at every waterline and returns the results paired

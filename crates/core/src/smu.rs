@@ -203,10 +203,7 @@ pub fn analyze_with(func: &Function, waterline: f64, opts: &SmuOptions) -> SmuAn
     }
 
     // Resolve union-find to canonical phase-1 units.
-    let mut phase1: Vec<Option<u32>> = label
-        .iter()
-        .map(|l| l.map(|x| uf.find(x)))
-        .collect();
+    let mut phase1: Vec<Option<u32>> = label.iter().map(|l| l.map(|x| uf.find(x))).collect();
 
     // ---- Phase 2: operation-aware split (mul prefix vs the rest). ----
     let mut split2: HashMap<(u32, bool), u32> = HashMap::new();

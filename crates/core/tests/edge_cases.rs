@@ -77,23 +77,30 @@ fn shared_subexpression_gets_single_scale_management() {
     let prog = compile(&func, Scheme::Pars, &opts(24.0)).unwrap();
     let rescales = prog.stats.op_counts.get("rescale").copied().unwrap_or(0);
     // z² (48 bits) and deeper values rescale, but shared values share.
-    assert!(rescales <= 4, "got {rescales} rescales:\n{:?}", prog.stats.op_counts);
+    assert!(
+        rescales <= 4,
+        "got {rescales} rescales:\n{:?}",
+        prog.stats.op_counts
+    );
 }
 
 #[test]
 fn output_directly_on_constant_is_rejected_cleanly() {
-    // A function whose only output is a constant is not an FHE program;
-    // parameter selection must fail with NoParameters, not panic.
+    // A function whose only output is a constant is not an FHE program.
+    // The per-pass verifier now rejects the free output before parameter
+    // selection ever runs (this used to surface later as NoParameters).
     let mut f = Function::new("c", 4);
     let c = f.push(Op::Const {
         data: ConstData::splat(1.0),
     });
     f.mark_output("o", c);
     let err = compile(&f, Scheme::Eva, &opts(24.0));
-    assert!(
-        matches!(err, Err(CompileError::NoParameters { .. })),
-        "{err:?}"
-    );
+    match err {
+        Err(CompileError::Verify(v)) => {
+            assert_eq!(v.invariant, hecate_ir::verify::Invariant::OutputKind)
+        }
+        other => panic!("expected a verification error, got {other:?}"),
+    }
 }
 
 #[test]
@@ -123,12 +130,7 @@ fn duplicate_input_names_reference_the_same_ciphertext() {
     let m = f.push(Op::Mul(x1, x2)); // effectively x²
     f.mark_output("o", m);
     let prog = compile(&f, Scheme::Eva, &opts(24.0)).unwrap();
-    let inputs_left = prog
-        .stats
-        .op_counts
-        .get("input")
-        .copied()
-        .unwrap_or(0);
+    let inputs_left = prog.stats.op_counts.get("input").copied().unwrap_or(0);
     assert_eq!(inputs_left, 1, "CSE merges same-named inputs");
 }
 

@@ -1,0 +1,122 @@
+//! An offline, in-tree stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate, covering the subset of its API the bench harness
+//! uses: `Criterion::default().sample_size(..)`, benchmark groups,
+//! `bench_function`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Each benchmark runs `sample_size` timed samples after one warm-up
+//! iteration and prints mean and minimum wall-clock time. There is no
+//! statistical analysis, outlier rejection, or HTML report.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+        }
+    }
+
+    /// Benchmarks a function directly (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, f: F) {
+        run_one(&format!("{id}"), self.sample_size, f);
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, f: F) {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, f);
+    }
+
+    /// Ends the group (printing nothing; provided for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples_us: Vec::with_capacity(samples),
+    };
+    // One warm-up, then the timed samples.
+    f(&mut b);
+    b.samples_us.clear();
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let n = b.samples_us.len().max(1) as f64;
+    let mean = b.samples_us.iter().sum::<f64>() / n;
+    let min = b.samples_us.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("  {label:<40} mean {mean:>12.1}µs  min {min:>12.1}µs  ({samples} samples)");
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples_us: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times one execution of `f` and records it as a sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        let out = f();
+        self.samples_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        std::hint::black_box(out);
+    }
+}
+
+/// Declares a benchmark group function composed of bench targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

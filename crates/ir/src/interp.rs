@@ -41,9 +41,9 @@ pub fn interpret(
     for op in func.ops() {
         let v = match op {
             Op::Input { name } => {
-                let raw = inputs.get(name).ok_or_else(|| MissingInput {
-                    name: name.clone(),
-                })?;
+                let raw = inputs
+                    .get(name)
+                    .ok_or_else(|| MissingInput { name: name.clone() })?;
                 let mut padded = raw.clone();
                 padded.resize(n, 0.0);
                 padded

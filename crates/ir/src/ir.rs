@@ -378,7 +378,11 @@ mod tests {
         assert!(Op::Rescale(x).is_scale_management());
         assert!(Op::Downscale(x).is_scale_management());
         assert!(Op::ModSwitch(x).is_scale_management());
-        assert!(Op::Upscale { value: x, target_bits: 40.0 }.is_scale_management());
+        assert!(Op::Upscale {
+            value: x,
+            target_bits: 40.0
+        }
+        .is_scale_management());
         assert!(!Op::Mul(x, x).is_scale_management());
         assert!(!Op::Rotate { value: x, step: 1 }.is_scale_management());
     }

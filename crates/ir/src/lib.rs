@@ -15,6 +15,9 @@
 //!   folding (the pre-scale-management cleanup pipeline);
 //! - [`interp`] — the plaintext reference interpreter (the homomorphism
 //!   ground truth);
+//! - [`verify`] — the per-pass plan verifier re-checking the full
+//!   invariant set (C1/C2, level monotonicity, rescale legality) after
+//!   every transformation, reporting structured [`verify::VerifyError`]s;
 //! - [`print`](mod@print) / [`parse`] — textual rendering in the style of
 //!   the paper's Fig. 4, and parsing of the same form (used by the
 //!   `hecatec` driver).
@@ -53,7 +56,9 @@ pub mod parse;
 pub mod print;
 pub mod transform;
 pub mod types;
+pub mod verify;
 
 pub use builder::FunctionBuilder;
 pub use ir::{ConstData, Function, Op, ValueId};
 pub use types::{infer_types, Type, TypeConfig, TypeError};
+pub use verify::{verify_input, verify_plan, Invariant, VerifyError};

@@ -30,8 +30,7 @@ fn print_impl(func: &Function, types: Option<&[Type]>, full_consts: bool) -> Str
                 if data.values.len() == 1 {
                     let _ = write!(s, " {}", data.values[0]);
                 } else if full_consts {
-                    let items: Vec<String> =
-                        data.values.iter().map(|v| format!("{v}")).collect();
+                    let items: Vec<String> = data.values.iter().map(|v| format!("{v}")).collect();
                     let _ = write!(s, " [{}]", items.join(", "));
                 } else {
                     let _ = write!(s, " [{} values]", data.values.len());

@@ -105,31 +105,22 @@ pub fn fold_constants(func: &Function) -> Function {
     for (i, op) in func.ops().iter().enumerate() {
         let remapped = crate::analysis::remap_op(op, &remap);
         let const_of = |v: &ValueId| consts.get(v).cloned();
-        let materialize = |f: Box<dyn Fn(usize) -> f64>| {
-            ConstData::vector((0..n).map(|k| f(k)).collect())
-        };
+        let materialize =
+            |f: Box<dyn Fn(usize) -> f64>| ConstData::vector((0..n).map(&f).collect());
         let folded: Option<ConstData> = match &remapped {
             Op::Add(a, b) => match (const_of(a), const_of(b)) {
-                (Some(ca), Some(cb)) => {
-                    Some(materialize(Box::new(move |k| ca.at(k) + cb.at(k))))
-                }
+                (Some(ca), Some(cb)) => Some(materialize(Box::new(move |k| ca.at(k) + cb.at(k)))),
                 _ => None,
             },
             Op::Sub(a, b) => match (const_of(a), const_of(b)) {
-                (Some(ca), Some(cb)) => {
-                    Some(materialize(Box::new(move |k| ca.at(k) - cb.at(k))))
-                }
+                (Some(ca), Some(cb)) => Some(materialize(Box::new(move |k| ca.at(k) - cb.at(k)))),
                 _ => None,
             },
             Op::Mul(a, b) => match (const_of(a), const_of(b)) {
-                (Some(ca), Some(cb)) => {
-                    Some(materialize(Box::new(move |k| ca.at(k) * cb.at(k))))
-                }
+                (Some(ca), Some(cb)) => Some(materialize(Box::new(move |k| ca.at(k) * cb.at(k)))),
                 _ => None,
             },
-            Op::Negate(a) => const_of(a).map(|ca| {
-                materialize(Box::new(move |k| -ca.at(k)))
-            }),
+            Op::Negate(a) => const_of(a).map(|ca| materialize(Box::new(move |k| -ca.at(k)))),
             Op::Rotate { value, step } => const_of(value).map(|ca| {
                 let step = *step;
                 materialize(Box::new(move |k| ca.at((k + step) % n)))
@@ -139,8 +130,8 @@ pub fn fold_constants(func: &Function) -> Function {
         // Identity simplifications on mixed const/cipher operations.
         let identity: Option<ValueId> = match &remapped {
             Op::Add(a, b) | Op::Sub(a, b) => {
-                let zb = consts.get(b).and_then(|c| splat_of(c)) == Some(0.0);
-                let za = consts.get(a).and_then(|c| splat_of(c)) == Some(0.0);
+                let zb = consts.get(b).and_then(&splat_of) == Some(0.0);
+                let za = consts.get(a).and_then(&splat_of) == Some(0.0);
                 if zb {
                     Some(*a)
                 } else if za && matches!(remapped, Op::Add(..)) {
@@ -150,9 +141,9 @@ pub fn fold_constants(func: &Function) -> Function {
                 }
             }
             Op::Mul(a, b) => {
-                if consts.get(b).and_then(|c| splat_of(c)) == Some(1.0) {
+                if consts.get(b).and_then(&splat_of) == Some(1.0) {
                     Some(*a)
-                } else if consts.get(a).and_then(|c| splat_of(c)) == Some(1.0) {
+                } else if consts.get(a).and_then(&splat_of) == Some(1.0) {
                     Some(*b)
                 } else {
                     None
@@ -263,7 +254,10 @@ mod tests {
         let g = fold_constants(&f);
         // One constant op (the folded −6) plus input plus mul.
         assert_eq!(g.len(), 3, "{g:?}");
-        assert_eq!(run(&f, vec![1.0, 2.0, 0.0, 0.0]), run(&g, vec![1.0, 2.0, 0.0, 0.0]));
+        assert_eq!(
+            run(&f, vec![1.0, 2.0, 0.0, 0.0]),
+            run(&g, vec![1.0, 2.0, 0.0, 0.0])
+        );
     }
 
     #[test]

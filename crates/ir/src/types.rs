@@ -192,20 +192,33 @@ impl std::fmt::Display for TypeError {
                 write!(f, "{at}: operand levels {lhs} and {rhs} differ (C3)")
             }
             TypeError::ScaleMismatch { at, lhs, rhs } => {
-                write!(f, "{at}: operand scales 2^{lhs:.2} and 2^{rhs:.2} differ (C3)")
+                write!(
+                    f,
+                    "{at}: operand scales 2^{lhs:.2} and 2^{rhs:.2} differ (C3)"
+                )
             }
             TypeError::BelowWaterline { at, result_scale } => {
                 write!(f, "{at}: scale 2^{result_scale:.2} below waterline (C2)")
             }
             TypeError::ScaleOverflow { at, scale, budget } => {
-                write!(f, "{at}: scale 2^{scale:.2} exceeds budget 2^{budget:.2} (C1)")
+                write!(
+                    f,
+                    "{at}: scale 2^{scale:.2} exceeds budget 2^{budget:.2} (C1)"
+                )
             }
             TypeError::LevelOverflow { at, level, max } => {
                 write!(f, "{at}: level {level} exceeds chain maximum {max}")
             }
             TypeError::BadOperandKind { at, rule } => write!(f, "{at}: {rule}"),
-            TypeError::UpscaleBelowCurrent { at, current, target } => {
-                write!(f, "{at}: upscale target 2^{target:.2} below current 2^{current:.2}")
+            TypeError::UpscaleBelowCurrent {
+                at,
+                current,
+                target,
+            } => {
+                write!(
+                    f,
+                    "{at}: upscale target 2^{target:.2} below current 2^{current:.2}"
+                )
             }
         }
     }
@@ -260,7 +273,11 @@ fn infer_one(op: &Op, types: &[Type], cfg: &TypeConfig, at: ValueId) -> Result<T
             level: 0,
         }),
         Op::Const { .. } => Ok(Type::Free),
-        Op::Encode { value, scale_bits, level } => match ty(*value) {
+        Op::Encode {
+            value,
+            scale_bits,
+            level,
+        } => match ty(*value) {
             Type::Free => Ok(Type::Plain {
                 scale: *scale_bits,
                 level: *level,
@@ -278,10 +295,18 @@ fn infer_one(op: &Op, types: &[Type], cfg: &TypeConfig, at: ValueId) -> Result<T
             };
             let (la, lb) = (ta.level().unwrap(), tb.level().unwrap());
             if la != lb {
-                return Err(TypeError::LevelMismatch { at, lhs: la, rhs: lb });
+                return Err(TypeError::LevelMismatch {
+                    at,
+                    lhs: la,
+                    rhs: lb,
+                });
             }
             if (sa - sb).abs() > SCALE_EPS {
-                return Err(TypeError::ScaleMismatch { at, lhs: sa, rhs: sb });
+                return Err(TypeError::ScaleMismatch {
+                    at,
+                    lhs: sa,
+                    rhs: sb,
+                });
             }
             if !(ta.is_cipher() || tb.is_cipher()) {
                 return Err(TypeError::BadOperandKind {
@@ -289,7 +314,10 @@ fn infer_one(op: &Op, types: &[Type], cfg: &TypeConfig, at: ValueId) -> Result<T
                     rule: "binary operation needs at least one cipher operand",
                 });
             }
-            Ok(Type::Cipher { scale: sa, level: la })
+            Ok(Type::Cipher {
+                scale: sa,
+                level: la,
+            })
         }
         Op::Mul(a, b) => {
             let (ta, tb) = (ty(*a), ty(*b));
@@ -299,7 +327,11 @@ fn infer_one(op: &Op, types: &[Type], cfg: &TypeConfig, at: ValueId) -> Result<T
             };
             let (la, lb) = (ta.level().unwrap(), tb.level().unwrap());
             if la != lb {
-                return Err(TypeError::LevelMismatch { at, lhs: la, rhs: lb });
+                return Err(TypeError::LevelMismatch {
+                    at,
+                    lhs: la,
+                    rhs: lb,
+                });
             }
             if !(ta.is_cipher() || tb.is_cipher()) {
                 return Err(TypeError::BadOperandKind {
@@ -330,7 +362,10 @@ fn infer_one(op: &Op, types: &[Type], cfg: &TypeConfig, at: ValueId) -> Result<T
             Type::Cipher { scale, level } => {
                 let result = scale - cfg.rescale_bits;
                 if result < cfg.waterline - SCALE_EPS {
-                    return Err(TypeError::BelowWaterline { at, result_scale: result });
+                    return Err(TypeError::BelowWaterline {
+                        at,
+                        result_scale: result,
+                    });
                 }
                 Ok(Type::Cipher {
                     scale: result,
@@ -396,7 +431,10 @@ fn infer_one(op: &Op, types: &[Type], cfg: &TypeConfig, at: ValueId) -> Result<T
                     });
                 }
                 if scale < cfg.waterline - SCALE_EPS {
-                    return Err(TypeError::BelowWaterline { at, result_scale: scale });
+                    return Err(TypeError::BelowWaterline {
+                        at,
+                        result_scale: scale,
+                    });
                 }
                 Ok(Type::Cipher {
                     scale: cfg.waterline,
@@ -426,7 +464,13 @@ mod tests {
         let x = f.push(Op::Input { name: "x".into() });
         f.mark_output("o", x);
         let tys = infer_types(&f, &cfg()).unwrap();
-        assert_eq!(tys[0], Type::Cipher { scale: 20.0, level: 0 });
+        assert_eq!(
+            tys[0],
+            Type::Cipher {
+                scale: 20.0,
+                level: 0
+            }
+        );
     }
 
     #[test]
@@ -437,8 +481,20 @@ mod tests {
         let a = f.push(Op::Add(m, m));
         f.mark_output("o", a);
         let tys = infer_types(&f, &cfg()).unwrap();
-        assert_eq!(tys[1], Type::Cipher { scale: 40.0, level: 0 });
-        assert_eq!(tys[2], Type::Cipher { scale: 40.0, level: 0 });
+        assert_eq!(
+            tys[1],
+            Type::Cipher {
+                scale: 40.0,
+                level: 0
+            }
+        );
+        assert_eq!(
+            tys[2],
+            Type::Cipher {
+                scale: 40.0,
+                level: 0
+            }
+        );
     }
 
     #[test]
@@ -450,7 +506,13 @@ mod tests {
         let r = f.push(Op::Rescale(m2)); // 80-40=40 ≥ 20 OK
         f.mark_output("o", r);
         let tys = infer_types(&f, &cfg()).unwrap();
-        assert_eq!(tys[3], Type::Cipher { scale: 40.0, level: 1 });
+        assert_eq!(
+            tys[3],
+            Type::Cipher {
+                scale: 40.0,
+                level: 1
+            }
+        );
 
         // Rescaling the scale-40 value would give 0 < waterline.
         let mut g = Function::new("t", 4);
@@ -472,7 +534,13 @@ mod tests {
         let d = f.push(Op::Downscale(m));
         f.mark_output("o", d);
         let tys = infer_types(&f, &cfg()).unwrap();
-        assert_eq!(tys[2], Type::Cipher { scale: 20.0, level: 1 });
+        assert_eq!(
+            tys[2],
+            Type::Cipher {
+                scale: 20.0,
+                level: 1
+            }
+        );
 
         // scale 80 ≥ 60 means rescale applies — downscale is rejected.
         let mut g = Function::new("t", 4);
@@ -519,7 +587,9 @@ mod tests {
     fn free_operand_rejected_and_encode_fixes() {
         let mut f = Function::new("t", 4);
         let x = f.push(Op::Input { name: "x".into() });
-        let c = f.push(Op::Const { data: ConstData::splat(2.0) });
+        let c = f.push(Op::Const {
+            data: ConstData::splat(2.0),
+        });
         let bad = f.push(Op::Mul(x, c));
         f.mark_output("o", bad);
         assert!(matches!(
@@ -529,27 +599,57 @@ mod tests {
 
         let mut g = Function::new("t", 4);
         let x = g.push(Op::Input { name: "x".into() });
-        let c = g.push(Op::Const { data: ConstData::splat(2.0) });
-        let e = g.push(Op::Encode { value: c, scale_bits: 20.0, level: 0 });
+        let c = g.push(Op::Const {
+            data: ConstData::splat(2.0),
+        });
+        let e = g.push(Op::Encode {
+            value: c,
+            scale_bits: 20.0,
+            level: 0,
+        });
         let ok = g.push(Op::Mul(x, e));
         g.mark_output("o", ok);
         let tys = infer_types(&g, &cfg()).unwrap();
-        assert_eq!(tys[2], Type::Plain { scale: 20.0, level: 0 });
-        assert_eq!(tys[3], Type::Cipher { scale: 40.0, level: 0 });
+        assert_eq!(
+            tys[2],
+            Type::Plain {
+                scale: 20.0,
+                level: 0
+            }
+        );
+        assert_eq!(
+            tys[3],
+            Type::Cipher {
+                scale: 40.0,
+                level: 0
+            }
+        );
     }
 
     #[test]
     fn upscale_raises_scale_only_upward() {
         let mut f = Function::new("t", 4);
         let x = f.push(Op::Input { name: "x".into() });
-        let u = f.push(Op::Upscale { value: x, target_bits: 40.0 });
+        let u = f.push(Op::Upscale {
+            value: x,
+            target_bits: 40.0,
+        });
         f.mark_output("o", u);
         let tys = infer_types(&f, &cfg()).unwrap();
-        assert_eq!(tys[1], Type::Cipher { scale: 40.0, level: 0 });
+        assert_eq!(
+            tys[1],
+            Type::Cipher {
+                scale: 40.0,
+                level: 0
+            }
+        );
 
         let mut g = Function::new("t", 4);
         let x = g.push(Op::Input { name: "x".into() });
-        let u = g.push(Op::Upscale { value: x, target_bits: 10.0 });
+        let u = g.push(Op::Upscale {
+            value: x,
+            target_bits: 10.0,
+        });
         g.mark_output("o", u);
         assert!(matches!(
             infer_types(&g, &cfg()),
@@ -564,7 +664,13 @@ mod tests {
         let m = f.push(Op::ModSwitch(x));
         f.mark_output("o", m);
         let tys = infer_types(&f, &cfg()).unwrap();
-        assert_eq!(tys[1], Type::Cipher { scale: 20.0, level: 1 });
+        assert_eq!(
+            tys[1],
+            Type::Cipher {
+                scale: 20.0,
+                level: 1
+            }
+        );
     }
 
     #[test]

@@ -304,12 +304,12 @@ mod tests {
     #[test]
     fn f64_top_bits_accuracy() {
         // A 130-bit value whose top 53 bits determine the result.
-        let mut x = UBig::from(0x1234_5678_9ABC_DEFu64);
+        let mut x = UBig::from(0x0123_4567_89AB_CDEF_u64);
         x.mul_u64(u64::MAX);
         x.mul_u64(3);
         let approx = x.to_f64_scaled(64.0);
         // Reference computed in f64 directly.
-        let expect = 0x1234_5678_9ABC_DEFu64 as f64 * (u64::MAX as f64) * 3.0 / 2f64.powi(64);
+        let expect = 0x0123_4567_89AB_CDEF_u64 as f64 * (u64::MAX as f64) * 3.0 / 2f64.powi(64);
         assert!((approx / expect - 1.0).abs() < 1e-12);
     }
 }

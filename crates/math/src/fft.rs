@@ -105,7 +105,10 @@ impl FftPlan {
     /// # Panics
     /// Panics if `n` is not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "FFT length must be a power of two");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "FFT length must be a power of two"
+        );
         let roots = (0..n / 2)
             .map(|k| Complex64::from_angle(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
             .collect();

@@ -82,7 +82,7 @@ pub fn pow_mod(base: u64, mut exp: u64, q: u64) -> u64 {
 /// # Panics
 /// Panics if `a` is zero modulo `q` (no inverse exists).
 pub fn inv_mod(a: u64, q: u64) -> u64 {
-    assert!(a % q != 0, "zero has no modular inverse");
+    assert!(!a.is_multiple_of(q), "zero has no modular inverse");
     pow_mod(a, q - 2, q)
 }
 

@@ -187,7 +187,11 @@ mod tests {
         let (mut fa, mut fb) = (a.clone(), b.clone());
         t.forward(&mut fa);
         t.forward(&mut fb);
-        let mut fc: Vec<u64> = fa.iter().zip(&fb).map(|(x, y)| mul_mod(*x, *y, q)).collect();
+        let mut fc: Vec<u64> = fa
+            .iter()
+            .zip(&fb)
+            .map(|(x, y)| mul_mod(*x, *y, q))
+            .collect();
         t.backward(&mut fc);
         assert_eq!(fc, expected);
     }
@@ -224,7 +228,11 @@ mod tests {
         t.forward(&mut fa);
         t.forward(&mut fb);
         t.forward(&mut fs);
-        let fab: Vec<u64> = fa.iter().zip(&fb).map(|(x, y)| add_mod(*x, *y, q)).collect();
+        let fab: Vec<u64> = fa
+            .iter()
+            .zip(&fb)
+            .map(|(x, y)| add_mod(*x, *y, q))
+            .collect();
         assert_eq!(fs, fab);
     }
 }

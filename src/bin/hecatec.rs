@@ -15,10 +15,16 @@
 //!   --run                           execute under encryption with random inputs
 //!   --breakdown                     print the estimated latency per cost category
 //!   --quiet                         suppress the compiled IR listing
+//!   --strict                        fail on the first error; no fallback (default)
+//!   --fallback                      degrade gracefully down the scheme ladder
 //! ```
+//!
+//! Exit codes: 0 success; 2 usage error; 3 input unreadable/unparsable;
+//! 4 compilation failed (in `--fallback` mode: every rung failed);
+//! 5 encrypted execution failed.
 
 use hecate::backend::exec::{execute_encrypted, BackendOptions};
-use hecate::compiler::{compile, CompileOptions, Scheme};
+use hecate::compiler::{compile, compile_with_fallback, CompileOptions, FallbackRung, Scheme};
 use hecate::ir::parse::parse_function;
 use hecate::ir::print::print_function;
 use hecate::math::rng::Xoshiro256;
@@ -34,6 +40,7 @@ struct Args {
     run: bool,
     breakdown: bool,
     quiet: bool,
+    fallback: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         run: false,
         breakdown: false,
         quiet: false,
+        fallback: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -65,12 +73,7 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("bad --waterline")?
             }
-            "--sf" => {
-                out.sf = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("bad --sf")?
-            }
+            "--sf" => out.sf = args.next().and_then(|v| v.parse().ok()).ok_or("bad --sf")?,
             "--degree" => {
                 out.degree = Some(
                     args.next()
@@ -81,6 +84,8 @@ fn parse_args() -> Result<Args, String> {
             "--run" => out.run = true,
             "--breakdown" => out.breakdown = true,
             "--quiet" => out.quiet = true,
+            "--strict" => out.fallback = false,
+            "--fallback" => out.fallback = true,
             f if !f.starts_with('-') && out.file.is_empty() => out.file = f.to_string(),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -96,7 +101,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("hecatec: {e}");
-            eprintln!("usage: hecatec <file.heir> [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet]");
+            eprintln!("usage: hecatec <file.heir> [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet] [--strict|--fallback]");
             return ExitCode::from(2);
         }
     };
@@ -104,25 +109,34 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             eprintln!("hecatec: cannot read {}: {e}", args.file);
-            return ExitCode::FAILURE;
+            return ExitCode::from(3);
         }
     };
     let func = match parse_function(&src) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("hecatec: {}: {e}", args.file);
-            return ExitCode::FAILURE;
+            return ExitCode::from(3);
         }
     };
 
     let mut opts = CompileOptions::with_waterline(args.waterline);
     opts.rescale_bits = args.sf;
     opts.degree = args.degree;
-    let prog = match compile(&func, args.scheme, &opts) {
+    let result = if args.fallback {
+        compile_with_fallback(&func, args.scheme, &opts)
+    } else {
+        compile(&func, args.scheme, &opts)
+    };
+    let prog = match result {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("hecatec: compilation failed: {e}");
-            return ExitCode::FAILURE;
+            if args.fallback {
+                eprintln!("hecatec: compilation failed on every fallback rung: {e}");
+            } else {
+                eprintln!("hecatec: compilation failed: {e}");
+            }
+            return ExitCode::from(4);
         }
     };
 
@@ -133,6 +147,13 @@ fn main() -> ExitCode {
         "scheme {} | waterline 2^{} | Sf 2^{}",
         prog.scheme, args.waterline, args.sf
     );
+    match prog.stats.fallback {
+        Some(FallbackRung::Primary) | None => {}
+        Some(rung) => println!(
+            "fallback: degraded to rung '{rung}' after {} failed attempt(s)",
+            prog.stats.fallback_attempts
+        ),
+    }
     println!(
         "parameters: degree {} | chain {} primes (q0 {} bits + {}×{} bits) | max level {} | {}",
         prog.params.degree,
@@ -167,7 +188,12 @@ fn main() -> ExitCode {
         let total: f64 = table.values().sum();
         println!("\nestimated latency by category:");
         for (op, us) in &table {
-            println!("  {:<10} {:>10.0}µs {:>5.1}%", format!("{op:?}"), us, us / total * 100.0);
+            println!(
+                "  {:<10} {:>10.0}µs {:>5.1}%",
+                format!("{op:?}"),
+                us,
+                us / total * 100.0
+            );
         }
     }
 
@@ -176,25 +202,35 @@ fn main() -> ExitCode {
         let mut inputs: HashMap<String, Vec<f64>> = HashMap::new();
         for op in func.ops() {
             if let hecate::ir::Op::Input { name } = op {
-                inputs
-                    .entry(name.clone())
-                    .or_insert_with(|| (0..func.vec_size).map(|_| rng.next_range_f64(-1.0, 1.0)).collect());
+                inputs.entry(name.clone()).or_insert_with(|| {
+                    (0..func.vec_size)
+                        .map(|_| rng.next_range_f64(-1.0, 1.0))
+                        .collect()
+                });
             }
         }
         let bopts = BackendOptions::default();
         match execute_encrypted(&prog, &inputs, &bopts) {
             Ok(run) => {
-                println!("\nencrypted run: {:.1}ms over {} ops", run.total_us / 1e3, prog.func.len());
-                let reference = hecate::ir::interp::interpret(&func, &inputs).expect("inputs bound");
+                println!(
+                    "\nencrypted run: {:.1}ms over {} ops",
+                    run.total_us / 1e3,
+                    prog.func.len()
+                );
+                let reference =
+                    hecate::ir::interp::interpret(&func, &inputs).expect("inputs bound");
                 for (name, v) in &run.outputs {
                     let err = hecate::backend::rms_error(v, &reference[name]);
                     let head: Vec<String> = v.iter().take(4).map(|x| format!("{x:.5}")).collect();
-                    println!("  output \"{name}\": [{} ...] rms error {err:.2e}", head.join(", "));
+                    println!(
+                        "  output \"{name}\": [{} ...] rms error {err:.2e}",
+                        head.join(", ")
+                    );
                 }
             }
             Err(e) => {
                 eprintln!("hecatec: execution failed: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(5);
             }
         }
     }

@@ -86,17 +86,26 @@ fn plan_scales_match_the_figure() {
     };
     assert_eq!(
         scale_of_output(&plan_a()),
-        Type::Cipher { scale: 60.0, level: 1 },
+        Type::Cipher {
+            scale: 60.0,
+            level: 1
+        },
         "EVA's z³"
     );
     assert_eq!(
         scale_of_output(&plan_b()),
-        Type::Cipher { scale: 40.0, level: 1 },
+        Type::Cipher {
+            scale: 40.0,
+            level: 1
+        },
         "PARS's z³ is lower than EVA's"
     );
     assert_eq!(
         scale_of_output(&plan_c()),
-        Type::Cipher { scale: 60.0, level: 1 },
+        Type::Cipher {
+            scale: 60.0,
+            level: 1
+        },
         "plan (c) accepts a higher scale than (b)"
     );
 }

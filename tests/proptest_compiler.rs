@@ -5,9 +5,12 @@
 //! C1–C3, preserves plaintext semantics exactly, and the proactive
 //! scheme's modulus never exceeds the baseline's.
 
-use hecate::compiler::{compile, CompileOptions, Scheme};
+use hecate::backend::exec::{execute_encrypted, BackendOptions, GuardOptions};
+use hecate::backend::noise::{max_rms_error, simulate};
+use hecate::compiler::{compile, compile_with_fallback, CompileOptions, Scheme};
 use hecate::ir::interp::{interpret, rms_error};
 use hecate::ir::types::infer_types;
+use hecate::ir::verify::verify_plan;
 use hecate::ir::{ConstData, Function, Op, ValueId};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -41,7 +44,9 @@ fn build_program(picks: &[(Pick, u64, u64)], n_inputs: usize) -> Function {
     let mut f = Function::new("random", VEC);
     let mut values: Vec<ValueId> = Vec::new();
     for i in 0..n_inputs {
-        values.push(f.push(Op::Input { name: format!("x{i}") }));
+        values.push(f.push(Op::Input {
+            name: format!("x{i}"),
+        }));
     }
     for (pick, s1, s2) in picks {
         let a = values[(*s1 % values.len() as u64) as usize];
@@ -62,15 +67,9 @@ fn build_program(picks: &[(Pick, u64, u64)], n_inputs: usize) -> Function {
         values.push(v);
     }
     // Every sink becomes an output so nothing is trivially dead.
-    let used: std::collections::HashSet<ValueId> = f
-        .ops()
-        .iter()
-        .flat_map(|o| o.operands())
-        .collect();
-    let sinks: Vec<ValueId> = f
-        .value_ids()
-        .filter(|v| !used.contains(v))
-        .collect();
+    let used: std::collections::HashSet<ValueId> =
+        f.ops().iter().flat_map(|o| o.operands()).collect();
+    let sinks: Vec<ValueId> = f.value_ids().filter(|v| !used.contains(v)).collect();
     for (i, v) in sinks.into_iter().enumerate() {
         f.mark_output(format!("o{i}"), v);
     }
@@ -80,7 +79,9 @@ fn build_program(picks: &[(Pick, u64, u64)], n_inputs: usize) -> Function {
 fn inputs_for(n_inputs: usize) -> HashMap<String, Vec<f64>> {
     (0..n_inputs)
         .map(|i| {
-            let v: Vec<f64> = (0..VEC).map(|k| 0.1 + 0.05 * ((i + k) % 7) as f64).collect();
+            let v: Vec<f64> = (0..VEC)
+                .map(|k| 0.1 + 0.05 * ((i + k) % 7) as f64)
+                .collect();
             (format!("x{i}"), v)
         })
         .collect()
@@ -136,7 +137,9 @@ proptest! {
                 Err(e) => {
                     let msg = e.to_string();
                     prop_assert!(
-                        msg.contains("parameters") || msg.contains("type error"),
+                        msg.contains("parameters")
+                            || msg.contains("type error")
+                            || msg.contains("verification failed"),
                         "unexpected error: {msg}"
                     );
                 }
@@ -161,6 +164,87 @@ proptest! {
                 "PARS {} bits > EVA {} bits",
                 p.params.total_bits,
                 e.params.total_bits
+            );
+        }
+    }
+
+    /// The guarded pipeline never panics on random input: every program
+    /// either compiles (and the result re-verifies against the parameters
+    /// it selected) or fails with a structured, classifiable error — under
+    /// both the plain driver and the fallback ladder.
+    #[test]
+    fn random_programs_never_panic_through_verifier_and_fallback(
+        picks in proptest::collection::vec((pick_strategy(), any::<u64>(), any::<u64>()), 3..25),
+        n_inputs in 1usize..4,
+    ) {
+        let func = build_program(&picks, n_inputs);
+        prop_assume!(has_cipher_output(&func));
+        let mut opts = CompileOptions::with_waterline(24.0);
+        opts.degree = Some(512);
+        match compile_with_fallback(&func, Scheme::Hecate, &opts) {
+            Ok(prog) => {
+                // A shipped plan must satisfy every invariant the verifier
+                // knows, bound to the modulus chain it actually selected.
+                verify_plan(&prog.func, &prog.bound_config(), "proptest-audit")
+                    .expect("shipped plan re-verifies against its own parameters");
+                prop_assert!(prog.stats.fallback.is_some());
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                prop_assert!(
+                    msg.contains("parameters")
+                        || msg.contains("type error")
+                        || msg.contains("verification failed"),
+                    "unexpected error: {msg}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // Encrypted execution is the expensive half; a handful of deterministic
+    // cases still covers a meaningful slice of random program shapes.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Verifier-accepted plans round-trip real encrypted execution, and the
+    /// measured output error stays within the noise simulator's first-order
+    /// estimate (with headroom for what the model ignores), under strict
+    /// runtime guards the whole way.
+    #[test]
+    fn verifier_accepted_plans_round_trip_encrypted_within_noise_bound(
+        picks in proptest::collection::vec((pick_strategy(), any::<u64>(), any::<u64>()), 3..10),
+        n_inputs in 1usize..3,
+    ) {
+        let func = build_program(&picks, n_inputs);
+        prop_assume!(has_cipher_output(&func));
+        let mut opts = CompileOptions::with_waterline(26.0);
+        opts.degree = Some(256);
+        let Ok(prog) = compile(&func, Scheme::Hecate, &opts) else {
+            // Infeasible programs are covered by the properties above.
+            prop_assume!(false);
+            unreachable!()
+        };
+        let ins = inputs_for(n_inputs);
+        let reference = interpret(&func, &ins).unwrap();
+        let sim = simulate(&prog, &ins, prog.params.degree);
+        let run = execute_encrypted(
+            &prog,
+            &ins,
+            &BackendOptions {
+                guard: GuardOptions::strict(0.5),
+                ..BackendOptions::default()
+            },
+        )
+        .expect("verifier-accepted plan executes under strict guards");
+        // The simulator is a first-order variance model; allow an order of
+        // magnitude of headroom plus an absolute floor for rounding noise.
+        let bound = (max_rms_error(&sim) * 32.0).max(2f64.powi(-10));
+        for (name, expect) in &reference {
+            let measured = rms_error(&run.outputs[name], expect);
+            prop_assert!(
+                measured < bound,
+                "output {name}: measured rms {measured:.3e} exceeds simulated bound {bound:.3e}"
             );
         }
     }
