@@ -5,6 +5,16 @@
 //! keys the program needs, encrypts the inputs, interprets the IR with
 //! per-operation wall-clock timing, and decrypts the outputs.
 //!
+//! The per-operation kernels live in [`ExecEngine`], a reusable,
+//! share-by-reference engine: constructing one performs the expensive
+//! setup (parameters, key generation, evaluation keys), after which any
+//! number of runs — sequential via [`execute_encrypted`], or scheduled
+//! concurrently by the `hecate-runtime` serving layer — drive the same
+//! engine through [`ExecEngine::exec_op`]. Every engine method takes
+//! `&self`; the only stateful phase, input encryption, creates a fresh
+//! seeded [`Encryptor`] per run so results are reproducible regardless of
+//! how many runs share the engine.
+//!
 //! Two conventions matter:
 //!
 //! - **Nominal scales.** Compiler scales are nominal log2 bits. After each
@@ -26,11 +36,12 @@ use hecate_ckks::eval::EvalError;
 use hecate_ckks::params::ParamsError;
 use hecate_ckks::{
     Ciphertext, CkksEncoder, CkksParams, Decryptor, Encryptor, EvalKeys, Evaluator, KeyGenerator,
-    Plaintext,
+    Plaintext, PublicKey,
 };
 use hecate_compiler::CompiledProgram;
 use hecate_ir::{Op, ValueId};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Backend execution options.
@@ -205,6 +216,27 @@ enum Val {
     Cipher(Ciphertext),
 }
 
+/// The runtime value of one IR operation: a free vector, an encoded
+/// plaintext, or a ciphertext. Opaque to callers; produced and consumed by
+/// [`ExecEngine`] kernels.
+pub struct OpValue(Val);
+
+impl OpValue {
+    /// Whether this value is a ciphertext (the only kind that occupies
+    /// ciphertext working-set memory).
+    pub fn is_cipher(&self) -> bool {
+        matches!(self.0, Val::Cipher(_))
+    }
+
+    /// Bytes this value contributes to the ciphertext working set.
+    pub fn cipher_bytes(&self, degree: usize) -> usize {
+        match &self.0 {
+            Val::Cipher(c) => 2 * c.prefix() * degree * std::mem::size_of::<u64>(),
+            _ => 0,
+        }
+    }
+}
+
 /// Builds the [`CkksParams`] a compiled program calls for.
 ///
 /// # Errors
@@ -232,7 +264,7 @@ pub fn key_requirements(
 ) -> (Vec<usize>, Vec<(usize, usize)>) {
     let mut relin = Vec::new();
     let mut rot = Vec::new();
-    for (i, op) in prog.func.ops().iter().enumerate() {
+    for op in prog.func.ops() {
         let level = |v: &ValueId| prog.types[v.index()].level().unwrap_or(0);
         match op {
             Op::Mul(a, b) => {
@@ -250,7 +282,6 @@ pub fn key_requirements(
             }
             _ => {}
         }
-        let _ = i;
     }
     relin.sort_unstable();
     relin.dedup();
@@ -270,93 +301,263 @@ fn replicate(data: &[f64], vec_size: usize, slots: usize) -> Vec<f64> {
     out
 }
 
-/// Executes a compiled program under encryption.
+/// A reusable encrypted-execution engine for one compiled program.
 ///
-/// # Errors
-/// Returns [`ExecError`] on parameter, key, input, or evaluator failures.
-pub fn execute_encrypted(
-    prog: &CompiledProgram,
-    inputs: &HashMap<String, Vec<f64>>,
-    opts: &BackendOptions,
-) -> Result<EncryptedRun, ExecError> {
-    let params = build_params(prog, opts)?;
-    let slots = params.slots();
-    let vec_size = prog.func.vec_size;
-    if vec_size > slots || !vec_size.is_power_of_two() {
-        return Err(ExecError::BadVectorWidth { vec_size, slots });
-    }
-    let chain_len = params.basis().chain_len();
-    let encoder = CkksEncoder::new(&params);
-    let mut kg = KeyGenerator::new(&params, opts.seed);
-    let pk = kg.public_key();
-    let (mut relin, rot) = key_requirements(prog, slots, chain_len);
-    if matches!(opts.fault, Some(FaultPlan::SkipRelin)) {
-        relin.clear();
-    }
-    let keys = EvalKeys::generate(&mut kg, &relin, &rot);
-    let mut encryptor = Encryptor::new(&params, pk, opts.seed.wrapping_add(1));
-    let decryptor = Decryptor::new(&params, kg.secret_key().clone());
-    let eval = Evaluator::new(&params, keys);
+/// Construction performs all per-program setup: parameter building, key
+/// generation, and evaluation-key synthesis for exactly the
+/// relinearization and rotation prefixes the program uses. After that,
+/// every method takes `&self` — a single engine can serve any number of
+/// sequential or concurrent runs, which is what the `hecate-runtime`
+/// session manager relies on (one engine per session × plan, shared
+/// across worker threads).
+///
+/// Randomness discipline: key generation consumes `seed`; each call to
+/// [`ExecEngine::encrypt_inputs`] creates a fresh [`Encryptor`] seeded
+/// with `seed + 1` and encrypts inputs in operation order. Homomorphic
+/// kernels are deterministic, so two runs over the same inputs produce
+/// bit-identical ciphertexts and outputs no matter how operations are
+/// scheduled between those two phases.
+pub struct ExecEngine {
+    prog: Arc<CompiledProgram>,
+    params: CkksParams,
+    encoder: CkksEncoder,
+    eval: Evaluator,
+    decryptor: Decryptor,
+    pk: PublicKey,
+    guard: GuardOptions,
+    fault: Option<FaultPlan>,
+    chain_len: usize,
+    slots: usize,
+    vec_size: usize,
+    sf: f64,
+    seed: u64,
+}
 
-    let sf = prog.cfg.rescale_bits;
-    let last = last_uses(&prog.func);
-    let mut monitor = opts
-        .guard
-        .max_rms
-        .map(|_| NoiseMonitor::new(params.degree()));
-    let mut vals: HashMap<usize, Val> = HashMap::new();
-    let mut op_us = vec![0.0f64; prog.func.len()];
-    let mut total_us = 0.0;
-    let mut live_cipher = 0usize;
-    let mut peak_live = 0usize;
-    let mut peak_bytes = 0usize;
+impl ExecEngine {
+    /// Builds parameters and all required keys for `prog`.
+    ///
+    /// # Errors
+    /// Returns [`ExecError`] on parameter failures or an incompatible
+    /// vector width.
+    pub fn new(prog: Arc<CompiledProgram>, opts: &BackendOptions) -> Result<ExecEngine, ExecError> {
+        let params = build_params(&prog, opts)?;
+        let slots = params.slots();
+        let vec_size = prog.func.vec_size;
+        if vec_size > slots || !vec_size.is_power_of_two() {
+            return Err(ExecError::BadVectorWidth { vec_size, slots });
+        }
+        let chain_len = params.basis().chain_len();
+        let encoder = CkksEncoder::new(&params);
+        let mut kg = KeyGenerator::new(&params, opts.seed);
+        let pk = kg.public_key();
+        let (mut relin, rot) = key_requirements(&prog, slots, chain_len);
+        if matches!(opts.fault, Some(FaultPlan::SkipRelin)) {
+            relin.clear();
+        }
+        let keys = EvalKeys::generate(&mut kg, &relin, &rot);
+        let decryptor = Decryptor::new(&params, kg.secret_key().clone());
+        let eval = Evaluator::new(&params, keys);
+        let sf = prog.cfg.rescale_bits;
+        Ok(ExecEngine {
+            prog,
+            params,
+            encoder,
+            eval,
+            decryptor,
+            pk,
+            guard: opts.guard.clone(),
+            fault: opts.fault.clone(),
+            chain_len,
+            slots,
+            vec_size,
+            sf,
+            seed: opts.seed,
+        })
+    }
 
-    let basis = params.basis();
-    let encode_replicated =
-        |data: &[f64], scale: f64, level: usize| -> Result<Plaintext, ExecError> {
-            let rep = replicate(data, vec_size, slots);
-            let mut pt = encoder.encode(&rep, scale, level)?;
-            // Plaintexts are prepared ahead of execution in NTT form, as SEAL
-            // does, so ct⊙pt operations cost a pointwise pass only.
-            pt.poly.to_ntt(basis);
-            Ok(pt)
+    /// The compiled program this engine executes.
+    pub fn prog(&self) -> &Arc<CompiledProgram> {
+        &self.prog
+    }
+
+    /// Ring degree in use (possibly overridden below the secure degree).
+    pub fn degree(&self) -> usize {
+        self.params.degree()
+    }
+
+    /// Modulus-chain length in use.
+    pub fn chain_len(&self) -> usize {
+        self.chain_len
+    }
+
+    /// The guard configuration this engine applies after every operation.
+    pub fn guard(&self) -> &GuardOptions {
+        &self.guard
+    }
+
+    /// A noise monitor when noise guarding is configured, else `None`.
+    /// The monitor is per-run mutable state, so each run owns its own.
+    pub fn new_monitor(&self) -> Option<NoiseMonitor> {
+        self.guard.max_rms.map(|_| NoiseMonitor::new(self.degree()))
+    }
+
+    fn encode_replicated(
+        &self,
+        data: &[f64],
+        scale: f64,
+        level: usize,
+    ) -> Result<Plaintext, ExecError> {
+        let rep = replicate(data, self.vec_size, self.slots);
+        let mut pt = self.encoder.encode(&rep, scale, level)?;
+        // Plaintexts are prepared ahead of execution in NTT form, as SEAL
+        // does, so ct⊙pt operations cost a pointwise pass only.
+        pt.poly.to_ntt(self.params.basis());
+        Ok(pt)
+    }
+
+    /// Encrypts the input bindings, producing a value table with exactly
+    /// the `input` operation slots filled. Inputs are encrypted in
+    /// operation order from a fresh seeded encryptor, so the ciphertexts
+    /// are identical across runs and independent of downstream scheduling.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::MissingInput`] for unbound names and
+    /// propagates encoding failures.
+    pub fn encrypt_inputs(
+        &self,
+        inputs: &HashMap<String, Vec<f64>>,
+    ) -> Result<Vec<Option<OpValue>>, ExecError> {
+        let mut encryptor =
+            Encryptor::new(&self.params, self.pk.clone(), self.seed.wrapping_add(1));
+        let mut vals: Vec<Option<OpValue>> = Vec::with_capacity(self.prog.func.len());
+        for (i, op) in self.prog.func.ops().iter().enumerate() {
+            vals.push(match op {
+                Op::Input { name } => {
+                    let data = inputs
+                        .get(name)
+                        .ok_or_else(|| ExecError::MissingInput { name: name.clone() })?;
+                    let scale = self.prog.types[i].scale().expect("cipher input");
+                    let pt = self.encode_replicated(data, scale, 0)?;
+                    Some(OpValue(Val::Cipher(encryptor.encrypt(&pt))))
+                }
+                _ => None,
+            });
+        }
+        Ok(vals)
+    }
+
+    /// Executes operation `i` given its operand values (in
+    /// [`Op::operands`] order), then applies fault injection and guards.
+    /// Returns the value, the homomorphic kernel time in microseconds
+    /// (zero for setup-only operations), and any injected noise variance
+    /// for the caller's noise monitor.
+    ///
+    /// `input` operations are handled by [`ExecEngine::encrypt_inputs`],
+    /// not here.
+    ///
+    /// # Errors
+    /// Returns [`ExecError`] on evaluator failures or tripped guards.
+    pub fn exec_op(
+        &self,
+        i: usize,
+        operands: &[&OpValue],
+    ) -> Result<(OpValue, f64, f64), ExecError> {
+        let (value, us) = self.compute(i, operands)?;
+        let mut value = OpValue(value);
+        let injected_var = self.inject_fault(i, &mut value);
+        self.check_guards(i, &value)?;
+        Ok((value, us, injected_var))
+    }
+
+    /// Applies fault injection and guards to a value produced outside
+    /// [`ExecEngine::exec_op`] (i.e. an encrypted input). Returns the
+    /// injected noise variance.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::Guard`] if a guard trips.
+    pub fn admit_value(&self, i: usize, value: &mut OpValue) -> Result<f64, ExecError> {
+        let injected_var = self.inject_fault(i, value);
+        self.check_guards(i, value)?;
+        Ok(injected_var)
+    }
+
+    /// Runs the noise monitor for operation `i` and enforces the budget.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::BudgetExhausted`] once the modeled RMS noise
+    /// exceeds the configured bound.
+    pub fn check_noise(
+        &self,
+        monitor: &mut NoiseMonitor,
+        i: usize,
+        injected_var: f64,
+    ) -> Result<(), ExecError> {
+        let Some(max_rms) = self.guard.max_rms else {
+            return Ok(());
         };
+        monitor.record(&self.prog, i);
+        if injected_var > 0.0 {
+            monitor.inject(i, injected_var);
+        }
+        let rms = monitor.rms(i);
+        if rms > max_rms {
+            return Err(ExecError::BudgetExhausted {
+                at: i,
+                deficit: (rms / max_rms).log2(),
+            });
+        }
+        Ok(())
+    }
 
-    for (i, op) in prog.func.ops().iter().enumerate() {
-        let ty = prog.types[i];
-        let eval_err = |source: EvalError| ExecError::Eval { at: i, source };
-        let value: Val = match op {
-            Op::Input { name } => {
-                let data = inputs
-                    .get(name)
-                    .ok_or_else(|| ExecError::MissingInput { name: name.clone() })?;
-                let pt = encode_replicated(data, ty.scale().expect("cipher input"), 0)?;
-                Val::Cipher(encryptor.encrypt(&pt))
+    /// Decrypts (or decodes) an output value down to the first
+    /// `vec_size` slots.
+    pub fn decrypt_output(&self, value: &OpValue) -> Vec<f64> {
+        match &value.0 {
+            Val::Cipher(c) => {
+                let mut decoded = self.encoder.decode(&self.decryptor.decrypt(c));
+                decoded.truncate(self.vec_size);
+                decoded
             }
-            Op::Const { data } => Val::Free((0..vec_size).map(|k| data.at(k)).collect()),
+            Val::Plain(p) => {
+                let mut decoded = self.encoder.decode(p);
+                decoded.truncate(self.vec_size);
+                decoded
+            }
+            Val::Free(d) => d.clone(),
+        }
+    }
+
+    fn compute(&self, i: usize, operands: &[&OpValue]) -> Result<(Val, f64), ExecError> {
+        let prog = &self.prog;
+        let op = &prog.func.ops()[i];
+        let ty = prog.types[i];
+        let eval = &self.eval;
+        let eval_err = |source: EvalError| ExecError::Eval { at: i, source };
+        let mut us = 0.0f64;
+        let value = match op {
+            Op::Input { .. } => unreachable!("inputs are encrypted by encrypt_inputs"),
+            Op::Const { data } => Val::Free((0..self.vec_size).map(|k| data.at(k)).collect()),
             Op::Encode {
-                value,
-                scale_bits,
-                level,
+                scale_bits, level, ..
             } => {
-                let Val::Free(data) = &vals[&value.index()] else {
+                let Val::Free(data) = &operands[0].0 else {
                     unreachable!("encode takes a free operand");
                 };
-                Val::Plain(encode_replicated(data, *scale_bits, *level)?)
+                Val::Plain(self.encode_replicated(data, *scale_bits, *level)?)
             }
             Op::ModSwitch(v) | Op::Upscale { value: v, .. } if prog.types[v.index()].is_plain() => {
                 // Plaintext scale management is symbolic: re-encode the
                 // underlying data at the new (scale, level).
-                let data = plain_source_data(prog, *v, &vals);
-                Val::Plain(encode_replicated(
+                let data = self.plain_source_data(*v);
+                Val::Plain(self.encode_replicated(
                     &data,
                     ty.scale().expect("plain"),
                     ty.level().expect("plain"),
                 )?)
             }
-            Op::Add(a, b) | Op::Sub(a, b) => {
+            Op::Add(..) | Op::Sub(..) => {
                 let t0 = Instant::now();
-                let out = match (&vals[&a.index()], &vals[&b.index()]) {
+                let out = match (&operands[0].0, &operands[1].0) {
                     (Val::Cipher(ca), Val::Cipher(cb)) => {
                         if matches!(op, Op::Add(..)) {
                             eval.add(ca, cb).map_err(eval_err)?
@@ -385,13 +586,12 @@ pub fn execute_encrypted(
                     }
                     _ => unreachable!("binary op on free operands"),
                 };
-                op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
-                total_us += op_us[i];
+                us = t0.elapsed().as_secs_f64() * 1e6;
                 Val::Cipher(out)
             }
-            Op::Mul(a, b) => {
+            Op::Mul(..) => {
                 let t0 = Instant::now();
-                let out = match (&vals[&a.index()], &vals[&b.index()]) {
+                let out = match (&operands[0].0, &operands[1].0) {
                     (Val::Cipher(ca), Val::Cipher(cb)) => eval.mul(ca, cb).map_err(eval_err)?,
                     (Val::Cipher(ca), Val::Plain(pb)) => {
                         eval.mul_plain(ca, pb).map_err(eval_err)?
@@ -401,92 +601,89 @@ pub fn execute_encrypted(
                     }
                     _ => unreachable!("binary op on free operands"),
                 };
-                op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
-                total_us += op_us[i];
+                us = t0.elapsed().as_secs_f64() * 1e6;
                 Val::Cipher(out)
             }
-            Op::Negate(v) => {
-                let Val::Cipher(c) = &vals[&v.index()] else {
+            Op::Negate(..) => {
+                let Val::Cipher(c) = &operands[0].0 else {
                     unreachable!("negate on cipher")
                 };
                 let t0 = Instant::now();
                 let out = eval.negate(c);
-                op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
-                total_us += op_us[i];
+                us = t0.elapsed().as_secs_f64() * 1e6;
                 Val::Cipher(out)
             }
-            Op::Rotate { value, step } => {
-                let Val::Cipher(c) = &vals[&value.index()] else {
+            Op::Rotate { step, .. } => {
+                let Val::Cipher(c) = &operands[0].0 else {
                     unreachable!("rotate on cipher")
                 };
                 let t0 = Instant::now();
-                let out = eval.rotate(c, step % slots).map_err(eval_err)?;
-                op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
-                total_us += op_us[i];
+                let out = eval.rotate(c, step % self.slots).map_err(eval_err)?;
+                us = t0.elapsed().as_secs_f64() * 1e6;
                 Val::Cipher(out)
             }
-            Op::Rescale(v) => {
-                let Val::Cipher(c) = &vals[&v.index()] else {
+            Op::Rescale(..) => {
+                let Val::Cipher(c) = &operands[0].0 else {
                     unreachable!("rescale on cipher")
                 };
-                if matches!(opts.fault, Some(FaultPlan::DropRescale { at }) if at == i) {
+                if matches!(self.fault, Some(FaultPlan::DropRescale { at }) if at == i) {
                     // Injected fault: the rescale never happens; the value
                     // passes through with level and scale unchanged.
                     Val::Cipher(c.clone())
                 } else {
                     let t0 = Instant::now();
                     let mut out = eval.rescale(c).map_err(eval_err)?;
-                    op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
-                    total_us += op_us[i];
+                    us = t0.elapsed().as_secs_f64() * 1e6;
                     // Nominal scale declaration (see module docs).
-                    out.scale_bits = c.scale_bits - sf;
+                    out.scale_bits = c.scale_bits - self.sf;
                     Val::Cipher(out)
                 }
             }
-            Op::ModSwitch(v) => {
-                let Val::Cipher(c) = &vals[&v.index()] else {
+            Op::ModSwitch(..) => {
+                let Val::Cipher(c) = &operands[0].0 else {
                     unreachable!("cipher modswitch")
                 };
                 let t0 = Instant::now();
                 let out = eval.mod_switch(c).map_err(eval_err)?;
-                op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
-                total_us += op_us[i];
+                us = t0.elapsed().as_secs_f64() * 1e6;
                 Val::Cipher(out)
             }
-            Op::Upscale { value, target_bits } => {
-                let Val::Cipher(c) = &vals[&value.index()] else {
+            Op::Upscale { target_bits, .. } => {
+                let Val::Cipher(c) = &operands[0].0 else {
                     unreachable!("cipher upscale")
                 };
                 let delta = target_bits - c.scale_bits;
-                let ones = encode_replicated(&vec![1.0; vec_size], delta, c.level)?;
+                let ones = self.encode_replicated(&vec![1.0; self.vec_size], delta, c.level)?;
                 let t0 = Instant::now();
                 let mut out = eval.mul_plain(c, &ones).map_err(eval_err)?;
-                op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
-                total_us += op_us[i];
+                us = t0.elapsed().as_secs_f64() * 1e6;
                 out.scale_bits = *target_bits;
                 Val::Cipher(out)
             }
-            Op::Downscale(v) => {
-                let Val::Cipher(c) = &vals[&v.index()] else {
+            Op::Downscale(..) => {
+                let Val::Cipher(c) = &operands[0].0 else {
                     unreachable!("cipher downscale")
                 };
                 // Multiply by 1 at scale S_f + S_w − j, then rescale: the
                 // scale lands exactly on the waterline (nominally).
                 let target = prog.cfg.waterline;
-                let delta = sf + target - c.scale_bits;
-                let ones = encode_replicated(&vec![1.0; vec_size], delta, c.level)?;
+                let delta = self.sf + target - c.scale_bits;
+                let ones = self.encode_replicated(&vec![1.0; self.vec_size], delta, c.level)?;
                 let t0 = Instant::now();
                 let up = eval.mul_plain(c, &ones).map_err(eval_err)?;
                 let mut out = eval.rescale(&up).map_err(eval_err)?;
-                op_us[i] = t0.elapsed().as_secs_f64() * 1e6;
-                total_us += op_us[i];
+                us = t0.elapsed().as_secs_f64() * 1e6;
                 out.scale_bits = target;
                 Val::Cipher(out)
             }
         };
-        let mut value = value;
+        Ok((value, us))
+    }
+
+    fn inject_fault(&self, i: usize, value: &mut OpValue) -> f64 {
         let mut injected_var = 0.0;
-        if let (Some(fault), Val::Cipher(c)) = (&opts.fault, &mut value) {
+        let basis = self.params.basis();
+        if let (Some(fault), Val::Cipher(c)) = (&self.fault, &mut value.0) {
             match fault {
                 FaultPlan::CorruptLimb { at, limb } if *at == i => {
                     // Stuck-limb model: write the prime itself — one past
@@ -520,7 +717,13 @@ pub fn execute_encrypted(
                 _ => {}
             }
         }
-        if let (Val::Cipher(c), true) = (&value, opts.guard.metadata_checks) {
+        injected_var
+    }
+
+    fn check_guards(&self, i: usize, value: &OpValue) -> Result<(), ExecError> {
+        let basis = self.params.basis();
+        if let (Val::Cipher(c), true) = (&value.0, self.guard.metadata_checks) {
+            let ty = self.prog.types[i];
             let want_scale = ty.scale().unwrap_or(c.scale_bits);
             let want_level = ty.level().unwrap_or(c.level);
             if (c.scale_bits - want_scale).abs() > 1e-3 {
@@ -532,18 +735,19 @@ pub fn execute_encrypted(
                     ),
                 });
             }
-            if c.level != want_level || c.prefix() != chain_len - want_level {
+            if c.level != want_level || c.prefix() != self.chain_len - want_level {
                 return Err(ExecError::Guard {
                     at: i,
                     detail: format!(
-                        "level {} / prefix {} disagree with compiled level {want_level} (chain {chain_len})",
+                        "level {} / prefix {} disagree with compiled level {want_level} (chain {})",
                         c.level,
-                        c.prefix()
+                        c.prefix(),
+                        self.chain_len
                     ),
                 });
             }
         }
-        if let (Val::Cipher(c), true) = (&value, opts.guard.validate_repr) {
+        if let (Val::Cipher(c), true) = (&value.0, self.guard.validate_repr) {
             for poly in [&c.c0, &c.c1] {
                 for row in 0..poly.prefix() {
                     let p = basis.prime(row);
@@ -556,30 +760,92 @@ pub fn execute_encrypted(
                 }
             }
         }
-        if let (Some(m), Some(max_rms)) = (monitor.as_mut(), opts.guard.max_rms) {
-            m.record(prog, i);
-            if injected_var > 0.0 {
-                m.inject(i, injected_var);
-            }
-            let rms = m.rms(i);
-            if rms > max_rms {
-                return Err(ExecError::BudgetExhausted {
-                    at: i,
-                    deficit: (rms / max_rms).log2(),
-                });
+        Ok(())
+    }
+
+    /// Recovers the broadcastable data behind a plain value (a chain of
+    /// encode/modswitch/upscale over a constant).
+    fn plain_source_data(&self, v: ValueId) -> Vec<f64> {
+        let mut cur = v;
+        loop {
+            match self.prog.func.op(cur) {
+                Op::Encode { value, .. } => cur = *value,
+                Op::ModSwitch(x) | Op::Upscale { value: x, .. } => cur = *x,
+                Op::Const { data } => {
+                    return (0..self.prog.func.vec_size).map(|k| data.at(k)).collect();
+                }
+                other => unreachable!("plain chain hit {}", other.mnemonic()),
             }
         }
-        if matches!(value, Val::Cipher(_)) {
+    }
+}
+
+/// Executes a compiled program under encryption, sequentially.
+///
+/// This is the single-threaded driver over [`ExecEngine`]: it walks the
+/// SSA order, releases operands at their last use, and tracks peak
+/// ciphertext liveness. The `hecate-runtime` crate provides a parallel
+/// driver over the same engine.
+///
+/// # Errors
+/// Returns [`ExecError`] on parameter, key, input, or evaluator failures.
+pub fn execute_encrypted(
+    prog: &CompiledProgram,
+    inputs: &HashMap<String, Vec<f64>>,
+    opts: &BackendOptions,
+) -> Result<EncryptedRun, ExecError> {
+    let engine = ExecEngine::new(Arc::new(prog.clone()), opts)?;
+    execute_sequential(&engine, inputs)
+}
+
+/// Sequential execution over an already-built engine (setup amortized).
+///
+/// # Errors
+/// Returns [`ExecError`] on input, evaluator, or guard failures.
+pub fn execute_sequential(
+    engine: &ExecEngine,
+    inputs: &HashMap<String, Vec<f64>>,
+) -> Result<EncryptedRun, ExecError> {
+    let prog = engine.prog().clone();
+    let mut pre = engine.encrypt_inputs(inputs)?;
+    let last = last_uses(&prog.func);
+    let mut monitor = engine.new_monitor();
+
+    let mut vals: HashMap<usize, OpValue> = HashMap::new();
+    let mut op_us = vec![0.0f64; prog.func.len()];
+    let mut total_us = 0.0;
+    let mut live_cipher = 0usize;
+    let mut peak_live = 0usize;
+    let mut peak_bytes = 0usize;
+
+    for (i, op) in prog.func.ops().iter().enumerate() {
+        let (value, injected_var) = if let Some(mut input_val) = pre[i].take() {
+            let injected = engine.admit_value(i, &mut input_val)?;
+            (input_val, injected)
+        } else {
+            let operand_vals: Vec<&OpValue> =
+                op.operands().iter().map(|v| &vals[&v.index()]).collect();
+            let (value, us, injected) = engine.exec_op(i, &operand_vals)?;
+            op_us[i] = us;
+            total_us += us;
+            (value, injected)
+        };
+        if let Some(m) = monitor.as_mut() {
+            engine.check_noise(m, i, injected_var)?;
+        }
+        if value.is_cipher() {
             live_cipher += 1;
             peak_live = peak_live.max(live_cipher);
-            peak_bytes = peak_bytes.max(live_bytes(&vals, &value, params.degree()));
+            peak_bytes = peak_bytes.max(live_bytes(&vals, &value, engine.degree()));
         }
         vals.insert(i, value);
         // Liveness-driven release: drop operands whose last use was here.
         for v in op.operands() {
             if last[v.index()] == i {
-                if let Some(Val::Cipher(_)) = vals.get(&v.index()) {
-                    live_cipher -= 1;
+                if let Some(val) = vals.get(&v.index()) {
+                    if val.is_cipher() {
+                        live_cipher -= 1;
+                    }
                 }
                 vals.remove(&v.index());
             }
@@ -588,20 +854,7 @@ pub fn execute_encrypted(
 
     let mut outputs = HashMap::new();
     for (name, v) in prog.func.outputs() {
-        let out = match &vals[&v.index()] {
-            Val::Cipher(c) => {
-                let mut decoded = encoder.decode(&decryptor.decrypt(c));
-                decoded.truncate(vec_size);
-                decoded
-            }
-            Val::Plain(p) => {
-                let mut decoded = encoder.decode(p);
-                decoded.truncate(vec_size);
-                decoded
-            }
-            Val::Free(d) => d.clone(),
-        };
-        outputs.insert(name.clone(), out);
+        outputs.insert(name.clone(), engine.decrypt_output(&vals[&v.index()]));
     }
 
     Ok(EncryptedRun {
@@ -610,39 +863,13 @@ pub fn execute_encrypted(
         op_us,
         peak_live,
         peak_bytes,
-        degree: params.degree(),
-        chain_len,
+        degree: engine.degree(),
+        chain_len: engine.chain_len(),
     })
 }
 
 /// Bytes held by the currently live ciphertexts plus the value being
 /// defined (two polynomials of `prefix` residue rows each).
-fn live_bytes(vals: &HashMap<usize, Val>, pending: &Val, degree: usize) -> usize {
-    let ct_bytes = |c: &Ciphertext| 2 * c.prefix() * degree * std::mem::size_of::<u64>();
-    let mut total = match pending {
-        Val::Cipher(c) => ct_bytes(c),
-        _ => 0,
-    };
-    for v in vals.values() {
-        if let Val::Cipher(c) = v {
-            total += ct_bytes(c);
-        }
-    }
-    total
-}
-
-/// Recovers the broadcastable data behind a plain value (a chain of
-/// encode/modswitch/upscale over a constant).
-fn plain_source_data(prog: &CompiledProgram, v: ValueId, _vals: &HashMap<usize, Val>) -> Vec<f64> {
-    let mut cur = v;
-    loop {
-        match prog.func.op(cur) {
-            Op::Encode { value, .. } => cur = *value,
-            Op::ModSwitch(x) | Op::Upscale { value: x, .. } => cur = *x,
-            Op::Const { data } => {
-                return (0..prog.func.vec_size).map(|k| data.at(k)).collect();
-            }
-            other => unreachable!("plain chain hit {}", other.mnemonic()),
-        }
-    }
+fn live_bytes(vals: &HashMap<usize, OpValue>, pending: &OpValue, degree: usize) -> usize {
+    pending.cipher_bytes(degree) + vals.values().map(|v| v.cipher_bytes(degree)).sum::<usize>()
 }

@@ -59,7 +59,10 @@ pub mod liveness;
 pub mod noise;
 pub mod profile;
 
-pub use exec::{execute_encrypted, BackendOptions, EncryptedRun, ExecError, GuardOptions};
+pub use exec::{
+    execute_encrypted, execute_sequential, BackendOptions, EncryptedRun, ExecEngine, ExecError,
+    GuardOptions, OpValue,
+};
 pub use fault::FaultPlan;
 pub use noise::{max_rms_error, simulate, NoiseMonitor, SimulatedRun};
 pub use profile::profile_cost_table;

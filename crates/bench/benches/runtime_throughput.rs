@@ -1,0 +1,111 @@
+//! Serving throughput of `hecate-runtime`: requests per second at 1, 2,
+//! 4, and 8 workers over encrypted benchmark workloads, with the plan
+//! cache warm (the steady-state serving regime — compilation is paid
+//! once per plan, off the measured path).
+//!
+//! Emits `BENCH_runtime.json` next to the workspace root with the
+//! per-worker-count throughput and the speedup over the single-worker
+//! baseline. Speedups track the machine's core count; on a single-core
+//! host all configurations converge.
+
+use hecate_apps::{benchmark, Benchmark, Preset};
+use hecate_backend::exec::BackendOptions;
+use hecate_compiler::{CompileOptions, Scheme};
+use hecate_runtime::{Request, Runtime, RuntimeConfig};
+use std::time::Instant;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const ROUNDS: usize = 12;
+
+fn workloads() -> Vec<Benchmark> {
+    ["SF", "HCD"]
+        .iter()
+        .map(|name| benchmark(name, Preset::Small).expect("known benchmark"))
+        .collect()
+}
+
+fn options() -> CompileOptions {
+    let mut opts = CompileOptions::with_waterline(24.0);
+    opts.degree = Some(512);
+    opts
+}
+
+/// Requests per second over a warmed runtime with `workers` threads.
+fn measure(workers: usize, benches: &[Benchmark]) -> f64 {
+    let rt = Runtime::new(RuntimeConfig {
+        workers,
+        jobs_per_request: 1,
+        backend: BackendOptions {
+            degree_override: Some(512),
+            ..BackendOptions::default()
+        },
+    });
+    let opts = options();
+    let mk = |session, bench: &Benchmark| Request {
+        session,
+        func: bench.func.clone(),
+        scheme: Scheme::Pars,
+        options: opts.clone(),
+        inputs: bench.inputs.clone(),
+    };
+    // One tenant session per workload; warm the cache and the session
+    // engines so the measurement sees only steady-state serving.
+    let sessions: Vec<_> = benches.iter().map(|_| rt.open_session()).collect();
+    let warm: Vec<Request> = benches
+        .iter()
+        .zip(&sessions)
+        .map(|(b, &s)| mk(s, b))
+        .collect();
+    for r in rt.run_batch(warm) {
+        r.expect("warmup request");
+    }
+    assert_eq!(rt.stats().compiles as usize, benches.len());
+
+    let reqs: Vec<Request> = (0..ROUNDS)
+        .flat_map(|_| benches.iter().zip(&sessions).map(|(b, &s)| mk(s, b)))
+        .collect();
+    let n = reqs.len();
+    let t0 = Instant::now();
+    for r in rt.run_batch(reqs) {
+        r.expect("measured request");
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        rt.stats().compiles as usize,
+        benches.len(),
+        "measured phase must be all cache hits"
+    );
+    rt.shutdown();
+    n as f64 / dt
+}
+
+fn main() {
+    let benches = workloads();
+    println!(
+        "runtime throughput: {} workloads x {ROUNDS} rounds, warm cache",
+        benches.len()
+    );
+    let mut results = Vec::new();
+    for workers in WORKER_COUNTS {
+        let rps = measure(workers, &benches);
+        println!("  {workers} worker(s): {rps:.1} req/s");
+        results.push((workers, rps));
+    }
+    let baseline = results[0].1;
+    let entries: Vec<String> = results
+        .iter()
+        .map(|(w, rps)| {
+            format!(
+                "{{\"workers\":{w},\"req_per_s\":{rps:.2},\"speedup\":{:.3}}}",
+                rps / baseline
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"benchmark\":\"runtime_throughput\",\"workloads\":[\"SF\",\"HCD\"],\"rounds\":{ROUNDS},\"results\":[{}]}}\n",
+        entries.join(",")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    std::fs::write(path, &json).expect("write BENCH_runtime.json");
+    println!("wrote {path}");
+}

@@ -1,0 +1,38 @@
+//! Compile-time thread-safety audit.
+//!
+//! The serving layer (`hecate-runtime`) shares parameters, keys, and
+//! evaluators across worker threads by reference and moves ciphertexts
+//! between them. That is sound because nothing in this crate uses
+//! interior mutability or thread-bound state — parameters share their
+//! RNS basis through `Arc`, and the only mutable state (the RNGs inside
+//! `KeyGenerator` and `Encryptor`) is owned, requiring `&mut` access.
+//! These assertions turn that audit into a compile-time contract: adding
+//! an `Rc` or a `Cell` to any of these types breaks the build here, not
+//! in a data race.
+
+use hecate_ckks::{
+    Ciphertext, CkksEncoder, CkksParams, Decryptor, Encryptor, EvalKeys, Evaluator, KeyGenerator,
+    Plaintext, PublicKey, SecretKey,
+};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn ckks_types_are_send_sync() {
+    // Data that crosses threads.
+    assert_send_sync::<Ciphertext>();
+    assert_send_sync::<Plaintext>();
+    // Shared-by-reference context.
+    assert_send_sync::<CkksParams>();
+    assert_send_sync::<CkksEncoder>();
+    assert_send_sync::<Evaluator>();
+    assert_send_sync::<EvalKeys>();
+    assert_send_sync::<Decryptor>();
+    // Key material.
+    assert_send_sync::<SecretKey>();
+    assert_send_sync::<PublicKey>();
+    // Owned per-thread state (Send suffices for handing off; these are
+    // also Sync because their RNG state needs `&mut` to advance).
+    assert_send_sync::<KeyGenerator>();
+    assert_send_sync::<Encryptor>();
+}

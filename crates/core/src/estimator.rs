@@ -75,6 +75,11 @@ impl CostTable {
         self.entries.insert((op, active_primes), micros);
     }
 
+    /// All `(op, active primes, µs)` measurements, in no particular order.
+    pub fn measurements(&self) -> impl Iterator<Item = (CostOp, usize, f64)> + '_ {
+        self.entries.iter().map(|(&(op, c), &us)| (op, c, us))
+    }
+
     /// Looks up a measurement; falls back to the nearest measured prefix
     /// scaled analytically if the exact prefix is missing.
     pub fn get(&self, op: CostOp, active_primes: usize) -> Option<f64> {

@@ -17,7 +17,9 @@
 //!   128-bit security table;
 //! - [`pipeline`] — the [`compile`] entry point, the
 //!   [`compile_with_fallback`] graceful-degradation driver, and the
-//!   waterline sweep.
+//!   waterline sweep;
+//! - [`serialize`] — exact text (de)serialization of compiled plans, so
+//!   the serving layer can persist and reload cache artifacts.
 //!
 //! Every pass output is re-verified against the paper's invariants (see
 //! [`hecate_ir::verify`]); failures surface as structured
@@ -61,6 +63,7 @@ pub mod options;
 pub mod params;
 pub mod pipeline;
 pub mod planner;
+pub mod serialize;
 pub mod smu;
 
 pub use estimator::{CostModel, CostOp, CostTable};
@@ -70,3 +73,4 @@ pub use options::{
 };
 pub use params::SelectedParams;
 pub use pipeline::{compile, compile_with_fallback, default_waterlines, sweep_waterlines};
+pub use serialize::{deserialize_plan, serialize_plan, PlanFormatError};

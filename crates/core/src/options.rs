@@ -130,6 +130,50 @@ impl CompileOptions {
     pub fn type_config(&self) -> TypeConfig {
         TypeConfig::new(self.waterline_bits, self.rescale_bits)
     }
+
+    /// A canonical textual fingerprint of every option that can change the
+    /// compiled plan. The serving layer's content-addressed cache hashes
+    /// this next to the program's canonical print: two compilations share
+    /// a cache slot iff both the program and this fingerprint agree.
+    ///
+    /// Floats are rendered in Rust's shortest round-trip form, so distinct
+    /// values always produce distinct fingerprints.
+    pub fn fingerprint(&self) -> String {
+        let cost_model = match &self.cost_model {
+            CostModel::Analytic => "analytic".to_string(),
+            CostModel::Profiled(table) => {
+                // Entries are iterated in sorted order so the fingerprint
+                // is independent of map internals.
+                let mut entries: Vec<String> = table
+                    .measurements()
+                    .map(|(op, c, us)| format!("{op:?}@{c}={us}"))
+                    .collect();
+                entries.sort();
+                format!("profiled(n{};{})", table.degree, entries.join(","))
+            }
+        };
+        let objective = match self.objective {
+            Objective::Latency => "latency".to_string(),
+            Objective::LatencyAndError { error_weight } => {
+                format!("latency+{error_weight}err")
+            }
+        };
+        format!(
+            "w={};sf={};margin={};degree={:?};chain<={};cost={};ems={};canon={};obj={};iters={};verify={};fault={:?}",
+            self.waterline_bits,
+            self.rescale_bits,
+            self.margin_bits,
+            self.degree,
+            self.max_chain_len,
+            cost_model,
+            self.early_modswitch,
+            self.canonicalize,
+            objective,
+            self.max_smse_iters,
+            self.verify_passes,
+            self.fault,
+        )
+    }
 }
 
 impl Default for CompileOptions {

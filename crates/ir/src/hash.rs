@@ -1,0 +1,183 @@
+//! Stable content hashing of IR programs.
+//!
+//! The serving layer (`hecate-runtime`) caches compiled plans by the
+//! *content* of the input program, not by object identity: two
+//! independently built but structurally identical functions must map to
+//! the same cache key, and any semantic difference — an operation, an
+//! operand, a constant payload, the vector width — must change it. The
+//! canonical textual form ([`crate::print::print_function_full`]) already
+//! has exactly this injectivity (it round-trips through
+//! [`crate::parse::parse_function`]), so the content hash is defined as
+//! FNV-1a over that rendering.
+//!
+//! FNV-1a is used instead of `std::hash` deliberately: `DefaultHasher` is
+//! documented to be unstable across releases and processes, while a cache
+//! key must be stable enough to name serialized plan artifacts on disk.
+
+use crate::ir::Function;
+use crate::print::print_function_full;
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher.
+///
+/// # Example
+/// ```
+/// use hecate_ir::hash::Fnv1a;
+/// let mut h = Fnv1a::new();
+/// h.write(b"hello");
+/// let once = h.finish();
+/// let mut h2 = Fnv1a::new();
+/// h2.write(b"hel");
+/// h2.write(b"lo");
+/// assert_eq!(once, h2.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    /// A hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorbs bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a of a byte slice in one call.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// The stable content hash of a function: FNV-1a over its canonical
+/// re-parsable print form.
+///
+/// Two functions hash equal iff their canonical prints are equal, which
+/// holds exactly when they have the same name, vector width, operation
+/// sequence (including constant payloads, rotation steps, and scale
+/// parameters), and outputs.
+pub fn function_hash(func: &Function) -> u64 {
+    fnv1a(print_function_full(func).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ir::{ConstData, Op};
+
+    fn sample(scale: f64, rot: usize, konst: f64) -> Function {
+        let mut f = Function::new("sample", 8);
+        let x = f.push(Op::Input { name: "x".into() });
+        let c = f.push(Op::Const {
+            data: ConstData::splat(konst),
+        });
+        let e = f.push(Op::Encode {
+            value: c,
+            scale_bits: scale,
+            level: 0,
+        });
+        let m = f.push(Op::Mul(x, e));
+        let r = f.push(Op::Rotate {
+            value: m,
+            step: rot,
+        });
+        f.mark_output("o", r);
+        f
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn independently_built_identical_programs_hash_equal() {
+        // Built through the raw arena and through the builder eDSL.
+        let mut raw = Function::new("square", 4);
+        let x = raw.push(Op::Input { name: "x".into() });
+        let m = raw.push(Op::Mul(x, x));
+        raw.mark_output("out0", m);
+
+        let mut b = FunctionBuilder::new("square", 4);
+        let x = b.input_cipher("x");
+        let sq = b.square(x);
+        b.output(sq);
+        let built = b.finish();
+
+        assert_eq!(function_hash(&raw), function_hash(&built));
+    }
+
+    #[test]
+    fn any_semantic_change_alters_the_hash() {
+        let base = function_hash(&sample(20.0, 1, 2.0));
+        assert_ne!(base, function_hash(&sample(21.0, 1, 2.0)), "encode scale");
+        assert_ne!(
+            base,
+            function_hash(&sample(20.5, 1, 2.0)),
+            "fractional scale"
+        );
+        assert_ne!(base, function_hash(&sample(20.0, 2, 2.0)), "rotation step");
+        assert_ne!(base, function_hash(&sample(20.0, 1, 2.5)), "constant");
+    }
+
+    #[test]
+    fn structural_changes_alter_the_hash() {
+        let mut f = sample(20.0, 1, 2.0);
+        let base = function_hash(&sample(20.0, 1, 2.0));
+        // Extra (even dead) operation changes the content.
+        f.push(Op::Input { name: "y".into() });
+        assert_ne!(base, function_hash(&f));
+        // Different vector width.
+        let mut g = Function::new("sample", 16);
+        let x = g.push(Op::Input { name: "x".into() });
+        g.mark_output("o", x);
+        let mut h = Function::new("sample", 8);
+        let x = h.push(Op::Input { name: "x".into() });
+        h.mark_output("o", x);
+        assert_ne!(function_hash(&g), function_hash(&h));
+    }
+
+    #[test]
+    fn op_substitution_alters_the_hash() {
+        let mut add = Function::new("f", 4);
+        let x = add.push(Op::Input { name: "x".into() });
+        let a = add.push(Op::Add(x, x));
+        add.mark_output("o", a);
+        let mut sub = Function::new("f", 4);
+        let x = sub.push(Op::Input { name: "x".into() });
+        let s = sub.push(Op::Sub(x, x));
+        sub.mark_output("o", s);
+        assert_ne!(function_hash(&add), function_hash(&sub));
+    }
+}

@@ -20,7 +20,9 @@
 //!   every transformation, reporting structured [`verify::VerifyError`]s;
 //! - [`print`](mod@print) / [`parse`] — textual rendering in the style of
 //!   the paper's Fig. 4, and parsing of the same form (used by the
-//!   `hecatec` driver).
+//!   `hecatec` driver);
+//! - [`hash`] — the stable FNV-1a content hash over the canonical print
+//!   form, which the serving layer uses as its compilation-cache key.
 //!
 //! Scales are nominal log2 bits: inputs enter at the waterline, `mul` adds
 //! scales, `rescale` subtracts the rescale factor `S_f`, and `downscale`
@@ -50,6 +52,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod hash;
 pub mod interp;
 pub mod ir;
 pub mod parse;
@@ -59,6 +62,7 @@ pub mod types;
 pub mod verify;
 
 pub use builder::FunctionBuilder;
+pub use hash::function_hash;
 pub use ir::{ConstData, Function, Op, ValueId};
 pub use types::{infer_types, Type, TypeConfig, TypeError};
 pub use verify::{verify_input, verify_plan, Invariant, VerifyError};

@@ -41,13 +41,16 @@ fn print_impl(func: &Function, types: Option<&[Type]>, full_consts: bool) -> Str
                 scale_bits,
                 level,
             } => {
-                let _ = write!(s, " {value}, scale=2^{scale_bits:.0}, level={level}");
+                // `{}` is Rust's shortest round-trip float form: exact for
+                // re-parsing and for content hashing, and identical to the
+                // old `{:.0}` rendering for the (usual) integer scales.
+                let _ = write!(s, " {value}, scale=2^{scale_bits}, level={level}");
             }
             Op::Rotate { value, step } => {
                 let _ = write!(s, " {value}, {step}");
             }
             Op::Upscale { value, target_bits } => {
-                let _ = write!(s, " {value}, 2^{target_bits:.0}");
+                let _ = write!(s, " {value}, 2^{target_bits}");
             }
             _ => {
                 for (k, v) in op.operands().iter().enumerate() {

@@ -1,0 +1,271 @@
+//! The content-addressed compilation cache with single-flight semantics.
+//!
+//! Serving workloads resubmit the same circuits constantly; the compiler
+//! pipeline (SMU construction, hill-climbing SMSE exploration, parameter
+//! selection) is orders of magnitude more expensive than a cache probe.
+//! The cache is keyed by [`plan_key`]: a stable FNV-1a hash over the
+//! canonical re-parsable print form of the submitted [`Function`], the
+//! [`Scheme`], and the [`CompileOptions`] fingerprint — so two tenants
+//! independently building the same circuit share one compilation, while
+//! any change to an operation, a constant payload, or an option lands on
+//! a different key.
+//!
+//! **Single-flight:** when N requests race on a cold key, exactly one
+//! runs the pipeline; the rest block on a condvar until the artifact is
+//! published. A failed compilation is *not* cached — the pending marker
+//! is removed and one of the waiters retries, so a transient failure
+//! cannot poison the key forever.
+
+use crate::stats::RuntimeStats;
+use hecate_backend::exec::key_requirements;
+use hecate_compiler::{compile, CompileOptions, CompiledProgram, Scheme};
+use hecate_ir::hash::Fnv1a;
+use hecate_ir::print::print_function_full;
+use hecate_ir::Function;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::RuntimeError;
+
+/// Stable cache key for a (program, scheme, options) submission.
+///
+/// FNV-1a over the canonical print form plus the scheme and the options
+/// fingerprint — identical across processes and runs, unlike
+/// `std::hash`'s randomized hasher.
+pub fn plan_key(func: &Function, scheme: Scheme, opts: &CompileOptions) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str(&print_function_full(func));
+    h.write_str(&format!("|scheme={scheme}"));
+    h.write_str(&format!("|{}", opts.fingerprint()));
+    h.finish()
+}
+
+/// Everything the serving layer keeps per compiled plan: the program
+/// itself plus the evaluation-key requirements sessions need to
+/// synthesize their Galois/relinearization keys.
+#[derive(Debug)]
+pub struct PlanArtifact {
+    /// The cache key this artifact is stored under.
+    pub key: u64,
+    /// The compiled program (function, types, selected parameters).
+    pub prog: Arc<CompiledProgram>,
+    /// Relinearization key prefixes the plan uses.
+    pub relin_prefixes: Vec<usize>,
+    /// `(rotation step, prefix)` pairs the plan uses.
+    pub rotation_keys: Vec<(usize, usize)>,
+}
+
+enum Slot {
+    /// Some thread is compiling this key right now.
+    Pending,
+    /// The artifact is published.
+    Ready(Arc<PlanArtifact>),
+}
+
+/// Content-addressed plan cache (see the module docs).
+pub struct PlanCache {
+    slots: Mutex<HashMap<u64, Slot>>,
+    published: Condvar,
+    stats: Arc<RuntimeStats>,
+}
+
+impl PlanCache {
+    /// An empty cache reporting into `stats`.
+    pub fn new(stats: Arc<RuntimeStats>) -> Self {
+        PlanCache {
+            slots: Mutex::new(HashMap::new()),
+            published: Condvar::new(),
+            stats,
+        }
+    }
+
+    /// Number of published artifacts.
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    /// True when no artifact is published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up (or compiles, exactly once per key across all racing
+    /// threads) the plan for this submission.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError::Compile`] when the pipeline rejects the
+    /// program; the failure is not cached.
+    ///
+    /// # Panics
+    /// Panics if another thread panicked while holding the cache lock.
+    pub fn get_or_compile(
+        &self,
+        func: &Function,
+        scheme: Scheme,
+        opts: &CompileOptions,
+    ) -> Result<Arc<PlanArtifact>, RuntimeError> {
+        let key = plan_key(func, scheme, opts);
+        let mut slots = self.slots.lock().unwrap();
+        loop {
+            match slots.get(&key) {
+                Some(Slot::Ready(artifact)) => {
+                    self.stats.record_hit();
+                    return Ok(artifact.clone());
+                }
+                Some(Slot::Pending) => {
+                    // Someone else is compiling: wait for publication (or
+                    // for the pending marker to vanish on failure, in
+                    // which case we take over the compile ourselves).
+                    slots = self.published.wait(slots).unwrap();
+                }
+                None => {
+                    self.stats.record_miss();
+                    slots.insert(key, Slot::Pending);
+                    drop(slots);
+                    let outcome = self.compile_artifact(key, func, scheme, opts);
+                    slots = self.slots.lock().unwrap();
+                    match outcome {
+                        Ok(artifact) => {
+                            slots.insert(key, Slot::Ready(artifact.clone()));
+                            self.published.notify_all();
+                            return Ok(artifact);
+                        }
+                        Err(e) => {
+                            slots.remove(&key);
+                            self.published.notify_all();
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns the published artifact for `key`, if any (no compile).
+    pub fn get(&self, key: u64) -> Option<Arc<PlanArtifact>> {
+        match self.slots.lock().unwrap().get(&key) {
+            Some(Slot::Ready(a)) => Some(a.clone()),
+            _ => None,
+        }
+    }
+
+    /// Publishes an externally produced plan (e.g. one reloaded via
+    /// [`hecate_compiler::deserialize_plan`]) under its content key.
+    pub fn insert(&self, key: u64, prog: Arc<CompiledProgram>) -> Arc<PlanArtifact> {
+        let artifact = Arc::new(make_artifact(key, prog));
+        self.slots
+            .lock()
+            .unwrap()
+            .insert(key, Slot::Ready(artifact.clone()));
+        self.published.notify_all();
+        artifact
+    }
+
+    fn compile_artifact(
+        &self,
+        key: u64,
+        func: &Function,
+        scheme: Scheme,
+        opts: &CompileOptions,
+    ) -> Result<Arc<PlanArtifact>, RuntimeError> {
+        self.stats.record_compile();
+        let prog = compile(func, scheme, opts).map_err(RuntimeError::Compile)?;
+        Ok(Arc::new(make_artifact(key, Arc::new(prog))))
+    }
+}
+
+fn make_artifact(key: u64, prog: Arc<CompiledProgram>) -> PlanArtifact {
+    // Requirement sets are computed against the plan's own selected
+    // parameters; a session running under a degree override recomputes
+    // its slot count, but the *set* of rotation steps and relin levels is
+    // a property of the program, which is what sessions need to know.
+    let slots = prog.params.degree / 2;
+    let (relin_prefixes, rotation_keys) = key_requirements(&prog, slots, prog.params.chain_len);
+    PlanArtifact {
+        key,
+        prog,
+        relin_prefixes,
+        rotation_keys,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hecate_ir::FunctionBuilder;
+
+    fn sample(scale: f64) -> Function {
+        let mut b = FunctionBuilder::new("s", 8);
+        let x = b.input_cipher("x");
+        let c = b.splat(scale);
+        let m = b.mul(x, c);
+        let r = b.rotate(m, 1);
+        b.output(r);
+        b.finish()
+    }
+
+    fn opts() -> CompileOptions {
+        let mut o = CompileOptions::with_waterline(20.0);
+        o.degree = Some(64);
+        o
+    }
+
+    #[test]
+    fn key_is_content_addressed() {
+        let o = opts();
+        let a = plan_key(&sample(1.5), Scheme::Hecate, &o);
+        let b = plan_key(&sample(1.5), Scheme::Hecate, &o);
+        assert_eq!(a, b, "independently built identical programs share a key");
+        assert_ne!(a, plan_key(&sample(2.5), Scheme::Hecate, &o), "constant");
+        assert_ne!(a, plan_key(&sample(1.5), Scheme::Eva, &o), "scheme");
+        let mut o2 = opts();
+        o2.waterline_bits = 24.0;
+        assert_ne!(a, plan_key(&sample(1.5), Scheme::Hecate, &o2), "options");
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let stats = Arc::new(RuntimeStats::new());
+        let cache = PlanCache::new(stats.clone());
+        let f = sample(1.5);
+        let o = opts();
+        let a1 = cache.get_or_compile(&f, Scheme::Hecate, &o).unwrap();
+        let a2 = cache.get_or_compile(&f, Scheme::Hecate, &o).unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2));
+        let snap = stats.snapshot(1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.compiles, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn artifact_records_key_requirements() {
+        let cache = PlanCache::new(Arc::new(RuntimeStats::new()));
+        let a = cache
+            .get_or_compile(&sample(1.5), Scheme::Hecate, &opts())
+            .unwrap();
+        assert!(
+            !a.rotation_keys.is_empty(),
+            "the sample rotates, so a Galois key is required"
+        );
+    }
+
+    #[test]
+    fn failed_compile_is_not_cached() {
+        let cache = PlanCache::new(Arc::new(RuntimeStats::new()));
+        let mut o = opts();
+        o.max_chain_len = 1; // (x·c) rescaled needs ≥ 2 primes: forces failure
+        let f = sample(1.5);
+        assert!(cache.get_or_compile(&f, Scheme::Hecate, &o).is_err());
+        assert!(cache.is_empty(), "failures must not be cached");
+        // The same key compiles fine once the constraint is lifted.
+        let o2 = opts();
+        assert!(cache.get_or_compile(&f, Scheme::Hecate, &o2).is_ok());
+    }
+}

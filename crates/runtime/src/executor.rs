@@ -1,0 +1,350 @@
+//! Parallel encrypted execution of one request's dependence DAG.
+//!
+//! The SSA arena of a compiled program *is* its dependence DAG, so the
+//! scheduler is a classic ready-set loop: every operation whose operands
+//! are all computed sits in a ready queue; `jobs` workers pop operations,
+//! run the [`ExecEngine`] kernel, publish the value, and decrement the
+//! in-degrees of the consumers, enqueueing any that reach zero.
+//!
+//! **Determinism.** The result is bit-identical to
+//! [`hecate_backend::exec::execute_sequential`] no matter the worker
+//! count or interleaving: randomness is confined to key generation
+//! (engine construction) and input encryption, and
+//! [`ExecEngine::encrypt_inputs`] encrypts inputs sequentially in
+//! operation order before any worker starts. Every homomorphic kernel is
+//! a deterministic function of its operand ciphertexts, so the DAG's
+//! unique fixpoint is reached regardless of evaluation order. The
+//! `parallel_matches_sequential` integration test asserts exact `f64`
+//! equality on every benchmark workload.
+//!
+//! **Guards.** Per-operation guard checks (metadata, representation,
+//! noise budget) run exactly as in sequential execution; the noise
+//! monitor is shared behind a mutex and recorded per operation *after*
+//! its operands, which the scheduling order guarantees.
+//!
+//! **Memory.** Values are released when their last consumer finishes
+//! (atomic use counts), so the liveness discipline of the sequential
+//! executor carries over; the reported peaks depend on the actual
+//! interleaving and are generally ≥ the sequential executor's.
+
+use hecate_backend::exec::{EncryptedRun, ExecEngine, ExecError, OpValue};
+use hecate_backend::NoiseMonitor;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, RwLock};
+
+struct Shared<'e> {
+    engine: &'e ExecEngine,
+    /// One slot per operation; `Some` once computed, taken back out when
+    /// the last consumer finishes (unless the value is an output).
+    slots: Vec<RwLock<Option<OpValue>>>,
+    /// Remaining uncomputed operands per operation (counted per operand
+    /// instance, matching the `users` multiset).
+    indegree: Vec<AtomicUsize>,
+    /// Consumers of each value, one entry per operand instance.
+    users: Vec<Vec<usize>>,
+    /// Remaining consumer instances per value (for release).
+    remaining_uses: Vec<AtomicUsize>,
+    /// Values that outlive execution (program outputs).
+    keep: Vec<bool>,
+    ready: Mutex<VecDeque<usize>>,
+    wake: Condvar,
+    completed: AtomicUsize,
+    failed: AtomicBool,
+    error: Mutex<Option<ExecError>>,
+    monitor: Option<Mutex<NoiseMonitor>>,
+    op_us: Mutex<Vec<f64>>,
+    live_cipher: AtomicUsize,
+    peak_live: AtomicUsize,
+    live_bytes: AtomicUsize,
+    peak_bytes: AtomicUsize,
+}
+
+impl Shared<'_> {
+    fn fail(&self, e: ExecError) {
+        let mut slot = self.error.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.failed.store(true, Ordering::SeqCst);
+        self.wake.notify_all();
+    }
+
+    fn publish(&self, i: usize, value: OpValue) {
+        if value.is_cipher() {
+            let live = self.live_cipher.fetch_add(1, Ordering::Relaxed) + 1;
+            self.peak_live.fetch_max(live, Ordering::Relaxed);
+            let bytes = self
+                .live_bytes
+                .fetch_add(value.cipher_bytes(self.engine.degree()), Ordering::Relaxed)
+                + value.cipher_bytes(self.engine.degree());
+            self.peak_bytes.fetch_max(bytes, Ordering::Relaxed);
+        }
+        *self.slots[i].write().unwrap() = Some(value);
+    }
+
+    fn release_operand(&self, v: usize) {
+        if self.remaining_uses[v].fetch_sub(1, Ordering::AcqRel) == 1 && !self.keep[v] {
+            if let Some(val) = self.slots[v].write().unwrap().take() {
+                if val.is_cipher() {
+                    self.live_cipher.fetch_sub(1, Ordering::Relaxed);
+                    self.live_bytes
+                        .fetch_sub(val.cipher_bytes(self.engine.degree()), Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Runs operation `i` end to end; returns the consumers that became
+    /// ready.
+    fn run_op(&self, i: usize) -> Result<Vec<usize>, ExecError> {
+        let op = &self.engine.prog().func.ops()[i];
+        let operands = op.operands();
+        let (value, us, injected_var) =
+            if operands.is_empty() && self.slots[i].read().unwrap().is_some() {
+                // Pre-encrypted input: admit it through fault injection and
+                // guards, exactly as a computed value would be.
+                let mut value = self.slots[i].write().unwrap().take().expect("input value");
+                let injected = self.engine.admit_value(i, &mut value)?;
+                (value, 0.0, injected)
+            } else {
+                let guards: Vec<_> = operands
+                    .iter()
+                    .map(|v| self.slots[v.index()].read().unwrap())
+                    .collect();
+                let refs: Vec<&OpValue> = guards
+                    .iter()
+                    .map(|g| g.as_ref().expect("operand computed before consumer"))
+                    .collect();
+                self.engine.exec_op(i, &refs)?
+            };
+        if let Some(monitor) = &self.monitor {
+            self.engine
+                .check_noise(&mut monitor.lock().unwrap(), i, injected_var)?;
+        }
+        self.op_us.lock().unwrap()[i] = us;
+        self.publish(i, value);
+        for v in &operands {
+            self.release_operand(v.index());
+        }
+        let mut newly_ready = Vec::new();
+        for &user in &self.users[i] {
+            if self.indegree[user].fetch_sub(1, Ordering::AcqRel) == 1 {
+                newly_ready.push(user);
+            }
+        }
+        Ok(newly_ready)
+    }
+
+    fn worker(&self, total: usize) {
+        loop {
+            let i = {
+                let mut ready = self.ready.lock().unwrap();
+                loop {
+                    if self.failed.load(Ordering::SeqCst)
+                        || self.completed.load(Ordering::SeqCst) == total
+                    {
+                        return;
+                    }
+                    if let Some(i) = ready.pop_front() {
+                        break i;
+                    }
+                    ready = self.wake.wait(ready).unwrap();
+                }
+            };
+            match self.run_op(i) {
+                Ok(newly_ready) => {
+                    if !newly_ready.is_empty() {
+                        let mut ready = self.ready.lock().unwrap();
+                        for j in newly_ready {
+                            ready.push_back(j);
+                        }
+                        drop(ready);
+                        self.wake.notify_all();
+                    }
+                    if self.completed.fetch_add(1, Ordering::SeqCst) + 1 == total {
+                        self.wake.notify_all();
+                    }
+                }
+                Err(e) => {
+                    self.fail(e);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Executes a compiled program under encryption with `jobs` worker
+/// threads scheduling the dependence DAG.
+///
+/// With `jobs == 1` this degenerates to sequential execution on the
+/// calling thread's schedule; results are bit-identical at any job count
+/// (see the module docs).
+///
+/// # Errors
+/// Returns [`ExecError`] on input, evaluator, or guard failures — the
+/// first failure wins and remaining work is abandoned.
+///
+/// # Panics
+/// Panics if a worker thread panics (which the engine kernels do not).
+pub fn execute_parallel(
+    engine: &ExecEngine,
+    inputs: &HashMap<String, Vec<f64>>,
+    jobs: usize,
+) -> Result<EncryptedRun, ExecError> {
+    let jobs = jobs.max(1);
+    let prog = engine.prog().clone();
+    let n = prog.func.len();
+    let pre = engine.encrypt_inputs(inputs)?;
+
+    let mut users: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indegree = Vec::with_capacity(n);
+    let mut initial: VecDeque<usize> = VecDeque::new();
+    for (i, op) in prog.func.ops().iter().enumerate() {
+        let operands = op.operands();
+        indegree.push(AtomicUsize::new(operands.len()));
+        if operands.is_empty() {
+            initial.push_back(i);
+        }
+        for v in operands {
+            users[v.index()].push(i);
+        }
+    }
+    let mut keep = vec![false; n];
+    for (_, v) in prog.func.outputs() {
+        keep[v.index()] = true;
+    }
+    let remaining_uses = (0..n).map(|v| AtomicUsize::new(users[v].len())).collect();
+
+    let shared = Shared {
+        engine,
+        slots: pre.into_iter().map(RwLock::new).collect(),
+        indegree,
+        users,
+        remaining_uses,
+        keep,
+        ready: Mutex::new(initial),
+        wake: Condvar::new(),
+        completed: AtomicUsize::new(0),
+        failed: AtomicBool::new(false),
+        error: Mutex::new(None),
+        monitor: engine.new_monitor().map(Mutex::new),
+        op_us: Mutex::new(vec![0.0; n]),
+        live_cipher: AtomicUsize::new(0),
+        peak_live: AtomicUsize::new(0),
+        live_bytes: AtomicUsize::new(0),
+        peak_bytes: AtomicUsize::new(0),
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| shared.worker(n));
+        }
+    });
+
+    if let Some(e) = shared.error.lock().unwrap().take() {
+        return Err(e);
+    }
+    assert_eq!(
+        shared.completed.load(Ordering::SeqCst),
+        n,
+        "scheduler drained without completing the DAG"
+    );
+
+    let mut outputs = HashMap::new();
+    for (name, v) in prog.func.outputs() {
+        let slot = shared.slots[v.index()].read().unwrap();
+        let value = slot.as_ref().expect("output value retained");
+        outputs.insert(name.clone(), engine.decrypt_output(value));
+    }
+    let op_us = shared.op_us.into_inner().unwrap();
+    let total_us = op_us.iter().sum();
+    Ok(EncryptedRun {
+        outputs,
+        total_us,
+        op_us,
+        peak_live: shared.peak_live.load(Ordering::Relaxed),
+        peak_bytes: shared.peak_bytes.load(Ordering::Relaxed),
+        degree: engine.degree(),
+        chain_len: engine.chain_len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hecate_backend::exec::{execute_sequential, BackendOptions, GuardOptions};
+    use hecate_compiler::{compile, CompileOptions, Scheme};
+    use hecate_ir::FunctionBuilder;
+    use std::sync::Arc;
+
+    fn engine() -> ExecEngine {
+        let mut b = FunctionBuilder::new("diamond", 8);
+        let x = b.input_cipher("x");
+        let y = b.input_cipher("y");
+        let x2 = b.square(x);
+        let y2 = b.square(y);
+        let s = b.add(x2, y2);
+        let c = b.splat(0.5);
+        let m = b.mul(s, c);
+        b.output(m);
+        let mut opts = CompileOptions::with_waterline(22.0);
+        opts.degree = Some(64);
+        let prog = compile(&b.finish(), Scheme::Hecate, &opts).unwrap();
+        ExecEngine::new(Arc::new(prog), &BackendOptions::default()).unwrap()
+    }
+
+    fn inputs() -> HashMap<String, Vec<f64>> {
+        let mut m = HashMap::new();
+        m.insert("x".into(), vec![1.0, -2.0, 0.5, 3.0, 0.0, 1.5, -1.0, 2.0]);
+        m.insert("y".into(), vec![0.5, 1.0, -0.5, 2.0, 1.0, 0.0, -2.0, 1.0]);
+        m
+    }
+
+    #[test]
+    fn parallel_equals_sequential_bitwise() {
+        let engine = engine();
+        let seq = execute_sequential(&engine, &inputs()).unwrap();
+        for jobs in [1, 2, 4] {
+            let par = execute_parallel(&engine, &inputs(), jobs).unwrap();
+            for (name, want) in &seq.outputs {
+                assert_eq!(&par.outputs[name], want, "jobs={jobs} output {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_input_propagates() {
+        let engine = engine();
+        let mut partial = inputs();
+        partial.remove("y");
+        let err = execute_parallel(&engine, &partial, 4).unwrap_err();
+        assert!(matches!(err, ExecError::MissingInput { .. }));
+    }
+
+    #[test]
+    fn noise_budget_failure_propagates() {
+        let mut b = FunctionBuilder::new("deep", 8);
+        let x = b.input_cipher("x");
+        let mut acc = x;
+        for _ in 0..3 {
+            acc = b.square(acc);
+        }
+        b.output(acc);
+        let mut opts = CompileOptions::with_waterline(18.0);
+        opts.degree = Some(64);
+        let prog = compile(&b.finish(), Scheme::Hecate, &opts).unwrap();
+        // An absurdly tight RMS budget: the first rescale already exceeds it.
+        let bopts = BackendOptions {
+            guard: GuardOptions {
+                max_rms: Some(1e-12),
+                ..GuardOptions::default()
+            },
+            ..BackendOptions::default()
+        };
+        let engine = ExecEngine::new(Arc::new(prog), &bopts).unwrap();
+        let err = execute_parallel(&engine, &inputs(), 2).unwrap_err();
+        assert!(matches!(err, ExecError::BudgetExhausted { .. }));
+    }
+}

@@ -1,0 +1,132 @@
+//! Multi-tenant serving layer for compiled HECATE programs.
+//!
+//! The compiler amortizes badly when every request recompiles: SMU
+//! construction and hill-climbing SMSE exploration dwarf a cache probe.
+//! This crate turns the compile-then-execute pipeline into a serving
+//! runtime with three subsystems:
+//!
+//! - [`cache`] — a **content-addressed plan cache**: submissions are
+//!   keyed by a stable FNV-1a hash of the program's canonical print form,
+//!   the scheme, and the compile-options fingerprint. Concurrent misses
+//!   on the same key are *single-flighted*: one thread compiles, the rest
+//!   block until the artifact is published. Failures are not cached.
+//! - [`session`] — a **session manager** owning per-tenant key material.
+//!   Each session's keys derive from its own seed, so ciphertexts never
+//!   cross sessions (decrypting under another session's key yields
+//!   noise); plans are shared, keys are not. Evaluation keys are built
+//!   lazily, on a session's first use of a plan, from the cached
+//!   artifact's rotation/relinearization requirements.
+//! - [`executor`] — a **parallel encrypted executor** scheduling the SSA
+//!   dependence DAG over a std-only worker pool, bit-identical to
+//!   sequential execution at any thread count, with all per-operation
+//!   guard checks preserved.
+//!
+//! [`Runtime`] wires them together behind a request queue ([`pool`]),
+//! and [`stats`] exports cache, queue, latency, and utilization counters
+//! as JSON.
+//!
+//! # Example
+//!
+//! ```
+//! use hecate_runtime::{Request, Runtime, RuntimeConfig};
+//! use hecate_compiler::{CompileOptions, Scheme};
+//! use hecate_ir::FunctionBuilder;
+//! use std::collections::HashMap;
+//!
+//! let mut b = FunctionBuilder::new("square", 8);
+//! let x = b.input_cipher("x");
+//! let sq = b.square(x);
+//! b.output(sq);
+//! let func = b.finish();
+//!
+//! let mut options = CompileOptions::with_waterline(25.0);
+//! options.degree = Some(128); // toy ring for the doctest
+//!
+//! let rt = Runtime::new(RuntimeConfig::default());
+//! let session = rt.open_session();
+//! let mut inputs = HashMap::new();
+//! inputs.insert("x".to_string(), vec![1.5, -2.0]);
+//! let req = Request { session, func, scheme: Scheme::Hecate, options, inputs };
+//!
+//! let first = rt.run_batch(vec![req.clone()]).remove(0).unwrap();
+//! assert!(!first.cache_hit);
+//! let second = rt.run_batch(vec![req]).remove(0).unwrap();
+//! assert!(second.cache_hit, "identical resubmission must not recompile");
+//! assert_eq!(rt.stats().compiles, 1);
+//! assert!((second.run.outputs["out0"][0] - 2.25).abs() < 1e-2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod executor;
+pub mod pool;
+pub mod session;
+pub mod stats;
+
+pub use cache::{plan_key, PlanArtifact, PlanCache};
+pub use executor::execute_parallel;
+pub use pool::{Request, Response, Runtime, RuntimeConfig};
+pub use session::{Session, SessionId, SessionManager};
+pub use stats::{RuntimeStats, StatsSnapshot};
+
+use hecate_backend::ExecError;
+use hecate_compiler::CompileError;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The compiler pipeline rejected the submitted program.
+    Compile(CompileError),
+    /// Encrypted execution (or engine construction) failed.
+    Exec(ExecError),
+    /// The request named a session that is not open.
+    UnknownSession(SessionId),
+    /// The runtime shut down before the request completed.
+    Shutdown,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Compile(e) => write!(f, "compile error: {e}"),
+            RuntimeError::Exec(e) => write!(f, "execution error: {e}"),
+            RuntimeError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            RuntimeError::Shutdown => write!(f, "runtime shut down"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Compile(e) => Some(e),
+            RuntimeError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod send_sync {
+    //! The serving layer shares engines, plans, and caches across worker
+    //! threads by reference; these compile-time assertions pin down the
+    //! thread-safety contract end to end.
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn runtime_types_are_send_sync() {
+        assert_send_sync::<PlanCache>();
+        assert_send_sync::<PlanArtifact>();
+        assert_send_sync::<Session>();
+        assert_send_sync::<SessionManager>();
+        assert_send_sync::<RuntimeStats>();
+        assert_send_sync::<Runtime>();
+        assert_send_sync::<RuntimeError>();
+        assert_send_sync::<hecate_backend::ExecEngine>();
+        assert_send_sync::<hecate_backend::OpValue>();
+    }
+}

@@ -1,0 +1,236 @@
+//! The serving runtime: a request queue feeding a worker pool.
+//!
+//! [`Runtime`] owns the three subsystems and wires them together per
+//! request: the [`PlanCache`] resolves (or compiles, once) the plan, the
+//! [`SessionManager`] resolves the tenant's engine (building keys on
+//! first use), and the executor runs the request — sequentially, or with
+//! [`execute_parallel`] when `jobs_per_request > 1`. Worker threads pull
+//! from a shared queue; [`RuntimeStats`] observes every stage.
+
+use crate::cache::{plan_key, PlanCache};
+use crate::executor::execute_parallel;
+use crate::session::{SessionId, SessionManager};
+use crate::stats::{RuntimeStats, StatsSnapshot};
+use crate::RuntimeError;
+use hecate_backend::exec::{execute_sequential, BackendOptions, EncryptedRun};
+use hecate_compiler::{CompileOptions, Scheme};
+use hecate_ir::Function;
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration of one [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker threads pulling from the request queue (inter-request
+    /// parallelism).
+    pub workers: usize,
+    /// DAG worker threads per request (intra-request parallelism);
+    /// `1` executes each request sequentially.
+    pub jobs_per_request: usize,
+    /// Backend options applied to every engine. The seed field is
+    /// overridden per session.
+    pub backend: BackendOptions,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 2,
+            jobs_per_request: 1,
+            backend: BackendOptions::default(),
+        }
+    }
+}
+
+/// One unit of serving work: a program to run for a session.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The tenant session executing (and paying the keys for) this run.
+    pub session: SessionId,
+    /// The source program (pre-scale-management IR).
+    pub func: Function,
+    /// Scale-management scheme to compile with.
+    pub scheme: Scheme,
+    /// Compiler options; part of the cache key.
+    pub options: CompileOptions,
+    /// Input bindings.
+    pub inputs: HashMap<String, Vec<f64>>,
+}
+
+/// The outcome of one served request.
+#[derive(Debug)]
+pub struct Response {
+    /// The encrypted run (outputs, timings, memory peaks).
+    pub run: EncryptedRun,
+    /// Whether the plan came out of the cache without compiling.
+    pub cache_hit: bool,
+    /// The content-addressed plan key this request resolved to.
+    pub plan_key: u64,
+    /// End-to-end latency (queue wait + compile/lookup + execution),
+    /// microseconds.
+    pub latency_us: f64,
+}
+
+struct Job {
+    req: Request,
+    reply: mpsc::Sender<Result<Response, RuntimeError>>,
+    enqueued: Instant,
+}
+
+struct Inner {
+    config: RuntimeConfig,
+    cache: PlanCache,
+    sessions: SessionManager,
+    stats: Arc<RuntimeStats>,
+    queue: Mutex<mpsc::Receiver<Job>>,
+}
+
+impl Inner {
+    fn serve(&self, job: Job) {
+        self.stats.record_dequeue();
+        let t0 = Instant::now();
+        let result = self.process(&job.req);
+        let busy_us = t0.elapsed().as_secs_f64() * 1e6;
+        let latency_us = job.enqueued.elapsed().as_secs_f64() * 1e6;
+        self.stats.record_done(result.is_ok(), latency_us, busy_us);
+        let result = result.map(|mut resp| {
+            resp.latency_us = latency_us;
+            resp
+        });
+        // A dropped receiver means the client gave up; nothing to do.
+        let _ = job.reply.send(result);
+    }
+
+    fn process(&self, req: &Request) -> Result<Response, RuntimeError> {
+        let key = plan_key(&req.func, req.scheme, &req.options);
+        let cache_hit = self.cache.get(key).is_some();
+        let artifact = self
+            .cache
+            .get_or_compile(&req.func, req.scheme, &req.options)?;
+        let session = self.sessions.get(req.session)?;
+        let engine = session.engine(&artifact, &self.config.backend)?;
+        let run = if self.config.jobs_per_request > 1 {
+            execute_parallel(&engine, &req.inputs, self.config.jobs_per_request)
+        } else {
+            execute_sequential(&engine, &req.inputs)
+        }
+        .map_err(RuntimeError::Exec)?;
+        Ok(Response {
+            run,
+            cache_hit,
+            plan_key: key,
+            latency_us: 0.0,
+        })
+    }
+}
+
+/// A multi-tenant serving runtime (see the crate docs for the tour).
+pub struct Runtime {
+    inner: Arc<Inner>,
+    submit: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Starts a runtime with `config.workers` serving threads.
+    pub fn new(config: RuntimeConfig) -> Runtime {
+        let stats = Arc::new(RuntimeStats::new());
+        let (tx, rx) = mpsc::channel::<Job>();
+        let inner = Arc::new(Inner {
+            cache: PlanCache::new(stats.clone()),
+            sessions: SessionManager::new(config.backend.seed),
+            stats,
+            queue: Mutex::new(rx),
+            config,
+        });
+        let workers = (0..inner.config.workers.max(1))
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || loop {
+                    // Hold the queue lock only for the blocking receive;
+                    // processing happens unlocked so workers overlap.
+                    let job = { inner.queue.lock().unwrap().recv() };
+                    match job {
+                        Ok(job) => inner.serve(job),
+                        Err(_) => return, // runtime shut down
+                    }
+                })
+            })
+            .collect();
+        Runtime {
+            inner,
+            submit: Some(tx),
+            workers,
+        }
+    }
+
+    /// Opens a tenant session and returns its id.
+    pub fn open_session(&self) -> SessionId {
+        self.inner.sessions.open().id()
+    }
+
+    /// Closes a tenant session, dropping its keys.
+    pub fn close_session(&self, id: SessionId) {
+        self.inner.sessions.close(id);
+    }
+
+    /// Enqueues a request; the returned receiver yields the response when
+    /// a worker finishes it.
+    ///
+    /// # Panics
+    /// Panics if called after `shutdown` (the public API consumes the
+    /// runtime on shutdown, so this cannot happen from safe use).
+    pub fn submit(&self, req: Request) -> mpsc::Receiver<Result<Response, RuntimeError>> {
+        let (tx, rx) = mpsc::channel();
+        self.inner.stats.record_enqueue();
+        self.submit
+            .as_ref()
+            .expect("runtime is running")
+            .send(Job {
+                req,
+                reply: tx,
+                enqueued: Instant::now(),
+            })
+            .expect("workers alive while runtime exists");
+        rx
+    }
+
+    /// Runs a batch of requests across the worker pool, returning the
+    /// responses in submission order.
+    pub fn run_batch(&self, reqs: Vec<Request>) -> Vec<Result<Response, RuntimeError>> {
+        let receivers: Vec<_> = reqs.into_iter().map(|r| self.submit(r)).collect();
+        receivers
+            .into_iter()
+            .map(|rx| rx.recv().unwrap_or(Err(RuntimeError::Shutdown)))
+            .collect()
+    }
+
+    /// A snapshot of the runtime's counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot(self.inner.config.workers)
+    }
+
+    /// Number of compiled plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.inner.cache.len()
+    }
+
+    /// Drains the queue and joins the worker threads.
+    pub fn shutdown(mut self) {
+        self.submit.take(); // close the channel: workers exit at next recv
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.submit.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

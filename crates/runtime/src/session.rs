@@ -1,0 +1,202 @@
+//! Per-tenant sessions: key material and engine ownership.
+//!
+//! A [`Session`] is the unit of cryptographic isolation. Each session has
+//! its own key seed, so its secret/public/evaluation keys are disjoint
+//! from every other session's; a ciphertext produced under one session's
+//! keys decrypts to noise under another's (see the `cross_session`
+//! test). Compiled plans are *shared* across sessions through the
+//! [`crate::cache::PlanCache`] — only key material is per-tenant.
+//!
+//! Engines are created lazily: the first time a session executes a given
+//! plan, an [`ExecEngine`] is built, generating exactly the Galois and
+//! relinearization keys that plan's [`crate::cache::PlanArtifact`] calls
+//! for. The engine (and thus the key material) is then cached per
+//! `(session, plan key)` and shared by reference among worker threads —
+//! every `ExecEngine` method takes `&self`.
+
+use crate::cache::PlanArtifact;
+use crate::RuntimeError;
+use hecate_backend::exec::{BackendOptions, ExecEngine};
+use hecate_ir::hash::Fnv1a;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Identifies a tenant session within one [`crate::Runtime`].
+pub type SessionId = u64;
+
+/// One tenant's cryptographic context.
+pub struct Session {
+    id: SessionId,
+    /// Key-generation seed; all engines of this session derive their
+    /// secret key from it, so the session has one identity across plans.
+    seed: u64,
+    engines: Mutex<HashMap<u64, Arc<ExecEngine>>>,
+}
+
+impl Session {
+    fn new(id: SessionId, seed: u64) -> Self {
+        Session {
+            id,
+            seed,
+            engines: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// This session's identifier.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// This session's key seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of plans this session has built engines (and keys) for.
+    pub fn engine_count(&self) -> usize {
+        self.engines.lock().unwrap().len()
+    }
+
+    /// The engine executing `artifact` under this session's keys,
+    /// building it (keygen + evaluation keys) on first use.
+    ///
+    /// # Errors
+    /// Propagates engine construction failures as
+    /// [`RuntimeError::Exec`].
+    ///
+    /// # Panics
+    /// Panics if another thread panicked while holding the engine map.
+    pub fn engine(
+        &self,
+        artifact: &PlanArtifact,
+        backend: &BackendOptions,
+    ) -> Result<Arc<ExecEngine>, RuntimeError> {
+        let mut engines = self.engines.lock().unwrap();
+        if let Some(engine) = engines.get(&artifact.key) {
+            return Ok(engine.clone());
+        }
+        let mut opts = backend.clone();
+        opts.seed = self.seed;
+        let engine =
+            Arc::new(ExecEngine::new(artifact.prog.clone(), &opts).map_err(RuntimeError::Exec)?);
+        engines.insert(artifact.key, engine.clone());
+        Ok(engine)
+    }
+}
+
+/// Creates and resolves [`Session`]s.
+pub struct SessionManager {
+    base_seed: u64,
+    sessions: Mutex<HashMap<SessionId, Arc<Session>>>,
+    next_id: Mutex<SessionId>,
+}
+
+impl SessionManager {
+    /// A manager deriving session seeds from `base_seed`.
+    pub fn new(base_seed: u64) -> Self {
+        SessionManager {
+            base_seed,
+            sessions: Mutex::new(HashMap::new()),
+            next_id: Mutex::new(1),
+        }
+    }
+
+    /// Opens a new session with a seed derived from the base seed and the
+    /// session id (FNV-mixed, so neighboring ids get unrelated seeds).
+    ///
+    /// # Panics
+    /// Panics if another thread panicked while holding the session map.
+    pub fn open(&self) -> Arc<Session> {
+        let id = {
+            let mut next = self.next_id.lock().unwrap();
+            let id = *next;
+            *next += 1;
+            id
+        };
+        let mut h = Fnv1a::new();
+        h.write(&self.base_seed.to_le_bytes());
+        h.write(&id.to_le_bytes());
+        let session = Arc::new(Session::new(id, h.finish()));
+        self.sessions.lock().unwrap().insert(id, session.clone());
+        session
+    }
+
+    /// Resolves an open session.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError::UnknownSession`] for ids never opened (or
+    /// already closed).
+    pub fn get(&self, id: SessionId) -> Result<Arc<Session>, RuntimeError> {
+        self.sessions
+            .lock()
+            .unwrap()
+            .get(&id)
+            .cloned()
+            .ok_or(RuntimeError::UnknownSession(id))
+    }
+
+    /// Closes a session, dropping its engines and key material.
+    pub fn close(&self, id: SessionId) {
+        self.sessions.lock().unwrap().remove(&id);
+    }
+
+    /// Number of open sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().unwrap().len()
+    }
+
+    /// True when no session is open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hecate_ckks::{CkksEncoder, CkksParams, Decryptor, Encryptor, KeyGenerator};
+
+    #[test]
+    fn sessions_get_distinct_seeds() {
+        let mgr = SessionManager::new(7);
+        let a = mgr.open();
+        let b = mgr.open();
+        assert_ne!(a.id(), b.id());
+        assert_ne!(a.seed(), b.seed());
+        assert_eq!(mgr.len(), 2);
+        mgr.close(a.id());
+        assert!(mgr.get(a.id()).is_err());
+        assert!(mgr.get(b.id()).is_ok());
+    }
+
+    /// The isolation invariant behind per-session keys: a ciphertext from
+    /// one session is garbage under another session's secret key.
+    #[test]
+    fn cross_session_decryption_yields_noise() {
+        let mgr = SessionManager::new(99);
+        let sa = mgr.open();
+        let sb = mgr.open();
+        let params = CkksParams::new(64, 40, 30, 1, false).unwrap();
+        let encoder = CkksEncoder::new(&params);
+        let message = vec![1.0; params.slots()];
+        let pt = encoder.encode(&message, 20.0, 0).unwrap();
+
+        let mut kg_a = KeyGenerator::new(&params, sa.seed());
+        let pk_a = kg_a.public_key();
+        let mut enc_a = Encryptor::new(&params, pk_a, sa.seed().wrapping_add(1));
+        let ct = enc_a.encrypt(&pt);
+
+        let dec_a = Decryptor::new(&params, kg_a.secret_key().clone());
+        let ok = encoder.decode(&dec_a.decrypt(&ct));
+        assert!((ok[0] - 1.0).abs() < 1e-2, "own key decrypts correctly");
+
+        let kg_b = KeyGenerator::new(&params, sb.seed());
+        let dec_b = Decryptor::new(&params, kg_b.secret_key().clone());
+        let garbage = encoder.decode(&dec_b.decrypt(&ct));
+        let rms = hecate_backend::rms_error(&ok, &garbage);
+        assert!(
+            rms > 1.0,
+            "cross-session decryption must be noise, rms={rms}"
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Lock-free runtime counters and their JSON export.
+//!
+//! One [`RuntimeStats`] instance is shared (behind an `Arc`) by the plan
+//! cache, the request queue, and every worker thread; all updates are
+//! relaxed atomics, so recording costs a few nanoseconds per event.
+//! [`RuntimeStats::snapshot`] materializes a consistent-enough
+//! [`StatsSnapshot`] for reporting, and the snapshot renders itself as
+//! JSON without any external dependency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of power-of-two latency buckets (bucket `k` holds requests with
+/// latency in `[2^k, 2^{k+1})` microseconds; the last bucket is open).
+pub const LATENCY_BUCKETS: usize = 24;
+
+/// Shared atomic counters for one [`crate::Runtime`].
+#[derive(Debug)]
+pub struct RuntimeStats {
+    /// Plan-cache lookups satisfied by an existing artifact.
+    cache_hits: AtomicU64,
+    /// Plan-cache lookups that found no artifact (compiles + waits).
+    cache_misses: AtomicU64,
+    /// Full compiler-pipeline runs. With single-flight this stays at one
+    /// per distinct plan key no matter how many requests race.
+    compiles: AtomicU64,
+    /// Requests completed successfully.
+    completed: AtomicU64,
+    /// Requests that returned an error.
+    failed: AtomicU64,
+    /// Requests currently queued, waiting for a worker.
+    queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    peak_queue_depth: AtomicU64,
+    /// Total time workers spent processing requests, microseconds.
+    busy_us: AtomicU64,
+    /// End-to-end request latency histogram (power-of-two µs buckets).
+    latency: [AtomicU64; LATENCY_BUCKETS],
+    /// Sum of end-to-end latencies, microseconds.
+    latency_sum_us: AtomicU64,
+    /// When this stats instance was created (for utilization).
+    started: Instant,
+}
+
+impl Default for RuntimeStats {
+    fn default() -> Self {
+        RuntimeStats {
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            peak_queue_depth: AtomicU64::new(0),
+            busy_us: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_sum_us: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl RuntimeStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a cache hit.
+    pub fn record_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cache miss.
+    pub fn record_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one run of the full compiler pipeline.
+    pub fn record_compile(&self) {
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request entering the queue.
+    pub fn record_enqueue(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records a request leaving the queue (a worker picked it up).
+    pub fn record_dequeue(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a finished request with its end-to-end latency and the
+    /// worker time it consumed.
+    pub fn record_done(&self, ok: bool, latency_us: f64, busy_us: f64) {
+        if ok {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = latency_us.max(0.0) as u64;
+        let bucket = (64 - us.leading_zeros() as usize)
+            .saturating_sub(1)
+            .min(LATENCY_BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.busy_us
+            .fetch_add(busy_us.max(0.0) as u64, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self, workers: usize) -> StatsSnapshot {
+        let uptime_us = self.started.elapsed().as_secs_f64() * 1e6;
+        let busy = self.busy_us.load(Ordering::Relaxed);
+        StatsSnapshot {
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            busy_us: busy,
+            latency_sum_us: self.latency_sum_us.load(Ordering::Relaxed),
+            latency_buckets: std::array::from_fn(|k| self.latency[k].load(Ordering::Relaxed)),
+            workers,
+            utilization: if uptime_us > 0.0 && workers > 0 {
+                (busy as f64 / (uptime_us * workers as f64)).min(1.0)
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// A point-in-time copy of [`RuntimeStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses.
+    pub cache_misses: u64,
+    /// Compiler-pipeline runs (≤ distinct plan keys, thanks to
+    /// single-flight).
+    pub compiles: u64,
+    /// Successfully completed requests.
+    pub completed: u64,
+    /// Failed requests.
+    pub failed: u64,
+    /// Requests currently queued.
+    pub queue_depth: u64,
+    /// High-water mark of the queue depth.
+    pub peak_queue_depth: u64,
+    /// Total worker busy time, microseconds.
+    pub busy_us: u64,
+    /// Sum of end-to-end request latencies, microseconds.
+    pub latency_sum_us: u64,
+    /// Latency histogram: bucket `k` counts requests in
+    /// `[2^k, 2^{k+1})` µs.
+    pub latency_buckets: [u64; LATENCY_BUCKETS],
+    /// Number of worker threads the runtime was configured with.
+    pub workers: usize,
+    /// Fraction of worker wall-clock spent busy since startup, in `[0,1]`.
+    pub utilization: f64,
+}
+
+impl StatsSnapshot {
+    /// Mean end-to-end latency in microseconds (0 with no requests).
+    pub fn mean_latency_us(&self) -> f64 {
+        let n = self.completed + self.failed;
+        if n == 0 {
+            0.0
+        } else {
+            self.latency_sum_us as f64 / n as f64
+        }
+    }
+
+    /// Renders the snapshot as a JSON object.
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self.latency_buckets.iter().map(|c| c.to_string()).collect();
+        format!(
+            concat!(
+                "{{\"cache_hits\":{},\"cache_misses\":{},\"compiles\":{},",
+                "\"completed\":{},\"failed\":{},\"queue_depth\":{},",
+                "\"peak_queue_depth\":{},\"busy_us\":{},\"workers\":{},",
+                "\"utilization\":{:.4},\"mean_latency_us\":{:.1},",
+                "\"latency_buckets_pow2_us\":[{}]}}"
+            ),
+            self.cache_hits,
+            self.cache_misses,
+            self.compiles,
+            self.completed,
+            self.failed,
+            self.queue_depth,
+            self.peak_queue_depth,
+            self.busy_us,
+            self.workers,
+            self.utilization,
+            self.mean_latency_us(),
+            buckets.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = RuntimeStats::new();
+        s.record_miss();
+        s.record_compile();
+        s.record_hit();
+        s.record_hit();
+        s.record_enqueue();
+        s.record_enqueue();
+        s.record_dequeue();
+        s.record_done(true, 100.0, 80.0);
+        s.record_done(false, 3.0, 2.0);
+        let snap = s.snapshot(2);
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.compiles, 1);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.queue_depth, 1);
+        assert_eq!(snap.peak_queue_depth, 2);
+        assert_eq!(snap.busy_us, 82);
+        // 100 µs lands in bucket 6 ([64,128)), 3 µs in bucket 1 ([2,4)).
+        assert_eq!(snap.latency_buckets[6], 1);
+        assert_eq!(snap.latency_buckets[1], 1);
+        assert!((snap.mean_latency_us() - 51.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let s = RuntimeStats::new();
+        s.record_done(true, 10.0, 5.0);
+        let json = s.snapshot(4).to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"compiles\":0"));
+        assert!(json.contains("\"workers\":4"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

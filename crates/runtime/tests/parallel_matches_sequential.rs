@@ -1,0 +1,64 @@
+//! Bit-identity of the parallel executor against the sequential one.
+//!
+//! Randomness lives only in key generation and input encryption, both of
+//! which happen before DAG scheduling; every homomorphic kernel is
+//! deterministic. Therefore the parallel executor must agree with
+//! `execute_sequential` *exactly* — not approximately — on every
+//! benchmark workload, at every worker count.
+
+use hecate_apps::{all_benchmarks, Preset};
+use hecate_backend::exec::{execute_sequential, BackendOptions, ExecEngine};
+use hecate_compiler::{compile, CompileOptions, Scheme};
+use hecate_runtime::execute_parallel;
+use std::sync::Arc;
+
+fn backend() -> BackendOptions {
+    BackendOptions {
+        degree_override: Some(512),
+        ..BackendOptions::default()
+    }
+}
+
+#[test]
+fn every_app_workload_is_bit_identical() {
+    let mut opts = CompileOptions::with_waterline(24.0);
+    opts.degree = Some(512);
+    for bench in all_benchmarks(Preset::Small) {
+        let prog = compile(&bench.func, Scheme::Pars, &opts)
+            .unwrap_or_else(|e| panic!("{} failed to compile: {e}", bench.name));
+        let engine = ExecEngine::new(Arc::new(prog), &backend()).unwrap();
+        let seq = execute_sequential(&engine, &bench.inputs).unwrap();
+        for jobs in [2, 4] {
+            let par = execute_parallel(&engine, &bench.inputs, jobs).unwrap();
+            assert_eq!(
+                seq.outputs.len(),
+                par.outputs.len(),
+                "{}: output arity",
+                bench.name
+            );
+            for (name, want) in &seq.outputs {
+                let got = &par.outputs[name];
+                assert_eq!(
+                    got, want,
+                    "{} output '{name}' diverged at jobs={jobs}",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hecate_scheme_is_bit_identical_too() {
+    let bench = all_benchmarks(Preset::Small)
+        .into_iter()
+        .find(|b| b.name == "SF")
+        .unwrap();
+    let mut opts = CompileOptions::with_waterline(24.0);
+    opts.degree = Some(512);
+    let prog = compile(&bench.func, Scheme::Hecate, &opts).unwrap();
+    let engine = ExecEngine::new(Arc::new(prog), &backend()).unwrap();
+    let seq = execute_sequential(&engine, &bench.inputs).unwrap();
+    let par = execute_parallel(&engine, &bench.inputs, 4).unwrap();
+    assert_eq!(seq.outputs, par.outputs);
+}

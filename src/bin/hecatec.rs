@@ -7,7 +7,7 @@
 //! random inputs.
 //!
 //! ```text
-//! usage: hecatec <file.heir> [options]
+//! usage: hecatec <file.heir>... [options]
 //!   --scheme eva|pars|smse|hecate   (default hecate)
 //!   --waterline BITS                (default 24)
 //!   --sf BITS                       (default 60)
@@ -17,22 +17,37 @@
 //!   --quiet                         suppress the compiled IR listing
 //!   --strict                        fail on the first error; no fallback (default)
 //!   --fallback                      degrade gracefully down the scheme ladder
+//!   --save-plan PATH                write the compiled plan (HECATE-PLAN v1 text)
+//!   --load-plan PATH                reuse a saved plan instead of compiling
+//!   --serve                         serve mode: run all files through hecate-runtime
+//!   --jobs N                        serve-mode worker threads (default 2)
+//!   --repeat K                      serve mode: submit each file K times (default 2)
 //! ```
+//!
+//! Serve mode compiles each file once through the content-addressed plan
+//! cache, runs every submission under encryption in its own tenant
+//! session, and prints per-request latency plus the runtime's stats JSON
+//! — a batch-shaped stand-in for a long-running serving deployment.
 //!
 //! Exit codes: 0 success; 2 usage error; 3 input unreadable/unparsable;
 //! 4 compilation failed (in `--fallback` mode: every rung failed);
 //! 5 encrypted execution failed.
 
 use hecate::backend::exec::{execute_encrypted, BackendOptions};
-use hecate::compiler::{compile, compile_with_fallback, CompileOptions, FallbackRung, Scheme};
+use hecate::compiler::{
+    compile, compile_with_fallback, deserialize_plan, serialize_plan, CompileOptions,
+    CompiledProgram, FallbackRung, Scheme,
+};
 use hecate::ir::parse::parse_function;
 use hecate::ir::print::print_function;
+use hecate::ir::Function;
 use hecate::math::rng::Xoshiro256;
+use hecate::runtime::{Request, Runtime, RuntimeConfig, RuntimeError};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 struct Args {
-    file: String,
+    files: Vec<String>,
     scheme: Scheme,
     waterline: f64,
     sf: f64,
@@ -41,12 +56,17 @@ struct Args {
     breakdown: bool,
     quiet: bool,
     fallback: bool,
+    save_plan: Option<String>,
+    load_plan: Option<String>,
+    serve: bool,
+    jobs: usize,
+    repeat: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let mut out = Args {
-        file: String::new(),
+        files: Vec::new(),
         scheme: Scheme::Hecate,
         waterline: 24.0,
         sf: 60.0,
@@ -55,6 +75,11 @@ fn parse_args() -> Result<Args, String> {
         breakdown: false,
         quiet: false,
         fallback: false,
+        save_plan: None,
+        load_plan: None,
+        serve: false,
+        jobs: 2,
+        repeat: 2,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -86,14 +111,158 @@ fn parse_args() -> Result<Args, String> {
             "--quiet" => out.quiet = true,
             "--strict" => out.fallback = false,
             "--fallback" => out.fallback = true,
-            f if !f.starts_with('-') && out.file.is_empty() => out.file = f.to_string(),
+            "--save-plan" => out.save_plan = Some(args.next().ok_or("bad --save-plan")?),
+            "--load-plan" => out.load_plan = Some(args.next().ok_or("bad --load-plan")?),
+            "--serve" => out.serve = true,
+            "--jobs" => {
+                out.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("bad --jobs")?
+            }
+            "--repeat" => {
+                out.repeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("bad --repeat")?
+            }
+            f if !f.starts_with('-') => out.files.push(f.to_string()),
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    if out.file.is_empty() {
+    if out.files.is_empty() {
         return Err("no input file".into());
     }
+    if !out.serve && out.files.len() > 1 {
+        return Err("multiple input files require --serve".into());
+    }
     Ok(out)
+}
+
+/// Deterministic random inputs for every `input` of a function.
+fn synth_inputs(func: &Function, seed: u64) -> HashMap<String, Vec<f64>> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut inputs: HashMap<String, Vec<f64>> = HashMap::new();
+    for op in func.ops() {
+        if let hecate::ir::Op::Input { name } = op {
+            inputs.entry(name.clone()).or_insert_with(|| {
+                (0..func.vec_size)
+                    .map(|_| rng.next_range_f64(-1.0, 1.0))
+                    .collect()
+            });
+        }
+    }
+    inputs
+}
+
+fn load_functions(files: &[String]) -> Result<Vec<(String, Function)>, String> {
+    files
+        .iter()
+        .map(|file| {
+            let src =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            let func = parse_function(&src).map_err(|e| format!("{file}: {e}"))?;
+            Ok((file.clone(), func))
+        })
+        .collect()
+}
+
+/// Batch serving: every file becomes a tenant session; each program is
+/// submitted `repeat` times, so all but the first submission of a given
+/// program hit the plan cache.
+fn serve(args: &Args, opts: &CompileOptions) -> ExitCode {
+    let funcs = match load_functions(&args.files) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("hecatec: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let rt = Runtime::new(RuntimeConfig {
+        workers: args.jobs,
+        ..RuntimeConfig::default()
+    });
+    let mut reqs = Vec::new();
+    let mut labels = Vec::new();
+    for (k, (file, func)) in funcs.iter().enumerate() {
+        let session = rt.open_session();
+        let inputs = synth_inputs(func, 1 + k as u64);
+        for round in 0..args.repeat {
+            labels.push(format!("{file}#{round}"));
+            reqs.push(Request {
+                session,
+                func: func.clone(),
+                scheme: args.scheme,
+                options: opts.clone(),
+                inputs: inputs.clone(),
+            });
+        }
+    }
+    println!(
+        "serving {} request(s) over {} file(s) with {} worker(s)",
+        reqs.len(),
+        funcs.len(),
+        args.jobs
+    );
+    let results = rt.run_batch(reqs);
+    let mut code = ExitCode::SUCCESS;
+    for (label, result) in labels.iter().zip(&results) {
+        match result {
+            Ok(resp) => println!(
+                "  {label}: {} in {:.1}ms (exec {:.1}ms, plan {:016x})",
+                if resp.cache_hit {
+                    "cache hit "
+                } else {
+                    "compiled  "
+                },
+                resp.latency_us / 1e3,
+                resp.run.total_us / 1e3,
+                resp.plan_key
+            ),
+            Err(e) => {
+                eprintln!("  {label}: FAILED: {e}");
+                code = ExitCode::from(match e {
+                    RuntimeError::Compile(_) => 4,
+                    _ => 5,
+                });
+            }
+        }
+    }
+    println!("stats: {}", rt.stats().to_json());
+    rt.shutdown();
+    code
+}
+
+fn obtain_plan(
+    args: &Args,
+    func: &Function,
+    opts: &CompileOptions,
+) -> Result<CompiledProgram, ExitCode> {
+    if let Some(path) = &args.load_plan {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("hecatec: cannot read {path}: {e}");
+            ExitCode::from(3)
+        })?;
+        return deserialize_plan(&text).map_err(|e| {
+            eprintln!("hecatec: {path}: {e}");
+            ExitCode::from(3)
+        });
+    }
+    let result = if args.fallback {
+        compile_with_fallback(func, args.scheme, opts)
+    } else {
+        compile(func, args.scheme, opts)
+    };
+    result.map_err(|e| {
+        if args.fallback {
+            eprintln!("hecatec: compilation failed on every fallback rung: {e}");
+        } else {
+            eprintln!("hecatec: compilation failed: {e}");
+        }
+        ExitCode::from(4)
+    })
 }
 
 fn main() -> ExitCode {
@@ -101,44 +270,39 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("hecatec: {e}");
-            eprintln!("usage: hecatec <file.heir> [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet] [--strict|--fallback]");
+            eprintln!("usage: hecatec <file.heir>... [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet] [--strict|--fallback] [--save-plan P] [--load-plan P] [--serve] [--jobs N] [--repeat K]");
             return ExitCode::from(2);
         }
     };
-    let src = match std::fs::read_to_string(&args.file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("hecatec: cannot read {}: {e}", args.file);
-            return ExitCode::from(3);
-        }
-    };
-    let func = match parse_function(&src) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("hecatec: {}: {e}", args.file);
-            return ExitCode::from(3);
-        }
-    };
-
     let mut opts = CompileOptions::with_waterline(args.waterline);
     opts.rescale_bits = args.sf;
     opts.degree = args.degree;
-    let result = if args.fallback {
-        compile_with_fallback(&func, args.scheme, &opts)
-    } else {
-        compile(&func, args.scheme, &opts)
-    };
-    let prog = match result {
-        Ok(p) => p,
+
+    if args.serve {
+        return serve(&args, &opts);
+    }
+
+    let funcs = match load_functions(&args.files) {
+        Ok(f) => f,
         Err(e) => {
-            if args.fallback {
-                eprintln!("hecatec: compilation failed on every fallback rung: {e}");
-            } else {
-                eprintln!("hecatec: compilation failed: {e}");
-            }
-            return ExitCode::from(4);
+            eprintln!("hecatec: {e}");
+            return ExitCode::from(3);
         }
     };
+    let (_, func) = funcs.into_iter().next().expect("one file checked");
+
+    let prog = match obtain_plan(&args, &func, &opts) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+
+    if let Some(path) = &args.save_plan {
+        if let Err(e) = std::fs::write(path, serialize_plan(&prog)) {
+            eprintln!("hecatec: cannot write {path}: {e}");
+            return ExitCode::from(3);
+        }
+        println!("plan saved to {path}");
+    }
 
     if !args.quiet {
         println!("{}", print_function(&prog.func, Some(&prog.types)));

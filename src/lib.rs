@@ -10,7 +10,10 @@
 //! - [`compiler`] — EVA baseline, PARS, SMU analysis, SMSE, and the
 //!   performance estimator;
 //! - [`backend`] — plaintext, noise-simulating, and encrypted executors;
-//! - [`apps`] — the paper's six evaluation benchmarks as IR builders.
+//! - [`apps`] — the paper's six evaluation benchmarks as IR builders;
+//! - [`runtime`] — the multi-tenant serving layer: content-addressed plan
+//!   cache, per-session key management, and a parallel encrypted
+//!   executor.
 //!
 //! # Quickstart
 //!
@@ -46,3 +49,4 @@ pub use hecate_ckks as ckks;
 pub use hecate_compiler as compiler;
 pub use hecate_ir as ir;
 pub use hecate_math as math;
+pub use hecate_runtime as runtime;
