@@ -378,6 +378,11 @@ pub struct CompiledProgram {
     pub scheme: Scheme,
     /// The selected RNS parameters.
     pub params: SelectedParams,
+    /// Content hash ([`hecate_ir::hash::function_hash`]) of the *source*
+    /// function this plan was compiled from (pre-canonicalization), so a
+    /// reloaded plan can be checked against the program it claims to
+    /// implement.
+    pub source_hash: u64,
     /// Compilation statistics.
     pub stats: CompileStats,
 }

@@ -39,6 +39,9 @@ pub fn compile(
     if opts.verify_passes {
         verify_input(func, "frontend")?;
     }
+    // Hash the function as submitted (before canonicalization): reloading
+    // a saved plan compares this against the re-parsed source file.
+    let source_hash = hecate_ir::hash::function_hash(func);
     let canonical;
     let func = if opts.canonicalize {
         canonical = hecate_ir::transform::canonicalize(func);
@@ -75,6 +78,7 @@ pub fn compile(
         cfg: opts.type_config(),
         scheme,
         params: candidate.params,
+        source_hash,
         stats,
     })
 }

@@ -2,10 +2,17 @@
 //!
 //! A [`CompiledProgram`] is the *compile once* artifact the serving layer
 //! amortizes: the scale-managed function, its types, the type-system
-//! environment, and the selected RNS parameters. This module renders all
-//! of that as a line-oriented text document (`HECATE-PLAN v1`) that
-//! survives a round trip exactly — the function via the canonical
-//! re-parsable print form, floats in Rust's shortest round-trip rendering.
+//! environment, the selected RNS parameters, and the content hash of the
+//! source function it was compiled from. This module renders all of that
+//! as a line-oriented text document (`HECATE-PLAN v1`) that survives a
+//! round trip exactly — the function via the canonical re-parsable print
+//! form, floats in Rust's shortest round-trip rendering.
+//!
+//! A reloaded plan is untrusted input: callers should re-verify it with
+//! [`hecate_ir::verify::verify_plan`] against
+//! [`CompiledProgram::bound_config`] before executing it (as `hecatec
+//! --load-plan` does), and can use the recorded source hash to detect a
+//! plan being replayed against a different source program.
 //!
 //! Exploration statistics (epochs, plans explored, SMU counts) describe
 //! the compilation *process*, not the artifact; they are not serialized.
@@ -89,6 +96,7 @@ pub fn serialize_plan(prog: &CompiledProgram) -> String {
         "estimate latency_us={} noise_bits={}",
         prog.stats.estimated_latency_us, prog.stats.estimated_noise_bits
     );
+    let _ = writeln!(s, "source hash={:016x}", prog.source_hash);
     let _ = writeln!(s, "types {}", prog.types.len());
     for t in &prog.types {
         match t {
@@ -179,6 +187,10 @@ pub fn deserialize_plan(text: &str) -> Result<CompiledProgram, PlanFormatError> 
     let estimated_latency_us: f64 = parsed(field(est_line, "latency_us")?, "latency_us")?;
     let estimated_noise_bits: f64 = parsed(field(est_line, "noise_bits")?, "noise_bits")?;
 
+    let source_line = lines.next().ok_or_else(|| bad("missing source line"))?;
+    let source_hash = u64::from_str_radix(field(source_line, "hash")?, 16)
+        .map_err(|_| bad(format!("bad source hash in '{source_line}'")))?;
+
     let count_line = lines.next().ok_or_else(|| bad("missing types line"))?;
     let n_types: usize = parsed(
         count_line
@@ -235,6 +247,7 @@ pub fn deserialize_plan(text: &str) -> Result<CompiledProgram, PlanFormatError> 
         cfg,
         scheme,
         params,
+        source_hash,
         stats,
     })
 }
@@ -273,6 +286,7 @@ mod tests {
             assert_eq!(back.cfg, prog.cfg, "{scheme}");
             assert_eq!(back.params, prog.params, "{scheme}");
             assert_eq!(back.scheme, prog.scheme);
+            assert_eq!(back.source_hash, prog.source_hash, "{scheme}");
             assert_eq!(
                 back.stats.estimated_latency_us,
                 prog.stats.estimated_latency_us
@@ -290,6 +304,32 @@ mod tests {
         let tys =
             hecate_ir::verify::verify_plan(&back.func, &back.bound_config(), "reload").unwrap();
         assert_eq!(tys, back.types);
+    }
+
+    #[test]
+    fn source_hash_names_the_submitted_function() {
+        // Deep enough that scale management must insert operations, so
+        // the compiled body provably differs from the source.
+        let mut b = FunctionBuilder::new("pow8", 4);
+        let x = b.input_cipher("x");
+        let mut acc = x;
+        for _ in 0..3 {
+            acc = b.square(acc);
+        }
+        b.output(acc);
+        let func = b.finish();
+        let mut opts = CompileOptions::with_waterline(20.0);
+        opts.degree = Some(4096);
+        let prog = compile(&func, Scheme::Hecate, &opts).unwrap();
+        assert_eq!(prog.source_hash, hecate_ir::hash::function_hash(&func));
+        // The scale-managed body differs from the source — which is why
+        // the source identity must be recorded explicitly.
+        assert_ne!(
+            hecate_ir::hash::function_hash(&prog.func),
+            prog.source_hash
+        );
+        let back = deserialize_plan(&serialize_plan(&prog)).unwrap();
+        assert_eq!(back.source_hash, prog.source_hash);
     }
 
     #[test]

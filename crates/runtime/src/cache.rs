@@ -97,6 +97,13 @@ impl PlanCache {
     /// Looks up (or compiles, exactly once per key across all racing
     /// threads) the plan for this submission.
     ///
+    /// The returned flag reports whether this call was served without
+    /// running the pipeline itself — `true` both for an already-published
+    /// artifact and for a single-flight waiter that received another
+    /// thread's compile. It is determined under the cache lock, so it
+    /// cannot disagree with what actually happened (unlike a separate
+    /// pre-probe, which races with concurrent publication).
+    ///
     /// # Errors
     /// Returns [`RuntimeError::Compile`] when the pipeline rejects the
     /// program; the failure is not cached.
@@ -108,14 +115,14 @@ impl PlanCache {
         func: &Function,
         scheme: Scheme,
         opts: &CompileOptions,
-    ) -> Result<Arc<PlanArtifact>, RuntimeError> {
+    ) -> Result<(Arc<PlanArtifact>, bool), RuntimeError> {
         let key = plan_key(func, scheme, opts);
         let mut slots = self.slots.lock().unwrap();
         loop {
             match slots.get(&key) {
                 Some(Slot::Ready(artifact)) => {
                     self.stats.record_hit();
-                    return Ok(artifact.clone());
+                    return Ok((artifact.clone(), true));
                 }
                 Some(Slot::Pending) => {
                     // Someone else is compiling: wait for publication (or
@@ -124,6 +131,10 @@ impl PlanCache {
                     slots = self.published.wait(slots).unwrap();
                 }
                 None => {
+                    // Both branches below return, so one call records at
+                    // most one miss — hits + misses always equals the
+                    // number of lookups, even when a waiter takes over
+                    // after another thread's failed compile.
                     self.stats.record_miss();
                     slots.insert(key, Slot::Pending);
                     drop(slots);
@@ -133,7 +144,7 @@ impl PlanCache {
                         Ok(artifact) => {
                             slots.insert(key, Slot::Ready(artifact.clone()));
                             self.published.notify_all();
-                            return Ok(artifact);
+                            return Ok((artifact, false));
                         }
                         Err(e) => {
                             slots.remove(&key);
@@ -234,9 +245,11 @@ mod tests {
         let cache = PlanCache::new(stats.clone());
         let f = sample(1.5);
         let o = opts();
-        let a1 = cache.get_or_compile(&f, Scheme::Hecate, &o).unwrap();
-        let a2 = cache.get_or_compile(&f, Scheme::Hecate, &o).unwrap();
+        let (a1, hit1) = cache.get_or_compile(&f, Scheme::Hecate, &o).unwrap();
+        let (a2, hit2) = cache.get_or_compile(&f, Scheme::Hecate, &o).unwrap();
         assert!(Arc::ptr_eq(&a1, &a2));
+        assert!(!hit1, "cold lookup compiles");
+        assert!(hit2, "warm lookup hits");
         let snap = stats.snapshot(1);
         assert_eq!(snap.cache_misses, 1);
         assert_eq!(snap.cache_hits, 1);
@@ -247,7 +260,7 @@ mod tests {
     #[test]
     fn artifact_records_key_requirements() {
         let cache = PlanCache::new(Arc::new(RuntimeStats::new()));
-        let a = cache
+        let (a, _) = cache
             .get_or_compile(&sample(1.5), Scheme::Hecate, &opts())
             .unwrap();
         assert!(
@@ -258,7 +271,8 @@ mod tests {
 
     #[test]
     fn failed_compile_is_not_cached() {
-        let cache = PlanCache::new(Arc::new(RuntimeStats::new()));
+        let stats = Arc::new(RuntimeStats::new());
+        let cache = PlanCache::new(stats.clone());
         let mut o = opts();
         o.max_chain_len = 1; // (x·c) rescaled needs ≥ 2 primes: forces failure
         let f = sample(1.5);
@@ -267,5 +281,10 @@ mod tests {
         // The same key compiles fine once the constraint is lifted.
         let o2 = opts();
         assert!(cache.get_or_compile(&f, Scheme::Hecate, &o2).is_ok());
+        // Accounting stays one hit-or-miss per lookup even across failures.
+        let snap = stats.snapshot(1);
+        assert_eq!(snap.cache_misses, 2);
+        assert_eq!(snap.cache_hits, 0);
+        assert_eq!(snap.compiles, 2);
     }
 }

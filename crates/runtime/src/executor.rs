@@ -66,6 +66,12 @@ impl Shared<'_> {
         if slot.is_none() {
             *slot = Some(e);
         }
+        drop(slot);
+        // The termination flag must flip while holding the `ready` mutex:
+        // workers check it under that mutex before parking, so an unlocked
+        // store + notify could land between a worker's check and its
+        // `wait`, losing the wakeup and hanging the scope join.
+        let _ready = self.ready.lock().unwrap();
         self.failed.store(true, Ordering::SeqCst);
         self.wake.notify_all();
     }
@@ -163,6 +169,13 @@ impl Shared<'_> {
                         self.wake.notify_all();
                     }
                     if self.completed.fetch_add(1, Ordering::SeqCst) + 1 == total {
+                        // Notify under the `ready` mutex for the same
+                        // reason as `fail`: a worker between its
+                        // completed-count check and `wait` holds the
+                        // mutex, so acquiring it here guarantees every
+                        // peer is either parked (and woken) or will
+                        // observe the final count before parking.
+                        let _ready = self.ready.lock().unwrap();
                         self.wake.notify_all();
                     }
                 }

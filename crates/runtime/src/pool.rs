@@ -105,8 +105,10 @@ impl Inner {
 
     fn process(&self, req: &Request) -> Result<Response, RuntimeError> {
         let key = plan_key(&req.func, req.scheme, &req.options);
-        let cache_hit = self.cache.get(key).is_some();
-        let artifact = self
+        // The hit flag comes from inside the cache's own lock — a separate
+        // pre-probe would race with concurrent publication and could
+        // mislabel a single-flight waiter.
+        let (artifact, cache_hit) = self
             .cache
             .get_or_compile(&req.func, req.scheme, &req.options)?;
         let session = self.sessions.get(req.session)?;

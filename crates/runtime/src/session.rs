@@ -7,6 +7,15 @@
 //! test). Compiled plans are *shared* across sessions through the
 //! [`crate::cache::PlanCache`] — only key material is per-tenant.
 //!
+//! **Isolation is against mix-ups, not adversaries.** This is a research
+//! harness built for reproducibility: by default every session seed is a
+//! deterministic FNV-1a mix of the runtime's base seed and a sequential
+//! session id, so anyone who knows the configuration can reconstruct
+//! every session's secret key. The per-session keys prevent *accidental*
+//! cross-tenant decryption, not attacks. Deployments that want
+//! unpredictable keys at the cost of run-to-run reproducibility should
+//! construct the manager with [`SessionManager::with_os_entropy`].
+//!
 //! Engines are created lazily: the first time a session executes a given
 //! plan, an [`ExecEngine`] is built, generating exactly the Galois and
 //! relinearization keys that plan's [`crate::cache::PlanArtifact`] calls
@@ -92,13 +101,35 @@ pub struct SessionManager {
 }
 
 impl SessionManager {
-    /// A manager deriving session seeds from `base_seed`.
+    /// A manager deriving session seeds deterministically from
+    /// `base_seed`.
+    ///
+    /// Fully reproducible — and therefore fully predictable: see the
+    /// module docs for what per-session isolation does and does not
+    /// defend against. Use [`SessionManager::with_os_entropy`] when key
+    /// unpredictability matters more than reproducibility.
     pub fn new(base_seed: u64) -> Self {
         SessionManager {
             base_seed,
             sessions: Mutex::new(HashMap::new()),
             next_id: Mutex::new(1),
         }
+    }
+
+    /// A manager whose base seed mixes `base_seed` with OS-provided
+    /// entropy, so session keys cannot be reconstructed from the
+    /// configuration alone. Runs are no longer reproducible.
+    pub fn with_os_entropy(base_seed: u64) -> Self {
+        use std::collections::hash_map::RandomState;
+        use std::hash::{BuildHasher, Hasher};
+        // `RandomState` keys come from the OS entropy source; hashing
+        // nothing still yields a value derived from those keys, and each
+        // `RandomState::new()` draws fresh ones.
+        let entropy = RandomState::new().build_hasher().finish();
+        let mut h = Fnv1a::new();
+        h.write(&base_seed.to_le_bytes());
+        h.write(&entropy.to_le_bytes());
+        SessionManager::new(h.finish())
     }
 
     /// Opens a new session with a seed derived from the base seed and the
@@ -167,6 +198,19 @@ mod tests {
         mgr.close(a.id());
         assert!(mgr.get(a.id()).is_err());
         assert!(mgr.get(b.id()).is_ok());
+    }
+
+    /// Two managers built from the same base seed but with OS entropy
+    /// mixed in derive unrelated session seeds (the deterministic
+    /// constructor would derive identical ones).
+    #[test]
+    fn os_entropy_makes_seeds_unpredictable() {
+        let a = SessionManager::with_os_entropy(7).open().seed();
+        let b = SessionManager::with_os_entropy(7).open().seed();
+        assert_ne!(a, b, "entropy-mixed managers must not collide");
+        let c = SessionManager::new(7).open().seed();
+        let d = SessionManager::new(7).open().seed();
+        assert_eq!(c, d, "deterministic managers reproduce exactly");
     }
 
     /// The isolation invariant behind per-session keys: a ciphertext from

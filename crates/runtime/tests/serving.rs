@@ -63,9 +63,11 @@ fn racing_submissions_compile_exactly_once() {
     );
     assert_eq!(snap.cache_misses, 1);
     assert_eq!(snap.cache_hits + snap.cache_misses, 8);
-    for a in &artifacts[1..] {
+    let compilers = artifacts.iter().filter(|(_, hit)| !hit).count();
+    assert_eq!(compilers, 1, "exactly one racer reports compiling");
+    for (a, _) in &artifacts[1..] {
         assert!(
-            Arc::ptr_eq(a, &artifacts[0]),
+            Arc::ptr_eq(a, &artifacts[0].0),
             "all racers share the artifact"
         );
     }
@@ -185,7 +187,7 @@ fn engines_are_lazy_and_cached() {
     let mgr = SessionManager::new(42);
     let stats = Arc::new(RuntimeStats::new());
     let cache = PlanCache::new(stats);
-    let artifact = cache
+    let (artifact, _) = cache
         .get_or_compile(&sample_func(8), Scheme::Pars, &options())
         .unwrap();
     let session = mgr.open();

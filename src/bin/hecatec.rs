@@ -19,6 +19,8 @@
 //!   --fallback                      degrade gracefully down the scheme ladder
 //!   --save-plan PATH                write the compiled plan (HECATE-PLAN v1 text)
 //!   --load-plan PATH                reuse a saved plan instead of compiling
+//!                                   (re-verified against its parameters;
+//!                                   warns if it names a different source)
 //!   --serve                         serve mode: run all files through hecate-runtime
 //!   --jobs N                        serve-mode worker threads (default 2)
 //!   --repeat K                      serve mode: submit each file K times (default 2)
@@ -38,8 +40,10 @@ use hecate::compiler::{
     compile, compile_with_fallback, deserialize_plan, serialize_plan, CompileOptions,
     CompiledProgram, FallbackRung, Scheme,
 };
+use hecate::ir::hash::function_hash;
 use hecate::ir::parse::parse_function;
 use hecate::ir::print::print_function;
+use hecate::ir::verify::verify_plan;
 use hecate::ir::Function;
 use hecate::math::rng::Xoshiro256;
 use hecate::runtime::{Request, Runtime, RuntimeConfig, RuntimeError};
@@ -245,10 +249,30 @@ fn obtain_plan(
             eprintln!("hecatec: cannot read {path}: {e}");
             ExitCode::from(3)
         })?;
-        return deserialize_plan(&text).map_err(|e| {
+        let prog = deserialize_plan(&text).map_err(|e| {
             eprintln!("hecatec: {path}: {e}");
             ExitCode::from(3)
-        });
+        })?;
+        // A reloaded plan is untrusted input: re-run the full plan
+        // verification against its own selected parameters so a stale or
+        // hand-edited file cannot execute an inconsistent program.
+        let types = verify_plan(&prog.func, &prog.bound_config(), "reload").map_err(|e| {
+            eprintln!("hecatec: {path}: reloaded plan failed verification: {e}");
+            ExitCode::from(3)
+        })?;
+        if types != prog.types {
+            eprintln!("hecatec: {path}: reloaded plan's type table disagrees with inference");
+            return Err(ExitCode::from(3));
+        }
+        if prog.source_hash != function_hash(func) {
+            eprintln!(
+                "hecatec: warning: {path} was compiled from a different source program \
+                 (plan source hash {:016x}, input hash {:016x}); executing the plan as saved",
+                prog.source_hash,
+                function_hash(func)
+            );
+        }
+        return Ok(prog);
     }
     let result = if args.fallback {
         compile_with_fallback(func, args.scheme, opts)
