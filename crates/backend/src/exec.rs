@@ -38,8 +38,10 @@ use hecate_ckks::{
     Ciphertext, CkksEncoder, CkksParams, Decryptor, Encryptor, EvalKeys, Evaluator, KeyGenerator,
     Plaintext, PublicKey,
 };
-use hecate_compiler::CompiledProgram;
+use hecate_compiler::{op_cost_infos, CompiledProgram, OpCostInfo};
 use hecate_ir::{Op, ValueId};
+use hecate_telemetry::trace;
+use hecate_telemetry::{Counter, Histogram};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -331,6 +333,12 @@ pub struct ExecEngine {
     vec_size: usize,
     sf: f64,
     seed: u64,
+    // Telemetry: per-op cost attribution (computed once at engine build so
+    // tracing adds no per-op analysis), plus cached global-metric handles
+    // so the hot path never takes the registry lock.
+    cost_infos: Vec<OpCostInfo>,
+    ops_counter: Counter,
+    op_us_hist: Histogram,
 }
 
 impl ExecEngine {
@@ -358,6 +366,10 @@ impl ExecEngine {
         let decryptor = Decryptor::new(&params, kg.secret_key().clone());
         let eval = Evaluator::new(&params, keys);
         let sf = prog.cfg.rescale_bits;
+        let cost_infos = op_cost_infos(&prog.func, &prog.types, chain_len);
+        let registry = hecate_telemetry::metrics::global();
+        let ops_counter = registry.counter("hecate_exec_ops_total");
+        let op_us_hist = registry.histogram("hecate_exec_op_us", 24);
         Ok(ExecEngine {
             prog,
             params,
@@ -372,6 +384,9 @@ impl ExecEngine {
             vec_size,
             sf,
             seed: opts.seed,
+            cost_infos,
+            ops_counter,
+            op_us_hist,
         })
     }
 
@@ -462,7 +477,22 @@ impl ExecEngine {
         i: usize,
         operands: &[&OpValue],
     ) -> Result<(OpValue, f64, f64), ExecError> {
+        let mut span = trace::span_with("exec-op", || {
+            let info = &self.cost_infos[i];
+            vec![
+                ("i", i.into()),
+                ("op", self.prog.func.ops()[i].mnemonic().into()),
+                ("cost_op", info.label().into()),
+                ("level", info.operand_level.into()),
+                ("active_primes", info.active_primes.into()),
+            ]
+        });
         let (value, us) = self.compute(i, operands)?;
+        span.attr("us", us.into());
+        if !self.cost_infos[i].cost_ops.is_empty() {
+            self.ops_counter.inc();
+            self.op_us_hist.observe(us as u64);
+        }
         let mut value = OpValue(value);
         let injected_var = self.inject_fault(i, &mut value);
         self.check_guards(i, &value)?;
@@ -807,6 +837,14 @@ pub fn execute_sequential(
     inputs: &HashMap<String, Vec<f64>>,
 ) -> Result<EncryptedRun, ExecError> {
     let prog = engine.prog().clone();
+    let mut span = trace::span_with("execute", || {
+        vec![
+            ("func", prog.func.name.as_str().into()),
+            ("ops", prog.func.len().into()),
+            ("degree", engine.degree().into()),
+            ("chain_len", engine.chain_len().into()),
+        ]
+    });
     let mut pre = engine.encrypt_inputs(inputs)?;
     let last = last_uses(&prog.func);
     let mut monitor = engine.new_monitor();
@@ -857,6 +895,7 @@ pub fn execute_sequential(
         outputs.insert(name.clone(), engine.decrypt_output(&vals[&v.index()]));
     }
 
+    span.attr("total_us", total_us.into());
     Ok(EncryptedRun {
         outputs,
         total_us,

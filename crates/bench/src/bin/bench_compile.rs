@@ -1,0 +1,47 @@
+//! `bench_compile` — median wall-clock time of the full compile
+//! pipeline (verify → canonicalize → SMU analysis → SMSE exploration →
+//! parameter selection → final verification) per paper benchmark.
+//!
+//! Writes `BENCH_compile.json` at the workspace root in the stable
+//! report schema (`name`, `median_us`, `iterations`); see
+//! [`hecate_bench::bench_json`]. Accepts `--full` for paper-scale
+//! shapes; the default Small preset finishes in seconds.
+
+#![forbid(unsafe_code)]
+
+use hecate_bench::{benchmarks, fmt_us, median_us, write_bench_report, BenchRow, HarnessConfig};
+use hecate_compiler::{compile, Scheme};
+use std::time::Instant;
+
+const ITERATIONS: usize = 5;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let benches = benchmarks(&cfg);
+    println!(
+        "compile-time benchmark: {} benchmark(s) x {ITERATIONS} iteration(s), scheme HECATE",
+        benches.len()
+    );
+    let mut rows = Vec::new();
+    for bench in &benches {
+        let mut opts = cfg.compile_opts(24.0);
+        opts.degree = Some(cfg.effective_degree(bench));
+        let samples: Vec<f64> = (0..ITERATIONS)
+            .map(|_| {
+                let t0 = Instant::now();
+                compile(&bench.func, Scheme::Hecate, &opts)
+                    .unwrap_or_else(|e| panic!("{}: compilation failed: {e}", bench.name));
+                t0.elapsed().as_secs_f64() * 1e6
+            })
+            .collect();
+        let median = median_us(samples);
+        println!("  {:<6} {:>10}", bench.name, fmt_us(median));
+        rows.push(BenchRow {
+            name: bench.name.clone(),
+            median_us: median,
+            iterations: ITERATIONS,
+        });
+    }
+    let path = write_bench_report("BENCH_compile.json", &rows);
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,76 @@
+//! `bench_runtime` — median end-to-end served-request latency through
+//! `hecate-runtime` with a warm plan cache, per workload.
+//!
+//! Each workload gets one tenant session; the first request pays the
+//! compile and keygen, then `ITERATIONS` requests are submitted one at a
+//! time so the measured latency is pure serving (cache hit + encrypted
+//! execution), not queueing. Writes `BENCH_runtime.json` at the
+//! workspace root in the stable report schema (`name`, `median_us`,
+//! `iterations`); see [`hecate_bench::bench_json`].
+
+#![forbid(unsafe_code)]
+
+use hecate_apps::{benchmark, Preset};
+use hecate_backend::exec::BackendOptions;
+use hecate_bench::{fmt_us, median_us, write_bench_report, BenchRow};
+use hecate_compiler::{CompileOptions, Scheme};
+use hecate_runtime::{Request, Runtime, RuntimeConfig};
+
+const WORKLOADS: [&str; 2] = ["SF", "HCD"];
+const ITERATIONS: usize = 12;
+const DEGREE: usize = 512;
+
+fn main() {
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        jobs_per_request: 1,
+        backend: BackendOptions {
+            degree_override: Some(DEGREE),
+            ..BackendOptions::default()
+        },
+    });
+    let mut opts = CompileOptions::with_waterline(24.0);
+    opts.degree = Some(DEGREE);
+    println!(
+        "runtime-latency benchmark: {} workload(s) x {ITERATIONS} iteration(s), warm cache",
+        WORKLOADS.len()
+    );
+    let mut rows = Vec::new();
+    for name in WORKLOADS {
+        let bench = benchmark(name, Preset::Small).expect("known benchmark");
+        let session = rt.open_session();
+        let mk = || Request {
+            session,
+            func: bench.func.clone(),
+            scheme: Scheme::Pars,
+            options: opts.clone(),
+            inputs: bench.inputs.clone(),
+        };
+        // Warm the plan cache and the session's engine off the record.
+        rt.run_batch(vec![mk()])
+            .pop()
+            .expect("one response")
+            .expect("warmup request");
+        let samples: Vec<f64> = (0..ITERATIONS)
+            .map(|_| {
+                let resp = rt
+                    .run_batch(vec![mk()])
+                    .pop()
+                    .expect("one response")
+                    .expect("measured request");
+                assert!(resp.cache_hit, "measured request must hit the plan cache");
+                resp.latency_us
+            })
+            .collect();
+        let median = median_us(samples);
+        println!("  {name:<6} {:>10}", fmt_us(median));
+        rows.push(BenchRow {
+            name: name.to_string(),
+            median_us: median,
+            iterations: ITERATIONS,
+        });
+    }
+    rt.shutdown();
+    let path = write_bench_report("BENCH_runtime.json", &rows);
+    println!("wrote {}", path.display());
+}

@@ -210,6 +210,61 @@ pub fn geomean(vals: &[f64]) -> f64 {
     (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
 }
 
+/// One row of a `BENCH_*.json` report — the stable cross-run schema
+/// (`name`, `median_us`, `iterations`) that trend tooling consumes.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Median latency over the iterations, microseconds.
+    pub median_us: f64,
+    /// Number of measured iterations behind the median.
+    pub iterations: usize,
+}
+
+/// Median of a sample; averages the middle pair for even sizes.
+pub fn median_us(mut samples: Vec<f64>) -> f64 {
+    assert!(!samples.is_empty(), "median of an empty sample");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+/// Renders rows as a `BENCH_*.json` document: a JSON array of
+/// `{"name", "median_us", "iterations"}` objects, one per line.
+pub fn bench_json(rows: &[BenchRow]) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"name\":\"{}\",\"median_us\":{:.2},\"iterations\":{}}}",
+                r.name.replace('"', "\\\""),
+                r.median_us,
+                r.iterations
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", body.join(",\n"))
+}
+
+/// Writes a `BENCH_*.json` report into the workspace root (`file` is
+/// the bare file name, e.g. `BENCH_compile.json`).
+///
+/// # Panics
+/// Panics when the file cannot be written — a benchmark that cannot
+/// record its result should fail loudly, not quietly succeed.
+pub fn write_bench_report(file: &str, rows: &[BenchRow]) -> std::path::PathBuf {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file);
+    std::fs::write(&path, bench_json(rows)).unwrap_or_else(|e| panic!("write {file}: {e}"));
+    path
+}
+
 /// Formats microseconds human-readably.
 pub fn fmt_us(us: f64) -> String {
     if us >= 1e6 {

@@ -50,6 +50,26 @@ impl CostOp {
         CostOp::Rescale,
         CostOp::ModSwitch,
     ];
+
+    /// Stable lower-case name, used as the `cost_op` attribute on
+    /// execution trace spans.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostOp::AddCC => "add_cc",
+            CostOp::AddCP => "add_cp",
+            CostOp::MulCC => "mul_cc",
+            CostOp::MulCP => "mul_cp",
+            CostOp::Negate => "negate",
+            CostOp::Rotate => "rotate",
+            CostOp::Rescale => "rescale",
+            CostOp::ModSwitch => "mod_switch",
+        }
+    }
+
+    /// Parses a [`CostOp::name`] back into the category.
+    pub fn from_name(name: &str) -> Option<CostOp> {
+        CostOp::ALL.into_iter().find(|op| op.name() == name)
+    }
 }
 
 /// A measured `(operation, active primes) → microseconds` table for one
@@ -97,6 +117,136 @@ impl CostTable {
         let b = analytic_cost_us(op, *c0, self.degree);
         Some(v0 * a / b)
     }
+
+    /// Folds the per-op execution spans of a trace into a measured cost
+    /// table — the loop-closing aggregation: the table this produces is
+    /// exactly what [`CostModel::Profiled`] consumes, so a traced run
+    /// re-calibrates the estimator against the backend it ran on.
+    ///
+    /// Spans named `exec-op` are paired per thread (unmatched begins and
+    /// ends are skipped, so a torn trace degrades rather than fails). Each
+    /// span carries its [`OpCostInfo::label`] as `cost_op`, the
+    /// `active_primes` it executed at, and the measured kernel time `us`.
+    /// Multi-category ops (a downscale is a plaintext multiply plus a
+    /// rescale) split their time across categories in proportion to the
+    /// analytic model. Cell means are then repaired to be nondecreasing in
+    /// active primes by pool-adjacent-violators isotonic regression —
+    /// physically, more primes is never less work, so monotone violations
+    /// are measurement noise.
+    pub fn from_trace(events: &[hecate_telemetry::Event], degree: usize) -> CostTable {
+        // (op, active) → (Σ µs, sample count)
+        let mut cells: HashMap<(CostOp, usize), (f64, f64)> = HashMap::new();
+        let mut stacks: HashMap<u64, Vec<&hecate_telemetry::Event>> = HashMap::new();
+        for ev in events {
+            match ev.kind {
+                hecate_telemetry::EventKind::Begin => {
+                    stacks.entry(ev.tid).or_default().push(ev);
+                }
+                hecate_telemetry::EventKind::End => {
+                    let Some(begin) = stacks.entry(ev.tid).or_default().pop() else {
+                        continue;
+                    };
+                    if begin.name != "exec-op" || ev.name != "exec-op" {
+                        continue;
+                    }
+                    let attr = |key: &str| {
+                        ev.attrs
+                            .iter()
+                            .chain(begin.attrs.iter())
+                            .find(|(k, _)| *k == key)
+                            .map(|(_, v)| v)
+                    };
+                    let Some(us) = attr("us").and_then(|v| v.as_f64()) else {
+                        continue;
+                    };
+                    let Some(active) = attr("active_primes").and_then(|v| v.as_i64()) else {
+                        continue;
+                    };
+                    let active = active.max(1) as usize;
+                    let cats: Vec<CostOp> = attr("cost_op")
+                        .and_then(|v| v.as_str())
+                        .map(|label| label.split('+').filter_map(CostOp::from_name).collect())
+                        .unwrap_or_default();
+                    if cats.is_empty() {
+                        continue;
+                    }
+                    let analytic: Vec<f64> = cats
+                        .iter()
+                        .map(|&c| analytic_cost_us(c, active, degree).max(1e-12))
+                        .collect();
+                    let total: f64 = analytic.iter().sum();
+                    for (&cat, &a) in cats.iter().zip(&analytic) {
+                        let cell = cells.entry((cat, active)).or_insert((0.0, 0.0));
+                        cell.0 += us * a / total;
+                        cell.1 += 1.0;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut table = CostTable::new(degree);
+        for op in CostOp::ALL {
+            let mut points: Vec<(usize, f64, f64)> = cells
+                .iter()
+                .filter(|((o, _), _)| *o == op)
+                .map(|(&(_, active), &(sum, n))| (active, sum / n, n))
+                .collect();
+            if points.is_empty() {
+                continue;
+            }
+            points.sort_by_key(|&(active, _, _)| active);
+            for (active, us) in pava_nondecreasing(&points) {
+                table.set(op, active, us);
+            }
+        }
+        table
+    }
+}
+
+/// Weighted pool-adjacent-violators: returns `(x, y)` with the smallest
+/// weighted-L2 adjustment of `y` that is nondecreasing in `x`. Input must
+/// be sorted by `x`; triples are `(x, y, weight)`.
+fn pava_nondecreasing(points: &[(usize, f64, f64)]) -> Vec<(usize, f64)> {
+    // Each block pools a run of adjacent points into their weighted mean.
+    let mut blocks: Vec<(f64, f64, usize)> = Vec::new(); // (mean, weight, len)
+    for &(_, y, w) in points {
+        blocks.push((y, w, 1));
+        while blocks.len() >= 2 {
+            let (m2, w2, n2) = blocks[blocks.len() - 1];
+            let (m1, w1, n1) = blocks[blocks.len() - 2];
+            if m1 <= m2 {
+                break;
+            }
+            blocks.truncate(blocks.len() - 2);
+            let w = w1 + w2;
+            blocks.push(((m1 * w1 + m2 * w2) / w, w, n1 + n2));
+        }
+    }
+    let mut out = Vec::with_capacity(points.len());
+    let mut i = 0;
+    for (mean, _, len) in blocks {
+        for _ in 0..len {
+            out.push((points[i].0, mean));
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Sums the measured kernel time (`us` attribute) over every `exec-op`
+/// span end in a trace — the measured counterpart of
+/// [`estimate_latency_us`] for a traced execution.
+pub fn traced_total_us(events: &[hecate_telemetry::Event]) -> f64 {
+    events
+        .iter()
+        .filter(|ev| matches!(ev.kind, hecate_telemetry::EventKind::End) && ev.name == "exec-op")
+        .filter_map(|ev| {
+            ev.attrs
+                .iter()
+                .find(|(k, _)| *k == "us")
+                .and_then(|(_, v)| v.as_f64())
+        })
+        .sum()
 }
 
 /// The latency model used by the estimator.
@@ -270,26 +420,71 @@ pub fn latency_breakdown(
     degree: usize,
 ) -> std::collections::BTreeMap<CostOp, f64> {
     let mut totals = std::collections::BTreeMap::new();
-    for (i, op) in func.ops().iter().enumerate() {
-        let operands = op.operands();
-        let operand_level = operands
-            .iter()
-            .filter_map(|v| types[v.index()].level())
-            .max()
-            .or_else(|| types[i].level())
-            .unwrap_or(0);
-        let active = chain_len.saturating_sub(operand_level).max(1);
-        let is_plain = |k: usize| {
-            operands
-                .get(k)
-                .map(|v| types[v.index()].is_plain())
-                .unwrap_or(false)
-        };
-        for cat in categorize(op, is_plain) {
-            *totals.entry(cat).or_insert(0.0) += model.cost_us(cat, active, degree);
+    for info in op_cost_infos(func, types, chain_len) {
+        for &cat in &info.cost_ops {
+            *totals.entry(cat).or_insert(0.0) += model.cost_us(cat, info.active_primes, degree);
         }
     }
     totals
+}
+
+/// The estimator's view of one compiled operation: which backend cost
+/// categories it lowers to and at what active-prime count it executes.
+///
+/// The execution backend attaches this to per-op trace spans so that
+/// [`CostTable::from_trace`] can fold measured kernel times back into the
+/// same `(category, active primes)` cells the estimator reads — closing
+/// the loop the paper's Fig. 8 evaluates.
+#[derive(Debug, Clone)]
+pub struct OpCostInfo {
+    /// Backend cost categories the operation lowers to (empty for free
+    /// ops: inputs, constants, encodes).
+    pub cost_ops: Vec<CostOp>,
+    /// The operand level the work executes at.
+    pub operand_level: usize,
+    /// Active RNS primes during the work (`chain_len − operand_level`).
+    pub active_primes: usize,
+}
+
+impl OpCostInfo {
+    /// The span-attribute label: category names joined with `+`
+    /// (e.g. `"mul_cp+rescale"` for a downscale), empty for free ops.
+    pub fn label(&self) -> String {
+        self.cost_ops
+            .iter()
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+/// Computes [`OpCostInfo`] for every operation of a typed program, using
+/// exactly the categorization and level rules of [`latency_breakdown`].
+pub fn op_cost_infos(func: &Function, types: &[Type], chain_len: usize) -> Vec<OpCostInfo> {
+    func.ops()
+        .iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let operands = op.operands();
+            let operand_level = operands
+                .iter()
+                .filter_map(|v| types[v.index()].level())
+                .max()
+                .or_else(|| types[i].level())
+                .unwrap_or(0);
+            let is_plain = |k: usize| {
+                operands
+                    .get(k)
+                    .map(|v| types[v.index()].is_plain())
+                    .unwrap_or(false)
+            };
+            OpCostInfo {
+                cost_ops: categorize(op, is_plain),
+                operand_level,
+                active_primes: chain_len.saturating_sub(operand_level).max(1),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -297,6 +492,7 @@ mod tests {
     use super::*;
     use hecate_ir::types::{infer_types, TypeConfig};
     use hecate_ir::FunctionBuilder;
+    use hecate_telemetry::Event;
 
     #[test]
     fn deeper_level_is_cheaper() {
@@ -380,6 +576,150 @@ mod tests {
         let v = t.get(CostOp::MulCC, 3).unwrap();
         assert!(v > 300.0 && v < 1000.0, "interpolated {v}");
         assert_eq!(t.get(CostOp::Rotate, 3), None);
+    }
+
+    #[test]
+    fn cost_op_names_round_trip() {
+        for op in CostOp::ALL {
+            assert_eq!(CostOp::from_name(op.name()), Some(op));
+        }
+        assert_eq!(CostOp::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn op_cost_infos_matches_breakdown() {
+        let mut b = FunctionBuilder::new("oi", 4);
+        let x = b.input_cipher("x");
+        let m = b.mul(x, x);
+        let r = b.rotate(m, 1);
+        b.output(r);
+        let f = b.finish();
+        let cfg = TypeConfig::new(20.0, 60.0);
+        let tys = infer_types(&f, &cfg).unwrap();
+        let infos = op_cost_infos(&f, &tys, 3);
+        assert_eq!(infos.len(), f.len());
+        let manual: f64 = infos
+            .iter()
+            .flat_map(|i| i.cost_ops.iter().map(|&c| (c, i.active_primes)))
+            .map(|(c, a)| analytic_cost_us(c, a, 1024))
+            .sum();
+        let est = estimate_latency_us(&f, &tys, &CostModel::Analytic, 3, 1024);
+        assert!((manual - est).abs() < 1e-9);
+        // Inputs are free; the mul span label is the category name.
+        assert!(infos[x.index()].cost_ops.is_empty());
+        assert_eq!(infos[x.index()].label(), "");
+        assert_eq!(infos[m.index()].label(), "mul_cc");
+    }
+
+    #[test]
+    fn pava_repairs_monotone_violations() {
+        // (x, y, w): the dip at x=3 pools with x=2.
+        let pts = [
+            (1, 10.0, 1.0),
+            (2, 30.0, 1.0),
+            (3, 20.0, 1.0),
+            (4, 40.0, 1.0),
+        ];
+        let out = pava_nondecreasing(&pts);
+        assert_eq!(out.len(), 4);
+        for w in out.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-12, "not monotone: {out:?}");
+        }
+        assert_eq!(out[0].1, 10.0);
+        assert_eq!(out[1].1, 25.0);
+        assert_eq!(out[2].1, 25.0);
+        assert_eq!(out[3].1, 40.0);
+    }
+
+    fn exec_op_span(tid: u64, ts: u64, label: &'static str, active: i64, us: f64) -> [Event; 2] {
+        use hecate_telemetry::EventKind;
+        [
+            Event {
+                kind: EventKind::Begin,
+                name: "exec-op",
+                ts_ns: ts,
+                tid,
+                attrs: vec![("cost_op", label.into()), ("active_primes", active.into())],
+            },
+            Event {
+                kind: EventKind::End,
+                name: "exec-op",
+                ts_ns: ts + 100,
+                tid,
+                attrs: vec![("us", us.into())],
+            },
+        ]
+    }
+
+    #[test]
+    fn from_trace_folds_spans_into_cells() {
+        let mut events: Vec<Event> = Vec::new();
+        // Two mul_cc samples at 3 primes, one at 2 (cheaper), and a noisy
+        // inversion for add_cc that PAVA must repair.
+        events.extend(exec_op_span(1, 0, "mul_cc", 3, 900.0));
+        events.extend(exec_op_span(1, 200, "mul_cc", 3, 1100.0));
+        events.extend(exec_op_span(1, 400, "mul_cc", 2, 400.0));
+        events.extend(exec_op_span(2, 0, "add_cc", 2, 9.0));
+        events.extend(exec_op_span(2, 200, "add_cc", 3, 5.0));
+        let table = CostTable::from_trace(&events, 1024);
+        assert_eq!(table.get(CostOp::MulCC, 3), Some(1000.0), "mean of samples");
+        assert_eq!(table.get(CostOp::MulCC, 2), Some(400.0));
+        // add_cc was measured *decreasing* in primes; the repaired table
+        // is nondecreasing (both cells pool to the mean).
+        let a2 = table.get(CostOp::AddCC, 2).unwrap();
+        let a3 = table.get(CostOp::AddCC, 3).unwrap();
+        assert!(a2 <= a3 + 1e-12, "PAVA must repair {a2} > {a3}");
+        assert!((a2 - 7.0).abs() < 1e-9 && (a3 - 7.0).abs() < 1e-9);
+        assert_eq!(table.degree, 1024);
+    }
+
+    #[test]
+    fn from_trace_splits_multi_category_ops() {
+        let events: Vec<Event> = exec_op_span(1, 0, "mul_cp+rescale", 3, 100.0).into();
+        let table = CostTable::from_trace(&events, 1024);
+        let mulcp = table.get(CostOp::MulCP, 3).unwrap();
+        let rescale = table.get(CostOp::Rescale, 3).unwrap();
+        assert!(
+            (mulcp + rescale - 100.0).abs() < 1e-9,
+            "split conserves time"
+        );
+        // Rescale is analytically the pricier half, so it gets more.
+        assert!(rescale > mulcp);
+    }
+
+    #[test]
+    fn from_trace_tolerates_torn_and_foreign_spans() {
+        use hecate_telemetry::EventKind;
+        let mut events: Vec<Event> = Vec::new();
+        // An unterminated outer span and a foreign pass span around a
+        // valid exec-op span: the fold extracts the one good measurement.
+        events.push(Event {
+            kind: EventKind::Begin,
+            name: "execute",
+            ts_ns: 0,
+            tid: 1,
+            attrs: vec![],
+        });
+        events.extend(exec_op_span(1, 10, "rotate", 4, 250.0));
+        events.push(Event {
+            kind: EventKind::End,
+            name: "exec-op", // end without begin on another thread
+            ts_ns: 50,
+            tid: 7,
+            attrs: vec![("us", 1.0.into())],
+        });
+        let table = CostTable::from_trace(&events, 1024);
+        assert_eq!(table.get(CostOp::Rotate, 4), Some(250.0));
+        assert_eq!(table.measurements().count(), 1);
+    }
+
+    #[test]
+    fn traced_total_sums_exec_op_time() {
+        let mut events: Vec<Event> = Vec::new();
+        events.extend(exec_op_span(1, 0, "mul_cc", 3, 900.0));
+        events.extend(exec_op_span(1, 200, "add_cc", 3, 10.5));
+        assert!((traced_total_us(&events) - 910.5).abs() < 1e-9);
+        assert_eq!(traced_total_us(&[]), 0.0);
     }
 
     #[test]

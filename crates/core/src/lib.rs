@@ -66,7 +66,7 @@ pub mod planner;
 pub mod serialize;
 pub mod smu;
 
-pub use estimator::{CostModel, CostOp, CostTable};
+pub use estimator::{op_cost_infos, traced_total_us, CostModel, CostOp, CostTable, OpCostInfo};
 pub use options::{
     CompileError, CompileFault, CompileFaultKind, CompileOptions, CompileStats, CompiledProgram,
     FallbackRung, Scheme,

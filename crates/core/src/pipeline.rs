@@ -9,6 +9,7 @@ use crate::smu;
 use hecate_ir::analysis::{op_histogram, use_edge_count};
 use hecate_ir::verify::{verify_input, verify_plan};
 use hecate_ir::Function;
+use hecate_telemetry::trace;
 
 /// Compiles an input program under one of the four schemes (§VII-A).
 ///
@@ -36,7 +37,17 @@ pub fn compile(
     scheme: Scheme,
     opts: &CompileOptions,
 ) -> Result<CompiledProgram, CompileError> {
+    let mut compile_span = trace::span_with("compile", || {
+        vec![
+            ("func", func.name.as_str().into()),
+            ("scheme", scheme.to_string().into()),
+        ]
+    });
+    hecate_telemetry::metrics::global()
+        .counter("hecate_compiles_total")
+        .inc();
     if opts.verify_passes {
+        let _s = trace::span("pass:verify-input");
         verify_input(func, "frontend")?;
     }
     // Hash the function as submitted (before canonicalization): reloading
@@ -44,6 +55,7 @@ pub fn compile(
     let source_hash = hecate_ir::hash::function_hash(func);
     let canonical;
     let func = if opts.canonicalize {
+        let _s = trace::span("pass:canonicalize");
         canonical = hecate_ir::transform::canonicalize(func);
         if opts.verify_passes {
             verify_input(&canonical, "canonicalize")?;
@@ -52,14 +64,24 @@ pub fn compile(
     } else {
         func
     };
-    let analysis = smu::analyze(func, opts.waterline_bits);
+    let analysis = {
+        let _s = trace::span("pass:smu-analyze");
+        smu::analyze(func, opts.waterline_bits)
+    };
     let (mut candidate, epochs, plans_explored) = if scheme.explores() {
+        let _s = trace::span("pass:explore");
         let out = explore_smu(func, &analysis, scheme.proactive(), opts)?;
         (out.best, out.epochs, out.plans_explored)
     } else {
+        let _s = trace::span("pass:codegen");
         (compile_plain(func, scheme.proactive(), opts)?, 0, 1)
     };
-    apply_fault_and_verify(&mut candidate, scheme, opts)?;
+    {
+        let _s = trace::span("pass:final-verify");
+        apply_fault_and_verify(&mut candidate, scheme, opts)?;
+    }
+    compile_span.attr("est_us", candidate.cost_us.into());
+    compile_span.attr("plans_explored", plans_explored.into());
     let stats = CompileStats {
         estimated_latency_us: candidate.cost_us,
         estimated_noise_bits: candidate.noise_bits,

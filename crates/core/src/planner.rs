@@ -141,7 +141,12 @@ pub fn explore_smu(
     )?;
     let mut epochs = 0;
     let mut plans_explored = 1;
-    for _ in 0..opts.max_smse_iters {
+    let iter_counter = hecate_telemetry::metrics::global().counter("hecate_smse_iters_total");
+    for iter in 0..opts.max_smse_iters {
+        let mut span = hecate_telemetry::trace::span_with("smse-iter", || {
+            vec![("iter", iter.into()), ("incumbent_us", best.cost_us.into())]
+        });
+        iter_counter.inc();
         let mut improved: Option<(usize, Candidate)> = None;
         for e in 0..edge_count {
             degrees[e] += 1;
@@ -171,8 +176,13 @@ pub fn explore_smu(
                 degrees[e] += 1;
                 best = cand;
                 epochs += 1;
+                span.attr("improved", true.into());
+                span.attr("best_us", best.cost_us.into());
             }
-            None => break,
+            None => {
+                span.attr("improved", false.into());
+                break;
+            }
         }
     }
     Ok(ExploreOutcome {

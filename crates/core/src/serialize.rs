@@ -324,10 +324,7 @@ mod tests {
         assert_eq!(prog.source_hash, hecate_ir::hash::function_hash(&func));
         // The scale-managed body differs from the source — which is why
         // the source identity must be recorded explicitly.
-        assert_ne!(
-            hecate_ir::hash::function_hash(&prog.func),
-            prog.source_hash
-        );
+        assert_ne!(hecate_ir::hash::function_hash(&prog.func), prog.source_hash);
         let back = deserialize_plan(&serialize_plan(&prog)).unwrap();
         assert_eq!(back.source_hash, prog.source_hash);
     }

@@ -117,11 +117,14 @@ impl PlanCache {
         opts: &CompileOptions,
     ) -> Result<(Arc<PlanArtifact>, bool), RuntimeError> {
         let key = plan_key(func, scheme, opts);
+        let mut span =
+            hecate_telemetry::trace::span_with("plan-cache", || vec![("plan_key", key.into())]);
         let mut slots = self.slots.lock().unwrap();
         loop {
             match slots.get(&key) {
                 Some(Slot::Ready(artifact)) => {
                     self.stats.record_hit();
+                    span.attr("hit", true.into());
                     return Ok((artifact.clone(), true));
                 }
                 Some(Slot::Pending) => {
@@ -136,6 +139,7 @@ impl PlanCache {
                     // number of lookups, even when a waiter takes over
                     // after another thread's failed compile.
                     self.stats.record_miss();
+                    span.attr("hit", false.into());
                     slots.insert(key, Slot::Pending);
                     drop(slots);
                     let outcome = self.compile_artifact(key, func, scheme, opts);

@@ -209,6 +209,15 @@ pub fn execute_parallel(
     let jobs = jobs.max(1);
     let prog = engine.prog().clone();
     let n = prog.func.len();
+    let mut span = hecate_telemetry::trace::span_with("execute", || {
+        vec![
+            ("func", prog.func.name.as_str().into()),
+            ("ops", n.into()),
+            ("jobs", jobs.into()),
+            ("degree", engine.degree().into()),
+            ("chain_len", engine.chain_len().into()),
+        ]
+    });
     let pre = engine.encrypt_inputs(inputs)?;
 
     let mut users: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -272,7 +281,8 @@ pub fn execute_parallel(
         outputs.insert(name.clone(), engine.decrypt_output(value));
     }
     let op_us = shared.op_us.into_inner().unwrap();
-    let total_us = op_us.iter().sum();
+    let total_us: f64 = op_us.iter().sum();
+    span.attr("total_us", total_us.into());
     Ok(EncryptedRun {
         outputs,
         total_us,

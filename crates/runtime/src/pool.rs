@@ -15,6 +15,7 @@ use crate::RuntimeError;
 use hecate_backend::exec::{execute_sequential, BackendOptions, EncryptedRun};
 use hecate_compiler::{CompileOptions, Scheme};
 use hecate_ir::Function;
+use hecate_telemetry::trace;
 use std::collections::HashMap;
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -90,11 +91,25 @@ struct Inner {
 impl Inner {
     fn serve(&self, job: Job) {
         self.stats.record_dequeue();
+        // Queue wait crosses threads (enqueued by the client, dequeued by
+        // this worker), so it is a Complete event rather than a span.
+        trace::complete_with("queue-wait", job.enqueued, || {
+            vec![("session", job.req.session.into())]
+        });
+        let mut span = trace::span_with("request", || {
+            vec![
+                ("session", job.req.session.into()),
+                ("func", job.req.func.name.as_str().into()),
+                ("scheme", job.req.scheme.to_string().into()),
+            ]
+        });
         let t0 = Instant::now();
         let result = self.process(&job.req);
         let busy_us = t0.elapsed().as_secs_f64() * 1e6;
         let latency_us = job.enqueued.elapsed().as_secs_f64() * 1e6;
         self.stats.record_done(result.is_ok(), latency_us, busy_us);
+        span.attr("ok", result.is_ok().into());
+        span.attr("latency_us", latency_us.into());
         let result = result.map(|mut resp| {
             resp.latency_us = latency_us;
             resp
@@ -108,9 +123,9 @@ impl Inner {
         // The hit flag comes from inside the cache's own lock — a separate
         // pre-probe would race with concurrent publication and could
         // mislabel a single-flight waiter.
-        let (artifact, cache_hit) = self
-            .cache
-            .get_or_compile(&req.func, req.scheme, &req.options)?;
+        let (artifact, cache_hit) =
+            self.cache
+                .get_or_compile(&req.func, req.scheme, &req.options)?;
         let session = self.sessions.get(req.session)?;
         let engine = session.engine(&artifact, &self.config.backend)?;
         let run = if self.config.jobs_per_request > 1 {
@@ -217,6 +232,11 @@ impl Runtime {
     /// Number of compiled plans currently cached.
     pub fn cached_plans(&self) -> usize {
         self.inner.cache.len()
+    }
+
+    /// The runtime's counters rendered in Prometheus text format.
+    pub fn metrics_prometheus(&self) -> String {
+        self.inner.stats.prometheus()
     }
 
     /// Drains the queue and joins the worker threads.

@@ -80,10 +80,18 @@ impl Session {
         artifact: &PlanArtifact,
         backend: &BackendOptions,
     ) -> Result<Arc<ExecEngine>, RuntimeError> {
+        let mut span = hecate_telemetry::trace::span_with("session-engine", || {
+            vec![
+                ("session", self.id.into()),
+                ("plan_key", artifact.key.into()),
+            ]
+        });
         let mut engines = self.engines.lock().unwrap();
         if let Some(engine) = engines.get(&artifact.key) {
+            span.attr("built", false.into());
             return Ok(engine.clone());
         }
+        span.attr("built", true.into());
         let mut opts = backend.clone();
         opts.seed = self.seed;
         let engine =

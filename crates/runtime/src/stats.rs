@@ -1,61 +1,68 @@
-//! Lock-free runtime counters and their JSON export.
+//! Runtime counters on the telemetry registry, and their JSON export.
 //!
 //! One [`RuntimeStats`] instance is shared (behind an `Arc`) by the plan
-//! cache, the request queue, and every worker thread; all updates are
-//! relaxed atomics, so recording costs a few nanoseconds per event.
-//! [`RuntimeStats::snapshot`] materializes a consistent-enough
-//! [`StatsSnapshot`] for reporting, and the snapshot renders itself as
-//! JSON without any external dependency.
+//! cache, the request queue, and every worker thread. The counters are
+//! named metrics in a per-instance [`hecate_telemetry::Registry`] — per
+//! instance rather than process-global so two runtimes in one process
+//! never alias — with the metric handles cached here, so recording is
+//! still a few relaxed atomic operations per event, never a registry
+//! lock. [`RuntimeStats::snapshot`] materializes a consistent-enough
+//! [`StatsSnapshot`] for reporting; the snapshot renders itself as JSON
+//! (byte-identical to the pre-registry format), and
+//! [`RuntimeStats::prometheus`] renders the registry as a Prometheus-style
+//! text exposition.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use hecate_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::time::Instant;
 
 /// Number of power-of-two latency buckets (bucket `k` holds requests with
 /// latency in `[2^k, 2^{k+1})` microseconds; the last bucket is open).
 pub const LATENCY_BUCKETS: usize = 24;
 
-/// Shared atomic counters for one [`crate::Runtime`].
+/// Shared metric handles for one [`crate::Runtime`], backed by a
+/// per-instance telemetry registry.
 #[derive(Debug)]
 pub struct RuntimeStats {
+    registry: Registry,
     /// Plan-cache lookups satisfied by an existing artifact.
-    cache_hits: AtomicU64,
+    cache_hits: Counter,
     /// Plan-cache lookups that found no artifact (compiles + waits).
-    cache_misses: AtomicU64,
+    cache_misses: Counter,
     /// Full compiler-pipeline runs. With single-flight this stays at one
     /// per distinct plan key no matter how many requests race.
-    compiles: AtomicU64,
+    compiles: Counter,
     /// Requests completed successfully.
-    completed: AtomicU64,
+    completed: Counter,
     /// Requests that returned an error.
-    failed: AtomicU64,
+    failed: Counter,
     /// Requests currently queued, waiting for a worker.
-    queue_depth: AtomicU64,
+    queue_depth: Gauge,
     /// High-water mark of `queue_depth`.
-    peak_queue_depth: AtomicU64,
+    peak_queue_depth: Gauge,
     /// Total time workers spent processing requests, microseconds.
-    busy_us: AtomicU64,
-    /// End-to-end request latency histogram (power-of-two µs buckets).
-    latency: [AtomicU64; LATENCY_BUCKETS],
-    /// Sum of end-to-end latencies, microseconds.
-    latency_sum_us: AtomicU64,
+    busy_us: Counter,
+    /// End-to-end request latency histogram (power-of-two µs buckets);
+    /// its sum doubles as the latency total for the mean.
+    latency: Histogram,
     /// When this stats instance was created (for utilization).
     started: Instant,
 }
 
 impl Default for RuntimeStats {
     fn default() -> Self {
+        let registry = Registry::new();
         RuntimeStats {
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            compiles: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            queue_depth: AtomicU64::new(0),
-            peak_queue_depth: AtomicU64::new(0),
-            busy_us: AtomicU64::new(0),
-            latency: std::array::from_fn(|_| AtomicU64::new(0)),
-            latency_sum_us: AtomicU64::new(0),
+            cache_hits: registry.counter("hecate_runtime_cache_hits_total"),
+            cache_misses: registry.counter("hecate_runtime_cache_misses_total"),
+            compiles: registry.counter("hecate_runtime_compiles_total"),
+            completed: registry.counter("hecate_runtime_requests_completed_total"),
+            failed: registry.counter("hecate_runtime_requests_failed_total"),
+            queue_depth: registry.gauge("hecate_runtime_queue_depth"),
+            peak_queue_depth: registry.gauge("hecate_runtime_peak_queue_depth"),
+            busy_us: registry.counter("hecate_runtime_busy_us_total"),
+            latency: registry.histogram("hecate_runtime_request_latency_us", LATENCY_BUCKETS),
             started: Instant::now(),
+            registry,
         }
     }
 }
@@ -66,65 +73,70 @@ impl RuntimeStats {
         Self::default()
     }
 
+    /// The registry backing these stats, for custom exports.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Renders all runtime metrics as a Prometheus-style text exposition.
+    pub fn prometheus(&self) -> String {
+        self.registry.prometheus()
+    }
+
     /// Records a cache hit.
     pub fn record_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.inc();
     }
 
     /// Records a cache miss.
     pub fn record_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.inc();
     }
 
     /// Records one run of the full compiler pipeline.
     pub fn record_compile(&self) {
-        self.compiles.fetch_add(1, Ordering::Relaxed);
+        self.compiles.inc();
     }
 
     /// Records a request entering the queue.
     pub fn record_enqueue(&self) {
-        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
-        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        let depth = self.queue_depth.add(1);
+        self.peak_queue_depth.record_max(depth);
     }
 
     /// Records a request leaving the queue (a worker picked it up).
     pub fn record_dequeue(&self) {
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.add(-1);
     }
 
     /// Records a finished request with its end-to-end latency and the
     /// worker time it consumed.
     pub fn record_done(&self, ok: bool, latency_us: f64, busy_us: f64) {
         if ok {
-            self.completed.fetch_add(1, Ordering::Relaxed);
+            self.completed.inc();
         } else {
-            self.failed.fetch_add(1, Ordering::Relaxed);
+            self.failed.inc();
         }
-        let us = latency_us.max(0.0) as u64;
-        let bucket = (64 - us.leading_zeros() as usize)
-            .saturating_sub(1)
-            .min(LATENCY_BUCKETS - 1);
-        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
-        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
-        self.busy_us
-            .fetch_add(busy_us.max(0.0) as u64, Ordering::Relaxed);
+        self.latency.observe(latency_us.max(0.0) as u64);
+        self.busy_us.add(busy_us.max(0.0) as u64);
     }
 
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self, workers: usize) -> StatsSnapshot {
         let uptime_us = self.started.elapsed().as_secs_f64() * 1e6;
-        let busy = self.busy_us.load(Ordering::Relaxed);
+        let busy = self.busy_us.get();
+        let buckets = self.latency.bucket_counts();
         StatsSnapshot {
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            compiles: self.compiles.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            compiles: self.compiles.get(),
+            completed: self.completed.get(),
+            failed: self.failed.get(),
+            queue_depth: self.queue_depth.get().max(0) as u64,
+            peak_queue_depth: self.peak_queue_depth.get().max(0) as u64,
             busy_us: busy,
-            latency_sum_us: self.latency_sum_us.load(Ordering::Relaxed),
-            latency_buckets: std::array::from_fn(|k| self.latency[k].load(Ordering::Relaxed)),
+            latency_sum_us: self.latency.sum(),
+            latency_buckets: std::array::from_fn(|k| buckets[k]),
             workers,
             utilization: if uptime_us > 0.0 && workers > 0 {
                 (busy as f64 / (uptime_us * workers as f64)).min(1.0)
@@ -244,5 +256,58 @@ mod tests {
         assert!(json.contains("\"compiles\":0"));
         assert!(json.contains("\"workers\":4"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_snapshot_is_byte_compatible_with_pre_registry_format() {
+        // The exact string the ad-hoc-atomics implementation produced for
+        // this snapshot. The histogram migration must not change a byte.
+        let mut latency_buckets = [0u64; LATENCY_BUCKETS];
+        latency_buckets[6] = 1; // one request at 100 µs
+        latency_buckets[1] = 1; // one request at 3 µs
+        let snap = StatsSnapshot {
+            cache_hits: 2,
+            cache_misses: 1,
+            compiles: 1,
+            completed: 1,
+            failed: 1,
+            queue_depth: 1,
+            peak_queue_depth: 2,
+            busy_us: 82,
+            latency_sum_us: 103,
+            latency_buckets,
+            workers: 2,
+            utilization: 0.25,
+        };
+        assert_eq!(
+            snap.to_json(),
+            concat!(
+                "{\"cache_hits\":2,\"cache_misses\":1,\"compiles\":1,",
+                "\"completed\":1,\"failed\":1,\"queue_depth\":1,",
+                "\"peak_queue_depth\":2,\"busy_us\":82,\"workers\":2,",
+                "\"utilization\":0.2500,\"mean_latency_us\":51.5,",
+                "\"latency_buckets_pow2_us\":[0,1,0,0,0,0,1,0,0,0,0,0,",
+                "0,0,0,0,0,0,0,0,0,0,0,0]}"
+            )
+        );
+        // And the live path reproduces the same buckets and sum.
+        let s = RuntimeStats::new();
+        s.record_done(true, 100.0, 80.0);
+        s.record_done(false, 3.0, 2.0);
+        let live = s.snapshot(2);
+        assert_eq!(live.latency_buckets, latency_buckets);
+        assert_eq!(live.latency_sum_us, 103);
+    }
+
+    #[test]
+    fn prometheus_exposes_runtime_metrics() {
+        let s = RuntimeStats::new();
+        s.record_hit();
+        s.record_done(true, 10.0, 5.0);
+        let text = s.prometheus();
+        assert!(text.contains("# TYPE hecate_runtime_cache_hits_total counter"));
+        assert!(text.contains("hecate_runtime_cache_hits_total 1"));
+        assert!(text.contains("hecate_runtime_request_latency_us_count 1"));
+        assert!(text.contains("hecate_runtime_request_latency_us_sum 10"));
     }
 }

@@ -1,0 +1,362 @@
+//! The metrics registry: named counters, gauges, and power-of-two
+//! histograms.
+//!
+//! A [`Registry`] maps names to metric handles. Handles are `Arc`ed
+//! atomics: the registry lock is taken only to *resolve* a name, after
+//! which recording is a relaxed atomic operation — the same discipline
+//! the serving runtime's hand-rolled counters used before they migrated
+//! here. [`Registry::prometheus`] renders the whole registry as a
+//! Prometheus-style text exposition.
+//!
+//! Histograms use power-of-two buckets: bucket `k` counts observations
+//! in `[2^k, 2^{k+1})` (bucket 0 also absorbs zero), and the last bucket
+//! is open-ended. This is exactly the shape the runtime's latency
+//! histogram always had, so its JSON snapshot stays byte-compatible.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (useful for tests).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways, with a helper for
+/// tracking a high-water mark.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` (may be negative) and returns the new value.
+    #[inline]
+    pub fn add(&self, delta: i64) -> i64 {
+        self.0.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `value` if it is higher (atomic max).
+    #[inline]
+    pub fn record_max(&self, value: i64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A power-of-two histogram: bucket `k` counts observations in
+/// `[2^k, 2^{k+1})`, the last bucket is open-ended.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// A histogram with `buckets` power-of-two buckets, not attached to
+    /// any registry.
+    pub fn with_buckets(buckets: usize) -> Self {
+        assert!(buckets >= 1, "a histogram needs at least one bucket");
+        Histogram(Arc::new(HistogramCore {
+            buckets: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let idx = (64 - value.leading_zeros() as usize)
+            .saturating_sub(1)
+            .min(self.0.buckets.len() - 1);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts, lowest bucket first.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A snapshot of one registered metric, for programmatic export.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram buckets, sum, and count.
+    Histogram {
+        /// Per-bucket counts, lowest first.
+        buckets: Vec<u64>,
+        /// Sum of observations.
+        sum: u64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// A name → metric map with get-or-create registration.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Registry {
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut metrics = self.metrics.lock().unwrap();
+        metrics.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// Resolves (creating on first use) the counter called `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.get_or_insert(name, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric '{name}' is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Resolves (creating on first use) the gauge called `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.get_or_insert(name, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric '{name}' is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Resolves (creating on first use) the histogram called `name` with
+    /// `buckets` power-of-two buckets.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, buckets: usize) -> Histogram {
+        match self.get_or_insert(name, || Metric::Histogram(Histogram::with_buckets(buckets))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric '{name}' is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Snapshots every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let metrics = self.metrics.lock().unwrap();
+        metrics
+            .iter()
+            .map(|(name, m)| {
+                let value = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram {
+                        buckets: h.bucket_counts(),
+                        sum: h.sum(),
+                        count: h.count(),
+                    },
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
+    /// Renders the registry as a Prometheus-style text exposition.
+    ///
+    /// Histogram buckets are cumulative with `le` upper bounds at
+    /// `2^(k+1)` and a final `+Inf` bucket, matching the power-of-two
+    /// bucket layout.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.snapshot() {
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                }
+                MetricValue::Histogram {
+                    buckets,
+                    sum,
+                    count,
+                } => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cumulative = 0u64;
+                    for (k, c) in buckets.iter().enumerate() {
+                        cumulative += c;
+                        if k + 1 < buckets.len() {
+                            let le = 1u128 << (k + 1);
+                            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                        }
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+                    out.push_str(&format!("{name}_sum {sum}\n"));
+                    out.push_str(&format!("{name}_count {count}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-global registry. Compiler- and backend-level metrics land
+/// here; per-instance subsystems (one serving runtime among several) own
+/// their own [`Registry`] to keep instances from aliasing.
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry::new();
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let r = Registry::new();
+        let c = r.counter("reqs_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("reqs_total").get(), 5, "same handle by name");
+        let g = r.gauge("depth");
+        assert_eq!(g.add(3), 3);
+        assert_eq!(g.add(-1), 2);
+        g.record_max(10);
+        g.record_max(7);
+        assert_eq!(g.get(), 10);
+        g.set(0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_math_matches_runtime_stats() {
+        let h = Histogram::with_buckets(24);
+        // 100 µs lands in bucket 6 ([64,128)), 3 µs in bucket 1 ([2,4)),
+        // 0 in bucket 0 — the exact layout RuntimeStats always used.
+        h.observe(100);
+        h.observe(3);
+        h.observe(0);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[6], 1);
+        assert_eq!(buckets[1], 1);
+        assert_eq!(buckets[0], 1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 103);
+        // The last bucket is open-ended.
+        h.observe(u64::MAX);
+        assert_eq!(h.bucket_counts()[23], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let r = Registry::new();
+        r.counter("a_total").add(2);
+        r.gauge("b").set(-3);
+        let h = r.histogram("lat_us", 4);
+        h.observe(1);
+        h.observe(9); // bucket 3 (open end: [8, ∞))
+        let text = r.prometheus();
+        assert!(text.contains("# TYPE a_total counter\na_total 2\n"));
+        assert!(text.contains("# TYPE b gauge\nb -3\n"));
+        assert!(text.contains("lat_us_bucket{le=\"2\"} 1\n"));
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("lat_us_sum 10\n"));
+        assert!(text.contains("lat_us_count 2\n"));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        global().counter("telemetry_test_global_total").inc();
+        assert!(global().counter("telemetry_test_global_total").get() >= 1);
+    }
+}

@@ -24,6 +24,15 @@
 //!   --serve                         serve mode: run all files through hecate-runtime
 //!   --jobs N                        serve-mode worker threads (default 2)
 //!   --repeat K                      serve mode: submit each file K times (default 2)
+//!   --trace PATH                    record spans for the whole invocation to PATH
+//!   --trace-format jsonl|chrome     trace file format (default chrome; a Chrome
+//!                                   trace loads in Perfetto / chrome://tracing)
+//!   --metrics PATH                  write Prometheus-text metrics to PATH on exit
+//!   --estimator-report              compile and execute the paper's eight
+//!                                   benchmarks (Small preset), then print the
+//!                                   analytic estimate, the traced latency, and a
+//!                                   re-estimate from the trace-measured cost
+//!                                   table; takes no input files
 //! ```
 //!
 //! Serve mode compiles each file once through the content-addressed plan
@@ -31,14 +40,21 @@
 //! session, and prints per-request latency plus the runtime's stats JSON
 //! — a batch-shaped stand-in for a long-running serving deployment.
 //!
-//! Exit codes: 0 success; 2 usage error; 3 input unreadable/unparsable;
-//! 4 compilation failed (in `--fallback` mode: every rung failed);
-//! 5 encrypted execution failed.
+//! `--trace` and `--metrics` observe *every* mode: the tracer is switched
+//! on before any work starts and the files are written after the run
+//! finishes, on success and failure alike, so a failing compile still
+//! leaves a trace of how far it got.
+//!
+//! Exit codes: 0 success; 2 usage error; 3 input unreadable/unparsable
+//! (or a trace/metrics file could not be written); 4 compilation failed
+//! (in `--fallback` mode: every rung failed); 5 encrypted execution
+//! failed.
 
 use hecate::backend::exec::{execute_encrypted, BackendOptions};
+use hecate::compiler::estimator::estimate_latency_us;
 use hecate::compiler::{
     compile, compile_with_fallback, deserialize_plan, serialize_plan, CompileOptions,
-    CompiledProgram, FallbackRung, Scheme,
+    CompiledProgram, CostModel, CostTable, FallbackRung, Scheme,
 };
 use hecate::ir::hash::function_hash;
 use hecate::ir::parse::parse_function;
@@ -47,8 +63,16 @@ use hecate::ir::verify::verify_plan;
 use hecate::ir::Function;
 use hecate::math::rng::Xoshiro256;
 use hecate::runtime::{Request, Runtime, RuntimeConfig, RuntimeError};
+use hecate::telemetry::{export, trace, Event};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Jsonl,
+    Chrome,
+}
 
 struct Args {
     files: Vec<String>,
@@ -65,6 +89,10 @@ struct Args {
     serve: bool,
     jobs: usize,
     repeat: usize,
+    trace: Option<String>,
+    trace_format: TraceFormat,
+    metrics: Option<String>,
+    estimator_report: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -84,6 +112,10 @@ fn parse_args() -> Result<Args, String> {
         serve: false,
         jobs: 2,
         repeat: 2,
+        trace: None,
+        trace_format: TraceFormat::Chrome,
+        metrics: None,
+        estimator_report: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -132,11 +164,25 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|&n| n > 0)
                     .ok_or("bad --repeat")?
             }
+            "--trace" => out.trace = Some(args.next().ok_or("bad --trace")?),
+            "--trace-format" => {
+                out.trace_format = match args.next().as_deref() {
+                    Some("jsonl") => TraceFormat::Jsonl,
+                    Some("chrome") => TraceFormat::Chrome,
+                    other => return Err(format!("bad --trace-format {other:?}")),
+                }
+            }
+            "--metrics" => out.metrics = Some(args.next().ok_or("bad --metrics")?),
+            "--estimator-report" => out.estimator_report = true,
             f if !f.starts_with('-') => out.files.push(f.to_string()),
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    if out.files.is_empty() {
+    if out.estimator_report {
+        if !out.files.is_empty() {
+            return Err("--estimator-report takes no input files".into());
+        }
+    } else if out.files.is_empty() {
         return Err("no input file".into());
     }
     if !out.serve && out.files.len() > 1 {
@@ -175,13 +221,16 @@ fn load_functions(files: &[String]) -> Result<Vec<(String, Function)>, String> {
 
 /// Batch serving: every file becomes a tenant session; each program is
 /// submitted `repeat` times, so all but the first submission of a given
-/// program hit the plan cache.
-fn serve(args: &Args, opts: &CompileOptions) -> ExitCode {
+/// program hit the plan cache. On return, `metrics_extra` holds the
+/// runtime's own counters in Prometheus text form (appended to the
+/// `--metrics` file, which otherwise only sees the process-global
+/// registry).
+fn serve(args: &Args, opts: &CompileOptions, metrics_extra: &mut String) -> u8 {
     let funcs = match load_functions(&args.files) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("hecatec: {e}");
-            return ExitCode::from(3);
+            return 3;
         }
     };
     let rt = Runtime::new(RuntimeConfig {
@@ -211,7 +260,7 @@ fn serve(args: &Args, opts: &CompileOptions) -> ExitCode {
         args.jobs
     );
     let results = rt.run_batch(reqs);
-    let mut code = ExitCode::SUCCESS;
+    let mut code = 0u8;
     for (label, result) in labels.iter().zip(&results) {
         match result {
             Ok(resp) => println!(
@@ -227,42 +276,39 @@ fn serve(args: &Args, opts: &CompileOptions) -> ExitCode {
             ),
             Err(e) => {
                 eprintln!("  {label}: FAILED: {e}");
-                code = ExitCode::from(match e {
+                code = match e {
                     RuntimeError::Compile(_) => 4,
                     _ => 5,
-                });
+                };
             }
         }
     }
     println!("stats: {}", rt.stats().to_json());
+    *metrics_extra = rt.metrics_prometheus();
     rt.shutdown();
     code
 }
 
-fn obtain_plan(
-    args: &Args,
-    func: &Function,
-    opts: &CompileOptions,
-) -> Result<CompiledProgram, ExitCode> {
+fn obtain_plan(args: &Args, func: &Function, opts: &CompileOptions) -> Result<CompiledProgram, u8> {
     if let Some(path) = &args.load_plan {
         let text = std::fs::read_to_string(path).map_err(|e| {
             eprintln!("hecatec: cannot read {path}: {e}");
-            ExitCode::from(3)
+            3
         })?;
         let prog = deserialize_plan(&text).map_err(|e| {
             eprintln!("hecatec: {path}: {e}");
-            ExitCode::from(3)
+            3
         })?;
         // A reloaded plan is untrusted input: re-run the full plan
         // verification against its own selected parameters so a stale or
         // hand-edited file cannot execute an inconsistent program.
         let types = verify_plan(&prog.func, &prog.bound_config(), "reload").map_err(|e| {
             eprintln!("hecatec: {path}: reloaded plan failed verification: {e}");
-            ExitCode::from(3)
+            3
         })?;
         if types != prog.types {
             eprintln!("hecatec: {path}: reloaded plan's type table disagrees with inference");
-            return Err(ExitCode::from(3));
+            return Err(3);
         }
         if prog.source_hash != function_hash(func) {
             eprintln!(
@@ -285,37 +331,97 @@ fn obtain_plan(
         } else {
             eprintln!("hecatec: compilation failed: {e}");
         }
-        ExitCode::from(4)
+        4
     })
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("hecatec: {e}");
-            eprintln!("usage: hecatec <file.heir>... [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet] [--strict|--fallback] [--save-plan P] [--load-plan P] [--serve] [--jobs N] [--repeat K]");
-            return ExitCode::from(2);
+/// The estimator loop, end to end: compile each of the paper's eight
+/// benchmarks (Small preset), execute it under encryption with the
+/// tracer on, fold the per-op `exec-op` spans into a measured
+/// [`CostTable`], and re-estimate with [`CostModel::Profiled`]. Prints
+/// one row per benchmark — analytic estimate, traced latency, profiled
+/// re-estimate, and the ratios — plus the geomean ratios the paper's
+/// Fig. 8 reports.
+///
+/// Every event drained here is pushed into `events_out` so a
+/// simultaneous `--trace` still sees the full invocation.
+fn estimator_report(args: &Args, opts: &CompileOptions, events_out: &mut Vec<Event>) -> u8 {
+    let benches = hecate::apps::all_benchmarks(hecate::apps::Preset::Small);
+    println!(
+        "estimator report: {} benchmark(s), Small preset, scheme {}",
+        benches.len(),
+        args.scheme
+    );
+    println!(
+        "  {:<6} {:>5} {:>6} {:>12} {:>12} {:>12} {:>7} {:>7}",
+        "name", "ops", "degree", "analytic ms", "traced ms", "profiled ms", "an/tr", "pf/tr"
+    );
+    let (mut ln_analytic, mut ln_profiled) = (0.0f64, 0.0f64);
+    for b in &benches {
+        let mut bopts = opts.clone();
+        bopts.degree = Some(opts.degree.unwrap_or((2 * b.func.vec_size).max(512)));
+        let prog = match compile(&b.func, args.scheme, &bopts) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("hecatec: {}: compilation failed: {e}", b.name);
+                return 4;
+            }
+        };
+        // Split the stream here so the fold below sees only this
+        // benchmark's execution ops, not its compile spans.
+        events_out.extend(trace::drain());
+        if let Err(e) = execute_encrypted(&prog, &b.inputs, &BackendOptions::default()) {
+            eprintln!("hecatec: {}: execution failed: {e}", b.name);
+            return 5;
         }
-    };
-    let mut opts = CompileOptions::with_waterline(args.waterline);
-    opts.rescale_bits = args.sf;
-    opts.degree = args.degree;
-
-    if args.serve {
-        return serve(&args, &opts);
+        let events = trace::drain();
+        let analytic = prog.stats.estimated_latency_us;
+        let traced = hecate::compiler::traced_total_us(&events);
+        let table = CostTable::from_trace(&events, prog.params.degree);
+        let profiled = estimate_latency_us(
+            &prog.func,
+            &prog.types,
+            &CostModel::Profiled(Arc::new(table)),
+            prog.params.chain_len,
+            prog.params.degree,
+        );
+        events_out.extend(events);
+        println!(
+            "  {:<6} {:>5} {:>6} {:>12.2} {:>12.2} {:>12.2} {:>7.3} {:>7.3}",
+            b.name,
+            prog.func.len(),
+            prog.params.degree,
+            analytic / 1e3,
+            traced / 1e3,
+            profiled / 1e3,
+            analytic / traced,
+            profiled / traced
+        );
+        ln_analytic += (analytic / traced).ln();
+        ln_profiled += (profiled / traced).ln();
     }
+    let n = benches.len() as f64;
+    println!(
+        "geomean ratio vs traced: analytic {:.3}, profiled {:.3}",
+        (ln_analytic / n).exp(),
+        (ln_profiled / n).exp()
+    );
+    0
+}
 
+/// Compile (or reload) a single file, print the plan, and optionally
+/// execute it — the classic single-shot driver path.
+fn run_single(args: &Args, opts: &CompileOptions) -> u8 {
     let funcs = match load_functions(&args.files) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("hecatec: {e}");
-            return ExitCode::from(3);
+            return 3;
         }
     };
     let (_, func) = funcs.into_iter().next().expect("one file checked");
 
-    let prog = match obtain_plan(&args, &func, &opts) {
+    let prog = match obtain_plan(args, &func, opts) {
         Ok(p) => p,
         Err(code) => return code,
     };
@@ -323,7 +429,7 @@ fn main() -> ExitCode {
     if let Some(path) = &args.save_plan {
         if let Err(e) = std::fs::write(path, serialize_plan(&prog)) {
             eprintln!("hecatec: cannot write {path}: {e}");
-            return ExitCode::from(3);
+            return 3;
         }
         println!("plan saved to {path}");
     }
@@ -386,17 +492,7 @@ fn main() -> ExitCode {
     }
 
     if args.run {
-        let mut rng = Xoshiro256::seed_from_u64(1);
-        let mut inputs: HashMap<String, Vec<f64>> = HashMap::new();
-        for op in func.ops() {
-            if let hecate::ir::Op::Input { name } = op {
-                inputs.entry(name.clone()).or_insert_with(|| {
-                    (0..func.vec_size)
-                        .map(|_| rng.next_range_f64(-1.0, 1.0))
-                        .collect()
-                });
-            }
-        }
+        let inputs = synth_inputs(&func, 1);
         let bopts = BackendOptions::default();
         match execute_encrypted(&prog, &inputs, &bopts) {
             Ok(run) => {
@@ -418,9 +514,87 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("hecatec: execution failed: {e}");
-                return ExitCode::from(5);
+                return 5;
             }
         }
     }
-    ExitCode::SUCCESS
+    0
+}
+
+/// Drains the tracer and writes the `--trace` and `--metrics` files.
+/// Runs on every exit path; a file that cannot be written turns a
+/// successful run into exit code 3 but never masks a run failure.
+fn finish_observability(args: &Args, code: u8, mut events: Vec<Event>, metrics_extra: &str) -> u8 {
+    let mut code = code;
+    if args.trace.is_some() || args.estimator_report {
+        trace::set_enabled(false);
+        events.extend(trace::drain());
+        events.sort_by_key(|e| e.ts_ns);
+    }
+    if let Some(path) = &args.trace {
+        let text = match args.trace_format {
+            TraceFormat::Jsonl => export::jsonl(&events),
+            TraceFormat::Chrome => export::chrome_trace(&events),
+        };
+        match std::fs::write(path, text) {
+            Ok(()) => println!("trace: {} event(s) written to {path}", events.len()),
+            Err(e) => {
+                eprintln!("hecatec: cannot write {path}: {e}");
+                if code == 0 {
+                    code = 3;
+                }
+            }
+        }
+    }
+    if let Some(path) = &args.metrics {
+        let mut text = export::prometheus(hecate::telemetry::metrics::global());
+        text.push_str(metrics_extra);
+        match std::fs::write(path, text) {
+            Ok(()) => println!("metrics written to {path}"),
+            Err(e) => {
+                eprintln!("hecatec: cannot write {path}: {e}");
+                if code == 0 {
+                    code = 3;
+                }
+            }
+        }
+    }
+    code
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("hecatec: {e}");
+            eprintln!("usage: hecatec <file.heir>... [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet] [--strict|--fallback] [--save-plan P] [--load-plan P] [--serve] [--jobs N] [--repeat K] [--trace P] [--trace-format jsonl|chrome] [--metrics P] [--estimator-report]");
+            return ExitCode::from(2);
+        }
+    };
+    let mut opts = CompileOptions::with_waterline(args.waterline);
+    opts.rescale_bits = args.sf;
+    opts.degree = args.degree;
+
+    // The estimator report needs the tracer even without --trace: the
+    // measured cost table is folded from the trace stream.
+    if args.trace.is_some() || args.estimator_report {
+        let _ = trace::drain(); // discard anything recorded before enabling
+        trace::set_enabled(true);
+    }
+
+    let mut report_events = Vec::new();
+    let mut metrics_extra = String::new();
+    let code = if args.estimator_report {
+        estimator_report(&args, &opts, &mut report_events)
+    } else if args.serve {
+        serve(&args, &opts, &mut metrics_extra)
+    } else {
+        run_single(&args, &opts)
+    };
+    ExitCode::from(finish_observability(
+        &args,
+        code,
+        report_events,
+        &metrics_extra,
+    ))
 }

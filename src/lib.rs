@@ -13,7 +13,10 @@
 //! - [`apps`] — the paper's six evaluation benchmarks as IR builders;
 //! - [`runtime`] — the multi-tenant serving layer: content-addressed plan
 //!   cache, per-session key management, and a parallel encrypted
-//!   executor.
+//!   executor;
+//! - [`telemetry`] — zero-dependency tracing spans, metrics, and
+//!   exporters (JSONL, Chrome trace, Prometheus text) wired through the
+//!   compiler, backend, and runtime.
 //!
 //! # Quickstart
 //!
@@ -50,3 +53,4 @@ pub use hecate_compiler as compiler;
 pub use hecate_ir as ir;
 pub use hecate_math as math;
 pub use hecate_runtime as runtime;
+pub use hecate_telemetry as telemetry;
