@@ -35,15 +35,15 @@ use hecate_ckks::encoder::EncodeError;
 use hecate_ckks::eval::EvalError;
 use hecate_ckks::params::ParamsError;
 use hecate_ckks::{
-    Ciphertext, CkksEncoder, CkksParams, Decryptor, Encryptor, EvalKeys, Evaluator, KeyGenerator,
-    Plaintext, PublicKey,
+    Ciphertext, CkksEncoder, CkksParams, Decryptor, Encryptor, EvalKeys, Evaluator, HoistedDecomp,
+    KeyGenerator, Plaintext, PublicKey,
 };
 use hecate_compiler::{op_cost_infos, CompiledProgram, OpCostInfo};
 use hecate_ir::{Op, ValueId};
 use hecate_telemetry::trace;
 use hecate_telemetry::{Counter, Histogram};
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Backend execution options.
@@ -60,6 +60,14 @@ pub struct BackendOptions {
     pub guard: GuardOptions,
     /// Fault to inject, for testing the guards. `None` in normal runs.
     pub fault: Option<FaultPlan>,
+    /// Scoped threads for the per-limb kernel inner loops of each
+    /// homomorphic op (`1` = serial). Results are bit-identical at every
+    /// job count.
+    pub kernel_jobs: usize,
+    /// Share one key-switch digit decomposition across all rotations of
+    /// the same ciphertext (Halevi–Shoup hoisting). Bit-identical to the
+    /// unhoisted path; off only for baseline measurements.
+    pub hoist_rotations: bool,
 }
 
 impl Default for BackendOptions {
@@ -69,6 +77,8 @@ impl Default for BackendOptions {
             seed: 0xC0FFEE,
             guard: GuardOptions::default(),
             fault: None,
+            kernel_jobs: 1,
+            hoist_rotations: true,
         }
     }
 }
@@ -136,6 +146,17 @@ pub enum ExecError {
         /// The unbound name.
         name: String,
     },
+    /// An input binding holds more elements than the program's declared
+    /// vector width. Silently truncating (the old behavior) would drop
+    /// user data; shorter inputs are still zero-padded.
+    InputTooLong {
+        /// The offending binding.
+        name: String,
+        /// Elements supplied.
+        len: usize,
+        /// The program's declared vector width.
+        vec_size: usize,
+    },
     /// A runtime guard found ciphertext state inconsistent with the
     /// compiled plan (wrong scale/level/prefix or an invalid residue).
     Guard {
@@ -164,6 +185,16 @@ impl std::fmt::Display for ExecError {
                 write!(f, "vector width {vec_size} incompatible with {slots} slots")
             }
             ExecError::MissingInput { name } => write!(f, "no binding for input '{name}'"),
+            ExecError::InputTooLong {
+                name,
+                len,
+                vec_size,
+            } => {
+                write!(
+                    f,
+                    "input '{name}' has {len} elements but the program's vector width is {vec_size}"
+                )
+            }
             ExecError::Guard { at, detail } => {
                 write!(f, "runtime guard tripped at op {at}: {detail}")
             }
@@ -292,7 +323,12 @@ pub fn key_requirements(
     (relin, rot)
 }
 
+/// Replicates a logical vector across the slot count. Shorter data is
+/// zero-padded to `vec_size`; longer data is rejected by the caller via
+/// [`ExecError::InputTooLong`] — cycling it into the window would
+/// silently drop elements.
 fn replicate(data: &[f64], vec_size: usize, slots: usize) -> Vec<f64> {
+    debug_assert!(data.len() <= vec_size, "caller validates input length");
     let mut window = data.to_vec();
     window.resize(vec_size, 0.0);
     let mut out = Vec::with_capacity(slots);
@@ -301,6 +337,50 @@ fn replicate(data: &[f64], vec_size: usize, slots: usize) -> Vec<f64> {
     }
     out.truncate(slots);
     out
+}
+
+/// Per-run cache of hoisted rotation decompositions, keyed by the
+/// producer value's operation index.
+///
+/// One [`HoistState`] must live exactly as long as one run: decomposed
+/// `c1` values depend on that run's ciphertexts, so sharing across runs
+/// (or engines) would be incorrect. The sequential and parallel drivers
+/// each create one and thread it through [`ExecEngine::exec_op_with`].
+/// Concurrent workers may race to hoist the same value; both compute the
+/// same bits (the kernels are deterministic), the first insert wins, and
+/// the duplicate is dropped — correctness never depends on the race.
+#[derive(Debug, Default)]
+pub struct HoistState {
+    decomps: Mutex<HashMap<usize, Arc<HoistedDecomp>>>,
+}
+
+impl HoistState {
+    /// Returns the hoisted decomposition for the value at `key`,
+    /// computing (and caching) it on first use.
+    fn get_or_hoist(&self, key: usize, c: &Ciphertext, eval: &Evaluator) -> Arc<HoistedDecomp> {
+        if let Some(hd) = self
+            .decomps
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
+            return hd.clone();
+        }
+        // Hoist outside the lock: a concurrent duplicate costs one
+        // redundant decomposition, never a stall of every other worker.
+        let mut span = trace::span_with("hoist-decompose", || {
+            vec![("value", key.into()), ("active_primes", c.prefix().into())]
+        });
+        let t0 = Instant::now();
+        let hd = Arc::new(eval.hoist(c));
+        span.attr("us", (t0.elapsed().as_secs_f64() * 1e6).into());
+        self.decomps
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(key)
+            .or_insert(hd)
+            .clone()
+    }
 }
 
 /// A reusable encrypted-execution engine for one compiled program.
@@ -333,12 +413,35 @@ pub struct ExecEngine {
     vec_size: usize,
     sf: f64,
     seed: u64,
+    /// Whether rotation hoisting is enabled for this engine.
+    hoist_rotations: bool,
+    /// Per value index: number of distinct nonzero canonical rotation
+    /// steps applied to it. Fan-out ≥ 2 makes hoisting profitable (one
+    /// shared decomposition amortized over ≥ 2 rotations).
+    rotate_fanout: Vec<u32>,
     // Telemetry: per-op cost attribution (computed once at engine build so
     // tracing adds no per-op analysis), plus cached global-metric handles
     // so the hot path never takes the registry lock.
     cost_infos: Vec<OpCostInfo>,
     ops_counter: Counter,
     op_us_hist: Histogram,
+}
+
+/// Per value index: the number of distinct nonzero canonical rotation
+/// steps applied to it in `prog`. Values rotated by two or more distinct
+/// steps are hoisting candidates.
+pub fn rotation_fanout(prog: &CompiledProgram, slots: usize) -> Vec<u32> {
+    let mut fanout = vec![0u32; prog.func.len()];
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    for op in prog.func.ops() {
+        if let Op::Rotate { value, step } = op {
+            let s = step % slots;
+            if s != 0 && seen.insert((value.index(), s)) {
+                fanout[value.index()] += 1;
+            }
+        }
+    }
+    fanout
 }
 
 impl ExecEngine {
@@ -364,8 +467,10 @@ impl ExecEngine {
         }
         let keys = EvalKeys::generate(&mut kg, &relin, &rot);
         let decryptor = Decryptor::new(&params, kg.secret_key().clone());
-        let eval = Evaluator::new(&params, keys);
+        let mut eval = Evaluator::new(&params, keys);
+        eval.set_kernel_jobs(opts.kernel_jobs);
         let sf = prog.cfg.rescale_bits;
+        let rotate_fanout = rotation_fanout(&prog, slots);
         let cost_infos = op_cost_infos(&prog.func, &prog.types, chain_len);
         let registry = hecate_telemetry::metrics::global();
         let ops_counter = registry.counter("hecate_exec_ops_total");
@@ -384,6 +489,8 @@ impl ExecEngine {
             vec_size,
             sf,
             seed: opts.seed,
+            hoist_rotations: opts.hoist_rotations,
+            rotate_fanout,
             cost_infos,
             ops_counter,
             op_us_hist,
@@ -418,10 +525,18 @@ impl ExecEngine {
 
     fn encode_replicated(
         &self,
+        name: &str,
         data: &[f64],
         scale: f64,
         level: usize,
     ) -> Result<Plaintext, ExecError> {
+        if data.len() > self.vec_size {
+            return Err(ExecError::InputTooLong {
+                name: name.to_string(),
+                len: data.len(),
+                vec_size: self.vec_size,
+            });
+        }
         let rep = replicate(data, self.vec_size, self.slots);
         let mut pt = self.encoder.encode(&rep, scale, level)?;
         // Plaintexts are prepared ahead of execution in NTT form, as SEAL
@@ -452,7 +567,7 @@ impl ExecEngine {
                         .get(name)
                         .ok_or_else(|| ExecError::MissingInput { name: name.clone() })?;
                     let scale = self.prog.types[i].scale().expect("cipher input");
-                    let pt = self.encode_replicated(data, scale, 0)?;
+                    let pt = self.encode_replicated(name, data, scale, 0)?;
                     Some(OpValue(Val::Cipher(encryptor.encrypt(&pt))))
                 }
                 _ => None,
@@ -477,6 +592,23 @@ impl ExecEngine {
         i: usize,
         operands: &[&OpValue],
     ) -> Result<(OpValue, f64, f64), ExecError> {
+        self.exec_op_with(i, operands, None)
+    }
+
+    /// Like [`ExecEngine::exec_op`], with an optional per-run [`HoistState`]
+    /// enabling Halevi–Shoup rotation hoisting for fanned-out rotations.
+    /// Passing `None` (or constructing the engine with
+    /// [`BackendOptions::hoist_rotations`] off) takes the plain rotation
+    /// path; both paths are bit-identical.
+    ///
+    /// # Errors
+    /// Returns [`ExecError`] on evaluator failures or tripped guards.
+    pub fn exec_op_with(
+        &self,
+        i: usize,
+        operands: &[&OpValue],
+        hoist: Option<&HoistState>,
+    ) -> Result<(OpValue, f64, f64), ExecError> {
         let mut span = trace::span_with("exec-op", || {
             let info = &self.cost_infos[i];
             vec![
@@ -487,7 +619,7 @@ impl ExecEngine {
                 ("active_primes", info.active_primes.into()),
             ]
         });
-        let (value, us) = self.compute(i, operands)?;
+        let (value, us) = self.compute(i, operands, hoist)?;
         span.attr("us", us.into());
         if !self.cost_infos[i].cost_ops.is_empty() {
             self.ops_counter.inc();
@@ -557,7 +689,12 @@ impl ExecEngine {
         }
     }
 
-    fn compute(&self, i: usize, operands: &[&OpValue]) -> Result<(Val, f64), ExecError> {
+    fn compute(
+        &self,
+        i: usize,
+        operands: &[&OpValue],
+        hoist: Option<&HoistState>,
+    ) -> Result<(Val, f64), ExecError> {
         let prog = &self.prog;
         let op = &prog.func.ops()[i];
         let ty = prog.types[i];
@@ -573,13 +710,14 @@ impl ExecEngine {
                 let Val::Free(data) = &operands[0].0 else {
                     unreachable!("encode takes a free operand");
                 };
-                Val::Plain(self.encode_replicated(data, *scale_bits, *level)?)
+                Val::Plain(self.encode_replicated("<const>", data, *scale_bits, *level)?)
             }
             Op::ModSwitch(v) | Op::Upscale { value: v, .. } if prog.types[v.index()].is_plain() => {
                 // Plaintext scale management is symbolic: re-encode the
                 // underlying data at the new (scale, level).
                 let data = self.plain_source_data(*v);
                 Val::Plain(self.encode_replicated(
+                    "<const>",
                     &data,
                     ty.scale().expect("plain"),
                     ty.level().expect("plain"),
@@ -643,12 +781,23 @@ impl ExecEngine {
                 us = t0.elapsed().as_secs_f64() * 1e6;
                 Val::Cipher(out)
             }
-            Op::Rotate { step, .. } => {
+            Op::Rotate { value, step } => {
                 let Val::Cipher(c) = &operands[0].0 else {
                     unreachable!("rotate on cipher")
                 };
+                let s = step % self.slots;
+                let hoistable = self.hoist_rotations
+                    && s != 0
+                    && self.rotate_fanout[value.index()] >= 2
+                    && hoist.is_some();
                 let t0 = Instant::now();
-                let out = eval.rotate(c, step % self.slots).map_err(eval_err)?;
+                let out = if hoistable {
+                    let hs = hoist.expect("checked above");
+                    let hd = hs.get_or_hoist(value.index(), c, eval);
+                    eval.rotate_hoisted(c, &hd, s).map_err(eval_err)?
+                } else {
+                    eval.rotate(c, s).map_err(eval_err)?
+                };
                 us = t0.elapsed().as_secs_f64() * 1e6;
                 Val::Cipher(out)
             }
@@ -683,7 +832,8 @@ impl ExecEngine {
                     unreachable!("cipher upscale")
                 };
                 let delta = target_bits - c.scale_bits;
-                let ones = self.encode_replicated(&vec![1.0; self.vec_size], delta, c.level)?;
+                let ones =
+                    self.encode_replicated("<unit>", &vec![1.0; self.vec_size], delta, c.level)?;
                 let t0 = Instant::now();
                 let mut out = eval.mul_plain(c, &ones).map_err(eval_err)?;
                 us = t0.elapsed().as_secs_f64() * 1e6;
@@ -698,7 +848,8 @@ impl ExecEngine {
                 // scale lands exactly on the waterline (nominally).
                 let target = prog.cfg.waterline;
                 let delta = self.sf + target - c.scale_bits;
-                let ones = self.encode_replicated(&vec![1.0; self.vec_size], delta, c.level)?;
+                let ones =
+                    self.encode_replicated("<unit>", &vec![1.0; self.vec_size], delta, c.level)?;
                 let t0 = Instant::now();
                 let up = eval.mul_plain(c, &ones).map_err(eval_err)?;
                 let mut out = eval.rescale(&up).map_err(eval_err)?;
@@ -848,6 +999,7 @@ pub fn execute_sequential(
     let mut pre = engine.encrypt_inputs(inputs)?;
     let last = last_uses(&prog.func);
     let mut monitor = engine.new_monitor();
+    let hoist = HoistState::default();
 
     let mut vals: HashMap<usize, OpValue> = HashMap::new();
     let mut op_us = vec![0.0f64; prog.func.len()];
@@ -863,7 +1015,7 @@ pub fn execute_sequential(
         } else {
             let operand_vals: Vec<&OpValue> =
                 op.operands().iter().map(|v| &vals[&v.index()]).collect();
-            let (value, us, injected) = engine.exec_op(i, &operand_vals)?;
+            let (value, us, injected) = engine.exec_op_with(i, &operand_vals, Some(&hoist))?;
             op_us[i] = us;
             total_us += us;
             (value, injected)

@@ -60,8 +60,8 @@ pub mod noise;
 pub mod profile;
 
 pub use exec::{
-    execute_encrypted, execute_sequential, BackendOptions, EncryptedRun, ExecEngine, ExecError,
-    GuardOptions, OpValue,
+    execute_encrypted, execute_sequential, rotation_fanout, BackendOptions, EncryptedRun,
+    ExecEngine, ExecError, GuardOptions, HoistState, OpValue,
 };
 pub use fault::FaultPlan;
 pub use noise::{max_rms_error, simulate, NoiseMonitor, SimulatedRun};

@@ -97,6 +97,17 @@ pub fn profile_cost_table(
                 eval.rotate(&ct, 1).expect("rotate");
             }),
         );
+        // The hoisted decomposition is paid once per fan-out group (by the
+        // leader, costed as Rotate), so only the per-rotation remainder is
+        // timed here.
+        let hd = eval.hoist(&ct);
+        table.set(
+            CostOp::RotateHoisted,
+            c,
+            time(&mut || {
+                eval.rotate_hoisted(&ct, &hd, 1).expect("rotate_hoisted");
+            }),
+        );
         if c >= 2 {
             // Rescale needs headroom above the waterline; time on a fresh
             // product so the scale is large enough.

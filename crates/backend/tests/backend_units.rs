@@ -131,6 +131,117 @@ fn noise_simulation_grows_with_depth() {
 }
 
 #[test]
+fn overlong_input_is_a_typed_error() {
+    let mut b = FunctionBuilder::new("long", 8);
+    let x = b.input_cipher("x");
+    let m = b.mul(x, x);
+    b.output(m);
+    let func = b.finish();
+    let prog = compile(&func, Scheme::Eva, &opts(20.0)).unwrap();
+    let mut inputs = HashMap::new();
+    inputs.insert("x".to_string(), vec![0.1; 9]); // width is 8
+    let err = execute_encrypted(
+        &prog,
+        &inputs,
+        &BackendOptions {
+            degree_override: Some(256),
+            seed: 4,
+            ..BackendOptions::default()
+        },
+    );
+    match err {
+        Err(hecate_backend::ExecError::InputTooLong {
+            name,
+            len,
+            vec_size,
+        }) => {
+            assert_eq!(name, "x");
+            assert_eq!(len, 9);
+            assert_eq!(vec_size, 8);
+        }
+        other => panic!("expected InputTooLong, got {other:?}"),
+    }
+}
+
+/// A rotation-heavy function: `fan` distinct rotations of the same input,
+/// summed. This is the shape hoisting accelerates.
+fn rotation_fan_func(fan: usize) -> hecate_ir::Function {
+    let mut b = FunctionBuilder::new("fan", 16);
+    let x = b.input_cipher("x");
+    let x2 = b.mul(x, x); // descend a level so rotations run mid-chain
+    let mut acc = x2;
+    for step in 1..=fan {
+        let r = b.rotate(x2, step);
+        acc = b.add(acc, r);
+    }
+    b.output(acc);
+    b.finish()
+}
+
+#[test]
+fn rotation_fanout_counts_distinct_canonical_steps() {
+    let func = {
+        let mut b = FunctionBuilder::new("f", 16);
+        let x = b.input_cipher("x");
+        let r1 = b.rotate(x, 3);
+        let r2 = b.rotate(x, 5);
+        let r3 = b.rotate(x, 3 + 16); // wraps to 3 on a 16-slot ring: no new key
+        let r4 = b.rotate(x, 16); // identity on a 16-slot ring
+        let s1 = b.add(r1, r2);
+        let s2 = b.add(r3, r4);
+        let s = b.add(s1, s2);
+        b.output(s);
+        b.finish()
+    };
+    let prog = compile(&func, Scheme::Eva, &opts(20.0)).unwrap();
+    let fanout = hecate_backend::rotation_fanout(&prog, 16);
+    // The input value (index of x's op) should have fanout 2: steps {3, 5}.
+    let max = fanout.iter().copied().max().unwrap();
+    assert_eq!(max, 2, "{fanout:?}");
+}
+
+#[test]
+fn hoisted_execution_is_bit_identical_to_unhoisted() {
+    let func = rotation_fan_func(4);
+    let prog = compile(&func, Scheme::Eva, &opts(24.0)).unwrap();
+    let mut inputs = HashMap::new();
+    inputs.insert(
+        "x".to_string(),
+        (0..16).map(|i| (i as f64) * 0.05 - 0.3).collect(),
+    );
+    let base = BackendOptions {
+        degree_override: Some(256),
+        seed: 7,
+        hoist_rotations: false,
+        ..BackendOptions::default()
+    };
+    let reference = execute_encrypted(&prog, &inputs, &base).unwrap();
+    for (hoist, jobs) in [(true, 1), (true, 2), (true, 4), (false, 2)] {
+        let run = execute_encrypted(
+            &prog,
+            &inputs,
+            &BackendOptions {
+                hoist_rotations: hoist,
+                kernel_jobs: jobs,
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        for (name, out) in &reference.outputs {
+            let got = &run.outputs[name];
+            assert_eq!(out.len(), got.len());
+            for (a, b) in out.iter().zip(got) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "hoist={hoist} jobs={jobs}: outputs diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn vector_width_must_fit_slots() {
     let mut b = FunctionBuilder::new("big", 1024);
     let x = b.input_cipher("x");

@@ -45,6 +45,7 @@ fn measure(workers: usize, benches: &[Benchmark]) -> f64 {
             degree_override: Some(512),
             ..BackendOptions::default()
         },
+        ..RuntimeConfig::default()
     });
     let opts = options();
     let mk = |session, bench: &Benchmark| Request {

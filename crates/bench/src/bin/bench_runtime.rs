@@ -7,18 +7,81 @@
 //! execution), not queueing. Writes `BENCH_runtime.json` at the
 //! workspace root in the stable report schema (`name`, `median_us`,
 //! `iterations`); see [`hecate_bench::bench_json`].
+//!
+//! Also measures the rotate-dominated kernel time of a synthetic
+//! rotation fan-out (the sum of `FAN` rotations of one value) with and
+//! without hoisting, so the report captures the Halevi–Shoup win
+//! directly: `rot-fan8/hoisted` vs `rot-fan8/nohoist` is the kernel
+//! time spent inside rotate ops (from the executor's per-op timings),
+//! not end-to-end latency.
 
 #![forbid(unsafe_code)]
 
 use hecate_apps::{benchmark, Preset};
-use hecate_backend::exec::BackendOptions;
+use hecate_backend::exec::{execute_encrypted, BackendOptions};
 use hecate_bench::{fmt_us, median_us, write_bench_report, BenchRow};
-use hecate_compiler::{CompileOptions, Scheme};
+use hecate_compiler::{compile, CompileOptions, Scheme};
+use hecate_ir::{FunctionBuilder, Op};
 use hecate_runtime::{Request, Runtime, RuntimeConfig};
+use std::collections::HashMap;
 
 const WORKLOADS: [&str; 2] = ["SF", "HCD"];
 const ITERATIONS: usize = 12;
 const DEGREE: usize = 512;
+/// Rotations sharing one hoisted decomposition in the microbenchmark.
+const FAN: usize = 8;
+/// Slot width of the rotation-fan function.
+const FAN_WIDTH: usize = 64;
+
+/// `sum_{s=1..=FAN} rot(x*x, s)` — a mid-chain rotation fan-out with
+/// `FAN` distinct canonical steps, the shape hoisting is built for.
+fn rotation_fan_func() -> hecate_ir::Function {
+    let mut b = FunctionBuilder::new("rotfan", FAN_WIDTH);
+    let x = b.input_cipher("x");
+    let x2 = b.mul(x, x); // descend a level so rotations run mid-chain
+    let mut acc = x2;
+    for step in 1..=FAN {
+        let r = b.rotate(x2, step);
+        acc = b.add(acc, r);
+    }
+    b.output(acc);
+    b.finish()
+}
+
+/// Median microseconds spent inside rotate ops per run, over
+/// `ITERATIONS` encrypted executions (one warmup run off the record).
+fn rotate_kernel_us(hoist: bool) -> f64 {
+    let mut opts = CompileOptions::with_waterline(24.0);
+    opts.degree = Some(DEGREE);
+    let prog = compile(&rotation_fan_func(), Scheme::Pars, &opts).expect("rot-fan compiles");
+    let rotate_ops: Vec<usize> = prog
+        .func
+        .ops()
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| matches!(op, Op::Rotate { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(rotate_ops.len(), FAN, "all distinct rotations survive CSE");
+    let mut inputs = HashMap::new();
+    inputs.insert(
+        "x".to_string(),
+        (0..FAN_WIDTH).map(|i| (i as f64) * 0.01 - 0.3).collect(),
+    );
+    let bopts = BackendOptions {
+        degree_override: Some(DEGREE),
+        hoist_rotations: hoist,
+        ..BackendOptions::default()
+    };
+    let samples: Vec<f64> = (0..=ITERATIONS)
+        .map(|_| {
+            let run = execute_encrypted(&prog, &inputs, &bopts).expect("rot-fan runs");
+            rotate_ops.iter().map(|&i| run.op_us[i]).sum()
+        })
+        .skip(1) // warmup
+        .collect();
+    median_us(samples)
+}
 
 fn main() {
     let rt = Runtime::new(RuntimeConfig {
@@ -28,6 +91,7 @@ fn main() {
             degree_override: Some(DEGREE),
             ..BackendOptions::default()
         },
+        ..RuntimeConfig::default()
     });
     let mut opts = CompileOptions::with_waterline(24.0);
     opts.degree = Some(DEGREE);
@@ -71,6 +135,25 @@ fn main() {
         });
     }
     rt.shutdown();
+    println!("rotation-fan microbenchmark: {FAN} rotations of one value, rotate kernel time");
+    let nohoist = rotate_kernel_us(false);
+    let hoisted = rotate_kernel_us(true);
+    println!("  rot-fan{FAN}/nohoist {:>10}", fmt_us(nohoist));
+    println!(
+        "  rot-fan{FAN}/hoisted {:>10}   ({:.2}x)",
+        fmt_us(hoisted),
+        nohoist / hoisted
+    );
+    rows.push(BenchRow {
+        name: format!("rot-fan{FAN}/nohoist"),
+        median_us: nohoist,
+        iterations: ITERATIONS,
+    });
+    rows.push(BenchRow {
+        name: format!("rot-fan{FAN}/hoisted"),
+        median_us: hoisted,
+        iterations: ITERATIONS,
+    });
     let path = write_bench_report("BENCH_runtime.json", &rows);
     println!("wrote {}", path.display());
 }

@@ -15,9 +15,13 @@
 //! touches `L+1−k` primes, so deeper levels are cheaper.
 
 use crate::cipher::{Ciphertext, Plaintext};
-use crate::keys::{key_switch, KeyGenerator, KeySwitchKey};
+use crate::keys::{
+    galois_element, hoisted_decompose, key_switch_hoisted, key_switch_jobs, HoistedDecomp,
+    KeyGenerator, KeySwitchKey,
+};
 use crate::params::CkksParams;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Tolerance (in log2 bits) when requiring two scales to be equal.
 pub const SCALE_EQ_TOLERANCE_BITS: f64 = 1e-6;
@@ -80,6 +84,11 @@ impl EvalKeys {
     /// * `relin_prefixes` — prefix lengths at which ct×ct multiplication
     ///   occurs;
     /// * `rotations` — `(step, prefix)` pairs at which rotation occurs.
+    ///
+    /// Rotation steps are canonicalized modulo the slot count before
+    /// generation, so wrapped steps (`slots + k`) share one key with
+    /// their canonical form `k` and full rotations (`step ≡ 0`) generate
+    /// no key at all — they are the identity.
     pub fn generate(
         kg: &mut KeyGenerator,
         relin_prefixes: &[usize],
@@ -90,11 +99,21 @@ impl EvalKeys {
             keys.relin.entry(c).or_insert_with(|| kg.relin_key(c));
         }
         for &(step, c) in rotations {
+            let step = kg.params().canonical_step(step);
+            if step == 0 {
+                continue;
+            }
             keys.galois
                 .entry((step, c))
                 .or_insert_with(|| kg.galois_key(step, c));
         }
         keys
+    }
+
+    /// Number of distinct Galois keys held (diagnostic: canonicalization
+    /// must keep this at one per distinct `(step mod slots, prefix)`).
+    pub fn galois_key_count(&self) -> usize {
+        self.galois.len()
     }
 
     /// Adds conjugation keys for the given prefixes.
@@ -117,6 +136,11 @@ impl EvalKeys {
 pub struct Evaluator {
     params: CkksParams,
     keys: EvalKeys,
+    /// Scoped threads for the per-limb kernel inner loops (`1` = serial).
+    kernel_jobs: usize,
+    /// Galois slot permutations by Galois element; prime-independent, so
+    /// one entry serves every limb of every ciphertext.
+    perms: Mutex<HashMap<usize, Arc<Vec<usize>>>>,
 }
 
 impl Evaluator {
@@ -125,12 +149,35 @@ impl Evaluator {
         Evaluator {
             params: params.clone(),
             keys,
+            kernel_jobs: 1,
+            perms: Mutex::new(HashMap::new()),
         }
     }
 
     /// The parameter set in use.
     pub fn params(&self) -> &CkksParams {
         &self.params
+    }
+
+    /// Sets the per-limb kernel parallelism (`1` = serial). Results are
+    /// bit-identical at every job count; this only trades wall-clock
+    /// time for threads.
+    pub fn set_kernel_jobs(&mut self, jobs: usize) {
+        self.kernel_jobs = jobs.max(1);
+    }
+
+    /// The configured per-limb kernel parallelism.
+    pub fn kernel_jobs(&self) -> usize {
+        self.kernel_jobs
+    }
+
+    /// The cached Galois slot permutation for element `g`.
+    fn galois_perm(&self, g: usize) -> Arc<Vec<usize>> {
+        let mut cache = self.perms.lock().unwrap_or_else(|e| e.into_inner());
+        cache
+            .entry(g)
+            .or_insert_with(|| Arc::new(self.params.basis().ntt(0).galois_permutation(g)))
+            .clone()
     }
 
     fn check_levels(a: usize, b: usize) -> Result<(), EvalError> {
@@ -260,12 +307,12 @@ impl Evaluator {
         let mut t2 = a.c1.clone();
         t2.mul_assign_pointwise(&b.c1, basis);
         // Relinearize the quadratic component.
-        t2.to_coeff(basis);
-        let (kb, ka) = key_switch(&t2, rk, &self.params);
+        t2.to_coeff_jobs(basis, self.kernel_jobs);
+        let (kb, ka) = key_switch_jobs(&t2, rk, &self.params, self.kernel_jobs);
         let mut kb = kb;
         let mut ka = ka;
-        kb.to_ntt(basis);
-        ka.to_ntt(basis);
+        kb.to_ntt_jobs(basis, self.kernel_jobs);
+        ka.to_ntt_jobs(basis, self.kernel_jobs);
         t0.add_assign(&kb, basis);
         t1a.add_assign(&ka, basis);
         Ok(Ciphertext {
@@ -338,37 +385,94 @@ impl Evaluator {
     /// Returns [`EvalError::MissingKey`] if no Galois key was generated for
     /// `(step, prefix)`.
     pub fn rotate(&self, a: &Ciphertext, step: usize) -> Result<Ciphertext, EvalError> {
-        let slots = self.params.slots();
-        let step = step % slots;
+        let step = self.params.canonical_step(step);
         if step == 0 {
             return Ok(a.clone());
         }
-        let c = a.prefix();
-        let gk = self
-            .keys
+        let gk = self.galois_key_for(step, a.prefix())?;
+        let basis = self.params.basis();
+        let g = galois_element(&self.params, step);
+        let mut c0 = a.c0.clone();
+        let mut c1 = a.c1.clone();
+        c0.to_coeff_jobs(basis, self.kernel_jobs);
+        c1.to_coeff_jobs(basis, self.kernel_jobs);
+        let c0_rot = c0.automorphism(g, basis);
+        let c1_rot = c1.automorphism(g, basis);
+        let (kb, ka) = key_switch_jobs(&c1_rot, gk, &self.params, self.kernel_jobs);
+        let mut out0 = c0_rot;
+        out0.add_assign(&kb, basis);
+        out0.to_ntt_jobs(basis, self.kernel_jobs);
+        let mut out1 = ka;
+        out1.to_ntt_jobs(basis, self.kernel_jobs);
+        Ok(Ciphertext {
+            c0: out0,
+            c1: out1,
+            scale_bits: a.scale_bits,
+            level: a.level,
+        })
+    }
+
+    /// The Galois key for a canonical step at a prefix.
+    fn galois_key_for(&self, step: usize, c: usize) -> Result<&KeySwitchKey, EvalError> {
+        self.keys
             .galois
             .get(&(step, c))
             .ok_or_else(|| EvalError::MissingKey {
                 what: format!("galois key for step {step} at prefix {c}"),
-            })?;
-        let basis = self.params.basis();
-        let two_n = 2 * self.params.degree();
-        let mut g = 1usize;
-        for _ in 0..step {
-            g = g * 5 % two_n;
-        }
-        let mut c0 = a.c0.clone();
+            })
+    }
+
+    /// Precomputes the shared (Halevi–Shoup hoisted) part of rotating
+    /// `a`: the RNS digit decomposition of `c1` over the extended basis.
+    /// One decomposition serves every [`rotate_hoisted`] of the same
+    /// ciphertext — the decomposition's `c·(c+1)` forward NTTs, which
+    /// dominate a rotation, are paid once instead of once per step.
+    ///
+    /// [`rotate_hoisted`]: Evaluator::rotate_hoisted
+    pub fn hoist(&self, a: &Ciphertext) -> HoistedDecomp {
         let mut c1 = a.c1.clone();
-        c0.to_coeff(basis);
-        c1.to_coeff(basis);
-        let c0_rot = c0.automorphism(g, basis);
-        let c1_rot = c1.automorphism(g, basis);
-        let (kb, ka) = key_switch(&c1_rot, gk, &self.params);
-        let mut out0 = c0_rot;
+        c1.to_coeff_jobs(self.params.basis(), self.kernel_jobs);
+        hoisted_decompose(&c1, &self.params, self.kernel_jobs)
+    }
+
+    /// Rotates using a decomposition precomputed by [`Evaluator::hoist`]
+    /// on the *same* ciphertext. Bit-identical to [`Evaluator::rotate`]:
+    /// digit decomposition commutes with the Galois automorphism, which
+    /// acts on the evaluation domain as a pure slot permutation, so the
+    /// key-switch accumulator sees exactly the same limb values in the
+    /// same order.
+    ///
+    /// # Errors
+    /// Returns [`EvalError::MissingKey`] if no Galois key was generated
+    /// for `(step, prefix)`.
+    ///
+    /// # Panics
+    /// Panics if `hd` was hoisted at a different prefix than `a`.
+    pub fn rotate_hoisted(
+        &self,
+        a: &Ciphertext,
+        hd: &HoistedDecomp,
+        step: usize,
+    ) -> Result<Ciphertext, EvalError> {
+        let step = self.params.canonical_step(step);
+        if step == 0 {
+            return Ok(a.clone());
+        }
+        let c = a.prefix();
+        assert_eq!(hd.prefix(), c, "hoisted decomposition prefix mismatch");
+        let gk = self.galois_key_for(step, c)?;
+        let basis = self.params.basis();
+        let g = galois_element(&self.params, step);
+        let perm = self.galois_perm(g);
+        let (kb, ka) = key_switch_hoisted(hd, &perm, gk, &self.params, self.kernel_jobs);
+        // c0 rotates in the evaluation domain directly — same permutation,
+        // no coefficient-domain round trip.
+        let mut out0 = a.c0.automorphism_ntt(&perm);
+        let mut kb = kb;
+        kb.to_ntt_jobs(basis, self.kernel_jobs);
         out0.add_assign(&kb, basis);
-        out0.to_ntt(basis);
         let mut out1 = ka;
-        out1.to_ntt(basis);
+        out1.to_ntt_jobs(basis, self.kernel_jobs);
         Ok(Ciphertext {
             c0: out0,
             c1: out1,
@@ -395,16 +499,16 @@ impl Evaluator {
         let g = 2 * self.params.degree() - 1;
         let mut c0 = a.c0.clone();
         let mut c1 = a.c1.clone();
-        c0.to_coeff(basis);
-        c1.to_coeff(basis);
+        c0.to_coeff_jobs(basis, self.kernel_jobs);
+        c1.to_coeff_jobs(basis, self.kernel_jobs);
         let c0_conj = c0.automorphism(g, basis);
         let c1_conj = c1.automorphism(g, basis);
-        let (kb, ka) = key_switch(&c1_conj, ck, &self.params);
+        let (kb, ka) = key_switch_jobs(&c1_conj, ck, &self.params, self.kernel_jobs);
         let mut out0 = c0_conj;
         out0.add_assign(&kb, basis);
-        out0.to_ntt(basis);
+        out0.to_ntt_jobs(basis, self.kernel_jobs);
         let mut out1 = ka;
-        out1.to_ntt(basis);
+        out1.to_ntt_jobs(basis, self.kernel_jobs);
         Ok(Ciphertext {
             c0: out0,
             c1: out1,
@@ -560,6 +664,92 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn rotate_by_full_slot_count_is_identity() {
+        let mut f = setup(1, &[]);
+        let slots = f.params.slots();
+        let ct = f.encryptor.encrypt(&f.enc.encode(&[4.0], 30.0, 0).unwrap());
+        // No Galois keys were generated at all: a full rotation must not
+        // need one (its canonical step is 0).
+        let rot = f.eval.rotate(&ct, slots).unwrap();
+        assert_eq!(rot.c0, ct.c0);
+        assert_eq!(rot.c1, ct.c1);
+        let double = f.eval.rotate(&ct, 2 * slots).unwrap();
+        assert_eq!(double.c0, ct.c0);
+    }
+
+    #[test]
+    fn rotate_wrapped_step_equals_canonical_step() {
+        // Keys requested under the *wrapped* step must be found when
+        // rotating by either form, and the results must be bit-identical.
+        let params = CkksParams::new(128, 45, 30, 1, false).unwrap();
+        let slots = params.slots();
+        let enc = CkksEncoder::new(&params);
+        let mut kg = KeyGenerator::new(&params, 11);
+        let pk = kg.public_key();
+        let chain: Vec<usize> = (1..=params.basis().chain_len()).collect();
+        // Request step 3 twice — once wrapped — plus a full rotation.
+        let rots: Vec<(usize, usize)> = chain
+            .iter()
+            .flat_map(|&c| [(slots + 3, c), (3, c), (slots, c)])
+            .collect();
+        let keys = EvalKeys::generate(&mut kg, &[], &rots);
+        assert_eq!(
+            keys.galois_key_count(),
+            chain.len(),
+            "wrapped and zero-equivalent steps must not generate redundant keys"
+        );
+        let eval = Evaluator::new(&params, keys);
+        let mut encryptor = Encryptor::new(&params, pk, 13);
+        let vals: Vec<f64> = (0..slots).map(|i| (i % 5) as f64).collect();
+        let ct = encryptor.encrypt(&enc.encode(&vals, 30.0, 0).unwrap());
+        let canonical = eval.rotate(&ct, 3).unwrap();
+        let wrapped = eval.rotate(&ct, slots + 3).unwrap();
+        assert_eq!(wrapped.c0, canonical.c0, "rotate(slots+3) == rotate(3)");
+        assert_eq!(wrapped.c1, canonical.c1);
+    }
+
+    #[test]
+    fn hoisted_rotation_is_bit_identical_to_plain_rotation() {
+        for jobs in [1usize, 2, 4] {
+            let mut f = setup(1, &[1, 5]);
+            f.eval.set_kernel_jobs(jobs);
+            let slots = f.params.slots();
+            let vals: Vec<f64> = (0..slots).map(|i| (i % 7) as f64).collect();
+            let ct = f.encryptor.encrypt(&f.enc.encode(&vals, 30.0, 0).unwrap());
+            let hd = f.eval.hoist(&ct);
+            for step in [1usize, 5, slots + 1] {
+                let plain = f.eval.rotate(&ct, step).unwrap();
+                let hoisted = f.eval.rotate_hoisted(&ct, &hd, step).unwrap();
+                assert_eq!(hoisted.c0, plain.c0, "jobs {jobs} step {step}");
+                assert_eq!(hoisted.c1, plain.c1, "jobs {jobs} step {step}");
+                assert_eq!(hoisted.scale_bits, plain.scale_bits);
+                assert_eq!(hoisted.level, plain.level);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_jobs_do_not_change_mul_or_rotate() {
+        let mut base = setup(2, &[1]);
+        let vals = [1.5f64, -0.25, 3.0];
+        let a = base
+            .encryptor
+            .encrypt(&base.enc.encode(&vals, 30.0, 0).unwrap());
+        let seq_mul = base.eval.mul(&a, &a).unwrap();
+        let seq_rot = base.eval.rotate(&a, 1).unwrap();
+        for jobs in [2usize, 4] {
+            base.eval.set_kernel_jobs(jobs);
+            let par_mul = base.eval.mul(&a, &a).unwrap();
+            let par_rot = base.eval.rotate(&a, 1).unwrap();
+            assert_eq!(par_mul.c0, seq_mul.c0, "jobs = {jobs}");
+            assert_eq!(par_mul.c1, seq_mul.c1, "jobs = {jobs}");
+            assert_eq!(par_rot.c0, seq_rot.c0, "jobs = {jobs}");
+            assert_eq!(par_rot.c1, seq_rot.c1, "jobs = {jobs}");
+        }
+        base.eval.set_kernel_jobs(1);
     }
 
     #[test]

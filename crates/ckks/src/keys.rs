@@ -103,6 +103,11 @@ impl KeyGenerator {
         &self.secret
     }
 
+    /// The parameter set this generator builds keys for.
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
     /// Generates the public encryption key over the full chain.
     pub fn public_key(&mut self) -> PublicKey {
         let basis = self.params.basis();
@@ -159,13 +164,12 @@ impl KeyGenerator {
     }
 
     /// The Galois element `5^step mod 2N` for a left rotation by `step`.
+    ///
+    /// The step is canonicalized modulo the slot count first, and the
+    /// power is taken by square-and-multiply, so this is `O(log step)`
+    /// rather than the former `O(step)` repeated multiply.
     pub fn galois_element(&self, step: usize) -> usize {
-        let two_n = 2 * self.params.degree();
-        let mut g = 1usize;
-        for _ in 0..step % (self.params.degree() / 2) {
-            g = g * 5 % two_n;
-        }
-        g
+        galois_element(&self.params, step)
     }
 
     /// Generates a key-switching key from `s_target` (given as signed
@@ -234,6 +238,16 @@ impl KeyGenerator {
     }
 }
 
+/// The Galois element `5^step mod 2N` for a left rotation by `step`
+/// (canonicalized modulo the slot count). Free-function form shared by
+/// key generation and the evaluator, so both sides derive the element —
+/// and therefore the key identity — from the same reduction.
+pub fn galois_element(params: &CkksParams, step: usize) -> usize {
+    let two_n = 2 * params.degree();
+    let s = params.canonical_step(step);
+    hecate_math::modular::pow_mod(5, s as u64, two_n as u64) as usize
+}
+
 /// Applies `X ↦ X^g` to a signed coefficient vector over `X^N + 1`.
 pub(crate) fn apply_automorphism_signed(coeffs: &[i64], g: usize, n: usize) -> Vec<i64> {
     let two_n = 2 * n;
@@ -249,6 +263,62 @@ pub(crate) fn apply_automorphism_signed(coeffs: &[i64], g: usize, n: usize) -> V
     out
 }
 
+/// The extended-basis moduli (active chain primes then the special
+/// prime) and their NTT tables for prefix length `c`.
+fn extended_basis(params: &CkksParams, c: usize) -> (Vec<u64>, Vec<&NttTable>) {
+    let basis = params.basis();
+    let moduli = basis.primes()[..c]
+        .iter()
+        .copied()
+        .chain(std::iter::once(basis.special_prime()))
+        .collect();
+    let tables = (0..c)
+        .map(|i| basis.ntt(i))
+        .chain(std::iter::once(basis.special_ntt()))
+        .collect();
+    (moduli, tables)
+}
+
+/// The centered digit lifts `center([d]_{q_j})` for every active prime.
+/// Centering keeps the key-switch noise at ~`q_max/2`.
+fn centered_digits(d: &RnsPoly, params: &CkksParams) -> Vec<Vec<i64>> {
+    (0..d.prefix())
+        .map(|j| {
+            let qj = params.basis().prime(j);
+            d.residue(j)
+                .iter()
+                .map(|&v| hecate_math::rns::RnsBasis::center(v, qj))
+                .collect()
+        })
+        .collect()
+}
+
+/// Divides an extended-basis accumulator (coefficient domain, special
+/// row last) by the special prime `P`, returning a poly over the chain
+/// prefix. This is the SEAL-style mod-down that ends every key switch.
+fn mod_down(mut rows: Vec<Vec<u64>>, c: usize, params: &CkksParams) -> RnsPoly {
+    let basis = params.basis();
+    let special = basis.special_prime();
+    let n = params.degree();
+    let special_row = rows.pop().expect("extended basis");
+    let mut out = RnsPoly::zero(basis, c, false);
+    for (i, row) in rows.iter().enumerate().take(c) {
+        let q = basis.prime(i);
+        let inv_p = basis.inv_special(i);
+        let dst = out.residue_mut(i);
+        for idx in 0..n {
+            let lifted = hecate_math::rns::RnsBasis::center(special_row[idx], special);
+            let l = reduce_i64(lifted, q);
+            dst[idx] = mul_mod(sub_mod(row[idx], l, q), inv_p, q);
+        }
+    }
+    for row in rows {
+        hecate_math::scratch::recycle(row);
+    }
+    hecate_math::scratch::recycle(special_row);
+    out
+}
+
 /// Switches the key of a single polynomial `d` (coefficient domain, over
 /// `prefix` primes) from `s_target` to `s`, returning `(b, a)` in
 /// coefficient domain such that `b + a·s ≈ d·s_target`.
@@ -256,65 +326,165 @@ pub(crate) fn apply_automorphism_signed(coeffs: &[i64], g: usize, n: usize) -> V
 /// # Panics
 /// Panics if `d` is in NTT form or its prefix differs from the key's.
 pub fn key_switch(d: &RnsPoly, key: &KeySwitchKey, params: &CkksParams) -> (RnsPoly, RnsPoly) {
+    key_switch_jobs(d, key, params, 1)
+}
+
+/// [`key_switch`] with the per-modulus inner loops striped over up to
+/// `jobs` scoped threads. Each extended modulus is independent (its
+/// accumulator rows are written by exactly one worker, and the digit
+/// forward transforms are per-modulus), so the result is bit-identical
+/// at every job count.
+pub fn key_switch_jobs(
+    d: &RnsPoly,
+    key: &KeySwitchKey,
+    params: &CkksParams,
+    jobs: usize,
+) -> (RnsPoly, RnsPoly) {
     assert!(!d.is_ntt(), "key_switch expects coefficient domain");
     let c = d.prefix();
     assert_eq!(c, key.prefix, "key prefix mismatch");
-    let basis = params.basis();
     let n = params.degree();
-    let special = basis.special_prime();
-    let moduli: Vec<u64> = basis.primes()[..c]
-        .iter()
-        .copied()
-        .chain(std::iter::once(special))
-        .collect();
-    let tables: Vec<&NttTable> = (0..c)
-        .map(|i| basis.ntt(i))
-        .chain(std::iter::once(basis.special_ntt()))
-        .collect();
+    let (moduli, tables) = extended_basis(params, c);
+    let digits = centered_digits(d, params);
 
-    // Accumulate Σ_j digit_j · ksk_j over the extended basis, in NTT form.
-    let mut acc_b = vec![vec![0u64; n]; moduli.len()];
-    let mut acc_a = vec![vec![0u64; n]; moduli.len()];
-    for j in 0..c {
-        let qj = basis.prime(j);
-        // Centered digit lift keeps the key-switch noise at ~q_max/2.
-        let digit: Vec<i64> = d
-            .residue(j)
-            .iter()
-            .map(|&v| hecate_math::rns::RnsBasis::center(v, qj))
-            .collect();
-        let (kb, ka) = &key.digits[j];
-        for (m_idx, (&q, t)) in moduli.iter().zip(&tables).enumerate() {
-            let mut row: Vec<u64> = digit.iter().map(|&v| reduce_i64(v, q)).collect();
+    // Accumulate Σ_j digit_j · ksk_j over the extended basis, in NTT
+    // form, then return each accumulator row to coefficient domain.
+    let mut acc: Vec<(Vec<u64>, Vec<u64>)> = (0..moduli.len())
+        .map(|_| {
+            (
+                hecate_math::scratch::take_zeroed(n),
+                hecate_math::scratch::take_zeroed(n),
+            )
+        })
+        .collect();
+    hecate_math::par::for_each_limb(&mut acc, jobs, |m_idx, (acc_b, acc_a)| {
+        let (q, t) = (moduli[m_idx], tables[m_idx]);
+        let mut row = hecate_math::scratch::take_zeroed(n);
+        for (j, digit) in digits.iter().enumerate() {
+            for (dst, &v) in row.iter_mut().zip(digit) {
+                *dst = reduce_i64(v, q);
+            }
             t.forward(&mut row);
+            let (kb, ka) = &key.digits[j];
             let (bb, aa) = (&kb.rows[m_idx], &ka.rows[m_idx]);
             for idx in 0..n {
-                acc_b[m_idx][idx] = add_mod(acc_b[m_idx][idx], mul_mod(row[idx], bb[idx], q), q);
-                acc_a[m_idx][idx] = add_mod(acc_a[m_idx][idx], mul_mod(row[idx], aa[idx], q), q);
+                acc_b[idx] = add_mod(acc_b[idx], mul_mod(row[idx], bb[idx], q), q);
+                acc_a[idx] = add_mod(acc_a[idx], mul_mod(row[idx], aa[idx], q), q);
             }
         }
+        hecate_math::scratch::recycle(row);
+        t.backward(acc_b);
+        t.backward(acc_a);
+    });
+    let (acc_b, acc_a): (Vec<_>, Vec<_>) = acc.into_iter().unzip();
+    (mod_down(acc_b, c, params), mod_down(acc_a, c, params))
+}
+
+/// The hoistable (input-only) part of a rotation's key switch: the RNS
+/// digit decomposition of one polynomial, lifted to the extended basis
+/// and transformed to NTT form — the `c·(c+1)` forward NTTs that
+/// dominate a key switch (Halevi–Shoup hoisting).
+///
+/// Digit decomposition commutes with the Galois automorphism (centering
+/// is odd-symmetric, and in the evaluation domain the automorphism is a
+/// pure slot permutation), so one decomposition serves *every* rotation
+/// of the same ciphertext: [`key_switch_hoisted`] only permutes these
+/// precomputed rows before the multiply-accumulate.
+#[derive(Debug, Clone)]
+pub struct HoistedDecomp {
+    /// Per-digit NTT-form rows over the extended basis.
+    digits: Vec<ExtPoly>,
+    /// Active prefix length the decomposition was taken at.
+    prefix: usize,
+}
+
+impl HoistedDecomp {
+    /// The prefix length (`c`) this decomposition is valid for.
+    pub fn prefix(&self) -> usize {
+        self.prefix
     }
-    // Back to coefficient domain, then divide by P (mod-down).
-    for (m_idx, t) in tables.iter().enumerate() {
-        t.backward(&mut acc_b[m_idx]);
-        t.backward(&mut acc_a[m_idx]);
+}
+
+/// Decomposes `d` (coefficient domain) into centered RNS digits over the
+/// extended basis, NTT-transformed, striping the forward transforms over
+/// up to `jobs` threads. The expensive shared prefix of [`key_switch`].
+pub fn hoisted_decompose(d: &RnsPoly, params: &CkksParams, jobs: usize) -> HoistedDecomp {
+    assert!(!d.is_ntt(), "hoisted_decompose expects coefficient domain");
+    let c = d.prefix();
+    let n = params.degree();
+    let (moduli, tables) = extended_basis(params, c);
+    let digits = centered_digits(d, params);
+    let mut flat: Vec<Vec<u64>> = Vec::with_capacity(c * moduli.len());
+    for digit in &digits {
+        for &q in &moduli {
+            flat.push(digit.iter().map(|&v| reduce_i64(v, q)).collect());
+        }
     }
-    let mod_down = |mut rows: Vec<Vec<u64>>| -> RnsPoly {
-        let special_row = rows.pop().expect("extended basis");
-        let mut out = RnsPoly::zero(basis, c, false);
-        for i in 0..c {
-            let q = basis.prime(i);
-            let inv_p = basis.inv_special(i);
-            let dst = out.residue_mut(i);
+    hecate_math::par::for_each_limb(&mut flat, jobs, |k, row| {
+        debug_assert_eq!(row.len(), n);
+        tables[k % moduli.len()].forward(row);
+    });
+    let mut digits_out = Vec::with_capacity(c);
+    let mut it = flat.into_iter();
+    for _ in 0..c {
+        digits_out.push(ExtPoly {
+            rows: (&mut it).take(moduli.len()).collect(),
+        });
+    }
+    HoistedDecomp {
+        digits: digits_out,
+        prefix: c,
+    }
+}
+
+/// Key switch from a hoisted decomposition: applies the Galois slot
+/// permutation `perm` to each precomputed digit row (exactly equivalent
+/// to decomposing the rotated polynomial, bit for bit) and runs the
+/// multiply-accumulate + mod-down against `key`. Shares all forward
+/// digit NTTs across every rotation of the same ciphertext.
+///
+/// # Panics
+/// Panics if the decomposition's prefix differs from the key's.
+pub fn key_switch_hoisted(
+    hd: &HoistedDecomp,
+    perm: &[usize],
+    key: &KeySwitchKey,
+    params: &CkksParams,
+    jobs: usize,
+) -> (RnsPoly, RnsPoly) {
+    let c = hd.prefix;
+    assert_eq!(c, key.prefix, "key prefix mismatch");
+    let n = params.degree();
+    let (moduli, tables) = extended_basis(params, c);
+    let mut acc: Vec<(Vec<u64>, Vec<u64>)> = (0..moduli.len())
+        .map(|_| {
+            (
+                hecate_math::scratch::take_zeroed(n),
+                hecate_math::scratch::take_zeroed(n),
+            )
+        })
+        .collect();
+    hecate_math::par::for_each_limb(&mut acc, jobs, |m_idx, (acc_b, acc_a)| {
+        let (q, t) = (moduli[m_idx], tables[m_idx]);
+        let mut row = hecate_math::scratch::take_zeroed(n);
+        for j in 0..c {
+            let src = &hd.digits[j].rows[m_idx];
+            for (dst, &p) in row.iter_mut().zip(perm) {
+                *dst = src[p];
+            }
+            let (kb, ka) = &key.digits[j];
+            let (bb, aa) = (&kb.rows[m_idx], &ka.rows[m_idx]);
             for idx in 0..n {
-                let lifted = hecate_math::rns::RnsBasis::center(special_row[idx], special);
-                let l = reduce_i64(lifted, q);
-                dst[idx] = mul_mod(sub_mod(rows[i][idx], l, q), inv_p, q);
+                acc_b[idx] = add_mod(acc_b[idx], mul_mod(row[idx], bb[idx], q), q);
+                acc_a[idx] = add_mod(acc_a[idx], mul_mod(row[idx], aa[idx], q), q);
             }
         }
-        out
-    };
-    (mod_down(acc_b), mod_down(acc_a))
+        hecate_math::scratch::recycle(row);
+        t.backward(acc_b);
+        t.backward(acc_a);
+    });
+    let (acc_b, acc_a): (Vec<_>, Vec<_>) = acc.into_iter().unzip();
+    (mod_down(acc_b, c, params), mod_down(acc_a, c, params))
 }
 
 #[cfg(test)]
@@ -369,6 +539,84 @@ mod tests {
         let g1 = kg.galois_element(1);
         let g2 = kg.galois_element(2);
         assert_eq!(g2, g1 * g1 % (2 * p.degree()));
+    }
+
+    #[test]
+    fn galois_element_canonicalizes_wrapped_steps() {
+        let p = params();
+        let kg = KeyGenerator::new(&p, 8);
+        let slots = p.slots();
+        // Repeated-multiply reference for the raw (unreduced) exponent.
+        let reference = |step: usize| {
+            let two_n = 2 * p.degree();
+            let mut g = 1usize;
+            for _ in 0..step % slots {
+                g = g * 5 % two_n;
+            }
+            g
+        };
+        for step in [
+            0usize,
+            1,
+            3,
+            slots - 1,
+            slots,
+            slots + 1,
+            slots + 3,
+            5 * slots + 7,
+        ] {
+            assert_eq!(kg.galois_element(step), reference(step), "step = {step}");
+            assert_eq!(
+                kg.galois_element(step),
+                kg.galois_element(step % slots),
+                "step = {step}"
+            );
+        }
+        assert_eq!(kg.galois_element(slots), 1, "full rotation is the identity");
+    }
+
+    fn random_coeff_poly(p: &CkksParams, prefix: usize, seed: u64) -> RnsPoly {
+        let mut rng = hecate_math::rng::Xoshiro256::seed_from_u64(seed);
+        let coeffs: Vec<i64> = (0..p.degree())
+            .map(|_| rng.next_below(2001) as i64 - 1000)
+            .collect();
+        RnsPoly::from_signed_coeffs(p.basis(), prefix, &coeffs)
+    }
+
+    #[test]
+    fn key_switch_jobs_is_bit_identical_at_every_job_count() {
+        let p = params();
+        let mut kg = KeyGenerator::new(&p, 13);
+        let prefix = p.basis().chain_len();
+        let rk = kg.relin_key(prefix);
+        let d = random_coeff_poly(&p, prefix, 99);
+        let baseline = key_switch(&d, &rk, &p);
+        for jobs in [2usize, 3, 8] {
+            assert_eq!(
+                key_switch_jobs(&d, &rk, &p, jobs),
+                baseline,
+                "jobs = {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn hoisted_key_switch_is_bit_identical_to_baseline() {
+        let p = params();
+        let mut kg = KeyGenerator::new(&p, 15);
+        let prefix = p.basis().chain_len();
+        let d = random_coeff_poly(&p, prefix, 101);
+        for step in [1usize, 3, 7] {
+            let gk = kg.galois_key(step, prefix);
+            let g = kg.galois_element(step);
+            let baseline = key_switch(&d.automorphism(g, p.basis()), &gk, &p);
+            let perm = p.basis().ntt(0).galois_permutation(g);
+            for jobs in [1usize, 2, 4] {
+                let hd = hoisted_decompose(&d, &p, jobs);
+                let hoisted = key_switch_hoisted(&hd, &perm, &gk, &p, jobs);
+                assert_eq!(hoisted, baseline, "step = {step}, jobs = {jobs}");
+            }
+        }
     }
 
     #[test]

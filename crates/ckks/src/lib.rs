@@ -67,5 +67,5 @@ pub use cipher::{Ciphertext, Plaintext};
 pub use encoder::CkksEncoder;
 pub use encrypt::{Decryptor, Encryptor};
 pub use eval::{EvalKeys, Evaluator};
-pub use keys::{KeyGenerator, PublicKey, SecretKey};
+pub use keys::{HoistedDecomp, KeyGenerator, PublicKey, SecretKey};
 pub use params::CkksParams;

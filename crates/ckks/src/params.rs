@@ -165,6 +165,14 @@ impl CkksParams {
         self.degree / 2
     }
 
+    /// The canonical left-rotation step: rotations act on `N/2` slots,
+    /// so every step is equivalent to `step mod N/2`. All key lookup and
+    /// key generation must go through this one reduction so that wrapped
+    /// steps (e.g. `slots + k`) share keys with their canonical form.
+    pub fn canonical_step(&self, step: usize) -> usize {
+        step % self.slots()
+    }
+
     /// Maximum rescaling level `L` (number of rescale primes).
     pub fn levels(&self) -> usize {
         self.levels

@@ -78,6 +78,10 @@ pub struct GenOptions<'a> {
     pub plan: PlanRef<'a>,
     /// Apply the early-modswitch motion after generation.
     pub early_modswitch: bool,
+    /// Canonicalize and dedupe rotations during emission (wrapped steps
+    /// reduce mod the logical width; congruent rotations of one value are
+    /// CSE'd). Follows [`crate::CompileOptions::canonicalize`].
+    pub rotate_cse: bool,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -269,6 +273,11 @@ pub fn generate(func: &Function, g: &GenOptions) -> Result<(Function, Vec<Type>)
     let cfg = g.cfg;
     let mut em = Emitter::new(&func.name, func.vec_size, cfg);
     let mut map: Vec<Option<ValueId>> = vec![None; func.len()];
+    // Rotation CSE: two rotations of the same resolved value by congruent
+    // steps (mod the logical width) are the same value — emit one and
+    // reuse it, so the backend neither re-rotates nor requests spare
+    // Galois keys for wrapped steps like `vec_size + k`.
+    let mut rotate_memo: HashMap<(ValueId, usize), ValueId> = HashMap::new();
 
     for (i, op) in func.ops().iter().enumerate() {
         // The unit of this op's result, for SMU plan lookups.
@@ -321,11 +330,23 @@ pub fn generate(func: &Function, g: &GenOptions) -> Result<(Function, Vec<Type>)
                 if em.is_free(a) {
                     let folded = fold_free(func.vec_size, op, &[const_data(&em, a)]);
                     em.emit(Op::Const { data: folded })?
-                } else {
+                } else if !g.rotate_cse {
                     em.emit(Op::Rotate {
                         value: a,
                         step: *step,
                     })?
+                } else {
+                    let s = step % func.vec_size;
+                    if s == 0 {
+                        // Full-width rotation is the identity.
+                        a
+                    } else if let Some(&prev) = rotate_memo.get(&(a, s)) {
+                        prev
+                    } else {
+                        let id = em.emit(Op::Rotate { value: a, step: s })?;
+                        rotate_memo.insert((a, s), id);
+                        id
+                    }
                 }
             }
             Op::Add(a0, b0) | Op::Sub(a0, b0) | Op::Mul(a0, b0) => {
@@ -579,6 +600,7 @@ mod tests {
             proactive,
             plan: PlanRef::None,
             early_modswitch: true,
+            rotate_cse: true,
         };
         generate(func, &g).unwrap()
     }
@@ -624,6 +646,54 @@ mod tests {
     }
 
     #[test]
+    fn wrapped_and_duplicate_rotations_are_cse_d() {
+        let mut b = FunctionBuilder::new("rot", 8);
+        let x = b.input_cipher("x");
+        let r1 = b.rotate(x, 3);
+        let r2 = b.rotate(x, 3 + 8); // ≡ 3 (mod 8): same value as r1
+        let r3 = b.rotate(x, 3); // literal duplicate
+        let r4 = b.rotate(x, 8); // full width: identity
+        let s1 = b.add(r1, r2);
+        let s2 = b.add(r3, r4);
+        let s = b.mul(s1, s2);
+        b.output(s);
+        let (out, _) = gen(&b.finish(), false, 20.0);
+        assert_eq!(count(&out, "rotate"), 1, "{out:?}");
+        // The surviving rotation carries the canonical step.
+        let step = out
+            .ops()
+            .iter()
+            .find_map(|o| match o {
+                Op::Rotate { step, .. } => Some(*step),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(step, 3);
+    }
+
+    #[test]
+    fn rotation_cse_preserves_semantics() {
+        // Interpreter check: the CSE'd program computes the same function.
+        let mut b = FunctionBuilder::new("sem", 4);
+        let x = b.input_cipher("x");
+        let r1 = b.rotate(x, 1);
+        let r2 = b.rotate(x, 5); // ≡ 1 (mod 4)
+        let m = b.mul(r1, r2);
+        b.output(m);
+        let func = b.finish();
+        let (out, _) = gen(&func, false, 20.0);
+        let mut inputs = std::collections::HashMap::new();
+        inputs.insert("x".to_string(), vec![1.0, 2.0, 3.0, 4.0]);
+        let want = hecate_ir::interp::interpret(&func, &inputs).unwrap();
+        let got = hecate_ir::interp::interpret(&out, &inputs).unwrap();
+        for (name, w) in &want {
+            for (a, b) in w.iter().zip(&got[name]) {
+                assert!((a - b).abs() < 1e-12, "{name}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
     fn generated_code_always_type_checks() {
         for proactive in [false, true] {
             for w in [20.0, 25.0, 30.0, 40.0] {
@@ -650,6 +720,7 @@ mod tests {
                     degrees: &zero,
                 },
                 early_modswitch: false,
+                rotate_cse: true,
             },
         )
         .unwrap();
@@ -668,6 +739,7 @@ mod tests {
                         degrees: &degrees,
                     },
                     early_modswitch: false,
+                    rotate_cse: true,
                 },
             ) {
                 infer_types(&out, &cfg).expect("plan output type-checks");
@@ -728,6 +800,7 @@ mod tests {
             proactive: true,
             plan: PlanRef::None,
             early_modswitch: false,
+            rotate_cse: true,
         };
         assert!(matches!(
             generate(&f, &g),

@@ -32,6 +32,13 @@ pub enum CostOp {
     Negate,
     /// Slot rotation (automorphism + key switch).
     Rotate,
+    /// A slot rotation that shares a hoisted digit decomposition with
+    /// other rotations of the same value (Halevi–Shoup hoisting): the
+    /// decomposition and its forward NTTs are paid once by the group
+    /// leader (costed as [`CostOp::Rotate`]), so each additional rotation
+    /// is only the key multiply-accumulate, an evaluation-domain
+    /// permutation, and the inverse-NTT/mod-down tail.
+    RotateHoisted,
     /// Rescale (divide by the last prime).
     Rescale,
     /// Modulus switch (drop the last prime).
@@ -40,13 +47,14 @@ pub enum CostOp {
 
 impl CostOp {
     /// All cost categories.
-    pub const ALL: [CostOp; 8] = [
+    pub const ALL: [CostOp; 9] = [
         CostOp::AddCC,
         CostOp::AddCP,
         CostOp::MulCC,
         CostOp::MulCP,
         CostOp::Negate,
         CostOp::Rotate,
+        CostOp::RotateHoisted,
         CostOp::Rescale,
         CostOp::ModSwitch,
     ];
@@ -61,6 +69,7 @@ impl CostOp {
             CostOp::MulCP => "mul_cp",
             CostOp::Negate => "negate",
             CostOp::Rotate => "rotate",
+            CostOp::RotateHoisted => "rotate_hoisted",
             CostOp::Rescale => "rescale",
             CostOp::ModSwitch => "mod_switch",
         }
@@ -304,6 +313,17 @@ pub fn analytic_cost_us(op: CostOp, c: usize, n: usize) -> f64 {
         CostOp::MulCP => pass(2.0),
         CostOp::MulCC => pass(4.0) + keyswitch,
         CostOp::Rotate => pass(2.0) + ntt_pass(4.0 * c) + keyswitch,
+        // A hoisted rotation reuses the leader's digit decomposition and
+        // forward NTTs; what remains is the evaluation-domain permutation
+        // of each digit, the key multiply-accumulate, the inverse
+        // NTT/mod-down tail, and the c0 permutation+add.
+        CostOp::RotateHoisted => {
+            pass(2.0)
+                + ntt_pass(2.0 * (c + 1.0) + 2.0 * c)
+                + 2.0 * elem * n * c * (c + 1.0)
+                + elem * n * c * (c + 1.0)
+                + pass(4.0)
+        }
         CostOp::Rescale => ntt_pass(4.0 * c) + pass(4.0),
         CostOp::ModSwitch => 0.002 * n,
     }
@@ -460,7 +480,21 @@ impl OpCostInfo {
 
 /// Computes [`OpCostInfo`] for every operation of a typed program, using
 /// exactly the categorization and level rules of [`latency_breakdown`].
+///
+/// Rotation fan-out is modeled the way the backend executes it: when a
+/// value is rotated by two or more distinct steps, the first rotation
+/// (the group leader, which pays the shared hoisted decomposition) is
+/// costed as [`CostOp::Rotate`] and every later rotation of the same
+/// value as the cheaper [`CostOp::RotateHoisted`].
 pub fn op_cost_infos(func: &Function, types: &[Type], chain_len: usize) -> Vec<OpCostInfo> {
+    // Distinct rotation steps per rotated value, to find hoisting groups.
+    let mut rot_steps: HashMap<usize, std::collections::HashSet<usize>> = HashMap::new();
+    for op in func.ops() {
+        if let Op::Rotate { value, step } = op {
+            rot_steps.entry(value.index()).or_default().insert(*step);
+        }
+    }
+    let mut rotations_seen: HashMap<usize, usize> = HashMap::new();
     func.ops()
         .iter()
         .enumerate()
@@ -478,8 +512,21 @@ pub fn op_cost_infos(func: &Function, types: &[Type], chain_len: usize) -> Vec<O
                     .map(|v| types[v.index()].is_plain())
                     .unwrap_or(false)
             };
+            let mut cost_ops = categorize(op, is_plain);
+            if let Op::Rotate { value, .. } = op {
+                let seen = rotations_seen.entry(value.index()).or_insert(0);
+                let fanout = rot_steps[&value.index()].len();
+                if fanout >= 2 && *seen > 0 {
+                    for c in &mut cost_ops {
+                        if *c == CostOp::Rotate {
+                            *c = CostOp::RotateHoisted;
+                        }
+                    }
+                }
+                *seen += 1;
+            }
             OpCostInfo {
-                cost_ops: categorize(op, is_plain),
+                cost_ops,
                 operand_level,
                 active_primes: chain_len.saturating_sub(operand_level).max(1),
             }
@@ -576,6 +623,63 @@ mod tests {
         let v = t.get(CostOp::MulCC, 3).unwrap();
         assert!(v > 300.0 && v < 1000.0, "interpolated {v}");
         assert_eq!(t.get(CostOp::Rotate, 3), None);
+    }
+
+    #[test]
+    fn hoisted_rotation_is_cheaper_than_plain() {
+        for (c, n) in [(2usize, 1024usize), (4, 4096), (8, 8192)] {
+            let plain = analytic_cost_us(CostOp::Rotate, c, n);
+            let hoisted = analytic_cost_us(CostOp::RotateHoisted, c, n);
+            assert!(
+                hoisted < plain,
+                "c={c} n={n}: hoisted {hoisted} >= plain {plain}"
+            );
+        }
+        // Still cheaper with fewer primes (level structure preserved).
+        assert!(
+            analytic_cost_us(CostOp::RotateHoisted, 2, 4096)
+                < analytic_cost_us(CostOp::RotateHoisted, 8, 4096)
+        );
+    }
+
+    #[test]
+    fn rotation_fanout_labels_leader_and_followers() {
+        // Three distinct rotations of one value: leader Rotate, two hoisted.
+        let mut b = FunctionBuilder::new("fan", 8);
+        let x = b.input_cipher("x");
+        let r1 = b.rotate(x, 1);
+        let r2 = b.rotate(x, 2);
+        let r3 = b.rotate(x, 3);
+        let a = b.add(r1, r2);
+        let a2 = b.add(a, r3);
+        b.output(a2);
+        let f = b.finish();
+        let cfg = TypeConfig::new(20.0, 60.0);
+        let tys = infer_types(&f, &cfg).unwrap();
+        let infos = op_cost_infos(&f, &tys, 3);
+        let rotates: Vec<&OpCostInfo> = infos
+            .iter()
+            .filter(|i| {
+                i.cost_ops
+                    .iter()
+                    .any(|c| matches!(c, CostOp::Rotate | CostOp::RotateHoisted))
+            })
+            .collect();
+        assert_eq!(rotates.len(), 3);
+        assert_eq!(rotates[0].cost_ops, vec![CostOp::Rotate]);
+        assert_eq!(rotates[1].cost_ops, vec![CostOp::RotateHoisted]);
+        assert_eq!(rotates[2].cost_ops, vec![CostOp::RotateHoisted]);
+
+        // A lone rotation stays a plain Rotate.
+        let mut b = FunctionBuilder::new("lone", 8);
+        let x = b.input_cipher("x");
+        let r = b.rotate(x, 1);
+        b.output(r);
+        let f = b.finish();
+        let tys = infer_types(&f, &cfg).unwrap();
+        let infos = op_cost_infos(&f, &tys, 3);
+        let rot = infos.iter().find(|i| !i.cost_ops.is_empty()).unwrap();
+        assert_eq!(rot.cost_ops, vec![CostOp::Rotate]);
     }
 
     #[test]

@@ -63,6 +63,7 @@ fn evaluate(
         proactive,
         plan,
         early_modswitch: opts.early_modswitch,
+        rotate_cse: opts.canonicalize,
     };
     let (out, types) = generate(func, &g)?;
     // Re-check the full invariant set on every lowered candidate — the

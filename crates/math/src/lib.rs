@@ -16,7 +16,9 @@
 //!   samplers (uniform, ternary, centered binomial) required by RLWE;
 //! - [`rns`] — residue-number-system bases with the precomputations for
 //!   rescaling and CRT reconstruction;
-//! - [`poly`] — polynomials in RNS representation with NTT-domain tracking.
+//! - [`poly`] — polynomials in RNS representation with NTT-domain tracking;
+//! - [`par`] — scoped-thread striping over independent RNS limbs;
+//! - [`scratch`] — a thread-local pool of scratch residue buffers.
 //!
 //! Everything here is deterministic and has no dependencies, which keeps the
 //! compiler and backend layers reproducible.
@@ -41,7 +43,9 @@ pub mod bigint;
 pub mod fft;
 pub mod modular;
 pub mod ntt;
+pub mod par;
 pub mod poly;
 pub mod prime;
 pub mod rng;
 pub mod rns;
+pub mod scratch;

@@ -6,7 +6,7 @@
 //! fused Cooley–Tukey / Gentleman–Sande formulation of Longa–Naehrig, with
 //! Shoup multiplication for the precomputed twiddle factors.
 
-use crate::modular::{add_mod, inv_mod, sub_mod, ShoupMul};
+use crate::modular::{add_mod, inv_mod, pow_mod, sub_mod, ShoupMul};
 use crate::prime::primitive_2n_root;
 
 /// Precomputed twiddle tables for the negacyclic NTT modulo one prime.
@@ -97,6 +97,42 @@ impl NttTable {
             }
             m *= 2;
         }
+    }
+
+    /// The Galois automorphism `X ↦ X^g` as a permutation of NTT slots.
+    ///
+    /// The forward transform evaluates at `ψ^{e_0}, …, ψ^{e_{N-1}}` — the
+    /// odd powers of a primitive `2N`-th root in the order fixed by the
+    /// butterfly network. Composing with the automorphism re-evaluates at
+    /// `ψ^{e_i · g}`, which is just another point of the same set, so in
+    /// the evaluation domain the automorphism is a pure (sign-free) index
+    /// permutation `π` with
+    ///
+    /// ```text
+    /// forward(automorphism_g(a))[i] = forward(a)[π[i]]
+    /// ```
+    ///
+    /// We recover `π` exactly by transforming `X` (whose evaluations are
+    /// the points themselves, pairwise distinct) and looking up each
+    /// `g`-th power. The exponent pattern `e_i` depends only on the
+    /// butterfly structure, so the permutation is the same for every
+    /// prime of a basis — hoisted rotations compute it once and reuse it
+    /// across all RNS limbs.
+    ///
+    /// # Panics
+    /// Panics if `g` is even.
+    pub fn galois_permutation(&self, g: usize) -> Vec<usize> {
+        assert_eq!(g % 2, 1, "Galois element must be odd");
+        let g = g % (2 * self.n);
+        let mut points = vec![0u64; self.n];
+        points[1] = 1; // the polynomial X
+        self.forward(&mut points);
+        let index_of: std::collections::HashMap<u64, usize> =
+            points.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        points
+            .iter()
+            .map(|&p| index_of[&pow_mod(p, g as u64, self.q)])
+            .collect()
     }
 
     /// In-place inverse negacyclic NTT (evaluations → coefficients).
@@ -213,6 +249,53 @@ mod tests {
         let mut expected = vec![0u64; n];
         expected[0] = reduce_i64(-1, q);
         assert_eq!(c, expected);
+    }
+
+    /// Coefficient-domain reference automorphism with sign on wraparound.
+    fn automorphism_ref(a: &[u64], g: usize, q: u64) -> Vec<u64> {
+        let n = a.len();
+        let two_n = 2 * n;
+        let mut out = vec![0u64; n];
+        for (j, &v) in a.iter().enumerate() {
+            let idx = (j * g) % two_n;
+            if idx < n {
+                out[idx] = v;
+            } else {
+                out[idx - n] = if v == 0 { 0 } else { q - v };
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn galois_permutation_matches_coefficient_automorphism() {
+        let n = 64;
+        let t = table(n);
+        let q = t.modulus();
+        let mut rng = Xoshiro256::seed_from_u64(17);
+        for g in [1usize, 3, 5, 25, 2 * n - 1, 5 * 5 * 5 % (2 * n)] {
+            let perm = t.galois_permutation(g);
+            let a: Vec<u64> = (0..n).map(|_| rng.next_u64() % q).collect();
+            let mut via_coeff = automorphism_ref(&a, g, q);
+            t.forward(&mut via_coeff);
+            let mut fa = a.clone();
+            t.forward(&mut fa);
+            let via_perm: Vec<u64> = (0..n).map(|i| fa[perm[i]]).collect();
+            assert_eq!(via_perm, via_coeff, "g = {g}");
+        }
+    }
+
+    #[test]
+    fn galois_permutation_is_prime_independent() {
+        let n = 32;
+        let primes = generate_ntt_primes(40, n, 3, &[]);
+        let tables: Vec<NttTable> = primes.iter().map(|&q| NttTable::new(q, n)).collect();
+        for g in [3usize, 5, 2 * n - 1] {
+            let p0 = tables[0].galois_permutation(g);
+            for t in &tables[1..] {
+                assert_eq!(t.galois_permutation(g), p0, "g = {g}");
+            }
+        }
     }
 
     #[test]

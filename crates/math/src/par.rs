@@ -1,0 +1,84 @@
+//! Scoped-thread striping for independent per-limb kernels.
+//!
+//! RNS keeps every prime's residue polynomial independent, so the hot
+//! per-limb loops (NTTs, key-switch inner products) parallelize without
+//! any synchronization: each worker owns a disjoint contiguous chunk of
+//! the limb array. Because the work per limb is a deterministic function
+//! of its inputs and no worker reads another's output, the result is
+//! bit-identical at every job count — parallelism here only changes
+//! *when* a limb is computed, never *what* is computed.
+
+/// Applies `f(index, item)` to every item, striped over at most `jobs`
+/// scoped threads. `jobs <= 1` (or a single item) runs inline with no
+/// thread spawn. The closure receives the item's absolute index so
+/// per-limb tables can be looked up.
+pub fn for_each_limb<T, F>(items: &mut [T], jobs: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let len = items.len();
+    if jobs <= 1 || len <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(jobs.min(len));
+    std::thread::scope(|scope| {
+        let mut rest = &mut *items;
+        let mut base = 0usize;
+        let mut first: Option<(usize, &mut [T])> = None;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            if base == 0 {
+                // The caller's thread works the first chunk itself, so
+                // `jobs = 2` spawns one thread, not two.
+                first = Some((base, head));
+            } else {
+                let fr = &f;
+                scope.spawn(move || {
+                    for (k, item) in head.iter_mut().enumerate() {
+                        fr(base + k, item);
+                    }
+                });
+            }
+            base += take;
+            rest = tail;
+        }
+        if let Some((b, head)) = first {
+            for (k, item) in head.iter_mut().enumerate() {
+                f(b + k, item);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_job_counts_produce_identical_results() {
+        let reference: Vec<u64> = (0..13u64).map(|i| i * i + 7).collect();
+        for jobs in [1usize, 2, 3, 4, 8, 32] {
+            let mut items: Vec<u64> = (0..13).collect();
+            for_each_limb(&mut items, jobs, |i, v| {
+                *v = *v * (i as u64) + 7;
+            });
+            let expect: Vec<u64> = (0..13u64).map(|i| i * i + 7).collect();
+            assert_eq!(items, expect, "jobs = {jobs}");
+            assert_eq!(expect, reference);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_are_fine() {
+        let mut empty: Vec<u64> = vec![];
+        for_each_limb(&mut empty, 4, |_, _| unreachable!());
+        let mut one = vec![41u64];
+        for_each_limb(&mut one, 4, |i, v| *v += 1 + i as u64);
+        assert_eq!(one, vec![42]);
+    }
+}

@@ -82,23 +82,32 @@ impl RnsPoly {
 
     /// Converts to NTT form in place (no-op if already there).
     pub fn to_ntt(&mut self, basis: &RnsBasis) {
+        self.to_ntt_jobs(basis, 1);
+    }
+
+    /// Converts to NTT form, striping the per-prime transforms over up
+    /// to `jobs` scoped threads. Limbs are independent, so the result is
+    /// bit-identical to the sequential conversion at every job count.
+    pub fn to_ntt_jobs(&mut self, basis: &RnsBasis, jobs: usize) {
         if self.is_ntt {
             return;
         }
-        for (i, r) in self.residues.iter_mut().enumerate() {
-            basis.ntt(i).forward(r);
-        }
+        crate::par::for_each_limb(&mut self.residues, jobs, |i, r| basis.ntt(i).forward(r));
         self.is_ntt = true;
     }
 
     /// Converts to coefficient form in place (no-op if already there).
     pub fn to_coeff(&mut self, basis: &RnsBasis) {
+        self.to_coeff_jobs(basis, 1);
+    }
+
+    /// Converts to coefficient form, striping the per-prime transforms
+    /// over up to `jobs` scoped threads (bit-identical at any count).
+    pub fn to_coeff_jobs(&mut self, basis: &RnsBasis, jobs: usize) {
         if !self.is_ntt {
             return;
         }
-        for (i, r) in self.residues.iter_mut().enumerate() {
-            basis.ntt(i).backward(r);
-        }
+        crate::par::for_each_limb(&mut self.residues, jobs, |i, r| basis.ntt(i).backward(r));
         self.is_ntt = false;
     }
 
@@ -233,6 +242,31 @@ impl RnsPoly {
             }
         }
         out
+    }
+
+    /// Applies a Galois automorphism in the evaluation domain, given its
+    /// slot permutation from [`crate::ntt::NttTable::galois_permutation`].
+    /// The permutation is prime-independent, so one `perm` serves every
+    /// limb. Exactly equal (bit for bit) to converting to coefficient
+    /// form, applying [`RnsPoly::automorphism`], and converting back.
+    ///
+    /// # Panics
+    /// Panics if in coefficient form or if `perm.len()` differs from the
+    /// ring degree.
+    pub fn automorphism_ntt(&self, perm: &[usize]) -> RnsPoly {
+        assert!(self.is_ntt, "automorphism_ntt requires NTT form");
+        let residues = self
+            .residues
+            .iter()
+            .map(|r| {
+                assert_eq!(perm.len(), r.len(), "permutation/degree mismatch");
+                perm.iter().map(|&p| r[p]).collect()
+            })
+            .collect();
+        RnsPoly {
+            residues,
+            is_ntt: true,
+        }
     }
 }
 
@@ -373,6 +407,35 @@ mod tests {
             assert_eq!(out.residue(0)[target], 1);
         } else {
             assert_eq!(out.residue(0)[target - n], q - 1);
+        }
+    }
+
+    #[test]
+    fn ntt_domain_automorphism_matches_coefficient_domain() {
+        let b = basis();
+        let p = random_poly(&b, 3, 8);
+        for g in [3usize, 5, 2 * b.degree() - 1] {
+            let perm = b.ntt(0).galois_permutation(g);
+            let mut via_coeff = p.automorphism(g, &b);
+            via_coeff.to_ntt(&b);
+            let mut pn = p.clone();
+            pn.to_ntt(&b);
+            assert_eq!(pn.automorphism_ntt(&perm), via_coeff, "g = {g}");
+        }
+    }
+
+    #[test]
+    fn jobs_variants_are_bit_identical() {
+        let b = basis();
+        for jobs in [1usize, 2, 3, 8] {
+            let mut p = random_poly(&b, 3, 9);
+            let mut q = p.clone();
+            p.to_ntt(&b);
+            q.to_ntt_jobs(&b, jobs);
+            assert_eq!(p, q, "forward, jobs = {jobs}");
+            p.to_coeff(&b);
+            q.to_coeff_jobs(&b, jobs);
+            assert_eq!(p, q, "backward, jobs = {jobs}");
         }
     }
 

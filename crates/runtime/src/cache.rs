@@ -58,34 +58,100 @@ pub struct PlanArtifact {
 enum Slot {
     /// Some thread is compiling this key right now.
     Pending,
-    /// The artifact is published.
-    Ready(Arc<PlanArtifact>),
+    /// The artifact is published, with the LRU tick of its last use.
+    Ready(Arc<PlanArtifact>, u64),
 }
 
+/// Default bound on published artifacts
+/// ([`crate::RuntimeConfig::plan_cache_capacity`] overrides it).
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 32;
+
 /// Content-addressed plan cache (see the module docs).
+///
+/// The cache holds at most `capacity` *published* artifacts; publishing
+/// beyond that evicts the least-recently-used one. `Pending` markers are
+/// never evicted (a single-flight waiter is parked on them), and an
+/// evicted key simply recompiles on next use — eviction can cost
+/// duplicate work, never correctness.
 pub struct PlanCache {
-    slots: Mutex<HashMap<u64, Slot>>,
+    inner: Mutex<Inner>,
     published: Condvar,
+    capacity: usize,
     stats: Arc<RuntimeStats>,
 }
 
+struct Inner {
+    slots: HashMap<u64, Slot>,
+    /// Monotonic use counter backing the LRU order.
+    tick: u64,
+}
+
+impl Inner {
+    fn touch(&mut self, key: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(Slot::Ready(_, last_used)) = self.slots.get_mut(&key) {
+            *last_used = tick;
+        }
+    }
+}
+
 impl PlanCache {
-    /// An empty cache reporting into `stats`.
+    /// An empty cache reporting into `stats`, bounded at
+    /// [`DEFAULT_PLAN_CACHE_CAPACITY`] published artifacts.
     pub fn new(stats: Arc<RuntimeStats>) -> Self {
+        Self::with_capacity(stats, DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// An empty cache bounded at `capacity` published artifacts
+    /// (`capacity` is clamped to at least 1).
+    pub fn with_capacity(stats: Arc<RuntimeStats>, capacity: usize) -> Self {
         PlanCache {
-            slots: Mutex::new(HashMap::new()),
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                tick: 0,
+            }),
             published: Condvar::new(),
+            capacity: capacity.max(1),
             stats,
+        }
+    }
+
+    /// Evicts least-recently-used published artifacts until at most
+    /// `capacity` remain. Caller holds the lock.
+    fn enforce_capacity(&self, inner: &mut Inner) {
+        loop {
+            let ready = inner
+                .slots
+                .values()
+                .filter(|s| matches!(s, Slot::Ready(..)))
+                .count();
+            if ready <= self.capacity {
+                return;
+            }
+            let victim = inner
+                .slots
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready(_, last_used) => Some((*last_used, *k)),
+                    Slot::Pending => None,
+                })
+                .min()
+                .map(|(_, k)| k)
+                .expect("ready > capacity >= 1 implies a victim");
+            inner.slots.remove(&victim);
+            self.stats.record_eviction();
         }
     }
 
     /// Number of published artifacts.
     pub fn len(&self) -> usize {
-        self.slots
+        self.inner
             .lock()
             .unwrap()
+            .slots
             .values()
-            .filter(|s| matches!(s, Slot::Ready(_)))
+            .filter(|s| matches!(s, Slot::Ready(..)))
             .count()
     }
 
@@ -119,19 +185,21 @@ impl PlanCache {
         let key = plan_key(func, scheme, opts);
         let mut span =
             hecate_telemetry::trace::span_with("plan-cache", || vec![("plan_key", key.into())]);
-        let mut slots = self.slots.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap();
         loop {
-            match slots.get(&key) {
-                Some(Slot::Ready(artifact)) => {
+            match inner.slots.get(&key) {
+                Some(Slot::Ready(artifact, _)) => {
+                    let artifact = artifact.clone();
+                    inner.touch(key);
                     self.stats.record_hit();
                     span.attr("hit", true.into());
-                    return Ok((artifact.clone(), true));
+                    return Ok((artifact, true));
                 }
                 Some(Slot::Pending) => {
                     // Someone else is compiling: wait for publication (or
                     // for the pending marker to vanish on failure, in
                     // which case we take over the compile ourselves).
-                    slots = self.published.wait(slots).unwrap();
+                    inner = self.published.wait(inner).unwrap();
                 }
                 None => {
                     // Both branches below return, so one call records at
@@ -140,18 +208,21 @@ impl PlanCache {
                     // after another thread's failed compile.
                     self.stats.record_miss();
                     span.attr("hit", false.into());
-                    slots.insert(key, Slot::Pending);
-                    drop(slots);
+                    inner.slots.insert(key, Slot::Pending);
+                    drop(inner);
                     let outcome = self.compile_artifact(key, func, scheme, opts);
-                    slots = self.slots.lock().unwrap();
+                    let mut inner = self.inner.lock().unwrap();
                     match outcome {
                         Ok(artifact) => {
-                            slots.insert(key, Slot::Ready(artifact.clone()));
+                            inner.tick += 1;
+                            let tick = inner.tick;
+                            inner.slots.insert(key, Slot::Ready(artifact.clone(), tick));
+                            self.enforce_capacity(&mut inner);
                             self.published.notify_all();
                             return Ok((artifact, false));
                         }
                         Err(e) => {
-                            slots.remove(&key);
+                            inner.slots.remove(&key);
                             self.published.notify_all();
                             return Err(e);
                         }
@@ -163,8 +234,13 @@ impl PlanCache {
 
     /// Returns the published artifact for `key`, if any (no compile).
     pub fn get(&self, key: u64) -> Option<Arc<PlanArtifact>> {
-        match self.slots.lock().unwrap().get(&key) {
-            Some(Slot::Ready(a)) => Some(a.clone()),
+        let mut inner = self.inner.lock().unwrap();
+        match inner.slots.get(&key) {
+            Some(Slot::Ready(a, _)) => {
+                let a = a.clone();
+                inner.touch(key);
+                Some(a)
+            }
             _ => None,
         }
     }
@@ -173,10 +249,12 @@ impl PlanCache {
     /// [`hecate_compiler::deserialize_plan`]) under its content key.
     pub fn insert(&self, key: u64, prog: Arc<CompiledProgram>) -> Arc<PlanArtifact> {
         let artifact = Arc::new(make_artifact(key, prog));
-        self.slots
-            .lock()
-            .unwrap()
-            .insert(key, Slot::Ready(artifact.clone()));
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.slots.insert(key, Slot::Ready(artifact.clone(), tick));
+        self.enforce_capacity(&mut inner);
+        drop(inner);
         self.published.notify_all();
         artifact
     }
@@ -271,6 +349,50 @@ mod tests {
             !a.rotation_keys.is_empty(),
             "the sample rotates, so a Galois key is required"
         );
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recency() {
+        let stats = Arc::new(RuntimeStats::new());
+        let cache = PlanCache::with_capacity(stats.clone(), 2);
+        let o = opts();
+        let (f1, f2, f3) = (sample(1.0), sample(2.0), sample(3.0));
+        cache.get_or_compile(&f1, Scheme::Hecate, &o).unwrap();
+        cache.get_or_compile(&f2, Scheme::Hecate, &o).unwrap();
+        // Touch f1 so f2 is the LRU entry when f3 arrives.
+        cache.get_or_compile(&f1, Scheme::Hecate, &o).unwrap();
+        cache.get_or_compile(&f3, Scheme::Hecate, &o).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(stats.snapshot(1).cache_evictions, 1);
+        // f1 survived (recently used), f2 was evicted.
+        let (_, hit1) = cache.get_or_compile(&f1, Scheme::Hecate, &o).unwrap();
+        assert!(hit1, "recently used entry must survive");
+        let (_, hit2) = cache.get_or_compile(&f2, Scheme::Hecate, &o).unwrap();
+        assert!(!hit2, "LRU entry must have been evicted");
+    }
+
+    #[test]
+    fn single_flight_survives_eviction_races() {
+        let stats = Arc::new(RuntimeStats::new());
+        let cache = PlanCache::with_capacity(stats.clone(), 1);
+        let o = opts();
+        let (fa, fb) = (sample(1.0), sample(2.0));
+        cache.get_or_compile(&fa, Scheme::Hecate, &o).unwrap();
+        // Publishing B evicts A (capacity 1).
+        cache.get_or_compile(&fb, Scheme::Hecate, &o).unwrap();
+        assert_eq!(stats.snapshot(1).cache_evictions, 1);
+        // Eight threads race the evicted key: single-flight must still
+        // compile exactly once more.
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    cache.get_or_compile(&fa, Scheme::Hecate, &o).unwrap();
+                });
+            }
+        });
+        let snap = stats.snapshot(1);
+        assert_eq!(snap.compiles, 3, "one compile per cold key, ever");
+        assert_eq!(snap.cache_hits + snap.cache_misses, 10);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! executor carries over; the reported peaks depend on the actual
 //! interleaving and are generally ≥ the sequential executor's.
 
-use hecate_backend::exec::{EncryptedRun, ExecEngine, ExecError, OpValue};
+use hecate_backend::exec::{EncryptedRun, ExecEngine, ExecError, HoistState, OpValue};
 use hecate_backend::NoiseMonitor;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -35,6 +35,11 @@ use std::sync::{Condvar, Mutex, RwLock};
 
 struct Shared<'e> {
     engine: &'e ExecEngine,
+    /// Per-run rotation-hoisting cache (shared decompositions). Lives
+    /// exactly as long as this request: hoisted decompositions are tied
+    /// to this run's ciphertext values, which differ between requests
+    /// served by the same engine.
+    hoist: HoistState,
     /// One slot per operation; `Some` once computed, taken back out when
     /// the last consumer finishes (unless the value is an output).
     slots: Vec<RwLock<Option<OpValue>>>,
@@ -122,7 +127,7 @@ impl Shared<'_> {
                     .iter()
                     .map(|g| g.as_ref().expect("operand computed before consumer"))
                     .collect();
-                self.engine.exec_op(i, &refs)?
+                self.engine.exec_op_with(i, &refs, Some(&self.hoist))?
             };
         if let Some(monitor) = &self.monitor {
             self.engine
@@ -241,6 +246,7 @@ pub fn execute_parallel(
 
     let shared = Shared {
         engine,
+        hoist: HoistState::default(),
         slots: pre.into_iter().map(RwLock::new).collect(),
         indegree,
         users,

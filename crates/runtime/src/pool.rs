@@ -33,6 +33,9 @@ pub struct RuntimeConfig {
     /// Backend options applied to every engine. The seed field is
     /// overridden per session.
     pub backend: BackendOptions,
+    /// Bound on published plan-cache artifacts; the least-recently-used
+    /// plan is evicted beyond it (clamped to at least 1).
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -41,6 +44,7 @@ impl Default for RuntimeConfig {
             workers: 2,
             jobs_per_request: 1,
             backend: BackendOptions::default(),
+            plan_cache_capacity: crate::cache::DEFAULT_PLAN_CACHE_CAPACITY,
         }
     }
 }
@@ -156,7 +160,7 @@ impl Runtime {
         let stats = Arc::new(RuntimeStats::new());
         let (tx, rx) = mpsc::channel::<Job>();
         let inner = Arc::new(Inner {
-            cache: PlanCache::new(stats.clone()),
+            cache: PlanCache::with_capacity(stats.clone(), config.plan_cache_capacity),
             sessions: SessionManager::new(config.backend.seed),
             stats,
             queue: Mutex::new(rx),

@@ -28,6 +28,8 @@ pub struct RuntimeStats {
     cache_hits: Counter,
     /// Plan-cache lookups that found no artifact (compiles + waits).
     cache_misses: Counter,
+    /// Published artifacts dropped by the plan cache's LRU bound.
+    cache_evictions: Counter,
     /// Full compiler-pipeline runs. With single-flight this stays at one
     /// per distinct plan key no matter how many requests race.
     compiles: Counter,
@@ -54,6 +56,7 @@ impl Default for RuntimeStats {
         RuntimeStats {
             cache_hits: registry.counter("hecate_runtime_cache_hits_total"),
             cache_misses: registry.counter("hecate_runtime_cache_misses_total"),
+            cache_evictions: registry.counter("hecate_runtime_cache_evictions_total"),
             compiles: registry.counter("hecate_runtime_compiles_total"),
             completed: registry.counter("hecate_runtime_requests_completed_total"),
             failed: registry.counter("hecate_runtime_requests_failed_total"),
@@ -98,6 +101,11 @@ impl RuntimeStats {
         self.compiles.inc();
     }
 
+    /// Records a plan-cache eviction.
+    pub fn record_eviction(&self) {
+        self.cache_evictions.inc();
+    }
+
     /// Records a request entering the queue.
     pub fn record_enqueue(&self) {
         let depth = self.queue_depth.add(1);
@@ -129,6 +137,7 @@ impl RuntimeStats {
         StatsSnapshot {
             cache_hits: self.cache_hits.get(),
             cache_misses: self.cache_misses.get(),
+            cache_evictions: self.cache_evictions.get(),
             compiles: self.compiles.get(),
             completed: self.completed.get(),
             failed: self.failed.get(),
@@ -154,6 +163,8 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Plan-cache misses.
     pub cache_misses: u64,
+    /// Published artifacts dropped by the LRU bound.
+    pub cache_evictions: u64,
     /// Compiler-pipeline runs (≤ distinct plan keys, thanks to
     /// single-flight).
     pub compiles: u64,
@@ -194,7 +205,8 @@ impl StatsSnapshot {
         let buckets: Vec<String> = self.latency_buckets.iter().map(|c| c.to_string()).collect();
         format!(
             concat!(
-                "{{\"cache_hits\":{},\"cache_misses\":{},\"compiles\":{},",
+                "{{\"cache_hits\":{},\"cache_misses\":{},",
+                "\"cache_evictions\":{},\"compiles\":{},",
                 "\"completed\":{},\"failed\":{},\"queue_depth\":{},",
                 "\"peak_queue_depth\":{},\"busy_us\":{},\"workers\":{},",
                 "\"utilization\":{:.4},\"mean_latency_us\":{:.1},",
@@ -202,6 +214,7 @@ impl StatsSnapshot {
             ),
             self.cache_hits,
             self.cache_misses,
+            self.cache_evictions,
             self.compiles,
             self.completed,
             self.failed,
@@ -232,9 +245,11 @@ mod tests {
         s.record_dequeue();
         s.record_done(true, 100.0, 80.0);
         s.record_done(false, 3.0, 2.0);
+        s.record_eviction();
         let snap = s.snapshot(2);
         assert_eq!(snap.cache_hits, 2);
         assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_evictions, 1);
         assert_eq!(snap.compiles, 1);
         assert_eq!(snap.completed, 1);
         assert_eq!(snap.failed, 1);
@@ -259,15 +274,17 @@ mod tests {
     }
 
     #[test]
-    fn json_snapshot_is_byte_compatible_with_pre_registry_format() {
-        // The exact string the ad-hoc-atomics implementation produced for
-        // this snapshot. The histogram migration must not change a byte.
+    fn json_snapshot_format_is_pinned() {
+        // The exact export string for this snapshot. Deliberately updated
+        // when the format changes (last: `cache_evictions` added with the
+        // LRU bound) so accidental drift still fails the build.
         let mut latency_buckets = [0u64; LATENCY_BUCKETS];
         latency_buckets[6] = 1; // one request at 100 µs
         latency_buckets[1] = 1; // one request at 3 µs
         let snap = StatsSnapshot {
             cache_hits: 2,
             cache_misses: 1,
+            cache_evictions: 0,
             compiles: 1,
             completed: 1,
             failed: 1,
@@ -282,7 +299,8 @@ mod tests {
         assert_eq!(
             snap.to_json(),
             concat!(
-                "{\"cache_hits\":2,\"cache_misses\":1,\"compiles\":1,",
+                "{\"cache_hits\":2,\"cache_misses\":1,",
+                "\"cache_evictions\":0,\"compiles\":1,",
                 "\"completed\":1,\"failed\":1,\"queue_depth\":1,",
                 "\"peak_queue_depth\":2,\"busy_us\":82,\"workers\":2,",
                 "\"utilization\":0.2500,\"mean_latency_us\":51.5,",

@@ -330,6 +330,62 @@ mod tests {
     }
 
     #[test]
+    fn histogram_extreme_values() {
+        // Zero lands in bucket 0 ([0,2)): `64 - leading_zeros(0) = 0`,
+        // saturating_sub keeps the index at 0 rather than wrapping.
+        let h = Histogram::with_buckets(8);
+        h.observe(0);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.sum(), 0);
+        // u64::MAX clamps into the open-ended last bucket, and the sum
+        // tracks it exactly.
+        h.observe(u64::MAX);
+        assert_eq!(h.bucket_counts()[7], 1);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+        // A single-bucket histogram absorbs everything.
+        let one = Histogram::with_buckets(1);
+        one.observe(0);
+        one.observe(12345);
+        one.observe(u64::MAX);
+        assert_eq!(one.bucket_counts(), vec![3]);
+        // Boundary values land in the bucket whose range opens at them.
+        let h2 = Histogram::with_buckets(8);
+        h2.observe(1); // [1,2) → bucket 0
+        h2.observe(2); // [2,4) → bucket 1
+        h2.observe(4); // [4,8) → bucket 2
+        let b = h2.bucket_counts();
+        assert_eq!((b[0], b[1], b[2]), (1, 1, 1));
+    }
+
+    #[test]
+    fn counter_saturates_by_wrapping_consistently() {
+        // fetch_add wraps on overflow; the counter must not panic and the
+        // wrapped value must still be observable (Prometheus semantics
+        // treat a counter reset/wrap as a restart, not an error).
+        let c = Counter::new();
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+        c.add(3);
+        assert_eq!(c.get(), 2, "wrapping add, two past zero");
+    }
+
+    #[test]
+    fn empty_registry_prometheus_export() {
+        let r = Registry::new();
+        assert_eq!(r.prometheus(), "", "no metrics, no output");
+        assert!(r.snapshot().is_empty());
+        // A histogram with zero observations still renders complete
+        // cumulative buckets, sum, and count.
+        r.histogram("empty_us", 3);
+        let text = r.prometheus();
+        assert!(text.contains("# TYPE empty_us histogram"));
+        assert!(text.contains("empty_us_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("empty_us_sum 0\n"));
+        assert!(text.contains("empty_us_count 0\n"));
+    }
+
+    #[test]
     #[should_panic(expected = "not a gauge")]
     fn kind_mismatch_panics() {
         let r = Registry::new();

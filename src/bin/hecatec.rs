@@ -23,6 +23,11 @@
 //!                                   warns if it names a different source)
 //!   --serve                         serve mode: run all files through hecate-runtime
 //!   --jobs N                        serve-mode worker threads (default 2)
+//!   --kernel-jobs N                 per-limb kernel threads inside NTT and
+//!                                   key switching (default 1; bit-identical
+//!                                   results at any N)
+//!   --no-hoist                      disable rotation hoisting (shared RNS
+//!                                   decomposition across a rotation fan-out)
 //!   --repeat K                      serve mode: submit each file K times (default 2)
 //!   --trace PATH                    record spans for the whole invocation to PATH
 //!   --trace-format jsonl|chrome     trace file format (default chrome; a Chrome
@@ -88,6 +93,8 @@ struct Args {
     load_plan: Option<String>,
     serve: bool,
     jobs: usize,
+    kernel_jobs: usize,
+    hoist: bool,
     repeat: usize,
     trace: Option<String>,
     trace_format: TraceFormat,
@@ -111,6 +118,8 @@ fn parse_args() -> Result<Args, String> {
         load_plan: None,
         serve: false,
         jobs: 2,
+        kernel_jobs: 1,
+        hoist: true,
         repeat: 2,
         trace: None,
         trace_format: TraceFormat::Chrome,
@@ -157,6 +166,14 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|&n| n > 0)
                     .ok_or("bad --jobs")?
             }
+            "--kernel-jobs" => {
+                out.kernel_jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("bad --kernel-jobs")?
+            }
+            "--no-hoist" => out.hoist = false,
             "--repeat" => {
                 out.repeat = args
                     .next()
@@ -235,6 +252,7 @@ fn serve(args: &Args, opts: &CompileOptions, metrics_extra: &mut String) -> u8 {
     };
     let rt = Runtime::new(RuntimeConfig {
         workers: args.jobs,
+        backend: backend_options(args),
         ..RuntimeConfig::default()
     });
     let mut reqs = Vec::new();
@@ -345,6 +363,16 @@ fn obtain_plan(args: &Args, func: &Function, opts: &CompileOptions) -> Result<Co
 ///
 /// Every event drained here is pushed into `events_out` so a
 /// simultaneous `--trace` still sees the full invocation.
+/// Backend options implied by the CLI flags (`--kernel-jobs`,
+/// `--no-hoist`).
+fn backend_options(args: &Args) -> BackendOptions {
+    BackendOptions {
+        kernel_jobs: args.kernel_jobs,
+        hoist_rotations: args.hoist,
+        ..BackendOptions::default()
+    }
+}
+
 fn estimator_report(args: &Args, opts: &CompileOptions, events_out: &mut Vec<Event>) -> u8 {
     let benches = hecate::apps::all_benchmarks(hecate::apps::Preset::Small);
     println!(
@@ -370,7 +398,7 @@ fn estimator_report(args: &Args, opts: &CompileOptions, events_out: &mut Vec<Eve
         // Split the stream here so the fold below sees only this
         // benchmark's execution ops, not its compile spans.
         events_out.extend(trace::drain());
-        if let Err(e) = execute_encrypted(&prog, &b.inputs, &BackendOptions::default()) {
+        if let Err(e) = execute_encrypted(&prog, &b.inputs, &backend_options(args)) {
             eprintln!("hecatec: {}: execution failed: {e}", b.name);
             return 5;
         }
@@ -493,7 +521,7 @@ fn run_single(args: &Args, opts: &CompileOptions) -> u8 {
 
     if args.run {
         let inputs = synth_inputs(&func, 1);
-        let bopts = BackendOptions::default();
+        let bopts = backend_options(args);
         match execute_encrypted(&prog, &inputs, &bopts) {
             Ok(run) => {
                 println!(
@@ -567,7 +595,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("hecatec: {e}");
-            eprintln!("usage: hecatec <file.heir>... [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet] [--strict|--fallback] [--save-plan P] [--load-plan P] [--serve] [--jobs N] [--repeat K] [--trace P] [--trace-format jsonl|chrome] [--metrics P] [--estimator-report]");
+            eprintln!("usage: hecatec <file.heir>... [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet] [--strict|--fallback] [--save-plan P] [--load-plan P] [--serve] [--jobs N] [--kernel-jobs N] [--no-hoist] [--repeat K] [--trace P] [--trace-format jsonl|chrome] [--metrics P] [--estimator-report]");
             return ExitCode::from(2);
         }
     };
