@@ -1,0 +1,396 @@
+//! Audited encrypted execution: predicted vs *measured* precision.
+//!
+//! `hecatec --audit` turns the static noise estimate into a validated
+//! per-run report. An audited run executes the program twice:
+//!
+//! 1. in the plaintext reference semantics ([`simulate_ops`]), which
+//!    yields every operation's noiseless value *and* its predicted
+//!    decoded-domain RMS noise;
+//! 2. under real RNS-CKKS encryption, with a per-op observer that
+//!    decrypt-probes selected intermediate ciphertexts (plus every
+//!    program output) through the engine's [`DecryptProbe`] and measures
+//!    the actual RMS error against the reference value.
+//!
+//! The result is an [`AuditReport`]: one [`AuditRow`] per executed cipher
+//! operation joining the run ledger's prediction (noise, waterline
+//! margin, modulus budget) with the measured error where a probe ran.
+//! [`AuditReport::violations`] turns it into a pass/fail verdict — a
+//! measured error far above prediction means the noise model (or the
+//! plan) is lying; a negative margin means the plan no longer honors the
+//! waterline that guarantees output accuracy.
+//!
+//! Probing is read-only (CKKS decryption never mutates a ciphertext) and
+//! the ledger never touches ciphertext bits, so an audited run produces
+//! bit-identical outputs to an unaudited one — asserted in this module's
+//! tests via `f64::to_bits`.
+
+use crate::exec::{execute_sequential_with, BackendOptions, ExecEngine, ExecError};
+use crate::noise::simulate_ops;
+use hecate_compiler::CompiledProgram;
+use hecate_telemetry::trace;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Audit configuration.
+#[derive(Debug, Clone)]
+pub struct AuditOptions {
+    /// Number of *intermediate* cipher operations to decrypt-probe, spread
+    /// evenly across the program (outputs are always probed). `0` probes
+    /// outputs only.
+    pub checkpoints: usize,
+    /// A probe violates when its measured RMS error exceeds
+    /// `factor × max(predicted, floor)`.
+    pub factor: f64,
+    /// Absolute error floor below which a probe never violates — keeps
+    /// noise-on-noise ratios at the bottom of the error scale from
+    /// flagging (both predicted and measured ~1e-12, ratio meaningless).
+    pub floor: f64,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        AuditOptions {
+            checkpoints: 4,
+            factor: 10.0,
+            floor: 1e-7,
+        }
+    }
+}
+
+/// One audited cipher operation: the ledger's prediction joined with the
+/// probe's measurement (where one ran).
+#[derive(Debug, Clone)]
+pub struct AuditRow {
+    /// Operation index.
+    pub op: usize,
+    /// Operation mnemonic.
+    pub mnemonic: &'static str,
+    /// Rescaling level of the result.
+    pub level: usize,
+    /// Declared scale, log2 bits.
+    pub scale_bits: f64,
+    /// The noise model's predicted decoded-domain RMS error.
+    pub predicted_rms: f64,
+    /// Measured RMS error vs the plaintext reference, at probed ops.
+    pub measured_rms: Option<f64>,
+    /// Scale-vs-waterline margin, bits (negative = broken plan).
+    pub margin_bits: f64,
+    /// Whether this value is a program output.
+    pub is_output: bool,
+}
+
+/// The result of one audited run.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// One row per executed cipher operation, in execution order.
+    pub rows: Vec<AuditRow>,
+    /// Decrypted encrypted-run outputs.
+    pub outputs: HashMap<String, Vec<f64>>,
+    /// Plaintext reference outputs.
+    pub reference: HashMap<String, Vec<f64>>,
+    /// Tightest waterline margin across the run, bits.
+    pub min_margin_bits: f64,
+    /// Homomorphic execution time of the encrypted run, microseconds
+    /// (probe time excluded — probes run between kernels, untimed).
+    pub total_us: f64,
+}
+
+/// One audit violation, printable as a diagnostic line.
+#[derive(Debug, Clone)]
+pub enum AuditViolation {
+    /// A probe measured far more error than the model predicted.
+    ErrorBound {
+        /// Operation index.
+        op: usize,
+        /// Measured RMS error.
+        measured: f64,
+        /// Predicted RMS error.
+        predicted: f64,
+        /// The configured violation factor.
+        factor: f64,
+    },
+    /// An operation's scale sits below the waterline.
+    NegativeMargin {
+        /// Operation index.
+        op: usize,
+        /// The (negative) margin in bits.
+        margin_bits: f64,
+    },
+}
+
+impl std::fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditViolation::ErrorBound {
+                op,
+                measured,
+                predicted,
+                factor,
+            } => write!(
+                f,
+                "op {op}: measured rms {measured:.3e} exceeds {factor}x predicted {predicted:.3e}"
+            ),
+            AuditViolation::NegativeMargin { op, margin_bits } => write!(
+                f,
+                "op {op}: scale sits {:.2} bits BELOW the waterline",
+                -margin_bits
+            ),
+        }
+    }
+}
+
+impl AuditReport {
+    /// Every violation under the given options: probed ops whose measured
+    /// error exceeds `factor × max(predicted, floor)`, and every op whose
+    /// waterline margin is negative.
+    pub fn violations(&self, opts: &AuditOptions) -> Vec<AuditViolation> {
+        let mut out = Vec::new();
+        for row in &self.rows {
+            if row.margin_bits < 0.0 {
+                out.push(AuditViolation::NegativeMargin {
+                    op: row.op,
+                    margin_bits: row.margin_bits,
+                });
+            }
+            if let Some(measured) = row.measured_rms {
+                let bound = opts.factor * row.predicted_rms.max(opts.floor);
+                if measured > bound {
+                    out.push(AuditViolation::ErrorBound {
+                        op: row.op,
+                        measured,
+                        predicted: row.predicted_rms,
+                        factor: opts.factor,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The worst measured/predicted ratio across probed ops (0 when
+    /// nothing was probed). Ratios are taken against the floored
+    /// prediction, matching [`AuditReport::violations`].
+    pub fn worst_ratio(&self, floor: f64) -> f64 {
+        self.rows
+            .iter()
+            .filter_map(|r| r.measured_rms.map(|m| m / r.predicted_rms.max(floor)))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Selects which operation indices to decrypt-probe: every output, plus
+/// `checkpoints` more cipher ops spread evenly over the rest.
+fn probe_set(prog: &CompiledProgram, checkpoints: usize) -> Vec<bool> {
+    let n = prog.func.len();
+    let mut probe = vec![false; n];
+    for (_, v) in prog.func.outputs() {
+        probe[v.index()] = true;
+    }
+    let candidates: Vec<usize> = (0..n)
+        .filter(|&i| prog.types[i].is_cipher() && !probe[i])
+        .collect();
+    if candidates.is_empty() || checkpoints == 0 {
+        return probe;
+    }
+    let k = checkpoints.min(candidates.len());
+    for j in 0..k {
+        // Evenly spaced picks, biased toward the middle of each stride.
+        let idx = (j * candidates.len() + candidates.len() / 2) / k;
+        probe[candidates[idx.min(candidates.len() - 1)]] = true;
+    }
+    probe
+}
+
+/// Runs `prog` encrypted with decrypt probes and returns the audit
+/// report. See the module docs for the full flow.
+///
+/// # Errors
+/// Returns [`ExecError`] on any execution failure (the probes themselves
+/// cannot fail).
+pub fn audit_encrypted(
+    prog: &CompiledProgram,
+    inputs: &HashMap<String, Vec<f64>>,
+    opts: &BackendOptions,
+    audit: &AuditOptions,
+) -> Result<AuditReport, ExecError> {
+    let engine = ExecEngine::new(Arc::new(prog.clone()), opts)?;
+    audit_on_engine(&engine, inputs, audit)
+}
+
+/// [`audit_encrypted`] over an already-built engine.
+///
+/// # Errors
+/// Returns [`ExecError`] on any execution failure.
+pub fn audit_on_engine(
+    engine: &ExecEngine,
+    inputs: &HashMap<String, Vec<f64>>,
+    audit: &AuditOptions,
+) -> Result<AuditReport, ExecError> {
+    let prog = engine.prog().clone();
+    let expected = simulate_ops(&prog, inputs, engine.degree());
+    let probes = probe_set(&prog, audit.checkpoints);
+    let is_output: Vec<bool> = {
+        let mut v = vec![false; prog.func.len()];
+        for (_, vid) in prog.func.outputs() {
+            v[vid.index()] = true;
+        }
+        v
+    };
+    let probe = engine.probe();
+    let mut rows: Vec<AuditRow> = Vec::new();
+
+    let mut observer = |i: usize, value: &crate::exec::OpValue, predicted_rms: f64| {
+        let Some(ct) = value.as_cipher() else {
+            return Ok(());
+        };
+        let ty = prog.types[i];
+        let measured_rms = if probes[i] {
+            let m = probe.rms_error(ct, &expected[i].values);
+            trace::mark_with("precision-probe", || {
+                vec![
+                    ("i", i.into()),
+                    ("op", prog.func.ops()[i].mnemonic().into()),
+                    ("predicted_rms", predicted_rms.into()),
+                    ("measured_rms", m.into()),
+                ]
+            });
+            Some(m)
+        } else {
+            None
+        };
+        rows.push(AuditRow {
+            op: i,
+            mnemonic: prog.func.ops()[i].mnemonic(),
+            level: ty.level().unwrap_or(0),
+            scale_bits: ty.scale().unwrap_or(0.0),
+            predicted_rms,
+            measured_rms,
+            margin_bits: ty.scale().unwrap_or(0.0) - prog.cfg.waterline,
+            is_output: is_output[i],
+        });
+        Ok(())
+    };
+
+    let run = execute_sequential_with(engine, inputs, Some(&mut observer))?;
+
+    let mut reference = HashMap::new();
+    for (name, v) in prog.func.outputs() {
+        reference.insert(name.clone(), expected[v.index()].values.clone());
+    }
+    Ok(AuditReport {
+        min_margin_bits: run.min_margin_bits,
+        rows,
+        outputs: run.outputs,
+        reference,
+        total_us: run.total_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute_encrypted;
+    use hecate_compiler::{compile, CompileOptions, Scheme};
+    use hecate_ir::FunctionBuilder;
+
+    fn motivating() -> CompiledProgram {
+        let mut b = FunctionBuilder::new("motivating", 8);
+        let x = b.input_cipher("x");
+        let y = b.input_cipher("y");
+        let x2 = b.square(x);
+        let y2 = b.square(y);
+        let z = b.add(x2, y2);
+        let z2 = b.mul(z, z);
+        let z3 = b.mul(z2, z);
+        b.output(z3);
+        let mut opts = CompileOptions::with_waterline(25.0);
+        opts.degree = Some(256);
+        compile(&b.finish(), Scheme::Hecate, &opts).unwrap()
+    }
+
+    fn inputs() -> HashMap<String, Vec<f64>> {
+        let mut m = HashMap::new();
+        m.insert("x".into(), vec![0.5, -0.25, 0.75, 0.1, 0.0, 0.3, -0.6, 0.2]);
+        m.insert("y".into(), vec![0.1, 0.6, -0.5, 0.4, 0.9, -0.2, 0.0, 0.8]);
+        m
+    }
+
+    #[test]
+    fn audit_probes_and_reports() {
+        let prog = motivating();
+        let audit = AuditOptions::default();
+        let report = audit_encrypted(&prog, &inputs(), &BackendOptions::default(), &audit).unwrap();
+        assert!(!report.rows.is_empty());
+        // Every output row was probed.
+        for row in report.rows.iter().filter(|r| r.is_output) {
+            assert!(row.measured_rms.is_some(), "output op {} unprobed", row.op);
+        }
+        // Some intermediate row was probed too.
+        assert!(
+            report
+                .rows
+                .iter()
+                .any(|r| !r.is_output && r.measured_rms.is_some()),
+            "no intermediate checkpoint probed"
+        );
+        // A well-formed plan has non-negative margins and no violations.
+        assert!(report.min_margin_bits >= 0.0);
+        assert!(
+            report.violations(&audit).is_empty(),
+            "unexpected violations: {:?}",
+            report.violations(&audit)
+        );
+    }
+
+    #[test]
+    fn audited_run_is_bit_identical_to_plain_run() {
+        let prog = motivating();
+        let plain = execute_encrypted(&prog, &inputs(), &BackendOptions::default()).unwrap();
+        let audited = audit_encrypted(
+            &prog,
+            &inputs(),
+            &BackendOptions::default(),
+            &AuditOptions {
+                checkpoints: 100,
+                ..AuditOptions::default()
+            },
+        )
+        .unwrap();
+        for (name, vals) in &plain.outputs {
+            let audited_vals = &audited.outputs[name];
+            assert_eq!(vals.len(), audited_vals.len());
+            for (a, b) in vals.iter().zip(audited_vals) {
+                assert_eq!(a.to_bits(), b.to_bits(), "output '{name}' diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn under_waterlined_plan_is_flagged() {
+        // EVA plans never downscale, so execution reads nothing from
+        // cfg.waterline — tampering it changes only what the plan
+        // *claims*, which is exactly the drift --audit exists to catch
+        // (a stale or hand-edited plan).
+        let mut b = FunctionBuilder::new("tampered", 8);
+        let x = b.input_cipher("x");
+        let y = b.input_cipher("y");
+        let x2 = b.square(x);
+        let y2 = b.square(y);
+        let s = b.add(x2, y2);
+        b.output(s);
+        let mut opts = CompileOptions::with_waterline(25.0);
+        opts.degree = Some(256);
+        let mut prog = compile(&b.finish(), Scheme::Eva, &opts).unwrap();
+        prog.cfg.waterline += 64.0;
+        let audit = AuditOptions::default();
+        let report = audit_encrypted(&prog, &inputs(), &BackendOptions::default(), &audit).unwrap();
+        assert!(report.min_margin_bits < 0.0);
+        let violations = report.violations(&audit);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, AuditViolation::NegativeMargin { .. })),
+            "tampered waterline not flagged: {violations:?}"
+        );
+    }
+}

@@ -30,7 +30,7 @@
 
 use crate::fault::FaultPlan;
 use crate::liveness::last_uses;
-use crate::noise::NoiseMonitor;
+use crate::noise::{NoiseLedger, NoiseMonitor};
 use hecate_ckks::encoder::EncodeError;
 use hecate_ckks::eval::EvalError;
 use hecate_ckks::params::ParamsError;
@@ -38,10 +38,10 @@ use hecate_ckks::{
     Ciphertext, CkksEncoder, CkksParams, Decryptor, Encryptor, EvalKeys, Evaluator, HoistedDecomp,
     KeyGenerator, Plaintext, PublicKey,
 };
-use hecate_compiler::{op_cost_infos, CompiledProgram, OpCostInfo};
+use hecate_compiler::{min_waterline_margin_bits, op_cost_infos, CompiledProgram, OpCostInfo};
 use hecate_ir::{Op, ValueId};
 use hecate_telemetry::trace;
-use hecate_telemetry::{Counter, Histogram};
+use hecate_telemetry::{Counter, Gauge, Histogram};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -241,6 +241,10 @@ pub struct EncryptedRun {
     pub degree: usize,
     /// Chain length used.
     pub chain_len: usize,
+    /// Tightest scale-vs-waterline margin (bits) across every executed
+    /// cipher operation, from the run's [`NoiseLedger`]. Infinite when the
+    /// program produced no ciphertexts.
+    pub min_margin_bits: f64,
 }
 
 enum Val {
@@ -259,6 +263,15 @@ impl OpValue {
     /// ciphertext working-set memory).
     pub fn is_cipher(&self) -> bool {
         matches!(self.0, Val::Cipher(_))
+    }
+
+    /// The underlying ciphertext, if this value is one — the handle a
+    /// [`hecate_ckks::DecryptProbe`] reads during an audited run.
+    pub fn as_cipher(&self) -> Option<&Ciphertext> {
+        match &self.0 {
+            Val::Cipher(c) => Some(c),
+            _ => None,
+        }
     }
 
     /// Bytes this value contributes to the ciphertext working set.
@@ -425,6 +438,12 @@ pub struct ExecEngine {
     cost_infos: Vec<OpCostInfo>,
     ops_counter: Counter,
     op_us_hist: Histogram,
+    // Precision observability: the plan's static waterline margin
+    // (min over cipher ops of scale − S_w), plus cached handles into the
+    // global `hecate_precision_*` metric family.
+    min_plan_margin_bits: f64,
+    precision_ops: Counter,
+    precision_margin_gauge: Gauge,
 }
 
 /// Per value index: the number of distinct nonzero canonical rotation
@@ -475,6 +494,10 @@ impl ExecEngine {
         let registry = hecate_telemetry::metrics::global();
         let ops_counter = registry.counter("hecate_exec_ops_total");
         let op_us_hist = registry.histogram("hecate_exec_op_us", 24);
+        let min_plan_margin_bits =
+            min_waterline_margin_bits(&prog.func, &prog.types, prog.cfg.waterline);
+        let precision_ops = registry.counter("hecate_precision_ops_total");
+        let precision_margin_gauge = registry.gauge("hecate_precision_min_margin_millibits");
         Ok(ExecEngine {
             prog,
             params,
@@ -494,6 +517,9 @@ impl ExecEngine {
             cost_infos,
             ops_counter,
             op_us_hist,
+            min_plan_margin_bits,
+            precision_ops,
+            precision_margin_gauge,
         })
     }
 
@@ -515,6 +541,33 @@ impl ExecEngine {
     /// The guard configuration this engine applies after every operation.
     pub fn guard(&self) -> &GuardOptions {
         &self.guard
+    }
+
+    /// The plan's static waterline margin in bits: the minimum over all
+    /// cipher ops of `scale − S_w`. Because margins are type-derived, this
+    /// equals the minimum any run's [`NoiseLedger`] will record; the
+    /// serving layer exports it per session without paying for a ledger.
+    pub fn min_plan_margin_bits(&self) -> f64 {
+        self.min_plan_margin_bits
+    }
+
+    /// A read-only decrypt probe over this engine's decryptor and
+    /// encoder, for audit-mode checkpoint comparisons. Probing never
+    /// mutates ciphertexts, so audited runs stay bit-identical.
+    pub fn probe(&self) -> hecate_ckks::DecryptProbe<'_> {
+        hecate_ckks::DecryptProbe::new(&self.decryptor, &self.encoder)
+    }
+
+    /// Folds one finished run's ledger into the global
+    /// `hecate_precision_*` metric family: bumps the recorded-op counter
+    /// and publishes the run's tightest margin (millibits, so the integer
+    /// gauge keeps three decimal places).
+    pub fn publish_precision(&self, ledger: &NoiseLedger) {
+        self.precision_ops.add(ledger.entries().len() as u64);
+        let min = ledger.min_margin_bits();
+        if min.is_finite() {
+            self.precision_margin_gauge.set((min * 1000.0) as i64);
+        }
     }
 
     /// A noise monitor when noise guarding is configured, else `None`.
@@ -987,6 +1040,27 @@ pub fn execute_sequential(
     engine: &ExecEngine,
     inputs: &HashMap<String, Vec<f64>>,
 ) -> Result<EncryptedRun, ExecError> {
+    execute_sequential_with(engine, inputs, None)
+}
+
+/// A per-op observer for audited runs, called once per executed operation
+/// after fault injection and guards with `(op index, value, predicted
+/// RMS)`. The predicted RMS is the run ledger's noise estimate for cipher
+/// values (0 for plain/free values). Returning an error aborts the run.
+pub type OpObserver<'a> = &'a mut dyn FnMut(usize, &OpValue, f64) -> Result<(), ExecError>;
+
+/// [`execute_sequential`] with an optional per-op observer — the hook the
+/// audit driver uses to decrypt-probe intermediate values. The observer
+/// only *reads* values (decryption does not consume a ciphertext), so an
+/// observed run is bit-identical to an unobserved one.
+///
+/// # Errors
+/// Returns [`ExecError`] on input, evaluator, guard, or observer failures.
+pub fn execute_sequential_with(
+    engine: &ExecEngine,
+    inputs: &HashMap<String, Vec<f64>>,
+    mut observer: Option<OpObserver<'_>>,
+) -> Result<EncryptedRun, ExecError> {
     let prog = engine.prog().clone();
     let mut span = trace::span_with("execute", || {
         vec![
@@ -999,6 +1073,7 @@ pub fn execute_sequential(
     let mut pre = engine.encrypt_inputs(inputs)?;
     let last = last_uses(&prog.func);
     let mut monitor = engine.new_monitor();
+    let mut ledger = NoiseLedger::new(&prog, engine.degree());
     let hoist = HoistState::default();
 
     let mut vals: HashMap<usize, OpValue> = HashMap::new();
@@ -1022,6 +1097,34 @@ pub fn execute_sequential(
         };
         if let Some(m) = monitor.as_mut() {
             engine.check_noise(m, i, injected_var)?;
+        }
+        // The precision ledger always runs: its per-op cost (a few float
+        // ops) is invisible next to the NTT kernels, and emitting marks is
+        // gated inside the tracer. Recording never touches ciphertext
+        // bits, so runs are bit-identical with or without a consumer.
+        let predicted_rms = match ledger.record(&prog, i, injected_var) {
+            Some(e) => {
+                let (op, level) = (e.op, e.level);
+                let (scale_bits, rms) = (e.scale_bits, e.predicted_rms);
+                let (margin, budget) = (e.margin_bits, e.budget_bits);
+                let mnemonic = e.mnemonic;
+                trace::mark_with("precision", || {
+                    vec![
+                        ("i", op.into()),
+                        ("op", mnemonic.into()),
+                        ("level", level.into()),
+                        ("scale_bits", scale_bits.into()),
+                        ("predicted_rms", rms.into()),
+                        ("margin_bits", margin.into()),
+                        ("budget_bits", budget.into()),
+                    ]
+                });
+                rms
+            }
+            None => 0.0,
+        };
+        if let Some(obs) = observer.as_mut() {
+            obs(i, &value, predicted_rms)?;
         }
         if value.is_cipher() {
             live_cipher += 1;
@@ -1047,7 +1150,9 @@ pub fn execute_sequential(
         outputs.insert(name.clone(), engine.decrypt_output(&vals[&v.index()]));
     }
 
+    engine.publish_precision(&ledger);
     span.attr("total_us", total_us.into());
+    span.attr("min_margin_bits", ledger.min_margin_bits().into());
     Ok(EncryptedRun {
         outputs,
         total_us,
@@ -1056,6 +1161,7 @@ pub fn execute_sequential(
         peak_bytes,
         degree: engine.degree(),
         chain_len: engine.chain_len(),
+        min_margin_bits: ledger.min_margin_bits(),
     })
 }
 

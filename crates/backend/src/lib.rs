@@ -53,18 +53,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod exec;
 pub mod fault;
 pub mod liveness;
 pub mod noise;
 pub mod profile;
 
+pub use audit::{audit_encrypted, audit_on_engine, AuditOptions, AuditReport, AuditRow};
 pub use exec::{
-    execute_encrypted, execute_sequential, rotation_fanout, BackendOptions, EncryptedRun,
-    ExecEngine, ExecError, GuardOptions, HoistState, OpValue,
+    execute_encrypted, execute_sequential, execute_sequential_with, rotation_fanout,
+    BackendOptions, EncryptedRun, ExecEngine, ExecError, GuardOptions, HoistState, OpObserver,
+    OpValue,
 };
 pub use fault::FaultPlan;
-pub use noise::{max_rms_error, simulate, NoiseMonitor, SimulatedRun};
+pub use noise::{
+    max_rms_error, simulate, simulate_ops, LedgerEntry, NoiseLedger, NoiseMonitor, SimVal,
+    SimulatedRun,
+};
 pub use profile::profile_cost_table;
 
 /// Root-mean-square error between two equally long slot vectors.

@@ -49,11 +49,24 @@ pub struct SimulatedRun {
     pub rms_error: HashMap<String, f64>,
 }
 
-#[derive(Clone)]
-struct SimVal {
-    values: Vec<f64>,
+/// The simulator's per-operation state: the noiseless plaintext slots a
+/// value holds and the first-order variance of its decoded-domain noise.
+/// [`simulate_ops`] exposes one of these per operation so the audit
+/// driver can compare a decrypt probe at *any* op against its predicted
+/// error, not just at the outputs.
+#[derive(Clone, Debug)]
+pub struct SimVal {
+    /// Noiseless reference slots (the first `vec_size` of them).
+    pub values: Vec<f64>,
     /// Decoded-domain noise variance per slot.
-    var: f64,
+    pub var: f64,
+}
+
+impl SimVal {
+    /// Predicted decoded-domain RMS error of this value.
+    pub fn predicted_rms(&self) -> f64 {
+        self.var.sqrt()
+    }
 }
 
 fn mean_sq(v: &[f64]) -> f64 {
@@ -73,6 +86,32 @@ pub fn simulate(
     inputs: &HashMap<String, Vec<f64>>,
     degree: usize,
 ) -> SimulatedRun {
+    let sims = simulate_ops(prog, inputs, degree);
+    let mut outputs = HashMap::new();
+    let mut rms = HashMap::new();
+    for (name, v) in prog.func.outputs() {
+        let s = &sims[v.index()];
+        outputs.insert(name.clone(), s.values.clone());
+        rms.insert(name.clone(), s.predicted_rms());
+    }
+    SimulatedRun {
+        outputs,
+        rms_error: rms,
+    }
+}
+
+/// Like [`simulate`], but returns the full per-operation table: the
+/// noiseless plaintext slots and predicted noise variance of *every*
+/// value, in operation order. This is what `hecatec --audit` diffs
+/// against intermediate decrypt probes.
+///
+/// # Panics
+/// Panics if an input binding is missing (callers validate inputs first).
+pub fn simulate_ops(
+    prog: &CompiledProgram,
+    inputs: &HashMap<String, Vec<f64>>,
+    degree: usize,
+) -> Vec<SimVal> {
     let n = degree as f64;
     let w = prog.func.vec_size;
     let encode_var = |scale_bits: f64| encode_var(n, scale_bits);
@@ -82,12 +121,12 @@ pub fn simulate(
     // prime — roughly N·σ² in the coefficient domain.
     let ks_var = |scale_bits: f64| ks_var(n, scale_bits);
 
-    let mut vals: HashMap<usize, SimVal> = HashMap::new();
+    let mut vals: Vec<SimVal> = Vec::with_capacity(prog.func.len());
     let scale_of = |v: &ValueId| prog.types[v.index()].scale().unwrap_or(0.0);
 
     for (i, op) in prog.func.ops().iter().enumerate() {
         let ty = prog.types[i];
-        let get = |v: &ValueId| vals.get(&v.index()).expect("operand simulated").clone();
+        let get = |v: &ValueId| vals[v.index()].clone();
         let sv = match op {
             Op::Input { name } => {
                 let mut data = inputs
@@ -187,20 +226,10 @@ pub fn simulate(
                 }
             }
         };
-        vals.insert(i, sv);
+        debug_assert_eq!(vals.len(), i);
+        vals.push(sv);
     }
-
-    let mut outputs = HashMap::new();
-    let mut rms = HashMap::new();
-    for (name, v) in prog.func.outputs() {
-        let s = &vals[&v.index()];
-        outputs.insert(name.clone(), s.values.clone());
-        rms.insert(name.clone(), s.var.sqrt());
-    }
-    SimulatedRun {
-        outputs,
-        rms_error: rms,
-    }
+    vals
 }
 
 /// The largest estimated RMS error across all outputs.
@@ -283,5 +312,125 @@ impl NoiseMonitor {
     /// The tracked RMS noise of value `i` (0 if untracked).
     pub fn rms(&self, i: usize) -> f64 {
         self.vars.get(&i).copied().unwrap_or(0.0).sqrt()
+    }
+}
+
+/// One row of the precision ledger: everything the executor knows about
+/// the noise budget of one executed cipher operation.
+///
+/// All quantities are in the decoded domain and log2 ("bits") where
+/// noted. The three derived fields answer the three questions an operator
+/// asks about precision: how loud is the noise (`predicted_rms`), how far
+/// is the scale above the waterline that guarantees output accuracy
+/// (`margin_bits`), and how much modulus headroom is left at this level
+/// (`budget_bits`).
+#[derive(Debug, Clone)]
+pub struct LedgerEntry {
+    /// Operation index in the compiled program.
+    pub op: usize,
+    /// Operation mnemonic (`mul`, `rescale`, …).
+    pub mnemonic: &'static str,
+    /// Rescaling level of the result.
+    pub level: usize,
+    /// Declared scale of the result, log2 bits.
+    pub scale_bits: f64,
+    /// Predicted decoded-domain RMS noise of the result (the
+    /// [`NoiseMonitor`] model: message magnitudes bounded by 1).
+    pub predicted_rms: f64,
+    /// Scale-vs-waterline margin in bits: `scale − S_w`. Non-negative
+    /// for every well-formed plan (verifier invariant C2); negative means
+    /// the plan no longer honors its waterline.
+    pub margin_bits: f64,
+    /// Remaining modulus budget at this value's level, in bits: the
+    /// nominal active-prefix modulus (`q0 + S_f·(chain_len−1−level)`)
+    /// minus the value's scale. This is the headroom future rescales and
+    /// upscales draw from.
+    pub budget_bits: f64,
+}
+
+/// A per-run ledger of predicted noise, waterline margin, and modulus
+/// budget for every executed cipher operation.
+///
+/// The ledger advances the same online model as [`NoiseMonitor`] (it owns
+/// one) and additionally materializes one [`LedgerEntry`] per cipher op,
+/// which the executor emits as `precision` trace marks, folds into the
+/// global precision metric family, and the audit driver joins with
+/// decrypt probes. Recording is pure bookkeeping over the compiled types
+/// — it never touches ciphertext bits, which is what keeps audited and
+/// unaudited runs bit-identical.
+#[derive(Debug)]
+pub struct NoiseLedger {
+    monitor: NoiseMonitor,
+    waterline: f64,
+    q0_bits: f64,
+    sf_bits: f64,
+    chain_len: usize,
+    entries: Vec<LedgerEntry>,
+    min_margin_bits: f64,
+}
+
+impl NoiseLedger {
+    /// A ledger for one run of `prog` at ring degree `degree`.
+    pub fn new(prog: &CompiledProgram, degree: usize) -> Self {
+        NoiseLedger {
+            monitor: NoiseMonitor::new(degree),
+            waterline: prog.cfg.waterline,
+            q0_bits: prog.params.q0_bits as f64,
+            sf_bits: prog.params.sf_bits as f64,
+            chain_len: prog.params.chain_len,
+            entries: Vec::new(),
+            min_margin_bits: f64::INFINITY,
+        }
+    }
+
+    /// Nominal modulus bits active at `level`:
+    /// `q0 + S_f·(chain_len−1−level)`.
+    pub fn modulus_bits_at(&self, level: usize) -> f64 {
+        self.q0_bits + self.sf_bits * (self.chain_len - 1).saturating_sub(level) as f64
+    }
+
+    /// Advances the noise model across op `i` (plus any fault-injected
+    /// variance) and, when the result is a ciphertext, appends and
+    /// returns its ledger entry. Plain and free values advance the model
+    /// only, so downstream cipher entries still see their variance.
+    pub fn record(
+        &mut self,
+        prog: &CompiledProgram,
+        i: usize,
+        injected_var: f64,
+    ) -> Option<&LedgerEntry> {
+        self.monitor.record(prog, i);
+        if injected_var > 0.0 {
+            self.monitor.inject(i, injected_var);
+        }
+        let ty = prog.types[i];
+        if !ty.is_cipher() {
+            return None;
+        }
+        let scale_bits = ty.scale().unwrap_or(0.0);
+        let level = ty.level().unwrap_or(0);
+        let margin_bits = scale_bits - self.waterline;
+        self.min_margin_bits = self.min_margin_bits.min(margin_bits);
+        self.entries.push(LedgerEntry {
+            op: i,
+            mnemonic: prog.func.ops()[i].mnemonic(),
+            level,
+            scale_bits,
+            predicted_rms: self.monitor.rms(i),
+            margin_bits,
+            budget_bits: self.modulus_bits_at(level) - scale_bits,
+        });
+        self.entries.last()
+    }
+
+    /// Every recorded entry, in execution order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// The tightest waterline margin recorded so far (infinite before the
+    /// first cipher op).
+    pub fn min_margin_bits(&self) -> f64 {
+        self.min_margin_bits
     }
 }

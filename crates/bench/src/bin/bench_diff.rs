@@ -1,0 +1,127 @@
+//! `bench_diff` — CI gate comparing fresh benchmark reports against the
+//! committed baselines.
+//!
+//! Reads the freshly emitted `BENCH_compile.json` / `BENCH_runtime.json`
+//! from the workspace root (written by `bench_compile` / `bench_runtime`)
+//! and compares each benchmark's median against the committed baseline
+//! in `crates/bench/baselines/`. Exits nonzero when any benchmark's
+//! median regressed by more than the tolerance (default 15%; override
+//! with `--tolerance 0.25`).
+//!
+//! Benchmarks present on only one side are reported but never fail the
+//! gate — a new or renamed benchmark is a review question, not a perf
+//! regression. A missing fresh report is an error (the gate ran without
+//! its input); a missing baseline is skipped with a notice so the gate
+//! can be introduced before every report has a baseline.
+
+#![forbid(unsafe_code)]
+
+use hecate_bench::{compare_bench, fmt_us, parse_bench_json, BenchRow};
+use std::path::{Path, PathBuf};
+
+const REPORTS: [&str; 2] = ["BENCH_compile.json", "BENCH_runtime.json"];
+const DEFAULT_TOLERANCE: f64 = 0.15;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn load(path: &Path) -> Result<Vec<BenchRow>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    parse_bench_json(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+fn main() {
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let v = args.next().unwrap_or_default();
+                tolerance = match v.parse::<f64>() {
+                    Ok(t) if t > 0.0 => t,
+                    _ => {
+                        eprintln!("bench_diff: --tolerance needs a positive fraction, got {v:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("bench_diff: unknown argument {other:?}");
+                eprintln!("usage: bench_diff [--tolerance FRACTION]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let root = workspace_root();
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for report in REPORTS {
+        let fresh_path = root.join(report);
+        let baseline_path = root.join("crates/bench/baselines").join(report);
+        if !baseline_path.exists() {
+            println!("{report}: no committed baseline yet, skipping");
+            continue;
+        }
+        let fresh = match load(&fresh_path) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!(
+                    "bench_diff: {e}\n(run `cargo run --release -p hecate-bench --bin \
+                     bench_compile` / `bench_runtime` first)"
+                );
+                std::process::exit(2);
+            }
+        };
+        let baseline = match load(&baseline_path) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("bench_diff: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!(
+            "{report} vs baseline (tolerance +{:.0}%):",
+            tolerance * 100.0
+        );
+        let deltas = compare_bench(&baseline, &fresh, tolerance);
+        for d in &deltas {
+            println!(
+                "  {:<18} {:>10} -> {:>10}  {:>6.2}x{}",
+                d.name,
+                fmt_us(d.baseline_us),
+                fmt_us(d.fresh_us),
+                d.ratio,
+                if d.regressed { "  REGRESSION" } else { "" }
+            );
+            if d.regressed {
+                regressions += 1;
+            }
+        }
+        compared += deltas.len();
+        for row in &fresh {
+            if !baseline.iter().any(|b| b.name == row.name) {
+                println!("  {:<18} new benchmark (no baseline)", row.name);
+            }
+        }
+        for row in &baseline {
+            if !fresh.iter().any(|f| f.name == row.name) {
+                println!("  {:<18} missing from fresh report", row.name);
+            }
+        }
+    }
+    if compared == 0 {
+        eprintln!("bench_diff: nothing compared — no baselines found");
+        std::process::exit(2);
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_diff FAILED: {regressions} benchmark(s) regressed beyond +{:.0}%",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("bench_diff: OK ({compared} benchmark(s) within tolerance)");
+}

@@ -251,6 +251,91 @@ pub fn bench_json(rows: &[BenchRow]) -> String {
     format!("[\n{}\n]\n", body.join(",\n"))
 }
 
+/// Parses a `BENCH_*.json` document produced by [`bench_json`] back into
+/// rows. Hand-rolled for the one fixed schema so the harness needs no
+/// JSON dependency; tolerant of whitespace but not of schema drift.
+///
+/// # Errors
+/// Returns a message naming the malformed line.
+pub fn parse_bench_json(text: &str) -> Result<Vec<BenchRow>, String> {
+    fn field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+        let pat = format!("\"{key}\":");
+        let start = line
+            .find(&pat)
+            .ok_or_else(|| format!("missing {key:?} in {line:?}"))?
+            + pat.len();
+        let rest = &line[start..];
+        let end = rest
+            .find([',', '}'])
+            .ok_or_else(|| format!("unterminated {key:?} in {line:?}"))?;
+        Ok(rest[..end].trim())
+    }
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue; // array brackets / blank lines
+        }
+        let name = field(line, "name")?.trim_matches('"').replace("\\\"", "\"");
+        let median_us: f64 = field(line, "median_us")?
+            .parse()
+            .map_err(|e| format!("bad median_us in {line:?}: {e}"))?;
+        let iterations: usize = field(line, "iterations")?
+            .parse()
+            .map_err(|e| format!("bad iterations in {line:?}: {e}"))?;
+        rows.push(BenchRow {
+            name,
+            median_us,
+            iterations,
+        });
+    }
+    Ok(rows)
+}
+
+/// One benchmark's baseline-vs-fresh comparison from [`compare_bench`].
+#[derive(Debug, Clone)]
+pub struct BenchDelta {
+    /// Benchmark name.
+    pub name: String,
+    /// Committed baseline median (µs).
+    pub baseline_us: f64,
+    /// Freshly measured median (µs).
+    pub fresh_us: f64,
+    /// `fresh / baseline`; > 1 is a slowdown.
+    pub ratio: f64,
+    /// True when the slowdown exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// Compares fresh medians against a committed baseline, flagging every
+/// benchmark whose median regressed by more than `tolerance` (0.15 =
+/// 15%). Benchmarks present on only one side are skipped — a renamed or
+/// new benchmark is a review question, not a perf regression.
+pub fn compare_bench(baseline: &[BenchRow], fresh: &[BenchRow], tolerance: f64) -> Vec<BenchDelta> {
+    let base: HashMap<&str, f64> = baseline
+        .iter()
+        .map(|r| (r.name.as_str(), r.median_us))
+        .collect();
+    fresh
+        .iter()
+        .filter_map(|r| {
+            let baseline_us = *base.get(r.name.as_str())?;
+            let ratio = if baseline_us > 0.0 {
+                r.median_us / baseline_us
+            } else {
+                f64::INFINITY
+            };
+            Some(BenchDelta {
+                name: r.name.clone(),
+                baseline_us,
+                fresh_us: r.median_us,
+                ratio,
+                regressed: ratio > 1.0 + tolerance,
+            })
+        })
+        .collect()
+}
+
 /// Writes a `BENCH_*.json` report into the workspace root (`file` is
 /// the bare file name, e.g. `BENCH_compile.json`).
 ///
@@ -360,5 +445,72 @@ mod tests {
     fn harness_presets() {
         assert_eq!(HarnessConfig::quick().waterlines.len(), 6);
         assert_eq!(HarnessConfig::full().waterlines.len(), 36);
+    }
+
+    #[test]
+    fn bench_json_roundtrips_through_parse() {
+        let rows = vec![
+            BenchRow {
+                name: "SF".into(),
+                median_us: 9696.49,
+                iterations: 12,
+            },
+            BenchRow {
+                name: "rot-fan8/hoisted".into(),
+                median_us: 3530.07,
+                iterations: 12,
+            },
+        ];
+        let parsed = parse_bench_json(&bench_json(&rows)).expect("parses own output");
+        assert_eq!(parsed.len(), 2);
+        for (a, b) in rows.iter().zip(&parsed) {
+            assert_eq!(a.name, b.name);
+            assert!((a.median_us - b.median_us).abs() < 1e-9);
+            assert_eq!(a.iterations, b.iterations);
+        }
+        assert!(parse_bench_json("[\n  {\"name\":\"x\"}\n]\n").is_err());
+    }
+
+    #[test]
+    fn compare_bench_flags_only_real_regressions() {
+        let base = vec![
+            BenchRow {
+                name: "a".into(),
+                median_us: 100.0,
+                iterations: 5,
+            },
+            BenchRow {
+                name: "b".into(),
+                median_us: 200.0,
+                iterations: 5,
+            },
+            BenchRow {
+                name: "gone".into(),
+                median_us: 50.0,
+                iterations: 5,
+            },
+        ];
+        let fresh = vec![
+            BenchRow {
+                name: "a".into(),
+                median_us: 114.0, // +14% — inside the 15% tolerance
+                iterations: 5,
+            },
+            BenchRow {
+                name: "b".into(),
+                median_us: 232.0, // +16% — regression
+                iterations: 5,
+            },
+            BenchRow {
+                name: "new".into(),
+                median_us: 1.0, // no baseline — skipped
+                iterations: 5,
+            },
+        ];
+        let deltas = compare_bench(&base, &fresh, 0.15);
+        assert_eq!(deltas.len(), 2);
+        assert!(!deltas[0].regressed);
+        assert!(deltas[1].regressed);
+        assert!((deltas[1].ratio - 1.16).abs() < 1e-9);
     }
 }

@@ -62,6 +62,7 @@ pub mod encrypt;
 pub mod eval;
 pub mod keys;
 pub mod params;
+pub mod probe;
 
 pub use cipher::{Ciphertext, Plaintext};
 pub use encoder::CkksEncoder;
@@ -69,3 +70,4 @@ pub use encrypt::{Decryptor, Encryptor};
 pub use eval::{EvalKeys, Evaluator};
 pub use keys::{HoistedDecomp, KeyGenerator, PublicKey, SecretKey};
 pub use params::CkksParams;
+pub use probe::DecryptProbe;

@@ -1,0 +1,122 @@
+//! Non-consuming decrypt probes for auditing intermediate ciphertexts.
+//!
+//! An audit run wants to look at a ciphertext *mid-program* — decrypt it,
+//! decode it, and compare against the plaintext reference — without
+//! perturbing the computation. CKKS makes this safe: decryption is a
+//! read-only inner product with the secret key (`Decryptor::decrypt`
+//! takes `&self` and `&Ciphertext`), so probing never mutates the
+//! ciphertext or the evaluator state, and a probed run stays bit-identical
+//! to an unprobed one.
+//!
+//! [`DecryptProbe`] packages a borrowed decryptor and encoder into the
+//! one-call interface the audit driver threads through the executor's
+//! per-op observer.
+
+use crate::cipher::Ciphertext;
+use crate::encoder::CkksEncoder;
+use crate::encrypt::Decryptor;
+
+/// A read-only window into ciphertext contents: decrypt + decode without
+/// consuming or mutating anything.
+///
+/// Holds references only — the probe borrows the engine's decryptor and
+/// encoder for the duration of an audited run.
+#[derive(Debug)]
+pub struct DecryptProbe<'a> {
+    decryptor: &'a Decryptor,
+    encoder: &'a CkksEncoder,
+}
+
+impl<'a> DecryptProbe<'a> {
+    /// A probe over the given decryptor and encoder.
+    pub fn new(decryptor: &'a Decryptor, encoder: &'a CkksEncoder) -> Self {
+        DecryptProbe { decryptor, encoder }
+    }
+
+    /// Decrypts and decodes `ct` into its slot vector (all slots; callers
+    /// truncate to the logical vector width themselves).
+    pub fn decode(&self, ct: &Ciphertext) -> Vec<f64> {
+        self.encoder.decode(&self.decryptor.decrypt(ct))
+    }
+
+    /// Root-mean-square error between the decrypted slots of `ct` and
+    /// `expected`, compared over the first `expected.len()` slots.
+    ///
+    /// This is the *measured* decoded-domain error an audit sets against
+    /// the noise model's predicted RMS.
+    pub fn rms_error(&self, ct: &Ciphertext, expected: &[f64]) -> f64 {
+        let got = self.decode(ct);
+        let n = expected.len().min(got.len());
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: f64 = expected
+            .iter()
+            .zip(&got)
+            .take(n)
+            .map(|(e, g)| (e - g) * (e - g))
+            .sum();
+        (sum / n as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encrypt::Encryptor;
+    use crate::eval::{EvalKeys, Evaluator};
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+
+    #[test]
+    fn probe_reads_without_perturbing() {
+        let params = CkksParams::new(128, 45, 30, 1, false).unwrap();
+        let encoder = CkksEncoder::new(&params);
+        let mut kg = KeyGenerator::new(&params, 42);
+        let pk = kg.public_key();
+        let keys = EvalKeys::generate(&mut kg, &[2], &[]);
+        let decryptor = Decryptor::new(&params, kg.secret_key().clone());
+        let eval = Evaluator::new(&params, keys);
+        let mut enc = Encryptor::new(&params, pk, 7);
+
+        let a = enc.encrypt(&encoder.encode(&[3.0], 30.0, 0).unwrap());
+        let b = enc.encrypt(&encoder.encode(&[2.0], 30.0, 0).unwrap());
+        let product = eval.rescale(&eval.mul(&a, &b).unwrap()).unwrap();
+
+        let probe = DecryptProbe::new(&decryptor, &encoder);
+        // Snapshot the ciphertext, probe it, and verify nothing moved.
+        let before = product.clone();
+        let slots = probe.decode(&product);
+        assert!((slots[0] - 6.0).abs() < 1e-3);
+        let err = probe.rms_error(&product, &[6.0]);
+        assert!(err < 1e-3, "measured rms {err}");
+        assert_eq!(product.scale_bits.to_bits(), before.scale_bits.to_bits());
+        assert_eq!(product.level, before.level);
+        for (x, y) in product
+            .c0
+            .residue(0)
+            .iter()
+            .zip(before.c0.residue(0).iter())
+        {
+            assert_eq!(x, y, "probe mutated ciphertext bits");
+        }
+        // Probing twice gives identical answers (read-only, deterministic).
+        let again = probe.rms_error(&product, &[6.0]);
+        assert_eq!(err.to_bits(), again.to_bits());
+    }
+
+    #[test]
+    fn rms_error_edge_cases() {
+        let params = CkksParams::new(64, 45, 30, 0, false).unwrap();
+        let encoder = CkksEncoder::new(&params);
+        let mut kg = KeyGenerator::new(&params, 1);
+        let pk = kg.public_key();
+        let decryptor = Decryptor::new(&params, kg.secret_key().clone());
+        let mut enc = Encryptor::new(&params, pk, 2);
+        let ct = enc.encrypt(&encoder.encode(&[1.0, 2.0], 30.0, 0).unwrap());
+        let probe = DecryptProbe::new(&decryptor, &encoder);
+        assert_eq!(probe.rms_error(&ct, &[]), 0.0, "empty expectation");
+        // A deliberately wrong expectation reports a large error.
+        assert!(probe.rms_error(&ct, &[100.0, 2.0]) > 10.0);
+    }
+}

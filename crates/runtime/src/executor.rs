@@ -297,6 +297,9 @@ pub fn execute_parallel(
         peak_bytes: shared.peak_bytes.load(Ordering::Relaxed),
         degree: engine.degree(),
         chain_len: engine.chain_len(),
+        // Margins are type-derived, so the plan's static minimum equals
+        // what a per-run ledger would record.
+        min_margin_bits: engine.min_plan_margin_bits(),
     })
 }
 

@@ -138,6 +138,8 @@ impl Inner {
             execute_sequential(&engine, &req.inputs)
         }
         .map_err(RuntimeError::Exec)?;
+        self.stats
+            .record_precision(req.session, engine.min_plan_margin_bits());
         Ok(Response {
             run,
             cache_hit,

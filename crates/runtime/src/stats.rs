@@ -12,7 +12,10 @@
 //! [`RuntimeStats::prometheus`] renders the registry as a Prometheus-style
 //! text exposition.
 
-use hecate_telemetry::{Counter, Gauge, Histogram, Registry};
+use crate::session::SessionId;
+use hecate_telemetry::{quantile_from_pow2_buckets, Counter, Gauge, Histogram, Registry};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Number of power-of-two latency buckets (bucket `k` holds requests with
@@ -46,6 +49,11 @@ pub struct RuntimeStats {
     /// End-to-end request latency histogram (power-of-two µs buckets);
     /// its sum doubles as the latency total for the mean.
     latency: Histogram,
+    /// Per-session precision SLO: the tightest waterline margin (bits)
+    /// any of the session's executed plans carried. A `BTreeMap` under a
+    /// mutex rather than registry gauges because the key set is dynamic
+    /// (one label per live session) and margins are fractional bits.
+    session_margins: Mutex<BTreeMap<SessionId, f64>>,
     /// When this stats instance was created (for utilization).
     started: Instant,
 }
@@ -64,6 +72,7 @@ impl Default for RuntimeStats {
             peak_queue_depth: registry.gauge("hecate_runtime_peak_queue_depth"),
             busy_us: registry.counter("hecate_runtime_busy_us_total"),
             latency: registry.histogram("hecate_runtime_request_latency_us", LATENCY_BUCKETS),
+            session_margins: Mutex::new(BTreeMap::new()),
             started: Instant::now(),
             registry,
         }
@@ -81,9 +90,53 @@ impl RuntimeStats {
         &self.registry
     }
 
-    /// Renders all runtime metrics as a Prometheus-style text exposition.
+    /// Renders all runtime metrics as a Prometheus-style text exposition,
+    /// including derived latency quantile gauges and one labeled
+    /// `hecate_runtime_session_min_margin_bits` gauge per session that has
+    /// executed at least one plan.
     pub fn prometheus(&self) -> String {
-        self.registry.prometheus()
+        let mut out = self.registry.prometheus();
+        let buckets = self.latency.bucket_counts();
+        for (q, name) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+            let v = quantile_from_pow2_buckets(&buckets, q).unwrap_or(0.0);
+            out.push_str(&format!(
+                "# TYPE hecate_runtime_request_latency_{name}_us gauge\n\
+                 hecate_runtime_request_latency_{name}_us {v:.1}\n"
+            ));
+        }
+        let margins = self.session_margins.lock().unwrap();
+        if !margins.is_empty() {
+            out.push_str("# TYPE hecate_runtime_session_min_margin_bits gauge\n");
+            for (sid, m) in margins.iter() {
+                out.push_str(&format!(
+                    "hecate_runtime_session_min_margin_bits{{session=\"{sid}\"}} {m:.3}\n"
+                ));
+            }
+        }
+        out
+    }
+
+    /// Records the waterline margin (bits) of a plan a session just
+    /// executed; the gauge keeps the tightest margin seen per session.
+    pub fn record_precision(&self, session: SessionId, margin_bits: f64) {
+        if !margin_bits.is_finite() {
+            return;
+        }
+        let mut margins = self.session_margins.lock().unwrap();
+        margins
+            .entry(session)
+            .and_modify(|m| *m = m.min(margin_bits))
+            .or_insert(margin_bits);
+    }
+
+    /// The tightest waterline margin (bits) recorded per session.
+    pub fn session_margins(&self) -> Vec<(SessionId, f64)> {
+        self.session_margins
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&s, &m)| (s, m))
+            .collect()
     }
 
     /// Records a cache hit.
@@ -200,6 +253,15 @@ impl StatsSnapshot {
         }
     }
 
+    /// Interpolated latency quantile in microseconds (0 with no requests).
+    ///
+    /// Derived from the power-of-two histogram, so the value is an
+    /// estimate whose error is bounded by the width of the bucket the
+    /// quantile lands in.
+    pub fn latency_quantile_us(&self, q: f64) -> f64 {
+        quantile_from_pow2_buckets(&self.latency_buckets, q).unwrap_or(0.0)
+    }
+
     /// Renders the snapshot as a JSON object.
     pub fn to_json(&self) -> String {
         let buckets: Vec<String> = self.latency_buckets.iter().map(|c| c.to_string()).collect();
@@ -210,6 +272,8 @@ impl StatsSnapshot {
                 "\"completed\":{},\"failed\":{},\"queue_depth\":{},",
                 "\"peak_queue_depth\":{},\"busy_us\":{},\"workers\":{},",
                 "\"utilization\":{:.4},\"mean_latency_us\":{:.1},",
+                "\"latency_p50_us\":{:.1},\"latency_p95_us\":{:.1},",
+                "\"latency_p99_us\":{:.1},",
                 "\"latency_buckets_pow2_us\":[{}]}}"
             ),
             self.cache_hits,
@@ -224,6 +288,9 @@ impl StatsSnapshot {
             self.workers,
             self.utilization,
             self.mean_latency_us(),
+            self.latency_quantile_us(0.5),
+            self.latency_quantile_us(0.95),
+            self.latency_quantile_us(0.99),
             buckets.join(",")
         )
     }
@@ -276,8 +343,8 @@ mod tests {
     #[test]
     fn json_snapshot_format_is_pinned() {
         // The exact export string for this snapshot. Deliberately updated
-        // when the format changes (last: `cache_evictions` added with the
-        // LRU bound) so accidental drift still fails the build.
+        // when the format changes (last: latency p50/p95/p99 added with
+        // the SLO percentiles) so accidental drift still fails the build.
         let mut latency_buckets = [0u64; LATENCY_BUCKETS];
         latency_buckets[6] = 1; // one request at 100 µs
         latency_buckets[1] = 1; // one request at 3 µs
@@ -304,6 +371,8 @@ mod tests {
                 "\"completed\":1,\"failed\":1,\"queue_depth\":1,",
                 "\"peak_queue_depth\":2,\"busy_us\":82,\"workers\":2,",
                 "\"utilization\":0.2500,\"mean_latency_us\":51.5,",
+                "\"latency_p50_us\":3.0,\"latency_p95_us\":89.6,",
+                "\"latency_p99_us\":94.7,",
                 "\"latency_buckets_pow2_us\":[0,1,0,0,0,0,1,0,0,0,0,0,",
                 "0,0,0,0,0,0,0,0,0,0,0,0]}"
             )
@@ -327,5 +396,51 @@ mod tests {
         assert!(text.contains("hecate_runtime_cache_hits_total 1"));
         assert!(text.contains("hecate_runtime_request_latency_us_count 1"));
         assert!(text.contains("hecate_runtime_request_latency_us_sum 10"));
+    }
+
+    #[test]
+    fn prometheus_slo_lines_are_pinned() {
+        // The exact quantile and per-session margin lines for this
+        // workload: 100 µs lands in bucket 6 ([64,128)), 3 µs in bucket 1
+        // ([2,4)), so p50 interpolates to the low bucket's midpoint and
+        // p95/p99 into the high bucket.
+        let s = RuntimeStats::new();
+        s.record_done(true, 100.0, 80.0);
+        s.record_done(true, 3.0, 2.0);
+        s.record_precision(3, 12.5);
+        s.record_precision(7, 4.25);
+        s.record_precision(3, 18.0); // looser than 12.5 — gauge keeps the min
+        let text = s.prometheus();
+        assert!(text.contains(
+            "# TYPE hecate_runtime_request_latency_p50_us gauge\n\
+             hecate_runtime_request_latency_p50_us 3.0\n"
+        ));
+        assert!(text.contains(
+            "# TYPE hecate_runtime_request_latency_p95_us gauge\n\
+             hecate_runtime_request_latency_p95_us 89.6\n"
+        ));
+        assert!(text.contains(
+            "# TYPE hecate_runtime_request_latency_p99_us gauge\n\
+             hecate_runtime_request_latency_p99_us 94.7\n"
+        ));
+        assert!(text.contains(
+            "# TYPE hecate_runtime_session_min_margin_bits gauge\n\
+             hecate_runtime_session_min_margin_bits{session=\"3\"} 12.500\n\
+             hecate_runtime_session_min_margin_bits{session=\"7\"} 4.250\n"
+        ));
+        assert_eq!(s.session_margins(), vec![(3, 12.5), (7, 4.25)]);
+        // Non-finite margins are ignored rather than exported as NaN.
+        s.record_precision(9, f64::NAN);
+        assert_eq!(s.session_margins().len(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let snap = RuntimeStats::new().snapshot(1);
+        assert_eq!(snap.latency_quantile_us(0.5), 0.0);
+        assert_eq!(snap.latency_quantile_us(0.99), 0.0);
+        let text = RuntimeStats::new().prometheus();
+        assert!(text.contains("hecate_runtime_request_latency_p50_us 0.0"));
+        assert!(!text.contains("hecate_runtime_session_min_margin_bits"));
     }
 }

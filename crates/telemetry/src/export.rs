@@ -106,6 +106,34 @@ pub fn prometheus(registry: &Registry) -> String {
     registry.prometheus()
 }
 
+/// Renders a precision trace: one JSON object per line for every
+/// `precision`-family mark (`precision`, `precision-probe`) in the event
+/// stream, carrying its timestamp, thread, and attributes verbatim.
+///
+/// This is the noise-budget analogue of [`jsonl`]: the executor's
+/// per-op noise-ledger marks become a line-oriented file an operator can
+/// grep or load into a dataframe, and the audit driver's decrypt probes
+/// interleave in timestamp order.
+pub fn precision_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        if !matches!(ev.kind, EventKind::Mark) {
+            continue;
+        }
+        if ev.name != "precision" && ev.name != "precision-probe" {
+            continue;
+        }
+        out.push_str(&format!(
+            "{{\"kind\":\"{}\",\"ts_ns\":{},\"tid\":{},\"attrs\":{}}}\n",
+            escape(ev.name),
+            ev.ts_ns,
+            ev.tid,
+            attrs_json(&ev.attrs)
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +200,47 @@ mod tests {
         assert!(json.contains("\"scheme\":\"hecate\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn precision_jsonl_selects_precision_marks() {
+        let mut events = sample_events();
+        events.push(Event {
+            kind: EventKind::Mark,
+            name: "precision",
+            ts_ns: 1_400,
+            tid: 1,
+            attrs: vec![
+                ("i", 7.into()),
+                ("op", "rescale".into()),
+                ("margin_bits", 2.5.into()),
+            ],
+        });
+        events.push(Event {
+            kind: EventKind::Mark,
+            name: "precision-probe",
+            ts_ns: 1_500,
+            tid: 1,
+            attrs: vec![("measured_rms", 1e-6.into())],
+        });
+        // A *span* named precision must not leak in — only marks do.
+        events.push(Event {
+            kind: EventKind::Begin,
+            name: "precision",
+            ts_ns: 1_600,
+            tid: 1,
+            attrs: vec![],
+        });
+        let text = precision_jsonl(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "only the two precision marks: {text}");
+        assert!(lines[0].contains("\"kind\":\"precision\""));
+        assert!(lines[0].contains("\"margin_bits\":2.5"));
+        assert!(lines[1].contains("\"kind\":\"precision-probe\""));
+        assert!(lines[1].contains("\"measured_rms\":0.000001"));
+        for line in &lines {
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
     }
 
     #[test]

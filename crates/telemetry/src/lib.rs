@@ -50,5 +50,5 @@ pub mod export;
 pub mod metrics;
 pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{quantile_from_pow2_buckets, Counter, Gauge, Histogram, Registry};
 pub use trace::{AttrValue, Attrs, Event, EventKind, PairedSpan, Span};

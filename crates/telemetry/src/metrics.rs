@@ -132,6 +132,56 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) with linear interpolation inside
+    /// the containing power-of-two bucket — see
+    /// [`quantile_from_pow2_buckets`]. `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_pow2_buckets(&self.bucket_counts(), q)
+    }
+}
+
+/// The `q`-quantile of a power-of-two bucketed histogram, interpolated.
+///
+/// Bucket `k` spans `[2^k, 2^{k+1})` (bucket 0 starts at zero, the last
+/// bucket is treated as if it closed at its power-of-two boundary). The
+/// target rank is `q · count`, clamped to `[1, count]`; within the bucket
+/// that holds it, the value is linearly interpolated between the bucket's
+/// bounds by the rank's position among the bucket's observations. The
+/// result is exact to within one bucket's width rather than quantized to
+/// a power of two — the difference between reporting p99 = 65 536 µs and
+/// p99 ≈ 71 000 µs.
+///
+/// Returns `None` for an empty histogram or a `q` outside `[0, 1]`.
+pub fn quantile_from_pow2_buckets(buckets: &[u64], q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return None;
+    }
+    let target = (q * count as f64).clamp(1.0, count as f64);
+    let mut cum = 0u64;
+    for (k, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if (cum + c) as f64 >= target {
+            let lo = if k == 0 { 0.0 } else { (1u64 << k) as f64 };
+            let hi = (1u128 << (k + 1)) as f64;
+            // Midpoint convention: the j-th of c observations in a bucket
+            // sits at position (j − ½)/c, so a lone observation reads as
+            // the bucket midpoint and no rank touches the open bound.
+            let frac = ((target - cum as f64 - 0.5) / c as f64).clamp(0.0, 1.0);
+            return Some(lo + frac * (hi - lo));
+        }
+        cum += c;
+    }
+    // Unreachable while the loop covers every observation, but a safe
+    // answer exists: the top of the last nonempty bucket.
+    let k = buckets.iter().rposition(|&c| c > 0)?;
+    Some((1u128 << (k + 1)) as f64)
 }
 
 #[derive(Debug, Clone)]
@@ -356,6 +406,61 @@ mod tests {
         h2.observe(4); // [4,8) → bucket 2
         let b = h2.bucket_counts();
         assert_eq!((b[0], b[1], b[2]), (1, 1, 1));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 1..=1024 uniformly: every pow2 bucket [2^k, 2^{k+1}) is exactly
+        // full, so linear interpolation recovers exact quantiles almost
+        // perfectly — the whole point over pow2 quantization.
+        let h = Histogram::with_buckets(16);
+        for v in 1..=1024u64 {
+            h.observe(v);
+        }
+        let exact = |q: f64| (q * 1024.0).round();
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let est = h.quantile(q).unwrap();
+            let want = exact(q);
+            assert!(
+                (est - want).abs() <= want * 0.01 + 2.0,
+                "q={q}: interpolated {est} vs exact {want}"
+            );
+        }
+        // Without interpolation p95 would be quantized to 512 or 1024;
+        // the interpolated value sits strictly between.
+        let p95 = h.quantile(0.95).unwrap();
+        assert!(p95 > 520.0 && p95 < 1020.0, "p95={p95} is not quantized");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::with_buckets(8);
+        assert_eq!(h.quantile(0.5), None, "empty histogram");
+        h.observe(100);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        // A single observation: every quantile lands in its bucket
+        // [64, 128).
+        for q in [0.0, 0.5, 1.0] {
+            let est = h.quantile(q).unwrap();
+            assert!((64.0..128.0).contains(&est), "q={q} gave {est}");
+        }
+        // A point mass split across two buckets interpolates between
+        // them: 3 at bucket [2,4), 1 at bucket [8,16) → p50 inside [2,4).
+        let h2 = Histogram::with_buckets(8);
+        for _ in 0..3 {
+            h2.observe(3);
+        }
+        h2.observe(9);
+        let p50 = h2.quantile(0.5).unwrap();
+        assert!((2.0..4.0).contains(&p50), "p50={p50}");
+        let p100 = h2.quantile(1.0).unwrap();
+        assert!((8.0..=16.0).contains(&p100), "p100={p100}");
+        // The free function agrees with the method.
+        assert_eq!(
+            quantile_from_pow2_buckets(&h2.bucket_counts(), 0.5),
+            Some(p50)
+        );
     }
 
     #[test]

@@ -38,6 +38,19 @@
 //!                                   analytic estimate, the traced latency, and a
 //!                                   re-estimate from the trace-measured cost
 //!                                   table; takes no input files
+//!   --audit                         run encrypted AND in the plaintext reference,
+//!                                   decrypt-compare at every output plus selected
+//!                                   intermediates, and print a per-op table of
+//!                                   predicted vs measured RMS error and waterline
+//!                                   margin; exit 6 on any violation
+//!   --audit-checkpoints N           intermediate decrypt probes per program
+//!                                   (default 4; outputs are always probed)
+//!   --bench NAME|all                audit a named paper benchmark (Small preset)
+//!                                   instead of an input file; `all` audits all 8
+//!   --precision-trace PATH          write the per-op noise ledger (and audit
+//!                                   probes) as JSONL to PATH on exit
+//!   --max-rms BOUND                 abort encrypted execution once the modeled
+//!                                   RMS noise of any value exceeds BOUND
 //! ```
 //!
 //! Serve mode compiles each file once through the content-addressed plan
@@ -51,9 +64,10 @@
 //! leaves a trace of how far it got.
 //!
 //! Exit codes: 0 success; 2 usage error; 3 input unreadable/unparsable
-//! (or a trace/metrics file could not be written); 4 compilation failed
-//! (in `--fallback` mode: every rung failed); 5 encrypted execution
-//! failed.
+//! (or a trace/metrics/precision file could not be written); 4 compilation
+//! failed (in `--fallback` mode: every rung failed); 5 encrypted execution
+//! failed; 6 audit violation (measured error above the predicted bound or
+//! a negative waterline margin).
 
 use hecate::backend::exec::{execute_encrypted, BackendOptions};
 use hecate::compiler::estimator::estimate_latency_us;
@@ -100,6 +114,11 @@ struct Args {
     trace_format: TraceFormat,
     metrics: Option<String>,
     estimator_report: bool,
+    audit: bool,
+    audit_checkpoints: usize,
+    bench: Option<String>,
+    precision_trace: Option<String>,
+    max_rms: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -125,6 +144,11 @@ fn parse_args() -> Result<Args, String> {
         trace_format: TraceFormat::Chrome,
         metrics: None,
         estimator_report: false,
+        audit: false,
+        audit_checkpoints: 4,
+        bench: None,
+        precision_trace: None,
+        max_rms: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -191,13 +215,42 @@ fn parse_args() -> Result<Args, String> {
             }
             "--metrics" => out.metrics = Some(args.next().ok_or("bad --metrics")?),
             "--estimator-report" => out.estimator_report = true,
+            "--audit" => out.audit = true,
+            "--audit-checkpoints" => {
+                out.audit_checkpoints = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --audit-checkpoints")?
+            }
+            "--bench" => out.bench = Some(args.next().ok_or("bad --bench")?),
+            "--precision-trace" => {
+                out.precision_trace = Some(args.next().ok_or("bad --precision-trace")?)
+            }
+            "--max-rms" => {
+                out.max_rms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&b: &f64| b > 0.0)
+                        .ok_or("bad --max-rms")?,
+                )
+            }
             f if !f.starts_with('-') => out.files.push(f.to_string()),
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    if out.estimator_report {
+    if out.bench.is_some() && !out.audit {
+        return Err("--bench requires --audit".into());
+    }
+    if out.audit && (out.serve || out.estimator_report) {
+        return Err("--audit is incompatible with --serve and --estimator-report".into());
+    }
+    if out.estimator_report || out.bench.is_some() {
         if !out.files.is_empty() {
-            return Err("--estimator-report takes no input files".into());
+            return Err(if out.estimator_report {
+                "--estimator-report takes no input files".into()
+            } else {
+                "--bench takes no input files".into()
+            });
         }
     } else if out.files.is_empty() {
         return Err("no input file".into());
@@ -366,11 +419,13 @@ fn obtain_plan(args: &Args, func: &Function, opts: &CompileOptions) -> Result<Co
 /// Backend options implied by the CLI flags (`--kernel-jobs`,
 /// `--no-hoist`).
 fn backend_options(args: &Args) -> BackendOptions {
-    BackendOptions {
+    let mut opts = BackendOptions {
         kernel_jobs: args.kernel_jobs,
         hoist_rotations: args.hoist,
         ..BackendOptions::default()
-    }
+    };
+    opts.guard.max_rms = args.max_rms;
+    opts
 }
 
 fn estimator_report(args: &Args, opts: &CompileOptions, events_out: &mut Vec<Event>) -> u8 {
@@ -381,8 +436,16 @@ fn estimator_report(args: &Args, opts: &CompileOptions, events_out: &mut Vec<Eve
         args.scheme
     );
     println!(
-        "  {:<6} {:>5} {:>6} {:>12} {:>12} {:>12} {:>7} {:>7}",
-        "name", "ops", "degree", "analytic ms", "traced ms", "profiled ms", "an/tr", "pf/tr"
+        "  {:<6} {:>5} {:>6} {:>12} {:>12} {:>12} {:>7} {:>7} {:>10}",
+        "name",
+        "ops",
+        "degree",
+        "analytic ms",
+        "traced ms",
+        "profiled ms",
+        "an/tr",
+        "pf/tr",
+        "noise bits"
     );
     let (mut ln_analytic, mut ln_profiled) = (0.0f64, 0.0f64);
     for b in &benches {
@@ -415,7 +478,7 @@ fn estimator_report(args: &Args, opts: &CompileOptions, events_out: &mut Vec<Eve
         );
         events_out.extend(events);
         println!(
-            "  {:<6} {:>5} {:>6} {:>12.2} {:>12.2} {:>12.2} {:>7.3} {:>7.3}",
+            "  {:<6} {:>5} {:>6} {:>12.2} {:>12.2} {:>12.2} {:>7.3} {:>7.3} {:>10.1}",
             b.name,
             prog.func.len(),
             prog.params.degree,
@@ -423,7 +486,8 @@ fn estimator_report(args: &Args, opts: &CompileOptions, events_out: &mut Vec<Eve
             traced / 1e3,
             profiled / 1e3,
             analytic / traced,
-            profiled / traced
+            profiled / traced,
+            prog.stats.estimated_noise_bits
         );
         ln_analytic += (analytic / traced).ln();
         ln_profiled += (profiled / traced).ln();
@@ -435,6 +499,137 @@ fn estimator_report(args: &Args, opts: &CompileOptions, events_out: &mut Vec<Eve
         (ln_profiled / n).exp()
     );
     0
+}
+
+/// Audit mode: run each program encrypted *and* in the plaintext
+/// reference, decrypt-compare at probes, and print the per-op precision
+/// table. Programs come from input files (compiled or `--load-plan`
+/// reloaded) or from `--bench NAME|all` (the paper's benchmarks, Small
+/// preset). Returns 6 when any probe's measured error exceeds 10× its
+/// prediction or any waterline margin is negative.
+fn audit_mode(args: &Args, opts: &CompileOptions) -> u8 {
+    use hecate::backend::{audit_encrypted, AuditOptions};
+
+    /// One audit case: (label, function, inputs, compile options).
+    type AuditCase = (String, Function, HashMap<String, Vec<f64>>, CompileOptions);
+    let mut cases: Vec<AuditCase> = Vec::new();
+    if let Some(sel) = &args.bench {
+        let benches = hecate::apps::all_benchmarks(hecate::apps::Preset::Small);
+        let names: Vec<String> = benches.iter().map(|b| b.name.clone()).collect();
+        let selected: Vec<_> = benches
+            .into_iter()
+            .filter(|b| sel == "all" || b.name == *sel)
+            .collect();
+        if selected.is_empty() {
+            eprintln!(
+                "hecatec: unknown benchmark '{sel}' (have: {})",
+                names.join(", ")
+            );
+            return 2;
+        }
+        for b in selected {
+            let mut bopts = opts.clone();
+            bopts.degree = Some(opts.degree.unwrap_or((2 * b.func.vec_size).max(512)));
+            cases.push((b.name, b.func, b.inputs, bopts));
+        }
+    } else {
+        let funcs = match load_functions(&args.files) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("hecatec: {e}");
+                return 3;
+            }
+        };
+        for (file, func) in funcs {
+            let inputs = synth_inputs(&func, 1);
+            cases.push((file, func, inputs, opts.clone()));
+        }
+    }
+
+    let audit_opts = AuditOptions {
+        checkpoints: args.audit_checkpoints,
+        ..AuditOptions::default()
+    };
+    let bopts = backend_options(args);
+    let mut violation_count = 0usize;
+    for (label, func, inputs, copts) in &cases {
+        let prog = if args.bench.is_some() {
+            match compile(func, args.scheme, copts) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("hecatec: {label}: compilation failed: {e}");
+                    return 4;
+                }
+            }
+        } else {
+            match obtain_plan(args, func, copts) {
+                Ok(p) => p,
+                Err(code) => return code,
+            }
+        };
+        let report = match audit_encrypted(&prog, inputs, &bopts, &audit_opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("hecatec: {label}: execution failed: {e}");
+                return 5;
+            }
+        };
+        let probed = report
+            .rows
+            .iter()
+            .filter(|r| r.measured_rms.is_some())
+            .count();
+        println!(
+            "audit {label}: {} cipher op(s), {probed} probed, {:.1}ms encrypted",
+            report.rows.len(),
+            report.total_us / 1e3
+        );
+        println!(
+            "  {:>4} {:<10} {:>4} {:>7} {:>8} {:>11} {:>11} {:>7}",
+            "op", "kind", "lvl", "scale", "margin", "predicted", "measured", "ratio"
+        );
+        for row in &report.rows {
+            let (measured, ratio) = match row.measured_rms {
+                Some(m) => (
+                    format!("{m:>11.3e}"),
+                    format!("{:>7.2}", m / row.predicted_rms.max(audit_opts.floor)),
+                ),
+                None => (format!("{:>11}", "-"), format!("{:>7}", "-")),
+            };
+            println!(
+                "  {:>4} {:<10} {:>4} {:>7.1} {:>8.2} {:>11.3e} {measured} {ratio}{}",
+                row.op,
+                row.mnemonic,
+                row.level,
+                row.scale_bits,
+                row.margin_bits,
+                row.predicted_rms,
+                if row.is_output { "  <- output" } else { "" }
+            );
+        }
+        println!(
+            "  tightest waterline margin: {:.2} bits",
+            report.min_margin_bits
+        );
+        let violations = report.violations(&audit_opts);
+        if violations.is_empty() {
+            println!(
+                "  audit PASSED (worst measured/predicted ratio {:.2})",
+                report.worst_ratio(audit_opts.floor)
+            );
+        } else {
+            for v in &violations {
+                eprintln!("  audit VIOLATION: {v}");
+            }
+            violation_count += violations.len();
+        }
+    }
+    if violation_count > 0 {
+        eprintln!("hecatec: audit failed with {violation_count} violation(s)");
+        6
+    } else {
+        0
+    }
 }
 
 /// Compile (or reload) a single file, print the plan, and optionally
@@ -549,12 +744,15 @@ fn run_single(args: &Args, opts: &CompileOptions) -> u8 {
     0
 }
 
-/// Drains the tracer and writes the `--trace` and `--metrics` files.
-/// Runs on every exit path; a file that cannot be written turns a
+/// Drains the tracer and writes the `--trace`, `--metrics`, and
+/// `--precision-trace` files. Runs on every exit path — including
+/// execution failures like a tripped guard or an exhausted noise budget —
+/// so a failing run still leaves valid, complete files covering
+/// everything up to the failure. A file that cannot be written turns a
 /// successful run into exit code 3 but never masks a run failure.
 fn finish_observability(args: &Args, code: u8, mut events: Vec<Event>, metrics_extra: &str) -> u8 {
     let mut code = code;
-    if args.trace.is_some() || args.estimator_report {
+    if args.trace.is_some() || args.precision_trace.is_some() || args.estimator_report {
         trace::set_enabled(false);
         events.extend(trace::drain());
         events.sort_by_key(|e| e.ts_ns);
@@ -566,6 +764,19 @@ fn finish_observability(args: &Args, code: u8, mut events: Vec<Event>, metrics_e
         };
         match std::fs::write(path, text) {
             Ok(()) => println!("trace: {} event(s) written to {path}", events.len()),
+            Err(e) => {
+                eprintln!("hecatec: cannot write {path}: {e}");
+                if code == 0 {
+                    code = 3;
+                }
+            }
+        }
+    }
+    if let Some(path) = &args.precision_trace {
+        let text = export::precision_jsonl(&events);
+        let lines = text.lines().count();
+        match std::fs::write(path, text) {
+            Ok(()) => println!("precision trace: {lines} record(s) written to {path}"),
             Err(e) => {
                 eprintln!("hecatec: cannot write {path}: {e}");
                 if code == 0 {
@@ -595,7 +806,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("hecatec: {e}");
-            eprintln!("usage: hecatec <file.heir>... [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet] [--strict|--fallback] [--save-plan P] [--load-plan P] [--serve] [--jobs N] [--kernel-jobs N] [--no-hoist] [--repeat K] [--trace P] [--trace-format jsonl|chrome] [--metrics P] [--estimator-report]");
+            eprintln!("usage: hecatec <file.heir>... [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet] [--strict|--fallback] [--save-plan P] [--load-plan P] [--serve] [--jobs N] [--kernel-jobs N] [--no-hoist] [--repeat K] [--trace P] [--trace-format jsonl|chrome] [--metrics P] [--estimator-report] [--audit] [--audit-checkpoints N] [--bench NAME|all] [--precision-trace P] [--max-rms B]");
             return ExitCode::from(2);
         }
     };
@@ -603,9 +814,10 @@ fn main() -> ExitCode {
     opts.rescale_bits = args.sf;
     opts.degree = args.degree;
 
-    // The estimator report needs the tracer even without --trace: the
-    // measured cost table is folded from the trace stream.
-    if args.trace.is_some() || args.estimator_report {
+    // The estimator report needs the tracer even without --trace (the
+    // measured cost table is folded from the trace stream), and the
+    // precision trace is derived from the executor's `precision` marks.
+    if args.trace.is_some() || args.precision_trace.is_some() || args.estimator_report {
         let _ = trace::drain(); // discard anything recorded before enabling
         trace::set_enabled(true);
     }
@@ -614,6 +826,8 @@ fn main() -> ExitCode {
     let mut metrics_extra = String::new();
     let code = if args.estimator_report {
         estimator_report(&args, &opts, &mut report_events)
+    } else if args.audit {
+        audit_mode(&args, &opts)
     } else if args.serve {
         serve(&args, &opts, &mut metrics_extra)
     } else {

@@ -1,0 +1,142 @@
+//! Observability files survive *failing* runs of `hecatec`.
+//!
+//! The contract (DESIGN "Precision observability"): `--trace`,
+//! `--metrics`, and `--precision-trace` files are written on every exit
+//! path, so a run that dies mid-execution — here, a noise-budget guard
+//! tripping via `--max-rms` — still leaves valid, complete files
+//! covering everything up to the failure.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn hecatec() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hecatec"))
+}
+
+fn example(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/ir")
+        .join(name)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hecatec-test-{}-{name}", std::process::id()))
+}
+
+/// Structural JSONL check without a JSON dependency: every non-empty
+/// line is one object with balanced braces and an even quote count.
+fn assert_valid_jsonl(path: &PathBuf) -> usize {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let mut n = 0;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object line in {}: {line:?}",
+            path.display()
+        );
+        assert_eq!(
+            line.matches('{').count(),
+            line.matches('}').count(),
+            "unbalanced braces in {}: {line:?}",
+            path.display()
+        );
+        assert_eq!(
+            line.matches('"').count() % 2,
+            0,
+            "unbalanced quotes in {}: {line:?}",
+            path.display()
+        );
+        n += 1;
+    }
+    n
+}
+
+#[test]
+fn failing_run_still_writes_valid_observability_files() {
+    let trace = tmp("fail.trace.jsonl");
+    let precision = tmp("fail.precision.jsonl");
+    let metrics = tmp("fail.metrics.prom");
+    // poly.heir's modeled noise spans ~2.5e-5 (fresh input) to ~1.3e-4
+    // (deepest op), so a 5e-5 budget admits the first ops and then
+    // trips BudgetExhausted mid-run — the exact path that used to lose
+    // the buffered telemetry.
+    let out = hecatec()
+        .arg(example("poly.heir"))
+        .args(["--run", "--quiet", "--max-rms", "5e-5"])
+        .args([
+            "--trace",
+            trace.to_str().unwrap(),
+            "--trace-format",
+            "jsonl",
+        ])
+        .args(["--precision-trace", precision.to_str().unwrap()])
+        .args(["--metrics", metrics.to_str().unwrap()])
+        .output()
+        .expect("hecatec runs");
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "expected execution-failure exit, got {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("noise budget"),
+        "guard failure not reported: {stderr}"
+    );
+
+    // All three files exist and are valid despite the failure.
+    let trace_events = assert_valid_jsonl(&trace);
+    assert!(trace_events > 0, "trace is empty on the error path");
+    let precision_records = assert_valid_jsonl(&precision);
+    assert!(
+        precision_records >= 2,
+        "expected the ops executed before the failure in the precision \
+         trace, got {precision_records} record(s)"
+    );
+    let precision_text = std::fs::read_to_string(&precision).unwrap();
+    assert!(precision_text.contains("\"kind\":\"precision\""));
+    assert!(precision_text.contains("margin_bits"));
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        metrics_text.contains("hecate_"),
+        "metrics missing on the error path: {metrics_text:?}"
+    );
+    for p in [trace, precision, metrics] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn audit_bench_passes_and_emits_precision_trace() {
+    let precision = tmp("audit.precision.jsonl");
+    let out = hecatec()
+        .args(["--audit", "--bench", "SF"])
+        .args(["--precision-trace", precision.to_str().unwrap()])
+        .output()
+        .expect("hecatec runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "audit failed\nstdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("PASSED"), "no audit verdict: {stdout}");
+    assert!(
+        stdout.contains("tightest waterline margin"),
+        "no margin summary: {stdout}"
+    );
+    let records = assert_valid_jsonl(&precision);
+    assert!(records > 0, "audit left an empty precision trace");
+    let text = std::fs::read_to_string(&precision).unwrap();
+    assert!(
+        text.contains("\"kind\":\"precision-probe\""),
+        "no probe records in the audit's precision trace"
+    );
+    let _ = std::fs::remove_file(precision);
+}
