@@ -271,7 +271,7 @@ pub fn audit_on_engine(
         Ok(())
     };
 
-    let run = execute_sequential_with(engine, inputs, Some(&mut observer))?;
+    let run = execute_sequential_with(engine, inputs, Some(&mut observer), None)?;
 
     let mut reference = HashMap::new();
     for (name, v) in prog.func.outputs() {

@@ -43,8 +43,59 @@ use hecate_ir::{Op, ValueId};
 use hecate_telemetry::trace;
 use hecate_telemetry::{Counter, Gauge, Histogram};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// A cooperative cancellation handle the executors poll between
+/// operations.
+///
+/// Homomorphic kernels run for tens of microseconds to milliseconds, so
+/// per-op polling bounds how long a cancelled (or deadline-expired) run
+/// keeps burning cores without requiring kernels to be interruptible.
+/// The token trips either explicitly ([`CancelToken::cancel`]) or
+/// implicitly once its deadline passes; both surface as
+/// [`ExecError::Cancelled`] from the run.
+///
+/// Cloning shares the underlying flag: any clone can cancel every
+/// holder.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only trips when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that trips automatically once `deadline` passes (and can
+    /// still be cancelled explicitly before then).
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Trips the token; every executor sharing it stops at its next
+    /// between-ops poll.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has been cancelled or its deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The deadline this token trips at, if it carries one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
 
 /// Backend execution options.
 #[derive(Debug, Clone)]
@@ -173,6 +224,12 @@ pub enum ExecError {
         /// Log2 bits by which the tracked RMS noise exceeds the budget.
         deficit: f64,
     },
+    /// The run's [`CancelToken`] tripped (explicit cancellation or an
+    /// expired deadline); remaining work was abandoned between ops.
+    Cancelled {
+        /// The operation index at which the cancellation was observed.
+        at: usize,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -203,6 +260,9 @@ impl std::fmt::Display for ExecError {
                     f,
                     "noise budget exhausted at op {at} ({deficit:.1} bits over)"
                 )
+            }
+            ExecError::Cancelled { at } => {
+                write!(f, "execution cancelled at op {at} (deadline or shed)")
             }
         }
     }
@@ -1040,7 +1100,7 @@ pub fn execute_sequential(
     engine: &ExecEngine,
     inputs: &HashMap<String, Vec<f64>>,
 ) -> Result<EncryptedRun, ExecError> {
-    execute_sequential_with(engine, inputs, None)
+    execute_sequential_with(engine, inputs, None, None)
 }
 
 /// A per-op observer for audited runs, called once per executed operation
@@ -1050,16 +1110,20 @@ pub fn execute_sequential(
 pub type OpObserver<'a> = &'a mut dyn FnMut(usize, &OpValue, f64) -> Result<(), ExecError>;
 
 /// [`execute_sequential`] with an optional per-op observer — the hook the
-/// audit driver uses to decrypt-probe intermediate values. The observer
-/// only *reads* values (decryption does not consume a ciphertext), so an
-/// observed run is bit-identical to an unobserved one.
+/// audit driver uses to decrypt-probe intermediate values — and an
+/// optional [`CancelToken`] polled between ops so a timed-out or shed run
+/// stops burning cores. The observer only *reads* values (decryption does
+/// not consume a ciphertext), so an observed run is bit-identical to an
+/// unobserved one.
 ///
 /// # Errors
-/// Returns [`ExecError`] on input, evaluator, guard, or observer failures.
+/// Returns [`ExecError`] on input, evaluator, guard, observer, or
+/// cancellation failures.
 pub fn execute_sequential_with(
     engine: &ExecEngine,
     inputs: &HashMap<String, Vec<f64>>,
     mut observer: Option<OpObserver<'_>>,
+    cancel: Option<&CancelToken>,
 ) -> Result<EncryptedRun, ExecError> {
     let prog = engine.prog().clone();
     let mut span = trace::span_with("execute", || {
@@ -1084,6 +1148,9 @@ pub fn execute_sequential_with(
     let mut peak_bytes = 0usize;
 
     for (i, op) in prog.func.ops().iter().enumerate() {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(ExecError::Cancelled { at: i });
+        }
         let (value, injected_var) = if let Some(mut input_val) = pre[i].take() {
             let injected = engine.admit_value(i, &mut input_val)?;
             (input_val, injected)

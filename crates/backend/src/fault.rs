@@ -65,4 +65,93 @@ impl FaultPlan {
             FaultPlan::SkipRelin => None,
         }
     }
+
+    /// Parses the compact fault syntax used by `hecatec --chaos-fault`:
+    ///
+    /// ```text
+    /// corrupt-limb@AT:LIMB | perturb-scale@AT:BITS | drop-rescale@AT
+    /// skip-relin           | exhaust-noise@AT
+    /// ```
+    ///
+    /// # Errors
+    /// Returns a human-readable message for unknown kinds or malformed
+    /// numeric fields.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let (kind, rest) = match spec.split_once('@') {
+            Some((k, r)) => (k, Some(r)),
+            None => (spec, None),
+        };
+        let err = || format!("bad fault spec '{spec}'");
+        let at = |r: Option<&str>| r.and_then(|r| r.parse::<usize>().ok()).ok_or_else(err);
+        match kind {
+            "corrupt-limb" => {
+                let (a, l) = rest.and_then(|r| r.split_once(':')).ok_or_else(err)?;
+                Ok(FaultPlan::CorruptLimb {
+                    at: a.parse().map_err(|_| err())?,
+                    limb: l.parse().map_err(|_| err())?,
+                })
+            }
+            "perturb-scale" => {
+                let (a, d) = rest.and_then(|r| r.split_once(':')).ok_or_else(err)?;
+                Ok(FaultPlan::PerturbScale {
+                    at: a.parse().map_err(|_| err())?,
+                    delta_bits: d.parse().map_err(|_| err())?,
+                })
+            }
+            "drop-rescale" => Ok(FaultPlan::DropRescale { at: at(rest)? }),
+            "skip-relin" => Ok(FaultPlan::SkipRelin),
+            "exhaust-noise" => Ok(FaultPlan::ExhaustNoise { at: at(rest)? }),
+            _ => Err(err()),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlan::CorruptLimb { at, limb } => write!(f, "corrupt-limb@{at}:{limb}"),
+            FaultPlan::PerturbScale { at, delta_bits } => {
+                write!(f, "perturb-scale@{at}:{delta_bits}")
+            }
+            FaultPlan::DropRescale { at } => write!(f, "drop-rescale@{at}"),
+            FaultPlan::SkipRelin => write!(f, "skip-relin"),
+            FaultPlan::ExhaustNoise { at } => write!(f, "exhaust-noise@{at}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_variant() {
+        let plans = [
+            FaultPlan::CorruptLimb { at: 3, limb: 1 },
+            FaultPlan::PerturbScale {
+                at: 0,
+                delta_bits: 1.5,
+            },
+            FaultPlan::DropRescale { at: 2 },
+            FaultPlan::SkipRelin,
+            FaultPlan::ExhaustNoise { at: 4 },
+        ];
+        for plan in plans {
+            let spec = plan.to_string();
+            assert_eq!(FaultPlan::parse(&spec).unwrap(), plan, "spec {spec}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "bogus",
+            "corrupt-limb",
+            "corrupt-limb@1",
+            "drop-rescale@x",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
 }

@@ -63,8 +63,8 @@ pub mod profile;
 pub use audit::{audit_encrypted, audit_on_engine, AuditOptions, AuditReport, AuditRow};
 pub use exec::{
     execute_encrypted, execute_sequential, execute_sequential_with, rotation_fanout,
-    BackendOptions, EncryptedRun, ExecEngine, ExecError, GuardOptions, HoistState, OpObserver,
-    OpValue,
+    BackendOptions, CancelToken, EncryptedRun, ExecEngine, ExecError, GuardOptions, HoistState,
+    OpObserver, OpValue,
 };
 pub use fault::FaultPlan;
 pub use noise::{

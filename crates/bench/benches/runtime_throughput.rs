@@ -54,6 +54,8 @@ fn measure(workers: usize, benches: &[Benchmark]) -> f64 {
         scheme: Scheme::Pars,
         options: opts.clone(),
         inputs: bench.inputs.clone(),
+        deadline: None,
+        max_retries: 0,
     };
     // One tenant session per workload; warm the cache and the session
     // engines so the measurement sees only steady-state serving.

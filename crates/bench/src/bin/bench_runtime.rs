@@ -109,6 +109,8 @@ fn main() {
             scheme: Scheme::Pars,
             options: opts.clone(),
             inputs: bench.inputs.clone(),
+            deadline: None,
+            max_retries: 0,
         };
         // Warm the plan cache and the session's engine off the record.
         rt.run_batch(vec![mk()])

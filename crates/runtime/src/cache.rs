@@ -96,11 +96,47 @@ impl Inner {
     }
 }
 
+/// Clears the `Pending` marker (and wakes waiters) if the compile closure
+/// panics, so a dead compiler cannot wedge single-flight waiters forever.
+/// Disarmed on the normal path, where `get_or_compute` publishes or
+/// removes the slot itself.
+struct PendingGuard<'a> {
+    cache: &'a PlanCache,
+    key: u64,
+    armed: bool,
+}
+
+impl PendingGuard<'_> {
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut inner = self.cache.lock_inner();
+            inner.slots.remove(&self.key);
+            drop(inner);
+            self.cache.published.notify_all();
+        }
+    }
+}
+
 impl PlanCache {
     /// An empty cache reporting into `stats`, bounded at
     /// [`DEFAULT_PLAN_CACHE_CAPACITY`] published artifacts.
     pub fn new(stats: Arc<RuntimeStats>) -> Self {
         Self::with_capacity(stats, DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// Locks the slot map, recovering from poisoning. Every mutation of
+    /// the map is a single `HashMap` operation, so a panicked holder
+    /// cannot leave it structurally inconsistent — the poison flag is
+    /// noise for this type, and propagating it would turn one isolated
+    /// request panic into a cache-wide outage.
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// An empty cache bounded at `capacity` published artifacts
@@ -146,9 +182,7 @@ impl PlanCache {
 
     /// Number of published artifacts.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .unwrap()
+        self.lock_inner()
             .slots
             .values()
             .filter(|s| matches!(s, Slot::Ready(..)))
@@ -173,9 +207,6 @@ impl PlanCache {
     /// # Errors
     /// Returns [`RuntimeError::Compile`] when the pipeline rejects the
     /// program; the failure is not cached.
-    ///
-    /// # Panics
-    /// Panics if another thread panicked while holding the cache lock.
     pub fn get_or_compile(
         &self,
         func: &Function,
@@ -185,21 +216,43 @@ impl PlanCache {
         let key = plan_key(func, scheme, opts);
         let mut span =
             hecate_telemetry::trace::span_with("plan-cache", || vec![("plan_key", key.into())]);
-        let mut inner = self.inner.lock().unwrap();
+        let result = self.get_or_compute(key, || self.compile_artifact(key, func, scheme, opts));
+        if let Ok((_, hit)) = &result {
+            span.attr("hit", (*hit).into());
+        }
+        result
+    }
+
+    /// The single-flight engine behind [`PlanCache::get_or_compile`],
+    /// generic over the compile step so the panic-safety contract is
+    /// testable with an injected panicking closure.
+    ///
+    /// Panic safety: if `compute` panics, a drop guard removes the
+    /// `Pending` marker and wakes all waiters before the panic continues
+    /// unwinding — waiters never hang on a dead compiler, and the next
+    /// caller simply compiles the key afresh.
+    fn get_or_compute(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<Arc<PlanArtifact>, RuntimeError>,
+    ) -> Result<(Arc<PlanArtifact>, bool), RuntimeError> {
+        let mut inner = self.lock_inner();
         loop {
             match inner.slots.get(&key) {
                 Some(Slot::Ready(artifact, _)) => {
                     let artifact = artifact.clone();
                     inner.touch(key);
                     self.stats.record_hit();
-                    span.attr("hit", true.into());
                     return Ok((artifact, true));
                 }
                 Some(Slot::Pending) => {
                     // Someone else is compiling: wait for publication (or
                     // for the pending marker to vanish on failure, in
                     // which case we take over the compile ourselves).
-                    inner = self.published.wait(inner).unwrap();
+                    inner = self
+                        .published
+                        .wait(inner)
+                        .unwrap_or_else(|e| e.into_inner());
                 }
                 None => {
                     // Both branches below return, so one call records at
@@ -207,11 +260,16 @@ impl PlanCache {
                     // number of lookups, even when a waiter takes over
                     // after another thread's failed compile.
                     self.stats.record_miss();
-                    span.attr("hit", false.into());
                     inner.slots.insert(key, Slot::Pending);
                     drop(inner);
-                    let outcome = self.compile_artifact(key, func, scheme, opts);
-                    let mut inner = self.inner.lock().unwrap();
+                    let guard = PendingGuard {
+                        cache: self,
+                        key,
+                        armed: true,
+                    };
+                    let outcome = compute();
+                    guard.disarm();
+                    let mut inner = self.lock_inner();
                     match outcome {
                         Ok(artifact) => {
                             inner.tick += 1;
@@ -234,7 +292,7 @@ impl PlanCache {
 
     /// Returns the published artifact for `key`, if any (no compile).
     pub fn get(&self, key: u64) -> Option<Arc<PlanArtifact>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         match inner.slots.get(&key) {
             Some(Slot::Ready(a, _)) => {
                 let a = a.clone();
@@ -249,7 +307,7 @@ impl PlanCache {
     /// [`hecate_compiler::deserialize_plan`]) under its content key.
     pub fn insert(&self, key: u64, prog: Arc<CompiledProgram>) -> Arc<PlanArtifact> {
         let artifact = Arc::new(make_artifact(key, prog));
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         inner.tick += 1;
         let tick = inner.tick;
         inner.slots.insert(key, Slot::Ready(artifact.clone(), tick));
@@ -393,6 +451,76 @@ mod tests {
         let snap = stats.snapshot(1);
         assert_eq!(snap.compiles, 3, "one compile per cold key, ever");
         assert_eq!(snap.cache_hits + snap.cache_misses, 10);
+    }
+
+    /// The tentpole panic-safety contract: a compiler panic mid-flight
+    /// clears the `Pending` marker (via the drop guard) and wakes blocked
+    /// waiters, which then take over and compile the key themselves. No
+    /// waiter hangs, and the cache stays usable afterwards.
+    #[test]
+    fn panicked_compile_frees_the_key_and_wakes_waiters() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::mpsc;
+
+        let stats = Arc::new(RuntimeStats::new());
+        let cache = PlanCache::new(stats.clone());
+        let f = sample(1.5);
+        let o = opts();
+        let key = plan_key(&f, Scheme::Hecate, &o);
+
+        let (started_tx, started_rx) = mpsc::channel();
+        let (go_tx, go_rx) = mpsc::channel::<()>();
+        std::thread::scope(|s| {
+            let cache_ref = &cache;
+            let panicker = s.spawn(move || {
+                catch_unwind(AssertUnwindSafe(|| {
+                    cache_ref.get_or_compute(key, || {
+                        started_tx.send(()).unwrap();
+                        go_rx.recv().unwrap();
+                        panic!("injected compiler panic");
+                    })
+                }))
+            });
+            // The panicker owns the Pending slot before the waiter starts,
+            // so the waiter either parks on it or arrives after cleanup —
+            // both must end with the waiter compiling successfully.
+            started_rx.recv().unwrap();
+            let waiter = s.spawn(|| cache.get_or_compile(&f, Scheme::Hecate, &o));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            go_tx.send(()).unwrap();
+            assert!(panicker.join().unwrap().is_err(), "panic must propagate");
+            let (_, hit) = waiter.join().unwrap().unwrap();
+            assert!(!hit, "waiter takes over the compile after the panic");
+        });
+        assert_eq!(cache.len(), 1, "the waiter's artifact is published");
+        // The panicked flight recorded a miss but no compile; the waiter
+        // recorded both.
+        let snap = stats.snapshot(1);
+        assert_eq!(snap.cache_misses, 2);
+        assert_eq!(snap.compiles, 1);
+    }
+
+    /// A panic while *holding* the slot-map lock poisons the mutex; the
+    /// cache must recover (the map is structurally sound) rather than
+    /// propagate the poison into every later request.
+    #[test]
+    fn poisoned_lock_is_recovered() {
+        let cache = PlanCache::new(Arc::new(RuntimeStats::new()));
+        let f = sample(1.5);
+        let o = opts();
+        cache.get_or_compile(&f, Scheme::Hecate, &o).unwrap();
+        std::thread::scope(|s| {
+            // Poison the inner mutex deliberately: panic while holding it.
+            let poisoner = s.spawn(|| {
+                let _guard = cache.inner.lock().unwrap();
+                panic!("poison the cache lock");
+            });
+            assert!(poisoner.join().is_err());
+        });
+        assert!(cache.inner.is_poisoned(), "setup must have poisoned");
+        assert_eq!(cache.len(), 1, "len recovers the poisoned lock");
+        let (_, hit) = cache.get_or_compile(&f, Scheme::Hecate, &o).unwrap();
+        assert!(hit, "lookups keep working on a poisoned cache");
     }
 
     #[test]

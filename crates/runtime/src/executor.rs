@@ -27,7 +27,7 @@
 //! executor carries over; the reported peaks depend on the actual
 //! interleaving and are generally ≥ the sequential executor's.
 
-use hecate_backend::exec::{EncryptedRun, ExecEngine, ExecError, HoistState, OpValue};
+use hecate_backend::exec::{CancelToken, EncryptedRun, ExecEngine, ExecError, HoistState, OpValue};
 use hecate_backend::NoiseMonitor;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -35,6 +35,9 @@ use std::sync::{Condvar, Mutex, RwLock};
 
 struct Shared<'e> {
     engine: &'e ExecEngine,
+    /// Optional cancellation token polled by every worker between ops, so
+    /// a timed-out request stops consuming cores within one kernel.
+    cancel: Option<&'e CancelToken>,
     /// Per-run rotation-hoisting cache (shared decompositions). Lives
     /// exactly as long as this request: hoisted decompositions are tied
     /// to this run's ciphertext values, which differ between requests
@@ -163,6 +166,10 @@ impl Shared<'_> {
                     ready = self.wake.wait(ready).unwrap();
                 }
             };
+            if self.cancel.is_some_and(|c| c.is_cancelled()) {
+                self.fail(ExecError::Cancelled { at: i });
+                return;
+            }
             match self.run_op(i) {
                 Ok(newly_ready) => {
                     if !newly_ready.is_empty() {
@@ -211,6 +218,26 @@ pub fn execute_parallel(
     inputs: &HashMap<String, Vec<f64>>,
     jobs: usize,
 ) -> Result<EncryptedRun, ExecError> {
+    execute_parallel_with(engine, inputs, jobs, None)
+}
+
+/// [`execute_parallel`] with an optional [`CancelToken`] polled by every
+/// worker between ops — the serving layer's deadline hook: when a
+/// request's deadline passes mid-run, workers abandon the DAG within one
+/// kernel instead of finishing work nobody will read.
+///
+/// # Errors
+/// Returns [`ExecError`] on input, evaluator, guard, or cancellation
+/// failures — the first failure wins and remaining work is abandoned.
+///
+/// # Panics
+/// Panics if a worker thread panics (which the engine kernels do not).
+pub fn execute_parallel_with(
+    engine: &ExecEngine,
+    inputs: &HashMap<String, Vec<f64>>,
+    jobs: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<EncryptedRun, ExecError> {
     let jobs = jobs.max(1);
     let prog = engine.prog().clone();
     let n = prog.func.len();
@@ -246,6 +273,7 @@ pub fn execute_parallel(
 
     let shared = Shared {
         engine,
+        cancel,
         hoist: HoistState::default(),
         slots: pre.into_iter().map(RwLock::new).collect(),
         indegree,
@@ -353,6 +381,25 @@ mod tests {
         partial.remove("y");
         let err = execute_parallel(&engine, &partial, 4).unwrap_err();
         assert!(matches!(err, ExecError::MissingInput { .. }));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_between_ops() {
+        let engine = engine();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = execute_parallel_with(&engine, &inputs(), 2, Some(&token)).unwrap_err();
+        assert!(matches!(err, ExecError::Cancelled { .. }));
+        // An expired deadline trips the same path without an explicit
+        // cancel() call.
+        let expired = CancelToken::with_deadline(std::time::Instant::now());
+        let err = execute_parallel_with(&engine, &inputs(), 1, Some(&expired)).unwrap_err();
+        assert!(matches!(err, ExecError::Cancelled { .. }));
+        // An untripped token changes nothing.
+        let idle = CancelToken::new();
+        let run = execute_parallel_with(&engine, &inputs(), 2, Some(&idle)).unwrap();
+        let clean = execute_parallel(&engine, &inputs(), 2).unwrap();
+        assert_eq!(run.outputs, clean.outputs);
     }
 
     #[test]

@@ -25,6 +25,14 @@
 //! and [`stats`] exports cache, queue, latency, and utilization counters
 //! as JSON.
 //!
+//! The serving layer is failure-isolated: a worker panic is caught at
+//! the request boundary and returned as [`RuntimeError::Panicked`] (the
+//! worker survives; shared locks recover from poisoning), requests carry
+//! optional deadlines and retry budgets, the bounded queue sheds load
+//! through a cost-priced admission policy, and the [`chaos`] harness
+//! injects faults, latency, and panics on demand to prove all of it
+//! under stress.
+//!
 //! # Example
 //!
 //! ```
@@ -46,7 +54,10 @@
 //! let session = rt.open_session();
 //! let mut inputs = HashMap::new();
 //! inputs.insert("x".to_string(), vec![1.5, -2.0]);
-//! let req = Request { session, func, scheme: Scheme::Hecate, options, inputs };
+//! let req = Request {
+//!     session, func, scheme: Scheme::Hecate, options, inputs,
+//!     deadline: None, max_retries: 0,
+//! };
 //!
 //! let first = rt.run_batch(vec![req.clone()]).remove(0).unwrap();
 //! assert!(!first.cache_hit);
@@ -60,13 +71,15 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod executor;
 pub mod pool;
 pub mod session;
 pub mod stats;
 
 pub use cache::{plan_key, PlanArtifact, PlanCache};
-pub use executor::execute_parallel;
+pub use chaos::{ChaosKind, ChaosOptions};
+pub use executor::{execute_parallel, execute_parallel_with};
 pub use pool::{Request, Response, Runtime, RuntimeConfig};
 pub use session::{Session, SessionId, SessionManager};
 pub use stats::{RuntimeStats, StatsSnapshot};
@@ -85,6 +98,35 @@ pub enum RuntimeError {
     UnknownSession(SessionId),
     /// The runtime shut down before the request completed.
     Shutdown,
+    /// A worker panicked while serving the request. The panic was caught
+    /// at the request boundary: the worker survives, shared state is
+    /// poison-recovered, and only this request fails.
+    Panicked {
+        /// The panic payload, when it was a string (the common case).
+        message: String,
+    },
+    /// The request's deadline expired before it finished (in queue,
+    /// between retry attempts, or mid-execution via the cancel token).
+    TimedOut {
+        /// Time from enqueue until the deadline was observed expired.
+        elapsed: std::time::Duration,
+    },
+    /// The bounded request queue was full at submission; nothing was
+    /// enqueued.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// Admission control rejected the request: its estimated cost, scaled
+    /// by the current queue depth, exceeded the configured budget.
+    Shed {
+        /// The plan's estimated latency, microseconds.
+        estimated_us: f64,
+        /// Requests already queued at admission time.
+        queue_depth: u64,
+        /// The configured admission budget, microseconds.
+        budget_us: f64,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -94,6 +136,26 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::Exec(e) => write!(f, "execution error: {e}"),
             RuntimeError::UnknownSession(id) => write!(f, "unknown session {id}"),
             RuntimeError::Shutdown => write!(f, "runtime shut down"),
+            RuntimeError::Panicked { message } => {
+                write!(f, "worker panicked while serving request: {message}")
+            }
+            RuntimeError::TimedOut { elapsed } => {
+                write!(f, "request deadline expired after {:.1} ms", {
+                    elapsed.as_secs_f64() * 1e3
+                })
+            }
+            RuntimeError::QueueFull { capacity } => {
+                write!(f, "request queue full (capacity {capacity})")
+            }
+            RuntimeError::Shed {
+                estimated_us,
+                queue_depth,
+                budget_us,
+            } => write!(
+                f,
+                "request shed: estimated {estimated_us:.0} µs at queue depth \
+                 {queue_depth} exceeds admission budget {budget_us:.0} µs"
+            ),
         }
     }
 }

@@ -1,25 +1,67 @@
-//! The serving runtime: a request queue feeding a worker pool.
+//! The serving runtime: a request queue feeding a supervised worker pool.
 //!
 //! [`Runtime`] owns the three subsystems and wires them together per
 //! request: the [`PlanCache`] resolves (or compiles, once) the plan, the
 //! [`SessionManager`] resolves the tenant's engine (building keys on
 //! first use), and the executor runs the request — sequentially, or with
-//! [`execute_parallel`] when `jobs_per_request > 1`. Worker threads pull
-//! from a shared queue; [`RuntimeStats`] observes every stage.
+//! [`crate::execute_parallel_with`] when `jobs_per_request > 1`. Worker
+//! threads pull from a shared bounded queue; [`RuntimeStats`] observes
+//! every stage.
+//!
+//! # Failure domains
+//!
+//! The pool is built so one bad request cannot take the service down:
+//!
+//! - **Panic isolation** — [`Inner::serve`] wraps request processing in
+//!   `catch_unwind`. A panic becomes a typed
+//!   [`RuntimeError::Panicked`] response (the client always gets exactly
+//!   one terminal answer), and the worker then recycles itself through
+//!   its supervisor loop, which re-enters the serving loop and counts a
+//!   respawn. Shared state (plan cache, session maps, stats) recovers
+//!   from lock poisoning, so the surviving workers are unaffected.
+//! - **Deadlines** — a [`Request::deadline`] becomes a
+//!   [`CancelToken`] checked between ops by both executors; expiry
+//!   anywhere (queued, executing, or between retries) yields
+//!   [`RuntimeError::TimedOut`].
+//! - **Retries** — transient failures (guard trips, noise-budget
+//!   exhaustion) re-execute up to [`Request::max_retries`] times with
+//!   exponential backoff, on a freshly built engine.
+//! - **Admission control** — the queue is bounded
+//!   ([`RuntimeConfig::queue_capacity`]), and with
+//!   [`RuntimeConfig::admission_budget_us`] set, requests whose
+//!   estimated cost scaled by the current queue depth exceeds the budget
+//!   are shed *before* they consume queue space.
+//! - **Chaos** — [`ChaosOptions`] turns all of the above against itself:
+//!   injected faults, latency, and panics on every Nth request, used by
+//!   the `chaos_soak` test and `hecatec --serve --chaos`.
 
 use crate::cache::{plan_key, PlanCache};
-use crate::executor::execute_parallel;
+use crate::chaos::{ChaosInjection, ChaosOptions, ChaosState};
+use crate::executor::execute_parallel_with;
 use crate::session::{SessionId, SessionManager};
 use crate::stats::{RuntimeStats, StatsSnapshot};
 use crate::RuntimeError;
-use hecate_backend::exec::{execute_sequential, BackendOptions, EncryptedRun};
+use hecate_backend::exec::{
+    execute_sequential_with, BackendOptions, CancelToken, EncryptedRun, ExecEngine, ExecError,
+};
 use hecate_compiler::{CompileOptions, Scheme};
 use hecate_ir::Function;
 use hecate_telemetry::trace;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Default bound on queued requests
+/// ([`RuntimeConfig::queue_capacity`] overrides it). Deliberately
+/// generous: the bound exists to make overload a typed, observable
+/// rejection instead of unbounded memory growth, not to throttle normal
+/// operation.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 4096;
+
+/// Retry backoff ceiling: exponential growth stops doubling here.
+const RETRY_BACKOFF_CAP: Duration = Duration::from_millis(100);
 
 /// Configuration of one [`Runtime`].
 #[derive(Debug, Clone)]
@@ -36,6 +78,22 @@ pub struct RuntimeConfig {
     /// Bound on published plan-cache artifacts; the least-recently-used
     /// plan is evicted beyond it (clamped to at least 1).
     pub plan_cache_capacity: usize,
+    /// Bound on queued requests (clamped to at least 1). A full queue
+    /// rejects submissions with [`RuntimeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Cost-priced admission budget, microseconds. When set, a request
+    /// whose plan is already cached is shed at submission if
+    /// `estimated_latency_us × (queue_depth + 1)` exceeds this budget —
+    /// an estimate of the total backlog cost the request would join.
+    /// Unknown plans are always admitted (their first run is how the
+    /// estimator learns). `None` disables shedding.
+    pub admission_budget_us: Option<f64>,
+    /// Base delay between retry attempts; doubles per attempt up to a
+    /// 100 ms ceiling, and never sleeps past the request's deadline.
+    pub retry_backoff: Duration,
+    /// Chaos-injection policy, for resilience testing. `None` (the
+    /// default) serves normally.
+    pub chaos: Option<ChaosOptions>,
 }
 
 impl Default for RuntimeConfig {
@@ -45,6 +103,10 @@ impl Default for RuntimeConfig {
             jobs_per_request: 1,
             backend: BackendOptions::default(),
             plan_cache_capacity: crate::cache::DEFAULT_PLAN_CACHE_CAPACITY,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            admission_budget_us: None,
+            retry_backoff: Duration::from_millis(1),
+            chaos: None,
         }
     }
 }
@@ -62,6 +124,15 @@ pub struct Request {
     pub options: CompileOptions,
     /// Input bindings.
     pub inputs: HashMap<String, Vec<f64>>,
+    /// End-to-end deadline, measured from submission. Expiry anywhere —
+    /// in queue, mid-execution (checked between ops), or between retry
+    /// attempts — fails the request with [`RuntimeError::TimedOut`].
+    /// `None` means no deadline.
+    pub deadline: Option<Duration>,
+    /// Additional execution attempts allowed after a *transient* failure
+    /// (a guard trip or noise-budget exhaustion). Retries run on a
+    /// freshly built engine with exponential backoff. `0` fails fast.
+    pub max_retries: u32,
 }
 
 /// The outcome of one served request.
@@ -76,6 +147,8 @@ pub struct Response {
     /// End-to-end latency (queue wait + compile/lookup + execution),
     /// microseconds.
     pub latency_us: f64,
+    /// Re-execution attempts this response needed (0 = first try).
+    pub retries: u32,
 }
 
 struct Job {
@@ -84,15 +157,69 @@ struct Job {
     enqueued: Instant,
 }
 
+/// True for failures worth re-executing: a guard trip or noise-budget
+/// blow-up can stem from transient engine state (or an injected fault),
+/// and a clean re-run on a fresh engine legitimately recovers. Compile
+/// errors, missing inputs, and evaluator bugs are deterministic — a
+/// retry would only repeat them.
+fn is_transient(e: &ExecError) -> bool {
+    matches!(
+        e,
+        ExecError::Guard { .. } | ExecError::BudgetExhausted { .. }
+    )
+}
+
+/// Renders a caught panic payload (the `&str`/`String` cases cover
+/// `panic!` with a message; anything else is typed opaquely).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 struct Inner {
     config: RuntimeConfig,
     cache: PlanCache,
     sessions: SessionManager,
     stats: Arc<RuntimeStats>,
     queue: Mutex<mpsc::Receiver<Job>>,
+    chaos: ChaosState,
 }
 
 impl Inner {
+    /// The supervised serving loop: catches any panic that escapes the
+    /// per-request isolation in [`Inner::serve`], counts a respawn, and
+    /// re-enters the loop — a panicked worker recycles instead of dying.
+    /// Returns only when the submit side is dropped (shutdown).
+    fn supervise(self: Arc<Inner>) {
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| self.worker_loop())) {
+                Ok(()) => return, // queue closed: clean shutdown
+                Err(_) => {
+                    self.stats.record_respawn();
+                    trace::mark_with("worker-respawn", Vec::new);
+                }
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            // Hold the queue lock only for the blocking receive;
+            // processing happens unlocked so workers overlap. Poison is
+            // recovered so a respawned worker can always reacquire.
+            let job = { self.queue.lock().unwrap_or_else(|e| e.into_inner()).recv() };
+            match job {
+                Ok(job) => self.serve(job),
+                Err(_) => return, // runtime shut down
+            }
+        }
+    }
+
     fn serve(&self, job: Job) {
         self.stats.record_dequeue();
         // Queue wait crosses threads (enqueued by the client, dequeued by
@@ -108,7 +235,23 @@ impl Inner {
             ]
         });
         let t0 = Instant::now();
-        let result = self.process(&job.req);
+        // Panic isolation boundary: whatever happens inside `process` —
+        // a compiler bug, an executor bug, an injected chaos panic — the
+        // client gets exactly one typed terminal response.
+        let (result, repanic) = match catch_unwind(AssertUnwindSafe(|| self.process(&job))) {
+            Ok(result) => (result, None),
+            Err(payload) => {
+                self.stats.record_panic();
+                let message = panic_message(payload.as_ref());
+                trace::mark_with("panic-recovered", || {
+                    vec![
+                        ("session", job.req.session.into()),
+                        ("message", message.as_str().into()),
+                    ]
+                });
+                (Err(RuntimeError::Panicked { message }), Some(payload))
+            }
+        };
         let busy_us = t0.elapsed().as_secs_f64() * 1e6;
         let latency_us = job.enqueued.elapsed().as_secs_f64() * 1e6;
         self.stats.record_done(result.is_ok(), latency_us, busy_us);
@@ -120,39 +263,129 @@ impl Inner {
         });
         // A dropped receiver means the client gave up; nothing to do.
         let _ = job.reply.send(result);
+        if let Some(payload) = repanic {
+            // The response is out; now let the panic finish unwinding so
+            // the supervisor recycles this worker. Any state the panic
+            // touched is suspect — a fresh loop iteration is cheap.
+            std::panic::resume_unwind(payload);
+        }
     }
 
-    fn process(&self, req: &Request) -> Result<Response, RuntimeError> {
+    fn process(&self, job: &Job) -> Result<Response, RuntimeError> {
+        let req = &job.req;
         let key = plan_key(&req.func, req.scheme, &req.options);
-        // The hit flag comes from inside the cache's own lock — a separate
-        // pre-probe would race with concurrent publication and could
-        // mislabel a single-flight waiter.
-        let (artifact, cache_hit) =
-            self.cache
-                .get_or_compile(&req.func, req.scheme, &req.options)?;
-        let session = self.sessions.get(req.session)?;
-        let engine = session.engine(&artifact, &self.config.backend)?;
-        let run = if self.config.jobs_per_request > 1 {
-            execute_parallel(&engine, &req.inputs, self.config.jobs_per_request)
-        } else {
-            execute_sequential(&engine, &req.inputs)
+        let cancel = req
+            .deadline
+            .map(|d| CancelToken::with_deadline(job.enqueued + d));
+        // Chaos is decided once per request, not per attempt: a retry of
+        // an injected failure runs clean, so the soak test proves the
+        // retry path actually recovers.
+        let injection = self.chaos.next(self.config.chaos.as_ref());
+        let mut attempt: u32 = 0;
+        loop {
+            if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                self.stats.record_timeout();
+                return Err(RuntimeError::TimedOut {
+                    elapsed: job.enqueued.elapsed(),
+                });
+            }
+            // The hit flag comes from inside the cache's own lock — a
+            // separate pre-probe would race with concurrent publication
+            // and could mislabel a single-flight waiter.
+            let (artifact, cache_hit) =
+                self.cache
+                    .get_or_compile(&req.func, req.scheme, &req.options)?;
+            let session = self.sessions.get(req.session)?;
+            let injected = if attempt == 0 {
+                injection.clone()
+            } else {
+                None
+            };
+            if let Some(ChaosInjection::Panic) = injected {
+                panic!("chaos: injected worker panic");
+            }
+            if let Some(ChaosInjection::Latency(d)) = injected {
+                std::thread::sleep(d);
+            }
+            let engine = match &injected {
+                Some(ChaosInjection::Fault(fault)) => {
+                    // A one-off sabotaged engine, never cached: the fault
+                    // cannot leak into other requests, and the session
+                    // seed keeps its keys identical to the real ones.
+                    let mut opts = self.config.backend.clone();
+                    opts.seed = session.seed();
+                    opts.fault = Some(fault.clone());
+                    Arc::new(
+                        ExecEngine::new(artifact.prog.clone(), &opts)
+                            .map_err(RuntimeError::Exec)?,
+                    )
+                }
+                _ => session.engine(&artifact, &self.config.backend)?,
+            };
+            let run = if self.config.jobs_per_request > 1 {
+                execute_parallel_with(
+                    &engine,
+                    &req.inputs,
+                    self.config.jobs_per_request,
+                    cancel.as_ref(),
+                )
+            } else {
+                execute_sequential_with(&engine, &req.inputs, None, cancel.as_ref())
+            };
+            match run {
+                Ok(run) => {
+                    self.stats
+                        .record_precision(req.session, engine.min_plan_margin_bits());
+                    return Ok(Response {
+                        run,
+                        cache_hit,
+                        plan_key: key,
+                        latency_us: 0.0,
+                        retries: attempt,
+                    });
+                }
+                Err(ExecError::Cancelled { .. }) => {
+                    self.stats.record_timeout();
+                    return Err(RuntimeError::TimedOut {
+                        elapsed: job.enqueued.elapsed(),
+                    });
+                }
+                Err(e) if attempt < req.max_retries && is_transient(&e) => {
+                    attempt += 1;
+                    self.stats.record_retry();
+                    trace::mark_with("retry", || {
+                        vec![
+                            ("attempt", u64::from(attempt).into()),
+                            ("plan_key", key.into()),
+                            ("cause", e.to_string().into()),
+                        ]
+                    });
+                    // The failure may stem from engine state; rebuild
+                    // from the artifact on the next attempt.
+                    session.invalidate_engine(key);
+                    let exp = (attempt - 1).min(7);
+                    let mut backoff = self
+                        .config
+                        .retry_backoff
+                        .saturating_mul(1u32 << exp)
+                        .min(RETRY_BACKOFF_CAP);
+                    if let Some(deadline) = cancel.as_ref().and_then(CancelToken::deadline) {
+                        // Never sleep past the deadline; the loop head
+                        // turns the expiry into a typed timeout.
+                        backoff = backoff.min(deadline.saturating_duration_since(Instant::now()));
+                    }
+                    std::thread::sleep(backoff);
+                }
+                Err(e) => return Err(RuntimeError::Exec(e)),
+            }
         }
-        .map_err(RuntimeError::Exec)?;
-        self.stats
-            .record_precision(req.session, engine.min_plan_margin_bits());
-        Ok(Response {
-            run,
-            cache_hit,
-            plan_key: key,
-            latency_us: 0.0,
-        })
     }
 }
 
 /// A multi-tenant serving runtime (see the crate docs for the tour).
 pub struct Runtime {
     inner: Arc<Inner>,
-    submit: Option<mpsc::Sender<Job>>,
+    submit: Option<mpsc::SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -160,26 +393,22 @@ impl Runtime {
     /// Starts a runtime with `config.workers` serving threads.
     pub fn new(config: RuntimeConfig) -> Runtime {
         let stats = Arc::new(RuntimeStats::new());
-        let (tx, rx) = mpsc::channel::<Job>();
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
         let inner = Arc::new(Inner {
             cache: PlanCache::with_capacity(stats.clone(), config.plan_cache_capacity),
             sessions: SessionManager::new(config.backend.seed),
             stats,
             queue: Mutex::new(rx),
+            chaos: ChaosState::default(),
             config,
         });
         let workers = (0..inner.config.workers.max(1))
-            .map(|_| {
+            .map(|i| {
                 let inner = inner.clone();
-                std::thread::spawn(move || loop {
-                    // Hold the queue lock only for the blocking receive;
-                    // processing happens unlocked so workers overlap.
-                    let job = { inner.queue.lock().unwrap().recv() };
-                    match job {
-                        Ok(job) => inner.serve(job),
-                        Err(_) => return, // runtime shut down
-                    }
-                })
+                std::thread::Builder::new()
+                    .name(format!("hecate-worker-{i}"))
+                    .spawn(move || inner.supervise())
+                    .expect("worker thread spawns")
             })
             .collect();
         Runtime {
@@ -202,31 +431,83 @@ impl Runtime {
     /// Enqueues a request; the returned receiver yields the response when
     /// a worker finishes it.
     ///
+    /// # Errors
+    /// Rejects without enqueueing when admission control sheds the
+    /// request ([`RuntimeError::Shed`], only with
+    /// [`RuntimeConfig::admission_budget_us`] set) or the bounded queue
+    /// is full ([`RuntimeError::QueueFull`]). Rejected requests count in
+    /// the `shed` statistic, not `failed`.
+    ///
     /// # Panics
     /// Panics if called after `shutdown` (the public API consumes the
     /// runtime on shutdown, so this cannot happen from safe use).
-    pub fn submit(&self, req: Request) -> mpsc::Receiver<Result<Response, RuntimeError>> {
+    pub fn submit(
+        &self,
+        req: Request,
+    ) -> Result<mpsc::Receiver<Result<Response, RuntimeError>>, RuntimeError> {
+        let inner = &self.inner;
+        if let Some(budget_us) = inner.config.admission_budget_us {
+            // Price only plans already cached: an unknown plan is always
+            // admitted (running it is how its cost becomes known).
+            let key = plan_key(&req.func, req.scheme, &req.options);
+            if let Some(artifact) = inner.cache.get(key) {
+                let estimated_us = artifact.prog.stats.estimated_latency_us;
+                let queue_depth = inner.stats.queue_depth();
+                if estimated_us * (queue_depth + 1) as f64 > budget_us {
+                    inner.stats.record_shed();
+                    trace::mark_with("shed", || {
+                        vec![
+                            ("plan_key", key.into()),
+                            ("estimated_us", estimated_us.into()),
+                            ("queue_depth", queue_depth.into()),
+                        ]
+                    });
+                    return Err(RuntimeError::Shed {
+                        estimated_us,
+                        queue_depth,
+                        budget_us,
+                    });
+                }
+            }
+        }
         let (tx, rx) = mpsc::channel();
-        self.inner.stats.record_enqueue();
-        self.submit
+        let job = Job {
+            req,
+            reply: tx,
+            enqueued: Instant::now(),
+        };
+        match self
+            .submit
             .as_ref()
             .expect("runtime is running")
-            .send(Job {
-                req,
-                reply: tx,
-                enqueued: Instant::now(),
-            })
-            .expect("workers alive while runtime exists");
-        rx
+            .try_send(job)
+        {
+            Ok(()) => {
+                inner.stats.record_enqueue();
+                Ok(rx)
+            }
+            Err(mpsc::TrySendError::Full(_)) => {
+                inner.stats.record_shed();
+                Err(RuntimeError::QueueFull {
+                    capacity: inner.config.queue_capacity.max(1),
+                })
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => Err(RuntimeError::Shutdown),
+        }
     }
 
     /// Runs a batch of requests across the worker pool, returning the
-    /// responses in submission order.
+    /// responses in submission order. Requests rejected at admission
+    /// (shed, or overflowing the bounded queue) appear as their typed
+    /// errors in the corresponding positions.
     pub fn run_batch(&self, reqs: Vec<Request>) -> Vec<Result<Response, RuntimeError>> {
         let receivers: Vec<_> = reqs.into_iter().map(|r| self.submit(r)).collect();
         receivers
             .into_iter()
-            .map(|rx| rx.recv().unwrap_or(Err(RuntimeError::Shutdown)))
+            .map(|rx| match rx {
+                Ok(rx) => rx.recv().unwrap_or(Err(RuntimeError::Shutdown)),
+                Err(e) => Err(e),
+            })
             .collect()
     }
 

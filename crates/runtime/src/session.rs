@@ -61,20 +61,32 @@ impl Session {
         self.seed
     }
 
+    /// Locks the engine map, recovering from poisoning. Map mutations are
+    /// single `HashMap` operations and the values are `Arc`s, so a
+    /// panicked holder cannot leave the map half-updated; recovering
+    /// keeps one isolated panic from disabling the whole session.
+    fn lock_engines(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<ExecEngine>>> {
+        self.engines.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Number of plans this session has built engines (and keys) for.
     pub fn engine_count(&self) -> usize {
-        self.engines.lock().unwrap().len()
+        self.lock_engines().len()
     }
 
     /// The engine executing `artifact` under this session's keys,
     /// building it (keygen + evaluation keys) on first use.
     ///
+    /// Construction happens *outside* the engine-map lock: keygen is
+    /// expensive and can fail or panic, and neither outcome may poison or
+    /// serialize the session's other plans. Two threads racing a cold
+    /// plan may both build; the first insert wins and the loser's engine
+    /// is dropped (identical keys — same seed — so it is only wasted
+    /// work, never an inconsistency).
+    ///
     /// # Errors
     /// Propagates engine construction failures as
     /// [`RuntimeError::Exec`].
-    ///
-    /// # Panics
-    /// Panics if another thread panicked while holding the engine map.
     pub fn engine(
         &self,
         artifact: &PlanArtifact,
@@ -86,8 +98,7 @@ impl Session {
                 ("plan_key", artifact.key.into()),
             ]
         });
-        let mut engines = self.engines.lock().unwrap();
-        if let Some(engine) = engines.get(&artifact.key) {
+        if let Some(engine) = self.lock_engines().get(&artifact.key) {
             span.attr("built", false.into());
             return Ok(engine.clone());
         }
@@ -96,8 +107,19 @@ impl Session {
         opts.seed = self.seed;
         let engine =
             Arc::new(ExecEngine::new(artifact.prog.clone(), &opts).map_err(RuntimeError::Exec)?);
-        engines.insert(artifact.key, engine.clone());
-        Ok(engine)
+        Ok(self
+            .lock_engines()
+            .entry(artifact.key)
+            .or_insert(engine)
+            .clone())
+    }
+
+    /// Drops the cached engine for `plan_key`, so the next request builds
+    /// a fresh one. The retry path calls this after a transient execution
+    /// failure: re-running on a rebuilt engine rules out any state the
+    /// failure (or an injected fault) left behind.
+    pub fn invalidate_engine(&self, plan_key: u64) {
+        self.lock_engines().remove(&plan_key);
     }
 }
 
@@ -140,14 +162,17 @@ impl SessionManager {
         SessionManager::new(h.finish())
     }
 
+    /// Locks the session map, recovering from poisoning (same reasoning
+    /// as the engine map: single-operation mutations over `Arc` values).
+    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, HashMap<SessionId, Arc<Session>>> {
+        self.sessions.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Opens a new session with a seed derived from the base seed and the
     /// session id (FNV-mixed, so neighboring ids get unrelated seeds).
-    ///
-    /// # Panics
-    /// Panics if another thread panicked while holding the session map.
     pub fn open(&self) -> Arc<Session> {
         let id = {
-            let mut next = self.next_id.lock().unwrap();
+            let mut next = self.next_id.lock().unwrap_or_else(|e| e.into_inner());
             let id = *next;
             *next += 1;
             id
@@ -156,7 +181,7 @@ impl SessionManager {
         h.write(&self.base_seed.to_le_bytes());
         h.write(&id.to_le_bytes());
         let session = Arc::new(Session::new(id, h.finish()));
-        self.sessions.lock().unwrap().insert(id, session.clone());
+        self.lock_sessions().insert(id, session.clone());
         session
     }
 
@@ -166,9 +191,7 @@ impl SessionManager {
     /// Returns [`RuntimeError::UnknownSession`] for ids never opened (or
     /// already closed).
     pub fn get(&self, id: SessionId) -> Result<Arc<Session>, RuntimeError> {
-        self.sessions
-            .lock()
-            .unwrap()
+        self.lock_sessions()
             .get(&id)
             .cloned()
             .ok_or(RuntimeError::UnknownSession(id))
@@ -176,12 +199,12 @@ impl SessionManager {
 
     /// Closes a session, dropping its engines and key material.
     pub fn close(&self, id: SessionId) {
-        self.sessions.lock().unwrap().remove(&id);
+        self.lock_sessions().remove(&id);
     }
 
     /// Number of open sessions.
     pub fn len(&self) -> usize {
-        self.sessions.lock().unwrap().len()
+        self.lock_sessions().len()
     }
 
     /// True when no session is open.
@@ -219,6 +242,30 @@ mod tests {
         let c = SessionManager::new(7).open().seed();
         let d = SessionManager::new(7).open().seed();
         assert_eq!(c, d, "deterministic managers reproduce exactly");
+    }
+
+    /// A worker panicking while holding the session map (or a session's
+    /// engine map) must not take the manager down with it: locks recover
+    /// from poisoning and later opens/gets keep working.
+    #[test]
+    fn poisoned_session_locks_are_recovered() {
+        let mgr = SessionManager::new(7);
+        let session = mgr.open();
+        std::thread::scope(|s| {
+            let poisoner = s.spawn(|| {
+                let _sessions = mgr.sessions.lock().unwrap();
+                let _engines = session.engines.lock().unwrap();
+                panic!("poison both session locks");
+            });
+            assert!(poisoner.join().is_err());
+        });
+        assert!(mgr.sessions.is_poisoned(), "setup must have poisoned");
+        assert!(mgr.get(session.id()).is_ok(), "get recovers the lock");
+        assert_eq!(session.engine_count(), 0, "engine map recovers too");
+        let b = mgr.open();
+        assert_eq!(mgr.len(), 2);
+        mgr.close(b.id());
+        assert_eq!(mgr.len(), 1);
     }
 
     /// The isolation invariant behind per-session keys: a ciphertext from

@@ -40,6 +40,18 @@ pub struct RuntimeStats {
     completed: Counter,
     /// Requests that returned an error.
     failed: Counter,
+    /// Worker panics converted into `RuntimeError::Panicked` responses.
+    panics: Counter,
+    /// Re-execution attempts after a transient failure.
+    retries: Counter,
+    /// Requests that missed their deadline (`RuntimeError::TimedOut`).
+    timeouts: Counter,
+    /// Requests rejected at admission (`QueueFull` or `Shed`); these
+    /// never execute and are counted neither completed nor failed.
+    shed: Counter,
+    /// Worker threads respawned after a panic escaped the request
+    /// isolation boundary.
+    worker_respawns: Counter,
     /// Requests currently queued, waiting for a worker.
     queue_depth: Gauge,
     /// High-water mark of `queue_depth`.
@@ -68,6 +80,11 @@ impl Default for RuntimeStats {
             compiles: registry.counter("hecate_runtime_compiles_total"),
             completed: registry.counter("hecate_runtime_requests_completed_total"),
             failed: registry.counter("hecate_runtime_requests_failed_total"),
+            panics: registry.counter("hecate_runtime_panics_total"),
+            retries: registry.counter("hecate_runtime_retries_total"),
+            timeouts: registry.counter("hecate_runtime_timeouts_total"),
+            shed: registry.counter("hecate_runtime_shed_total"),
+            worker_respawns: registry.counter("hecate_runtime_worker_respawns_total"),
             queue_depth: registry.gauge("hecate_runtime_queue_depth"),
             peak_queue_depth: registry.gauge("hecate_runtime_peak_queue_depth"),
             busy_us: registry.counter("hecate_runtime_busy_us_total"),
@@ -104,7 +121,10 @@ impl RuntimeStats {
                  hecate_runtime_request_latency_{name}_us {v:.1}\n"
             ));
         }
-        let margins = self.session_margins.lock().unwrap();
+        let margins = self
+            .session_margins
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         if !margins.is_empty() {
             out.push_str("# TYPE hecate_runtime_session_min_margin_bits gauge\n");
             for (sid, m) in margins.iter() {
@@ -122,7 +142,12 @@ impl RuntimeStats {
         if !margin_bits.is_finite() {
             return;
         }
-        let mut margins = self.session_margins.lock().unwrap();
+        // Recover a poisoned lock: the map holds plain floats, so the
+        // worst a mid-update panic leaves behind is a stale margin.
+        let mut margins = self
+            .session_margins
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         margins
             .entry(session)
             .and_modify(|m| *m = m.min(margin_bits))
@@ -133,7 +158,7 @@ impl RuntimeStats {
     pub fn session_margins(&self) -> Vec<(SessionId, f64)> {
         self.session_margins
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(&s, &m)| (s, m))
             .collect()
@@ -170,6 +195,37 @@ impl RuntimeStats {
         self.queue_depth.add(-1);
     }
 
+    /// Requests currently queued (the live gauge, for admission pricing).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.get().max(0) as u64
+    }
+
+    /// Records a worker panic caught at the request isolation boundary.
+    pub fn record_panic(&self) {
+        self.panics.inc();
+    }
+
+    /// Records one re-execution attempt after a transient failure.
+    pub fn record_retry(&self) {
+        self.retries.inc();
+    }
+
+    /// Records a request that missed its deadline.
+    pub fn record_timeout(&self) {
+        self.timeouts.inc();
+    }
+
+    /// Records a request rejected at admission (queue full or shed by the
+    /// cost-priced policy).
+    pub fn record_shed(&self) {
+        self.shed.inc();
+    }
+
+    /// Records a worker thread respawn after an escaped panic.
+    pub fn record_respawn(&self) {
+        self.worker_respawns.inc();
+    }
+
     /// Records a finished request with its end-to-end latency and the
     /// worker time it consumed.
     pub fn record_done(&self, ok: bool, latency_us: f64, busy_us: f64) {
@@ -194,6 +250,11 @@ impl RuntimeStats {
             compiles: self.compiles.get(),
             completed: self.completed.get(),
             failed: self.failed.get(),
+            panics: self.panics.get(),
+            retries: self.retries.get(),
+            timeouts: self.timeouts.get(),
+            shed: self.shed.get(),
+            worker_respawns: self.worker_respawns.get(),
             queue_depth: self.queue_depth.get().max(0) as u64,
             peak_queue_depth: self.peak_queue_depth.get().max(0) as u64,
             busy_us: busy,
@@ -225,6 +286,18 @@ pub struct StatsSnapshot {
     pub completed: u64,
     /// Failed requests.
     pub failed: u64,
+    /// Worker panics isolated into `Panicked` responses (a subset of
+    /// `failed`).
+    pub panics: u64,
+    /// Re-execution attempts after transient failures.
+    pub retries: u64,
+    /// Requests that missed their deadline (a subset of `failed`).
+    pub timeouts: u64,
+    /// Requests rejected at admission; disjoint from `completed` and
+    /// `failed` (they never executed).
+    pub shed: u64,
+    /// Worker threads respawned after an escaped panic.
+    pub worker_respawns: u64,
     /// Requests currently queued.
     pub queue_depth: u64,
     /// High-water mark of the queue depth.
@@ -269,7 +342,9 @@ impl StatsSnapshot {
             concat!(
                 "{{\"cache_hits\":{},\"cache_misses\":{},",
                 "\"cache_evictions\":{},\"compiles\":{},",
-                "\"completed\":{},\"failed\":{},\"queue_depth\":{},",
+                "\"completed\":{},\"failed\":{},\"panics\":{},",
+                "\"retries\":{},\"timeouts\":{},\"shed\":{},",
+                "\"worker_respawns\":{},\"queue_depth\":{},",
                 "\"peak_queue_depth\":{},\"busy_us\":{},\"workers\":{},",
                 "\"utilization\":{:.4},\"mean_latency_us\":{:.1},",
                 "\"latency_p50_us\":{:.1},\"latency_p95_us\":{:.1},",
@@ -282,6 +357,11 @@ impl StatsSnapshot {
             self.compiles,
             self.completed,
             self.failed,
+            self.panics,
+            self.retries,
+            self.timeouts,
+            self.shed,
+            self.worker_respawns,
             self.queue_depth,
             self.peak_queue_depth,
             self.busy_us,
@@ -313,6 +393,12 @@ mod tests {
         s.record_done(true, 100.0, 80.0);
         s.record_done(false, 3.0, 2.0);
         s.record_eviction();
+        s.record_panic();
+        s.record_retry();
+        s.record_retry();
+        s.record_timeout();
+        s.record_shed();
+        s.record_respawn();
         let snap = s.snapshot(2);
         assert_eq!(snap.cache_hits, 2);
         assert_eq!(snap.cache_misses, 1);
@@ -320,6 +406,11 @@ mod tests {
         assert_eq!(snap.compiles, 1);
         assert_eq!(snap.completed, 1);
         assert_eq!(snap.failed, 1);
+        assert_eq!(snap.panics, 1);
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.timeouts, 1);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.worker_respawns, 1);
         assert_eq!(snap.queue_depth, 1);
         assert_eq!(snap.peak_queue_depth, 2);
         assert_eq!(snap.busy_us, 82);
@@ -343,8 +434,9 @@ mod tests {
     #[test]
     fn json_snapshot_format_is_pinned() {
         // The exact export string for this snapshot. Deliberately updated
-        // when the format changes (last: latency p50/p95/p99 added with
-        // the SLO percentiles) so accidental drift still fails the build.
+        // when the format changes (last: panics/retries/timeouts/shed/
+        // worker_respawns added with the resilience layer) so accidental
+        // drift still fails the build.
         let mut latency_buckets = [0u64; LATENCY_BUCKETS];
         latency_buckets[6] = 1; // one request at 100 µs
         latency_buckets[1] = 1; // one request at 3 µs
@@ -355,6 +447,11 @@ mod tests {
             compiles: 1,
             completed: 1,
             failed: 1,
+            panics: 1,
+            retries: 2,
+            timeouts: 0,
+            shed: 3,
+            worker_respawns: 1,
             queue_depth: 1,
             peak_queue_depth: 2,
             busy_us: 82,
@@ -368,7 +465,9 @@ mod tests {
             concat!(
                 "{\"cache_hits\":2,\"cache_misses\":1,",
                 "\"cache_evictions\":0,\"compiles\":1,",
-                "\"completed\":1,\"failed\":1,\"queue_depth\":1,",
+                "\"completed\":1,\"failed\":1,\"panics\":1,",
+                "\"retries\":2,\"timeouts\":0,\"shed\":3,",
+                "\"worker_respawns\":1,\"queue_depth\":1,",
                 "\"peak_queue_depth\":2,\"busy_us\":82,\"workers\":2,",
                 "\"utilization\":0.2500,\"mean_latency_us\":51.5,",
                 "\"latency_p50_us\":3.0,\"latency_p95_us\":89.6,",
@@ -391,11 +490,18 @@ mod tests {
         let s = RuntimeStats::new();
         s.record_hit();
         s.record_done(true, 10.0, 5.0);
+        s.record_panic();
+        s.record_shed();
         let text = s.prometheus();
         assert!(text.contains("# TYPE hecate_runtime_cache_hits_total counter"));
         assert!(text.contains("hecate_runtime_cache_hits_total 1"));
         assert!(text.contains("hecate_runtime_request_latency_us_count 1"));
         assert!(text.contains("hecate_runtime_request_latency_us_sum 10"));
+        assert!(text.contains("hecate_runtime_panics_total 1"));
+        assert!(text.contains("hecate_runtime_shed_total 1"));
+        assert!(text.contains("hecate_runtime_retries_total 0"));
+        assert!(text.contains("hecate_runtime_timeouts_total 0"));
+        assert!(text.contains("hecate_runtime_worker_respawns_total 0"));
     }
 
     #[test]

@@ -88,6 +88,8 @@ fn identical_resubmission_is_a_cache_hit() {
         scheme: Scheme::Hecate,
         options: options(),
         inputs: sample_inputs(8),
+        deadline: None,
+        max_retries: 0,
     };
     let first = rt.run_batch(vec![make_req()]).remove(0).unwrap();
     assert!(!first.cache_hit);
@@ -118,6 +120,8 @@ fn sessions_share_plans_not_keys() {
         scheme: Scheme::Pars,
         options: options(),
         inputs: sample_inputs(8),
+        deadline: None,
+        max_retries: 0,
     };
     let results = rt.run_batch(vec![req(sa), req(sb)]);
     let ra = results[0].as_ref().unwrap();
@@ -146,6 +150,8 @@ fn errors_propagate_per_request() {
         scheme: Scheme::Pars,
         options: options(),
         inputs: sample_inputs(8),
+        deadline: None,
+        max_retries: 0,
     };
     let err = rt.run_batch(vec![bogus]).remove(0).unwrap_err();
     assert!(matches!(
@@ -162,6 +168,8 @@ fn errors_propagate_per_request() {
         scheme: Scheme::Hecate,
         options: bad_opts,
         inputs: sample_inputs(8),
+        deadline: None,
+        max_retries: 0,
     };
     let err = rt.run_batch(vec![uncompilable]).remove(0).unwrap_err();
     assert!(matches!(err, hecate_runtime::RuntimeError::Compile(_)));
@@ -173,6 +181,8 @@ fn errors_propagate_per_request() {
         scheme: Scheme::Pars,
         options: options(),
         inputs: sample_inputs(8),
+        deadline: None,
+        max_retries: 0,
     };
     assert!(rt.run_batch(vec![ok]).remove(0).is_ok());
     let snap = rt.stats();
@@ -224,6 +234,8 @@ fn stress_mixed_load() {
                 scheme,
                 options: options(),
                 inputs: sample_inputs(8),
+                deadline: None,
+                max_retries: 0,
             });
         }
     }

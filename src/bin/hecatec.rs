@@ -29,6 +29,23 @@
 //!   --no-hoist                      disable rotation hoisting (shared RNS
 //!                                   decomposition across a rotation fan-out)
 //!   --repeat K                      serve mode: submit each file K times (default 2)
+//!   --chaos N                       serve mode: inject a failure into every Nth
+//!                                   request (0 disables; kinds rotate per --chaos-kind)
+//!   --chaos-kind fault|latency|panic|mix
+//!                                   which failure to inject (default mix: rotate
+//!                                   through all three)
+//!   --chaos-latency-us U            injected latency per latency hit (default 5000)
+//!   --chaos-fault SPEC              injected fault plan (default perturb-scale@0:1;
+//!                                   syntax: corrupt-limb@AT:LIMB, perturb-scale@AT:BITS,
+//!                                   drop-rescale@AT, skip-relin, exhaust-noise@AT)
+//!   --deadline-ms D                 serve mode: per-request deadline; expiry in queue
+//!                                   or mid-run fails the request as timed out
+//!   --retries R                     serve mode: re-execute transient failures up to R
+//!                                   times on a fresh engine (default 0)
+//!   --queue-cap N                   serve mode: bound on queued requests; a full
+//!                                   queue rejects submissions (default 4096)
+//!   --admission-budget-ms B         serve mode: shed cached-plan requests whose
+//!                                   estimated cost x queue depth exceeds B
 //!   --trace PATH                    record spans for the whole invocation to PATH
 //!   --trace-format jsonl|chrome     trace file format (default chrome; a Chrome
 //!                                   trace loads in Perfetto / chrome://tracing)
@@ -70,6 +87,7 @@
 //! a negative waterline margin).
 
 use hecate::backend::exec::{execute_encrypted, BackendOptions};
+use hecate::backend::FaultPlan;
 use hecate::compiler::estimator::estimate_latency_us;
 use hecate::compiler::{
     compile, compile_with_fallback, deserialize_plan, serialize_plan, CompileOptions,
@@ -81,11 +99,12 @@ use hecate::ir::print::print_function;
 use hecate::ir::verify::verify_plan;
 use hecate::ir::Function;
 use hecate::math::rng::Xoshiro256;
-use hecate::runtime::{Request, Runtime, RuntimeConfig, RuntimeError};
+use hecate::runtime::{ChaosKind, ChaosOptions, Request, Runtime, RuntimeConfig, RuntimeError};
 use hecate::telemetry::{export, trace, Event};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum TraceFormat {
@@ -119,6 +138,14 @@ struct Args {
     bench: Option<String>,
     precision_trace: Option<String>,
     max_rms: Option<f64>,
+    chaos: Option<u64>,
+    chaos_kind: String,
+    chaos_latency_us: u64,
+    chaos_fault: Option<FaultPlan>,
+    deadline_ms: Option<u64>,
+    retries: u32,
+    queue_cap: Option<usize>,
+    admission_budget_ms: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -149,6 +176,14 @@ fn parse_args() -> Result<Args, String> {
         bench: None,
         precision_trace: None,
         max_rms: None,
+        chaos: None,
+        chaos_kind: "mix".to_string(),
+        chaos_latency_us: 5000,
+        chaos_fault: None,
+        deadline_ms: None,
+        retries: 0,
+        queue_cap: None,
+        admission_budget_ms: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -234,6 +269,58 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or("bad --max-rms")?,
                 )
             }
+            "--chaos" => {
+                out.chaos = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("bad --chaos")?,
+                )
+            }
+            "--chaos-kind" => {
+                let kind = args.next().ok_or("bad --chaos-kind")?;
+                if kind != "mix" {
+                    ChaosKind::parse(&kind)?; // validate eagerly
+                }
+                out.chaos_kind = kind;
+            }
+            "--chaos-latency-us" => {
+                out.chaos_latency_us = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --chaos-latency-us")?
+            }
+            "--chaos-fault" => {
+                out.chaos_fault = Some(FaultPlan::parse(&args.next().ok_or("bad --chaos-fault")?)?)
+            }
+            "--deadline-ms" => {
+                out.deadline_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("bad --deadline-ms")?,
+                )
+            }
+            "--retries" => {
+                out.retries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --retries")?
+            }
+            "--queue-cap" => {
+                out.queue_cap = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or("bad --queue-cap")?,
+                )
+            }
+            "--admission-budget-ms" => {
+                out.admission_budget_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&b: &f64| b > 0.0)
+                        .ok_or("bad --admission-budget-ms")?,
+                )
+            }
             f if !f.starts_with('-') => out.files.push(f.to_string()),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -257,6 +344,17 @@ fn parse_args() -> Result<Args, String> {
     }
     if !out.serve && out.files.len() > 1 {
         return Err("multiple input files require --serve".into());
+    }
+    let serve_only_flags = out.chaos.is_some()
+        || out.deadline_ms.is_some()
+        || out.retries > 0
+        || out.queue_cap.is_some()
+        || out.admission_budget_ms.is_some();
+    if serve_only_flags && !out.serve {
+        return Err(
+            "--chaos/--deadline-ms/--retries/--queue-cap/--admission-budget-ms require --serve"
+                .into(),
+        );
     }
     Ok(out)
 }
@@ -303,11 +401,28 @@ fn serve(args: &Args, opts: &CompileOptions, metrics_extra: &mut String) -> u8 {
             return 3;
         }
     };
-    let rt = Runtime::new(RuntimeConfig {
+    let defaults = ChaosOptions::default();
+    let chaos = args.chaos.map(|every_nth| ChaosOptions {
+        every_nth,
+        mix: if args.chaos_kind == "mix" {
+            defaults.mix.clone()
+        } else {
+            vec![ChaosKind::parse(&args.chaos_kind).expect("validated by parse_args")]
+        },
+        fault: args.chaos_fault.clone().unwrap_or(defaults.fault),
+        latency: Duration::from_micros(args.chaos_latency_us),
+    });
+    let mut config = RuntimeConfig {
         workers: args.jobs,
         backend: backend_options(args),
+        admission_budget_us: args.admission_budget_ms.map(|ms| ms * 1e3),
+        chaos,
         ..RuntimeConfig::default()
-    });
+    };
+    if let Some(cap) = args.queue_cap {
+        config.queue_capacity = cap;
+    }
+    let rt = Runtime::new(config);
     let mut reqs = Vec::new();
     let mut labels = Vec::new();
     for (k, (file, func)) in funcs.iter().enumerate() {
@@ -321,6 +436,8 @@ fn serve(args: &Args, opts: &CompileOptions, metrics_extra: &mut String) -> u8 {
                 scheme: args.scheme,
                 options: opts.clone(),
                 inputs: inputs.clone(),
+                deadline: args.deadline_ms.map(Duration::from_millis),
+                max_retries: args.retries,
             });
         }
     }
@@ -330,6 +447,12 @@ fn serve(args: &Args, opts: &CompileOptions, metrics_extra: &mut String) -> u8 {
         funcs.len(),
         args.jobs
     );
+    if let Some(n) = args.chaos {
+        println!(
+            "chaos: injecting {} into every {n}th request",
+            args.chaos_kind
+        );
+    }
     let results = rt.run_batch(reqs);
     let mut code = 0u8;
     for (label, result) in labels.iter().zip(&results) {
@@ -806,7 +929,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("hecatec: {e}");
-            eprintln!("usage: hecatec <file.heir>... [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet] [--strict|--fallback] [--save-plan P] [--load-plan P] [--serve] [--jobs N] [--kernel-jobs N] [--no-hoist] [--repeat K] [--trace P] [--trace-format jsonl|chrome] [--metrics P] [--estimator-report] [--audit] [--audit-checkpoints N] [--bench NAME|all] [--precision-trace P] [--max-rms B]");
+            eprintln!("usage: hecatec <file.heir>... [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet] [--strict|--fallback] [--save-plan P] [--load-plan P] [--serve] [--jobs N] [--kernel-jobs N] [--no-hoist] [--repeat K] [--trace P] [--trace-format jsonl|chrome] [--metrics P] [--estimator-report] [--audit] [--audit-checkpoints N] [--bench NAME|all] [--precision-trace P] [--max-rms B] [--chaos N] [--chaos-kind fault|latency|panic|mix] [--chaos-latency-us U] [--chaos-fault SPEC] [--deadline-ms D] [--retries R] [--queue-cap N] [--admission-budget-ms B]");
             return ExitCode::from(2);
         }
     };

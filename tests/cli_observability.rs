@@ -111,6 +111,80 @@ fn failing_run_still_writes_valid_observability_files() {
     }
 }
 
+/// A serve run whose workers die by injected chaos panics still exits
+/// through the observability path: typed per-request failures, exit 5,
+/// valid trace/metrics/precision files, and the panic/respawn counters
+/// reconciled in both the stats JSON and the Prometheus export.
+#[test]
+fn chaos_panic_serve_still_writes_observability_files() {
+    let trace = tmp("chaos.trace.jsonl");
+    let precision = tmp("chaos.precision.jsonl");
+    let metrics = tmp("chaos.metrics.prom");
+    // 4 requests on one worker, panic injected into every 2nd: the chaos
+    // sequence hits requests 0 and 2, so exactly 2 panics are isolated
+    // (and the worker respawns twice) while requests 1 and 3 succeed.
+    let out = hecatec()
+        .arg(example("poly.heir"))
+        .args([
+            "--serve", "--jobs", "1", "--repeat", "4", "--degree", "2048",
+        ])
+        .args(["--chaos", "2", "--chaos-kind", "panic"])
+        .args([
+            "--trace",
+            trace.to_str().unwrap(),
+            "--trace-format",
+            "jsonl",
+        ])
+        .args(["--precision-trace", precision.to_str().unwrap()])
+        .args(["--metrics", metrics.to_str().unwrap()])
+        .output()
+        .expect("hecatec runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "expected execution-failure exit\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("worker panicked while serving request"),
+        "panics not reported as typed failures: {stderr}"
+    );
+    assert!(
+        stdout.contains("\"panics\":2") && stdout.contains("\"worker_respawns\":2"),
+        "stats JSON missing panic accounting: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"completed\":2"),
+        "surviving requests must still complete: {stdout}"
+    );
+
+    let trace_events = assert_valid_jsonl(&trace);
+    assert!(trace_events > 0, "trace is empty on the panic path");
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert!(
+        trace_text.contains("panic-recovered"),
+        "no panic-recovered mark in the trace"
+    );
+    assert!(
+        trace_text.contains("worker-respawn"),
+        "no worker-respawn mark in the trace"
+    );
+    assert_valid_jsonl(&precision); // written (and well-formed) regardless
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        metrics_text.contains("hecate_runtime_panics_total 2"),
+        "metrics missing panic counter: {metrics_text:?}"
+    );
+    assert!(
+        metrics_text.contains("hecate_runtime_worker_respawns_total 2"),
+        "metrics missing respawn counter: {metrics_text:?}"
+    );
+    for p in [trace, precision, metrics] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
 #[test]
 fn audit_bench_passes_and_emits_precision_trace() {
     let precision = tmp("audit.precision.jsonl");
