@@ -286,6 +286,112 @@ pub fn audit_on_engine(
     })
 }
 
+/// Audits one slot-batched run: executes the program once for every
+/// tenant packed into a shared ciphertext (the engine must be built with
+/// `batch_occupancy == tenants.len()`), decrypt-probing checkpoints and
+/// outputs per tenant block, and returns one [`AuditReport`] per tenant.
+///
+/// Each tenant's measured RMS compares its *demultiplexed* window against
+/// its own plaintext reference, so the verdict machinery
+/// ([`AuditReport::violations`]) applies unchanged. Predictions come from
+/// the shared run ledger, whose noise model bounds message magnitude by
+/// the occupancy — packed predictions only grow, keeping the audit
+/// one-sided-conservative exactly like the solo model.
+///
+/// # Errors
+/// Returns [`ExecError`] on any execution failure.
+pub fn audit_batched(
+    engine: &ExecEngine,
+    tenants: &[&HashMap<String, Vec<f64>>],
+    audit: &AuditOptions,
+) -> Result<Vec<AuditReport>, ExecError> {
+    let prog = engine.prog().clone();
+    let expected: Vec<_> = tenants
+        .iter()
+        .map(|inputs| simulate_ops(&prog, inputs, engine.degree()))
+        .collect();
+    let probes = probe_set(&prog, audit.checkpoints);
+    let is_output: Vec<bool> = {
+        let mut v = vec![false; prog.func.len()];
+        for (_, vid) in prog.func.outputs() {
+            v[vid.index()] = true;
+        }
+        v
+    };
+    let mut per_tenant_rows: Vec<Vec<AuditRow>> = vec![Vec::new(); tenants.len()];
+
+    let mut observer = |i: usize, value: &crate::exec::OpValue, predicted_rms: f64| {
+        if value.as_cipher().is_none() {
+            return Ok(());
+        }
+        let ty = prog.types[i];
+        let measured: Vec<Option<f64>> = if probes[i] {
+            engine
+                .demux_copies(value, i)
+                .iter()
+                .enumerate()
+                .map(|(t, samples)| {
+                    // Every clean copy in the block samples the same
+                    // logical value; rms over all of them.
+                    let exp = &expected[t][i].values;
+                    let sq: f64 = samples
+                        .iter()
+                        .enumerate()
+                        .map(|(k, s)| {
+                            let e = s - exp[k % exp.len()];
+                            e * e
+                        })
+                        .sum();
+                    let m = (sq / samples.len() as f64).sqrt();
+                    trace::mark_with("precision-probe", || {
+                        vec![
+                            ("i", i.into()),
+                            ("op", prog.func.ops()[i].mnemonic().into()),
+                            ("tenant", t.into()),
+                            ("predicted_rms", predicted_rms.into()),
+                            ("measured_rms", m.into()),
+                        ]
+                    });
+                    Some(m)
+                })
+                .collect()
+        } else {
+            vec![None; tenants.len()]
+        };
+        for (t, m) in measured.into_iter().enumerate() {
+            per_tenant_rows[t].push(AuditRow {
+                op: i,
+                mnemonic: prog.func.ops()[i].mnemonic(),
+                level: ty.level().unwrap_or(0),
+                scale_bits: ty.scale().unwrap_or(0.0),
+                predicted_rms,
+                measured_rms: m,
+                margin_bits: ty.scale().unwrap_or(0.0) - prog.cfg.waterline,
+                is_output: is_output[i],
+            });
+        }
+        Ok(())
+    };
+
+    let run = crate::exec::execute_batched_with(engine, tenants, Some(&mut observer), None)?;
+
+    let mut reports = Vec::with_capacity(tenants.len());
+    for (t, rows) in per_tenant_rows.into_iter().enumerate() {
+        let mut reference = HashMap::new();
+        for (name, v) in prog.func.outputs() {
+            reference.insert(name.clone(), expected[t][v.index()].values.clone());
+        }
+        reports.push(AuditReport {
+            min_margin_bits: run.min_margin_bits,
+            rows,
+            outputs: run.tenant_outputs[t].clone(),
+            reference,
+            total_us: run.total_us,
+        });
+    }
+    Ok(reports)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,6 +469,63 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "output '{name}' diverged");
             }
         }
+    }
+
+    #[test]
+    fn batched_audit_passes_per_tenant() {
+        let prog = motivating();
+        let occupancy = 4usize;
+        // width 8, no rotations → block 8, slots 32, degree 64; use a
+        // comfortably larger ring.
+        let engine = ExecEngine::new(
+            Arc::new(prog),
+            &BackendOptions {
+                degree_override: Some(256),
+                batch_occupancy: occupancy,
+                ..BackendOptions::default()
+            },
+        )
+        .unwrap();
+        let base = inputs();
+        let tenants: Vec<HashMap<String, Vec<f64>>> = (0..occupancy)
+            .map(|t| {
+                base.iter()
+                    .map(|(k, v)| {
+                        let mut rot = v.clone();
+                        let by = t % rot.len();
+                        rot.rotate_left(by);
+                        (k.clone(), rot)
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&HashMap<String, Vec<f64>>> = tenants.iter().collect();
+        let audit = AuditOptions::default();
+        let reports = audit_batched(&engine, &refs, &audit).unwrap();
+        assert_eq!(reports.len(), occupancy);
+        for (t, report) in reports.iter().enumerate() {
+            assert!(!report.rows.is_empty());
+            for row in report.rows.iter().filter(|r| r.is_output) {
+                assert!(
+                    row.measured_rms.is_some(),
+                    "tenant {t} output op {} unprobed",
+                    row.op
+                );
+            }
+            assert!(
+                report.violations(&audit).is_empty(),
+                "tenant {t} violations: {:?}",
+                report.violations(&audit)
+            );
+            // Demuxed outputs really are this tenant's answer, not a
+            // shared copy: compare against the tenant's own reference.
+            for (name, reference) in &report.reference {
+                let got = &report.outputs[name];
+                assert!(crate::rms_error(got, reference) < 1e-2, "tenant {t} {name}");
+            }
+        }
+        // Tenants received different answers (inputs were rotated).
+        assert_ne!(reports[0].outputs["out0"], reports[1].outputs["out0"]);
     }
 
     #[test]

@@ -119,6 +119,14 @@ pub struct BackendOptions {
     /// the same ciphertext (Halevi–Shoup hoisting). Bit-identical to the
     /// unhoisted path; off only for baseline measurements.
     pub hoist_rotations: bool,
+    /// Slot-batching occupancy: how many tenants share each ciphertext.
+    /// `1` (the default) is solo execution, bit-identical to before the
+    /// batching subsystem existed. Values ≥ 2 must be powers of two and
+    /// carve the slots into per-tenant blocks sized by the plan's slot
+    /// footprint; rotations then run in packed mode (see
+    /// [`physical_step`]) and inputs go through
+    /// [`ExecEngine::encrypt_inputs_packed`].
+    pub batch_occupancy: usize,
 }
 
 impl Default for BackendOptions {
@@ -130,6 +138,7 @@ impl Default for BackendOptions {
             fault: None,
             kernel_jobs: 1,
             hoist_rotations: true,
+            batch_occupancy: 1,
         }
     }
 }
@@ -230,6 +239,17 @@ pub enum ExecError {
         /// The operation index at which the cancellation was observed.
         at: usize,
     },
+    /// The requested slot-batching occupancy cannot be realized: it is
+    /// not a power of two, or the plan's slot footprint does not fit the
+    /// per-tenant block at this ring degree.
+    BatchUnsupported {
+        /// The requested occupancy.
+        occupancy: usize,
+        /// Slots available per tenant block at this occupancy.
+        block: usize,
+        /// Slots one tenant needs (`back + width + fwd`).
+        needed: usize,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -263,6 +283,17 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::Cancelled { at } => {
                 write!(f, "execution cancelled at op {at} (deadline or shed)")
+            }
+            ExecError::BatchUnsupported {
+                occupancy,
+                block,
+                needed,
+            } => {
+                write!(
+                    f,
+                    "batch occupancy {occupancy} unsupported: footprint needs {needed} slots \
+                     per tenant but the block holds {block}"
+                )
             }
         }
     }
@@ -361,13 +392,52 @@ pub fn build_params(
     )?)
 }
 
+/// The physical slot rotation realizing a logical rotate-left by `step`
+/// on a `vec_size`-wide program.
+///
+/// Solo (`occupancy == 1`): replication makes every `step % slots`
+/// rotation correct. Packed (`occupancy >= 2`): the executor must keep
+/// each tenant's data inside its block's guard bands, so it takes the
+/// *short* direction chosen by [`hecate_ir::packed_shift`] — a small
+/// rotate-left (`fwd` slots) or its rotate-right complement
+/// (`slots - back`). Key generation, fan-out analysis, and the rotate
+/// kernel all go through this one mapping.
+pub fn physical_step(step: usize, vec_size: usize, slots: usize, occupancy: usize) -> usize {
+    if occupancy <= 1 {
+        step % slots
+    } else {
+        let (fwd, back) = hecate_ir::packed_shift(step, vec_size);
+        if fwd > 0 {
+            fwd
+        } else if back > 0 {
+            slots - back
+        } else {
+            0
+        }
+    }
+}
+
 /// Collects the evaluation keys a program needs: relinearization prefixes
-/// and `(rotation step, prefix)` pairs.
+/// and `(rotation step, prefix)` pairs. Solo layout; see
+/// [`key_requirements_for`] for packed engines.
 pub fn key_requirements(
     prog: &CompiledProgram,
     slots: usize,
     chain_len: usize,
 ) -> (Vec<usize>, Vec<(usize, usize)>) {
+    key_requirements_for(prog, slots, chain_len, 1)
+}
+
+/// [`key_requirements`] for an engine at the given batching occupancy:
+/// rotation steps are mapped through [`physical_step`] so a packed engine
+/// generates Galois keys for the steps it will actually execute.
+pub fn key_requirements_for(
+    prog: &CompiledProgram,
+    slots: usize,
+    chain_len: usize,
+    occupancy: usize,
+) -> (Vec<usize>, Vec<(usize, usize)>) {
+    let vec_size = prog.func.vec_size;
     let mut relin = Vec::new();
     let mut rot = Vec::new();
     for op in prog.func.ops() {
@@ -381,7 +451,7 @@ pub fn key_requirements(
                 }
             }
             Op::Rotate { value, step } => {
-                let s = step % slots;
+                let s = physical_step(*step, vec_size, slots, occupancy);
                 if s != 0 {
                     rot.push((s, chain_len - level(value)));
                 }
@@ -486,6 +556,15 @@ pub struct ExecEngine {
     vec_size: usize,
     sf: f64,
     seed: u64,
+    /// Slot-batching occupancy (1 = solo). Fixed at engine build: it
+    /// determines key generation, the physical rotation mapping, and the
+    /// packed input/output layout.
+    occupancy: usize,
+    /// Slots per tenant block (`slots / occupancy`).
+    block: usize,
+    /// Per-op contamination reach `(back, fwd)` under packed execution;
+    /// empty for solo engines.
+    reaches: Vec<(usize, usize)>,
     /// Whether rotation hoisting is enabled for this engine.
     hoist_rotations: bool,
     /// Per value index: number of distinct nonzero canonical rotation
@@ -510,11 +589,18 @@ pub struct ExecEngine {
 /// steps applied to it in `prog`. Values rotated by two or more distinct
 /// steps are hoisting candidates.
 pub fn rotation_fanout(prog: &CompiledProgram, slots: usize) -> Vec<u32> {
+    rotation_fanout_for(prog, slots, 1)
+}
+
+/// [`rotation_fanout`] under the given batching occupancy (fan-out is
+/// counted over *physical* steps, which differ in packed mode).
+pub fn rotation_fanout_for(prog: &CompiledProgram, slots: usize, occupancy: usize) -> Vec<u32> {
+    let vec_size = prog.func.vec_size;
     let mut fanout = vec![0u32; prog.func.len()];
     let mut seen: HashSet<(usize, usize)> = HashSet::new();
     for op in prog.func.ops() {
         if let Op::Rotate { value, step } = op {
-            let s = step % slots;
+            let s = physical_step(*step, vec_size, slots, occupancy);
             if s != 0 && seen.insert((value.index(), s)) {
                 fanout[value.index()] += 1;
             }
@@ -536,11 +622,33 @@ impl ExecEngine {
         if vec_size > slots || !vec_size.is_power_of_two() {
             return Err(ExecError::BadVectorWidth { vec_size, slots });
         }
+        let occupancy = opts.batch_occupancy.max(1);
+        let block = slots / occupancy;
+        let mut reaches = Vec::new();
+        if occupancy > 1 {
+            reaches = hecate_ir::slot_reaches(&prog.func);
+            let needed = reaches
+                .iter()
+                .map(|&(b, f)| b + vec_size + f)
+                .max()
+                .unwrap_or(vec_size);
+            let fits = occupancy.is_power_of_two()
+                && occupancy * block == slots
+                && block.is_multiple_of(vec_size)
+                && needed <= block;
+            if !fits {
+                return Err(ExecError::BatchUnsupported {
+                    occupancy,
+                    block,
+                    needed,
+                });
+            }
+        }
         let chain_len = params.basis().chain_len();
         let encoder = CkksEncoder::new(&params);
         let mut kg = KeyGenerator::new(&params, opts.seed);
         let pk = kg.public_key();
-        let (mut relin, rot) = key_requirements(&prog, slots, chain_len);
+        let (mut relin, rot) = key_requirements_for(&prog, slots, chain_len, occupancy);
         if matches!(opts.fault, Some(FaultPlan::SkipRelin)) {
             relin.clear();
         }
@@ -549,7 +657,7 @@ impl ExecEngine {
         let mut eval = Evaluator::new(&params, keys);
         eval.set_kernel_jobs(opts.kernel_jobs);
         let sf = prog.cfg.rescale_bits;
-        let rotate_fanout = rotation_fanout(&prog, slots);
+        let rotate_fanout = rotation_fanout_for(&prog, slots, occupancy);
         let cost_infos = op_cost_infos(&prog.func, &prog.types, chain_len);
         let registry = hecate_telemetry::metrics::global();
         let ops_counter = registry.counter("hecate_exec_ops_total");
@@ -572,6 +680,9 @@ impl ExecEngine {
             vec_size,
             sf,
             seed: opts.seed,
+            occupancy,
+            block,
+            reaches,
             hoist_rotations: opts.hoist_rotations,
             rotate_fanout,
             cost_infos,
@@ -596,6 +707,21 @@ impl ExecEngine {
     /// Modulus-chain length in use.
     pub fn chain_len(&self) -> usize {
         self.chain_len
+    }
+
+    /// Slot-batching occupancy this engine was built for (1 = solo).
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Slots per tenant block (`slots / occupancy`; all slots when solo).
+    pub fn block_slots(&self) -> usize {
+        self.block
+    }
+
+    /// The physical rotation this engine performs for logical `step`.
+    fn phys_step(&self, step: usize) -> usize {
+        physical_step(step, self.vec_size, self.slots, self.occupancy)
     }
 
     /// The guard configuration this engine applies after every operation.
@@ -632,8 +758,13 @@ impl ExecEngine {
 
     /// A noise monitor when noise guarding is configured, else `None`.
     /// The monitor is per-run mutable state, so each run owns its own.
+    /// Packed engines bound the per-slot message mean-square by the
+    /// occupancy (see [`NoiseLedger::with_occupancy`]); at occupancy 1
+    /// the bound is 1.0, leaving the solo model bit-identical.
     pub fn new_monitor(&self) -> Option<NoiseMonitor> {
-        self.guard.max_rms.map(|_| NoiseMonitor::new(self.degree()))
+        self.guard
+            .max_rms
+            .map(|_| NoiseMonitor::new(self.degree()).with_message_bound(self.occupancy as f64))
     }
 
     fn encode_replicated(
@@ -687,6 +818,120 @@ impl ExecEngine {
             });
         }
         Ok(vals)
+    }
+
+    /// Packed-mode counterpart of [`ExecEngine::encrypt_inputs`]: packs
+    /// each tenant's input bindings into its slot block (the layout of
+    /// [`hecate_ckks::pack_blocks`], which restricted to one block equals
+    /// solo replication — so replicated plaintext constants act correctly
+    /// on every tenant at once) and encrypts each packed vector once.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::BatchUnsupported`] when the engine is solo or
+    /// the tenant count disagrees with the occupancy, and per-tenant
+    /// [`ExecError::MissingInput`] / [`ExecError::InputTooLong`].
+    pub fn encrypt_inputs_packed(
+        &self,
+        tenants: &[&HashMap<String, Vec<f64>>],
+    ) -> Result<Vec<Option<OpValue>>, ExecError> {
+        if self.occupancy < 2 || tenants.len() != self.occupancy {
+            return Err(ExecError::BatchUnsupported {
+                occupancy: tenants.len(),
+                block: self.block,
+                needed: self.vec_size,
+            });
+        }
+        let mut encryptor =
+            Encryptor::new(&self.params, self.pk.clone(), self.seed.wrapping_add(1));
+        let mut vals: Vec<Option<OpValue>> = Vec::with_capacity(self.prog.func.len());
+        for (i, op) in self.prog.func.ops().iter().enumerate() {
+            vals.push(match op {
+                Op::Input { name } => {
+                    let mut per_tenant = Vec::with_capacity(self.occupancy);
+                    for inputs in tenants {
+                        let data = inputs
+                            .get(name)
+                            .ok_or_else(|| ExecError::MissingInput { name: name.clone() })?;
+                        if data.len() > self.vec_size {
+                            return Err(ExecError::InputTooLong {
+                                name: name.clone(),
+                                len: data.len(),
+                                vec_size: self.vec_size,
+                            });
+                        }
+                        per_tenant.push(data.clone());
+                    }
+                    let packed = hecate_ckks::pack_blocks(
+                        &per_tenant,
+                        self.vec_size,
+                        self.block,
+                        self.slots,
+                    );
+                    let scale = self.prog.types[i].scale().expect("cipher input");
+                    let mut pt = self.encoder.encode(&packed, scale, 0)?;
+                    pt.poly.to_ntt(self.params.basis());
+                    Some(OpValue(Val::Cipher(encryptor.encrypt(&pt))))
+                }
+                _ => None,
+            });
+        }
+        Ok(vals)
+    }
+
+    /// Demultiplexes the value produced by operation `i` into one logical
+    /// `vec_size`-vector per tenant, reading each tenant's clean window
+    /// (past the op's backward contamination reach) and realigning in
+    /// plaintext. Solo engines return a single entry equal to
+    /// [`ExecEngine::decrypt_output`].
+    pub fn demux_value(&self, value: &OpValue, i: usize) -> Vec<Vec<f64>> {
+        if self.occupancy < 2 {
+            return vec![self.decrypt_output(value)];
+        }
+        let decoded = match &value.0 {
+            Val::Cipher(c) => self.encoder.decode(&self.decryptor.decrypt(c)),
+            Val::Plain(p) => self.encoder.decode(p),
+            Val::Free(d) => return vec![d.clone(); self.occupancy],
+        };
+        let back = self.reaches.get(i).map_or(0, |&(b, _)| b);
+        (0..self.occupancy)
+            .map(|b| hecate_ckks::unpack_block(&decoded, b * self.block, back, self.vec_size))
+            .collect()
+    }
+
+    /// Like [`ExecEngine::demux_value`], but returns every *clean copy*
+    /// of the tenant's window inside its block, concatenated. Packing
+    /// tiles the logical vector across the block and a global rotation
+    /// shifts all copies consistently, so each copy outside the op's
+    /// contamination reach is an independent noise sample of the same
+    /// logical value — the batched audit measures probe RMS over all of
+    /// them instead of the single window, which keeps per-probe sampling
+    /// variance comparable to a solo audit's despite the narrower blocks.
+    pub fn demux_copies(&self, value: &OpValue, i: usize) -> Vec<Vec<f64>> {
+        if self.occupancy < 2 {
+            return vec![self.decrypt_output(value)];
+        }
+        let decoded = match &value.0 {
+            Val::Cipher(c) => self.encoder.decode(&self.decryptor.decrypt(c)),
+            Val::Plain(p) => self.encoder.decode(p),
+            Val::Free(d) => return vec![d.clone(); self.occupancy],
+        };
+        let (back, fwd) = self.reaches.get(i).copied().unwrap_or((0, 0));
+        // Feasibility (checked at engine build) guarantees at least one.
+        let copies = (self.block - back - fwd) / self.vec_size;
+        (0..self.occupancy)
+            .map(|b| {
+                let mut out = Vec::with_capacity(copies * self.vec_size);
+                for c in 0..copies {
+                    out.extend(hecate_ckks::unpack_block(
+                        &decoded,
+                        b * self.block + c * self.vec_size,
+                        back,
+                        self.vec_size,
+                    ));
+                }
+                out
+            })
+            .collect()
     }
 
     /// Executes operation `i` given its operand values (in
@@ -898,7 +1143,7 @@ impl ExecEngine {
                 let Val::Cipher(c) = &operands[0].0 else {
                     unreachable!("rotate on cipher")
                 };
-                let s = step % self.slots;
+                let s = self.phys_step(*step);
                 let hoistable = self.hoist_rotations
                     && s != 0
                     && self.rotate_fanout[value.index()] >= 2
@@ -1122,7 +1367,7 @@ pub type OpObserver<'a> = &'a mut dyn FnMut(usize, &OpValue, f64) -> Result<(), 
 pub fn execute_sequential_with(
     engine: &ExecEngine,
     inputs: &HashMap<String, Vec<f64>>,
-    mut observer: Option<OpObserver<'_>>,
+    observer: Option<OpObserver<'_>>,
     cancel: Option<&CancelToken>,
 ) -> Result<EncryptedRun, ExecError> {
     let prog = engine.prog().clone();
@@ -1134,10 +1379,136 @@ pub fn execute_sequential_with(
             ("chain_len", engine.chain_len().into()),
         ]
     });
-    let mut pre = engine.encrypt_inputs(inputs)?;
+    let pre = engine.encrypt_inputs(inputs)?;
+    let core = drive_ops(engine, pre, observer, cancel)?;
+
+    let mut outputs = HashMap::new();
+    for (name, v) in prog.func.outputs() {
+        outputs.insert(name.clone(), engine.decrypt_output(&core.vals[&v.index()]));
+    }
+
+    engine.publish_precision(&core.ledger);
+    span.attr("total_us", core.total_us.into());
+    span.attr("min_margin_bits", core.ledger.min_margin_bits().into());
+    Ok(EncryptedRun {
+        outputs,
+        total_us: core.total_us,
+        op_us: core.op_us,
+        peak_live: core.peak_live,
+        peak_bytes: core.peak_bytes,
+        degree: engine.degree(),
+        chain_len: engine.chain_len(),
+        min_margin_bits: core.ledger.min_margin_bits(),
+    })
+}
+
+/// The result of one packed run serving several tenants from a shared
+/// ciphertext.
+#[derive(Debug)]
+pub struct BatchRun {
+    /// Per-tenant decrypted, demultiplexed outputs, in block order.
+    pub tenant_outputs: Vec<HashMap<String, Vec<f64>>>,
+    /// Total homomorphic execution time for the whole batch, µs.
+    pub total_us: f64,
+    /// Per-operation time, µs (shared across the batch).
+    pub op_us: Vec<f64>,
+    /// Peak number of simultaneously live ciphertexts.
+    pub peak_live: usize,
+    /// Peak ciphertext working set in bytes.
+    pub peak_bytes: usize,
+    /// Ring degree used.
+    pub degree: usize,
+    /// Chain length used.
+    pub chain_len: usize,
+    /// Tightest scale-vs-waterline margin (bits) from the run's ledger.
+    pub min_margin_bits: f64,
+    /// How many tenants shared the run.
+    pub occupancy: usize,
+}
+
+/// Executes a compiled program once for `tenants.len()` tenants packed
+/// into disjoint slot blocks of one ciphertext, demultiplexing each
+/// tenant's outputs afterwards. The engine must have been built with
+/// [`BackendOptions::batch_occupancy`] equal to the tenant count (≥ 2).
+///
+/// The observer and cancel token behave exactly as in
+/// [`execute_sequential_with`]; the run's [`NoiseLedger`] bounds message
+/// magnitude by the occupancy so audits of packed runs stay conservative.
+///
+/// # Errors
+/// Returns [`ExecError`] on input, evaluator, guard, observer, or
+/// cancellation failures, and [`ExecError::BatchUnsupported`] on an
+/// occupancy mismatch.
+pub fn execute_batched_with(
+    engine: &ExecEngine,
+    tenants: &[&HashMap<String, Vec<f64>>],
+    observer: Option<OpObserver<'_>>,
+    cancel: Option<&CancelToken>,
+) -> Result<BatchRun, ExecError> {
+    let prog = engine.prog().clone();
+    let mut span = trace::span_with("execute", || {
+        vec![
+            ("func", prog.func.name.as_str().into()),
+            ("ops", prog.func.len().into()),
+            ("degree", engine.degree().into()),
+            ("chain_len", engine.chain_len().into()),
+            ("occupancy", engine.occupancy().into()),
+        ]
+    });
+    let pre = engine.encrypt_inputs_packed(tenants)?;
+    let core = drive_ops(engine, pre, observer, cancel)?;
+
+    let mut tenant_outputs: Vec<HashMap<String, Vec<f64>>> =
+        vec![HashMap::new(); engine.occupancy()];
+    for (name, v) in prog.func.outputs() {
+        let demuxed = engine.demux_value(&core.vals[&v.index()], v.index());
+        for (t, data) in demuxed.into_iter().enumerate() {
+            tenant_outputs[t].insert(name.clone(), data);
+        }
+    }
+
+    engine.publish_precision(&core.ledger);
+    span.attr("total_us", core.total_us.into());
+    span.attr("min_margin_bits", core.ledger.min_margin_bits().into());
+    Ok(BatchRun {
+        tenant_outputs,
+        total_us: core.total_us,
+        op_us: core.op_us,
+        peak_live: core.peak_live,
+        peak_bytes: core.peak_bytes,
+        degree: engine.degree(),
+        chain_len: engine.chain_len(),
+        min_margin_bits: core.ledger.min_margin_bits(),
+        occupancy: engine.occupancy(),
+    })
+}
+
+/// What [`drive_ops`] hands back: the surviving value table (outputs are
+/// always alive at the end) plus the run's timing, liveness, and ledger.
+struct CoreRun {
+    vals: HashMap<usize, OpValue>,
+    op_us: Vec<f64>,
+    total_us: f64,
+    peak_live: usize,
+    peak_bytes: usize,
+    ledger: NoiseLedger,
+}
+
+/// The shared sequential interpreter loop: walks SSA order over
+/// pre-encrypted inputs, executes each op, runs guards/noise/ledger,
+/// calls the observer, and releases operands at their last use. Both the
+/// solo and the packed drivers wrap this; they differ only in how inputs
+/// are encrypted and outputs decrypted.
+fn drive_ops(
+    engine: &ExecEngine,
+    mut pre: Vec<Option<OpValue>>,
+    mut observer: Option<OpObserver<'_>>,
+    cancel: Option<&CancelToken>,
+) -> Result<CoreRun, ExecError> {
+    let prog = engine.prog().clone();
     let last = last_uses(&prog.func);
     let mut monitor = engine.new_monitor();
-    let mut ledger = NoiseLedger::new(&prog, engine.degree());
+    let mut ledger = NoiseLedger::with_occupancy(&prog, engine.degree(), engine.occupancy());
     let hoist = HoistState::default();
 
     let mut vals: HashMap<usize, OpValue> = HashMap::new();
@@ -1212,23 +1583,13 @@ pub fn execute_sequential_with(
         }
     }
 
-    let mut outputs = HashMap::new();
-    for (name, v) in prog.func.outputs() {
-        outputs.insert(name.clone(), engine.decrypt_output(&vals[&v.index()]));
-    }
-
-    engine.publish_precision(&ledger);
-    span.attr("total_us", total_us.into());
-    span.attr("min_margin_bits", ledger.min_margin_bits().into());
-    Ok(EncryptedRun {
-        outputs,
-        total_us,
+    Ok(CoreRun {
+        vals,
         op_us,
+        total_us,
         peak_live,
         peak_bytes,
-        degree: engine.degree(),
-        chain_len: engine.chain_len(),
-        min_margin_bits: ledger.min_margin_bits(),
+        ledger,
     })
 }
 

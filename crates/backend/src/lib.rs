@@ -60,11 +60,13 @@ pub mod liveness;
 pub mod noise;
 pub mod profile;
 
-pub use audit::{audit_encrypted, audit_on_engine, AuditOptions, AuditReport, AuditRow};
+pub use audit::{
+    audit_batched, audit_encrypted, audit_on_engine, AuditOptions, AuditReport, AuditRow,
+};
 pub use exec::{
-    execute_encrypted, execute_sequential, execute_sequential_with, rotation_fanout,
-    BackendOptions, CancelToken, EncryptedRun, ExecEngine, ExecError, GuardOptions, HoistState,
-    OpObserver, OpValue,
+    execute_batched_with, execute_encrypted, execute_sequential, execute_sequential_with,
+    physical_step, rotation_fanout, BackendOptions, BatchRun, CancelToken, EncryptedRun,
+    ExecEngine, ExecError, GuardOptions, HoistState, OpObserver, OpValue,
 };
 pub use fault::FaultPlan;
 pub use noise::{

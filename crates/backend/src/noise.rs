@@ -251,6 +251,14 @@ pub struct NoiseMonitor {
     n: f64,
     /// Assumed per-slot message mean-square bound.
     msq_bound: f64,
+    /// Worst-block concentration multiplier applied to every injected
+    /// noise term (fresh encryption, encoding, key-switch, rescale
+    /// rounding). `1.0` models the whole-ring average; a slot-batched run
+    /// sets it to the occupancy, because rounding noise is white in the
+    /// coefficient domain but its slot-domain energy fluctuates block to
+    /// block — and a batched verdict rests on the *worst* tenant's block,
+    /// not the ring-wide mean.
+    conc: f64,
     vars: HashMap<usize, f64>,
 }
 
@@ -260,6 +268,7 @@ impl NoiseMonitor {
         NoiseMonitor {
             n: degree as f64,
             msq_bound: 1.0,
+            conc: 1.0,
             vars: HashMap::new(),
         }
     }
@@ -270,6 +279,13 @@ impl NoiseMonitor {
         self
     }
 
+    /// Overrides the worst-block noise concentration multiplier (variance
+    /// domain, so predicted RMS grows by its square root).
+    pub fn with_noise_concentration(mut self, conc: f64) -> Self {
+        self.conc = conc;
+        self
+    }
+
     /// Advances the model across op `i` and returns the tracked variance
     /// of its result.
     pub fn record(&mut self, prog: &CompiledProgram, i: usize) -> f64 {
@@ -277,25 +293,26 @@ impl NoiseMonitor {
         let ty = prog.types[i];
         let get = |v: &ValueId| self.vars.get(&v.index()).copied().unwrap_or(0.0);
         let var = match op {
-            Op::Input { .. } => fresh_var(self.n, ty.scale().unwrap_or(0.0)),
+            Op::Input { .. } => self.conc * fresh_var(self.n, ty.scale().unwrap_or(0.0)),
             Op::Const { .. } => 0.0,
-            Op::Encode { scale_bits, .. } => encode_var(self.n, *scale_bits),
+            Op::Encode { scale_bits, .. } => self.conc * encode_var(self.n, *scale_bits),
             Op::Add(a, b) | Op::Sub(a, b) => get(a) + get(b),
             Op::Mul(a, b) => {
                 let both_cipher =
                     prog.types[a.index()].is_cipher() && prog.types[b.index()].is_cipher();
                 let mut v = self.msq_bound * (get(a) + get(b));
                 if both_cipher {
-                    v += ks_var(self.n, ty.scale().unwrap_or(0.0));
+                    v += self.conc * ks_var(self.n, ty.scale().unwrap_or(0.0));
                 }
                 v
             }
             Op::Negate(v) => get(v),
             Op::Rotate { value, .. } => {
-                get(value) + ks_var(self.n, prog.types[value.index()].scale().unwrap_or(0.0))
+                get(value)
+                    + self.conc * ks_var(self.n, prog.types[value.index()].scale().unwrap_or(0.0))
             }
             Op::Rescale(v) | Op::Downscale(v) => {
-                get(v) + encode_var(self.n, ty.scale().unwrap_or(0.0)) * self.n / 3.0
+                get(v) + self.conc * encode_var(self.n, ty.scale().unwrap_or(0.0)) * self.n / 3.0
             }
             Op::ModSwitch(v) | Op::Upscale { value: v, .. } => get(v),
         };
@@ -372,8 +389,23 @@ pub struct NoiseLedger {
 impl NoiseLedger {
     /// A ledger for one run of `prog` at ring degree `degree`.
     pub fn new(prog: &CompiledProgram, degree: usize) -> Self {
+        NoiseLedger::with_occupancy(prog, degree, 1)
+    }
+
+    /// A ledger for a slot-batched run serving `occupancy` tenants from
+    /// one ciphertext. Packed slots still hold roughly unit-magnitude
+    /// messages, but the model bounds the per-slot message mean-square by
+    /// the occupancy so multiplicative noise growth stays conservative
+    /// when guard bands carry smeared neighbour data, and injected noise
+    /// terms carry a worst-block concentration multiplier (a batched
+    /// verdict rests on the noisiest tenant's block, not the ring-wide
+    /// mean). Occupancy 1 is exactly [`NoiseLedger::new`].
+    pub fn with_occupancy(prog: &CompiledProgram, degree: usize, occupancy: usize) -> Self {
+        let occ = occupancy.max(1) as f64;
         NoiseLedger {
-            monitor: NoiseMonitor::new(degree),
+            monitor: NoiseMonitor::new(degree)
+                .with_message_bound(occ)
+                .with_noise_concentration(occ),
             waterline: prog.cfg.waterline,
             q0_bits: prog.params.q0_bits as f64,
             sf_bits: prog.params.sf_bits as f64,

@@ -1,13 +1,24 @@
 //! Serving throughput of `hecate-runtime`: requests per second at 1, 2,
-//! 4, and 8 workers over encrypted benchmark workloads, with the plan
+//! 4, and 8 workers over encrypted benchmark workloads with the plan
 //! cache warm (the steady-state serving regime — compilation is paid
-//! once per plan, off the measured path).
+//! once per plan, off the measured path), plus the slot-batching study:
+//! solo vs coalesced service of four tenants at the *same* ring degree.
 //!
-//! Emits `BENCH_throughput.json` next to the workspace root with the
-//! per-worker-count throughput and the speedup over the single-worker
-//! baseline. Speedups track the machine's core count; on a single-core
-//! host all configurations converge. (Per-workload median latencies in
-//! the stable report schema come from the `bench_runtime` binary.)
+//! Emits `BENCH_throughput.json` next to the workspace root in the
+//! stable report schema (`name`, `median_us`, `iterations`) consumed by
+//! `bench_diff`, so throughput regressions gate CI exactly like compile
+//! and runtime latency. Rows record the throughput-derived per-request
+//! time (1e6 / req/s) in the latency column:
+//!
+//! - `workers/N` — worker-scaling rows at degree 512;
+//! - `SF@4096/solo`, `SF@4096/batch4` (and HCD likewise) — one tenant
+//!   per request vs four tenants packed into one ciphertext, both at
+//!   degree 4096 so the comparison isolates amortization from parameter
+//!   choice (a solo run at a smaller degree is a different security and
+//!   precision point, not a fair baseline).
+//!
+//! The batching rows are also asserted in-process: coalesced service
+//! must reach at least 2x the solo request rate at occupancy 4.
 //!
 //! The run doubles as the disabled-tracer overhead gate: every request
 //! crosses the telemetry instrumentation in the runtime, the cache, and
@@ -16,12 +27,19 @@
 
 use hecate_apps::{benchmark, Benchmark, Preset};
 use hecate_backend::exec::BackendOptions;
+use hecate_bench::{write_bench_report, BenchRow};
 use hecate_compiler::{CompileOptions, Scheme};
 use hecate_runtime::{Request, Runtime, RuntimeConfig};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const ROUNDS: usize = 12;
+
+/// The batching study runs both sides at this one degree (2048 slots:
+/// four 512-slot blocks hold the SF/HCD footprints with guard bands).
+const BATCH_DEGREE: usize = 4096;
+const BATCH_OCCUPANCY: usize = 4;
+const BATCH_ROUNDS: usize = 3;
 
 fn workloads() -> Vec<Benchmark> {
     ["SF", "HCD"]
@@ -36,8 +54,9 @@ fn options() -> CompileOptions {
     opts
 }
 
-/// Requests per second over a warmed runtime with `workers` threads.
-fn measure(workers: usize, benches: &[Benchmark]) -> f64 {
+/// Requests per second over a warmed runtime with `workers` threads;
+/// returns the measured request count alongside.
+fn measure(workers: usize, benches: &[Benchmark]) -> (f64, usize) {
     let rt = Runtime::new(RuntimeConfig {
         workers,
         jobs_per_request: 1,
@@ -85,7 +104,58 @@ fn measure(workers: usize, benches: &[Benchmark]) -> f64 {
         "measured phase must be all cache hits"
     );
     rt.shutdown();
-    n as f64 / dt
+    (n as f64 / dt, n)
+}
+
+/// Requests per second serving four tenants of one workload at
+/// `BATCH_DEGREE`, either solo (`max_batch` 1) or coalesced into packed
+/// ciphertexts (`max_batch` = occupancy). One worker, so the coalescing
+/// is deterministic and the comparison measures amortization alone.
+fn measure_packed(bench: &Benchmark, max_batch: usize) -> (f64, usize) {
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 1,
+        max_batch,
+        batch_window: Duration::from_millis(50),
+        backend: BackendOptions {
+            degree_override: Some(BATCH_DEGREE),
+            ..BackendOptions::default()
+        },
+        ..RuntimeConfig::default()
+    });
+    let mut opts = CompileOptions::with_waterline(24.0);
+    opts.degree = Some(BATCH_DEGREE);
+    let sessions: Vec<_> = (0..BATCH_OCCUPANCY).map(|_| rt.open_session()).collect();
+    let mk = |session| Request {
+        session,
+        func: bench.func.clone(),
+        scheme: Scheme::Pars,
+        options: opts.clone(),
+        inputs: bench.inputs.clone(),
+        deadline: None,
+        max_retries: 0,
+    };
+    // Warm one full round: compiles the plan and builds the solo session
+    // engines (or the shared batch engine) off the measured path.
+    for r in rt.run_batch(sessions.iter().map(|&s| mk(s)).collect()) {
+        r.expect("warmup request");
+    }
+    let reqs: Vec<Request> = (0..BATCH_ROUNDS)
+        .flat_map(|_| sessions.iter().map(|&s| mk(s)))
+        .collect();
+    let n = reqs.len();
+    let t0 = Instant::now();
+    for r in rt.run_batch(reqs) {
+        let resp = r.expect("measured request");
+        if max_batch > 1 {
+            assert_eq!(
+                resp.batch_occupancy, BATCH_OCCUPANCY,
+                "measured requests must coalesce at full occupancy"
+            );
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    rt.shutdown();
+    (n as f64 / dt, n)
 }
 
 /// Upper-bounds the disabled tracer's share of one served request.
@@ -128,29 +198,53 @@ fn main() {
         "runtime throughput: {} workloads x {ROUNDS} rounds, warm cache",
         benches.len()
     );
-    let mut results = Vec::new();
+    let mut rows = Vec::new();
+    let mut baseline = 0.0;
     for workers in WORKER_COUNTS {
-        let rps = measure(workers, &benches);
-        println!("  {workers} worker(s): {rps:.1} req/s");
-        results.push((workers, rps));
+        let (rps, n) = measure(workers, &benches);
+        if workers == 1 {
+            baseline = rps;
+        }
+        println!(
+            "  {workers} worker(s): {rps:.1} req/s ({:.3}x)",
+            rps / baseline
+        );
+        rows.push(BenchRow {
+            name: format!("workers/{workers}"),
+            median_us: 1e6 / rps,
+            iterations: n,
+        });
     }
     let max_ops = benches.iter().map(|b| b.func.len()).max().unwrap_or(0);
-    assert_disabled_tracer_overhead(results[0].1, max_ops);
-    let baseline = results[0].1;
-    let entries: Vec<String> = results
-        .iter()
-        .map(|(w, rps)| {
-            format!(
-                "{{\"workers\":{w},\"req_per_s\":{rps:.2},\"speedup\":{:.3}}}",
-                rps / baseline
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\"benchmark\":\"runtime_throughput\",\"workloads\":[\"SF\",\"HCD\"],\"rounds\":{ROUNDS},\"results\":[{}]}}\n",
-        entries.join(",")
-    );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
-    std::fs::write(path, &json).expect("write BENCH_throughput.json");
-    println!("wrote {path}");
+    assert_disabled_tracer_overhead(baseline, max_ops);
+
+    println!("slot batching: degree {BATCH_DEGREE}, occupancy {BATCH_OCCUPANCY}, 1 worker");
+    for bench in &benches {
+        let (solo_rps, solo_n) = measure_packed(bench, 1);
+        let (batch_rps, batch_n) = measure_packed(bench, BATCH_OCCUPANCY);
+        let speedup = batch_rps / solo_rps;
+        println!(
+            "  {}: solo {solo_rps:.1} req/s, batched {batch_rps:.1} req/s ({speedup:.2}x)",
+            bench.name
+        );
+        rows.push(BenchRow {
+            name: format!("{}@{BATCH_DEGREE}/solo", bench.name),
+            median_us: 1e6 / solo_rps,
+            iterations: solo_n,
+        });
+        rows.push(BenchRow {
+            name: format!("{}@{BATCH_DEGREE}/batch{BATCH_OCCUPANCY}", bench.name),
+            median_us: 1e6 / batch_rps,
+            iterations: batch_n,
+        });
+        assert!(
+            speedup >= 2.0,
+            "{}: batched serving reached only {speedup:.2}x solo throughput \
+             (needs >= 2x at occupancy {BATCH_OCCUPANCY})",
+            bench.name
+        );
+    }
+
+    let path = write_bench_report("BENCH_throughput.json", &rows);
+    println!("wrote {}", path.display());
 }

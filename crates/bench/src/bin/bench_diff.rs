@@ -2,7 +2,8 @@
 //! committed baselines.
 //!
 //! Reads the freshly emitted `BENCH_compile.json` / `BENCH_runtime.json`
-//! from the workspace root (written by `bench_compile` / `bench_runtime`)
+//! / `BENCH_throughput.json` from the workspace root (written by
+//! `bench_compile` / `bench_runtime` / the `runtime_throughput` bench)
 //! and compares each benchmark's median against the committed baseline
 //! in `crates/bench/baselines/`. Exits nonzero when any benchmark's
 //! median regressed by more than the tolerance (default 15%; override
@@ -19,7 +20,11 @@
 use hecate_bench::{compare_bench, fmt_us, parse_bench_json, BenchRow};
 use std::path::{Path, PathBuf};
 
-const REPORTS: [&str; 2] = ["BENCH_compile.json", "BENCH_runtime.json"];
+const REPORTS: [&str; 3] = [
+    "BENCH_compile.json",
+    "BENCH_runtime.json",
+    "BENCH_throughput.json",
+];
 const DEFAULT_TOLERANCE: f64 = 0.15;
 
 fn workspace_root() -> PathBuf {

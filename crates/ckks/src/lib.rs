@@ -61,6 +61,7 @@ pub mod encoder;
 pub mod encrypt;
 pub mod eval;
 pub mod keys;
+pub mod pack;
 pub mod params;
 pub mod probe;
 
@@ -69,5 +70,6 @@ pub use encoder::CkksEncoder;
 pub use encrypt::{Decryptor, Encryptor};
 pub use eval::{EvalKeys, Evaluator};
 pub use keys::{HoistedDecomp, KeyGenerator, PublicKey, SecretKey};
+pub use pack::{pack_blocks, unpack_block};
 pub use params::CkksParams;
 pub use probe::DecryptProbe;

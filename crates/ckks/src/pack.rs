@@ -1,0 +1,111 @@
+//! Slot-range packing for cross-request batching.
+//!
+//! Slot batching serves `B` tenants from one ciphertext by giving each
+//! tenant a contiguous *block* of `slots / B` slots. Inside its block a
+//! tenant's logical `width`-element vector is tiled exactly like the solo
+//! executor's full-vector replication (`slot j` holds `data[j % width]`),
+//! so the same replicated plaintext constants act correctly on every
+//! block at once. Rotations smear neighbouring blocks' data into a guard
+//! band around each logical window; the compiler's slot-footprint
+//! analysis bounds that reach, and [`unpack_block`] reads a tenant's
+//! result out of the clean window it leaves behind.
+//!
+//! These are plain slot-vector helpers — encryption-agnostic, shared by
+//! the backend's packed encryptor/demultiplexer and its tests.
+
+/// Packs per-tenant logical vectors into one physical slot vector.
+///
+/// `tenants[b]` (length ≤ `width`, zero-padded) fills block `b`: slot
+/// `b * block + j` holds `tenants[b][j % width]`. Restricted to any one
+/// block this is exactly the solo executor's replication layout.
+///
+/// # Panics
+/// Panics if `tenants.len() * block != slots`, `width` doesn't divide
+/// `block`, or any tenant vector exceeds `width`.
+pub fn pack_blocks(tenants: &[Vec<f64>], width: usize, block: usize, slots: usize) -> Vec<f64> {
+    assert_eq!(tenants.len() * block, slots, "blocks must tile the slots");
+    assert!(
+        width > 0 && block.is_multiple_of(width),
+        "width must divide block"
+    );
+    let mut out = vec![0.0; slots];
+    for (b, data) in tenants.iter().enumerate() {
+        assert!(data.len() <= width, "tenant vector wider than its window");
+        for j in 0..block {
+            let k = j % width;
+            out[b * block + j] = if k < data.len() { data[k] } else { 0.0 };
+        }
+    }
+    out
+}
+
+/// Extracts one tenant's `width`-element logical vector from a decoded
+/// slot vector.
+///
+/// After packed execution the first `back` slots of a block are
+/// contaminated by backward-smearing rotations; the clean region still
+/// tiles the logical result (`slot block_start + j` holds
+/// `result[j % width]` for `j >= back`). This reads each logical element
+/// from its first clean occurrence — equivalently, reads `width`
+/// consecutive slots starting at `block_start + back` and realigns them
+/// by `back % width` in plaintext.
+pub fn unpack_block(decoded: &[f64], block_start: usize, back: usize, width: usize) -> Vec<f64> {
+    (0..width)
+        .map(|k| decoded[block_start + back + (k + width - back % width) % width])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rotl(v: &[f64], s: usize) -> Vec<f64> {
+        let n = v.len();
+        (0..n).map(|i| v[(i + s) % n]).collect()
+    }
+
+    #[test]
+    fn pack_tiles_each_block_like_solo_replication() {
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0];
+        let packed = pack_blocks(&[a, b], 2, 4, 8);
+        assert_eq!(packed, vec![1.0, 2.0, 1.0, 2.0, 3.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn unpack_roundtrips_without_rotation() {
+        let tenants = vec![vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]];
+        let packed = pack_blocks(&tenants, 4, 8, 16);
+        assert_eq!(unpack_block(&packed, 0, 0, 4), tenants[0]);
+        assert_eq!(unpack_block(&packed, 8, 0, 4), tenants[1]);
+    }
+
+    #[test]
+    fn unpack_realigns_after_global_rotation() {
+        // A logical rotate-left by s on every tenant is realized as one
+        // global rotate-left by s (forward smear) or rotate-right by
+        // width-s (backward smear). Either way the clean window still
+        // holds the rotated result for every tenant.
+        let t0 = vec![1.0, 2.0, 3.0, 4.0];
+        let t1 = vec![5.0, 6.0, 7.0, 8.0];
+        let packed = pack_blocks(&[t0.clone(), t1.clone()], 4, 8, 16);
+        for s in 1..4usize {
+            // Forward: global rotate-left by s, fwd reach = s, back = 0.
+            let fwd = rotl(&packed, s);
+            assert_eq!(unpack_block(&fwd, 0, 0, 4), rotl(&t0, s), "fwd s={s}");
+            assert_eq!(unpack_block(&fwd, 8, 0, 4), rotl(&t1, s), "fwd s={s}");
+            // Backward: global rotate-right by 4-s (== rotate-left by
+            // slots-(4-s)), back reach = 4-s.
+            let bwd = rotl(&packed, 16 - (4 - s));
+            let back = 4 - s;
+            assert_eq!(unpack_block(&bwd, 0, back, 4), rotl(&t0, s), "bwd s={s}");
+            assert_eq!(unpack_block(&bwd, 8, back, 4), rotl(&t1, s), "bwd s={s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks must tile")]
+    fn pack_rejects_partial_tiling() {
+        pack_blocks(&[vec![1.0]], 1, 4, 12);
+    }
+}

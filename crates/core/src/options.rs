@@ -5,7 +5,7 @@ use crate::params::SelectedParams;
 use hecate_ir::ir::StructureError;
 use hecate_ir::types::{Type, TypeConfig, TypeError};
 use hecate_ir::verify::VerifyError;
-use hecate_ir::{Function, Op, ValueId};
+use hecate_ir::{Function, Op, SlotFootprint, ValueId};
 use std::collections::BTreeMap;
 
 /// The four scale-management schemes the paper evaluates (§VII-A).
@@ -383,6 +383,10 @@ pub struct CompiledProgram {
     /// reloaded plan can be checked against the program it claims to
     /// implement.
     pub source_hash: u64,
+    /// Slot-batching footprint of the compiled function: how many slots
+    /// one tenant needs (logical window plus rotation guard bands) when
+    /// several tenants share a ciphertext.
+    pub footprint: SlotFootprint,
     /// Compilation statistics.
     pub stats: CompileStats,
 }

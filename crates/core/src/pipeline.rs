@@ -94,6 +94,7 @@ pub fn compile(
         fallback: None,
         fallback_attempts: 0,
     };
+    let footprint = hecate_ir::slot_footprint(&candidate.func);
     Ok(CompiledProgram {
         func: candidate.func,
         types: candidate.types,
@@ -101,6 +102,7 @@ pub fn compile(
         scheme,
         params: candidate.params,
         source_hash,
+        footprint,
         stats,
     })
 }

@@ -23,7 +23,7 @@
 
 use crate::options::{CompileStats, CompiledProgram, Scheme};
 use crate::params::SelectedParams;
-use hecate_ir::analysis::{op_histogram, use_edge_count};
+use hecate_ir::analysis::{op_histogram, slot_footprint, use_edge_count, SlotFootprint};
 use hecate_ir::parse::parse_function;
 use hecate_ir::print::print_function_full;
 use hecate_ir::types::{Type, TypeConfig};
@@ -97,6 +97,12 @@ pub fn serialize_plan(prog: &CompiledProgram) -> String {
         prog.stats.estimated_latency_us, prog.stats.estimated_noise_bits
     );
     let _ = writeln!(s, "source hash={:016x}", prog.source_hash);
+    let fp = &prog.footprint;
+    let _ = writeln!(
+        s,
+        "slot footprint={}:{}:{}:{}",
+        fp.width, fp.back, fp.fwd, fp.max_live
+    );
     let _ = writeln!(s, "types {}", prog.types.len());
     for t in &prog.types {
         match t {
@@ -150,7 +156,7 @@ fn parsed<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, PlanFormatErro
 /// Returns [`PlanFormatError`] if the header, types, or function body are
 /// malformed, or if the type count disagrees with the function length.
 pub fn deserialize_plan(text: &str) -> Result<CompiledProgram, PlanFormatError> {
-    let mut lines = text.lines();
+    let mut lines = text.lines().peekable();
     let header = lines.next().ok_or_else(|| bad("empty document"))?;
     if header.trim() != PLAN_HEADER {
         return Err(bad(format!("expected '{PLAN_HEADER}', got '{header}'")));
@@ -190,6 +196,28 @@ pub fn deserialize_plan(text: &str) -> Result<CompiledProgram, PlanFormatError> 
     let source_line = lines.next().ok_or_else(|| bad("missing source line"))?;
     let source_hash = u64::from_str_radix(field(source_line, "hash")?, 16)
         .map_err(|_| bad(format!("bad source hash in '{source_line}'")))?;
+
+    // Optional `slot footprint=width:back:fwd:max_live` line. Plans saved
+    // before slot batching existed lack it; their footprint is recomputed
+    // from the parsed function below.
+    let mut footprint = None;
+    if lines
+        .peek()
+        .is_some_and(|l| l.starts_with("slot footprint"))
+    {
+        let fp_line = lines.next().expect("peeked");
+        let raw = field(fp_line, "footprint")?;
+        let parts: Vec<&str> = raw.split(':').collect();
+        if parts.len() != 4 {
+            return Err(bad(format!("bad slot footprint '{raw}'")));
+        }
+        footprint = Some(SlotFootprint {
+            width: parsed(parts[0], "footprint width")?,
+            back: parsed(parts[1], "footprint back")?,
+            fwd: parsed(parts[2], "footprint fwd")?,
+            max_live: parsed(parts[3], "footprint max_live")?,
+        });
+    }
 
     let count_line = lines.next().ok_or_else(|| bad("missing types line"))?;
     let n_types: usize = parsed(
@@ -241,6 +269,7 @@ pub fn deserialize_plan(text: &str) -> Result<CompiledProgram, PlanFormatError> 
         use_edges: use_edge_count(&func),
         ..CompileStats::default()
     };
+    let footprint = footprint.unwrap_or_else(|| slot_footprint(&func));
     Ok(CompiledProgram {
         func,
         types,
@@ -248,6 +277,7 @@ pub fn deserialize_plan(text: &str) -> Result<CompiledProgram, PlanFormatError> 
         scheme,
         params,
         source_hash,
+        footprint,
         stats,
     })
 }
@@ -287,6 +317,7 @@ mod tests {
             assert_eq!(back.params, prog.params, "{scheme}");
             assert_eq!(back.scheme, prog.scheme);
             assert_eq!(back.source_hash, prog.source_hash, "{scheme}");
+            assert_eq!(back.footprint, prog.footprint, "{scheme}");
             assert_eq!(
                 back.stats.estimated_latency_us,
                 prog.stats.estimated_latency_us
@@ -327,6 +358,31 @@ mod tests {
         assert_ne!(hecate_ir::hash::function_hash(&prog.func), prog.source_hash);
         let back = deserialize_plan(&serialize_plan(&prog)).unwrap();
         assert_eq!(back.source_hash, prog.source_hash);
+    }
+
+    #[test]
+    fn v1_plans_without_footprint_line_still_load() {
+        // Plans serialized before slot batching existed have no
+        // `slot footprint=` line; the loader must recompute it.
+        let prog = compiled(Scheme::Hecate);
+        let text = serialize_plan(&prog);
+        let legacy: String = text
+            .lines()
+            .filter(|l| !l.starts_with("slot footprint"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_ne!(legacy, text, "footprint line must have been present");
+        let back = deserialize_plan(&legacy).unwrap();
+        assert_eq!(back.func, prog.func);
+        assert_eq!(
+            back.footprint, prog.footprint,
+            "recomputed footprint must match the one the compiler recorded"
+        );
+        // Re-serializing a legacy plan upgrades it to the new form.
+        assert_eq!(serialize_plan(&back), text);
+        // A garbled footprint line is rejected, not silently recomputed.
+        let garbled = text.replacen("slot footprint=", "slot footprint=x:", 1);
+        assert!(deserialize_plan(&garbled).is_err());
     }
 
     #[test]

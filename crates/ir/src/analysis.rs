@@ -98,6 +98,137 @@ pub fn op_histogram(func: &Function) -> std::collections::BTreeMap<&'static str,
     h
 }
 
+/// How far a plan's values spill outside a `width`-slot window when the
+/// ciphertext is shared between tenants (slot batching).
+///
+/// Each tenant occupies a block of `block_slots()` contiguous slots. The
+/// tenant's logical `width`-slot vector sits in the middle; rotations smear
+/// neighbouring tenants' data into up to `back` slots before it and `fwd`
+/// slots after it, which the demultiplexer must skip. A plan fits `B`
+/// tenants into `slots` physical slots iff `B * block_slots() <= slots`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotFootprint {
+    /// The logical vector width (`Function::vec_size`).
+    pub width: usize,
+    /// Maximum backward contamination reach (slots before the window).
+    pub back: usize,
+    /// Maximum forward contamination reach (slots after the window).
+    pub fwd: usize,
+    /// Peak number of simultaneously live values (ciphertext working set).
+    pub max_live: usize,
+}
+
+impl SlotFootprint {
+    /// Slots one tenant needs: guard band + logical window + guard band.
+    pub fn block_slots(&self) -> usize {
+        self.back + self.width + self.fwd
+    }
+
+    /// Largest power-of-two occupancy that fits in `slots` physical slots
+    /// (0 when even a single block does not fit).
+    pub fn max_occupancy(&self, slots: usize) -> usize {
+        let block = self.block_slots().max(1);
+        let mut b = 1usize;
+        while b * 2 * block <= slots {
+            b *= 2;
+        }
+        if b * block <= slots {
+            b
+        } else {
+            0
+        }
+    }
+}
+
+/// How a logical rotation by `step` moves data inside a packed block of
+/// logical width `width`. Returns `(fwd_add, back_add)`: the extra forward
+/// and backward contamination this rotation adds.
+///
+/// The packed executor realizes a logical rotate-left by `step` as either a
+/// physical rotate-left by `step % width` (cheap direction) or a physical
+/// rotate-right by `width - step % width`, whichever moves data less. This
+/// function is the single source of truth for that direction choice — the
+/// backend's physical step mapping must agree with it.
+pub fn packed_shift(step: usize, width: usize) -> (usize, usize) {
+    if width == 0 {
+        return (0, 0);
+    }
+    let s = step % width;
+    if s == 0 {
+        (0, 0)
+    } else if s <= width - s {
+        (s, 0) // rotate left: data smears forward past the window end
+    } else {
+        (0, width - s) // rotate right: data smears backward before the start
+    }
+}
+
+/// Per-value contamination reach `(back, fwd)` under packed execution.
+///
+/// Leaves (inputs, constants, encodes of fresh constants) start clean at
+/// `(0, 0)`; a rotation adds [`packed_shift`] to its operand's reach; every
+/// other op takes the element-wise max over its operands (slot-wise ops
+/// cannot clean a contaminated slot).
+pub fn slot_reaches(func: &Function) -> Vec<(usize, usize)> {
+    let w = func.vec_size;
+    let mut reach: Vec<(usize, usize)> = Vec::with_capacity(func.len());
+    for op in func.ops() {
+        let mut r = (0usize, 0usize);
+        for v in op.operands() {
+            let (b, f) = reach[v.index()];
+            r.0 = r.0.max(b);
+            r.1 = r.1.max(f);
+        }
+        if let Op::Rotate { step, .. } = op {
+            let (fwd_add, back_add) = packed_shift(*step, w);
+            r.0 += back_add;
+            r.1 += fwd_add;
+        }
+        reach.push(r);
+    }
+    reach
+}
+
+/// Computes the plan's [`SlotFootprint`]: worst-case contamination reach
+/// over every value plus the liveness peak.
+pub fn slot_footprint(func: &Function) -> SlotFootprint {
+    let reach = slot_reaches(func);
+    let (mut back, mut fwd) = (0usize, 0usize);
+    for &(b, f) in &reach {
+        back = back.max(b);
+        fwd = fwd.max(f);
+    }
+    // Peak live values: a value is live from its definition to its last
+    // use (outputs stay live to the end).
+    let n = func.len();
+    let mut last_use = vec![0usize; n];
+    for (i, op) in func.ops().iter().enumerate() {
+        for v in op.operands() {
+            last_use[v.index()] = i;
+        }
+    }
+    for (_, v) in func.outputs() {
+        last_use[v.index()] = n.saturating_sub(1);
+    }
+    let mut max_live = 0usize;
+    let mut live_now = 0usize;
+    let mut dying_at = vec![0usize; n];
+    for (i, &lu) in last_use.iter().enumerate() {
+        dying_at[lu.max(i)] += 1;
+    }
+    for &d in &dying_at {
+        live_now += 1; // one value defined at each op
+        max_live = max_live.max(live_now);
+        live_now -= d;
+    }
+    SlotFootprint {
+        width: func.vec_size,
+        back,
+        fwd,
+        max_live,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +275,72 @@ mod tests {
         assert_eq!(h["input"], 1);
         assert_eq!(h["mul"], 1);
         assert_eq!(h["add"], 1);
+    }
+
+    #[test]
+    fn packed_shift_picks_the_short_direction() {
+        // Rotate-left by 1 in a width-8 block: smears 1 slot forward.
+        assert_eq!(packed_shift(1, 8), (1, 0));
+        // Rotate-left by 7 == rotate-right by 1: smears 1 slot backward.
+        assert_eq!(packed_shift(7, 8), (0, 1));
+        // Half-width ties go forward; full rotations are free.
+        assert_eq!(packed_shift(4, 8), (4, 0));
+        assert_eq!(packed_shift(8, 8), (0, 0));
+        assert_eq!(packed_shift(17, 8), (1, 0));
+    }
+
+    #[test]
+    fn footprint_tracks_rotation_reach() {
+        let mut b = FunctionBuilder::new("rot", 8);
+        let x = b.input_cipher("x");
+        let left = b.rotate(x, 1); // fwd 1
+        let right = b.rotate(x, 7); // back 1
+        let sum = b.add(left, right); // (back 1, fwd 1)
+        let deeper = b.rotate(sum, 2); // fwd grows to 3
+        b.output(deeper);
+        let f = b.finish();
+
+        let reach = slot_reaches(&f);
+        assert_eq!(reach[x.index()], (0, 0));
+        assert_eq!(reach[left.index()], (0, 1));
+        assert_eq!(reach[right.index()], (1, 0));
+        assert_eq!(reach[sum.index()], (1, 1));
+        assert_eq!(reach[deeper.index()], (1, 3));
+
+        let fp = slot_footprint(&f);
+        assert_eq!(fp.width, 8);
+        assert_eq!(fp.back, 1);
+        assert_eq!(fp.fwd, 3);
+        assert_eq!(fp.block_slots(), 12);
+        assert!(fp.max_live >= 2);
+    }
+
+    #[test]
+    fn rotation_free_plan_has_tight_footprint() {
+        let f = with_dead_code();
+        let fp = slot_footprint(&f);
+        assert_eq!((fp.back, fp.fwd), (0, 0));
+        assert_eq!(fp.block_slots(), f.vec_size);
+    }
+
+    #[test]
+    fn max_occupancy_is_the_largest_fitting_power_of_two() {
+        let fp = SlotFootprint {
+            width: 8,
+            back: 1,
+            fwd: 3,
+            max_live: 2,
+        };
+        // block = 12: 64 slots fit 4 blocks (48), not 8 (96).
+        assert_eq!(fp.max_occupancy(64), 4);
+        assert_eq!(fp.max_occupancy(12), 1);
+        assert_eq!(fp.max_occupancy(11), 0);
+        let tight = SlotFootprint {
+            width: 8,
+            back: 0,
+            fwd: 0,
+            max_live: 1,
+        };
+        assert_eq!(tight.max_occupancy(64), 8);
     }
 }

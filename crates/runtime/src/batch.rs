@@ -1,0 +1,370 @@
+//! Cross-request slot batching: serving many queued requests from one
+//! packed ciphertext.
+//!
+//! When [`crate::RuntimeConfig::max_batch`] > 1, a worker that dequeues a
+//! request does not execute it immediately: it keeps draining the queue
+//! (up to [`crate::RuntimeConfig::batch_window`]) for *compatible*
+//! requests — same plan key, i.e. identical function, scheme, and
+//! compile options — and coalesces them into one slot-batched execution.
+//! Each member's inputs are packed into a disjoint slot block of a shared
+//! ciphertext (`hecate_backend::exec::execute_batched_with`), the circuit
+//! runs once, and the results are demultiplexed back into per-member
+//! responses. Incompatible requests dequeued along the way are stashed
+//! and served next, ahead of the channel.
+//!
+//! # Failure domains
+//!
+//! Batching never makes a request less reliable than solo serving:
+//!
+//! - Chaos is decided once per collected member; members drawing an
+//!   injection run solo so the injection hits exactly one request.
+//! - Members whose deadline already expired fail fast solo with a typed
+//!   timeout instead of holding the batch.
+//! - An infeasible occupancy (the plan's slot footprint does not fit the
+//!   block) shrinks the batch by powers of two, down to solo serving.
+//! - Any shared-run failure — a guard trip, a cancellation, even a panic
+//!   — degrades every member to an independent solo run with its own
+//!   retry budget. One poisoned member cannot fail its batch-mates.
+//!
+//! # Key honesty
+//!
+//! A shared ciphertext is necessarily encrypted under one key, so a
+//! batched run uses a per-(plan, occupancy) engine seeded from the
+//! runtime's base seed rather than any single session's keys. This is
+//! not a weakening of the trust model: the runtime's [`SessionManager`]
+//! already holds every session's key material server-side (see its
+//! module docs — isolation is against mix-ups, not adversaries), and
+//! batching is opt-in per deployment.
+//!
+//! [`SessionManager`]: crate::session::SessionManager
+
+use crate::cache::plan_key;
+use crate::chaos::ChaosInjection;
+use crate::pool::{Inner, Job, Response};
+use hecate_backend::exec::{
+    execute_batched_with, BackendOptions, CancelToken, EncryptedRun, ExecEngine, ExecError,
+};
+use hecate_compiler::CompiledProgram;
+use hecate_ir::hash::Fnv1a;
+use hecate_telemetry::trace;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a coalescing worker sleeps between queue polls while its
+/// batch window is open. Short enough that the window bound dominates.
+const COALESCE_POLL: Duration = Duration::from_micros(25);
+
+/// Deterministic seed for the shared engine of one (plan, occupancy)
+/// batch family: an FNV-1a mix, so batched runs are as reproducible as
+/// solo ones.
+fn batch_seed(base: u64, plan: u64, occupancy: usize) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(&base.to_le_bytes());
+    h.write(&plan.to_le_bytes());
+    h.write(&(occupancy as u64).to_le_bytes());
+    h.finish()
+}
+
+/// Shared packed engines, keyed by `(plan key, occupancy)`.
+///
+/// A `None` value is a tombstone: that occupancy was tried and the plan's
+/// slot footprint does not fit its blocks, so future batches skip the
+/// keygen attempt and shrink immediately.
+#[derive(Default)]
+pub(crate) struct BatchEngines {
+    engines: Mutex<EngineMap>,
+}
+
+/// `None` marks an occupancy proven infeasible for the plan.
+type EngineMap = HashMap<(u64, usize), Option<Arc<ExecEngine>>>;
+
+impl BatchEngines {
+    fn lock(&self) -> std::sync::MutexGuard<'_, EngineMap> {
+        self.engines.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The shared engine for `plan` at `occupancy`, building (keygen)
+    /// on first use. `Ok(None)` means this occupancy is infeasible for
+    /// the plan — recorded as a tombstone so the answer is instant next
+    /// time.
+    ///
+    /// # Errors
+    /// Propagates engine construction failures other than infeasibility
+    /// (those are not cached; a later attempt may succeed).
+    fn get(
+        &self,
+        plan: u64,
+        occupancy: usize,
+        prog: &Arc<CompiledProgram>,
+        backend: &BackendOptions,
+    ) -> Result<Option<Arc<ExecEngine>>, ExecError> {
+        if let Some(cached) = self.lock().get(&(plan, occupancy)) {
+            return Ok(cached.clone());
+        }
+        // Build outside the lock: keygen is expensive and must not
+        // serialize other batches. A racing builder wastes work, never
+        // corrupts (identical seeds give identical keys).
+        let mut opts = backend.clone();
+        opts.seed = batch_seed(backend.seed, plan, occupancy);
+        opts.batch_occupancy = occupancy;
+        match ExecEngine::new(prog.clone(), &opts) {
+            Ok(engine) => {
+                let engine = Arc::new(engine);
+                Ok(self
+                    .lock()
+                    .entry((plan, occupancy))
+                    .or_insert(Some(engine))
+                    .clone())
+            }
+            Err(ExecError::BatchUnsupported { .. }) => {
+                self.lock().insert((plan, occupancy), None);
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Drops the cached engine for `(plan, occupancy)`; the next batch
+    /// rebuilds from scratch. Called after a shared-run failure, since
+    /// the failure may stem from engine state.
+    fn invalidate(&self, plan: u64, occupancy: usize) {
+        self.lock().remove(&(plan, occupancy));
+    }
+}
+
+/// Largest power of two ≤ `n` (0 for 0).
+fn floor_pow2(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        1 << (usize::BITS - 1 - n.leading_zeros())
+    }
+}
+
+/// Serves each job solo, in order, deferring any panic until every job
+/// has been served. [`Inner::serve_with`] re-raises a caught panic after
+/// replying (so the supervisor recycles the worker); without the
+/// deferral, one panicking member would unwind through this frame and
+/// drop its batch-mates' reply channels unanswered.
+fn serve_each_solo(inner: &Inner, jobs: Vec<(Job, Option<ChaosInjection>)>) {
+    let mut pending_panic = None;
+    for (job, injection) in jobs {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| inner.serve_with(job, injection))) {
+            pending_panic.get_or_insert(payload);
+        }
+    }
+    if let Some(payload) = pending_panic {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// The batching dequeue path: coalesces compatible queued requests with
+/// `first`, runs them as one packed execution, and demultiplexes the
+/// responses. See the module docs for the collection and degradation
+/// rules.
+pub(crate) fn serve_coalesced(inner: &Inner, first: Job) {
+    let key = plan_key(&first.req.func, first.req.scheme, &first.req.options);
+    let max = inner.config.max_batch.max(1);
+    let window_end = Instant::now() + inner.config.batch_window;
+    let mut members = vec![first];
+    while members.len() < max {
+        let got = {
+            inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .try_recv()
+        };
+        match got {
+            Ok(job) => {
+                if plan_key(&job.req.func, job.req.scheme, &job.req.options) == key {
+                    // The member leaves the queue now; its wait ends here.
+                    inner.stats.record_dequeue();
+                    trace::complete_with("queue-wait", job.enqueued, || {
+                        vec![("session", job.req.session.into())]
+                    });
+                    members.push(job);
+                } else {
+                    // Still logically queued (no dequeue recorded): the
+                    // next free worker serves it ahead of the channel.
+                    inner
+                        .stash
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push_back(job);
+                }
+            }
+            Err(_) => {
+                if Instant::now() >= window_end {
+                    break;
+                }
+                std::thread::sleep(COALESCE_POLL);
+            }
+        }
+    }
+
+    // Chaos and expired deadlines are decided per member, now: injected
+    // members run solo so the injection hits exactly one request, and
+    // already-late members must not hold the batch.
+    let mut fallback: Vec<(Job, Option<ChaosInjection>)> = Vec::new();
+    let mut clean: Vec<Job> = Vec::new();
+    for job in members {
+        let injection = inner.chaos.next(inner.config.chaos.as_ref());
+        let expired = job
+            .req
+            .deadline
+            .is_some_and(|d| job.enqueued.elapsed() >= d);
+        // Unknown (closed) sessions degrade too: the solo path surfaces
+        // the typed error the client expects.
+        let known = inner.sessions.get(job.req.session).is_ok();
+        if injection.is_some() || expired || !known {
+            fallback.push((job, injection));
+        } else {
+            clean.push(job);
+        }
+    }
+
+    let occupancy = floor_pow2(clean.len().min(max));
+    if occupancy >= 2 {
+        let batched = run_shared(inner, key, clean, occupancy);
+        match batched {
+            Ok(leftover) => fallback.extend(leftover.into_iter().map(|j| (j, None))),
+            Err(degraded) => fallback.extend(degraded.into_iter().map(|j| (j, None))),
+        }
+    } else {
+        fallback.extend(clean.into_iter().map(|j| (j, None)));
+    }
+    serve_each_solo(inner, fallback);
+}
+
+/// Attempts the shared packed execution for up to `occupancy` of the
+/// `clean` members. On success, replies to every batch member and
+/// returns the members beyond the occupancy (`Ok`); on any failure —
+/// plan resolution, engine build, execution error, or panic — returns
+/// every member untouched for solo degradation (`Err`).
+fn run_shared(
+    inner: &Inner,
+    key: u64,
+    mut clean: Vec<Job>,
+    mut occupancy: usize,
+) -> Result<Vec<Job>, Vec<Job>> {
+    let (artifact, cache_hit) = {
+        let req = &clean[0].req;
+        match inner
+            .cache
+            .get_or_compile(&req.func, req.scheme, &req.options)
+        {
+            Ok(x) => x,
+            // Let each member surface its own typed compile error.
+            Err(_) => return Err(clean),
+        }
+    };
+    // Shrink until the plan's slot footprint fits the blocks.
+    let engine = loop {
+        if occupancy < 2 {
+            return Err(clean);
+        }
+        match inner
+            .batch_engines
+            .get(key, occupancy, &artifact.prog, &inner.config.backend)
+        {
+            Ok(Some(engine)) => break engine,
+            Ok(None) => occupancy /= 2,
+            Err(_) => return Err(clean),
+        }
+    };
+
+    let extras = clean.split_off(occupancy);
+    let batch = clean;
+    let mut span = trace::span_with("batch-execute", || {
+        vec![
+            ("plan_key", key.into()),
+            ("occupancy", (occupancy as u64).into()),
+        ]
+    });
+    // The shared run honors the most urgent member's deadline; members
+    // degraded by its cancellation re-run solo where each deadline is
+    // enforced individually.
+    let cancel = batch
+        .iter()
+        .filter_map(|j| j.req.deadline.map(|d| j.enqueued + d))
+        .min()
+        .map(CancelToken::with_deadline);
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let inputs: Vec<&HashMap<String, Vec<f64>>> = batch.iter().map(|j| &j.req.inputs).collect();
+        execute_batched_with(&engine, &inputs, None, cancel.as_ref())
+    }));
+    let run = match result {
+        Ok(Ok(run)) => run,
+        Ok(Err(e)) => {
+            span.attr("ok", false.into());
+            trace::mark_with("batch-degraded", || {
+                vec![
+                    ("plan_key", key.into()),
+                    ("occupancy", (occupancy as u64).into()),
+                    ("cause", e.to_string().into()),
+                ]
+            });
+            if crate::pool::is_transient(&e) {
+                inner.batch_engines.invalidate(key, occupancy);
+            }
+            let mut all = batch;
+            all.extend(extras);
+            return Err(all);
+        }
+        Err(_payload) => {
+            // The panic is contained here, not re-raised: no client saw
+            // it (every member retries solo), so it is a degradation, not
+            // a `Panicked` response.
+            span.attr("ok", false.into());
+            trace::mark_with("batch-degraded", || {
+                vec![
+                    ("plan_key", key.into()),
+                    ("occupancy", (occupancy as u64).into()),
+                    ("cause", "panic".into()),
+                ]
+            });
+            inner.batch_engines.invalidate(key, occupancy);
+            let mut all = batch;
+            all.extend(extras);
+            return Err(all);
+        }
+    };
+    span.attr("ok", true.into());
+    span.attr("total_us", run.total_us.into());
+
+    inner.stats.record_batch(occupancy);
+    // Worker busy time is shared: each member is billed its fraction so
+    // utilization stays truthful.
+    let busy_share_us = t0.elapsed().as_secs_f64() * 1e6 / occupancy as f64;
+    for (job, outputs) in batch.into_iter().zip(run.tenant_outputs) {
+        inner
+            .stats
+            .record_precision(job.req.session, engine.min_plan_margin_bits());
+        let latency_us = job.enqueued.elapsed().as_secs_f64() * 1e6;
+        inner.stats.record_done(true, latency_us, busy_share_us);
+        let response = Response {
+            run: EncryptedRun {
+                outputs,
+                total_us: run.total_us,
+                op_us: run.op_us.clone(),
+                peak_live: run.peak_live,
+                peak_bytes: run.peak_bytes,
+                degree: run.degree,
+                chain_len: run.chain_len,
+                min_margin_bits: run.min_margin_bits,
+            },
+            cache_hit,
+            plan_key: key,
+            latency_us,
+            retries: 0,
+            batch_occupancy: occupancy,
+        };
+        // A dropped receiver means the client gave up; nothing to do.
+        let _ = job.reply.send(Ok(response));
+    }
+    Ok(extras)
+}

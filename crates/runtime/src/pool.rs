@@ -12,8 +12,8 @@
 //!
 //! The pool is built so one bad request cannot take the service down:
 //!
-//! - **Panic isolation** — [`Inner::serve`] wraps request processing in
-//!   `catch_unwind`. A panic becomes a typed
+//! - **Panic isolation** — `Inner::serve_with` wraps request processing
+//!   in `catch_unwind`. A panic becomes a typed
 //!   [`RuntimeError::Panicked`] response (the client always gets exactly
 //!   one terminal answer), and the worker then recycles itself through
 //!   its supervisor loop, which re-enters the serving loop and counts a
@@ -34,6 +34,12 @@
 //! - **Chaos** — [`ChaosOptions`] turns all of the above against itself:
 //!   injected faults, latency, and panics on every Nth request, used by
 //!   the `chaos_soak` test and `hecatec --serve --chaos`.
+//! - **Slot batching** — with [`RuntimeConfig::max_batch`] > 1 the
+//!   dequeue path runs through the `batch` module's coalescing
+//!   scheduler, which packs compatible queued requests into one shared
+//!   ciphertext. Failures inside a shared run degrade every member to
+//!   the solo path above; batching never weakens any of the per-request
+//!   guarantees.
 
 use crate::cache::{plan_key, PlanCache};
 use crate::chaos::{ChaosInjection, ChaosOptions, ChaosState};
@@ -94,6 +100,16 @@ pub struct RuntimeConfig {
     /// Chaos-injection policy, for resilience testing. `None` (the
     /// default) serves normally.
     pub chaos: Option<ChaosOptions>,
+    /// How long a worker that dequeued a request waits for compatible
+    /// requests (same plan) to coalesce into one slot-batched execution.
+    /// Zero (the default) disables waiting — a batch still forms from
+    /// requests already queued when [`RuntimeConfig::max_batch`] permits.
+    pub batch_window: Duration,
+    /// Upper bound on how many compatible requests share one packed
+    /// ciphertext. `1` (the default) disables batching entirely; the
+    /// effective occupancy is always a power of two and shrinks to what
+    /// the plan's slot footprint allows.
+    pub max_batch: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -107,6 +123,8 @@ impl Default for RuntimeConfig {
             admission_budget_us: None,
             retry_backoff: Duration::from_millis(1),
             chaos: None,
+            batch_window: Duration::ZERO,
+            max_batch: 1,
         }
     }
 }
@@ -149,12 +167,15 @@ pub struct Response {
     pub latency_us: f64,
     /// Re-execution attempts this response needed (0 = first try).
     pub retries: u32,
+    /// How many requests shared the packed ciphertext that produced this
+    /// response (`1` = solo execution).
+    pub batch_occupancy: usize,
 }
 
-struct Job {
-    req: Request,
-    reply: mpsc::Sender<Result<Response, RuntimeError>>,
-    enqueued: Instant,
+pub(crate) struct Job {
+    pub(crate) req: Request,
+    pub(crate) reply: mpsc::Sender<Result<Response, RuntimeError>>,
+    pub(crate) enqueued: Instant,
 }
 
 /// True for failures worth re-executing: a guard trip or noise-budget
@@ -162,7 +183,7 @@ struct Job {
 /// and a clean re-run on a fresh engine legitimately recovers. Compile
 /// errors, missing inputs, and evaluator bugs are deterministic — a
 /// retry would only repeat them.
-fn is_transient(e: &ExecError) -> bool {
+pub(crate) fn is_transient(e: &ExecError) -> bool {
     matches!(
         e,
         ExecError::Guard { .. } | ExecError::BudgetExhausted { .. }
@@ -181,13 +202,20 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-struct Inner {
-    config: RuntimeConfig,
-    cache: PlanCache,
-    sessions: SessionManager,
-    stats: Arc<RuntimeStats>,
-    queue: Mutex<mpsc::Receiver<Job>>,
-    chaos: ChaosState,
+pub(crate) struct Inner {
+    pub(crate) config: RuntimeConfig,
+    pub(crate) cache: PlanCache,
+    pub(crate) sessions: SessionManager,
+    pub(crate) stats: Arc<RuntimeStats>,
+    pub(crate) queue: Mutex<mpsc::Receiver<Job>>,
+    pub(crate) chaos: ChaosState,
+    /// Requests a batching worker dequeued while coalescing but found
+    /// incompatible with the forming batch. They stay logically queued
+    /// (the depth gauge is only decremented at dispatch) and are served
+    /// ahead of the channel by the next free worker.
+    pub(crate) stash: Mutex<std::collections::VecDeque<Job>>,
+    /// Shared engines for packed executions, keyed by plan and occupancy.
+    pub(crate) batch_engines: crate::batch::BatchEngines,
 }
 
 impl Inner {
@@ -209,24 +237,59 @@ impl Inner {
 
     fn worker_loop(&self) {
         loop {
+            // Jobs set aside by a coalescing worker are served before the
+            // channel: they were submitted earlier than anything still in
+            // it.
+            if let Some(job) = self.pop_stashed() {
+                self.dispatch(job);
+                continue;
+            }
             // Hold the queue lock only for the blocking receive;
             // processing happens unlocked so workers overlap. Poison is
             // recovered so a respawned worker can always reacquire.
             let job = { self.queue.lock().unwrap_or_else(|e| e.into_inner()).recv() };
             match job {
-                Ok(job) => self.serve(job),
-                Err(_) => return, // runtime shut down
+                Ok(job) => self.dispatch(job),
+                Err(_) => {
+                    // Channel closed: drain any stashed jobs so shutdown
+                    // never drops a request that was accepted.
+                    while let Some(job) = self.pop_stashed() {
+                        self.dispatch(job);
+                    }
+                    return;
+                }
             }
         }
     }
 
-    fn serve(&self, job: Job) {
+    pub(crate) fn pop_stashed(&self) -> Option<Job> {
+        self.stash
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    /// Routes one dequeued job: into the batching coalescer when enabled,
+    /// otherwise straight to solo serving with its chaos decision.
+    fn dispatch(&self, job: Job) {
         self.stats.record_dequeue();
         // Queue wait crosses threads (enqueued by the client, dequeued by
         // this worker), so it is a Complete event rather than a span.
         trace::complete_with("queue-wait", job.enqueued, || {
             vec![("session", job.req.session.into())]
         });
+        if self.config.max_batch > 1 {
+            crate::batch::serve_coalesced(self, job);
+        } else {
+            let injection = self.chaos.next(self.config.chaos.as_ref());
+            self.serve_with(job, injection);
+        }
+    }
+
+    /// Serves one job solo: panic isolation, typed response, stats. The
+    /// chaos decision is made by the caller so a batch member degraded to
+    /// solo execution never draws a second injection.
+    pub(crate) fn serve_with(&self, job: Job, injection: Option<ChaosInjection>) {
         let mut span = trace::span_with("request", || {
             vec![
                 ("session", job.req.session.into()),
@@ -238,20 +301,21 @@ impl Inner {
         // Panic isolation boundary: whatever happens inside `process` —
         // a compiler bug, an executor bug, an injected chaos panic — the
         // client gets exactly one typed terminal response.
-        let (result, repanic) = match catch_unwind(AssertUnwindSafe(|| self.process(&job))) {
-            Ok(result) => (result, None),
-            Err(payload) => {
-                self.stats.record_panic();
-                let message = panic_message(payload.as_ref());
-                trace::mark_with("panic-recovered", || {
-                    vec![
-                        ("session", job.req.session.into()),
-                        ("message", message.as_str().into()),
-                    ]
-                });
-                (Err(RuntimeError::Panicked { message }), Some(payload))
-            }
-        };
+        let (result, repanic) =
+            match catch_unwind(AssertUnwindSafe(|| self.process_with(&job, injection))) {
+                Ok(result) => (result, None),
+                Err(payload) => {
+                    self.stats.record_panic();
+                    let message = panic_message(payload.as_ref());
+                    trace::mark_with("panic-recovered", || {
+                        vec![
+                            ("session", job.req.session.into()),
+                            ("message", message.as_str().into()),
+                        ]
+                    });
+                    (Err(RuntimeError::Panicked { message }), Some(payload))
+                }
+            };
         let busy_us = t0.elapsed().as_secs_f64() * 1e6;
         let latency_us = job.enqueued.elapsed().as_secs_f64() * 1e6;
         self.stats.record_done(result.is_ok(), latency_us, busy_us);
@@ -271,16 +335,21 @@ impl Inner {
         }
     }
 
-    fn process(&self, job: &Job) -> Result<Response, RuntimeError> {
+    /// One request's full solo lifecycle: plan resolution, chaos
+    /// application, execution, and the retry loop. The injection is
+    /// decided by the caller, once per request, not per attempt: a retry
+    /// of an injected failure runs clean, so the soak test proves the
+    /// retry path actually recovers.
+    fn process_with(
+        &self,
+        job: &Job,
+        injection: Option<ChaosInjection>,
+    ) -> Result<Response, RuntimeError> {
         let req = &job.req;
         let key = plan_key(&req.func, req.scheme, &req.options);
         let cancel = req
             .deadline
             .map(|d| CancelToken::with_deadline(job.enqueued + d));
-        // Chaos is decided once per request, not per attempt: a retry of
-        // an injected failure runs clean, so the soak test proves the
-        // retry path actually recovers.
-        let injection = self.chaos.next(self.config.chaos.as_ref());
         let mut attempt: u32 = 0;
         loop {
             if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
@@ -342,6 +411,7 @@ impl Inner {
                         plan_key: key,
                         latency_us: 0.0,
                         retries: attempt,
+                        batch_occupancy: 1,
                     });
                 }
                 Err(ExecError::Cancelled { .. }) => {
@@ -400,6 +470,8 @@ impl Runtime {
             stats,
             queue: Mutex::new(rx),
             chaos: ChaosState::default(),
+            stash: Mutex::new(std::collections::VecDeque::new()),
+            batch_engines: crate::batch::BatchEngines::default(),
             config,
         });
         let workers = (0..inner.config.workers.max(1))

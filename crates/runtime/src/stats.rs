@@ -22,6 +22,11 @@ use std::time::Instant;
 /// latency in `[2^k, 2^{k+1})` microseconds; the last bucket is open).
 pub const LATENCY_BUCKETS: usize = 24;
 
+/// Number of power-of-two batch-occupancy buckets (bucket `k` counts
+/// batches whose occupancy fell in `[2^k, 2^{k+1})`; occupancies are
+/// powers of two, so each bucket is one occupancy and bucket 0 is solo).
+pub const OCCUPANCY_BUCKETS: usize = 8;
+
 /// Shared metric handles for one [`crate::Runtime`], backed by a
 /// per-instance telemetry registry.
 #[derive(Debug)]
@@ -52,6 +57,14 @@ pub struct RuntimeStats {
     /// Worker threads respawned after a panic escaped the request
     /// isolation boundary.
     worker_respawns: Counter,
+    /// Requests served as members of a shared slot-batched execution
+    /// (occupancy ≥ 2; solo requests never count here).
+    batched_requests: Counter,
+    /// Shared batched executions performed (each serving ≥ 2 requests).
+    batches_executed: Counter,
+    /// Batch occupancy histogram (power-of-two buckets; solo runs are
+    /// not observed).
+    batch_occupancy: Histogram,
     /// Requests currently queued, waiting for a worker.
     queue_depth: Gauge,
     /// High-water mark of `queue_depth`.
@@ -85,6 +98,10 @@ impl Default for RuntimeStats {
             timeouts: registry.counter("hecate_runtime_timeouts_total"),
             shed: registry.counter("hecate_runtime_shed_total"),
             worker_respawns: registry.counter("hecate_runtime_worker_respawns_total"),
+            batched_requests: registry.counter("hecate_runtime_batched_requests_total"),
+            batches_executed: registry.counter("hecate_runtime_batches_executed_total"),
+            batch_occupancy: registry
+                .histogram("hecate_runtime_batch_occupancy", OCCUPANCY_BUCKETS),
             queue_depth: registry.gauge("hecate_runtime_queue_depth"),
             peak_queue_depth: registry.gauge("hecate_runtime_peak_queue_depth"),
             busy_us: registry.counter("hecate_runtime_busy_us_total"),
@@ -226,6 +243,14 @@ impl RuntimeStats {
         self.worker_respawns.inc();
     }
 
+    /// Records one shared batched execution that served `occupancy`
+    /// requests from a single ciphertext.
+    pub fn record_batch(&self, occupancy: usize) {
+        self.batched_requests.add(occupancy as u64);
+        self.batches_executed.inc();
+        self.batch_occupancy.observe(occupancy as u64);
+    }
+
     /// Records a finished request with its end-to-end latency and the
     /// worker time it consumed.
     pub fn record_done(&self, ok: bool, latency_us: f64, busy_us: f64) {
@@ -243,6 +268,7 @@ impl RuntimeStats {
         let uptime_us = self.started.elapsed().as_secs_f64() * 1e6;
         let busy = self.busy_us.get();
         let buckets = self.latency.bucket_counts();
+        let occupancy_buckets = self.batch_occupancy.bucket_counts();
         StatsSnapshot {
             cache_hits: self.cache_hits.get(),
             cache_misses: self.cache_misses.get(),
@@ -255,11 +281,14 @@ impl RuntimeStats {
             timeouts: self.timeouts.get(),
             shed: self.shed.get(),
             worker_respawns: self.worker_respawns.get(),
+            batched_requests: self.batched_requests.get(),
+            batches_executed: self.batches_executed.get(),
             queue_depth: self.queue_depth.get().max(0) as u64,
             peak_queue_depth: self.peak_queue_depth.get().max(0) as u64,
             busy_us: busy,
             latency_sum_us: self.latency.sum(),
             latency_buckets: std::array::from_fn(|k| buckets[k]),
+            batch_occupancy_buckets: std::array::from_fn(|k| occupancy_buckets[k]),
             workers,
             utilization: if uptime_us > 0.0 && workers > 0 {
                 (busy as f64 / (uptime_us * workers as f64)).min(1.0)
@@ -298,6 +327,10 @@ pub struct StatsSnapshot {
     pub shed: u64,
     /// Worker threads respawned after an escaped panic.
     pub worker_respawns: u64,
+    /// Requests served as members of a shared batched execution.
+    pub batched_requests: u64,
+    /// Shared batched executions performed.
+    pub batches_executed: u64,
     /// Requests currently queued.
     pub queue_depth: u64,
     /// High-water mark of the queue depth.
@@ -309,6 +342,9 @@ pub struct StatsSnapshot {
     /// Latency histogram: bucket `k` counts requests in
     /// `[2^k, 2^{k+1})` µs.
     pub latency_buckets: [u64; LATENCY_BUCKETS],
+    /// Batch occupancy histogram: bucket `k` counts batches of occupancy
+    /// `[2^k, 2^{k+1})` (solo runs are not observed).
+    pub batch_occupancy_buckets: [u64; OCCUPANCY_BUCKETS],
     /// Number of worker threads the runtime was configured with.
     pub workers: usize,
     /// Fraction of worker wall-clock spent busy since startup, in `[0,1]`.
@@ -338,18 +374,25 @@ impl StatsSnapshot {
     /// Renders the snapshot as a JSON object.
     pub fn to_json(&self) -> String {
         let buckets: Vec<String> = self.latency_buckets.iter().map(|c| c.to_string()).collect();
+        let occupancy: Vec<String> = self
+            .batch_occupancy_buckets
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
         format!(
             concat!(
                 "{{\"cache_hits\":{},\"cache_misses\":{},",
                 "\"cache_evictions\":{},\"compiles\":{},",
                 "\"completed\":{},\"failed\":{},\"panics\":{},",
                 "\"retries\":{},\"timeouts\":{},\"shed\":{},",
-                "\"worker_respawns\":{},\"queue_depth\":{},",
+                "\"worker_respawns\":{},\"batched_requests\":{},",
+                "\"batches_executed\":{},\"queue_depth\":{},",
                 "\"peak_queue_depth\":{},\"busy_us\":{},\"workers\":{},",
                 "\"utilization\":{:.4},\"mean_latency_us\":{:.1},",
                 "\"latency_p50_us\":{:.1},\"latency_p95_us\":{:.1},",
                 "\"latency_p99_us\":{:.1},",
-                "\"latency_buckets_pow2_us\":[{}]}}"
+                "\"latency_buckets_pow2_us\":[{}],",
+                "\"batch_occupancy_buckets_pow2\":[{}]}}"
             ),
             self.cache_hits,
             self.cache_misses,
@@ -362,6 +405,8 @@ impl StatsSnapshot {
             self.timeouts,
             self.shed,
             self.worker_respawns,
+            self.batched_requests,
+            self.batches_executed,
             self.queue_depth,
             self.peak_queue_depth,
             self.busy_us,
@@ -371,7 +416,8 @@ impl StatsSnapshot {
             self.latency_quantile_us(0.5),
             self.latency_quantile_us(0.95),
             self.latency_quantile_us(0.99),
-            buckets.join(",")
+            buckets.join(","),
+            occupancy.join(",")
         )
     }
 }
@@ -399,6 +445,8 @@ mod tests {
         s.record_timeout();
         s.record_shed();
         s.record_respawn();
+        s.record_batch(4);
+        s.record_batch(2);
         let snap = s.snapshot(2);
         assert_eq!(snap.cache_hits, 2);
         assert_eq!(snap.cache_misses, 1);
@@ -411,6 +459,11 @@ mod tests {
         assert_eq!(snap.timeouts, 1);
         assert_eq!(snap.shed, 1);
         assert_eq!(snap.worker_respawns, 1);
+        assert_eq!(snap.batched_requests, 6);
+        assert_eq!(snap.batches_executed, 2);
+        // Occupancy 4 lands in pow2 bucket 2, occupancy 2 in bucket 1.
+        assert_eq!(snap.batch_occupancy_buckets[2], 1);
+        assert_eq!(snap.batch_occupancy_buckets[1], 1);
         assert_eq!(snap.queue_depth, 1);
         assert_eq!(snap.peak_queue_depth, 2);
         assert_eq!(snap.busy_us, 82);
@@ -440,6 +493,8 @@ mod tests {
         let mut latency_buckets = [0u64; LATENCY_BUCKETS];
         latency_buckets[6] = 1; // one request at 100 µs
         latency_buckets[1] = 1; // one request at 3 µs
+        let mut batch_occupancy_buckets = [0u64; OCCUPANCY_BUCKETS];
+        batch_occupancy_buckets[2] = 1; // one batch of occupancy 4
         let snap = StatsSnapshot {
             cache_hits: 2,
             cache_misses: 1,
@@ -452,11 +507,14 @@ mod tests {
             timeouts: 0,
             shed: 3,
             worker_respawns: 1,
+            batched_requests: 4,
+            batches_executed: 1,
             queue_depth: 1,
             peak_queue_depth: 2,
             busy_us: 82,
             latency_sum_us: 103,
             latency_buckets,
+            batch_occupancy_buckets,
             workers: 2,
             utilization: 0.25,
         };
@@ -467,13 +525,15 @@ mod tests {
                 "\"cache_evictions\":0,\"compiles\":1,",
                 "\"completed\":1,\"failed\":1,\"panics\":1,",
                 "\"retries\":2,\"timeouts\":0,\"shed\":3,",
-                "\"worker_respawns\":1,\"queue_depth\":1,",
+                "\"worker_respawns\":1,\"batched_requests\":4,",
+                "\"batches_executed\":1,\"queue_depth\":1,",
                 "\"peak_queue_depth\":2,\"busy_us\":82,\"workers\":2,",
                 "\"utilization\":0.2500,\"mean_latency_us\":51.5,",
                 "\"latency_p50_us\":3.0,\"latency_p95_us\":89.6,",
                 "\"latency_p99_us\":94.7,",
                 "\"latency_buckets_pow2_us\":[0,1,0,0,0,0,1,0,0,0,0,0,",
-                "0,0,0,0,0,0,0,0,0,0,0,0]}"
+                "0,0,0,0,0,0,0,0,0,0,0,0],",
+                "\"batch_occupancy_buckets_pow2\":[0,0,1,0,0,0,0,0]}"
             )
         );
         // And the live path reproduces the same buckets and sum.
@@ -502,6 +562,12 @@ mod tests {
         assert!(text.contains("hecate_runtime_retries_total 0"));
         assert!(text.contains("hecate_runtime_timeouts_total 0"));
         assert!(text.contains("hecate_runtime_worker_respawns_total 0"));
+        s.record_batch(4);
+        let text = s.prometheus();
+        assert!(text.contains("hecate_runtime_batched_requests_total 4"));
+        assert!(text.contains("hecate_runtime_batches_executed_total 1"));
+        assert!(text.contains("hecate_runtime_batch_occupancy_count 1"));
+        assert!(text.contains("hecate_runtime_batch_occupancy_sum 4"));
     }
 
     #[test]

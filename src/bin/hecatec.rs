@@ -23,6 +23,14 @@
 //!                                   warns if it names a different source)
 //!   --serve                         serve mode: run all files through hecate-runtime
 //!   --jobs N                        serve-mode worker threads (default 2)
+//!   --max-batch N                   serve mode: coalesce up to N queued same-plan
+//!                                   requests into one packed ciphertext, one slot
+//!                                   block per tenant (default 1 = batching off);
+//!                                   with --audit: audit a slot-batched run at
+//!                                   occupancy N (largest power of two <= N)
+//!   --batch-window-us U             serve mode: how long a worker waits for batch
+//!                                   partners after dequeuing a request (default 0:
+//!                                   only already-queued requests coalesce)
 //!   --kernel-jobs N                 per-limb kernel threads inside NTT and
 //!                                   key switching (default 1; bit-identical
 //!                                   results at any N)
@@ -126,6 +134,8 @@ struct Args {
     load_plan: Option<String>,
     serve: bool,
     jobs: usize,
+    max_batch: usize,
+    batch_window_us: u64,
     kernel_jobs: usize,
     hoist: bool,
     repeat: usize,
@@ -164,6 +174,8 @@ fn parse_args() -> Result<Args, String> {
         load_plan: None,
         serve: false,
         jobs: 2,
+        max_batch: 1,
+        batch_window_us: 0,
         kernel_jobs: 1,
         hoist: true,
         repeat: 2,
@@ -224,6 +236,19 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n > 0)
                     .ok_or("bad --jobs")?
+            }
+            "--max-batch" => {
+                out.max_batch = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("bad --max-batch")?
+            }
+            "--batch-window-us" => {
+                out.batch_window_us = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --batch-window-us")?
             }
             "--kernel-jobs" => {
                 out.kernel_jobs = args
@@ -356,6 +381,12 @@ fn parse_args() -> Result<Args, String> {
                 .into(),
         );
     }
+    if out.batch_window_us > 0 && !out.serve {
+        return Err("--batch-window-us requires --serve".into());
+    }
+    if out.max_batch > 1 && !(out.serve || out.audit) {
+        return Err("--max-batch requires --serve or --audit".into());
+    }
     Ok(out)
 }
 
@@ -417,6 +448,8 @@ fn serve(args: &Args, opts: &CompileOptions, metrics_extra: &mut String) -> u8 {
         backend: backend_options(args),
         admission_budget_us: args.admission_budget_ms.map(|ms| ms * 1e3),
         chaos,
+        max_batch: args.max_batch,
+        batch_window: Duration::from_micros(args.batch_window_us),
         ..RuntimeConfig::default()
     };
     if let Some(cap) = args.queue_cap {
@@ -451,6 +484,12 @@ fn serve(args: &Args, opts: &CompileOptions, metrics_extra: &mut String) -> u8 {
         println!(
             "chaos: injecting {} into every {n}th request",
             args.chaos_kind
+        );
+    }
+    if args.max_batch > 1 {
+        println!(
+            "batching: up to {} same-plan request(s) per packed ciphertext (window {}µs)",
+            args.max_batch, args.batch_window_us
         );
     }
     let results = rt.run_batch(reqs);
@@ -631,7 +670,7 @@ fn estimator_report(args: &Args, opts: &CompileOptions, events_out: &mut Vec<Eve
 /// preset). Returns 6 when any probe's measured error exceeds 10× its
 /// prediction or any waterline margin is negative.
 fn audit_mode(args: &Args, opts: &CompileOptions) -> u8 {
-    use hecate::backend::{audit_encrypted, AuditOptions};
+    use hecate::backend::{audit_batched, audit_encrypted, AuditOptions, ExecEngine, ExecError};
 
     /// One audit case: (label, function, inputs, compile options).
     type AuditCase = (String, Function, HashMap<String, Vec<f64>>, CompileOptions);
@@ -690,61 +729,129 @@ fn audit_mode(args: &Args, opts: &CompileOptions) -> u8 {
                 Err(code) => return code,
             }
         };
-        let report = match audit_encrypted(&prog, inputs, &bopts, &audit_opts) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("hecatec: {label}: execution failed: {e}");
-                return 5;
+        // With --max-batch N, audit one slot-batched run at the largest
+        // power-of-two occupancy <= N (the packed layout needs a power of
+        // two). File cases vary the synthetic input seed per tenant so the
+        // demux proves isolation; bench cases ship fixed inputs, shared by
+        // every tenant. An infeasible footprint degrades to a solo audit,
+        // mirroring the serving scheduler.
+        let occupancy = if args.max_batch > 1 {
+            let mut occ = 1usize;
+            while occ * 2 <= args.max_batch {
+                occ *= 2;
+            }
+            occ
+        } else {
+            1
+        };
+        let reports: Vec<(String, hecate::backend::AuditReport)> = if occupancy > 1 {
+            let mut batch_opts = bopts.clone();
+            batch_opts.batch_occupancy = occupancy;
+            match ExecEngine::new(Arc::new(prog.clone()), &batch_opts) {
+                Ok(engine) => {
+                    let tenant_inputs: Vec<HashMap<String, Vec<f64>>> = (0..occupancy)
+                        .map(|t| {
+                            if args.bench.is_some() {
+                                inputs.clone()
+                            } else {
+                                synth_inputs(func, 1 + t as u64)
+                            }
+                        })
+                        .collect();
+                    let refs: Vec<&HashMap<String, Vec<f64>>> = tenant_inputs.iter().collect();
+                    match audit_batched(&engine, &refs, &audit_opts) {
+                        Ok(rs) => rs
+                            .into_iter()
+                            .enumerate()
+                            .map(|(t, r)| (format!("{label} [tenant {t}/{occupancy}]"), r))
+                            .collect(),
+                        Err(e) => {
+                            eprintln!("hecatec: {label}: execution failed: {e}");
+                            return 5;
+                        }
+                    }
+                }
+                Err(ExecError::BatchUnsupported {
+                    occupancy,
+                    block,
+                    needed,
+                }) => {
+                    eprintln!(
+                        "hecatec: {label}: batching infeasible at occupancy {occupancy} \
+                         (footprint needs {needed} slots, block holds {block}); auditing solo"
+                    );
+                    match audit_encrypted(&prog, inputs, &bopts, &audit_opts) {
+                        Ok(r) => vec![(label.clone(), r)],
+                        Err(e) => {
+                            eprintln!("hecatec: {label}: execution failed: {e}");
+                            return 5;
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("hecatec: {label}: engine construction failed: {e}");
+                    return 5;
+                }
+            }
+        } else {
+            match audit_encrypted(&prog, inputs, &bopts, &audit_opts) {
+                Ok(r) => vec![(label.clone(), r)],
+                Err(e) => {
+                    eprintln!("hecatec: {label}: execution failed: {e}");
+                    return 5;
+                }
             }
         };
-        let probed = report
-            .rows
-            .iter()
-            .filter(|r| r.measured_rms.is_some())
-            .count();
-        println!(
-            "audit {label}: {} cipher op(s), {probed} probed, {:.1}ms encrypted",
-            report.rows.len(),
-            report.total_us / 1e3
-        );
-        println!(
-            "  {:>4} {:<10} {:>4} {:>7} {:>8} {:>11} {:>11} {:>7}",
-            "op", "kind", "lvl", "scale", "margin", "predicted", "measured", "ratio"
-        );
-        for row in &report.rows {
-            let (measured, ratio) = match row.measured_rms {
-                Some(m) => (
-                    format!("{m:>11.3e}"),
-                    format!("{:>7.2}", m / row.predicted_rms.max(audit_opts.floor)),
-                ),
-                None => (format!("{:>11}", "-"), format!("{:>7}", "-")),
-            };
+        for (label, report) in &reports {
+            let probed = report
+                .rows
+                .iter()
+                .filter(|r| r.measured_rms.is_some())
+                .count();
             println!(
-                "  {:>4} {:<10} {:>4} {:>7.1} {:>8.2} {:>11.3e} {measured} {ratio}{}",
-                row.op,
-                row.mnemonic,
-                row.level,
-                row.scale_bits,
-                row.margin_bits,
-                row.predicted_rms,
-                if row.is_output { "  <- output" } else { "" }
+                "audit {label}: {} cipher op(s), {probed} probed, {:.1}ms encrypted",
+                report.rows.len(),
+                report.total_us / 1e3
             );
-        }
-        println!(
-            "  tightest waterline margin: {:.2} bits",
-            report.min_margin_bits
-        );
-        let violations = report.violations(&audit_opts);
-        if violations.is_empty() {
             println!(
-                "  audit PASSED (worst measured/predicted ratio {:.2})",
-                report.worst_ratio(audit_opts.floor)
+                "  {:>4} {:<10} {:>4} {:>7} {:>8} {:>11} {:>11} {:>7}",
+                "op", "kind", "lvl", "scale", "margin", "predicted", "measured", "ratio"
             );
-        } else {
-            for v in &violations {
-                eprintln!("  audit VIOLATION: {v}");
+            for row in &report.rows {
+                let (measured, ratio) = match row.measured_rms {
+                    Some(m) => (
+                        format!("{m:>11.3e}"),
+                        format!("{:>7.2}", m / row.predicted_rms.max(audit_opts.floor)),
+                    ),
+                    None => (format!("{:>11}", "-"), format!("{:>7}", "-")),
+                };
+                println!(
+                    "  {:>4} {:<10} {:>4} {:>7.1} {:>8.2} {:>11.3e} {measured} {ratio}{}",
+                    row.op,
+                    row.mnemonic,
+                    row.level,
+                    row.scale_bits,
+                    row.margin_bits,
+                    row.predicted_rms,
+                    if row.is_output { "  <- output" } else { "" }
+                );
             }
-            violation_count += violations.len();
+            println!(
+                "  tightest waterline margin: {:.2} bits",
+                report.min_margin_bits
+            );
+            let violations = report.violations(&audit_opts);
+            if violations.is_empty() {
+                println!(
+                    "  audit PASSED (worst measured/predicted ratio {:.2})",
+                    report.worst_ratio(audit_opts.floor)
+                );
+            } else {
+                for v in &violations {
+                    eprintln!("  audit VIOLATION: {v}");
+                }
+                violation_count += violations.len();
+            }
         }
     }
     if violation_count > 0 {
@@ -929,7 +1036,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("hecatec: {e}");
-            eprintln!("usage: hecatec <file.heir>... [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet] [--strict|--fallback] [--save-plan P] [--load-plan P] [--serve] [--jobs N] [--kernel-jobs N] [--no-hoist] [--repeat K] [--trace P] [--trace-format jsonl|chrome] [--metrics P] [--estimator-report] [--audit] [--audit-checkpoints N] [--bench NAME|all] [--precision-trace P] [--max-rms B] [--chaos N] [--chaos-kind fault|latency|panic|mix] [--chaos-latency-us U] [--chaos-fault SPEC] [--deadline-ms D] [--retries R] [--queue-cap N] [--admission-budget-ms B]");
+            eprintln!("usage: hecatec <file.heir>... [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet] [--strict|--fallback] [--save-plan P] [--load-plan P] [--serve] [--jobs N] [--max-batch N] [--batch-window-us U] [--kernel-jobs N] [--no-hoist] [--repeat K] [--trace P] [--trace-format jsonl|chrome] [--metrics P] [--estimator-report] [--audit] [--audit-checkpoints N] [--bench NAME|all] [--precision-trace P] [--max-rms B] [--chaos N] [--chaos-kind fault|latency|panic|mix] [--chaos-latency-us U] [--chaos-fault SPEC] [--deadline-ms D] [--retries R] [--queue-cap N] [--admission-budget-ms B]");
             return ExitCode::from(2);
         }
     };
