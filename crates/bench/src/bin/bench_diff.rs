@@ -14,6 +14,13 @@
 //! regression. A missing fresh report is an error (the gate ran without
 //! its input); a missing baseline is skipped with a notice so the gate
 //! can be introduced before every report has a baseline.
+//!
+//! `--scaling-gate` additionally checks the worker-scaling rows of the
+//! fresh `BENCH_throughput.json`: the `workers/8` row must run at least
+//! 0.7x8 faster per request than `workers/1`. The check only applies on
+//! machines with 8+ cores — below that the workers time-share and the
+//! ratio measures the scheduler, not the runtime — and is skipped with
+//! a notice otherwise.
 
 #![forbid(unsafe_code)]
 
@@ -27,6 +34,38 @@ const REPORTS: [&str; 3] = [
 ];
 const DEFAULT_TOLERANCE: f64 = 0.15;
 
+/// `workers/1` median over `workers/8` median must reach this on
+/// machines with 8+ cores when `--scaling-gate` is passed.
+const SCALING_FLOOR: f64 = 0.7 * 8.0;
+
+/// Enforces the worker-scaling floor on the fresh throughput rows.
+/// Returns the number of failures (0 or 1).
+fn scaling_gate(fresh: &[BenchRow]) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let median = |name: &str| fresh.iter().find(|r| r.name == name).map(|r| r.median_us);
+    let (Some(one), Some(eight)) = (median("workers/1"), median("workers/8")) else {
+        eprintln!("bench_diff: --scaling-gate needs workers/1 and workers/8 rows");
+        std::process::exit(2);
+    };
+    let speedup = one / eight;
+    if cores < 8 {
+        println!(
+            "scaling gate: skipped on a {cores}-core machine \
+             (8-worker speedup measured {speedup:.2}x)"
+        );
+        return 0;
+    }
+    if speedup < SCALING_FLOOR {
+        eprintln!(
+            "scaling gate: 8 workers reached only {speedup:.2}x of 1 worker \
+             (floor {SCALING_FLOOR:.1}x on this {cores}-core machine)"
+        );
+        return 1;
+    }
+    println!("scaling gate: OK ({speedup:.2}x at 8 workers, floor {SCALING_FLOOR:.1}x)");
+    0
+}
+
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
@@ -39,6 +78,7 @@ fn load(path: &Path) -> Result<Vec<BenchRow>, String> {
 
 fn main() {
     let mut tolerance = DEFAULT_TOLERANCE;
+    let mut check_scaling = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -52,9 +92,10 @@ fn main() {
                     }
                 };
             }
+            "--scaling-gate" => check_scaling = true,
             other => {
                 eprintln!("bench_diff: unknown argument {other:?}");
-                eprintln!("usage: bench_diff [--tolerance FRACTION]");
+                eprintln!("usage: bench_diff [--tolerance FRACTION] [--scaling-gate]");
                 std::process::exit(2);
             }
         }
@@ -68,6 +109,17 @@ fn main() {
         let baseline_path = root.join("crates/bench/baselines").join(report);
         if !baseline_path.exists() {
             println!("{report}: no committed baseline yet, skipping");
+            // The scaling gate compares the fresh rows against each
+            // other, so it still applies without a baseline.
+            if check_scaling && report == "BENCH_throughput.json" {
+                match load(&fresh_path) {
+                    Ok(fresh) => regressions += scaling_gate(&fresh),
+                    Err(e) => {
+                        eprintln!("bench_diff: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             continue;
         }
         let fresh = match load(&fresh_path) {
@@ -106,6 +158,9 @@ fn main() {
             }
         }
         compared += deltas.len();
+        if check_scaling && report == "BENCH_throughput.json" {
+            regressions += scaling_gate(&fresh);
+        }
         for row in &fresh {
             if !baseline.iter().any(|b| b.name == row.name) {
                 println!("  {:<18} new benchmark (no baseline)", row.name);

@@ -1,0 +1,343 @@
+//! A persistent pool of kernel worker threads for per-limb striping.
+//!
+//! [`crate::par::for_each_limb`] used to spawn fresh scoped threads on
+//! every call. That made each NTT or key-switch pay thread creation and
+//! teardown, and — worse — every spawn landed on a cold thread whose
+//! `thread_local!` scratch pool ([`crate::scratch`]) was empty, so the
+//! allocator sat on the hot path of every parallel kernel invocation.
+//! This module replaces the per-call spawns with a small set of
+//! long-lived kernel workers that park on a condvar between stripes:
+//! their scratch buffers stay warm across calls, and dispatching a
+//! stripe costs one mutex hand-off instead of a thread spawn.
+//!
+//! # Claiming, not queueing
+//!
+//! A caller *claims* idle workers for the stripes it wants to offload;
+//! stripes that find no idle worker run inline on the caller's thread.
+//! Claiming never blocks and never queues, which gives two properties
+//! the serving runtime depends on:
+//!
+//! - **No oversubscription.** The pool holds at most
+//!   [`max_threads`] workers process-wide, no matter how many request
+//!   workers ask for per-limb parallelism at once. When every kernel
+//!   worker is busy, additional requests simply run their limbs inline
+//!   — degrading to exactly the serial behavior — instead of spawning
+//!   `8×N` competing threads.
+//! - **No deadlock.** A kernel worker never calls back into the pool
+//!   (the per-limb closures are leaf kernels), and callers fall back to
+//!   inline execution rather than waiting for a free worker.
+//!
+//! The ceiling is set by [`set_max_threads`] — the serving runtime's
+//! core-budget policy points it at `budget − request workers` — and
+//! defaults to `available_parallelism() − 1` (the caller's thread works
+//! stripe 0 itself).
+//!
+//! # Bit-identity
+//!
+//! Work assignment only decides *where* a stripe executes, never *what*
+//! it computes: each stripe covers a fixed contiguous index range and
+//! the per-item closure is a pure function of the item and its index.
+//! Results are therefore bit-identical whether a stripe runs on a pool
+//! worker or inline, at every ceiling and every job count — the
+//! invariant the `perf_smoke` f64::to_bits gate checks end to end.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard cap on pool workers, far above any sane core budget; the
+/// effective ceiling is the minimum of this and [`set_max_threads`].
+const HARD_CAP: usize = 64;
+
+/// Runtime-adjustable ceiling on claimable workers ([`set_max_threads`]).
+/// `usize::MAX` means "not configured": fall back to the default of
+/// `available_parallelism() − 1`.
+static CEILING: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+static POOL: OnceLock<KernelPool> = OnceLock::new();
+
+/// Caps how many kernel workers may run concurrently, process-wide.
+/// The serving runtime's core-budget policy calls this with the cores
+/// left over after request-level workers are provisioned; `0` forces
+/// every kernel inline (serial per-limb execution).
+pub fn set_max_threads(n: usize) {
+    CEILING.store(n.min(HARD_CAP), Ordering::Relaxed);
+}
+
+/// The current ceiling on concurrently claimable kernel workers.
+pub fn max_threads() -> usize {
+    let ceiling = CEILING.load(Ordering::Relaxed);
+    if ceiling == usize::MAX {
+        std::thread::available_parallelism()
+            .map(|n| n.get().saturating_sub(1))
+            .unwrap_or(0)
+            .min(HARD_CAP)
+    } else {
+        ceiling
+    }
+}
+
+/// Kernel worker threads actually spawned so far (they are created
+/// lazily, on first claim, and then live for the process lifetime).
+pub fn spawned_threads() -> usize {
+    POOL.get().map_or(0, |p| {
+        p.slots
+            .iter()
+            .filter(|s| s.spawned.load(Ordering::Relaxed))
+            .count()
+    })
+}
+
+/// One stripe hand-off to a claimed worker. The references are
+/// lifetime-erased to `'static`; see the safety contract on
+/// [`run_striped`] for why they cannot dangle.
+struct Task {
+    run: &'static (dyn Fn(usize) + Sync),
+    stripe: usize,
+    latch: &'static Latch,
+}
+
+/// Counts outstanding stripes; the dispatching caller blocks in
+/// [`Latch::wait`] until every claimed worker has called
+/// [`Latch::complete`].
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self) {
+        let mut remaining = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// One pool worker: a claim flag, a single-task mailbox, and (once
+/// claimed for the first time) a parked thread watching the mailbox.
+struct WorkerSlot {
+    /// Exclusive ownership flag; claimed with a CAS, released by the
+    /// worker after it finishes a stripe. A slot whose thread failed to
+    /// spawn stays claimed forever (see [`WorkerSlot::ensure_spawned`]).
+    claimed: AtomicBool,
+    /// Whether this slot's thread has been started.
+    spawned: AtomicBool,
+    mailbox: Mutex<Option<Task>>,
+    ready: Condvar,
+}
+
+impl WorkerSlot {
+    fn new() -> WorkerSlot {
+        WorkerSlot {
+            claimed: AtomicBool::new(false),
+            spawned: AtomicBool::new(false),
+            mailbox: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn try_claim(&self) -> bool {
+        self.claimed
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Starts this slot's thread on first claim. On spawn failure the
+    /// slot is abandoned: `claimed` stays `true` forever, so no caller
+    /// can ever enqueue into a mailbox nobody is watching, and the
+    /// caller that hit the failure runs its stripe inline.
+    fn ensure_spawned(self: &Arc<WorkerSlot>, index: usize) -> bool {
+        if self.spawned.load(Ordering::Acquire) {
+            return true;
+        }
+        let slot = self.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("hecate-kernel-{index}"))
+            .spawn(move || slot.work_loop())
+            .is_ok();
+        if spawned {
+            self.spawned.store(true, Ordering::Release);
+        }
+        spawned
+    }
+
+    fn submit(&self, task: Task) {
+        let mut mailbox = self.mailbox.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(mailbox.is_none(), "claimed slot mailbox must be empty");
+        *mailbox = Some(task);
+        drop(mailbox);
+        self.ready.notify_one();
+    }
+
+    fn work_loop(&self) {
+        loop {
+            let task = {
+                let mut mailbox = self.mailbox.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(task) = mailbox.take() {
+                        break task;
+                    }
+                    mailbox = self.ready.wait(mailbox).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            (task.run)(task.stripe);
+            // Ordering matters: `complete` is the last touch of the
+            // caller's stack frame (the closure and latch live there),
+            // and only after it may the slot be reclaimed for a task
+            // with a fresh frame.
+            task.latch.complete();
+            self.claimed.store(false, Ordering::Release);
+        }
+    }
+}
+
+struct KernelPool {
+    slots: Vec<Arc<WorkerSlot>>,
+}
+
+fn pool() -> &'static KernelPool {
+    POOL.get_or_init(|| KernelPool {
+        slots: (0..HARD_CAP).map(|_| Arc::new(WorkerSlot::new())).collect(),
+    })
+}
+
+/// Runs `run(stripe)` for every stripe in `0..nstripes`, offloading as
+/// many stripes as idle pool workers allow (bounded by the ceiling) and
+/// executing the rest — always including stripe 0 — on the caller's
+/// thread. Returns only after every stripe has completed.
+///
+/// # Safety contract (met internally)
+///
+/// The closure and latch references handed to workers are
+/// lifetime-erased to `'static`, but cannot dangle: every claimed
+/// worker's final access to them is its `latch.complete()` call, and
+/// this function does not return before `latch.wait()` has observed
+/// every completion. The borrow therefore strictly outlives all worker
+/// access.
+pub(crate) fn run_striped(nstripes: usize, run: &(dyn Fn(usize) + Sync)) {
+    debug_assert!(nstripes >= 1);
+    let ceiling = max_threads();
+    let want = (nstripes - 1).min(ceiling);
+    let mut workers: Vec<&Arc<WorkerSlot>> = Vec::with_capacity(want);
+    if want > 0 {
+        for (index, slot) in pool().slots.iter().take(ceiling).enumerate() {
+            if workers.len() == want {
+                break;
+            }
+            // A claimed slot that fails to spawn is abandoned and its
+            // stripe stays inline.
+            if slot.try_claim() && slot.ensure_spawned(index) {
+                workers.push(slot);
+            }
+        }
+    }
+    let latch = Latch::new(workers.len());
+    // SAFETY: see the function docs — `latch.wait()` below outlives
+    // every worker's access to these borrows.
+    let run_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(run) };
+    let latch_static: &'static Latch = unsafe { std::mem::transmute(&latch) };
+    for (k, slot) in workers.iter().enumerate() {
+        slot.submit(Task {
+            run: run_static,
+            stripe: 1 + k,
+            latch: latch_static,
+        });
+    }
+    run(0);
+    for stripe in (1 + workers.len())..nstripes {
+        run(stripe);
+    }
+    latch.wait();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Serializes tests that mutate the process-global ceiling.
+    static CEILING_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn all_stripes_run_exactly_once() {
+        for nstripes in [1usize, 2, 3, 7, 16] {
+            let hits: Vec<AtomicU64> = (0..nstripes).map(|_| AtomicU64::new(0)).collect();
+            run_striped(nstripes, &|s| {
+                hits[s].fetch_add(1, Ordering::SeqCst);
+            });
+            for (s, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "stripe {s} of {nstripes}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_ceiling_runs_everything_inline() {
+        let _guard = CEILING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let before = CEILING.load(Ordering::Relaxed);
+        set_max_threads(0);
+        let caller = std::thread::current().id();
+        let hits = AtomicU64::new(0);
+        run_striped(4, &|_| {
+            assert_eq!(std::thread::current().id(), caller, "must run inline");
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+        CEILING.store(before, Ordering::Relaxed);
+    }
+
+    /// Many threads striping concurrently must each see all their own
+    /// stripes exactly once — claimed workers never mix up callers.
+    #[test]
+    fn concurrent_callers_do_not_interfere() {
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                s.spawn(move || {
+                    for round in 0..50u64 {
+                        let nstripes = 1 + ((t + round) % 6) as usize;
+                        let hits: Vec<AtomicU64> =
+                            (0..nstripes).map(|_| AtomicU64::new(0)).collect();
+                        run_striped(nstripes, &|stripe| {
+                            hits[stripe].fetch_add(1, Ordering::SeqCst);
+                        });
+                        for h in &hits {
+                            assert_eq!(h.load(Ordering::SeqCst), 1);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// The pool reuses persistent threads: after a warmup call, further
+    /// calls must not grow the spawned-thread count past the ceiling.
+    #[test]
+    fn pool_threads_persist_across_calls() {
+        let _guard = CEILING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let before = CEILING.load(Ordering::Relaxed);
+        set_max_threads(2);
+        for _ in 0..20 {
+            run_striped(3, &|_| {});
+        }
+        assert!(
+            spawned_threads() <= HARD_CAP,
+            "spawn count bounded by the hard cap"
+        );
+        CEILING.store(before, Ordering::Relaxed);
+    }
+}

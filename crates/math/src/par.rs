@@ -1,4 +1,5 @@
-//! Scoped-thread striping for independent per-limb kernels.
+//! Striping for independent per-limb kernels over the persistent
+//! kernel pool.
 //!
 //! RNS keeps every prime's residue polynomial independent, so the hot
 //! per-limb loops (NTTs, key-switch inner products) parallelize without
@@ -7,11 +8,26 @@
 //! of its inputs and no worker reads another's output, the result is
 //! bit-identical at every job count — parallelism here only changes
 //! *when* a limb is computed, never *what* is computed.
+//!
+//! Stripes execute on [`crate::kernel_pool`]'s long-lived worker
+//! threads (plus the caller's own thread, which always works the first
+//! chunk), so repeated kernel calls reuse warm threads — and their warm
+//! [`crate::scratch`] pools — instead of paying a `std::thread::scope`
+//! spawn per call. When the pool has no idle worker to claim (every
+//! core already busy, or the core budget exhausted), stripes simply run
+//! inline on the caller: the parallelism degrades, the result does not
+//! change.
+
+use std::sync::Mutex;
+
+/// A stripe's take-once handoff cell: absolute base index plus the
+/// disjoint chunk it owns.
+type StripeCell<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
 
 /// Applies `f(index, item)` to every item, striped over at most `jobs`
-/// scoped threads. `jobs <= 1` (or a single item) runs inline with no
-/// thread spawn. The closure receives the item's absolute index so
-/// per-limb tables can be looked up.
+/// workers from the persistent kernel pool. `jobs <= 1` (or a single
+/// item) runs inline with no dispatch. The closure receives the item's
+/// absolute index so per-limb tables can be looked up.
 pub fn for_each_limb<T, F>(items: &mut [T], jobs: usize, f: F)
 where
     T: Send,
@@ -25,32 +41,23 @@ where
         return;
     }
     let chunk = len.div_ceil(jobs.min(len));
-    std::thread::scope(|scope| {
-        let mut rest = &mut *items;
-        let mut base = 0usize;
-        let mut first: Option<(usize, &mut [T])> = None;
-        while !rest.is_empty() {
-            let take = chunk.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            if base == 0 {
-                // The caller's thread works the first chunk itself, so
-                // `jobs = 2` spawns one thread, not two.
-                first = Some((base, head));
-            } else {
-                let fr = &f;
-                scope.spawn(move || {
-                    for (k, item) in head.iter_mut().enumerate() {
-                        fr(base + k, item);
-                    }
-                });
-            }
-            base += take;
-            rest = tail;
-        }
-        if let Some((b, head)) = first {
-            for (k, item) in head.iter_mut().enumerate() {
-                f(b + k, item);
-            }
+    // Each stripe's disjoint chunk is handed over through a take-once
+    // mutex: the kernel-pool closure is shared (`Fn`), so exclusive
+    // access to the chunks needs interior mutability. One uncontended
+    // lock per stripe — noise next to an NTT.
+    let stripes: Vec<StripeCell<'_, T>> = items
+        .chunks_mut(chunk)
+        .enumerate()
+        .map(|(k, c)| Mutex::new(Some((k * chunk, c))))
+        .collect();
+    crate::kernel_pool::run_striped(stripes.len(), &|s| {
+        let (base, chunk) = stripes[s]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("each stripe is dispatched exactly once");
+        for (k, item) in chunk.iter_mut().enumerate() {
+            f(base + k, item);
         }
     });
 }
@@ -80,5 +87,29 @@ mod tests {
         let mut one = vec![41u64];
         for_each_limb(&mut one, 4, |i, v| *v += 1 + i as u64);
         assert_eq!(one, vec![42]);
+    }
+
+    /// Stress the pooled dispatch path: many threads striping their own
+    /// arrays concurrently must all get exact results — pool workers
+    /// never cross wires between callers.
+    #[test]
+    fn concurrent_striping_is_exact() {
+        std::thread::scope(|s| {
+            for t in 0..6u64 {
+                s.spawn(move || {
+                    for round in 0..40u64 {
+                        let n = 5 + ((t + round) % 11) as usize;
+                        let mut items: Vec<u64> = (0..n as u64).map(|i| i + t).collect();
+                        for_each_limb(&mut items, 4, |i, v| {
+                            *v = v.wrapping_mul(i as u64 + 3) ^ round;
+                        });
+                        let expect: Vec<u64> = (0..n as u64)
+                            .map(|i| (i + t).wrapping_mul(i + 3) ^ round)
+                            .collect();
+                        assert_eq!(items, expect);
+                    }
+                });
+            }
+        });
     }
 }

@@ -9,8 +9,14 @@
 //! Each member's inputs are packed into a disjoint slot block of a shared
 //! ciphertext (`hecate_backend::exec::execute_batched_with`), the circuit
 //! runs once, and the results are demultiplexed back into per-member
-//! responses. Incompatible requests dequeued along the way are stashed
-//! and served next, ahead of the channel.
+//! responses. Incompatible requests dequeued along the way are pushed
+//! onto the queue's priority lane, where *any* idle worker picks them
+//! up immediately — they never wait for the coalescer that set them
+//! aside. The wait for compatible members is condvar-bounded
+//! ([`crate::shard::JobQueue::pop_deadline`]): a member arriving midway
+//! through the window wakes the coalescer at once, so small batches
+//! close as soon as their members exist instead of being quantized by a
+//! polling interval.
 //!
 //! # Failure domains
 //!
@@ -50,11 +56,7 @@ use hecate_telemetry::trace;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
-
-/// How long a coalescing worker sleeps between queue polls while its
-/// batch window is open. Short enough that the window bound dominates.
-const COALESCE_POLL: Duration = Duration::from_micros(25);
+use std::time::Instant;
 
 /// Deterministic seed for the shared engine of one (plan, occupancy)
 /// batch family: an FNV-1a mix, so batched runs are as reproducible as
@@ -164,21 +166,22 @@ fn serve_each_solo(inner: &Inner, jobs: Vec<(Job, Option<ChaosInjection>)>) {
 /// `first`, runs them as one packed execution, and demultiplexes the
 /// responses. See the module docs for the collection and degradation
 /// rules.
-pub(crate) fn serve_coalesced(inner: &Inner, first: Job) {
+pub(crate) fn serve_coalesced(inner: &Inner, worker: usize, first: Job) {
     let key = plan_key(&first.req.func, first.req.scheme, &first.req.options);
     let max = inner.config.max_batch.max(1);
     let window_end = Instant::now() + inner.config.batch_window;
     let mut members = vec![first];
+    // `pop_deadline` parks on the queue's condvar until `window_end`, so
+    // a compatible member arriving mid-window joins immediately (no
+    // polling quantization) and already-queued jobs drain instantly even
+    // with a zero window. Its filter takes same-key jobs from the
+    // priority lane too (another coalescer may have stashed a job this
+    // batch wants) while never re-popping an incompatible job this
+    // worker just set aside.
     while members.len() < max {
-        let got = {
-            inner
-                .queue
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .try_recv()
-        };
-        match got {
-            Ok(job) => {
+        let same_key = |job: &Job| plan_key(&job.req.func, job.req.scheme, &job.req.options) == key;
+        match inner.queue.pop_deadline(worker, window_end, same_key) {
+            Some(job) => {
                 if plan_key(&job.req.func, job.req.scheme, &job.req.options) == key {
                     // The member leaves the queue now; its wait ends here.
                     inner.stats.record_dequeue();
@@ -188,20 +191,11 @@ pub(crate) fn serve_coalesced(inner: &Inner, first: Job) {
                     members.push(job);
                 } else {
                     // Still logically queued (no dequeue recorded): the
-                    // next free worker serves it ahead of the channel.
-                    inner
-                        .stash
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .push_back(job);
+                    // priority lane hands it to any idle worker at once.
+                    inner.queue.push_priority(job);
                 }
             }
-            Err(_) => {
-                if Instant::now() >= window_end {
-                    break;
-                }
-                std::thread::sleep(COALESCE_POLL);
-            }
+            None => break, // window expired (or queue closed)
         }
     }
 

@@ -21,9 +21,12 @@
 //!   sequential execution at any thread count, with all per-operation
 //!   guard checks preserved.
 //!
-//! [`Runtime`] wires them together behind a request queue ([`pool`]),
-//! and [`stats`] exports cache, queue, latency, and utilization counters
-//! as JSON.
+//! [`Runtime`] wires them together behind a sharded work-stealing
+//! request queue ([`pool`]): each worker owns a dequeue shard and steals
+//! from its peers when idle, so the hot path never serializes on one
+//! lock, and a [`CoreBudget`] policy splits the machine's cores between
+//! request workers and per-request kernel jobs. [`stats`] exports cache,
+//! queue, latency, and utilization counters as JSON.
 //!
 //! The serving layer is failure-isolated: a worker panic is caught at
 //! the request boundary and returned as [`RuntimeError::Panicked`] (the
@@ -76,12 +79,13 @@ pub mod chaos;
 pub mod executor;
 pub mod pool;
 pub mod session;
+mod shard;
 pub mod stats;
 
 pub use cache::{plan_key, PlanArtifact, PlanCache};
 pub use chaos::{ChaosKind, ChaosOptions};
 pub use executor::{execute_parallel, execute_parallel_with};
-pub use pool::{Request, Response, Runtime, RuntimeConfig};
+pub use pool::{CoreBudget, CoreSplit, Request, Response, Runtime, RuntimeConfig};
 pub use session::{Session, SessionId, SessionManager};
 pub use stats::{RuntimeStats, StatsSnapshot};
 

@@ -5,8 +5,11 @@
 //! [`SessionManager`] resolves the tenant's engine (building keys on
 //! first use), and the executor runs the request — sequentially, or with
 //! [`crate::execute_parallel_with`] when `jobs_per_request > 1`. Worker
-//! threads pull from a shared bounded queue; [`RuntimeStats`] observes
-//! every stage.
+//! threads pull from a sharded, work-stealing bounded queue
+//! ([`crate::shard::JobQueue`] — one shard per worker, so dequeue never
+//! serializes the pool on a single lock); [`RuntimeStats`] observes
+//! every stage, and [`CoreBudget`] decides how many cores go to request
+//! workers versus per-request kernel jobs.
 //!
 //! # Failure domains
 //!
@@ -45,6 +48,7 @@ use crate::cache::{plan_key, PlanCache};
 use crate::chaos::{ChaosInjection, ChaosOptions, ChaosState};
 use crate::executor::execute_parallel_with;
 use crate::session::{SessionId, SessionManager};
+use crate::shard::{JobQueue, PushError};
 use crate::stats::{RuntimeStats, StatsSnapshot};
 use crate::RuntimeError;
 use hecate_backend::exec::{
@@ -55,7 +59,7 @@ use hecate_ir::Function;
 use hecate_telemetry::trace;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -68,6 +72,68 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 4096;
 
 /// Retry backoff ceiling: exponential growth stops doubling here.
 const RETRY_BACKOFF_CAP: Duration = Duration::from_millis(100);
+
+/// How the runtime divides physical cores between request-level workers
+/// and per-request kernel jobs.
+///
+/// Before this policy existed, `workers = 8` with `kernel_jobs = 8`
+/// meant up to 64 threads fighting for the machine, and the default of
+/// per-call scoped kernel threads oversubscribed even modest configs.
+/// A managed budget makes the split explicit: `workers` threads pull
+/// requests, each request's kernels may stripe over
+/// `budget / workers` jobs, and the process-wide kernel pool
+/// ([`hecate_math::kernel_pool`]) is capped at `budget − workers`
+/// threads so the two layers together never exceed the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoreBudget {
+    /// No policy: `workers` and `backend.kernel_jobs` are used exactly
+    /// as configured and the kernel pool keeps its default ceiling.
+    #[default]
+    Unmanaged,
+    /// Split `std::thread::available_parallelism()` cores.
+    Auto,
+    /// Split exactly this many cores (clamped to at least 1).
+    Cores(usize),
+}
+
+/// The resolved worker/kernel split of a [`CoreBudget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreSplit {
+    /// Request-level worker threads.
+    pub workers: usize,
+    /// Per-request kernel jobs (limb-level parallelism).
+    pub kernel_jobs: usize,
+    /// Total cores the policy budgeted; `None` when unmanaged.
+    pub budget: Option<usize>,
+}
+
+impl CoreBudget {
+    /// Resolves the policy against a requested worker count and the
+    /// configured kernel jobs. Managed budgets clamp workers to the
+    /// budget and derive `kernel_jobs = budget / workers` (at least 1),
+    /// so the product never oversubscribes the budget.
+    pub fn resolve(self, requested_workers: usize, configured_kernel_jobs: usize) -> CoreSplit {
+        let total = match self {
+            CoreBudget::Unmanaged => {
+                return CoreSplit {
+                    workers: requested_workers.max(1),
+                    kernel_jobs: configured_kernel_jobs.max(1),
+                    budget: None,
+                }
+            }
+            CoreBudget::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            CoreBudget::Cores(n) => n.max(1),
+        };
+        let workers = requested_workers.clamp(1, total);
+        CoreSplit {
+            workers,
+            kernel_jobs: (total / workers).max(1),
+            budget: Some(total),
+        }
+    }
+}
 
 /// Configuration of one [`Runtime`].
 #[derive(Debug, Clone)]
@@ -110,6 +176,11 @@ pub struct RuntimeConfig {
     /// effective occupancy is always a power of two and shrinks to what
     /// the plan's slot footprint allows.
     pub max_batch: usize,
+    /// How to divide cores between request workers and kernel jobs.
+    /// Managed budgets override `workers`/`backend.kernel_jobs` with
+    /// the resolved split and cap the process-wide kernel pool; see
+    /// [`CoreBudget`].
+    pub core_budget: CoreBudget,
 }
 
 impl Default for RuntimeConfig {
@@ -125,6 +196,7 @@ impl Default for RuntimeConfig {
             chaos: None,
             batch_window: Duration::ZERO,
             max_batch: 1,
+            core_budget: CoreBudget::Unmanaged,
         }
     }
 }
@@ -207,25 +279,23 @@ pub(crate) struct Inner {
     pub(crate) cache: PlanCache,
     pub(crate) sessions: SessionManager,
     pub(crate) stats: Arc<RuntimeStats>,
-    pub(crate) queue: Mutex<mpsc::Receiver<Job>>,
+    /// The sharded work-stealing dequeue (one shard per worker plus a
+    /// priority lane for coalescer stashes); see [`crate::shard`].
+    pub(crate) queue: JobQueue<Job>,
     pub(crate) chaos: ChaosState,
-    /// Requests a batching worker dequeued while coalescing but found
-    /// incompatible with the forming batch. They stay logically queued
-    /// (the depth gauge is only decremented at dispatch) and are served
-    /// ahead of the channel by the next free worker.
-    pub(crate) stash: Mutex<std::collections::VecDeque<Job>>,
     /// Shared engines for packed executions, keyed by plan and occupancy.
     pub(crate) batch_engines: crate::batch::BatchEngines,
 }
 
 impl Inner {
     /// The supervised serving loop: catches any panic that escapes the
-    /// per-request isolation in [`Inner::serve`], counts a respawn, and
-    /// re-enters the loop — a panicked worker recycles instead of dying.
-    /// Returns only when the submit side is dropped (shutdown).
-    fn supervise(self: Arc<Inner>) {
+    /// per-request isolation in [`Inner::serve_with`], counts a respawn,
+    /// and re-enters the loop — a panicked worker recycles instead of
+    /// dying. Returns only when the queue is closed and drained
+    /// (shutdown).
+    fn supervise(self: Arc<Inner>, worker: usize) {
         loop {
-            match catch_unwind(AssertUnwindSafe(|| self.worker_loop())) {
+            match catch_unwind(AssertUnwindSafe(|| self.worker_loop(worker))) {
                 Ok(()) => return, // queue closed: clean shutdown
                 Err(_) => {
                     self.stats.record_respawn();
@@ -235,43 +305,20 @@ impl Inner {
         }
     }
 
-    fn worker_loop(&self) {
-        loop {
-            // Jobs set aside by a coalescing worker are served before the
-            // channel: they were submitted earlier than anything still in
-            // it.
-            if let Some(job) = self.pop_stashed() {
-                self.dispatch(job);
-                continue;
-            }
-            // Hold the queue lock only for the blocking receive;
-            // processing happens unlocked so workers overlap. Poison is
-            // recovered so a respawned worker can always reacquire.
-            let job = { self.queue.lock().unwrap_or_else(|e| e.into_inner()).recv() };
-            match job {
-                Ok(job) => self.dispatch(job),
-                Err(_) => {
-                    // Channel closed: drain any stashed jobs so shutdown
-                    // never drops a request that was accepted.
-                    while let Some(job) = self.pop_stashed() {
-                        self.dispatch(job);
-                    }
-                    return;
-                }
-            }
+    fn worker_loop(&self, worker: usize) {
+        // `pop` serves the priority lane (coalescer stashes) first, then
+        // this worker's own shard, then steals from peers; it parks on
+        // the queue's condvar when idle and returns `None` only once the
+        // queue is closed *and* empty, so shutdown never drops a request
+        // that was accepted.
+        while let Some(job) = self.queue.pop(worker) {
+            self.dispatch(worker, job);
         }
-    }
-
-    pub(crate) fn pop_stashed(&self) -> Option<Job> {
-        self.stash
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .pop_front()
     }
 
     /// Routes one dequeued job: into the batching coalescer when enabled,
     /// otherwise straight to solo serving with its chaos decision.
-    fn dispatch(&self, job: Job) {
+    fn dispatch(&self, worker: usize, job: Job) {
         self.stats.record_dequeue();
         // Queue wait crosses threads (enqueued by the client, dequeued by
         // this worker), so it is a Complete event rather than a span.
@@ -279,7 +326,7 @@ impl Inner {
             vec![("session", job.req.session.into())]
         });
         if self.config.max_batch > 1 {
-            crate::batch::serve_coalesced(self, job);
+            crate::batch::serve_coalesced(self, worker, job);
         } else {
             let injection = self.chaos.next(self.config.chaos.as_ref());
             self.serve_with(job, injection);
@@ -455,39 +502,54 @@ impl Inner {
 /// A multi-tenant serving runtime (see the crate docs for the tour).
 pub struct Runtime {
     inner: Arc<Inner>,
-    submit: Option<mpsc::SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Runtime {
-    /// Starts a runtime with `config.workers` serving threads.
-    pub fn new(config: RuntimeConfig) -> Runtime {
+    /// Starts a runtime with `config.workers` serving threads. A managed
+    /// [`RuntimeConfig::core_budget`] first resolves the worker/kernel
+    /// split: it overrides `config.workers` and
+    /// `config.backend.kernel_jobs`, and caps the process-wide kernel
+    /// pool at the cores left over after the workers are provisioned.
+    pub fn new(mut config: RuntimeConfig) -> Runtime {
+        let split = config
+            .core_budget
+            .resolve(config.workers, config.backend.kernel_jobs);
+        if let Some(total) = split.budget {
+            config.workers = split.workers;
+            config.backend.kernel_jobs = split.kernel_jobs;
+            hecate_math::kernel_pool::set_max_threads(total.saturating_sub(split.workers));
+        }
+        let workers_n = config.workers.max(1);
         let stats = Arc::new(RuntimeStats::new());
-        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+        stats.record_core_split(split.kernel_jobs, split.budget.unwrap_or(0));
         let inner = Arc::new(Inner {
             cache: PlanCache::with_capacity(stats.clone(), config.plan_cache_capacity),
             sessions: SessionManager::new(config.backend.seed),
             stats,
-            queue: Mutex::new(rx),
+            queue: JobQueue::new(workers_n, config.queue_capacity.max(1)),
             chaos: ChaosState::default(),
-            stash: Mutex::new(std::collections::VecDeque::new()),
             batch_engines: crate::batch::BatchEngines::default(),
             config,
         });
-        let workers = (0..inner.config.workers.max(1))
+        let workers = (0..workers_n)
             .map(|i| {
                 let inner = inner.clone();
                 std::thread::Builder::new()
                     .name(format!("hecate-worker-{i}"))
-                    .spawn(move || inner.supervise())
+                    .spawn(move || inner.supervise(i))
                     .expect("worker thread spawns")
             })
             .collect();
-        Runtime {
-            inner,
-            submit: Some(tx),
-            workers,
-        }
+        Runtime { inner, workers }
+    }
+
+    /// The worker/kernel split this runtime resolved at startup.
+    pub fn core_split(&self) -> CoreSplit {
+        self.inner.config.core_budget.resolve(
+            self.inner.config.workers,
+            self.inner.config.backend.kernel_jobs,
+        )
     }
 
     /// Opens a tenant session and returns its id.
@@ -510,9 +572,6 @@ impl Runtime {
     /// is full ([`RuntimeError::QueueFull`]). Rejected requests count in
     /// the `shed` statistic, not `failed`.
     ///
-    /// # Panics
-    /// Panics if called after `shutdown` (the public API consumes the
-    /// runtime on shutdown, so this cannot happen from safe use).
     pub fn submit(
         &self,
         req: Request,
@@ -548,23 +607,18 @@ impl Runtime {
             reply: tx,
             enqueued: Instant::now(),
         };
-        match self
-            .submit
-            .as_ref()
-            .expect("runtime is running")
-            .try_send(job)
-        {
+        match inner.queue.push(job) {
             Ok(()) => {
                 inner.stats.record_enqueue();
                 Ok(rx)
             }
-            Err(mpsc::TrySendError::Full(_)) => {
+            Err(PushError::Full(_)) => {
                 inner.stats.record_shed();
                 Err(RuntimeError::QueueFull {
                     capacity: inner.config.queue_capacity.max(1),
                 })
             }
-            Err(mpsc::TrySendError::Disconnected(_)) => Err(RuntimeError::Shutdown),
+            Err(PushError::Closed(_)) => Err(RuntimeError::Shutdown),
         }
     }
 
@@ -600,7 +654,7 @@ impl Runtime {
 
     /// Drains the queue and joins the worker threads.
     pub fn shutdown(mut self) {
-        self.submit.take(); // close the channel: workers exit at next recv
+        self.inner.queue.close(); // workers drain what remains, then exit
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -609,7 +663,7 @@ impl Runtime {
 
 impl Drop for Runtime {
     fn drop(&mut self) {
-        self.submit.take();
+        self.inner.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }

@@ -28,10 +28,22 @@ use crate::RuntimeError;
 use hecate_backend::exec::{BackendOptions, ExecEngine};
 use hecate_ir::hash::Fnv1a;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Identifies a tenant session within one [`crate::Runtime`].
 pub type SessionId = u64;
+
+/// Shards for the manager's session map. Session ids are sequential, so
+/// `id % SESSION_SHARDS` round-robins neighbors onto different locks
+/// and concurrent lookups of different tenants never contend.
+const SESSION_SHARDS: usize = 16;
+
+/// Shards for each session's engine map. Plan keys are FNV-1a hashes,
+/// so `key % ENGINE_SHARDS` spreads them uniformly; engine lookup for
+/// one plan no longer serializes against engine *construction* (keygen,
+/// milliseconds) for another.
+const ENGINE_SHARDS: usize = 8;
 
 /// One tenant's cryptographic context.
 pub struct Session {
@@ -39,7 +51,7 @@ pub struct Session {
     /// Key-generation seed; all engines of this session derive their
     /// secret key from it, so the session has one identity across plans.
     seed: u64,
-    engines: Mutex<HashMap<u64, Arc<ExecEngine>>>,
+    engines: [Mutex<HashMap<u64, Arc<ExecEngine>>>; ENGINE_SHARDS],
 }
 
 impl Session {
@@ -47,7 +59,7 @@ impl Session {
         Session {
             id,
             seed,
-            engines: Mutex::new(HashMap::new()),
+            engines: std::array::from_fn(|_| Mutex::new(HashMap::new())),
         }
     }
 
@@ -61,17 +73,26 @@ impl Session {
         self.seed
     }
 
-    /// Locks the engine map, recovering from poisoning. Map mutations are
-    /// single `HashMap` operations and the values are `Arc`s, so a
-    /// panicked holder cannot leave the map half-updated; recovering
-    /// keeps one isolated panic from disabling the whole session.
-    fn lock_engines(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<ExecEngine>>> {
-        self.engines.lock().unwrap_or_else(|e| e.into_inner())
+    /// Locks the engine shard holding `plan_key`, recovering from
+    /// poisoning. Map mutations are single `HashMap` operations and the
+    /// values are `Arc`s, so a panicked holder cannot leave the map
+    /// half-updated; recovering keeps one isolated panic from disabling
+    /// the whole session.
+    fn lock_engines(
+        &self,
+        plan_key: u64,
+    ) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<ExecEngine>>> {
+        self.engines[(plan_key % ENGINE_SHARDS as u64) as usize]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
     }
 
     /// Number of plans this session has built engines (and keys) for.
     pub fn engine_count(&self) -> usize {
-        self.lock_engines().len()
+        self.engines
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
     }
 
     /// The engine executing `artifact` under this session's keys,
@@ -98,7 +119,7 @@ impl Session {
                 ("plan_key", artifact.key.into()),
             ]
         });
-        if let Some(engine) = self.lock_engines().get(&artifact.key) {
+        if let Some(engine) = self.lock_engines(artifact.key).get(&artifact.key) {
             span.attr("built", false.into());
             return Ok(engine.clone());
         }
@@ -108,7 +129,7 @@ impl Session {
         let engine =
             Arc::new(ExecEngine::new(artifact.prog.clone(), &opts).map_err(RuntimeError::Exec)?);
         Ok(self
-            .lock_engines()
+            .lock_engines(artifact.key)
             .entry(artifact.key)
             .or_insert(engine)
             .clone())
@@ -119,15 +140,21 @@ impl Session {
     /// failure: re-running on a rebuilt engine rules out any state the
     /// failure (or an injected fault) left behind.
     pub fn invalidate_engine(&self, plan_key: u64) {
-        self.lock_engines().remove(&plan_key);
+        self.lock_engines(plan_key).remove(&plan_key);
     }
 }
 
 /// Creates and resolves [`Session`]s.
+///
+/// The session map is sharded ([`SESSION_SHARDS`] locks keyed by
+/// `id % SESSION_SHARDS`) so resolving one tenant's session never
+/// serializes against opening, closing, or resolving another's — under
+/// the old single map, every request's session lookup shared one global
+/// critical section. Id allocation is a lock-free atomic increment.
 pub struct SessionManager {
     base_seed: u64,
-    sessions: Mutex<HashMap<SessionId, Arc<Session>>>,
-    next_id: Mutex<SessionId>,
+    sessions: [Mutex<HashMap<SessionId, Arc<Session>>>; SESSION_SHARDS],
+    next_id: AtomicU64,
 }
 
 impl SessionManager {
@@ -141,8 +168,8 @@ impl SessionManager {
     pub fn new(base_seed: u64) -> Self {
         SessionManager {
             base_seed,
-            sessions: Mutex::new(HashMap::new()),
-            next_id: Mutex::new(1),
+            sessions: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            next_id: AtomicU64::new(1),
         }
     }
 
@@ -162,26 +189,27 @@ impl SessionManager {
         SessionManager::new(h.finish())
     }
 
-    /// Locks the session map, recovering from poisoning (same reasoning
-    /// as the engine map: single-operation mutations over `Arc` values).
-    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, HashMap<SessionId, Arc<Session>>> {
-        self.sessions.lock().unwrap_or_else(|e| e.into_inner())
+    /// Locks the shard holding session `id`, recovering from poisoning
+    /// (same reasoning as the engine map: single-operation mutations
+    /// over `Arc` values).
+    fn lock_shard(
+        &self,
+        id: SessionId,
+    ) -> std::sync::MutexGuard<'_, HashMap<SessionId, Arc<Session>>> {
+        self.sessions[(id % SESSION_SHARDS as u64) as usize]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
     }
 
     /// Opens a new session with a seed derived from the base seed and the
     /// session id (FNV-mixed, so neighboring ids get unrelated seeds).
     pub fn open(&self) -> Arc<Session> {
-        let id = {
-            let mut next = self.next_id.lock().unwrap_or_else(|e| e.into_inner());
-            let id = *next;
-            *next += 1;
-            id
-        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let mut h = Fnv1a::new();
         h.write(&self.base_seed.to_le_bytes());
         h.write(&id.to_le_bytes());
         let session = Arc::new(Session::new(id, h.finish()));
-        self.lock_sessions().insert(id, session.clone());
+        self.lock_shard(id).insert(id, session.clone());
         session
     }
 
@@ -191,7 +219,7 @@ impl SessionManager {
     /// Returns [`RuntimeError::UnknownSession`] for ids never opened (or
     /// already closed).
     pub fn get(&self, id: SessionId) -> Result<Arc<Session>, RuntimeError> {
-        self.lock_sessions()
+        self.lock_shard(id)
             .get(&id)
             .cloned()
             .ok_or(RuntimeError::UnknownSession(id))
@@ -199,12 +227,15 @@ impl SessionManager {
 
     /// Closes a session, dropping its engines and key material.
     pub fn close(&self, id: SessionId) {
-        self.lock_sessions().remove(&id);
+        self.lock_shard(id).remove(&id);
     }
 
     /// Number of open sessions.
     pub fn len(&self) -> usize {
-        self.lock_sessions().len()
+        self.sessions
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
     }
 
     /// True when no session is open.
@@ -251,21 +282,49 @@ mod tests {
     fn poisoned_session_locks_are_recovered() {
         let mgr = SessionManager::new(7);
         let session = mgr.open();
+        let shard = (session.id() % SESSION_SHARDS as u64) as usize;
         std::thread::scope(|s| {
             let poisoner = s.spawn(|| {
-                let _sessions = mgr.sessions.lock().unwrap();
-                let _engines = session.engines.lock().unwrap();
-                panic!("poison both session locks");
+                let _sessions = mgr.sessions[shard].lock().unwrap();
+                let _engines: Vec<_> = session.engines.iter().map(|e| e.lock().unwrap()).collect();
+                panic!("poison the session shard and every engine shard");
             });
             assert!(poisoner.join().is_err());
         });
-        assert!(mgr.sessions.is_poisoned(), "setup must have poisoned");
+        assert!(
+            mgr.sessions[shard].is_poisoned(),
+            "setup must have poisoned"
+        );
         assert!(mgr.get(session.id()).is_ok(), "get recovers the lock");
         assert_eq!(session.engine_count(), 0, "engine map recovers too");
         let b = mgr.open();
         assert_eq!(mgr.len(), 2);
         mgr.close(b.id());
         assert_eq!(mgr.len(), 1);
+    }
+
+    /// Session ids are allocated lock-free; concurrent opens must never
+    /// collide, and every opened session must resolve afterwards.
+    #[test]
+    fn concurrent_opens_get_unique_ids() {
+        let mgr = SessionManager::new(11);
+        let ids: Vec<SessionId> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| (0..25).map(|_| mgr.open().id()).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "no duplicate session ids");
+        assert_eq!(mgr.len(), ids.len());
+        for id in ids {
+            assert!(mgr.get(id).is_ok());
+        }
     }
 
     /// The isolation invariant behind per-session keys: a ciphertext from

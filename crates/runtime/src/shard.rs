@@ -1,0 +1,404 @@
+//! The sharded MPMC job queue behind the worker pool.
+//!
+//! The first-generation pool funneled every dequeue through one
+//! `Mutex<mpsc::Receiver<Job>>`: N workers serialized on a single lock
+//! to pull work, and jobs set aside by the batch coalescer sat in a
+//! second global `Mutex<VecDeque>` that only its stasher revisited. At
+//! eight workers the receiver mutex was the whole story — throughput
+//! stayed flat because dequeue itself was the critical section.
+//!
+//! [`JobQueue`] replaces both with a sharded design:
+//!
+//! - **Per-worker shards.** Submissions round-robin across one
+//!   `Mutex<VecDeque>` per worker. A worker pops its own shard first
+//!   and *steals* from its peers' shards (scanning forward from its own
+//!   index) when it finds nothing, so two workers only ever contend
+//!   when the queue is nearly empty — exactly when contention is
+//!   harmless.
+//! - **A priority lane.** Jobs a coalescing worker dequeued but could
+//!   not batch ([`JobQueue::push_priority`]) go to a lane every worker
+//!   checks *before* the shards. Any idle peer picks a stashed job up
+//!   immediately; it no longer waits for the worker that stashed it.
+//! - **Condvar wakeup, no polling.** Workers with nothing to pop park
+//!   on a condvar. Producers push to a shard, then acquire-and-release
+//!   the sleep mutex before notifying — the classic protocol that makes
+//!   a lost wakeup impossible: a parked worker either re-checked after
+//!   the item became visible (it holds the sleep mutex between its
+//!   check and its wait) or is already waiting when the notify fires.
+//! - **Bounded, typed overflow.** A single atomic length enforces the
+//!   capacity; a full queue rejects the push with the item handed back,
+//!   which the runtime surfaces as `RuntimeError::QueueFull`.
+//!
+//! [`JobQueue::pop_deadline`] is the batch coalescer's collection
+//! primitive: it waits on the same condvar, bounded by the batch
+//! window's end, so a compatible job wakes the coalescer the moment it
+//! arrives — replacing the old 25 µs sleep-poll loop that quantized
+//! small-batch latency. Its `wanted` predicate filters the priority
+//! lane: the coalescer takes only *compatible* stashed jobs (including
+//! ones another coalescer stashed), never re-pops the incompatible job
+//! it just stashed itself (which would spin), and leaves mismatches for
+//! the next free worker.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Why a push was rejected; the item is handed back in both cases.
+#[derive(Debug)]
+pub(crate) enum PushError<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// [`JobQueue::close`] was called; no further work is accepted.
+    Closed(T),
+}
+
+/// How a pop treats the priority lane: take any stashed item, or only
+/// ones a filter accepts (the coalescer's compatible-partner check).
+enum Lane<'a, T> {
+    Any,
+    Matching(&'a dyn Fn(&T) -> bool),
+}
+
+/// A bounded, sharded multi-producer multi-consumer queue with work
+/// stealing and a priority lane. See the module docs for the topology.
+pub(crate) struct JobQueue<T> {
+    shards: Vec<Mutex<VecDeque<T>>>,
+    priority: Mutex<VecDeque<T>>,
+    /// Items across all shards and the priority lane.
+    len: AtomicUsize,
+    capacity: usize,
+    /// Round-robin cursor for shard selection on push.
+    next_shard: AtomicUsize,
+    closed: AtomicBool,
+    /// Empty critical section pairing producers' pushes with consumers'
+    /// check-then-wait; see the module docs for the wakeup protocol.
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue with one shard per expected worker and a capacity bound
+    /// (both clamped to at least 1).
+    pub(crate) fn new(shards: usize, capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            priority: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+            capacity: capacity.max(1),
+            next_shard: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    fn lock<'a, U>(m: &'a Mutex<U>) -> MutexGuard<'a, U> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Items currently queued (shards + priority lane).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len.load(Ordering::SeqCst)
+    }
+
+    /// Enqueues onto the next shard in round-robin order and wakes one
+    /// parked worker.
+    pub(crate) fn push(&self, item: T) -> Result<(), PushError<T>> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(PushError::Closed(item));
+        }
+        // Reserve a slot before touching any shard, so the bound holds
+        // exactly under concurrent pushes.
+        if self
+            .len
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.capacity).then_some(n + 1)
+            })
+            .is_err()
+        {
+            return Err(PushError::Full(item));
+        }
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        Self::lock(&self.shards[shard]).push_back(item);
+        self.notify(false);
+        Ok(())
+    }
+
+    /// Enqueues onto the priority lane, served by every worker ahead of
+    /// the shards. Used for jobs a coalescer dequeued but could not
+    /// batch: they are already past admission (never capacity-checked
+    /// again, so a stash can never deadlock against a full queue) and
+    /// remain logically queued until a worker dispatches them.
+    pub(crate) fn push_priority(&self, item: T) {
+        self.len.fetch_add(1, Ordering::SeqCst);
+        Self::lock(&self.priority).push_back(item);
+        // Wake everyone: `notify_one` could land on a coalescing worker
+        // whose `pop_deadline` ignores the priority lane, leaving the
+        // stashed job parked until an unrelated wakeup.
+        self.notify(true);
+    }
+
+    /// The lost-wakeup-free notify: acquiring (and immediately
+    /// releasing) the sleep mutex orders this producer against any
+    /// consumer between its failed pop and its wait.
+    fn notify(&self, all: bool) {
+        drop(Self::lock(&self.sleep));
+        if all {
+            self.wake.notify_all();
+        } else {
+            self.wake.notify_one();
+        }
+    }
+
+    /// One non-blocking pop attempt: priority lane first (the whole lane,
+    /// or only entries matching a filter), own shard, then steal from
+    /// peers scanning forward.
+    fn try_pop(&self, worker: usize, lane: Lane<'_, T>) -> Option<T> {
+        {
+            let mut priority = Self::lock(&self.priority);
+            let pos = match lane {
+                Lane::Any => (!priority.is_empty()).then_some(0),
+                Lane::Matching(wanted) => priority.iter().position(wanted),
+            };
+            if let Some(pos) = pos {
+                let item = priority.remove(pos).expect("position is in bounds");
+                self.len.fetch_sub(1, Ordering::SeqCst);
+                return Some(item);
+            }
+        }
+        let n = self.shards.len();
+        for k in 0..n {
+            let idx = (worker + k) % n;
+            if let Some(item) = Self::lock(&self.shards[idx]).pop_front() {
+                self.len.fetch_sub(1, Ordering::SeqCst);
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Blocks until an item is available (priority lane first, then own
+    /// shard, then stealing). Returns `None` only when the queue is
+    /// closed *and* empty, so accepted work is always drained through
+    /// shutdown.
+    pub(crate) fn pop(&self, worker: usize) -> Option<T> {
+        if let Some(item) = self.try_pop(worker, Lane::Any) {
+            return Some(item);
+        }
+        let mut guard = Self::lock(&self.sleep);
+        loop {
+            if let Some(item) = self.try_pop(worker, Lane::Any) {
+                return Some(item);
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                return None;
+            }
+            guard = self.wake.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Like [`JobQueue::pop`] but bounded by `deadline`, and taking from
+    /// the priority lane only items `wanted` accepts (see the module
+    /// docs). Returns `None` once the deadline passes with nothing
+    /// poppable, or when the queue closes. Items already queued are
+    /// returned immediately even if the deadline is in the past,
+    /// mirroring a `try_recv` drain.
+    pub(crate) fn pop_deadline(
+        &self,
+        worker: usize,
+        deadline: Instant,
+        wanted: impl Fn(&T) -> bool,
+    ) -> Option<T> {
+        if let Some(item) = self.try_pop(worker, Lane::Matching(&wanted)) {
+            return Some(item);
+        }
+        let mut guard = Self::lock(&self.sleep);
+        loop {
+            if let Some(item) = self.try_pop(worker, Lane::Matching(&wanted)) {
+                return Some(item);
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g, _timeout) = self
+                .wake
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+    }
+
+    /// Closes the queue: further pushes fail with
+    /// [`PushError::Closed`], and parked workers wake to drain what
+    /// remains and then observe `None`.
+    pub(crate) fn close(&self) {
+        {
+            let _guard = Self::lock(&self.sleep);
+            self.closed.store(true, Ordering::SeqCst);
+        }
+        self.wake.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn push_pop_roundtrip_and_capacity() {
+        let q: JobQueue<u32> = JobQueue::new(4, 3);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert!(q.push(3).is_ok());
+        assert!(matches!(q.push(4), Err(PushError::Full(4))));
+        assert_eq!(q.len(), 3);
+        let mut got = vec![q.pop(0).unwrap(), q.pop(1).unwrap(), q.pop(2).unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn closed_queue_rejects_and_drains() {
+        let q: JobQueue<u32> = JobQueue::new(2, 8);
+        q.push(7).unwrap();
+        q.close();
+        assert!(matches!(q.push(8), Err(PushError::Closed(8))));
+        // Accepted work still drains after close...
+        assert_eq!(q.pop(0), Some(7));
+        // ...and an empty closed queue reports shutdown.
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop_deadline(0, Instant::now(), |_| true), None);
+    }
+
+    /// Workers steal across shards: a job pushed while only worker 3 is
+    /// popping must reach it no matter which shard it landed on.
+    #[test]
+    fn stealing_reaches_every_shard() {
+        let q: JobQueue<u32> = JobQueue::new(8, 64);
+        for i in 0..16 {
+            q.push(i).unwrap();
+        }
+        let mut got: Vec<u32> = (0..16).map(|_| q.pop(3).unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    /// The satellite regression: a job stashed to the priority lane by
+    /// one (busy) worker is picked up promptly by an idle peer — it
+    /// does not wait for the stasher to come back.
+    #[test]
+    fn stashed_job_is_taken_by_idle_peer_promptly() {
+        let q: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(2, 8));
+        let idle = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let item = q.pop(1);
+                (item, t0.elapsed())
+            })
+        };
+        // Give the idle peer time to park on the condvar.
+        std::thread::sleep(Duration::from_millis(50));
+        // Worker 0 plays the coalescer: it stashes an incompatible job
+        // and stays "busy" (never pops again).
+        q.push_priority(42);
+        let (item, waited) = idle.join().unwrap();
+        assert_eq!(item, Some(42));
+        assert!(
+            waited < Duration::from_millis(500),
+            "stashed job waited {waited:?} for an idle peer"
+        );
+    }
+
+    /// A coalescer's deadline-bounded pop takes only stashed jobs its
+    /// filter wants (never re-popping an incompatible stash, which would
+    /// spin) and still sees shard pushes immediately, without polling.
+    #[test]
+    fn pop_deadline_filters_priority_and_wakes_on_push() {
+        let q: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(2, 8));
+        q.push_priority(1);
+        q.push_priority(6);
+        let deadline = Instant::now() + Duration::from_millis(40);
+        // Odd stashes are "incompatible": the filtered pop reaches past
+        // the mismatch at the lane's front and takes the even one.
+        assert_eq!(q.pop_deadline(0, deadline, |&x| x % 2 == 0), Some(6));
+        let deadline = Instant::now() + Duration::from_millis(40);
+        assert_eq!(
+            q.pop_deadline(0, deadline, |&x| x % 2 == 0),
+            None,
+            "an incompatible stash is never re-popped"
+        );
+        // The mismatch is still there for a full pop.
+        assert_eq!(q.pop(0), Some(1));
+
+        let waiter = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let item = q.pop_deadline(0, Instant::now() + Duration::from_secs(5), |_| false);
+                (item, t0.elapsed())
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        q.push(9).unwrap();
+        let (item, waited) = waiter.join().unwrap();
+        assert_eq!(item, Some(9));
+        assert!(
+            waited < Duration::from_secs(1),
+            "coalescer waited {waited:?} for a pushed job (condvar must wake it)"
+        );
+    }
+
+    /// Hammer the queue from many producers and consumers: every item
+    /// pushed is popped exactly once, none are lost, and the length
+    /// returns to zero.
+    #[test]
+    fn concurrent_conservation() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 250;
+        let q: Arc<JobQueue<usize>> = Arc::new(JobQueue::new(CONSUMERS, 100_000));
+        let seen = Arc::new(Mutex::new(vec![0u32; PRODUCERS * PER_PRODUCER]));
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|w| {
+                let q = q.clone();
+                let seen = seen.clone();
+                std::thread::spawn(move || {
+                    while let Some(item) = q.pop(w) {
+                        seen.lock().unwrap()[item] += 1;
+                    }
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.push(p * PER_PRODUCER + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        q.close();
+        for h in consumers {
+            h.join().unwrap();
+        }
+        assert_eq!(q.len(), 0);
+        assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+    }
+}

@@ -65,6 +65,12 @@ pub struct RuntimeStats {
     /// Batch occupancy histogram (power-of-two buckets; solo runs are
     /// not observed).
     batch_occupancy: Histogram,
+    /// Per-request kernel jobs the core-budget policy resolved (1 when
+    /// unmanaged and unset in the backend options).
+    kernel_jobs: Gauge,
+    /// Total cores the core-budget policy split between workers and
+    /// kernel jobs; 0 when the budget is unmanaged.
+    core_budget: Gauge,
     /// Requests currently queued, waiting for a worker.
     queue_depth: Gauge,
     /// High-water mark of `queue_depth`.
@@ -86,7 +92,7 @@ pub struct RuntimeStats {
 impl Default for RuntimeStats {
     fn default() -> Self {
         let registry = Registry::new();
-        RuntimeStats {
+        let stats = RuntimeStats {
             cache_hits: registry.counter("hecate_runtime_cache_hits_total"),
             cache_misses: registry.counter("hecate_runtime_cache_misses_total"),
             cache_evictions: registry.counter("hecate_runtime_cache_evictions_total"),
@@ -102,6 +108,8 @@ impl Default for RuntimeStats {
             batches_executed: registry.counter("hecate_runtime_batches_executed_total"),
             batch_occupancy: registry
                 .histogram("hecate_runtime_batch_occupancy", OCCUPANCY_BUCKETS),
+            kernel_jobs: registry.gauge("hecate_runtime_kernel_jobs"),
+            core_budget: registry.gauge("hecate_runtime_core_budget_cores"),
             queue_depth: registry.gauge("hecate_runtime_queue_depth"),
             peak_queue_depth: registry.gauge("hecate_runtime_peak_queue_depth"),
             busy_us: registry.counter("hecate_runtime_busy_us_total"),
@@ -109,7 +117,11 @@ impl Default for RuntimeStats {
             session_margins: Mutex::new(BTreeMap::new()),
             started: Instant::now(),
             registry,
-        }
+        };
+        // An unmanaged runtime still reports the serial default, so the
+        // split is always well-defined in exports.
+        stats.kernel_jobs.set(1);
+        stats
     }
 }
 
@@ -117,6 +129,14 @@ impl RuntimeStats {
     /// Fresh zeroed counters.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Records the worker/kernel core split the runtime resolved at
+    /// startup: per-request kernel jobs and the total budgeted cores
+    /// (0 when the budget is unmanaged).
+    pub fn record_core_split(&self, kernel_jobs: usize, budget_cores: usize) {
+        self.kernel_jobs.set(kernel_jobs.max(1) as i64);
+        self.core_budget.set(budget_cores as i64);
     }
 
     /// The registry backing these stats, for custom exports.
@@ -290,6 +310,8 @@ impl RuntimeStats {
             latency_buckets: std::array::from_fn(|k| buckets[k]),
             batch_occupancy_buckets: std::array::from_fn(|k| occupancy_buckets[k]),
             workers,
+            kernel_jobs: self.kernel_jobs.get().max(1) as usize,
+            core_budget: self.core_budget.get().max(0) as usize,
             utilization: if uptime_us > 0.0 && workers > 0 {
                 (busy as f64 / (uptime_us * workers as f64)).min(1.0)
             } else {
@@ -347,6 +369,11 @@ pub struct StatsSnapshot {
     pub batch_occupancy_buckets: [u64; OCCUPANCY_BUCKETS],
     /// Number of worker threads the runtime was configured with.
     pub workers: usize,
+    /// Per-request kernel jobs resolved by the core-budget policy (1
+    /// when unmanaged and unset).
+    pub kernel_jobs: usize,
+    /// Cores the core-budget policy split; 0 when unmanaged.
+    pub core_budget: usize,
     /// Fraction of worker wall-clock spent busy since startup, in `[0,1]`.
     pub utilization: f64,
 }
@@ -388,6 +415,7 @@ impl StatsSnapshot {
                 "\"worker_respawns\":{},\"batched_requests\":{},",
                 "\"batches_executed\":{},\"queue_depth\":{},",
                 "\"peak_queue_depth\":{},\"busy_us\":{},\"workers\":{},",
+                "\"kernel_jobs\":{},\"core_budget\":{},",
                 "\"utilization\":{:.4},\"mean_latency_us\":{:.1},",
                 "\"latency_p50_us\":{:.1},\"latency_p95_us\":{:.1},",
                 "\"latency_p99_us\":{:.1},",
@@ -411,6 +439,8 @@ impl StatsSnapshot {
             self.peak_queue_depth,
             self.busy_us,
             self.workers,
+            self.kernel_jobs,
+            self.core_budget,
             self.utilization,
             self.mean_latency_us(),
             self.latency_quantile_us(0.5),
@@ -467,6 +497,13 @@ mod tests {
         assert_eq!(snap.queue_depth, 1);
         assert_eq!(snap.peak_queue_depth, 2);
         assert_eq!(snap.busy_us, 82);
+        // Unmanaged default: serial kernels, no budgeted cores.
+        assert_eq!(snap.kernel_jobs, 1);
+        assert_eq!(snap.core_budget, 0);
+        s.record_core_split(4, 8);
+        let snap = s.snapshot(2);
+        assert_eq!(snap.kernel_jobs, 4);
+        assert_eq!(snap.core_budget, 8);
         // 100 µs lands in bucket 6 ([64,128)), 3 µs in bucket 1 ([2,4)).
         assert_eq!(snap.latency_buckets[6], 1);
         assert_eq!(snap.latency_buckets[1], 1);
@@ -487,9 +524,9 @@ mod tests {
     #[test]
     fn json_snapshot_format_is_pinned() {
         // The exact export string for this snapshot. Deliberately updated
-        // when the format changes (last: panics/retries/timeouts/shed/
-        // worker_respawns added with the resilience layer) so accidental
-        // drift still fails the build.
+        // when the format changes (last: kernel_jobs/core_budget added
+        // with the core-budget policy) so accidental drift still fails
+        // the build.
         let mut latency_buckets = [0u64; LATENCY_BUCKETS];
         latency_buckets[6] = 1; // one request at 100 µs
         latency_buckets[1] = 1; // one request at 3 µs
@@ -516,6 +553,8 @@ mod tests {
             latency_buckets,
             batch_occupancy_buckets,
             workers: 2,
+            kernel_jobs: 4,
+            core_budget: 8,
             utilization: 0.25,
         };
         assert_eq!(
@@ -528,6 +567,7 @@ mod tests {
                 "\"worker_respawns\":1,\"batched_requests\":4,",
                 "\"batches_executed\":1,\"queue_depth\":1,",
                 "\"peak_queue_depth\":2,\"busy_us\":82,\"workers\":2,",
+                "\"kernel_jobs\":4,\"core_budget\":8,",
                 "\"utilization\":0.2500,\"mean_latency_us\":51.5,",
                 "\"latency_p50_us\":3.0,\"latency_p95_us\":89.6,",
                 "\"latency_p99_us\":94.7,",
@@ -562,6 +602,12 @@ mod tests {
         assert!(text.contains("hecate_runtime_retries_total 0"));
         assert!(text.contains("hecate_runtime_timeouts_total 0"));
         assert!(text.contains("hecate_runtime_worker_respawns_total 0"));
+        assert!(text.contains("hecate_runtime_kernel_jobs 1"));
+        assert!(text.contains("hecate_runtime_core_budget_cores 0"));
+        s.record_core_split(4, 8);
+        let text = s.prometheus();
+        assert!(text.contains("hecate_runtime_kernel_jobs 4"));
+        assert!(text.contains("hecate_runtime_core_budget_cores 8"));
         s.record_batch(4);
         let text = s.prometheus();
         assert!(text.contains("hecate_runtime_batched_requests_total 4"));

@@ -34,6 +34,12 @@
 //!   --kernel-jobs N                 per-limb kernel threads inside NTT and
 //!                                   key switching (default 1; bit-identical
 //!                                   results at any N)
+//!   --core-budget N|auto            serve mode: split N cores (auto = all the
+//!                                   machine's cores) between the --jobs request
+//!                                   workers and per-request kernel jobs
+//!                                   (kernel jobs = budget / workers, overriding
+//!                                   --kernel-jobs); the resolved split lands in
+//!                                   the stats JSON and Prometheus export
 //!   --no-hoist                      disable rotation hoisting (shared RNS
 //!                                   decomposition across a rotation fan-out)
 //!   --repeat K                      serve mode: submit each file K times (default 2)
@@ -107,7 +113,9 @@ use hecate::ir::print::print_function;
 use hecate::ir::verify::verify_plan;
 use hecate::ir::Function;
 use hecate::math::rng::Xoshiro256;
-use hecate::runtime::{ChaosKind, ChaosOptions, Request, Runtime, RuntimeConfig, RuntimeError};
+use hecate::runtime::{
+    ChaosKind, ChaosOptions, CoreBudget, Request, Runtime, RuntimeConfig, RuntimeError,
+};
 use hecate::telemetry::{export, trace, Event};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -137,6 +145,7 @@ struct Args {
     max_batch: usize,
     batch_window_us: u64,
     kernel_jobs: usize,
+    core_budget: CoreBudget,
     hoist: bool,
     repeat: usize,
     trace: Option<String>,
@@ -177,6 +186,7 @@ fn parse_args() -> Result<Args, String> {
         max_batch: 1,
         batch_window_us: 0,
         kernel_jobs: 1,
+        core_budget: CoreBudget::Unmanaged,
         hoist: true,
         repeat: 2,
         trace: None,
@@ -256,6 +266,18 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n > 0)
                     .ok_or("bad --kernel-jobs")?
+            }
+            "--core-budget" => {
+                out.core_budget = match args.next().as_deref() {
+                    Some("auto") => CoreBudget::Auto,
+                    Some(v) => CoreBudget::Cores(
+                        v.parse()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or("bad --core-budget")?,
+                    ),
+                    None => return Err("bad --core-budget".into()),
+                }
             }
             "--no-hoist" => out.hoist = false,
             "--repeat" => {
@@ -384,6 +406,9 @@ fn parse_args() -> Result<Args, String> {
     if out.batch_window_us > 0 && !out.serve {
         return Err("--batch-window-us requires --serve".into());
     }
+    if out.core_budget != CoreBudget::Unmanaged && !out.serve {
+        return Err("--core-budget requires --serve".into());
+    }
     if out.max_batch > 1 && !(out.serve || out.audit) {
         return Err("--max-batch requires --serve or --audit".into());
     }
@@ -450,12 +475,22 @@ fn serve(args: &Args, opts: &CompileOptions, metrics_extra: &mut String) -> u8 {
         chaos,
         max_batch: args.max_batch,
         batch_window: Duration::from_micros(args.batch_window_us),
+        core_budget: args.core_budget,
         ..RuntimeConfig::default()
     };
     if let Some(cap) = args.queue_cap {
         config.queue_capacity = cap;
     }
     let rt = Runtime::new(config);
+    if args.core_budget != CoreBudget::Unmanaged {
+        let split = rt.core_split();
+        println!(
+            "core budget: {} core(s) -> {} worker(s) x {} kernel job(s)",
+            split.budget.unwrap_or(0),
+            split.workers,
+            split.kernel_jobs
+        );
+    }
     let mut reqs = Vec::new();
     let mut labels = Vec::new();
     for (k, (file, func)) in funcs.iter().enumerate() {
@@ -1036,7 +1071,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("hecatec: {e}");
-            eprintln!("usage: hecatec <file.heir>... [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet] [--strict|--fallback] [--save-plan P] [--load-plan P] [--serve] [--jobs N] [--max-batch N] [--batch-window-us U] [--kernel-jobs N] [--no-hoist] [--repeat K] [--trace P] [--trace-format jsonl|chrome] [--metrics P] [--estimator-report] [--audit] [--audit-checkpoints N] [--bench NAME|all] [--precision-trace P] [--max-rms B] [--chaos N] [--chaos-kind fault|latency|panic|mix] [--chaos-latency-us U] [--chaos-fault SPEC] [--deadline-ms D] [--retries R] [--queue-cap N] [--admission-budget-ms B]");
+            eprintln!("usage: hecatec <file.heir>... [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet] [--strict|--fallback] [--save-plan P] [--load-plan P] [--serve] [--jobs N] [--max-batch N] [--batch-window-us U] [--kernel-jobs N] [--core-budget N|auto] [--no-hoist] [--repeat K] [--trace P] [--trace-format jsonl|chrome] [--metrics P] [--estimator-report] [--audit] [--audit-checkpoints N] [--bench NAME|all] [--precision-trace P] [--max-rms B] [--chaos N] [--chaos-kind fault|latency|panic|mix] [--chaos-latency-us U] [--chaos-fault SPEC] [--deadline-ms D] [--retries R] [--queue-cap N] [--admission-budget-ms B]");
             return ExitCode::from(2);
         }
     };
