@@ -758,13 +758,18 @@ impl ExecEngine {
 
     /// A noise monitor when noise guarding is configured, else `None`.
     /// The monitor is per-run mutable state, so each run owns its own.
-    /// Packed engines bound the per-slot message mean-square by the
-    /// occupancy (see [`NoiseLedger::with_occupancy`]); at occupancy 1
-    /// the bound is 1.0, leaving the solo model bit-identical.
+    /// Packed engines use the same worst-block model as
+    /// [`NoiseLedger::with_occupancy`]: the per-slot message mean-square
+    /// is bounded by the occupancy and injected noise terms carry the
+    /// worst-block concentration multiplier, so guard verdicts and the
+    /// ledger agree on every run. At occupancy 1 both factors are 1.0,
+    /// leaving the solo model bit-identical.
     pub fn new_monitor(&self) -> Option<NoiseMonitor> {
-        self.guard
-            .max_rms
-            .map(|_| NoiseMonitor::new(self.degree()).with_message_bound(self.occupancy as f64))
+        self.guard.max_rms.map(|_| {
+            NoiseMonitor::new(self.degree())
+                .with_message_bound(self.occupancy as f64)
+                .with_noise_concentration(self.occupancy as f64)
+        })
     }
 
     fn encode_replicated(

@@ -41,6 +41,8 @@
 //! worker or inline, at every ceiling and every job count — the
 //! invariant the `perf_smoke` f64::to_bits gate checks end to end.
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
@@ -59,8 +61,22 @@ static POOL: OnceLock<KernelPool> = OnceLock::new();
 /// The serving runtime's core-budget policy calls this with the cores
 /// left over after request-level workers are provisioned; `0` forces
 /// every kernel inline (serial per-limb execution).
-pub fn set_max_threads(n: usize) {
-    CEILING.store(n.min(HARD_CAP), Ordering::Relaxed);
+///
+/// Returns the previous setting (`None` when the ceiling was still
+/// unconfigured) so callers that scope a budget to their own lifetime —
+/// the serving runtime restores it on shutdown — can hand it back to
+/// [`restore_max_threads`] instead of leaking their cap to unrelated
+/// later users of the pool.
+pub fn set_max_threads(n: usize) -> Option<usize> {
+    let prev = CEILING.swap(n.min(HARD_CAP), Ordering::Relaxed);
+    (prev != usize::MAX).then_some(prev)
+}
+
+/// Restores a ceiling previously returned by [`set_max_threads`];
+/// `None` reverts to the unconfigured default of
+/// `available_parallelism() − 1`.
+pub fn restore_max_threads(prev: Option<usize>) {
+    CEILING.store(prev.unwrap_or(usize::MAX), Ordering::Relaxed);
 }
 
 /// The current ceiling on concurrently claimable kernel workers.
@@ -98,33 +114,47 @@ struct Task {
 
 /// Counts outstanding stripes; the dispatching caller blocks in
 /// [`Latch::wait`] until every claimed worker has called
-/// [`Latch::complete`].
+/// [`Latch::complete`]. A worker whose stripe panicked hands the caught
+/// payload to `complete`, and `wait` returns the first such payload so
+/// the dispatching caller can re-raise it on its own thread.
 struct Latch {
-    remaining: Mutex<usize>,
+    state: Mutex<LatchState>,
     done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
 }
 
 impl Latch {
     fn new(count: usize) -> Latch {
         Latch {
-            remaining: Mutex::new(count),
+            state: Mutex::new(LatchState {
+                remaining: count,
+                panic: None,
+            }),
             done: Condvar::new(),
         }
     }
 
-    fn complete(&self) {
-        let mut remaining = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
-        *remaining -= 1;
-        if *remaining == 0 {
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.panic.is_none() {
+            state.panic = panic;
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
             self.done.notify_all();
         }
     }
 
-    fn wait(&self) {
-        let mut remaining = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
-        while *remaining > 0 {
-            remaining = self.done.wait(remaining).unwrap_or_else(|e| e.into_inner());
+    fn wait(&self) -> Option<Box<dyn Any + Send>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state.remaining > 0 {
+            state = self.done.wait(state).unwrap_or_else(|e| e.into_inner());
         }
+        state.panic.take()
     }
 }
 
@@ -195,12 +225,16 @@ impl WorkerSlot {
                     mailbox = self.ready.wait(mailbox).unwrap_or_else(|e| e.into_inner());
                 }
             };
-            (task.run)(task.stripe);
+            // A panicking stripe must not kill this thread: the caller
+            // is blocked in `Latch::wait` and would hang forever, and
+            // the slot would stay claimed. Catch the payload and ship
+            // it through the latch for the caller to re-raise.
+            let panic = catch_unwind(AssertUnwindSafe(|| (task.run)(task.stripe))).err();
             // Ordering matters: `complete` is the last touch of the
             // caller's stack frame (the closure and latch live there),
             // and only after it may the slot be reclaimed for a task
             // with a fresh frame.
-            task.latch.complete();
+            task.latch.complete(panic);
             self.claimed.store(false, Ordering::Release);
         }
     }
@@ -221,14 +255,22 @@ fn pool() -> &'static KernelPool {
 /// executing the rest — always including stripe 0 — on the caller's
 /// thread. Returns only after every stripe has completed.
 ///
+/// A panic in any stripe — inline or on a pool worker — propagates to
+/// the caller *after* all other stripes have finished, so the pool is
+/// left fully reusable (no claimed slots, no dead threads) and the
+/// serving layer's per-request `catch_unwind` sees kernel panics just
+/// as it did under the old scoped-thread implementation.
+///
 /// # Safety contract (met internally)
 ///
 /// The closure and latch references handed to workers are
 /// lifetime-erased to `'static`, but cannot dangle: every claimed
 /// worker's final access to them is its `latch.complete()` call, and
-/// this function does not return before `latch.wait()` has observed
-/// every completion. The borrow therefore strictly outlives all worker
-/// access.
+/// this function never returns — not even by unwinding — before a
+/// `latch.wait()` has observed every completion. Caller-side stripes
+/// run under `catch_unwind`, and the `WaitOnDrop` guard covers any
+/// residual unwind between submission and the normal wait, so the
+/// borrow strictly outlives all worker access on every path.
 pub(crate) fn run_striped(nstripes: usize, run: &(dyn Fn(usize) + Sync)) {
     debug_assert!(nstripes >= 1);
     let ceiling = max_threads();
@@ -247,22 +289,59 @@ pub(crate) fn run_striped(nstripes: usize, run: &(dyn Fn(usize) + Sync)) {
         }
     }
     let latch = Latch::new(workers.len());
-    // SAFETY: see the function docs — `latch.wait()` below outlives
-    // every worker's access to these borrows.
+    // SAFETY: see the function docs — a `latch.wait()` (normal flow or
+    // the `WaitOnDrop` guard) outlives every worker's access to these
+    // borrows on every exit path, including unwinds.
     let run_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(run) };
     let latch_static: &'static Latch = unsafe { std::mem::transmute(&latch) };
+
+    /// Blocks until all submitted stripes complete if the enclosing
+    /// frame unwinds before the normal `latch.wait()` — unwinding past
+    /// the latch would free stack memory claimed workers still touch.
+    /// `unsubmitted` counts claimed workers whose task was never
+    /// enqueued (an unwind mid-submission); their latch slots are
+    /// completed here so the wait cannot deadlock on completions that
+    /// will never arrive. Any worker panic payload is discarded: the
+    /// caller is already unwinding with its own panic.
+    struct WaitOnDrop<'a> {
+        latch: &'a Latch,
+        unsubmitted: usize,
+    }
+    impl Drop for WaitOnDrop<'_> {
+        fn drop(&mut self) {
+            for _ in 0..self.unsubmitted {
+                self.latch.complete(None);
+            }
+            drop(self.latch.wait());
+        }
+    }
+    let mut wait_guard = WaitOnDrop {
+        latch: &latch,
+        unsubmitted: workers.len(),
+    };
+
     for (k, slot) in workers.iter().enumerate() {
         slot.submit(Task {
             run: run_static,
             stripe: 1 + k,
             latch: latch_static,
         });
+        wait_guard.unsubmitted -= 1;
     }
-    run(0);
-    for stripe in (1 + workers.len())..nstripes {
-        run(stripe);
+    // Caller-side stripes run under catch_unwind so a panicking stripe
+    // cannot unwind past the wait below while workers are in flight.
+    let caller_panic = catch_unwind(AssertUnwindSafe(|| {
+        run(0);
+        for stripe in (1 + workers.len())..nstripes {
+            run(stripe);
+        }
+    }))
+    .err();
+    std::mem::forget(wait_guard); // the normal wait takes over from here
+    let worker_panic = latch.wait();
+    if let Some(payload) = caller_panic.or(worker_panic) {
+        resume_unwind(payload);
     }
-    latch.wait();
 }
 
 #[cfg(test)]
@@ -322,6 +401,38 @@ mod tests {
                 });
             }
         });
+    }
+
+    /// A panicking stripe — whether it lands on a pool worker or runs
+    /// inline on the caller — must propagate to the dispatching caller
+    /// (not hang it, not kill a pool thread silently), and the pool
+    /// must stay fully usable afterwards: no leaked claims, every
+    /// stripe of later calls still runs exactly once.
+    #[test]
+    fn stripe_panic_propagates_and_pool_survives() {
+        let _guard = CEILING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let before = CEILING.load(Ordering::Relaxed);
+        set_max_threads(2);
+        for bad_stripe in [0usize, 1, 2] {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_striped(3, &|s| {
+                    if s == bad_stripe {
+                        panic!("stripe {s} panicked");
+                    }
+                });
+            }));
+            assert!(result.is_err(), "panic in stripe {bad_stripe} must propagate");
+        }
+        for _ in 0..10 {
+            let hits: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+            run_striped(4, &|s| {
+                hits[s].fetch_add(1, Ordering::SeqCst);
+            });
+            for (s, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "stripe {s} after panic");
+            }
+        }
+        CEILING.store(before, Ordering::Relaxed);
     }
 
     /// The pool reuses persistent threads: after a warmup call, further

@@ -503,6 +503,10 @@ impl Inner {
 pub struct Runtime {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
+    /// `Some(previous ceiling)` when this runtime's managed core budget
+    /// capped the process-wide kernel pool; restored on drop so the cap
+    /// does not leak to later runtimes or non-runtime kernel callers.
+    prev_kernel_ceiling: Option<Option<usize>>,
 }
 
 impl Runtime {
@@ -510,15 +514,19 @@ impl Runtime {
     /// [`RuntimeConfig::core_budget`] first resolves the worker/kernel
     /// split: it overrides `config.workers` and
     /// `config.backend.kernel_jobs`, and caps the process-wide kernel
-    /// pool at the cores left over after the workers are provisioned.
+    /// pool at the cores left over after the workers are provisioned
+    /// (the previous ceiling is restored when the runtime is dropped).
     pub fn new(mut config: RuntimeConfig) -> Runtime {
         let split = config
             .core_budget
             .resolve(config.workers, config.backend.kernel_jobs);
+        let mut prev_kernel_ceiling = None;
         if let Some(total) = split.budget {
             config.workers = split.workers;
             config.backend.kernel_jobs = split.kernel_jobs;
-            hecate_math::kernel_pool::set_max_threads(total.saturating_sub(split.workers));
+            prev_kernel_ceiling = Some(hecate_math::kernel_pool::set_max_threads(
+                total.saturating_sub(split.workers),
+            ));
         }
         let workers_n = config.workers.max(1);
         let stats = Arc::new(RuntimeStats::new());
@@ -541,7 +549,11 @@ impl Runtime {
                     .expect("worker thread spawns")
             })
             .collect();
-        Runtime { inner, workers }
+        Runtime {
+            inner,
+            workers,
+            prev_kernel_ceiling,
+        }
     }
 
     /// The worker/kernel split this runtime resolved at startup.
@@ -666,6 +678,13 @@ impl Drop for Runtime {
         self.inner.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        // A managed core budget capped the process-global kernel pool
+        // for this runtime's lifetime only; hand the previous ceiling
+        // back so unmanaged runtimes and non-runtime kernel callers do
+        // not inherit a stale (possibly zero) cap.
+        if let Some(prev) = self.prev_kernel_ceiling.take() {
+            hecate_math::kernel_pool::restore_max_threads(prev);
         }
     }
 }

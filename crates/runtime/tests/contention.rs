@@ -223,3 +223,31 @@ fn stashed_incompatible_jobs_are_served_by_idle_peer() {
     assert_eq!(snap.queue_depth, 0);
     rt.shutdown();
 }
+
+/// A managed core budget caps the process-wide kernel pool for the
+/// runtime's lifetime only: shutdown hands the previous ceiling back,
+/// so later unmanaged runtimes and non-runtime kernel callers never
+/// inherit a stale cap (in the worst case a cap of 0, which would
+/// silently force every kernel inline).
+#[test]
+fn managed_core_budget_restores_kernel_ceiling_on_shutdown() {
+    use hecate_runtime::CoreBudget;
+    let before = hecate_math::kernel_pool::max_threads();
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        core_budget: CoreBudget::Cores(4),
+        ..RuntimeConfig::default()
+    });
+    let split = rt.core_split();
+    assert_eq!(
+        hecate_math::kernel_pool::max_threads(),
+        4 - split.workers,
+        "managed budget caps the kernel pool at budget − workers"
+    );
+    rt.shutdown();
+    assert_eq!(
+        hecate_math::kernel_pool::max_threads(),
+        before,
+        "previous ceiling restored after shutdown"
+    );
+}
