@@ -23,10 +23,11 @@
 //! The batching rows are also asserted in-process: coalesced service
 //! must reach at least 2x the solo request rate at occupancy 4.
 //!
-//! The run doubles as the disabled-tracer overhead gate: every request
-//! crosses the telemetry instrumentation in the runtime, the cache, and
-//! the executor with tracing off, and the bench asserts that the
-//! disabled span entry points account for under 2% of a served request.
+//! The run doubles as the telemetry overhead gate: every request
+//! crosses the instrumentation in the runtime, the cache, and the
+//! executor, and the bench asserts that (a) the disabled span entry
+//! points and (b) the always-on flight recorder's ring appends each
+//! account for under 2% of a served request.
 
 use hecate_apps::{benchmark, Benchmark, Preset};
 use hecate_backend::exec::BackendOptions;
@@ -204,6 +205,40 @@ fn assert_disabled_tracer_overhead(req_per_s: f64, max_ops: usize) {
     );
 }
 
+/// Upper-bounds the always-on flight recorder's share of one served
+/// request, by the same methodology as the disabled-tracer gate: the
+/// per-call cost of a recorded span (attr closure runs, two ring
+/// appends into the thread-local segment) times the entry points a
+/// request crosses, against the measured per-request wall time. This is
+/// the "recorder on forever in `--serve`" budget.
+fn assert_recorder_overhead(req_per_s: f64, max_ops: usize) {
+    use hecate_telemetry::{recorder, trace, RecorderConfig};
+    assert!(!trace::enabled(), "tracing must be off during the bench");
+    recorder::configure(&RecorderConfig::default());
+    recorder::set_enabled(true);
+    const CALLS: u64 = 1_000_000;
+    let t0 = Instant::now();
+    for i in 0..CALLS {
+        let mut span = trace::span_with("bench-recorded", || vec![("i", i.into())]);
+        span.attr("done", true.into());
+    }
+    let ns_per_span = t0.elapsed().as_nanos() as f64 / CALLS as f64;
+    recorder::set_enabled(false);
+    recorder::clear();
+    let spans_per_req = max_ops as f64 + 8.0;
+    let req_ns = 1e9 / req_per_s;
+    let share = spans_per_req * ns_per_span / req_ns;
+    println!(
+        "  flight recorder: {ns_per_span:.1}ns/span x {spans_per_req:.0} spans = {:.3}% of a request",
+        share * 100.0
+    );
+    assert!(
+        share < 0.02,
+        "always-on recorder costs {:.2}% of a request (budget 2%)",
+        share * 100.0
+    );
+}
+
 fn main() {
     let benches = workloads();
     println!(
@@ -249,6 +284,7 @@ fn main() {
     }
     let max_ops = benches.iter().map(|b| b.func.len()).max().unwrap_or(0);
     assert_disabled_tracer_overhead(baseline, max_ops);
+    assert_recorder_overhead(baseline, max_ops);
 
     println!("slot batching: degree {BATCH_DEGREE}, occupancy {BATCH_OCCUPANCY}, 1 worker");
     for bench in &benches {

@@ -43,7 +43,7 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Hard cap on pool workers, far above any sane core budget; the
@@ -89,6 +89,33 @@ pub fn max_threads() -> usize {
             .min(HARD_CAP)
     } else {
         ceiling
+    }
+}
+
+/// Stripes executed on claimed pool workers since process start.
+static POOL_STRIPES: AtomicU64 = AtomicU64::new(0);
+/// Stripes that found no idle worker and ran inline on the caller.
+static INLINE_STRIPES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative stripe counts by where they executed. The inline share
+/// (`inline / (pool + inline)`) is the pool-saturation signal: near
+/// zero means callers are getting the parallelism they ask for, near
+/// one means the ceiling (or claim contention) is forcing serial
+/// fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeCounts {
+    /// Stripes offloaded to claimed pool workers.
+    pub pool: u64,
+    /// Stripes run inline on the calling thread (including stripe 0,
+    /// which the caller always works itself).
+    pub inline: u64,
+}
+
+/// The cumulative [`StripeCounts`] since process start.
+pub fn stripe_counts() -> StripeCounts {
+    StripeCounts {
+        pool: POOL_STRIPES.load(Ordering::Relaxed),
+        inline: INLINE_STRIPES.load(Ordering::Relaxed),
     }
 }
 
@@ -288,6 +315,8 @@ pub(crate) fn run_striped(nstripes: usize, run: &(dyn Fn(usize) + Sync)) {
             }
         }
     }
+    POOL_STRIPES.fetch_add(workers.len() as u64, Ordering::Relaxed);
+    INLINE_STRIPES.fetch_add((nstripes - workers.len()) as u64, Ordering::Relaxed);
     let latch = Latch::new(workers.len());
     // SAFETY: see the function docs — a `latch.wait()` (normal flow or
     // the `WaitOnDrop` guard) outlives every worker's access to these
@@ -421,7 +450,10 @@ mod tests {
                     }
                 });
             }));
-            assert!(result.is_err(), "panic in stripe {bad_stripe} must propagate");
+            assert!(
+                result.is_err(),
+                "panic in stripe {bad_stripe} must propagate"
+            );
         }
         for _ in 0..10 {
             let hits: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
@@ -432,6 +464,30 @@ mod tests {
                 assert_eq!(h.load(Ordering::SeqCst), 1, "stripe {s} after panic");
             }
         }
+        CEILING.store(before, Ordering::Relaxed);
+    }
+
+    /// Every dispatched stripe lands in exactly one of the two
+    /// utilization counters, and a zero ceiling counts all-inline.
+    #[test]
+    fn stripe_counts_account_for_every_stripe() {
+        let _guard = CEILING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let before = CEILING.load(Ordering::Relaxed);
+        set_max_threads(0);
+        let t0 = stripe_counts();
+        run_striped(5, &|_| {});
+        let t1 = stripe_counts();
+        assert!(t1.inline >= t0.inline + 5, "zero ceiling runs all inline");
+        set_max_threads(2);
+        run_striped(3, &|_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        let t2 = stripe_counts();
+        assert_eq!(
+            (t2.pool + t2.inline) - (t1.pool + t1.inline),
+            3,
+            "every stripe is counted exactly once"
+        );
         CEILING.store(before, Ordering::Relaxed);
     }
 

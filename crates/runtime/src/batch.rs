@@ -52,11 +52,18 @@ use hecate_backend::exec::{
 };
 use hecate_compiler::CompiledProgram;
 use hecate_ir::hash::Fnv1a;
-use hecate_telemetry::trace;
+use hecate_telemetry::{recorder, trace};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Process-wide batch-id mint (ids start at 1; `0` means "no batch" in
+/// [`trace::push_context`]). A `batch_id` attr links the shared
+/// `batch-execute` span with each member's `batch-member` mark, so a
+/// retained trace for one request pulls in the batch work it shared.
+static NEXT_BATCH_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Deterministic seed for the shared engine of one (plan, occupancy)
 /// batch family: an FNV-1a mix, so batched runs are as reproducible as
@@ -186,7 +193,10 @@ pub(crate) fn serve_coalesced(inner: &Inner, worker: usize, first: Job) {
                     // The member leaves the queue now; its wait ends here.
                     inner.stats.record_dequeue();
                     trace::complete_with("queue-wait", job.enqueued, || {
-                        vec![("session", job.req.session.into())]
+                        vec![
+                            ("session", job.req.session.into()),
+                            ("req_id", job.req_id.into()),
+                        ]
                     });
                     members.push(job);
                 } else {
@@ -272,6 +282,20 @@ fn run_shared(
 
     let extras = clean.split_off(occupancy);
     let batch = clean;
+    // The shared execution belongs to every member at once, so its span
+    // carries a batch id (not any single req_id); each member announces
+    // its membership with a mark, and retention by req_id follows the
+    // batch_id link to pull the shared span into the member's trace.
+    let batch_id = NEXT_BATCH_ID.fetch_add(1, Ordering::Relaxed);
+    let _ctx = trace::push_context(0, batch_id);
+    for job in &batch {
+        trace::mark_with("batch-member", || {
+            vec![
+                ("req_id", job.req_id.into()),
+                ("session", job.req.session.into()),
+            ]
+        });
+    }
     let mut span = trace::span_with("batch-execute", || {
         vec![
             ("plan_key", key.into()),
@@ -329,8 +353,17 @@ fn run_shared(
     };
     span.attr("ok", true.into());
     span.attr("total_us", run.total_us.into());
+    // Close the shared span before any member's trace can be retained:
+    // a retained member trace must include the batch End event.
+    drop(span);
 
     inner.stats.record_batch(occupancy);
+    let slow_us = inner
+        .config
+        .recorder
+        .as_ref()
+        .and_then(|rec| rec.slow_threshold)
+        .map(|t| t.as_secs_f64() * 1e6);
     // Worker busy time is shared: each member is billed its fraction so
     // utilization stays truthful.
     let busy_share_us = t0.elapsed().as_secs_f64() * 1e6 / occupancy as f64;
@@ -340,6 +373,11 @@ fn run_shared(
             .record_precision(job.req.session, engine.min_plan_margin_bits());
         let latency_us = job.enqueued.elapsed().as_secs_f64() * 1e6;
         inner.stats.record_done(true, latency_us, busy_share_us);
+        if slow_us.is_some_and(|t| latency_us >= t) {
+            // Tail retention for a slow batched member: the batch_id link
+            // pulls the shared batch-execute span into its trace.
+            recorder::retain_with(job.req_id, batch_id, "slow");
+        }
         let response = Response {
             run: EncryptedRun {
                 outputs,
@@ -356,6 +394,7 @@ fn run_shared(
             latency_us,
             retries: 0,
             batch_occupancy: occupancy,
+            req_id: job.req_id,
         };
         // A dropped receiver means the client gave up; nothing to do.
         let _ = job.reply.send(Ok(response));

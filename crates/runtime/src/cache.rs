@@ -62,6 +62,20 @@ enum Slot {
     Ready(Arc<PlanArtifact>, u64),
 }
 
+/// What the plan cache knows about one published artifact — the
+/// diagnostics view ([`PlanCache::entries`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCacheEntry {
+    /// The content-addressed plan key.
+    pub key: u64,
+    /// Operations in the compiled function.
+    pub ops: usize,
+    /// The static cost model's latency estimate, microseconds.
+    pub estimated_latency_us: f64,
+    /// LRU tick of the entry's last use (higher = more recent).
+    pub last_used_tick: u64,
+}
+
 /// Default bound on published artifacts
 /// ([`crate::RuntimeConfig::plan_cache_capacity`] overrides it).
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 32;
@@ -192,6 +206,32 @@ impl PlanCache {
     /// True when no artifact is published.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The configured bound on published artifacts.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// One [`PlanCacheEntry`] per published artifact, sorted by key so
+    /// diagnostics dumps are deterministic.
+    pub fn entries(&self) -> Vec<PlanCacheEntry> {
+        let inner = self.lock_inner();
+        let mut entries: Vec<PlanCacheEntry> = inner
+            .slots
+            .iter()
+            .filter_map(|(k, s)| match s {
+                Slot::Ready(a, last_used) => Some(PlanCacheEntry {
+                    key: *k,
+                    ops: a.prog.func.len(),
+                    estimated_latency_us: a.prog.stats.estimated_latency_us,
+                    last_used_tick: *last_used,
+                }),
+                Slot::Pending => None,
+            })
+            .collect();
+        entries.sort_by_key(|e| e.key);
+        entries
     }
 
     /// Looks up (or compiles, exactly once per key across all racing

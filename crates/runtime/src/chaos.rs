@@ -113,6 +113,18 @@ pub(crate) enum ChaosInjection {
     Panic,
 }
 
+impl ChaosInjection {
+    /// The injection's kind name, stamped as the `chaos` attr on the
+    /// victim request's span so retained traces are self-explaining.
+    pub(crate) fn kind_str(&self) -> &'static str {
+        match self {
+            ChaosInjection::Fault(_) => "fault",
+            ChaosInjection::Latency(_) => "latency",
+            ChaosInjection::Panic => "panic",
+        }
+    }
+}
+
 impl ChaosState {
     /// Decides the injection (if any) for the next served request.
     pub(crate) fn next(&self, opts: Option<&ChaosOptions>) -> Option<ChaosInjection> {

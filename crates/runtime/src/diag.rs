@@ -1,0 +1,514 @@
+//! Diagnostics snapshots: the runtime's introspection plane.
+//!
+//! [`DiagnosticsReport`] is one coherent, JSON-serializable answer to
+//! "what is the runtime doing right now": per-shard queue depths, the
+//! kernel pool's thread ceiling and claimed-slot vs inline-fallback
+//! split, the plan cache's contents with hit/eviction counters, each
+//! session's worst observed noise margin, the flight recorder's
+//! retained-trace index, and SLO burn (the sliding p99 against the
+//! configured latency target).
+//!
+//! Three consumers share the report:
+//!
+//! - [`crate::Runtime::diagnose`] builds one on demand (tests, admin
+//!   endpoints).
+//! - With [`crate::pool::DiagOptions`] set, a `hecate-diag` thread dumps
+//!   one to `diag-NNNNNN.json` every interval, plus a final dump at
+//!   shutdown — `hecatec --serve --diag-out DIR` wires this up.
+//! - A request panic writes a **black box**: `blackbox-req{id}.json`
+//!   holding the panic message, the request's full retained span tree
+//!   (the flight recorder promotes it before the dump), and a complete
+//!   diagnostics report. It is written at the catch site, before the
+//!   panic resumes unwinding into the supervisor, so the evidence is on
+//!   disk even if worker recycling goes wrong.
+//!
+//! The JSON is hand-rolled, single-line, and format-pinned by tests
+//! (like [`crate::stats::StatsSnapshot::to_json`]): scrapers may parse
+//! it, so shape changes must be deliberate. Plan keys render as 16-digit
+//! hex strings — they are 64-bit hashes, and JSON numbers cannot carry
+//! them faithfully.
+
+use crate::cache::PlanCacheEntry;
+use crate::pool::{DiagOptions, Inner};
+use crate::stats::StatsSnapshot;
+use hecate_telemetry::{export, recorder, RetainedSummary};
+use std::path::Path;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Kernel-pool occupancy: the process-wide thread ceiling and how limb
+/// stripes have been splitting between pooled workers and inline
+/// execution (see `hecate_math::kernel_pool`).
+#[derive(Debug, Clone)]
+pub struct KernelDiag {
+    /// The pool's current thread ceiling.
+    pub max_threads: usize,
+    /// Worker threads actually spawned so far (grows on demand, never
+    /// shrinks).
+    pub spawned_threads: usize,
+    /// Stripes executed on claimed pool workers, cumulative.
+    pub pool_stripes: u64,
+    /// Stripes executed inline on the submitting thread (no slot free,
+    /// or the stripe beyond the last worker), cumulative.
+    pub inline_stripes: u64,
+    /// Per-request kernel jobs the runtime's backend is configured for.
+    pub kernel_jobs: usize,
+    /// Total cores a managed [`crate::CoreBudget`] provisioned
+    /// (0 = unmanaged).
+    pub budget_cores: usize,
+}
+
+impl KernelDiag {
+    /// Share of all stripes that fell back to inline execution —
+    /// the pool-starvation signal. 0 when nothing has run.
+    pub fn inline_share(&self) -> f64 {
+        let total = self.pool_stripes + self.inline_stripes;
+        if total == 0 {
+            0.0
+        } else {
+            self.inline_stripes as f64 / total as f64
+        }
+    }
+}
+
+/// Plan-cache contents (hit/miss/eviction counters live in
+/// [`StatsSnapshot`]).
+#[derive(Debug, Clone)]
+pub struct PlanCacheDiag {
+    /// The cache's artifact bound.
+    pub capacity: usize,
+    /// Every cached plan, sorted by key.
+    pub entries: Vec<PlanCacheEntry>,
+}
+
+/// One session's worst observed noise margin.
+#[derive(Debug, Clone)]
+pub struct SessionMargin {
+    /// The tenant session id.
+    pub session: u64,
+    /// Minimum plan margin (bits) across everything the session ran.
+    pub min_margin_bits: f64,
+}
+
+/// Flight-recorder occupancy and the retained-trace index.
+#[derive(Debug, Clone)]
+pub struct RecorderDiag {
+    /// Whether the process-global recorder is currently on.
+    pub enabled: bool,
+    /// Configured per-thread ring capacity, events.
+    pub ring_capacity: usize,
+    /// Events currently held across all rings.
+    pub ring_events: usize,
+    /// Events overwritten (decayed) since process start.
+    pub overwritten: u64,
+    /// The retained traces, oldest first (req_id, reason, size).
+    pub retained: Vec<RetainedSummary>,
+}
+
+/// Latency objective vs the sliding-window quantiles.
+#[derive(Debug, Clone)]
+pub struct SloDiag {
+    /// The configured target, microseconds (`None` = no objective).
+    pub target_us: Option<f64>,
+    /// Completed requests currently in the sliding window.
+    pub window: usize,
+    /// Median latency over the window, microseconds.
+    pub p50_us: Option<f64>,
+    /// 99th-percentile latency over the window, microseconds.
+    pub p99_us: Option<f64>,
+    /// `p99 / target` — above 1.0 the objective is burning. `None`
+    /// without a target or an empty window.
+    pub burn: Option<f64>,
+}
+
+/// One coherent snapshot of the runtime's internals; see the module
+/// docs for who builds and consumes it.
+#[derive(Debug, Clone)]
+pub struct DiagnosticsReport {
+    /// Wall-clock nanoseconds since the Unix epoch when the report was
+    /// collected.
+    pub generated_ns: u64,
+    /// Request-worker threads.
+    pub workers: usize,
+    /// Queued jobs per worker shard, in shard order.
+    pub shard_depths: Vec<usize>,
+    /// Jobs in the priority lane (coalescer stashes).
+    pub priority_depth: usize,
+    /// The queue's total bound.
+    pub queue_capacity: usize,
+    /// Kernel-pool occupancy.
+    pub kernel: KernelDiag,
+    /// Plan-cache contents.
+    pub plan_cache: PlanCacheDiag,
+    /// Per-session minimum noise margins, sorted by session id.
+    pub sessions: Vec<SessionMargin>,
+    /// Flight-recorder state.
+    pub recorder: RecorderDiag,
+    /// SLO burn.
+    pub slo: SloDiag,
+    /// The runtime's counter snapshot (same shape as
+    /// [`crate::Runtime::stats`]).
+    pub stats: StatsSnapshot,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn opt_f64(v: Option<f64>, precision: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.precision$}"),
+        None => "null".to_string(),
+    }
+}
+
+impl DiagnosticsReport {
+    /// The report as one line of JSON. The shape is pinned by the
+    /// `diagnostics_json_format_is_pinned` test — change both together.
+    pub fn to_json(&self) -> String {
+        let shards: Vec<String> = self.shard_depths.iter().map(usize::to_string).collect();
+        let entries: Vec<String> = self
+            .plan_cache
+            .entries
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"key\":\"{:016x}\",\"ops\":{},\"estimated_latency_us\":{:.1},\"last_used_tick\":{}}}",
+                    e.key, e.ops, e.estimated_latency_us, e.last_used_tick
+                )
+            })
+            .collect();
+        let sessions: Vec<String> = self
+            .sessions
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"session\":{},\"min_margin_bits\":{:.3}}}",
+                    s.session, s.min_margin_bits
+                )
+            })
+            .collect();
+        let retained: Vec<String> = self
+            .recorder
+            .retained
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"req_id\":{},\"reason\":\"{}\",\"events\":{}}}",
+                    r.req_id,
+                    json_escape(r.reason),
+                    r.events
+                )
+            })
+            .collect();
+        format!(
+            "{{\"generated_ns\":{},\"workers\":{},\
+             \"queue\":{{\"shards\":[{}],\"priority\":{},\"capacity\":{}}},\
+             \"kernel\":{{\"max_threads\":{},\"spawned_threads\":{},\"pool_stripes\":{},\"inline_stripes\":{},\"inline_share\":{:.4},\"kernel_jobs\":{},\"budget_cores\":{}}},\
+             \"plan_cache\":{{\"capacity\":{},\"entries\":[{}]}},\
+             \"sessions\":[{}],\
+             \"recorder\":{{\"enabled\":{},\"ring_capacity\":{},\"ring_events\":{},\"overwritten\":{},\"retained\":[{}]}},\
+             \"slo\":{{\"target_us\":{},\"window\":{},\"p50_us\":{},\"p99_us\":{},\"burn\":{}}},\
+             \"stats\":{}}}",
+            self.generated_ns,
+            self.workers,
+            shards.join(","),
+            self.priority_depth,
+            self.queue_capacity,
+            self.kernel.max_threads,
+            self.kernel.spawned_threads,
+            self.kernel.pool_stripes,
+            self.kernel.inline_stripes,
+            self.kernel.inline_share(),
+            self.kernel.kernel_jobs,
+            self.kernel.budget_cores,
+            self.plan_cache.capacity,
+            entries.join(","),
+            sessions.join(","),
+            self.recorder.enabled,
+            self.recorder.ring_capacity,
+            self.recorder.ring_events,
+            self.recorder.overwritten,
+            retained.join(","),
+            opt_f64(self.slo.target_us, 1),
+            self.slo.window,
+            opt_f64(self.slo.p50_us, 1),
+            opt_f64(self.slo.p99_us, 1),
+            opt_f64(self.slo.burn, 4),
+            self.stats.to_json(),
+        )
+    }
+}
+
+fn unix_now_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+/// Collects a [`DiagnosticsReport`] from a live runtime's internals.
+pub(crate) fn collect(inner: &Inner) -> DiagnosticsReport {
+    let (shard_depths, priority_depth) = inner.queue.depths();
+    let stripes = hecate_math::kernel_pool::stripe_counts();
+    let stats = inner.stats.snapshot(inner.config.workers);
+    let mut sessions: Vec<SessionMargin> = inner
+        .stats
+        .session_margins()
+        .into_iter()
+        .map(|(session, min_margin_bits)| SessionMargin {
+            session,
+            min_margin_bits,
+        })
+        .collect();
+    sessions.sort_by_key(|s| s.session);
+    let p50_us = inner.stats.recent_latency_quantile(0.50);
+    let p99_us = inner.stats.recent_latency_quantile(0.99);
+    let target_us = inner.config.slo_target_us;
+    DiagnosticsReport {
+        generated_ns: unix_now_ns(),
+        workers: inner.config.workers,
+        shard_depths,
+        priority_depth,
+        queue_capacity: inner.config.queue_capacity.max(1),
+        kernel: KernelDiag {
+            max_threads: hecate_math::kernel_pool::max_threads(),
+            spawned_threads: hecate_math::kernel_pool::spawned_threads(),
+            pool_stripes: stripes.pool,
+            inline_stripes: stripes.inline,
+            kernel_jobs: inner.config.backend.kernel_jobs,
+            budget_cores: stats.core_budget,
+        },
+        plan_cache: PlanCacheDiag {
+            capacity: inner.cache.capacity(),
+            entries: inner.cache.entries(),
+        },
+        sessions,
+        recorder: RecorderDiag {
+            enabled: recorder::enabled(),
+            ring_capacity: recorder::ring_capacity(),
+            ring_events: recorder::ring_event_count(),
+            overwritten: recorder::overwritten_events(),
+            retained: recorder::retained_index(),
+        },
+        slo: SloDiag {
+            target_us,
+            window: inner.stats.recent_latency_count(),
+            p50_us,
+            p99_us,
+            burn: match (p99_us, target_us) {
+                (Some(p99), Some(target)) if target > 0.0 => Some(p99 / target),
+                _ => None,
+            },
+        },
+        stats,
+    }
+}
+
+/// Writes the crash black box for a panicked request: the panic message,
+/// the request's retained span tree, and a full diagnostics report.
+/// Failures are reported to stderr, never propagated — the black box is
+/// best-effort evidence on a path that is already failing.
+pub(crate) fn write_black_box(inner: &Inner, dir: &Path, req_id: u64, message: &str) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("hecate-diag: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let trace_json = match recorder::retained_trace(req_id) {
+        Some(t) => export::events_json(&t.events),
+        None => "[]".to_string(),
+    };
+    let body = format!(
+        "{{\"req_id\":{},\"reason\":\"panicked\",\"message\":\"{}\",\"trace\":{},\"diagnostics\":{}}}\n",
+        req_id,
+        json_escape(message),
+        trace_json,
+        collect(inner).to_json()
+    );
+    let path = dir.join(format!("blackbox-req{req_id}.json"));
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("hecate-diag: cannot write {}: {e}", path.display());
+    }
+}
+
+/// The periodic dumper's stop flag: raised by [`crate::Runtime`]'s drop,
+/// waited on (with the dump interval as timeout) by the `hecate-diag`
+/// thread.
+#[derive(Default)]
+pub(crate) struct DiagStop {
+    stop: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl DiagStop {
+    fn lock(&self) -> std::sync::MutexGuard<'_, bool> {
+        self.stop.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn raise(&self) {
+        *self.lock() = true;
+        self.cv.notify_all();
+    }
+
+    /// Sleeps up to `timeout`; returns true once the flag is raised.
+    fn wait(&self, timeout: Duration) -> bool {
+        let mut stopped = self.lock();
+        let deadline = std::time::Instant::now() + timeout;
+        while !*stopped {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            stopped = self
+                .cv
+                .wait_timeout(stopped, left)
+                .map(|(g, _)| g)
+                .unwrap_or_else(|e| e.into_inner().0);
+        }
+        true
+    }
+}
+
+/// The `hecate-diag` thread body: a `diag-NNNNNN.json` report every
+/// `opts.interval`, and one final report when the runtime shuts down.
+pub(crate) fn dump_loop(inner: &Inner, opts: &DiagOptions, stop: &DiagStop) {
+    if let Err(e) = std::fs::create_dir_all(&opts.dir) {
+        eprintln!("hecate-diag: cannot create {}: {e}", opts.dir.display());
+        return;
+    }
+    let mut seq: u64 = 0;
+    loop {
+        let stopped = stop.wait(opts.interval);
+        let path = opts.dir.join(format!("diag-{seq:06}.json"));
+        let body = collect(inner).to_json() + "\n";
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("hecate-diag: cannot write {}: {e}", path.display());
+        }
+        seq += 1;
+        if stopped {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The diagnostics JSON is a scrape surface: this test pins the
+    /// exact serialization of a hand-built report so shape drift is a
+    /// deliberate decision, not an accident.
+    #[test]
+    fn diagnostics_json_format_is_pinned() {
+        let report = DiagnosticsReport {
+            generated_ns: 42,
+            workers: 2,
+            shard_depths: vec![1, 0],
+            priority_depth: 3,
+            queue_capacity: 16,
+            kernel: KernelDiag {
+                max_threads: 4,
+                spawned_threads: 2,
+                pool_stripes: 6,
+                inline_stripes: 2,
+                kernel_jobs: 2,
+                budget_cores: 8,
+            },
+            plan_cache: PlanCacheDiag {
+                capacity: 4,
+                entries: vec![PlanCacheEntry {
+                    key: 0xabc,
+                    ops: 7,
+                    estimated_latency_us: 12.5,
+                    last_used_tick: 9,
+                }],
+            },
+            sessions: vec![SessionMargin {
+                session: 1,
+                min_margin_bits: 10.25,
+            }],
+            recorder: RecorderDiag {
+                enabled: true,
+                ring_capacity: 4096,
+                ring_events: 100,
+                overwritten: 5,
+                retained: vec![RetainedSummary {
+                    req_id: 7,
+                    reason: "slow",
+                    retained_ns: 1,
+                    events: 12,
+                }],
+            },
+            slo: SloDiag {
+                target_us: Some(1000.0),
+                window: 3,
+                p50_us: Some(400.0),
+                p99_us: Some(1500.0),
+                burn: Some(1.5),
+            },
+            stats: StatsSnapshot::default(),
+        };
+        let json = report.to_json();
+        let want_prefix = "{\"generated_ns\":42,\"workers\":2,\
+             \"queue\":{\"shards\":[1,0],\"priority\":3,\"capacity\":16},\
+             \"kernel\":{\"max_threads\":4,\"spawned_threads\":2,\"pool_stripes\":6,\"inline_stripes\":2,\"inline_share\":0.2500,\"kernel_jobs\":2,\"budget_cores\":8},\
+             \"plan_cache\":{\"capacity\":4,\"entries\":[{\"key\":\"0000000000000abc\",\"ops\":7,\"estimated_latency_us\":12.5,\"last_used_tick\":9}]},\
+             \"sessions\":[{\"session\":1,\"min_margin_bits\":10.250}],\
+             \"recorder\":{\"enabled\":true,\"ring_capacity\":4096,\"ring_events\":100,\"overwritten\":5,\"retained\":[{\"req_id\":7,\"reason\":\"slow\",\"events\":12}]},\
+             \"slo\":{\"target_us\":1000.0,\"window\":3,\"p50_us\":400.0,\"p99_us\":1500.0,\"burn\":1.5000},\
+             \"stats\":{";
+        assert!(
+            json.starts_with(want_prefix),
+            "diagnostics JSON drifted:\n got: {json}\nwant prefix: {want_prefix}"
+        );
+        assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn empty_slo_serializes_nulls() {
+        let slo = SloDiag {
+            target_us: None,
+            window: 0,
+            p50_us: None,
+            p99_us: None,
+            burn: None,
+        };
+        let json = format!(
+            "{{\"target_us\":{},\"window\":{},\"p50_us\":{},\"p99_us\":{},\"burn\":{}}}",
+            opt_f64(slo.target_us, 1),
+            slo.window,
+            opt_f64(slo.p50_us, 1),
+            opt_f64(slo.p99_us, 1),
+            opt_f64(slo.burn, 4),
+        );
+        assert_eq!(
+            json,
+            "{\"target_us\":null,\"window\":0,\"p50_us\":null,\"p99_us\":null,\"burn\":null}"
+        );
+    }
+
+    #[test]
+    fn inline_share_handles_zero_total() {
+        let k = KernelDiag {
+            max_threads: 0,
+            spawned_threads: 0,
+            pool_stripes: 0,
+            inline_stripes: 0,
+            kernel_jobs: 1,
+            budget_cores: 0,
+        };
+        assert_eq!(k.inline_share(), 0.0);
+    }
+}

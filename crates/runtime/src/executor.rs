@@ -293,9 +293,16 @@ pub fn execute_parallel_with(
         peak_bytes: AtomicUsize::new(0),
     };
 
+    // The correlation context is thread-local; capture it here and
+    // re-establish it in each DAG worker so backend exec-op events keep
+    // the serving request's req_id across the thread hop.
+    let (ctx_req, ctx_batch) = hecate_telemetry::trace::current_context();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
-            scope.spawn(|| shared.worker(n));
+            scope.spawn(|| {
+                let _ctx = hecate_telemetry::trace::push_context(ctx_req, ctx_batch);
+                shared.worker(n);
+            });
         }
     });
 

@@ -36,6 +36,15 @@
 //! injects faults, latency, and panics on demand to prove all of it
 //! under stress.
 //!
+//! Observability is always-on: every request gets a correlation id at
+//! admission, threaded through the queue, the batch coalescer, and the
+//! backend executor; a bounded flight recorder
+//! ([`hecate_telemetry::recorder`]) keeps recent events in per-thread
+//! rings and promotes the full span tree of interesting requests (slow,
+//! shed, timed out, guard-failed, panicked); and [`diag`] renders a
+//! [`DiagnosticsReport`] snapshot of the whole runtime — on demand, on a
+//! timer, and as a crash black box when a request panics.
+//!
 //! # Example
 //!
 //! ```
@@ -76,16 +85,22 @@
 mod batch;
 pub mod cache;
 pub mod chaos;
+pub mod diag;
 pub mod executor;
 pub mod pool;
 pub mod session;
 mod shard;
 pub mod stats;
 
-pub use cache::{plan_key, PlanArtifact, PlanCache};
+pub use cache::{plan_key, PlanArtifact, PlanCache, PlanCacheEntry};
 pub use chaos::{ChaosKind, ChaosOptions};
+pub use diag::{
+    DiagnosticsReport, KernelDiag, PlanCacheDiag, RecorderDiag, SessionMargin, SloDiag,
+};
 pub use executor::{execute_parallel, execute_parallel_with};
-pub use pool::{CoreBudget, CoreSplit, Request, Response, Runtime, RuntimeConfig};
+pub use pool::{
+    CoreBudget, CoreSplit, DiagOptions, RecorderOptions, Request, Response, Runtime, RuntimeConfig,
+};
 pub use session::{Session, SessionId, SessionManager};
 pub use stats::{RuntimeStats, StatsSnapshot};
 

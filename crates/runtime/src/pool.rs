@@ -56,12 +56,23 @@ use hecate_backend::exec::{
 };
 use hecate_compiler::{CompileOptions, Scheme};
 use hecate_ir::Function;
-use hecate_telemetry::trace;
+use hecate_telemetry::{recorder, trace};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Process-wide request-id mint. Ids start at 1 so `0` can mean "no
+/// request context" in [`trace::push_context`].
+static NEXT_REQ_ID: AtomicU64 = AtomicU64::new(1);
+
+/// How many live [`Runtime`]s asked for the flight recorder. The
+/// recorder is process-global, so enablement is refcounted: the first
+/// runtime turns it on, the last one dropping turns it off.
+static RECORDER_USERS: AtomicUsize = AtomicUsize::new(0);
 
 /// Default bound on queued requests
 /// ([`RuntimeConfig::queue_capacity`] overrides it). Deliberately
@@ -135,6 +146,54 @@ impl CoreBudget {
     }
 }
 
+/// Flight-recorder policy for one [`Runtime`]; see
+/// [`hecate_telemetry::recorder`].
+///
+/// The recorder is cheap enough to leave on in production — every
+/// telemetry event additionally lands in a bounded per-thread ring, and
+/// the full span tree of an *interesting* request (slow, shed, timed
+/// out, guard-failed, panicked) is promoted out of the ring before it
+/// can be overwritten.
+#[derive(Debug, Clone)]
+pub struct RecorderOptions {
+    /// Per-thread ring capacity, in events; the oldest event is
+    /// overwritten beyond it.
+    pub ring_capacity: usize,
+    /// Bound on promoted (retained) traces; the oldest retained trace
+    /// is dropped beyond it.
+    pub retained_capacity: usize,
+    /// Requests at least this slow are retained even when they succeed.
+    /// `None` retains only failures (shed / timed-out / guard-failed /
+    /// panicked).
+    pub slow_threshold: Option<Duration>,
+}
+
+impl Default for RecorderOptions {
+    fn default() -> Self {
+        RecorderOptions {
+            ring_capacity: recorder::DEFAULT_RING_CAPACITY,
+            retained_capacity: recorder::DEFAULT_RETAINED_CAPACITY,
+            slow_threshold: None,
+        }
+    }
+}
+
+/// Periodic diagnostics dumps: where to write them and how often.
+///
+/// With this set, the runtime runs a `hecate-diag` thread writing a
+/// [`crate::diag::DiagnosticsReport`] JSON file every `interval`, plus
+/// a final dump at shutdown, plus a `blackbox-req{id}.json` crash dump
+/// whenever a request panics (written *before* the supervisor recycles
+/// the worker, so the evidence survives even if the process dies next).
+#[derive(Debug, Clone)]
+pub struct DiagOptions {
+    /// Directory receiving `diag-NNNNNN.json` and `blackbox-*.json`
+    /// files; created if missing.
+    pub dir: PathBuf,
+    /// Period between snapshot dumps.
+    pub interval: Duration,
+}
+
 /// Configuration of one [`Runtime`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -181,6 +240,18 @@ pub struct RuntimeConfig {
     /// the resolved split and cap the process-wide kernel pool; see
     /// [`CoreBudget`].
     pub core_budget: CoreBudget,
+    /// Flight-recorder policy. `Some` (the default) keeps the bounded
+    /// always-on recorder enabled and promotes interesting requests'
+    /// span trees; `None` opts this runtime out entirely.
+    pub recorder: Option<RecorderOptions>,
+    /// Latency objective, microseconds, reported against the sliding
+    /// p99 in [`crate::diag::DiagnosticsReport`] as an SLO burn ratio.
+    /// `None` reports quantiles without a target.
+    pub slo_target_us: Option<f64>,
+    /// Periodic diagnostics dumps and panic black boxes; `None` (the
+    /// default) disables the dump thread (a [`Runtime::diagnose`] call
+    /// still works).
+    pub diag: Option<DiagOptions>,
 }
 
 impl Default for RuntimeConfig {
@@ -197,6 +268,9 @@ impl Default for RuntimeConfig {
             batch_window: Duration::ZERO,
             max_batch: 1,
             core_budget: CoreBudget::Unmanaged,
+            recorder: Some(RecorderOptions::default()),
+            slo_target_us: None,
+            diag: None,
         }
     }
 }
@@ -242,12 +316,19 @@ pub struct Response {
     /// How many requests shared the packed ciphertext that produced this
     /// response (`1` = solo execution).
     pub batch_occupancy: usize,
+    /// The correlation id minted for this request at admission. Every
+    /// telemetry event the request produced — through the queue, the
+    /// batch coalescer, and the backend executor — carries it as a
+    /// `req_id` attr, and a retained flight-recorder trace is looked up
+    /// by it ([`hecate_telemetry::recorder::retained_trace`]).
+    pub req_id: u64,
 }
 
 pub(crate) struct Job {
     pub(crate) req: Request,
     pub(crate) reply: mpsc::Sender<Result<Response, RuntimeError>>,
     pub(crate) enqueued: Instant,
+    pub(crate) req_id: u64,
 }
 
 /// True for failures worth re-executing: a guard trip or noise-budget
@@ -323,7 +404,10 @@ impl Inner {
         // Queue wait crosses threads (enqueued by the client, dequeued by
         // this worker), so it is a Complete event rather than a span.
         trace::complete_with("queue-wait", job.enqueued, || {
-            vec![("session", job.req.session.into())]
+            vec![
+                ("session", job.req.session.into()),
+                ("req_id", job.req_id.into()),
+            ]
         });
         if self.config.max_batch > 1 {
             crate::batch::serve_coalesced(self, worker, job);
@@ -337,6 +421,10 @@ impl Inner {
     /// chaos decision is made by the caller so a batch member degraded to
     /// solo execution never draws a second injection.
     pub(crate) fn serve_with(&self, job: Job, injection: Option<ChaosInjection>) {
+        // Every event this request produces from here on — including
+        // backend exec-op spans deep inside the engine — is stamped with
+        // its correlation id via the thread-local context.
+        let _ctx = trace::push_context(job.req_id, 0);
         let mut span = trace::span_with("request", || {
             vec![
                 ("session", job.req.session.into()),
@@ -344,6 +432,9 @@ impl Inner {
                 ("scheme", job.req.scheme.to_string().into()),
             ]
         });
+        if let Some(inj) = &injection {
+            span.attr("chaos", inj.kind_str().into());
+        }
         let t0 = Instant::now();
         // Panic isolation boundary: whatever happens inside `process` —
         // a compiler bug, an executor bug, an injected chaos panic — the
@@ -368,6 +459,33 @@ impl Inner {
         self.stats.record_done(result.is_ok(), latency_us, busy_us);
         span.attr("ok", result.is_ok().into());
         span.attr("latency_us", latency_us.into());
+        // Tail-based retention: close the span *first* so the retained
+        // tree includes the request End event, then promote the trace out
+        // of the ring if this request turned out interesting.
+        drop(span);
+        if let Some(rec) = &self.config.recorder {
+            let reason = match &result {
+                Err(RuntimeError::Panicked { .. }) => Some("panicked"),
+                Err(RuntimeError::TimedOut { .. }) => Some("timed-out"),
+                Err(RuntimeError::Exec(e)) if is_transient(e) => Some("guard-failed"),
+                Err(_) => Some("failed"),
+                Ok(_) => rec
+                    .slow_threshold
+                    .filter(|t| latency_us >= t.as_secs_f64() * 1e6)
+                    .map(|_| "slow"),
+            };
+            if let Some(reason) = reason {
+                recorder::retain(job.req_id, reason);
+                if let (Err(RuntimeError::Panicked { message }), Some(diag)) =
+                    (&result, &self.config.diag)
+                {
+                    // The black box is written at the catch site, before
+                    // the panic resumes unwinding: the evidence must hit
+                    // disk even if recycling the worker goes badly.
+                    crate::diag::write_black_box(self, &diag.dir, job.req_id, message);
+                }
+            }
+        }
         let result = result.map(|mut resp| {
             resp.latency_us = latency_us;
             resp
@@ -459,6 +577,7 @@ impl Inner {
                         latency_us: 0.0,
                         retries: attempt,
                         batch_occupancy: 1,
+                        req_id: job.req_id,
                     });
                 }
                 Err(ExecError::Cancelled { .. }) => {
@@ -507,6 +626,12 @@ pub struct Runtime {
     /// capped the process-wide kernel pool; restored on drop so the cap
     /// does not leak to later runtimes or non-runtime kernel callers.
     prev_kernel_ceiling: Option<Option<usize>>,
+    /// Whether this runtime holds a [`RECORDER_USERS`] refcount (and
+    /// must release it on drop).
+    recorder_on: bool,
+    /// The periodic diagnostics dumper, when [`RuntimeConfig::diag`] is
+    /// set: its stop flag and thread handle.
+    diag: Option<(Arc<crate::diag::DiagStop>, JoinHandle<()>)>,
 }
 
 impl Runtime {
@@ -529,6 +654,20 @@ impl Runtime {
             ));
         }
         let workers_n = config.workers.max(1);
+        let recorder_on = if let Some(rec) = &config.recorder {
+            recorder::configure(&hecate_telemetry::RecorderConfig {
+                ring_capacity: rec.ring_capacity,
+                retained_capacity: rec.retained_capacity,
+            });
+            // Process-global enablement is refcounted across runtimes:
+            // only the 0 -> 1 transition flips the switch.
+            if RECORDER_USERS.fetch_add(1, Ordering::SeqCst) == 0 {
+                recorder::set_enabled(true);
+            }
+            true
+        } else {
+            false
+        };
         let stats = Arc::new(RuntimeStats::new());
         stats.record_core_split(split.kernel_jobs, split.budget.unwrap_or(0));
         let inner = Arc::new(Inner {
@@ -549,11 +688,31 @@ impl Runtime {
                     .expect("worker thread spawns")
             })
             .collect();
+        let diag = inner.config.diag.clone().map(|opts| {
+            let stop = Arc::new(crate::diag::DiagStop::default());
+            let dump_inner = inner.clone();
+            let dump_stop = stop.clone();
+            let handle = std::thread::Builder::new()
+                .name("hecate-diag".to_string())
+                .spawn(move || crate::diag::dump_loop(&dump_inner, &opts, &dump_stop))
+                .expect("diag thread spawns");
+            (stop, handle)
+        });
         Runtime {
             inner,
             workers,
             prev_kernel_ceiling,
+            recorder_on,
+            diag,
         }
+    }
+
+    /// An on-demand [`crate::diag::DiagnosticsReport`]: queue depths,
+    /// kernel-pool occupancy, plan-cache contents, per-session noise
+    /// margins, retained flight-recorder traces, and SLO burn. The same
+    /// report the `hecate-diag` thread dumps periodically.
+    pub fn diagnose(&self) -> crate::diag::DiagnosticsReport {
+        crate::diag::collect(&self.inner)
     }
 
     /// The worker/kernel split this runtime resolved at startup.
@@ -589,6 +748,9 @@ impl Runtime {
         req: Request,
     ) -> Result<mpsc::Receiver<Result<Response, RuntimeError>>, RuntimeError> {
         let inner = &self.inner;
+        // The correlation id is minted at admission — before shedding —
+        // so even a rejected request has an id its trace can hang off.
+        let req_id = NEXT_REQ_ID.fetch_add(1, Ordering::Relaxed);
         if let Some(budget_us) = inner.config.admission_budget_us {
             // Price only plans already cached: an unknown plan is always
             // admitted (running it is how its cost becomes known).
@@ -598,6 +760,7 @@ impl Runtime {
                 let queue_depth = inner.stats.queue_depth();
                 if estimated_us * (queue_depth + 1) as f64 > budget_us {
                     inner.stats.record_shed();
+                    let _ctx = trace::push_context(req_id, 0);
                     trace::mark_with("shed", || {
                         vec![
                             ("plan_key", key.into()),
@@ -605,6 +768,9 @@ impl Runtime {
                             ("queue_depth", queue_depth.into()),
                         ]
                     });
+                    if inner.config.recorder.is_some() {
+                        recorder::retain(req_id, "shed");
+                    }
                     return Err(RuntimeError::Shed {
                         estimated_us,
                         queue_depth,
@@ -618,6 +784,7 @@ impl Runtime {
             req,
             reply: tx,
             enqueued: Instant::now(),
+            req_id,
         };
         match inner.queue.push(job) {
             Ok(()) => {
@@ -678,6 +845,15 @@ impl Drop for Runtime {
         self.inner.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        if let Some((stop, handle)) = self.diag.take() {
+            // The dumper writes one final snapshot on the way out, so a
+            // clean shutdown still leaves a last-known-good report.
+            stop.raise();
+            let _ = handle.join();
+        }
+        if self.recorder_on && RECORDER_USERS.fetch_sub(1, Ordering::SeqCst) == 1 {
+            recorder::set_enabled(false);
         }
         // A managed core budget capped the process-global kernel pool
         // for this runtime's lifetime only; hand the previous ceiling

@@ -105,6 +105,14 @@ impl<T> JobQueue<T> {
         self.len.load(Ordering::SeqCst)
     }
 
+    /// Per-shard depths plus the priority-lane depth, for diagnostics.
+    /// Each shard is locked in turn, so the numbers are per-shard exact
+    /// but only approximately simultaneous — fine for introspection.
+    pub(crate) fn depths(&self) -> (Vec<usize>, usize) {
+        let shards = self.shards.iter().map(|s| Self::lock(s).len()).collect();
+        (shards, Self::lock(&self.priority).len())
+    }
+
     /// Enqueues onto the next shard in round-robin order and wakes one
     /// parked worker.
     pub(crate) fn push(&self, item: T) -> Result<(), PushError<T>> {

@@ -14,7 +14,7 @@
 
 use crate::session::SessionId;
 use hecate_telemetry::{quantile_from_pow2_buckets, Counter, Gauge, Histogram, Registry};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -26,6 +26,11 @@ pub const LATENCY_BUCKETS: usize = 24;
 /// batches whose occupancy fell in `[2^k, 2^{k+1})`; occupancies are
 /// powers of two, so each bucket is one occupancy and bucket 0 is solo).
 pub const OCCUPANCY_BUCKETS: usize = 8;
+
+/// Requests the sliding latency window holds for the diagnostics SLO
+/// burn: exact recent quantiles over the last this-many finished
+/// requests, as opposed to the pow2-bucket estimates over all time.
+pub const SLO_WINDOW: usize = 512;
 
 /// Shared metric handles for one [`crate::Runtime`], backed by a
 /// per-instance telemetry registry.
@@ -85,6 +90,9 @@ pub struct RuntimeStats {
     /// mutex rather than registry gauges because the key set is dynamic
     /// (one label per live session) and margins are fractional bits.
     session_margins: Mutex<BTreeMap<SessionId, f64>>,
+    /// Sliding window of the last [`SLO_WINDOW`] end-to-end latencies
+    /// (µs), newest at the back, feeding the diagnostics SLO burn.
+    recent_latency: Mutex<VecDeque<f64>>,
     /// When this stats instance was created (for utilization).
     started: Instant,
 }
@@ -115,6 +123,7 @@ impl Default for RuntimeStats {
             busy_us: registry.counter("hecate_runtime_busy_us_total"),
             latency: registry.histogram("hecate_runtime_request_latency_us", LATENCY_BUCKETS),
             session_margins: Mutex::new(BTreeMap::new()),
+            recent_latency: Mutex::new(VecDeque::with_capacity(SLO_WINDOW)),
             started: Instant::now(),
             registry,
         };
@@ -170,6 +179,17 @@ impl RuntimeStats {
                 ));
             }
         }
+        drop(margins);
+        // Kernel-pool utilization rides along: the stripe counters are
+        // process-global (the pool is process-global), appended here as
+        // labeled lines because the registry itself is label-free.
+        let stripes = hecate_math::kernel_pool::stripe_counts();
+        out.push_str(&format!(
+            "# TYPE hecate_kernel_stripes_total counter\n\
+             hecate_kernel_stripes_total{{mode=\"pool\"}} {}\n\
+             hecate_kernel_stripes_total{{mode=\"inline\"}} {}\n",
+            stripes.pool, stripes.inline
+        ));
         out
     }
 
@@ -281,6 +301,43 @@ impl RuntimeStats {
         }
         self.latency.observe(latency_us.max(0.0) as u64);
         self.busy_us.add(busy_us.max(0.0) as u64);
+        let mut recent = self
+            .recent_latency
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if recent.len() == SLO_WINDOW {
+            recent.pop_front();
+        }
+        recent.push_back(latency_us.max(0.0));
+    }
+
+    /// Finished requests currently in the sliding latency window (at
+    /// most [`SLO_WINDOW`]).
+    pub fn recent_latency_count(&self) -> usize {
+        self.recent_latency
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Exact nearest-rank latency quantile over the sliding window, in
+    /// microseconds; `None` while no request has finished. Unlike
+    /// [`StatsSnapshot::latency_quantile_us`] this reflects only the
+    /// last [`SLO_WINDOW`] requests — the right horizon for an SLO burn
+    /// signal, which must recover once the regression is fixed.
+    pub fn recent_latency_quantile(&self, q: f64) -> Option<f64> {
+        let recent = self
+            .recent_latency
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if recent.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = recent.iter().copied().collect();
+        drop(recent);
+        sorted.sort_by(f64::total_cmp);
+        let rank = (sorted.len() as f64 * q.clamp(0.0, 1.0)).ceil() as usize;
+        Some(sorted[rank.max(1).min(sorted.len()) - 1])
     }
 
     /// A point-in-time copy of all counters.
@@ -322,7 +379,7 @@ impl RuntimeStats {
 }
 
 /// A point-in-time copy of [`RuntimeStats`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsSnapshot {
     /// Plan-cache hits.
     pub cache_hits: u64,
@@ -614,6 +671,30 @@ mod tests {
         assert!(text.contains("hecate_runtime_batches_executed_total 1"));
         assert!(text.contains("hecate_runtime_batch_occupancy_count 1"));
         assert!(text.contains("hecate_runtime_batch_occupancy_sum 4"));
+        assert!(text.contains("# TYPE hecate_kernel_stripes_total counter"));
+        assert!(text.contains("hecate_kernel_stripes_total{mode=\"pool\"} "));
+        assert!(text.contains("hecate_kernel_stripes_total{mode=\"inline\"} "));
+    }
+
+    #[test]
+    fn recent_latency_window_is_bounded_and_exact() {
+        let s = RuntimeStats::new();
+        assert_eq!(s.recent_latency_quantile(0.99), None);
+        assert_eq!(s.recent_latency_count(), 0);
+        for i in 1..=10 {
+            s.record_done(true, i as f64, 0.0);
+        }
+        // Nearest-rank over [1..10]: p50 = 5, p99 = 10, p100 = 10.
+        assert_eq!(s.recent_latency_quantile(0.5), Some(5.0));
+        assert_eq!(s.recent_latency_quantile(0.99), Some(10.0));
+        assert_eq!(s.recent_latency_quantile(1.0), Some(10.0));
+        // Overflowing the window drops the oldest entries, so the
+        // quantiles track the recent regime, not all of history.
+        for _ in 0..SLO_WINDOW {
+            s.record_done(true, 1000.0, 0.0);
+        }
+        assert_eq!(s.recent_latency_count(), SLO_WINDOW);
+        assert_eq!(s.recent_latency_quantile(0.5), Some(1000.0));
     }
 
     #[test]

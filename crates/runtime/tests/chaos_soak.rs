@@ -11,7 +11,8 @@
 use hecate_compiler::{CompileOptions, Scheme};
 use hecate_ir::FunctionBuilder;
 use hecate_runtime::{
-    ChaosKind, ChaosOptions, Request, Runtime, RuntimeConfig, RuntimeError, StatsSnapshot,
+    ChaosKind, ChaosOptions, RecorderOptions, Request, Runtime, RuntimeConfig, RuntimeError,
+    StatsSnapshot,
 };
 use std::collections::HashMap;
 use std::time::Duration;
@@ -267,6 +268,43 @@ fn admission_sheds_priced_out_requests() {
     assert_eq!(snap.shed, 1);
     assert_eq!(snap.completed, 1);
     assert_eq!(snap.failed, 0, "shed requests are not failures");
+    rt.shutdown();
+}
+
+/// Chaos injections are visible in telemetry: the request span carries a
+/// `chaos=<kind>` attr, so a soak's retained traces say *which* requests
+/// were hit and how — no guessing from timings.
+#[test]
+fn chaos_injection_is_attributed_on_the_request_span() {
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 1,
+        chaos: Some(ChaosOptions::only(ChaosKind::Fault, 1)),
+        // Threshold zero retains every request, so the trace is
+        // addressable by the response's correlation id.
+        recorder: Some(RecorderOptions {
+            slow_threshold: Some(Duration::ZERO),
+            ..RecorderOptions::default()
+        }),
+        ..RuntimeConfig::default()
+    });
+    let session = rt.open_session();
+    let mut req = request(session);
+    req.max_retries = 1;
+    let resp = rt.run_batch(vec![req]).remove(0).unwrap();
+    assert_eq!(resp.retries, 1, "the fault hit and the retry recovered");
+    let trace = hecate_telemetry::recorder::retained_trace(resp.req_id)
+        .expect("slow-threshold-zero retains the request");
+    let attributed = trace.events.iter().any(|e| {
+        e.name == "request"
+            && e.attrs
+                .iter()
+                .any(|(k, v)| *k == "chaos" && v.as_str() == Some("fault"))
+    });
+    assert!(
+        attributed,
+        "request span must carry chaos=fault: {:?}",
+        trace.events
+    );
     rt.shutdown();
 }
 

@@ -100,6 +100,31 @@ pub fn chrome_trace(events: &[Event]) -> String {
     format!("[\n{}\n]\n", records.join(",\n"))
 }
 
+/// Renders events as one compact JSON array — the embeddable form of
+/// [`jsonl`], used by diagnostics snapshots and black-box dumps that
+/// inline a retained trace inside a larger JSON document.
+pub fn events_json(events: &[Event]) -> String {
+    let records: Vec<String> = events
+        .iter()
+        .map(|ev| {
+            let (kind, dur) = match &ev.kind {
+                EventKind::Begin => ("begin", String::new()),
+                EventKind::End => ("end", String::new()),
+                EventKind::Complete { dur_ns } => ("complete", format!(",\"dur_ns\":{dur_ns}")),
+                EventKind::Mark => ("mark", String::new()),
+            };
+            format!(
+                "{{\"kind\":\"{kind}\",\"name\":\"{}\",\"ts_ns\":{},\"tid\":{}{dur},\"attrs\":{}}}",
+                escape(ev.name),
+                ev.ts_ns,
+                ev.tid,
+                attrs_json(&ev.attrs)
+            )
+        })
+        .collect();
+    format!("[{}]", records.join(","))
+}
+
 /// Renders a metrics registry as Prometheus-style text exposition
 /// (convenience alias for [`Registry::prometheus`]).
 pub fn prometheus(registry: &Registry) -> String {
@@ -184,6 +209,16 @@ mod tests {
         assert!(lines[0].contains("\"kind\":\"begin\""));
         assert!(lines[1].contains("\"dur_ns\":500"));
         assert!(lines[3].contains("\"est_us\":12.5"));
+    }
+
+    #[test]
+    fn events_json_is_one_compact_array() {
+        let json = events_json(&sample_events());
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(!json.contains('\n'));
+        assert_eq!(json.matches("\"kind\":").count(), 4);
+        assert!(json.contains("\"dur_ns\":500"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //! - [`export`] — three exporters: a JSONL event stream, Chrome
 //!   trace-event JSON (loadable in Perfetto or `chrome://tracing`), and a
 //!   Prometheus-style text exposition of a registry.
+//! - [`recorder`] — the flight recorder: bounded per-thread event rings
+//!   (overwrite-oldest) that stay enabled in serving mode forever, with
+//!   tail-based retention promoting the span trees of interesting
+//!   requests (slow, shed, timed out, guard-failed, panicked) into a
+//!   bounded store, keyed by the correlation ids the tracer stamps via
+//!   [`trace::push_context`].
 //!
 //! The crate deliberately depends on nothing, not even other HECATE
 //! crates, so every layer of the workspace (compiler, backend, serving
@@ -48,7 +54,9 @@
 
 pub mod export;
 pub mod metrics;
+pub mod recorder;
 pub mod trace;
 
 pub use metrics::{quantile_from_pow2_buckets, Counter, Gauge, Histogram, Registry};
+pub use recorder::{RecorderConfig, RetainedSummary, RetainedTrace};
 pub use trace::{AttrValue, Attrs, Event, EventKind, PairedSpan, Span};

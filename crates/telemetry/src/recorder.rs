@@ -1,0 +1,387 @@
+//! The flight recorder: always-on bounded tracing with tail-based
+//! retention.
+//!
+//! # Design
+//!
+//! The span tracer in [`crate::trace`] buffers every event until an
+//! exporter drains it — the right shape for a one-shot `--trace` run,
+//! and the wrong one for a serving process that must stay up for weeks.
+//! The recorder is the serving-mode sink: each thread owns a fixed-size
+//! **ring** of events (overwrite-oldest), so recorder memory is bounded
+//! by `threads x ring_capacity` no matter how long the process runs.
+//! Recording stays lock-cheap — the ring mutex is per-thread and
+//! uncontended except during a snapshot or retention scan.
+//!
+//! Most requests decay out of the ring unobserved. When the runtime
+//! decides a request was *interesting* (slow, shed, timed out,
+//! guard-failed, panicked), it calls [`retain`] with the request's
+//! correlation id: every ring is scanned for events stamped with that
+//! `req_id` (or the linking `batch_id`), and the matching span tree is
+//! promoted into a bounded **retained-trace store** before the ring
+//! overwrites it. This is tail-based sampling: the keep/drop decision is
+//! made after the outcome is known, so the store holds exactly the
+//! traces worth looking at.
+//!
+//! Events carry correlation ids because [`crate::trace`] stamps the
+//! ambient `(req_id, batch_id)` context (see
+//! [`crate::trace::push_context`]) onto every event it routes here —
+//! the recorder itself never inspects thread identity beyond the ring
+//! it writes to.
+
+use crate::trace::{AttrValue, Event};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default per-thread ring capacity, in events.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Default bound on the retained-trace store, in traces.
+pub const DEFAULT_RETAINED_CAPACITY: usize = 64;
+
+/// Recorder sizing knobs. Process-global: the recorder is one shared
+/// subsystem, so the last [`configure`] call wins.
+#[derive(Debug, Clone)]
+pub struct RecorderConfig {
+    /// Events each thread's ring holds before overwriting the oldest.
+    pub ring_capacity: usize,
+    /// Retained traces kept before the oldest is evicted.
+    pub retained_capacity: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            retained_capacity: DEFAULT_RETAINED_CAPACITY,
+        }
+    }
+}
+
+static REC_ENABLED: AtomicBool = AtomicBool::new(false);
+static RING_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_RING_CAPACITY);
+static RETAINED_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_RETAINED_CAPACITY);
+static OVERWRITTEN: AtomicU64 = AtomicU64::new(0);
+
+/// A fixed-capacity overwrite-oldest event ring. `next` is the slot the
+/// next event lands in once the ring is full; until then events append.
+struct Ring {
+    cap: usize,
+    events: Vec<Event>,
+    next: usize,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Ring {
+            cap: cap.max(1),
+            events: Vec::new(),
+            next: 0,
+        }
+    }
+
+    fn push(&mut self, ev: Event) {
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.events[self.next] = ev;
+            self.next = (self.next + 1) % self.cap;
+            OVERWRITTEN.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Events oldest-first (unwraps the ring).
+    fn in_order(&self) -> impl Iterator<Item = &Event> {
+        self.events[self.next..]
+            .iter()
+            .chain(self.events[..self.next].iter())
+    }
+
+    /// Re-bounds the ring to `cap`, keeping the newest events.
+    fn resize(&mut self, cap: usize) {
+        let cap = cap.max(1);
+        if cap != self.cap {
+            let mut kept: Vec<Event> = self.in_order().cloned().collect();
+            if kept.len() > cap {
+                kept.drain(..kept.len() - cap);
+            }
+            self.events = kept;
+            self.next = 0;
+            self.cap = cap;
+        }
+    }
+}
+
+/// One thread's ring, registered in the global segment list so
+/// snapshots and retention scans can reach every thread's events.
+struct Segment {
+    ring: Mutex<Ring>,
+}
+
+fn segments() -> &'static Mutex<Vec<Arc<Segment>>> {
+    static SEGMENTS: Mutex<Vec<Arc<Segment>>> = Mutex::new(Vec::new());
+    &SEGMENTS
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<Segment>>> = const { RefCell::new(None) };
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// A retained span tree: every ring event that carried the request's
+/// correlation id at the moment [`retain`] ran.
+#[derive(Debug, Clone)]
+pub struct RetainedTrace {
+    /// The request's correlation id.
+    pub req_id: u64,
+    /// Why the trace was kept (`"slow"`, `"shed"`, `"timed-out"`,
+    /// `"guard-failed"`, `"panicked"`, ...).
+    pub reason: &'static str,
+    /// Nanoseconds since the trace epoch when retention ran.
+    pub retained_ns: u64,
+    /// The promoted events, sorted by timestamp.
+    pub events: Vec<Event>,
+}
+
+/// One retained-trace index entry (the trace minus its events).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetainedSummary {
+    /// The request's correlation id.
+    pub req_id: u64,
+    /// Why the trace was kept.
+    pub reason: &'static str,
+    /// Nanoseconds since the trace epoch when retention ran.
+    pub retained_ns: u64,
+    /// How many events the trace holds.
+    pub events: usize,
+}
+
+fn retained_store() -> &'static Mutex<VecDeque<RetainedTrace>> {
+    static RETAINED: Mutex<VecDeque<RetainedTrace>> = Mutex::new(VecDeque::new());
+    &RETAINED
+}
+
+/// Turns the recorder on or off globally. The runtime reference-counts
+/// this across live `Runtime` instances.
+pub fn set_enabled(on: bool) {
+    REC_ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether the recorder is accepting events: one relaxed atomic load,
+/// the whole disabled-path cost.
+#[inline]
+pub fn enabled() -> bool {
+    REC_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Applies `config`. Existing rings are re-bounded in place (keeping
+/// their newest events) so tests and reconfiguring runtimes see the new
+/// capacity immediately.
+pub fn configure(config: &RecorderConfig) {
+    RING_CAPACITY.store(config.ring_capacity.max(1), Ordering::SeqCst);
+    RETAINED_CAPACITY.store(config.retained_capacity.max(1), Ordering::SeqCst);
+    let segs: Vec<Arc<Segment>> = lock(segments()).clone();
+    for seg in segs {
+        lock(&seg.ring).resize(config.ring_capacity.max(1));
+    }
+    let mut retained = lock(retained_store());
+    while retained.len() > RETAINED_CAPACITY.load(Ordering::Relaxed) {
+        retained.pop_front();
+    }
+}
+
+/// The configured per-thread ring capacity.
+pub fn ring_capacity() -> usize {
+    RING_CAPACITY.load(Ordering::Relaxed)
+}
+
+/// Total events overwritten (decayed) across all rings since process
+/// start or the last [`clear`].
+pub fn overwritten_events() -> u64 {
+    OVERWRITTEN.load(Ordering::Relaxed)
+}
+
+/// Routes one event into the calling thread's ring. Called by
+/// [`crate::trace`]; the event already carries its correlation attrs.
+pub(crate) fn record(ev: Event) {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let seg = slot.get_or_insert_with(|| {
+            let seg = Arc::new(Segment {
+                ring: Mutex::new(Ring::new(ring_capacity())),
+            });
+            lock(segments()).push(seg.clone());
+            seg
+        });
+        lock(&seg.ring).push(ev);
+    });
+}
+
+/// Events currently buffered across all rings.
+pub fn ring_event_count() -> usize {
+    let segs: Vec<Arc<Segment>> = lock(segments()).clone();
+    segs.iter().map(|s| lock(&s.ring).events.len()).sum()
+}
+
+/// Rings currently registered (one per thread that has recorded).
+pub fn segment_count() -> usize {
+    lock(segments()).len()
+}
+
+/// Copies every ring's events into one timestamp-sorted stream, without
+/// consuming them. The rings keep recording; this is a point-in-time
+/// view for diagnostics dumps.
+pub fn snapshot() -> Vec<Event> {
+    let segs: Vec<Arc<Segment>> = lock(segments()).clone();
+    let mut all: Vec<Event> = Vec::new();
+    for seg in &segs {
+        let ring = lock(&seg.ring);
+        all.extend(ring.in_order().cloned());
+    }
+    all.sort_by_key(|e| e.ts_ns);
+    all
+}
+
+fn attr_matches(attrs: &[(&'static str, AttrValue)], key: &str, want: i64) -> bool {
+    attrs
+        .iter()
+        .any(|(k, v)| *k == key && v.as_i64() == Some(want))
+}
+
+/// Promotes every ring event stamped with `req_id` into the retained
+/// store under `reason`; returns how many events were kept. Shorthand
+/// for [`retain_with`] with no batch link.
+pub fn retain(req_id: u64, reason: &'static str) -> usize {
+    retain_with(req_id, 0, reason)
+}
+
+/// Promotes the span tree for `req_id` — plus, when `batch_id` is
+/// nonzero, the shared batch spans stamped with that `batch_id` — into
+/// the bounded retained store. Returns the number of events promoted.
+///
+/// The scan walks every thread's ring, so spans recorded on worker,
+/// kernel, and coalescer threads all land in the one retained trace.
+pub fn retain_with(req_id: u64, batch_id: u64, reason: &'static str) -> usize {
+    let segs: Vec<Arc<Segment>> = lock(segments()).clone();
+    let mut events: Vec<Event> = Vec::new();
+    for seg in &segs {
+        let ring = lock(&seg.ring);
+        events.extend(
+            ring.in_order()
+                .filter(|ev| {
+                    attr_matches(&ev.attrs, "req_id", req_id as i64)
+                        || (batch_id != 0 && attr_matches(&ev.attrs, "batch_id", batch_id as i64))
+                })
+                .cloned(),
+        );
+    }
+    events.sort_by_key(|e| e.ts_ns);
+    let kept = events.len();
+    let trace = RetainedTrace {
+        req_id,
+        reason,
+        retained_ns: crate::trace::now_ns(),
+        events,
+    };
+    let mut retained = lock(retained_store());
+    retained.push_back(trace);
+    let cap = RETAINED_CAPACITY.load(Ordering::Relaxed).max(1);
+    while retained.len() > cap {
+        retained.pop_front();
+    }
+    kept
+}
+
+/// The retained-trace index, oldest first.
+pub fn retained_index() -> Vec<RetainedSummary> {
+    lock(retained_store())
+        .iter()
+        .map(|t| RetainedSummary {
+            req_id: t.req_id,
+            reason: t.reason,
+            retained_ns: t.retained_ns,
+            events: t.events.len(),
+        })
+        .collect()
+}
+
+/// The most recently retained trace for `req_id`, if any.
+pub fn retained_trace(req_id: u64) -> Option<RetainedTrace> {
+    lock(retained_store())
+        .iter()
+        .rev()
+        .find(|t| t.req_id == req_id)
+        .cloned()
+}
+
+/// Every retained trace, oldest first.
+pub fn retained_traces() -> Vec<RetainedTrace> {
+    lock(retained_store()).iter().cloned().collect()
+}
+
+/// Empties every ring and the retained store, and zeroes the overwrite
+/// counter. For tests; rings stay registered.
+pub fn clear() {
+    let segs: Vec<Arc<Segment>> = lock(segments()).clone();
+    for seg in &segs {
+        let mut ring = lock(&seg.ring);
+        ring.events.clear();
+        ring.next = 0;
+    }
+    lock(retained_store()).clear();
+    OVERWRITTEN.store(0, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::EventKind;
+
+    fn ev(ts: u64, seq: i64) -> Event {
+        Event {
+            kind: EventKind::Mark,
+            name: "t",
+            ts_ns: ts,
+            tid: 1,
+            attrs: vec![("seq", seq.into())],
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_unwraps_in_order() {
+        let mut ring = Ring::new(4);
+        for i in 0..10 {
+            ring.push(ev(i, i as i64));
+        }
+        assert_eq!(ring.events.len(), 4);
+        let seqs: Vec<i64> = ring
+            .in_order()
+            .map(|e| e.attrs[0].1.as_i64().unwrap())
+            .collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_resize_keeps_newest() {
+        let mut ring = Ring::new(8);
+        for i in 0..8 {
+            ring.push(ev(i, i as i64));
+        }
+        ring.resize(3);
+        let seqs: Vec<i64> = ring
+            .in_order()
+            .map(|e| e.attrs[0].1.as_i64().unwrap())
+            .collect();
+        assert_eq!(seqs, vec![5, 6, 7]);
+        ring.push(ev(8, 8));
+        let seqs: Vec<i64> = ring
+            .in_order()
+            .map(|e| e.attrs[0].1.as_i64().unwrap())
+            .collect();
+        assert_eq!(seqs, vec![6, 7, 8]);
+    }
+}

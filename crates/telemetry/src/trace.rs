@@ -16,12 +16,28 @@
 //! stable and per-thread timestamps are monotonic), which is what makes
 //! [`pair_spans`] able to validate begin/end nesting per thread.
 //!
+//! The buffers are bounded by a configurable high-water mark
+//! ([`set_high_water`]): when an exporter stalls and a buffer fills,
+//! further events on that thread are dropped and counted
+//! (`hecate_trace_dropped_events_total` in the global metrics registry)
+//! instead of growing without bound.
+//!
+//! Every recording entry point also feeds the flight recorder
+//! ([`crate::recorder`]) when it is enabled — an independently gated,
+//! bounded ring sink for serving mode. A span records to whichever
+//! sinks were live at its begin, so begin/end pairs stay balanced in
+//! each sink even if a sink is toggled mid-span. Before handing an
+//! event to either sink, the recording thread stamps its ambient
+//! correlation context ([`push_context`]) onto the event as `req_id` /
+//! `batch_id` attributes — this is how one request's spans are found
+//! again across worker, coalescer, and kernel threads.
+//!
 //! Timestamps are nanoseconds since a process-wide [`Instant`] epoch —
 //! monotonic, comparable across threads, and immune to wall-clock steps.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -151,6 +167,59 @@ pub struct Event {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
+/// Default per-thread buffer high-water mark, in events.
+pub const DEFAULT_HIGH_WATER: usize = 1 << 20;
+
+static HIGH_WATER: AtomicUsize = AtomicUsize::new(DEFAULT_HIGH_WATER);
+
+thread_local! {
+    /// The recording thread's small sequential trace id, shared by the
+    /// buffered tracer and the flight recorder so one thread reports
+    /// one `tid` everywhere.
+    static TID: Cell<u64> = const { Cell::new(0) };
+    /// Ambient correlation context: `(req_id, batch_id)`, zero = unset.
+    static CONTEXT: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+fn thread_tid() -> u64 {
+    TID.with(|tid| {
+        if tid.get() == 0 {
+            tid.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        tid.get()
+    })
+}
+
+/// Restores the previous correlation context on drop.
+#[must_use = "dropping the guard immediately pops the context"]
+pub struct ContextGuard {
+    prev: (u64, u64),
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CONTEXT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Sets the calling thread's correlation context. Every event recorded
+/// while the guard lives is stamped with `req_id` / `batch_id` attrs
+/// (zero components are omitted). Guards nest; drop restores the outer
+/// context. Spawned threads do not inherit the context — capture
+/// [`current_context`] and push it on the child thread.
+pub fn push_context(req_id: u64, batch_id: u64) -> ContextGuard {
+    CONTEXT.with(|c| {
+        let prev = c.get();
+        c.set((req_id, batch_id));
+        ContextGuard { prev }
+    })
+}
+
+/// The calling thread's current `(req_id, batch_id)` context.
+pub fn current_context() -> (u64, u64) {
+    CONTEXT.with(Cell::get)
+}
+
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
@@ -162,7 +231,6 @@ pub fn now_ns() -> u64 {
 }
 
 struct ThreadBuffer {
-    tid: u64,
     events: Mutex<Vec<Event>>,
 }
 
@@ -175,32 +243,99 @@ thread_local! {
     static LOCAL: RefCell<Option<Arc<ThreadBuffer>>> = const { RefCell::new(None) };
 }
 
-fn with_local(f: impl FnOnce(&ThreadBuffer)) {
+fn dropped_counter() -> &'static crate::metrics::Counter {
+    static COUNTER: OnceLock<crate::metrics::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| crate::metrics::global().counter("hecate_trace_dropped_events_total"))
+}
+
+/// Bounds each thread's buffered-tracer backlog: once a buffer holds
+/// `events` undrained events, further events on that thread are dropped
+/// and counted instead of growing the buffer. Does not affect the
+/// flight recorder, whose rings are bounded by construction.
+pub fn set_high_water(events: usize) {
+    HIGH_WATER.store(events.max(1), Ordering::SeqCst);
+}
+
+/// The buffered tracer's per-thread high-water mark, in events.
+pub fn high_water() -> usize {
+    HIGH_WATER.load(Ordering::Relaxed)
+}
+
+/// Events dropped at the high-water mark since process start (also
+/// exported as `hecate_trace_dropped_events_total`).
+pub fn dropped_events() -> u64 {
+    dropped_counter().get()
+}
+
+fn push_buffered(ev: Event) {
     LOCAL.with(|slot| {
         let mut slot = slot.borrow_mut();
         let buf = slot.get_or_insert_with(|| {
             let buf = Arc::new(ThreadBuffer {
-                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
                 events: Mutex::new(Vec::new()),
             });
             sink().lock().unwrap().push(buf.clone());
             buf
         });
-        f(buf);
+        let mut events = buf.events.lock().unwrap();
+        if events.len() < HIGH_WATER.load(Ordering::Relaxed) {
+            events.push(ev);
+        } else {
+            dropped_counter().inc();
+        }
     });
 }
 
-fn record(kind: EventKind, name: &'static str, ts_ns: u64, attrs: Attrs) {
-    with_local(|buf| {
-        let ev = Event {
-            kind,
-            name,
-            ts_ns,
-            tid: buf.tid,
-            attrs,
-        };
-        buf.events.lock().unwrap().push(ev);
-    });
+/// Routes one event to the sinks that were live when its span (or
+/// marker) was created. The ambient correlation context is stamped on
+/// first, so both sinks see identical events.
+fn record(kind: EventKind, name: &'static str, ts_ns: u64, mut attrs: Attrs, to: Sinks) {
+    let (req_id, batch_id) = current_context();
+    if req_id != 0 {
+        attrs.push(("req_id", AttrValue::I64(req_id as i64)));
+    }
+    if batch_id != 0 {
+        attrs.push(("batch_id", AttrValue::I64(batch_id as i64)));
+    }
+    let ev = Event {
+        kind,
+        name,
+        ts_ns,
+        tid: thread_tid(),
+        attrs,
+    };
+    match (to.traced, to.recorded) {
+        (true, true) => {
+            crate::recorder::record(ev.clone());
+            push_buffered(ev);
+        }
+        (true, false) => push_buffered(ev),
+        (false, true) => crate::recorder::record(ev),
+        (false, false) => {}
+    }
+}
+
+/// Which sinks an event (or a span's begin/end pair) goes to.
+#[derive(Clone, Copy)]
+struct Sinks {
+    traced: bool,
+    recorded: bool,
+}
+
+impl Sinks {
+    /// The sinks live right now.
+    #[inline]
+    fn live() -> Sinks {
+        Sinks {
+            traced: enabled(),
+            recorded: crate::recorder::enabled(),
+        }
+    }
+
+    #[inline]
+    fn any(self) -> bool {
+        self.traced || self.recorded
+    }
 }
 
 /// Turns tracing on or off globally.
@@ -222,7 +357,7 @@ pub fn enabled() -> bool {
 #[must_use = "a span measures the scope it lives in; dropping it immediately records nothing useful"]
 pub struct Span {
     name: &'static str,
-    armed: bool,
+    to: Sinks,
     end_attrs: Attrs,
 }
 
@@ -233,30 +368,32 @@ pub fn span(name: &'static str) -> Span {
 }
 
 /// Opens a span whose begin attributes are built by `attrs` — the
-/// closure runs only when tracing is enabled, so the disabled path pays
-/// nothing for attribute construction.
+/// closure runs only when a sink (the tracer or the flight recorder) is
+/// enabled, so the disabled path pays nothing for attribute
+/// construction.
 #[inline]
 pub fn span_with<F: FnOnce() -> Attrs>(name: &'static str, attrs: F) -> Span {
-    if !enabled() {
+    let to = Sinks::live();
+    if !to.any() {
         return Span {
             name,
-            armed: false,
+            to,
             end_attrs: Attrs::new(),
         };
     }
-    record(EventKind::Begin, name, now_ns(), attrs());
+    record(EventKind::Begin, name, now_ns(), attrs(), to);
     Span {
         name,
-        armed: true,
+        to,
         end_attrs: Attrs::new(),
     }
 }
 
 impl Span {
     /// Attaches an attribute to this span's end event. A no-op when the
-    /// span was created with tracing disabled.
+    /// span was created with every sink disabled.
     pub fn attr(&mut self, key: &'static str, value: AttrValue) {
-        if self.armed {
+        if self.to.any() {
             self.end_attrs.push((key, value));
         }
     }
@@ -264,15 +401,16 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        // An armed span always records its end, even if tracing was
-        // switched off mid-span — unbalanced traces are worse than a few
-        // extra events.
-        if self.armed {
+        // An armed span always records its end to the sinks it began
+        // in, even if a sink was switched off mid-span — unbalanced
+        // traces are worse than a few extra events.
+        if self.to.any() {
             record(
                 EventKind::End,
                 self.name,
                 now_ns(),
                 std::mem::take(&mut self.end_attrs),
+                self.to,
             );
         }
     }
@@ -282,20 +420,22 @@ impl Drop for Span {
 /// for durations whose start lives on another thread (queue wait) or was
 /// measured independently.
 pub fn complete_with<F: FnOnce() -> Attrs>(name: &'static str, started: Instant, attrs: F) {
-    if !enabled() {
+    let to = Sinks::live();
+    if !to.any() {
         return;
     }
     let dur_ns = started.elapsed().as_nanos() as u64;
     let ts_ns = now_ns().saturating_sub(dur_ns);
-    record(EventKind::Complete { dur_ns }, name, ts_ns, attrs());
+    record(EventKind::Complete { dur_ns }, name, ts_ns, attrs(), to);
 }
 
 /// Records an instantaneous marker.
 pub fn mark_with<F: FnOnce() -> Attrs>(name: &'static str, attrs: F) {
-    if !enabled() {
+    let to = Sinks::live();
+    if !to.any() {
         return;
     }
-    record(EventKind::Mark, name, now_ns(), attrs());
+    record(EventKind::Mark, name, now_ns(), attrs(), to);
 }
 
 /// Takes every buffered event from every thread, returning one stream

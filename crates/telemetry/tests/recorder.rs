@@ -1,0 +1,254 @@
+//! Flight-recorder contract: bounded per-thread rings that overwrite
+//! oldest-first under concurrent load without tearing events, tail-based
+//! retention that promotes exactly the correlated span tree, a bounded
+//! retained store, and the buffered tracer's high-water drop policy.
+//!
+//! The recorder (like the tracer) is process-global, so every test here
+//! serializes on one mutex and filters by event names unique to itself.
+
+use hecate_telemetry::trace::{self, AttrValue};
+use hecate_telemetry::{recorder, RecorderConfig};
+use std::sync::Mutex;
+
+/// Serializes tests: recorder/tracer state is process-global.
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn attr_i64(ev: &trace::Event, key: &str) -> Option<i64> {
+    ev.attrs
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| v.as_i64())
+}
+
+const THREADS: usize = 8;
+const EVENTS_PER_THREAD: usize = 10_000;
+const RING_CAP: usize = 256;
+
+#[test]
+fn concurrent_overwrite_keeps_a_consistent_suffix_per_thread() {
+    let _g = locked();
+    recorder::clear();
+    recorder::configure(&RecorderConfig {
+        ring_capacity: RING_CAP,
+        retained_capacity: 64,
+    });
+    recorder::set_enabled(true);
+    assert!(
+        !trace::enabled(),
+        "tracer must stay off: recorder-only path"
+    );
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..EVENTS_PER_THREAD {
+                    // The check attr ties thread and sequence together;
+                    // a torn or misfiled event breaks the equation.
+                    trace::mark_with("ring-load", || {
+                        vec![
+                            ("thread", (t as u64).into()),
+                            ("seq", (i as u64).into()),
+                            ("check", ((t * EVENTS_PER_THREAD + i) as u64).into()),
+                        ]
+                    });
+                }
+            });
+        }
+    });
+    recorder::set_enabled(false);
+
+    let all = recorder::snapshot();
+    let mine: Vec<_> = all.iter().filter(|e| e.name == "ring-load").collect();
+
+    // Group by the thread attr: each writer had its own ring, so each
+    // group must be exactly the newest RING_CAP events of that thread,
+    // in order, untorn.
+    for t in 0..THREADS as i64 {
+        let mut seqs: Vec<i64> = mine
+            .iter()
+            .filter(|e| attr_i64(e, "thread") == Some(t))
+            .map(|e| {
+                let seq = attr_i64(e, "seq").expect("seq attr");
+                let check = attr_i64(e, "check").expect("check attr");
+                assert_eq!(
+                    check,
+                    t * EVENTS_PER_THREAD as i64 + seq,
+                    "torn event: thread {t} seq {seq} carries check {check}"
+                );
+                seq
+            })
+            .collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs.len(), RING_CAP, "thread {t} ring holds exactly cap");
+        let first = EVENTS_PER_THREAD as i64 - RING_CAP as i64;
+        let want: Vec<i64> = (first..EVENTS_PER_THREAD as i64).collect();
+        assert_eq!(seqs, want, "thread {t} must keep the newest suffix");
+    }
+
+    assert!(
+        recorder::overwritten_events() >= (THREADS * (EVENTS_PER_THREAD - RING_CAP)) as u64,
+        "overwrites must be counted"
+    );
+    recorder::clear();
+}
+
+#[test]
+fn retention_promotes_request_and_batch_linked_events() {
+    let _g = locked();
+    recorder::clear();
+    recorder::configure(&RecorderConfig {
+        ring_capacity: 4096,
+        retained_capacity: 64,
+    });
+    recorder::set_enabled(true);
+
+    let req_id = 777_001u64;
+    let batch_id = 888_001u64;
+    {
+        let _ctx = trace::push_context(req_id, 0);
+        let mut span = trace::span_with("retained-req", || vec![("k", 1.into())]);
+        span.attr("ok", true.into());
+    }
+    {
+        // Shared batch work carries only the batch id; a member mark
+        // carries the explicit req_id linking it back.
+        let _ctx = trace::push_context(0, batch_id);
+        trace::mark_with("retained-member", || vec![("req_id", req_id.into())]);
+        let _span = trace::span_with("retained-batch", || vec![("occupancy", 2.into())]);
+    }
+    // Uncorrelated noise must not be promoted.
+    trace::mark_with("retained-noise", || vec![("k", 2.into())]);
+    recorder::set_enabled(false);
+
+    let kept = recorder::retain_with(req_id, batch_id, "slow");
+    let trace_for = recorder::retained_trace(req_id).expect("trace retained");
+    assert_eq!(trace_for.reason, "slow");
+    assert_eq!(trace_for.events.len(), kept);
+    let names: Vec<&str> = trace_for.events.iter().map(|e| e.name).collect();
+    assert!(names.contains(&"retained-req"), "req events promoted");
+    assert!(names.contains(&"retained-member"), "member mark promoted");
+    assert!(names.contains(&"retained-batch"), "batch-linked promoted");
+    assert!(!names.contains(&"retained-noise"), "noise must stay out");
+    // Both Begin and End of the request span survive.
+    assert_eq!(
+        names.iter().filter(|n| **n == "retained-req").count(),
+        2,
+        "span begin + end both promoted"
+    );
+    assert!(
+        trace_for
+            .events
+            .windows(2)
+            .all(|w| w[0].ts_ns <= w[1].ts_ns),
+        "retained events are time-sorted"
+    );
+    let index = recorder::retained_index();
+    assert!(index
+        .iter()
+        .any(|s| s.req_id == req_id && s.reason == "slow" && s.events == kept));
+    recorder::clear();
+}
+
+#[test]
+fn retained_store_is_bounded_and_keeps_newest() {
+    let _g = locked();
+    recorder::clear();
+    recorder::configure(&RecorderConfig {
+        ring_capacity: 4096,
+        retained_capacity: 4,
+    });
+    recorder::set_enabled(true);
+    for i in 0..10u64 {
+        let id = 555_000 + i;
+        let _ctx = trace::push_context(id, 0);
+        trace::mark_with("bounded-store", Vec::new);
+        drop(_ctx);
+        recorder::retain(id, "slow");
+    }
+    recorder::set_enabled(false);
+    let index = recorder::retained_index();
+    assert_eq!(index.len(), 4, "retained store respects its bound");
+    let ids: Vec<u64> = index.iter().map(|s| s.req_id).collect();
+    assert_eq!(ids, vec![555_006, 555_007, 555_008, 555_009]);
+    assert!(
+        recorder::retained_trace(555_000).is_none(),
+        "oldest evicted"
+    );
+    recorder::clear();
+    // Restore defaults for whichever test runs next.
+    recorder::configure(&RecorderConfig::default());
+}
+
+#[test]
+fn configure_rebounds_existing_rings_keeping_newest() {
+    let _g = locked();
+    recorder::clear();
+    recorder::configure(&RecorderConfig {
+        ring_capacity: 64,
+        retained_capacity: 64,
+    });
+    recorder::set_enabled(true);
+    for i in 0..40u64 {
+        trace::mark_with("rebound", || vec![("seq", i.into())]);
+    }
+    // Shrink below the current population: the newest 8 must survive.
+    recorder::configure(&RecorderConfig {
+        ring_capacity: 8,
+        retained_capacity: 64,
+    });
+    recorder::set_enabled(false);
+    let mut seqs: Vec<i64> = recorder::snapshot()
+        .iter()
+        .filter(|e| e.name == "rebound")
+        .map(|e| attr_i64(e, "seq").expect("seq"))
+        .collect();
+    seqs.sort_unstable();
+    assert_eq!(seqs, (32..40).collect::<Vec<i64>>());
+    recorder::clear();
+    recorder::configure(&RecorderConfig::default());
+}
+
+#[test]
+fn high_water_drops_and_counts_instead_of_growing() {
+    let _g = locked();
+    let prev = trace::high_water();
+    trace::set_high_water(100);
+    let _ = trace::drain();
+    let dropped_before = trace::dropped_events();
+    trace::set_enabled(true);
+    for i in 0..500u64 {
+        trace::mark_with("hw-flood", || vec![("i", i.into())]);
+    }
+    trace::set_enabled(false);
+    let events = trace::drain();
+    trace::set_high_water(prev);
+    let flood: Vec<_> = events.iter().filter(|e| e.name == "hw-flood").collect();
+    assert_eq!(flood.len(), 100, "buffer capped at the high-water mark");
+    // The survivors are the oldest (drop-new policy: the bound protects
+    // memory; the recorder covers the tail).
+    assert_eq!(attr_i64(flood[0], "i"), Some(0));
+    assert_eq!(attr_i64(flood[99], "i"), Some(99));
+    assert_eq!(
+        trace::dropped_events() - dropped_before,
+        400,
+        "drops are counted"
+    );
+}
+
+#[test]
+fn recorder_disabled_records_nothing() {
+    let _g = locked();
+    recorder::clear();
+    assert!(!recorder::enabled());
+    trace::mark_with("recorder-off", || vec![("k", AttrValue::I64(1))]);
+    assert!(
+        !recorder::snapshot()
+            .iter()
+            .any(|e| e.name == "recorder-off"),
+        "disabled recorder must not record"
+    );
+}

@@ -60,6 +60,21 @@
 //!                                   queue rejects submissions (default 4096)
 //!   --admission-budget-ms B         serve mode: shed cached-plan requests whose
 //!                                   estimated cost x queue depth exceeds B
+//!   --diag-out DIR                  serve mode: write a diagnostics snapshot
+//!                                   (diag-NNNNNN.json) to DIR every interval, a
+//!                                   final one at shutdown, and a black-box crash
+//!                                   dump (blackbox-req{id}.json) for every
+//!                                   panicked request
+//!   --diag-interval-ms N            period between diagnostics snapshots
+//!                                   (default 1000)
+//!   --slow-ms MS                    flight recorder: retain the full span tree of
+//!                                   any request slower than MS (failures — shed,
+//!                                   timed out, guard-failed, panicked — are
+//!                                   always retained)
+//!   --slo-target-ms MS              latency objective reported as SLO burn
+//!                                   (sliding p99 / target) in diagnostics
+//!   --no-flight-recorder            disable the always-on bounded recorder for
+//!                                   this serve run
 //!   --trace PATH                    record spans for the whole invocation to PATH
 //!   --trace-format jsonl|chrome     trace file format (default chrome; a Chrome
 //!                                   trace loads in Perfetto / chrome://tracing)
@@ -114,7 +129,8 @@ use hecate::ir::verify::verify_plan;
 use hecate::ir::Function;
 use hecate::math::rng::Xoshiro256;
 use hecate::runtime::{
-    ChaosKind, ChaosOptions, CoreBudget, Request, Runtime, RuntimeConfig, RuntimeError,
+    ChaosKind, ChaosOptions, CoreBudget, DiagOptions, RecorderOptions, Request, Runtime,
+    RuntimeConfig, RuntimeError,
 };
 use hecate::telemetry::{export, trace, Event};
 use std::collections::HashMap;
@@ -165,6 +181,11 @@ struct Args {
     retries: u32,
     queue_cap: Option<usize>,
     admission_budget_ms: Option<f64>,
+    diag_out: Option<String>,
+    diag_interval_ms: u64,
+    slow_ms: Option<f64>,
+    slo_target_ms: Option<f64>,
+    flight_recorder: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -206,6 +227,11 @@ fn parse_args() -> Result<Args, String> {
         retries: 0,
         queue_cap: None,
         admission_budget_ms: None,
+        diag_out: None,
+        diag_interval_ms: 1000,
+        slow_ms: None,
+        slo_target_ms: None,
+        flight_recorder: true,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -368,6 +394,31 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or("bad --admission-budget-ms")?,
                 )
             }
+            "--diag-out" => out.diag_out = Some(args.next().ok_or("bad --diag-out")?),
+            "--diag-interval-ms" => {
+                out.diag_interval_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("bad --diag-interval-ms")?
+            }
+            "--slow-ms" => {
+                out.slow_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&b: &f64| b >= 0.0)
+                        .ok_or("bad --slow-ms")?,
+                )
+            }
+            "--slo-target-ms" => {
+                out.slo_target_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&b: &f64| b > 0.0)
+                        .ok_or("bad --slo-target-ms")?,
+                )
+            }
+            "--no-flight-recorder" => out.flight_recorder = false,
             f if !f.starts_with('-') => out.files.push(f.to_string()),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -405,6 +456,15 @@ fn parse_args() -> Result<Args, String> {
     }
     if out.batch_window_us > 0 && !out.serve {
         return Err("--batch-window-us requires --serve".into());
+    }
+    let diag_flags = out.diag_out.is_some()
+        || out.slow_ms.is_some()
+        || out.slo_target_ms.is_some()
+        || !out.flight_recorder;
+    if diag_flags && !out.serve {
+        return Err(
+            "--diag-out/--slow-ms/--slo-target-ms/--no-flight-recorder require --serve".into(),
+        );
     }
     if out.core_budget != CoreBudget::Unmanaged && !out.serve {
         return Err("--core-budget requires --serve".into());
@@ -468,6 +528,14 @@ fn serve(args: &Args, opts: &CompileOptions, metrics_extra: &mut String) -> u8 {
         fault: args.chaos_fault.clone().unwrap_or(defaults.fault),
         latency: Duration::from_micros(args.chaos_latency_us),
     });
+    let recorder = args.flight_recorder.then(|| RecorderOptions {
+        slow_threshold: args.slow_ms.map(|ms| Duration::from_secs_f64(ms / 1e3)),
+        ..RecorderOptions::default()
+    });
+    let diag = args.diag_out.as_ref().map(|dir| DiagOptions {
+        dir: dir.into(),
+        interval: Duration::from_millis(args.diag_interval_ms),
+    });
     let mut config = RuntimeConfig {
         workers: args.jobs,
         backend: backend_options(args),
@@ -476,6 +544,9 @@ fn serve(args: &Args, opts: &CompileOptions, metrics_extra: &mut String) -> u8 {
         max_batch: args.max_batch,
         batch_window: Duration::from_micros(args.batch_window_us),
         core_budget: args.core_budget,
+        recorder,
+        slo_target_us: args.slo_target_ms.map(|ms| ms * 1e3),
+        diag,
         ..RuntimeConfig::default()
     };
     if let Some(cap) = args.queue_cap {
@@ -525,6 +596,12 @@ fn serve(args: &Args, opts: &CompileOptions, metrics_extra: &mut String) -> u8 {
         println!(
             "batching: up to {} same-plan request(s) per packed ciphertext (window {}µs)",
             args.max_batch, args.batch_window_us
+        );
+    }
+    if let Some(dir) = &args.diag_out {
+        println!(
+            "diagnostics: snapshots every {}ms to {dir} (black-box dumps on panic)",
+            args.diag_interval_ms
         );
     }
     let results = rt.run_batch(reqs);
@@ -1071,7 +1148,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("hecatec: {e}");
-            eprintln!("usage: hecatec <file.heir>... [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet] [--strict|--fallback] [--save-plan P] [--load-plan P] [--serve] [--jobs N] [--max-batch N] [--batch-window-us U] [--kernel-jobs N] [--core-budget N|auto] [--no-hoist] [--repeat K] [--trace P] [--trace-format jsonl|chrome] [--metrics P] [--estimator-report] [--audit] [--audit-checkpoints N] [--bench NAME|all] [--precision-trace P] [--max-rms B] [--chaos N] [--chaos-kind fault|latency|panic|mix] [--chaos-latency-us U] [--chaos-fault SPEC] [--deadline-ms D] [--retries R] [--queue-cap N] [--admission-budget-ms B]");
+            eprintln!("usage: hecatec <file.heir>... [--scheme S] [--waterline W] [--sf F] [--degree N] [--run] [--quiet] [--strict|--fallback] [--save-plan P] [--load-plan P] [--serve] [--jobs N] [--max-batch N] [--batch-window-us U] [--kernel-jobs N] [--core-budget N|auto] [--no-hoist] [--repeat K] [--trace P] [--trace-format jsonl|chrome] [--metrics P] [--estimator-report] [--audit] [--audit-checkpoints N] [--bench NAME|all] [--precision-trace P] [--max-rms B] [--chaos N] [--chaos-kind fault|latency|panic|mix] [--chaos-latency-us U] [--chaos-fault SPEC] [--deadline-ms D] [--retries R] [--queue-cap N] [--admission-budget-ms B] [--diag-out DIR] [--diag-interval-ms N] [--slow-ms MS] [--slo-target-ms MS] [--no-flight-recorder]");
             return ExitCode::from(2);
         }
     };
